@@ -1,0 +1,339 @@
+//! Deterministic synthetic data for the sample scenario.
+//!
+//! The paper's measurements ran against DaimlerChrysler-internal systems we
+//! obviously do not have; this generator produces supplier / component /
+//! bill-of-material data with the same *shape* (every local function has
+//! matching rows to find, set-returning functions return multi-row results,
+//! the well-known entities of the paper's examples exist).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the data generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataGenConfig {
+    /// Number of suppliers (ids 1..=n).
+    pub suppliers: usize,
+    /// Number of components (ids 1..=n).
+    pub components: usize,
+    /// Maximum children per component in the bill of material.
+    pub max_bom_children: usize,
+    /// RNG seed — same seed, same data, byte for byte.
+    pub seed: u64,
+}
+
+impl Default for DataGenConfig {
+    fn default() -> DataGenConfig {
+        DataGenConfig {
+            suppliers: 200,
+            components: 500,
+            max_bom_children: 4,
+            seed: 0xFEDF_u64,
+        }
+    }
+}
+
+impl DataGenConfig {
+    /// A small configuration for fast unit tests.
+    pub fn tiny() -> DataGenConfig {
+        DataGenConfig {
+            suppliers: 10,
+            components: 20,
+            max_bom_children: 2,
+            seed: 7,
+        }
+    }
+}
+
+/// The paper's examples hard-code supplier 1234 (`GetNumberSupp1234`); the
+/// generator always creates it.
+pub const WELL_KNOWN_SUPPLIER_NO: i32 = 1234;
+/// Name of the well-known supplier, usable with `GetSupplierNo`.
+pub const WELL_KNOWN_SUPPLIER_NAME: &str = "Precision Parts GmbH";
+/// A component guaranteed to exist, usable with `GetCompNo`.
+pub const WELL_KNOWN_COMPONENT_NAME: &str = "hex bolt M8";
+/// Number of the well-known component.
+pub const WELL_KNOWN_COMPONENT_NO: i32 = 1;
+
+/// One generated supplier.
+#[derive(Debug, Clone)]
+pub struct SupplierRecord {
+    pub supplier_no: i32,
+    pub name: String,
+    pub reliability: i32,
+    pub quality: i32,
+}
+
+/// One generated component.
+#[derive(Debug, Clone)]
+pub struct ComponentRecord {
+    pub comp_no: i32,
+    pub name: String,
+    pub in_stock: i32,
+}
+
+/// One bill-of-material edge.
+#[derive(Debug, Clone, Copy)]
+pub struct BomRecord {
+    pub parent_no: i32,
+    pub child_no: i32,
+}
+
+/// One stock-number assignment (supplier × component → stock number).
+#[derive(Debug, Clone, Copy)]
+pub struct StockNumberRecord {
+    pub supplier_no: i32,
+    pub comp_no: i32,
+    pub stock_no: i32,
+}
+
+/// One discount offer.
+#[derive(Debug, Clone, Copy)]
+pub struct DiscountRecord {
+    pub supplier_no: i32,
+    pub comp_no: i32,
+    pub discount: i32,
+}
+
+/// The full generated dataset.
+#[derive(Debug, Clone)]
+pub struct GeneratedData {
+    pub suppliers: Vec<SupplierRecord>,
+    pub components: Vec<ComponentRecord>,
+    pub bom: Vec<BomRecord>,
+    pub stock_numbers: Vec<StockNumberRecord>,
+    pub discounts: Vec<DiscountRecord>,
+}
+
+const NOUNS: &[&str] = &[
+    "bolt", "nut", "washer", "bearing", "shaft", "gear", "valve", "pump", "seal", "bracket",
+    "housing", "spring", "clamp", "flange", "gasket", "rotor", "stator", "coupling", "bushing",
+    "pin",
+];
+
+const SUPPLIER_STEMS: &[&str] = &[
+    "Acme", "Bolt & Sons", "Cogworks", "Dynamo", "Elbe Metall", "Fischer", "Gear AG", "Hanse",
+    "Isar Tech", "Jupiter", "Kessel", "Lahn Werke", "Main Motoren", "Neckar", "Oder Stahl",
+    "Pfalz Praezision", "Quantum", "Rhein Metall", "Saar Technik", "Tauber",
+];
+
+/// Generate the dataset for a configuration. Pure function of the config.
+pub fn generate(config: &DataGenConfig) -> GeneratedData {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let mut suppliers = Vec::with_capacity(config.suppliers + 1);
+    // The well-known supplier first, with stable scores.
+    suppliers.push(SupplierRecord {
+        supplier_no: WELL_KNOWN_SUPPLIER_NO,
+        name: WELL_KNOWN_SUPPLIER_NAME.to_string(),
+        reliability: 87,
+        quality: 93,
+    });
+    for i in 0..config.suppliers {
+        let supplier_no = i as i32 + 1;
+        if supplier_no == WELL_KNOWN_SUPPLIER_NO {
+            continue;
+        }
+        suppliers.push(SupplierRecord {
+            supplier_no,
+            name: format!(
+                "{} {}",
+                SUPPLIER_STEMS[i % SUPPLIER_STEMS.len()],
+                supplier_no
+            ),
+            reliability: rng.gen_range(30..=100),
+            quality: rng.gen_range(30..=100),
+        });
+    }
+
+    let mut components = Vec::with_capacity(config.components.max(1));
+    components.push(ComponentRecord {
+        comp_no: WELL_KNOWN_COMPONENT_NO,
+        name: WELL_KNOWN_COMPONENT_NAME.to_string(),
+        in_stock: 250,
+    });
+    for i in 1..config.components {
+        let comp_no = i as i32 + 1;
+        components.push(ComponentRecord {
+            comp_no,
+            name: format!("{} #{comp_no}", NOUNS[i % NOUNS.len()]),
+            in_stock: rng.gen_range(0..=1000),
+        });
+    }
+
+    // Bill of material: each component gets children among the components
+    // with *higher* ids, which keeps the BOM acyclic by construction.
+    let mut bom = Vec::new();
+    for (idx, comp) in components.iter().enumerate() {
+        if idx + 1 >= components.len() {
+            break;
+        }
+        let n_children = rng.gen_range(0..=config.max_bom_children);
+        for _ in 0..n_children {
+            let child_idx = rng.gen_range(idx + 1..components.len());
+            bom.push(BomRecord {
+                parent_no: comp.comp_no,
+                child_no: components[child_idx].comp_no,
+            });
+        }
+    }
+    // The well-known component always has at least two sub-components when
+    // enough components exist (GetSubCompNo must return rows for it).
+    if components.len() > 2 {
+        bom.push(BomRecord {
+            parent_no: WELL_KNOWN_COMPONENT_NO,
+            child_no: components[1].comp_no,
+        });
+        bom.push(BomRecord {
+            parent_no: WELL_KNOWN_COMPONENT_NO,
+            child_no: components[2].comp_no,
+        });
+    }
+    bom.sort_by_key(|b| (b.parent_no, b.child_no));
+    bom.dedup_by_key(|b| (b.parent_no, b.child_no));
+
+    // Stock numbers: each component is stocked for a few suppliers; the
+    // well-known (supplier, component) pair is always present — the paper's
+    // GetNumber(1234, CompNo) must find a row.
+    let mut stock_numbers = Vec::new();
+    let mut next_stock_no = 100_000;
+    for comp in &components {
+        let n = rng.gen_range(1..=3.min(suppliers.len()));
+        for k in 0..n {
+            let s = &suppliers[(comp.comp_no as usize + k * 7) % suppliers.len()];
+            stock_numbers.push(StockNumberRecord {
+                supplier_no: s.supplier_no,
+                comp_no: comp.comp_no,
+                stock_no: next_stock_no,
+            });
+            next_stock_no += 1;
+        }
+    }
+    stock_numbers.push(StockNumberRecord {
+        supplier_no: WELL_KNOWN_SUPPLIER_NO,
+        comp_no: WELL_KNOWN_COMPONENT_NO,
+        stock_no: next_stock_no,
+    });
+
+    // Discounts: roughly a third of the stocked pairs get one.
+    let mut discounts = Vec::new();
+    for sn in &stock_numbers {
+        if rng.gen_bool(0.34) {
+            discounts.push(DiscountRecord {
+                supplier_no: sn.supplier_no,
+                comp_no: sn.comp_no,
+                discount: rng.gen_range(5..=30),
+            });
+        }
+    }
+    // Guarantee at least one generous discount for the independent-case
+    // example (GetCompSupp4Discount(10) must return rows).
+    discounts.push(DiscountRecord {
+        supplier_no: WELL_KNOWN_SUPPLIER_NO,
+        comp_no: components[1 % components.len()].comp_no,
+        discount: 25,
+    });
+
+    GeneratedData {
+        suppliers,
+        components,
+        bom,
+        stock_numbers,
+        discounts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = DataGenConfig::default();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.suppliers.len(), b.suppliers.len());
+        assert_eq!(a.bom.len(), b.bom.len());
+        for (x, y) in a.suppliers.iter().zip(b.suppliers.iter()) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.quality, y.quality);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&DataGenConfig {
+            seed: 1,
+            ..DataGenConfig::default()
+        });
+        let b = generate(&DataGenConfig {
+            seed: 2,
+            ..DataGenConfig::default()
+        });
+        let qa: Vec<i32> = a.suppliers.iter().map(|s| s.quality).collect();
+        let qb: Vec<i32> = b.suppliers.iter().map(|s| s.quality).collect();
+        assert_ne!(qa, qb);
+    }
+
+    #[test]
+    fn well_known_entities_exist() {
+        let d = generate(&DataGenConfig::tiny());
+        assert!(d
+            .suppliers
+            .iter()
+            .any(|s| s.supplier_no == WELL_KNOWN_SUPPLIER_NO
+                && s.name == WELL_KNOWN_SUPPLIER_NAME));
+        assert!(d
+            .components
+            .iter()
+            .any(|c| c.name == WELL_KNOWN_COMPONENT_NAME));
+        assert!(d
+            .stock_numbers
+            .iter()
+            .any(|s| s.supplier_no == WELL_KNOWN_SUPPLIER_NO
+                && s.comp_no == WELL_KNOWN_COMPONENT_NO));
+        assert!(d
+            .bom
+            .iter()
+            .any(|b| b.parent_no == WELL_KNOWN_COMPONENT_NO));
+    }
+
+    #[test]
+    fn bom_is_acyclic() {
+        // Children always have strictly higher component numbers except for
+        // the forced edges of the well-known root (which point upward too).
+        let d = generate(&DataGenConfig::default());
+        for edge in &d.bom {
+            assert!(
+                edge.child_no > edge.parent_no,
+                "edge {} -> {} breaks the topological invariant",
+                edge.parent_no,
+                edge.child_no
+            );
+        }
+    }
+
+    #[test]
+    fn supplier_numbers_unique() {
+        let d = generate(&DataGenConfig::default());
+        let set: HashSet<i32> = d.suppliers.iter().map(|s| s.supplier_no).collect();
+        assert_eq!(set.len(), d.suppliers.len());
+    }
+
+    #[test]
+    fn scores_in_band() {
+        let d = generate(&DataGenConfig::default());
+        for s in &d.suppliers {
+            assert!((30..=100).contains(&s.reliability));
+            assert!((30..=100).contains(&s.quality));
+        }
+    }
+
+    #[test]
+    fn discounts_reference_stocked_pairs_mostly() {
+        let d = generate(&DataGenConfig::tiny());
+        assert!(!d.discounts.is_empty());
+        assert!(d.discounts.iter().any(|x| x.discount >= 10));
+    }
+}

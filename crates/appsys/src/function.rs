@@ -1,0 +1,201 @@
+//! Typed predefined functions exported by an application system.
+
+use std::fmt;
+use std::sync::Arc;
+
+use fedwf_relstore::Database;
+use fedwf_types::{
+    implicit_cast, DataType, FedError, FedResult, Ident, Schema, SchemaRef, Table, Value,
+};
+
+/// The typed signature of a local function: named input parameters and a
+/// table-shaped result.
+#[derive(Debug, Clone)]
+pub struct FunctionSignature {
+    pub name: Ident,
+    pub params: Vec<(Ident, DataType)>,
+    pub returns: SchemaRef,
+}
+
+impl FunctionSignature {
+    pub fn new(
+        name: impl Into<Ident>,
+        params: &[(&str, DataType)],
+        returns: &[(&str, DataType)],
+    ) -> FunctionSignature {
+        FunctionSignature {
+            name: name.into(),
+            params: params
+                .iter()
+                .map(|(n, t)| (Ident::new(*n), *t))
+                .collect(),
+            returns: Arc::new(Schema::of(returns)),
+        }
+    }
+
+    /// Bind call arguments: arity check plus implicit (widening-only) casts.
+    /// This is the *limited access pattern* of the paper's related work —
+    /// every parameter must be supplied, there is no partial invocation.
+    pub fn bind_args(&self, args: &[Value]) -> FedResult<Vec<Value>> {
+        if args.len() != self.params.len() {
+            return Err(FedError::app_system(format!(
+                "function {} expects {} arguments, got {}",
+                self.name,
+                self.params.len(),
+                args.len()
+            )));
+        }
+        args.iter()
+            .zip(self.params.iter())
+            .map(|(v, (pname, ptype))| {
+                implicit_cast(v, *ptype).map_err(|e| {
+                    FedError::app_system(format!(
+                        "argument {pname} of {}: {e}",
+                        self.name
+                    ))
+                })
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for FunctionSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, (n, t)) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n} {t}")?;
+        }
+        write!(f, ") RETURNS TABLE (")?;
+        for (i, c) in self.returns.columns().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.data_type)?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// The implementation body of a local function.
+pub type FunctionBody = Arc<dyn Fn(&Database, &[Value]) -> FedResult<Table> + Send + Sync>;
+
+/// A predefined function of an application system: signature + body.
+#[derive(Clone)]
+pub struct LocalFunction {
+    pub signature: FunctionSignature,
+    body: FunctionBody,
+}
+
+impl LocalFunction {
+    pub fn new(
+        signature: FunctionSignature,
+        body: impl Fn(&Database, &[Value]) -> FedResult<Table> + Send + Sync + 'static,
+    ) -> LocalFunction {
+        LocalFunction {
+            signature,
+            body: Arc::new(body),
+        }
+    }
+
+    /// Invoke the function: bind/validate arguments, run the body, check
+    /// the result against the declared return schema.
+    pub fn invoke(&self, db: &Database, args: &[Value]) -> FedResult<Table> {
+        let bound = self.signature.bind_args(args)?;
+        let result = (self.body)(db, &bound)
+            .map_err(|e| e.with_context(format!("executing local function {}", self.signature.name)))?;
+        if result.schema().as_ref() != self.signature.returns.as_ref() {
+            return Err(FedError::app_system(format!(
+                "local function {} returned schema {:?} but declares {:?}",
+                self.signature.name,
+                result.schema().columns(),
+                self.signature.returns.columns()
+            )));
+        }
+        Ok(result)
+    }
+}
+
+impl fmt::Debug for LocalFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LocalFunction")
+            .field("signature", &self.signature)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedwf_types::Row;
+
+    fn echo_function() -> LocalFunction {
+        let sig = FunctionSignature::new(
+            "Echo",
+            &[("x", DataType::BigInt)],
+            &[("y", DataType::BigInt)],
+        );
+        LocalFunction::new(sig, |_db, args| {
+            Ok(Table::scalar("y", args[0].clone()))
+        })
+    }
+
+    #[test]
+    fn invoke_binds_and_checks() {
+        let f = echo_function();
+        let db = Database::new("t");
+        let t = f.invoke(&db, &[Value::BigInt(7)]).unwrap();
+        assert_eq!(t.value(0, "y"), Some(&Value::BigInt(7)));
+    }
+
+    #[test]
+    fn implicit_widening_applies_to_args() {
+        let f = echo_function();
+        let db = Database::new("t");
+        // INT argument widens to the declared BIGINT parameter.
+        let t = f.invoke(&db, &[Value::Int(7)]).unwrap();
+        assert_eq!(t.value(0, "y"), Some(&Value::BigInt(7)));
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let f = echo_function();
+        let db = Database::new("t");
+        assert!(f.invoke(&db, &[]).is_err());
+        assert!(f
+            .invoke(&db, &[Value::Int(1), Value::Int(2)])
+            .is_err());
+    }
+
+    #[test]
+    fn narrowing_arg_is_rejected() {
+        let sig = FunctionSignature::new("F", &[("x", DataType::Int)], &[("y", DataType::Int)]);
+        let f = LocalFunction::new(sig, |_db, args| Ok(Table::scalar("y", args[0].clone())));
+        let db = Database::new("t");
+        let err = f.invoke(&db, &[Value::BigInt(1)]).unwrap_err();
+        assert!(err.to_string().contains("argument"));
+    }
+
+    #[test]
+    fn wrong_result_schema_is_detected() {
+        let sig = FunctionSignature::new("Bad", &[], &[("y", DataType::Int)]);
+        let f = LocalFunction::new(sig, |_db, _args| {
+            let mut t = Table::new(Arc::new(Schema::of(&[("z", DataType::Varchar)])));
+            t.push(Row::new(vec![Value::str("oops")])).unwrap();
+            Ok(t)
+        });
+        let db = Database::new("t");
+        assert!(f.invoke(&db, &[]).is_err());
+    }
+
+    #[test]
+    fn signature_display() {
+        let f = echo_function();
+        assert_eq!(
+            f.signature.to_string(),
+            "Echo(x BIGINT) RETURNS TABLE (y BIGINT)"
+        );
+    }
+}

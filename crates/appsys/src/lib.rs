@@ -1,0 +1,25 @@
+//! # fedwf-appsys
+//!
+//! Simulated *application systems* — the SAP-R/3-like packaged software of
+//! the paper whose data "can be accessed via predefined functions only".
+//!
+//! Each [`ApplicationSystem`] owns a private [`fedwf_relstore::Database`]
+//! and a registry of typed [`LocalFunction`]s. Callers (the WfMS's
+//! activities, or the FDBS's access UDTFs) can *only* call those functions;
+//! nothing else of the system is reachable — that encapsulation is exactly
+//! the premise the paper starts from.
+//!
+//! [`scenario`] builds the three systems of the sample scenario (stock
+//! keeping, purchasing, product data management) with every local function
+//! the paper mentions, over deterministic synthetic data produced by
+//! [`datagen`].
+
+pub mod datagen;
+pub mod function;
+pub mod scenario;
+pub mod system;
+
+pub use datagen::DataGenConfig;
+pub use function::{FunctionSignature, LocalFunction};
+pub use scenario::{build_scenario, Scenario};
+pub use system::{AppSystemRegistry, ApplicationSystem};

@@ -1,0 +1,37 @@
+//! E5 — AllCompNames do-until loop: wall-clock scaling with iterations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fedwf_bench::experiments::make_server;
+use fedwf_core::{paper_functions, ArchitectureKind};
+use fedwf_types::Value;
+use std::time::Duration;
+
+fn bench_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("loop_scaling");
+    let server = make_server(ArchitectureKind::Wfms);
+    server
+        .deploy(&paper_functions::all_comp_names())
+        .expect("deploy");
+    // Warm.
+    server
+        .call("AllCompNames", &[Value::Int(1)])
+        .expect("warm-up");
+    for n in [1usize, 4, 16, 64] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let args = [Value::Int(n as i32)];
+            b.iter(|| server.call("AllCompNames", &args).expect("call").table)
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    targets = bench_loop
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! E7 — the parallel/sequential contrast, including the real-thread
+//! navigator (the threaded WfMS pays thread overhead for genuinely
+//! parallel local calls).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedwf_bench::experiments::make_server;
+use fedwf_core::{paper_functions, ArchitectureKind, IntegrationConfig, IntegrationServer};
+use fedwf_types::Value;
+use std::time::Duration;
+
+fn bench_contrast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_vs_sequential");
+    for (label, kind) in [
+        ("wfms", ArchitectureKind::Wfms),
+        ("udtf", ArchitectureKind::SqlUdtf),
+    ] {
+        let server = make_server(kind);
+        server
+            .deploy(&paper_functions::get_supp_qual_relia())
+            .expect("deploy");
+        server
+            .deploy(&paper_functions::get_supp_qual())
+            .expect("deploy");
+        let s = server.scenario();
+        let parallel_args = [Value::Int(s.well_known_supplier_no())];
+        let sequential_args = [Value::str(s.well_known_supplier_name())];
+        server.call("GetSuppQualRelia", &parallel_args).unwrap();
+        server.call("GetSuppQual", &sequential_args).unwrap();
+        group.bench_function(format!("{label}/parallel"), |b| {
+            b.iter(|| server.call("GetSuppQualRelia", &parallel_args).unwrap().table)
+        });
+        group.bench_function(format!("{label}/sequential"), |b| {
+            b.iter(|| server.call("GetSuppQual", &sequential_args).unwrap().table)
+        });
+    }
+
+    // The threaded navigator on the parallel function.
+    let threaded = IntegrationServer::new(IntegrationConfig {
+        threaded_wfms: true,
+        ..IntegrationConfig::default()
+    })
+    .expect("server");
+    threaded.boot();
+    threaded
+        .deploy(&paper_functions::get_supp_qual_relia())
+        .expect("deploy");
+    let args = [Value::Int(threaded.scenario().well_known_supplier_no())];
+    threaded.call("GetSuppQualRelia", &args).unwrap();
+    group.bench_function("wfms_threaded/parallel", |b| {
+        b.iter(|| threaded.call("GetSuppQualRelia", &args).unwrap().table)
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    targets = bench_contrast
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E10 — scalability: wall-clock of warm calls as the enterprise grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fedwf_appsys::DataGenConfig;
+use fedwf_bench::experiments::args_for;
+use fedwf_core::{paper_functions, ArchitectureKind, IntegrationConfig, IntegrationServer};
+use std::time::Duration;
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability");
+    for components in [200usize, 1000, 4000] {
+        let server = IntegrationServer::new(
+            IntegrationConfig::default()
+                .with_architecture(ArchitectureKind::SqlUdtf)
+                .with_data(DataGenConfig {
+                    components,
+                    suppliers: components / 2,
+                    ..DataGenConfig::default()
+                }),
+        )
+        .expect("server");
+        server.boot();
+        for spec in [
+            paper_functions::buy_supp_comp(),
+            paper_functions::get_sub_comp_discounts(),
+        ] {
+            server.deploy(&spec).expect("deploy");
+            let args = args_for(&server, &spec);
+            server.call(spec.name.as_str(), &args).expect("warm-up");
+            group.throughput(Throughput::Elements(components as u64));
+            group.bench_with_input(
+                BenchmarkId::new(spec.name.as_str(), components),
+                &spec,
+                |b, spec| {
+                    b.iter(|| server.call(spec.name.as_str(), &args).expect("call").table)
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    targets = bench_scalability
+}
+criterion_main!(benches);

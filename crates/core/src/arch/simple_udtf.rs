@@ -1,0 +1,149 @@
+//! The simple UDTF architecture: A-UDTFs only, integration logic in the
+//! application.
+
+use std::sync::Arc;
+
+use fedwf_fdbs::Fdbs;
+use fedwf_sql::{Expr, Statement};
+use fedwf_types::{FedError, FedResult, Ident, QualifiedName};
+use fedwf_wrapper::Controller;
+
+use crate::arch::sql_udtf::generate_integration_select;
+use crate::arch::{
+    ensure_access_udtfs, make_deployed, spec_output_schema, Architecture, ArchitectureKind,
+    DeployedFunction,
+};
+use crate::classify::ComplexityCase;
+use crate::mapping::MappingSpec;
+
+/// The first architecture of Section 2: each local function gets an
+/// A-UDTF, and the *application* composes them — the integration logic is
+/// one long SELECT embedded in the application's code ("or rather by the
+/// application programmer").
+///
+/// Deployment registers only the A-UDTFs; the "deployed function" handle
+/// carries the SELECT statement the application would embed, with the
+/// federated parameters as bare host variables.
+pub struct SimpleUdtfArchitecture {
+    fdbs: Arc<Fdbs>,
+    controller: Controller,
+}
+
+impl SimpleUdtfArchitecture {
+    pub fn new(fdbs: Arc<Fdbs>, controller: Controller) -> SimpleUdtfArchitecture {
+        SimpleUdtfArchitecture { fdbs, controller }
+    }
+
+    /// The SELECT the application embeds (host variables `p0`, `p1`, ...).
+    pub fn generate_application_select(&self, spec: &MappingSpec) -> FedResult<String> {
+        if spec.cyclic.is_some() {
+            return Err(FedError::unsupported(format!(
+                "mapping {}: the application cannot iterate a cycle within one embedded SELECT",
+                spec.name
+            )));
+        }
+        let params = spec.params.clone();
+        let select = generate_integration_select(&self.controller, spec, &move |p: &Ident| {
+            let idx = params
+                .iter()
+                .position(|(n, _)| n == p)
+                .expect("validated parameter");
+            Expr::Column(QualifiedName::bare(format!("p{idx}")))
+        })?;
+        Ok(Statement::Select(select).to_string())
+    }
+}
+
+impl Architecture for SimpleUdtfArchitecture {
+    fn kind(&self) -> ArchitectureKind {
+        ArchitectureKind::SimpleUdtf
+    }
+
+    fn mechanism(&self, case: ComplexityCase) -> Option<&'static str> {
+        match case {
+            ComplexityCase::Cyclic => None,
+            _ => Some("composed manually by the application (embedded SQL over A-UDTFs)"),
+        }
+    }
+
+    fn supports(&self, spec: &MappingSpec) -> bool {
+        spec.cyclic.is_none()
+    }
+
+    fn deploy(&self, spec: &MappingSpec) -> FedResult<DeployedFunction> {
+        spec.validate()?;
+        let call_sql = self.generate_application_select(spec)?;
+        ensure_access_udtfs(&self.fdbs, &self.controller, spec)?;
+        let returns = spec_output_schema(&self.controller, spec)?;
+        Ok(make_deployed(
+            self.fdbs.clone(),
+            spec,
+            returns,
+            ArchitectureKind::SimpleUdtf,
+            call_sql,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_functions;
+    use fedwf_appsys::{build_scenario, DataGenConfig};
+    use fedwf_sim::{CostModel, Meter};
+    use fedwf_types::Value;
+
+    fn arch() -> SimpleUdtfArchitecture {
+        let scenario = build_scenario(DataGenConfig::tiny()).unwrap();
+        let controller = Controller::new(scenario.registry, CostModel::zero());
+        SimpleUdtfArchitecture::new(Arc::new(Fdbs::new(CostModel::zero())), controller)
+    }
+
+    #[test]
+    fn application_select_uses_host_variables() {
+        let a = arch();
+        let sql = a
+            .generate_application_select(&paper_functions::buy_supp_comp())
+            .unwrap();
+        assert!(sql.contains("TABLE (GetQuality(p0)) AS GQ"), "{sql}");
+        assert!(sql.contains("TABLE (GetCompNo(p1)) AS GCN"), "{sql}");
+        assert!(!sql.contains("BuySuppComp."), "no function-name qualifier: {sql}");
+    }
+
+    #[test]
+    fn deploy_and_call() {
+        let a = arch();
+        let deployed = a.deploy(&paper_functions::buy_supp_comp()).unwrap();
+        let mut meter = Meter::new();
+        let t = deployed
+            .call(
+                &[
+                    Value::Int(fedwf_appsys::datagen::WELL_KNOWN_SUPPLIER_NO),
+                    Value::str(fedwf_appsys::datagen::WELL_KNOWN_COMPONENT_NAME),
+                ],
+                &mut meter,
+            )
+            .unwrap();
+        assert_eq!(t.value(0, "Decision"), Some(&Value::str("YES")));
+    }
+
+    #[test]
+    fn cyclic_unsupported() {
+        let a = arch();
+        assert!(!a.supports(&paper_functions::all_comp_names()));
+        assert!(a
+            .deploy(&paper_functions::all_comp_names())
+            .unwrap_err()
+            .is_unsupported());
+        assert!(a.mechanism(ComplexityCase::Cyclic).is_none());
+    }
+
+    #[test]
+    fn no_iudtf_is_registered() {
+        let a = arch();
+        a.deploy(&paper_functions::get_supp_qual()).unwrap();
+        // The A-UDTFs exist, but no function named GetSuppQual.
+        assert!(!a.fdbs.catalog().has_udtf(&Ident::new("GetSuppQual")));
+        assert!(a.fdbs.catalog().has_udtf(&Ident::new("GetSupplierNo")));
+    }
+}

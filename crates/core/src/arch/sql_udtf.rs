@@ -1,0 +1,346 @@
+//! The enhanced SQL UDTF architecture: the integration logic is a single
+//! SQL statement inside an I-UDTF (`LANGUAGE SQL RETURN SELECT ...`).
+
+use std::sync::Arc;
+
+use fedwf_fdbs::Fdbs;
+use fedwf_sim::Meter;
+use fedwf_sql::{
+    ColumnDef, CreateFunctionStmt, Expr, FromItem, ParamDef, SelectItem, SelectStmt, Statement,
+};
+use fedwf_types::{FedError, FedResult, Ident};
+use fedwf_wrapper::Controller;
+
+use crate::arch::{
+    call_schema, call_sql_for, ensure_access_udtfs, make_deployed, source_type,
+    spec_output_schema, Architecture, ArchitectureKind, DeployedFunction,
+};
+use crate::classify::ComplexityCase;
+use crate::mapping::{ArgSource, FedOutput, MappingSpec};
+
+/// Compiles a [`MappingSpec`] into A-UDTFs plus one SQL-bodied I-UDTF.
+/// Subject to the product's "one SQL statement per function body"
+/// restriction: the cyclic case needs a loop and is rejected.
+pub struct SqlUdtfArchitecture {
+    fdbs: Arc<Fdbs>,
+    controller: Controller,
+}
+
+impl SqlUdtfArchitecture {
+    pub fn new(fdbs: Arc<Fdbs>, controller: Controller) -> SqlUdtfArchitecture {
+        SqlUdtfArchitecture { fdbs, controller }
+    }
+
+    /// Generate the `CREATE FUNCTION` statement for a spec — the artifact
+    /// the paper prints for `BuySuppComp`. Public so that examples and
+    /// documentation can show the generated DDL.
+    pub fn generate_create_function(&self, spec: &MappingSpec) -> FedResult<CreateFunctionStmt> {
+        if spec.cyclic.is_some() {
+            return Err(FedError::unsupported(format!(
+                "mapping {}: cyclic dependencies need a loop construct; a SQL function body is a single statement (use PSM stored procedures — but those cannot be referenced in a FROM clause — or the WfMS approach)",
+                spec.name
+            )));
+        }
+        let body = self.generate_body(spec)?;
+        let returns_schema = spec_output_schema(&self.controller, spec)?;
+        Ok(CreateFunctionStmt {
+            name: spec.name.clone(),
+            params: spec
+                .params
+                .iter()
+                .map(|(n, t)| ParamDef {
+                    name: n.clone(),
+                    data_type: *t,
+                })
+                .collect(),
+            returns: returns_schema
+                .columns()
+                .iter()
+                .map(|c| ColumnDef {
+                    name: c.name.clone(),
+                    data_type: c.data_type,
+                    not_null: false,
+                })
+                .collect(),
+            body,
+        })
+    }
+
+    /// The single SELECT statement implementing the integration logic.
+    fn generate_body(&self, spec: &MappingSpec) -> FedResult<SelectStmt> {
+        // Parameters are qualified with the function's own name, as in
+        // `BuySuppComp.SupplierNo`.
+        let fed_name = spec.name.clone();
+        generate_integration_select(&self.controller, spec, &move |param: &Ident| {
+            Expr::Column(fedwf_types::QualifiedName {
+                qualifier: Some(fed_name.clone()),
+                name: param.clone(),
+            })
+        })
+    }
+}
+
+/// Generate the one-statement integration SELECT over the A-UDTFs.
+/// `param_expr` controls how federated parameters are spelled: the SQL
+/// I-UDTF qualifies them with the function name, the simple architecture
+/// uses bare host variables.
+pub(crate) fn generate_integration_select(
+    controller: &Controller,
+    spec: &MappingSpec,
+    param_expr: &dyn Fn(&Ident) -> Expr,
+) -> FedResult<SelectStmt> {
+    let arg_expr = |source: &ArgSource| -> FedResult<Expr> {
+        Ok(match source {
+            ArgSource::Param(p) => param_expr(p),
+            ArgSource::Output { call, column } => Expr::Column(fedwf_types::QualifiedName {
+                qualifier: Some(call.clone()),
+                name: column.clone(),
+            }),
+            ArgSource::Constant(v) => Expr::Literal(v.clone()),
+            ArgSource::Counter => {
+                return Err(FedError::unsupported(
+                    "loop counters cannot appear in a single SQL statement",
+                ))
+            }
+        })
+    };
+
+    // FROM items in dependency order — the left-to-right rule encodes the
+    // precedence structure.
+    let mut from = Vec::with_capacity(spec.calls.len());
+    for call in spec.topo_calls()? {
+        let args: Vec<Expr> = call.args.iter().map(&arg_expr).collect::<FedResult<_>>()?;
+        from.push(FromItem::TableFunction {
+            name: Ident::new(call.function.clone()),
+            args,
+            alias: call.id.clone(),
+        });
+    }
+
+    let (projection, selection) = match &spec.output {
+        FedOutput::FromCall(id) => {
+            let schema = call_schema(controller, spec, id)?;
+            let projection = schema
+                .columns()
+                .iter()
+                .map(|c| SelectItem::Expr {
+                    expr: Expr::Column(fedwf_types::QualifiedName {
+                        qualifier: Some(id.clone()),
+                        name: c.name.clone(),
+                    }),
+                    alias: None,
+                })
+                .collect();
+            (projection, None)
+        }
+        FedOutput::Row(fields) => {
+            let mut projection = Vec::with_capacity(fields.len());
+            for f in fields {
+                let raw = arg_expr(&f.source)?;
+                let src_type = source_type(controller, spec, &f.source)?;
+                // Explicit cast function where the declared type differs —
+                // the paper's `BIGINT(GN.Number)`.
+                let expr = if src_type != f.data_type {
+                    Expr::Function {
+                        name: Ident::new(f.data_type.sql_name()),
+                        args: vec![raw],
+                    }
+                } else {
+                    raw
+                };
+                projection.push(SelectItem::Expr {
+                    expr,
+                    alias: Some(f.name.clone()),
+                });
+            }
+            (projection, None)
+        }
+        FedOutput::Join {
+            left,
+            right,
+            left_on,
+            right_on,
+            project,
+        } => {
+            let projection = project
+                .iter()
+                .map(|(from_left, src, out)| SelectItem::Expr {
+                    expr: Expr::Column(fedwf_types::QualifiedName {
+                        qualifier: Some(if *from_left {
+                            left.clone()
+                        } else {
+                            right.clone()
+                        }),
+                        name: src.clone(),
+                    }),
+                    alias: Some(out.clone()),
+                })
+                .collect();
+            // The join-with-selection WHERE clause.
+            let selection = Expr::eq(
+                Expr::Column(fedwf_types::QualifiedName {
+                    qualifier: Some(left.clone()),
+                    name: left_on.clone(),
+                }),
+                Expr::Column(fedwf_types::QualifiedName {
+                    qualifier: Some(right.clone()),
+                    name: right_on.clone(),
+                }),
+            );
+            (projection, Some(selection))
+        }
+    };
+
+    Ok(SelectStmt {
+        distinct: false,
+        projection,
+        from,
+        selection,
+        group_by: vec![],
+        order_by: vec![],
+        limit: None,
+    })
+}
+
+impl Architecture for SqlUdtfArchitecture {
+    fn kind(&self) -> ArchitectureKind {
+        ArchitectureKind::SqlUdtf
+    }
+
+    fn mechanism(&self, case: ComplexityCase) -> Option<&'static str> {
+        match case {
+            ComplexityCase::Trivial => Some("hidden behind the federated function's signature"),
+            ComplexityCase::Simple => Some("cast functions, supply of constant parameters"),
+            ComplexityCase::Independent => Some("join with selection"),
+            ComplexityCase::DependentLinear
+            | ComplexityCase::Dependent1N
+            | ComplexityCase::DependentN1 => {
+                Some("join with selection; execution order defined by input parameters")
+            }
+            ComplexityCase::Cyclic => None,
+            ComplexityCase::General => {
+                Some("one (complex) SQL statement, as long as no loop is required")
+            }
+        }
+    }
+
+    fn supports(&self, spec: &MappingSpec) -> bool {
+        spec.cyclic.is_none()
+    }
+
+    fn deploy(&self, spec: &MappingSpec) -> FedResult<DeployedFunction> {
+        spec.validate()?;
+        let create = self.generate_create_function(spec)?;
+        ensure_access_udtfs(&self.fdbs, &self.controller, spec)?;
+        let sql = Statement::CreateFunction(create).to_string();
+        let mut meter = Meter::new();
+        self.fdbs.execute(&sql, &mut meter)?;
+        let returns = spec_output_schema(&self.controller, spec)?;
+        Ok(make_deployed(
+            self.fdbs.clone(),
+            spec,
+            returns,
+            ArchitectureKind::SqlUdtf,
+            call_sql_for(&spec.name, spec.params.len()),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{CyclicSpec, LocalCall, OutputField};
+    use crate::paper_functions;
+    use fedwf_appsys::{build_scenario, DataGenConfig};
+    use fedwf_sim::CostModel;
+    use fedwf_types::{DataType, Value};
+
+    fn arch() -> SqlUdtfArchitecture {
+        let scenario = build_scenario(DataGenConfig::tiny()).unwrap();
+        let controller = Controller::new(scenario.registry, CostModel::zero());
+        SqlUdtfArchitecture::new(Arc::new(Fdbs::new(CostModel::zero())), controller)
+    }
+
+    #[test]
+    fn generates_the_papers_buysuppcomp_ddl() {
+        let a = arch();
+        let spec = paper_functions::buy_supp_comp();
+        let create = a.generate_create_function(&spec).unwrap();
+        let sql = Statement::CreateFunction(create).to_string();
+        assert!(sql.contains("CREATE FUNCTION BuySuppComp"));
+        assert!(sql.contains("TABLE (GetQuality(BuySuppComp.SupplierNo)) AS GQ"));
+        assert!(sql.contains("TABLE (GetGrade(GQ.Qual, GR.Relia)) AS GG"));
+        assert!(sql.contains("TABLE (DecidePurchase(GG.Grade, GCN.No)) AS DP"));
+    }
+
+    #[test]
+    fn simple_case_emits_cast_function_and_constant() {
+        let a = arch();
+        let spec = paper_functions::get_number_supp_1234();
+        let create = a.generate_create_function(&spec).unwrap();
+        let sql = Statement::CreateFunction(create).to_string();
+        assert!(sql.contains("BIGINT(GN.Number)"), "{sql}");
+        assert!(sql.contains("GetNumber(1234, GetNumberSupp1234.CompNo)"), "{sql}");
+    }
+
+    #[test]
+    fn independent_case_emits_join_with_selection() {
+        let a = arch();
+        let spec = paper_functions::get_sub_comp_discounts();
+        let create = a.generate_create_function(&spec).unwrap();
+        let sql = Statement::CreateFunction(create).to_string();
+        assert!(sql.contains("WHERE GSCD.SubCompNo = GCS4D.CompNo"), "{sql}");
+    }
+
+    #[test]
+    fn cyclic_case_is_unsupported() {
+        let a = arch();
+        let spec = MappingSpec::new("AllCompNames", &[])
+            .call("Count", "GetCompCount", vec![])
+            .cyclic(CyclicSpec {
+                counter_init: 1,
+                body: LocalCall::new("Body", "GetCompName", vec![ArgSource::Counter]),
+                limit: ArgSource::output("Count", "N"),
+                accumulate: true,
+                max_iterations: 10_000,
+            })
+            .output_from_call("Body")
+            .unwrap();
+        assert!(!a.supports(&spec));
+        let err = a.deploy(&spec).unwrap_err();
+        assert!(err.is_unsupported());
+        assert_eq!(a.mechanism(ComplexityCase::Cyclic), None);
+    }
+
+    #[test]
+    fn deploy_and_call_end_to_end() {
+        let a = arch();
+        let spec = paper_functions::get_supp_qual();
+        let deployed = a.deploy(&spec).unwrap();
+        let mut meter = Meter::new();
+        let t = deployed
+            .call(
+                &[Value::str(fedwf_appsys::datagen::WELL_KNOWN_SUPPLIER_NAME)],
+                &mut meter,
+            )
+            .unwrap();
+        assert_eq!(t.value(0, "Qual"), Some(&Value::Int(93)));
+    }
+
+    #[test]
+    fn output_row_without_cast_keeps_plain_reference() {
+        let a = arch();
+        let spec = MappingSpec::new("X", &[("S", DataType::Int)])
+            .call("GQ", "GetQuality", vec![ArgSource::param("S")])
+            .output_row(vec![OutputField::new(
+                "Q",
+                DataType::Int,
+                ArgSource::output("GQ", "Qual"),
+            )])
+            .unwrap();
+        let create = a.generate_create_function(&spec).unwrap();
+        let sql = Statement::CreateFunction(create).to_string();
+        assert!(sql.contains("SELECT GQ.Qual AS Q"), "{sql}");
+        assert!(!sql.contains("INT(GQ.Qual)"), "{sql}");
+    }
+}

@@ -1,0 +1,441 @@
+//! The WfMS architecture: the mapping graph becomes a workflow process.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use fedwf_fdbs::Fdbs;
+use fedwf_types::{cast_value, DataType, FedError, FedResult, Ident};
+use fedwf_wfms::{
+    CondOp, Condition, ContainerSchema, DataBinding, DataSource, LoopNode, ProcessBuilder,
+    ProcessModel,
+};
+use fedwf_wrapper::WfmsWrapper;
+
+use crate::arch::{
+    call_sql_for, find_call, make_deployed, source_type, spec_output_schema, Architecture,
+    ArchitectureKind, DeployedFunction,
+};
+use crate::classify::ComplexityCase;
+use crate::mapping::{ArgSource, FedOutput, MappingSpec};
+
+/// Compiles a [`MappingSpec`] into a workflow process (program activities
+/// per local call, helper activities for conversions/constants/composition,
+/// a do-until sub-workflow for the cyclic case), deploys it on the wrapped
+/// WfMS and registers the connecting UDTF with the FDBS.
+pub struct WfmsArchitecture {
+    fdbs: Arc<Fdbs>,
+    wrapper: Arc<WfmsWrapper>,
+}
+
+impl WfmsArchitecture {
+    pub fn new(fdbs: Arc<Fdbs>, wrapper: Arc<WfmsWrapper>) -> WfmsArchitecture {
+        WfmsArchitecture { fdbs, wrapper }
+    }
+
+    /// Compile a spec into the workflow process model — public so examples
+    /// can show the generated process structure.
+    pub fn compile_process(&self, spec: &MappingSpec) -> FedResult<ProcessModel> {
+        spec.validate()?;
+        let registry = self.wrapper.controller().registry();
+        let params_spec: Vec<(&str, DataType)> = spec
+            .params
+            .iter()
+            .map(|(n, t)| (n.as_str(), *t))
+            .collect();
+        let mut b = ProcessBuilder::new(spec.name.as_str().to_string()).input(&params_spec);
+        let mut connectors: HashSet<(String, String)> = HashSet::new();
+        let mut connect = |b: ProcessBuilder, from: &str, to: &str| -> ProcessBuilder {
+            if connectors.insert((from.to_string(), to.to_string())) {
+                b.connector(from, to)
+            } else {
+                b
+            }
+        };
+
+        // Program activities, in dependency order.
+        for call in spec.topo_calls()? {
+            let signature = registry.signature(&call.function)?;
+            if call.args.len() != signature.params.len() {
+                return Err(FedError::plan(format!(
+                    "mapping {}: call {} supplies {} args, {} expects {}",
+                    spec.name,
+                    call.id,
+                    call.args.len(),
+                    call.function,
+                    signature.params.len()
+                )));
+            }
+            let mut inputs = Vec::with_capacity(call.args.len());
+            for (i, (arg, (pname, ptype))) in
+                call.args.iter().zip(&signature.params).enumerate()
+            {
+                let src_type = source_type(self.wrapper.controller(), spec, arg)?;
+                let call_name = call.id.as_str().to_string();
+                match arg {
+                    ArgSource::Constant(v) => {
+                        // Constants are supplied by helper activities, as
+                        // the paper's simple case describes.
+                        let value = cast_value(v, *ptype)?;
+                        let helper = format!("Const_{call_name}_{i}");
+                        b = b.constant(&helper, value);
+                        b = connect(b, &helper, &call_name);
+                        inputs.push(DataBinding::new(
+                            pname.as_str(),
+                            DataSource::output(&helper, "value"),
+                        ));
+                    }
+                    ArgSource::Counter => {
+                        return Err(FedError::plan(format!(
+                            "mapping {}: Counter outside the loop body",
+                            spec.name
+                        )))
+                    }
+                    _ => {
+                        let raw = arg_to_data_source(arg)?;
+                        if src_type != *ptype {
+                            // Type conversions are helper activities too.
+                            let helper = format!("Cast_{call_name}_{i}");
+                            b = b.cast(&helper, raw, *ptype);
+                            if let ArgSource::Output { call: dep, .. } = arg {
+                                b = connect(b, dep.as_str(), &helper);
+                            }
+                            b = connect(b, &helper, &call_name);
+                            inputs.push(DataBinding::new(
+                                pname.as_str(),
+                                DataSource::output(&helper, "value"),
+                            ));
+                        } else {
+                            if let ArgSource::Output { call: dep, .. } = arg {
+                                b = connect(b, dep.as_str(), &call_name);
+                            }
+                            inputs.push(DataBinding::new(pname.as_str(), raw));
+                        }
+                    }
+                }
+            }
+            let output_spec: Vec<(&str, DataType)> = signature
+                .returns
+                .columns()
+                .iter()
+                .map(|c| (c.name.as_str(), c.data_type))
+                .collect();
+            b = b.program(call.id.as_str(), &call.function, inputs, &output_spec);
+            if call.max_attempts > 1 {
+                b = b.with_retry(call.max_attempts);
+            }
+            // Explicit ordering constraints become plain control connectors.
+            for dep in &call.after {
+                let dep = dep.as_str().to_string();
+                let to = call.id.as_str().to_string();
+                b = connect(b, &dep, &to);
+            }
+        }
+
+        // The cyclic part: a do-until loop over a sub-workflow.
+        let loop_name = format!("{}_loop", spec.name);
+        if let Some(cy) = &spec.cyclic {
+            let signature = registry.signature(&cy.body.function)?;
+            // Loop variables: counter, limit, and every federated parameter
+            // the body references.
+            let mut var_spec: Vec<(String, DataType)> =
+                vec![("i".to_string(), DataType::Int), ("limit".to_string(), DataType::Int)];
+            for arg in &cy.body.args {
+                if let ArgSource::Param(p) = arg {
+                    let t = source_type(self.wrapper.controller(), spec, arg)?;
+                    if !var_spec.iter().any(|(n, _)| Ident::new(n.clone()) == *p) {
+                        var_spec.push((p.as_str().to_string(), t));
+                    }
+                }
+            }
+            let vars_fields: Vec<(&str, DataType)> =
+                var_spec.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+            let vars = ContainerSchema::new(&vars_fields);
+
+            // The body: one program activity over the loop variables.
+            let mut body_inputs = Vec::with_capacity(cy.body.args.len());
+            for (arg, (pname, _)) in cy.body.args.iter().zip(&signature.params) {
+                let source = match arg {
+                    ArgSource::Counter => DataSource::input("i"),
+                    ArgSource::Param(p) => DataSource::input(p.as_str()),
+                    ArgSource::Constant(v) => DataSource::Constant(v.clone()),
+                    ArgSource::Output { .. } => {
+                        return Err(FedError::unsupported(format!(
+                            "mapping {}: a loop body argument cannot read another call's output directly — route it through a loop variable",
+                            spec.name
+                        )))
+                    }
+                };
+                body_inputs.push(DataBinding::new(pname.as_str(), source));
+            }
+            let body_output: Vec<(&str, DataType)> = signature
+                .returns
+                .columns()
+                .iter()
+                .map(|c| (c.name.as_str(), c.data_type))
+                .collect();
+            let body = ProcessBuilder::new(format!("{}_body", spec.name))
+                .input(&vars_fields)
+                .program(
+                    cy.body.id.as_str(),
+                    &cy.body.function,
+                    body_inputs,
+                    &body_output,
+                )
+                .output_table(cy.body.id.as_str())
+                .build()?;
+
+            let mut init = vec![DataBinding::new("i", DataSource::constant(cy.counter_init))];
+            init.push(DataBinding::new("limit", arg_to_data_source(&cy.limit)?));
+            for (name, _) in var_spec.iter().skip(2) {
+                init.push(DataBinding::new(name, DataSource::input(name)));
+            }
+
+            b = b.loop_node(LoopNode {
+                name: Ident::new(loop_name.clone()),
+                vars,
+                init,
+                body,
+                update: vec![],
+                counter: Some((Ident::new("i"), 1)),
+                until: Condition::cmp_fields("i", CondOp::Gt, "limit"),
+                accumulate: cy.accumulate,
+                max_iterations: cy.max_iterations,
+            });
+            // The loop starts after any call whose output feeds its limit.
+            if let ArgSource::Output { call, .. } = &cy.limit {
+                let call = call.as_str().to_string();
+                b = connect(b, &call, &loop_name);
+            }
+        }
+
+        // Output assembly.
+        match &spec.output {
+            FedOutput::FromCall(id) => {
+                let node = if spec
+                    .cyclic
+                    .as_ref()
+                    .map(|cy| &cy.body.id == id)
+                    .unwrap_or(false)
+                {
+                    loop_name.clone()
+                } else {
+                    find_call(spec, id)?.id.as_str().to_string()
+                };
+                b = b.output_table(&node);
+            }
+            FedOutput::Row(fields) => {
+                let mut out_fields: Vec<(String, DataType, DataSource)> = Vec::new();
+                for (i, f) in fields.iter().enumerate() {
+                    let src_type = source_type(self.wrapper.controller(), spec, &f.source)?;
+                    let raw = arg_to_data_source(&f.source)?;
+                    let source = if src_type != f.data_type {
+                        // Result conversions are helper activities — the
+                        // simple case's INT -> BIGINT.
+                        let helper = format!("CastOut_{i}");
+                        b = b.cast(&helper, raw, f.data_type);
+                        if let ArgSource::Output { call: dep, .. } = &f.source {
+                            b = connect(b, dep.as_str(), &helper);
+                        }
+                        DataSource::output(&helper, "value")
+                    } else {
+                        raw
+                    };
+                    out_fields.push((f.name.as_str().to_string(), f.data_type, source));
+                }
+                let refs: Vec<(&str, DataType, DataSource)> = out_fields
+                    .iter()
+                    .map(|(n, t, s)| (n.as_str(), *t, s.clone()))
+                    .collect();
+                b = b.output_row(&refs);
+            }
+            FedOutput::Join {
+                left,
+                right,
+                left_on,
+                right_on,
+                project,
+            } => {
+                // The independent case: parallel activities whose results a
+                // helper activity composes.
+                let projection: Vec<(bool, String, String)> = project
+                    .iter()
+                    .map(|(l, s, o)| (*l, s.as_str().to_string(), o.as_str().to_string()))
+                    .collect();
+                let proj_refs: Vec<(bool, &str, &str)> = projection
+                    .iter()
+                    .map(|(l, s, o)| (*l, s.as_str(), o.as_str()))
+                    .collect();
+                b = b.join(
+                    "Compose",
+                    left.as_str(),
+                    right.as_str(),
+                    left_on.as_str(),
+                    right_on.as_str(),
+                    &proj_refs,
+                );
+                b = connect(b, left.as_str(), "Compose");
+                b = connect(b, right.as_str(), "Compose");
+                b = b.output_table("Compose");
+            }
+        }
+
+        b.build()
+    }
+}
+
+fn arg_to_data_source(arg: &ArgSource) -> FedResult<DataSource> {
+    Ok(match arg {
+        ArgSource::Param(p) => DataSource::input(p.as_str()),
+        ArgSource::Output { call, column } => {
+            DataSource::output(call.as_str(), column.as_str())
+        }
+        ArgSource::Constant(v) => DataSource::Constant(v.clone()),
+        ArgSource::Counter => DataSource::input("i"),
+    })
+}
+
+impl Architecture for WfmsArchitecture {
+    fn kind(&self) -> ArchitectureKind {
+        ArchitectureKind::Wfms
+    }
+
+    fn mechanism(&self, case: ComplexityCase) -> Option<&'static str> {
+        match case {
+            ComplexityCase::Trivial => Some("hidden behind the federated function's signature"),
+            ComplexityCase::Simple => Some("helper functions"),
+            ComplexityCase::Independent => Some("parallel execution of activities"),
+            ComplexityCase::DependentLinear => Some("sequential execution of activities"),
+            ComplexityCase::Dependent1N | ComplexityCase::DependentN1 => {
+                Some("parallel and sequential execution of activities")
+            }
+            ComplexityCase::Cyclic => Some("loop construct with sub-workflow"),
+            ComplexityCase::General => {
+                Some("arbitrary combination of control-flow constructs")
+            }
+        }
+    }
+
+    fn supports(&self, _spec: &MappingSpec) -> bool {
+        true
+    }
+
+    fn deploy(&self, spec: &MappingSpec) -> FedResult<DeployedFunction> {
+        let process = self.compile_process(spec)?;
+        self.wrapper.deploy_process(process)?;
+        self.fdbs
+            .register_udtf(self.wrapper.connecting_udtf(spec.name.as_str())?)?;
+        let returns = spec_output_schema(self.wrapper.controller(), spec)?;
+        Ok(make_deployed(
+            self.fdbs.clone(),
+            spec,
+            returns,
+            ArchitectureKind::Wfms,
+            call_sql_for(&spec.name, spec.params.len()),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_functions;
+    use fedwf_appsys::{build_scenario, DataGenConfig};
+    use fedwf_sim::{CostModel, Meter};
+    use fedwf_types::Value;
+    use fedwf_wrapper::Controller;
+
+    fn arch() -> WfmsArchitecture {
+        let scenario = build_scenario(DataGenConfig::tiny()).unwrap();
+        let controller = Controller::new(scenario.registry, CostModel::zero());
+        let wrapper = Arc::new(WfmsWrapper::new(controller));
+        WfmsArchitecture::new(Arc::new(Fdbs::new(CostModel::zero())), wrapper)
+    }
+
+    #[test]
+    fn compiles_buysuppcomp_to_five_program_activities() {
+        let a = arch();
+        let process = a.compile_process(&paper_functions::buy_supp_comp()).unwrap();
+        assert_eq!(process.program_activity_count(), 5);
+        // GG waits for GQ and GR; DP waits for GG and GCN.
+        let preds: Vec<String> = process
+            .predecessors(&Ident::new("DP"))
+            .iter()
+            .map(|p| p.to_string())
+            .collect();
+        assert!(preds.contains(&"GG".to_string()));
+        assert!(preds.contains(&"GCN".to_string()));
+    }
+
+    #[test]
+    fn deploy_and_call_buysuppcomp() {
+        let a = arch();
+        let deployed = a.deploy(&paper_functions::buy_supp_comp()).unwrap();
+        let mut meter = Meter::new();
+        let t = deployed
+            .call(
+                &[
+                    Value::Int(fedwf_appsys::datagen::WELL_KNOWN_SUPPLIER_NO),
+                    Value::str(fedwf_appsys::datagen::WELL_KNOWN_COMPONENT_NAME),
+                ],
+                &mut meter,
+            )
+            .unwrap();
+        assert_eq!(t.value(0, "Decision"), Some(&Value::str("YES")));
+    }
+
+    #[test]
+    fn simple_case_gets_helper_activities() {
+        let a = arch();
+        let process = a
+            .compile_process(&paper_functions::get_number_supp_1234())
+            .unwrap();
+        // One program activity + a Const helper + a CastOut helper.
+        assert_eq!(process.program_activity_count(), 1);
+        assert_eq!(process.nodes.len(), 3);
+        assert!(process.nodes.iter().any(|n| n.name().as_str().starts_with("Const_")));
+        assert!(process.nodes.iter().any(|n| n.name().as_str().starts_with("CastOut_")));
+    }
+
+    #[test]
+    fn independent_case_composes_with_join_helper() {
+        let a = arch();
+        let process = a
+            .compile_process(&paper_functions::get_sub_comp_discounts())
+            .unwrap();
+        assert!(process.node(&Ident::new("Compose")).is_some());
+        // The two program activities are unordered (parallel).
+        assert!(process.predecessors(&Ident::new("GSCD")).is_empty());
+        assert!(process.predecessors(&Ident::new("GCS4D")).is_empty());
+    }
+
+    #[test]
+    fn cyclic_case_deploys_and_runs() {
+        let a = arch();
+        let deployed = a.deploy(&paper_functions::all_comp_names()).unwrap();
+        let mut meter = Meter::new();
+        let t = deployed.call(&[Value::Int(5)], &mut meter).unwrap();
+        assert_eq!(t.row_count(), 5);
+        assert_eq!(
+            t.value(0, "Name"),
+            Some(&Value::str(fedwf_appsys::datagen::WELL_KNOWN_COMPONENT_NAME))
+        );
+    }
+
+    #[test]
+    fn general_case_with_feeder_call_runs() {
+        let a = arch();
+        let deployed = a.deploy(&paper_functions::all_comp_names_auto()).unwrap();
+        let mut meter = Meter::new();
+        let t = deployed.call(&[], &mut meter).unwrap();
+        assert_eq!(t.row_count(), 20, "tiny scenario has 20 components");
+    }
+
+    #[test]
+    fn wfms_supports_everything() {
+        let a = arch();
+        for (spec, case) in paper_functions::fig5_workload() {
+            assert!(a.supports(&spec));
+            assert!(a.mechanism(case).is_some());
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Section 3's heterogeneity taxonomy, derived structurally from a spec.
+
+use std::collections::HashMap;
+
+use fedwf_types::Ident;
+
+use crate::mapping::{ArgSource, FedOutput, MappingSpec};
+
+/// The mapping-complexity cases of Section 3, in increasing complexity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ComplexityCase {
+    /// One call, identical signature — only names differ.
+    Trivial,
+    /// One call with signature adaptation (casts, constants, reordering).
+    Simple,
+    /// Several mutually independent calls, composable in parallel.
+    Independent,
+    /// A chain of calls, each feeding the next.
+    DependentLinear,
+    /// One call depends on n > 1 others.
+    Dependent1N,
+    /// n > 1 calls depend on one call.
+    DependentN1,
+    /// A call must be iterated — requires a loop construct.
+    Cyclic,
+    /// Several dependency forms occur together.
+    General,
+}
+
+impl ComplexityCase {
+    pub fn name(&self) -> &'static str {
+        match self {
+            ComplexityCase::Trivial => "trivial",
+            ComplexityCase::Simple => "simple",
+            ComplexityCase::Independent => "independent",
+            ComplexityCase::DependentLinear => "dependent: linear",
+            ComplexityCase::Dependent1N => "dependent: (1:n)",
+            ComplexityCase::DependentN1 => "dependent: (n:1)",
+            ComplexityCase::Cyclic => "dependent: cyclic",
+            ComplexityCase::General => "general",
+        }
+    }
+
+    pub const ALL: [ComplexityCase; 8] = [
+        ComplexityCase::Trivial,
+        ComplexityCase::Simple,
+        ComplexityCase::Independent,
+        ComplexityCase::DependentLinear,
+        ComplexityCase::Dependent1N,
+        ComplexityCase::DependentN1,
+        ComplexityCase::Cyclic,
+        ComplexityCase::General,
+    ];
+}
+
+impl std::fmt::Display for ComplexityCase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Classify a mapping spec into its Section 3 case.
+///
+/// The classification is structural:
+/// * a loop ⇒ **cyclic** (with other dependency structure ⇒ **general**);
+/// * one call with pass-through parameters and a pass-through output ⇒
+///   **trivial**; one call otherwise ⇒ **simple** (casts, constants,
+///   reordering);
+/// * several calls without inter-call edges ⇒ **independent**;
+/// * edges forming a simple chain ⇒ **linear**; fan-in only ⇒ **(1:n)**;
+///   fan-out only ⇒ **(n:1)**; several of these shapes together ⇒
+///   **general**.
+pub fn classify(spec: &MappingSpec) -> ComplexityCase {
+    // Dependency edges among the acyclic calls.
+    let mut in_deg: HashMap<&Ident, usize> = HashMap::new();
+    let mut out_deg: HashMap<&Ident, usize> = HashMap::new();
+    let mut edges = 0usize;
+    for call in &spec.calls {
+        in_deg.entry(&call.id).or_insert(0);
+        out_deg.entry(&call.id).or_insert(0);
+    }
+    for call in &spec.calls {
+        let mut deps = call.depends_on();
+        deps.sort();
+        deps.dedup();
+        for dep in deps {
+            *in_deg.get_mut(&call.id).expect("known call") += 1;
+            *out_deg.entry(dep).or_insert(0) += 1;
+            edges += 1;
+        }
+    }
+    let max_in = in_deg.values().copied().max().unwrap_or(0);
+    let max_out = out_deg.values().copied().max().unwrap_or(0);
+
+    if spec.cyclic.is_some() {
+        // A loop plus any acyclic structure is already "general"; a
+        // standalone loop is the pure cyclic case.
+        return if edges > 0 || !spec.calls.is_empty() {
+            ComplexityCase::General
+        } else {
+            ComplexityCase::Cyclic
+        };
+    }
+
+    match spec.calls.len() {
+        0 => ComplexityCase::Trivial, // degenerate; nothing to adapt
+        1 => {
+            if is_pass_through(spec) {
+                ComplexityCase::Trivial
+            } else {
+                ComplexityCase::Simple
+            }
+        }
+        _ => {
+            if edges == 0 {
+                return ComplexityCase::Independent;
+            }
+            match (max_in, max_out) {
+                (1, 1) if edges == spec.calls.len() - 1 => ComplexityCase::DependentLinear,
+                (i, 1) if i > 1 => ComplexityCase::Dependent1N,
+                (1, o) if o > 1 => ComplexityCase::DependentN1,
+                _ => ComplexityCase::General,
+            }
+        }
+    }
+}
+
+/// A single call is *trivial* when every argument is a distinct federated
+/// parameter in declaration order and the output is the call's whole table.
+fn is_pass_through(spec: &MappingSpec) -> bool {
+    let call = &spec.calls[0];
+    if call.args.len() != spec.params.len() {
+        return false;
+    }
+    for (arg, (pname, _)) in call.args.iter().zip(&spec.params) {
+        match arg {
+            ArgSource::Param(p) if p == pname => {}
+            _ => return false,
+        }
+    }
+    matches!(&spec.output, FedOutput::FromCall(id) if id == &call.id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{ArgSource, CyclicSpec, LocalCall, MappingSpec, OutputField};
+    use fedwf_types::DataType;
+
+    #[test]
+    fn trivial_pass_through() {
+        let spec = MappingSpec::new("GibKompNr", &[("KompName", DataType::Varchar)])
+            .call("GetCompNo", "GetCompNo", vec![ArgSource::param("KompName")])
+            .output_from_call("GetCompNo")
+            .unwrap();
+        assert_eq!(classify(&spec), ComplexityCase::Trivial);
+    }
+
+    #[test]
+    fn constants_or_casts_make_it_simple() {
+        let spec = MappingSpec::new("GetNumberSupp1234", &[("CompNo", DataType::Int)])
+            .call(
+                "GetNumber",
+                "GetNumber",
+                vec![ArgSource::constant(1234), ArgSource::param("CompNo")],
+            )
+            .output_row(vec![OutputField::new(
+                "Number",
+                DataType::BigInt,
+                ArgSource::output("GetNumber", "Number"),
+            )])
+            .unwrap();
+        assert_eq!(classify(&spec), ComplexityCase::Simple);
+    }
+
+    #[test]
+    fn independent_calls() {
+        let spec = MappingSpec::new("X", &[("S", DataType::Int)])
+            .call("A", "GetQuality", vec![ArgSource::param("S")])
+            .call("B", "GetReliability", vec![ArgSource::param("S")])
+            .output_row(vec![
+                OutputField::new("Q", DataType::Int, ArgSource::output("A", "Qual")),
+                OutputField::new("R", DataType::Int, ArgSource::output("B", "Relia")),
+            ])
+            .unwrap();
+        assert_eq!(classify(&spec), ComplexityCase::Independent);
+    }
+
+    #[test]
+    fn linear_chain() {
+        let spec = MappingSpec::new("X", &[("N", DataType::Varchar)])
+            .call("A", "GetSupplierNo", vec![ArgSource::param("N")])
+            .call("B", "GetQuality", vec![ArgSource::output("A", "SupplierNo")])
+            .output_from_call("B")
+            .unwrap();
+        assert_eq!(classify(&spec), ComplexityCase::DependentLinear);
+    }
+
+    #[test]
+    fn fan_in_is_1n() {
+        let spec = MappingSpec::new("X", &[("S", DataType::Int)])
+            .call("A", "GetQuality", vec![ArgSource::param("S")])
+            .call("B", "GetReliability", vec![ArgSource::param("S")])
+            .call(
+                "C",
+                "GetGrade",
+                vec![
+                    ArgSource::output("A", "Qual"),
+                    ArgSource::output("B", "Relia"),
+                ],
+            )
+            .output_from_call("C")
+            .unwrap();
+        assert_eq!(classify(&spec), ComplexityCase::Dependent1N);
+    }
+
+    #[test]
+    fn fan_out_is_n1() {
+        let spec = MappingSpec::new("X", &[("N", DataType::Varchar)])
+            .call("A", "GetSupplierNo", vec![ArgSource::param("N")])
+            .call("B", "GetQuality", vec![ArgSource::output("A", "SupplierNo")])
+            .call(
+                "C",
+                "GetReliability",
+                vec![ArgSource::output("A", "SupplierNo")],
+            )
+            .output_row(vec![
+                OutputField::new("Q", DataType::Int, ArgSource::output("B", "Qual")),
+                OutputField::new("R", DataType::Int, ArgSource::output("C", "Relia")),
+            ])
+            .unwrap();
+        assert_eq!(classify(&spec), ComplexityCase::DependentN1);
+    }
+
+    #[test]
+    fn pure_loop_is_cyclic() {
+        let spec = MappingSpec::new("AllCompNames", &[("N", DataType::Int)])
+            .cyclic(CyclicSpec {
+                counter_init: 1,
+                body: LocalCall::new("GetCompName", "GetCompName", vec![ArgSource::Counter]),
+                limit: ArgSource::param("N"),
+                accumulate: true,
+                max_iterations: 100_000,
+            })
+            .output_from_call("GetCompName")
+            .unwrap();
+        assert_eq!(classify(&spec), ComplexityCase::Cyclic);
+    }
+
+    #[test]
+    fn loop_plus_structure_is_general() {
+        let spec = MappingSpec::new("AllCompNames", &[])
+            .call("Count", "GetCompCount", vec![])
+            .cyclic(CyclicSpec {
+                counter_init: 1,
+                body: LocalCall::new("GetCompName", "GetCompName", vec![ArgSource::Counter]),
+                limit: ArgSource::output("Count", "N"),
+                accumulate: true,
+                max_iterations: 100_000,
+            })
+            .output_from_call("GetCompName")
+            .unwrap();
+        assert_eq!(classify(&spec), ComplexityCase::General);
+    }
+
+    #[test]
+    fn mixed_fan_in_and_out_is_general() {
+        // BuySuppComp: A -> C, B -> C (fan-in) and the two independent
+        // heads also make D... model the actual 5-call graph.
+        let spec = MappingSpec::new(
+            "BuySuppComp",
+            &[("SupplierNo", DataType::Int), ("CompName", DataType::Varchar)],
+        )
+        .call("GQ", "GetQuality", vec![ArgSource::param("SupplierNo")])
+        .call("GR", "GetReliability", vec![ArgSource::param("SupplierNo")])
+        .call(
+            "GG",
+            "GetGrade",
+            vec![ArgSource::output("GQ", "Qual"), ArgSource::output("GR", "Relia")],
+        )
+        .call("GCN", "GetCompNo", vec![ArgSource::param("CompName")])
+        .call(
+            "DP",
+            "DecidePurchase",
+            vec![ArgSource::output("GG", "Grade"), ArgSource::output("GCN", "No")],
+        )
+        .output_from_call("DP")
+        .unwrap();
+        // Two separate fan-ins (GG and DP) — more than one dependency form.
+        assert_eq!(classify(&spec), ComplexityCase::Dependent1N);
+    }
+
+    #[test]
+    fn case_ordering_matches_paper() {
+        assert!(ComplexityCase::Trivial < ComplexityCase::Simple);
+        assert!(ComplexityCase::Simple < ComplexityCase::Independent);
+        assert!(ComplexityCase::DependentLinear < ComplexityCase::Cyclic);
+        assert!(ComplexityCase::Cyclic < ComplexityCase::General);
+    }
+}

@@ -1,0 +1,549 @@
+//! The declarative mapping from a federated function to local functions.
+//!
+//! A [`MappingSpec`] is the architecture-independent description of a
+//! federated function: the *precedence graph* of Fig. 1. Every
+//! architecture in [`crate::arch`] compiles the same spec — into a
+//! workflow process, a SQL I-UDTF, or a native program — which is what
+//! makes the paper's capability and performance comparisons apples to
+//! apples.
+
+use fedwf_types::{DataType, FedError, FedResult, Ident, Value};
+
+/// Where a local-function argument (or an output field) takes its value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgSource {
+    /// A parameter of the federated function.
+    Param(Ident),
+    /// An output column of another local call.
+    Output { call: Ident, column: Ident },
+    /// A constant supplied by the mapping (the simple case).
+    Constant(Value),
+    /// The loop counter (only inside a cyclic spec's body).
+    Counter,
+}
+
+impl ArgSource {
+    pub fn param(name: &str) -> ArgSource {
+        ArgSource::Param(Ident::new(name))
+    }
+
+    pub fn output(call: &str, column: &str) -> ArgSource {
+        ArgSource::Output {
+            call: Ident::new(call),
+            column: Ident::new(column),
+        }
+    }
+
+    pub fn constant(v: impl Into<Value>) -> ArgSource {
+        ArgSource::Constant(v.into())
+    }
+}
+
+/// One local function call in the mapping graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalCall {
+    /// Node id, unique within the spec (doubles as the SQL correlation
+    /// name and the workflow activity name).
+    pub id: Ident,
+    /// The predefined local function to invoke.
+    pub function: String,
+    /// Arguments, positionally matching the local function's parameters.
+    pub args: Vec<ArgSource>,
+    /// Explicit control-flow predecessors beyond the data dependencies —
+    /// production workflow systems allow control connectors without data
+    /// connectors, and the UDTF architectures execute FROM items
+    /// left-to-right anyway, so ordering hints cost them nothing.
+    pub after: Vec<Ident>,
+    /// Total attempts the integration layer should make for this call
+    /// (1 = no retry). Only the WfMS architecture can honour this — its
+    /// per-activity error handling is one of the paper's arguments for the
+    /// workflow engine; the UDTF architectures fail on the first error.
+    pub max_attempts: u32,
+}
+
+impl LocalCall {
+    pub fn new(id: &str, function: &str, args: Vec<ArgSource>) -> LocalCall {
+        LocalCall {
+            id: Ident::new(id),
+            function: function.to_string(),
+            args,
+            after: vec![],
+            max_attempts: 1,
+        }
+    }
+
+    /// Add explicit control predecessors.
+    pub fn after(mut self, ids: &[&str]) -> LocalCall {
+        self.after.extend(ids.iter().map(|s| Ident::new(*s)));
+        self
+    }
+
+    /// Request up to `attempts` tries (1 = no retry).
+    pub fn with_retry(mut self, attempts: u32) -> LocalCall {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Ids of calls this call *data*-depends on (argument flow).
+    pub fn depends_on(&self) -> Vec<&Ident> {
+        self.args
+            .iter()
+            .filter_map(|a| match a {
+                ArgSource::Output { call, .. } => Some(call),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All control predecessors: data dependencies plus explicit ordering.
+    pub fn control_deps(&self) -> Vec<&Ident> {
+        let mut deps = self.depends_on();
+        deps.extend(self.after.iter());
+        deps.sort();
+        deps.dedup();
+        deps
+    }
+}
+
+/// One output field of the federated function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputField {
+    pub name: Ident,
+    /// Declared type; when it differs from the source's type, the mapping
+    /// performs an explicit cast (cast function / helper activity).
+    pub data_type: DataType,
+    pub source: ArgSource,
+}
+
+impl OutputField {
+    pub fn new(name: &str, data_type: DataType, source: ArgSource) -> OutputField {
+        OutputField {
+            name: Ident::new(name),
+            data_type,
+            source,
+        }
+    }
+}
+
+/// How the federated function's result table is assembled.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FedOutput {
+    /// The whole result table of one call (possibly multi-row).
+    FromCall(Ident),
+    /// A single row assembled from sources (with casts where declared
+    /// types differ).
+    Row(Vec<OutputField>),
+    /// Compose the result *sets* of two independent calls with a join
+    /// predicate — the independent case's "join with selection".
+    Join {
+        left: Ident,
+        right: Ident,
+        left_on: Ident,
+        right_on: Ident,
+        /// (take from left?, source column, output name)
+        project: Vec<(bool, Ident, Ident)>,
+    },
+}
+
+/// The cyclic-dependency extension: a do-until loop over one local call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CyclicSpec {
+    /// First counter value.
+    pub counter_init: i32,
+    /// The body call, invoked once per iteration; its args may use
+    /// [`ArgSource::Counter`].
+    pub body: LocalCall,
+    /// Loop while `counter <= limit`; the limit comes from this source
+    /// (often the output of a preceding call such as `GetCompCount`).
+    pub limit: ArgSource,
+    /// Accumulate the body's rows into the federated result.
+    pub accumulate: bool,
+    /// Safety bound.
+    pub max_iterations: usize,
+}
+
+/// The complete mapping of one federated function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappingSpec {
+    pub name: Ident,
+    pub params: Vec<(Ident, DataType)>,
+    /// Acyclic local calls (the loop body, if any, lives in `cyclic`).
+    pub calls: Vec<LocalCall>,
+    pub cyclic: Option<CyclicSpec>,
+    pub output: FedOutput,
+}
+
+impl MappingSpec {
+    #[allow(clippy::new_ret_no_self)] // the builder is the intended entry point
+    pub fn new(name: &str, params: &[(&str, DataType)]) -> MappingSpecBuilder {
+        MappingSpecBuilder {
+            name: Ident::new(name),
+            params: params
+                .iter()
+                .map(|(n, t)| (Ident::new(*n), *t))
+                .collect(),
+            calls: vec![],
+            cyclic: None,
+        }
+    }
+
+    pub fn call(&self, id: &Ident) -> Option<&LocalCall> {
+        self.calls.iter().find(|c| &c.id == id)
+    }
+
+    pub fn has_param(&self, name: &Ident) -> bool {
+        self.params.iter().any(|(n, _)| n == name)
+    }
+
+    /// Local calls in dependency (topological) order; errors on cycles in
+    /// the acyclic part — cycles belong in [`CyclicSpec`].
+    pub fn topo_calls(&self) -> FedResult<Vec<&LocalCall>> {
+        let mut order: Vec<&LocalCall> = Vec::with_capacity(self.calls.len());
+        let mut placed: Vec<bool> = vec![false; self.calls.len()];
+        loop {
+            let mut progressed = false;
+            for (i, call) in self.calls.iter().enumerate() {
+                if placed[i] {
+                    continue;
+                }
+                let ready = call.control_deps().iter().all(|dep| {
+                    order.iter().any(|c| &c.id == *dep)
+                });
+                if ready {
+                    placed[i] = true;
+                    order.push(call);
+                    progressed = true;
+                }
+            }
+            if order.len() == self.calls.len() {
+                return Ok(order);
+            }
+            if !progressed {
+                return Err(FedError::plan(format!(
+                    "mapping {} has a dependency cycle among its local calls — model it with a CyclicSpec",
+                    self.name
+                )));
+            }
+        }
+    }
+
+    /// Total number of local function invocations for one federated call,
+    /// assuming `loop_iterations` iterations of the cyclic part.
+    pub fn local_call_count(&self, loop_iterations: usize) -> usize {
+        self.calls.len() + self.cyclic.as_ref().map_or(0, |_| loop_iterations)
+    }
+
+    /// Validate structural integrity: unique ids, resolvable references,
+    /// counters only inside the loop body, loop limits resolvable.
+    pub fn validate(&self) -> FedResult<()> {
+        let err = |m: String| Err(FedError::plan(format!("mapping {}: {m}", self.name)));
+        let mut seen = std::collections::HashSet::new();
+        for c in &self.calls {
+            if !seen.insert(c.id.clone()) {
+                return err(format!("duplicate call id {}", c.id));
+            }
+        }
+        if let Some(cy) = &self.cyclic {
+            if !seen.insert(cy.body.id.clone()) {
+                return err(format!("loop body id {} clashes", cy.body.id));
+            }
+            if cy.max_iterations == 0 {
+                return err("max_iterations must be >= 1".into());
+            }
+        }
+        let check_source = |s: &ArgSource, in_loop_body: bool| -> FedResult<()> {
+            match s {
+                ArgSource::Param(p) => {
+                    if self.has_param(p) {
+                        Ok(())
+                    } else {
+                        Err(FedError::plan(format!(
+                            "mapping {}: unknown federated parameter {p}",
+                            self.name
+                        )))
+                    }
+                }
+                ArgSource::Output { call, .. } => {
+                    if self.call(call).is_some() {
+                        Ok(())
+                    } else {
+                        Err(FedError::plan(format!(
+                            "mapping {}: reference to unknown call {call}",
+                            self.name
+                        )))
+                    }
+                }
+                ArgSource::Constant(_) => Ok(()),
+                ArgSource::Counter => {
+                    if in_loop_body {
+                        Ok(())
+                    } else {
+                        Err(FedError::plan(format!(
+                            "mapping {}: Counter outside the loop body",
+                            self.name
+                        )))
+                    }
+                }
+            }
+        };
+        for c in &self.calls {
+            for a in &c.args {
+                check_source(a, false)?;
+            }
+            for dep in &c.after {
+                if self.call(dep).is_none() {
+                    return err(format!(
+                        "call {} is ordered after unknown call {dep}",
+                        c.id
+                    ));
+                }
+            }
+        }
+        if let Some(cy) = &self.cyclic {
+            for a in &cy.body.args {
+                check_source(a, true)?;
+            }
+            check_source(&cy.limit, false)?;
+        }
+        match &self.output {
+            FedOutput::FromCall(id) => {
+                let in_calls = self.call(id).is_some();
+                let is_loop = self
+                    .cyclic
+                    .as_ref()
+                    .map(|cy| &cy.body.id == id)
+                    .unwrap_or(false);
+                if !in_calls && !is_loop {
+                    return err(format!("output references unknown call {id}"));
+                }
+            }
+            FedOutput::Row(fields) => {
+                let mut names = std::collections::HashSet::new();
+                for f in fields {
+                    if !names.insert(f.name.clone()) {
+                        return err(format!("duplicate output field {}", f.name));
+                    }
+                    check_source(&f.source, false)?;
+                }
+            }
+            FedOutput::Join { left, right, .. } => {
+                for id in [left, right] {
+                    if self.call(id).is_none() {
+                        return err(format!("join output references unknown call {id}"));
+                    }
+                }
+            }
+        }
+        // The acyclic part must actually be acyclic.
+        self.topo_calls()?;
+        Ok(())
+    }
+}
+
+/// Builder for [`MappingSpec`].
+pub struct MappingSpecBuilder {
+    name: Ident,
+    params: Vec<(Ident, DataType)>,
+    calls: Vec<LocalCall>,
+    cyclic: Option<CyclicSpec>,
+}
+
+impl MappingSpecBuilder {
+    pub fn call(mut self, id: &str, function: &str, args: Vec<ArgSource>) -> Self {
+        self.calls.push(LocalCall::new(id, function, args));
+        self
+    }
+
+    /// Add a call with explicit control-flow predecessors beyond its data
+    /// dependencies.
+    pub fn call_after(
+        mut self,
+        id: &str,
+        function: &str,
+        args: Vec<ArgSource>,
+        after: &[&str],
+    ) -> Self {
+        self.calls.push(LocalCall::new(id, function, args).after(after));
+        self
+    }
+
+    /// Set the retry budget of the most recently added call.
+    pub fn retry(mut self, attempts: u32) -> Self {
+        if let Some(last) = self.calls.last_mut() {
+            last.max_attempts = attempts.max(1);
+        }
+        self
+    }
+
+    pub fn cyclic(mut self, spec: CyclicSpec) -> Self {
+        self.cyclic = Some(spec);
+        self
+    }
+
+    pub fn output_from_call(self, id: &str) -> FedResult<MappingSpec> {
+        self.finish(FedOutput::FromCall(Ident::new(id)))
+    }
+
+    pub fn output_row(self, fields: Vec<OutputField>) -> FedResult<MappingSpec> {
+        self.finish(FedOutput::Row(fields))
+    }
+
+    pub fn output_join(
+        self,
+        left: &str,
+        right: &str,
+        left_on: &str,
+        right_on: &str,
+        project: &[(bool, &str, &str)],
+    ) -> FedResult<MappingSpec> {
+        self.finish(FedOutput::Join {
+            left: Ident::new(left),
+            right: Ident::new(right),
+            left_on: Ident::new(left_on),
+            right_on: Ident::new(right_on),
+            project: project
+                .iter()
+                .map(|(l, s, o)| (*l, Ident::new(*s), Ident::new(*o)))
+                .collect(),
+        })
+    }
+
+    fn finish(self, output: FedOutput) -> FedResult<MappingSpec> {
+        let spec = MappingSpec {
+            name: self.name,
+            params: self.params,
+            calls: self.calls,
+            cyclic: self.cyclic,
+            output,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+pub use OutputField as Field;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_spec() -> MappingSpec {
+        MappingSpec::new("GetSuppQual", &[("SupplierName", DataType::Varchar)])
+            .call(
+                "GetSupplierNo",
+                "GetSupplierNo",
+                vec![ArgSource::param("SupplierName")],
+            )
+            .call(
+                "GetQuality",
+                "GetQuality",
+                vec![ArgSource::output("GetSupplierNo", "SupplierNo")],
+            )
+            .output_from_call("GetQuality")
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_produces_valid_spec() {
+        let spec = linear_spec();
+        assert_eq!(spec.calls.len(), 2);
+        assert_eq!(spec.local_call_count(0), 2);
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let spec = linear_spec();
+        let order = spec.topo_calls().unwrap();
+        assert_eq!(order[0].id, Ident::new("GetSupplierNo"));
+        assert_eq!(order[1].id, Ident::new("GetQuality"));
+    }
+
+    #[test]
+    fn unknown_references_rejected() {
+        let r = MappingSpec::new("Bad", &[])
+            .call("A", "F", vec![ArgSource::param("missing")])
+            .output_from_call("A");
+        assert!(r.is_err());
+        let r = MappingSpec::new("Bad2", &[])
+            .call("A", "F", vec![ArgSource::output("Ghost", "x")])
+            .output_from_call("A");
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn cycle_in_acyclic_part_rejected() {
+        let r = MappingSpec::new("Cycle", &[])
+            .call("A", "F", vec![ArgSource::output("B", "x")])
+            .call("B", "G", vec![ArgSource::output("A", "y")])
+            .output_from_call("A");
+        assert!(r.unwrap_err().to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn counter_only_in_loop_body() {
+        let r = MappingSpec::new("Bad", &[])
+            .call("A", "F", vec![ArgSource::Counter])
+            .output_from_call("A");
+        assert!(r.is_err());
+        let ok = MappingSpec::new("Loop", &[])
+            .call("Count", "GetCompCount", vec![])
+            .cyclic(CyclicSpec {
+                counter_init: 1,
+                body: LocalCall::new("Body", "GetCompName", vec![ArgSource::Counter]),
+                limit: ArgSource::output("Count", "N"),
+                accumulate: true,
+                max_iterations: 1000,
+            })
+            .output_from_call("Body");
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let r = MappingSpec::new("Dup", &[])
+            .call("A", "F", vec![])
+            .call("A", "G", vec![])
+            .output_from_call("A");
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn join_output_validates_references() {
+        let r = MappingSpec::new("J", &[])
+            .call("L", "F", vec![])
+            .output_join("L", "Ghost", "a", "b", &[]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn depends_on_lists_output_sources() {
+        let c = LocalCall::new(
+            "X",
+            "F",
+            vec![
+                ArgSource::param("p"),
+                ArgSource::output("A", "x"),
+                ArgSource::output("B", "y"),
+                ArgSource::constant(1),
+            ],
+        );
+        let deps: Vec<String> = c.depends_on().iter().map(|d| d.to_string()).collect();
+        assert_eq!(deps, vec!["A", "B"]);
+    }
+
+    #[test]
+    fn local_call_count_includes_loop() {
+        let spec = MappingSpec::new("Loop", &[])
+            .call("Count", "GetCompCount", vec![])
+            .cyclic(CyclicSpec {
+                counter_init: 1,
+                body: LocalCall::new("Body", "GetCompName", vec![ArgSource::Counter]),
+                limit: ArgSource::output("Count", "N"),
+                accumulate: true,
+                max_iterations: 1000,
+            })
+            .output_from_call("Body")
+            .unwrap();
+        assert_eq!(spec.local_call_count(20), 21);
+    }
+}

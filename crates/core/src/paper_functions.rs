@@ -1,0 +1,274 @@
+//! The federated functions of the paper's running examples, as
+//! [`MappingSpec`]s. These drive the Section 3 capability table and every
+//! Section 4 measurement.
+
+use fedwf_types::DataType;
+
+use crate::classify::ComplexityCase;
+use crate::mapping::{ArgSource, CyclicSpec, LocalCall, MappingSpec, OutputField};
+
+/// **Trivial case** — `GibKompNr`, the German rename of `GetCompNo`: only
+/// the names of function and parameters differ.
+pub fn gib_komp_nr() -> MappingSpec {
+    MappingSpec::new("GibKompNr", &[("KompName", DataType::Varchar)])
+        .call("GetCompNo", "GetCompNo", vec![ArgSource::param("KompName")])
+        .output_from_call("GetCompNo")
+        .expect("static spec")
+}
+
+/// **Simple case** — `GetNumberSupp1234`: the mapping supplies the constant
+/// supplier 1234 and casts the result from INT to BIGINT.
+pub fn get_number_supp_1234() -> MappingSpec {
+    MappingSpec::new("GetNumberSupp1234", &[("CompNo", DataType::Int)])
+        .call(
+            "GN",
+            "GetNumber",
+            vec![ArgSource::constant(1234), ArgSource::param("CompNo")],
+        )
+        .output_row(vec![OutputField::new(
+            "Number",
+            DataType::BigInt,
+            ArgSource::output("GN", "Number"),
+        )])
+        .expect("static spec")
+}
+
+/// **Independent case** — `GetSubCompDiscounts`: two independent local
+/// functions whose result sets are composed with a join predicate.
+pub fn get_sub_comp_discounts() -> MappingSpec {
+    MappingSpec::new(
+        "GetSubCompDiscounts",
+        &[("CompNo", DataType::Int), ("Discount", DataType::Int)],
+    )
+    .call("GSCD", "GetSubCompNo", vec![ArgSource::param("CompNo")])
+    .call(
+        "GCS4D",
+        "GetCompSupp4Discount",
+        vec![ArgSource::param("Discount")],
+    )
+    .output_join(
+        "GSCD",
+        "GCS4D",
+        "SubCompNo",
+        "CompNo",
+        &[
+            (true, "SubCompNo", "SubCompNo"),
+            (false, "SupplierNo", "SupplierNo"),
+        ],
+    )
+    .expect("static spec")
+}
+
+/// **Linear dependency** — `GetSuppQual`: `GetSupplierNo` feeds
+/// `GetQuality`.
+pub fn get_supp_qual() -> MappingSpec {
+    MappingSpec::new("GetSuppQual", &[("SupplierName", DataType::Varchar)])
+        .call(
+            "GSN",
+            "GetSupplierNo",
+            vec![ArgSource::param("SupplierName")],
+        )
+        .call("GQ", "GetQuality", vec![ArgSource::output("GSN", "SupplierNo")])
+        .output_from_call("GQ")
+        .expect("static spec")
+}
+
+/// **Parallel contrast** — `GetSuppQualRelia`: quality and reliability for
+/// a supplier number, two *independent* local calls. On the WfMS these run
+/// as parallel activities (faster than the sequential `GetSuppQual`); on
+/// the UDTF architecture their result sets must be composed, which costs
+/// more (Section 4's observation).
+pub fn get_supp_qual_relia() -> MappingSpec {
+    MappingSpec::new("GetSuppQualRelia", &[("SupplierNo", DataType::Int)])
+        .call("GQ", "GetQuality", vec![ArgSource::param("SupplierNo")])
+        .call(
+            "GR",
+            "GetReliability",
+            vec![ArgSource::param("SupplierNo")],
+        )
+        .output_row(vec![
+            OutputField::new("Qual", DataType::Int, ArgSource::output("GQ", "Qual")),
+            OutputField::new("Relia", DataType::Int, ArgSource::output("GR", "Relia")),
+        ])
+        .expect("static spec")
+}
+
+/// **(1:n) dependency, 3 locals** — `GetNoSuppComp` (the function behind
+/// Fig. 6's breakdown): resolve supplier name and component name, then
+/// fetch the stock number for the pair. Deployed as a *sequence* — an
+/// explicit control connector orders `GCN` after `GSN`, matching the
+/// measured configuration whose step shares the paper tabulates (all three
+/// activities execute one after another).
+pub fn get_no_supp_comp() -> MappingSpec {
+    MappingSpec::new(
+        "GetNoSuppComp",
+        &[
+            ("SupplierName", DataType::Varchar),
+            ("CompName", DataType::Varchar),
+        ],
+    )
+    .call(
+        "GSN",
+        "GetSupplierNo",
+        vec![ArgSource::param("SupplierName")],
+    )
+    .call_after("GCN", "GetCompNo", vec![ArgSource::param("CompName")], &["GSN"])
+    .call(
+        "GN",
+        "GetNumber",
+        vec![
+            ArgSource::output("GSN", "SupplierNo"),
+            ArgSource::output("GCN", "No"),
+        ],
+    )
+    .output_from_call("GN")
+    .expect("static spec")
+}
+
+/// **(n:1) dependency** — `GetSuppScores`: one `GetSupplierNo` feeds both
+/// `GetQuality` and `GetReliability`.
+pub fn get_supp_scores() -> MappingSpec {
+    MappingSpec::new("GetSuppScores", &[("SupplierName", DataType::Varchar)])
+        .call(
+            "GSN",
+            "GetSupplierNo",
+            vec![ArgSource::param("SupplierName")],
+        )
+        .call("GQ", "GetQuality", vec![ArgSource::output("GSN", "SupplierNo")])
+        .call(
+            "GR",
+            "GetReliability",
+            vec![ArgSource::output("GSN", "SupplierNo")],
+        )
+        .output_row(vec![
+            OutputField::new("Qual", DataType::Int, ArgSource::output("GQ", "Qual")),
+            OutputField::new("Relia", DataType::Int, ArgSource::output("GR", "Relia")),
+        ])
+        .expect("static spec")
+}
+
+/// **The sample scenario** — `BuySuppComp` (Fig. 1): five local functions
+/// across all three application systems.
+pub fn buy_supp_comp() -> MappingSpec {
+    MappingSpec::new(
+        "BuySuppComp",
+        &[
+            ("SupplierNo", DataType::Int),
+            ("CompName", DataType::Varchar),
+        ],
+    )
+    .call("GQ", "GetQuality", vec![ArgSource::param("SupplierNo")])
+    .call(
+        "GR",
+        "GetReliability",
+        vec![ArgSource::param("SupplierNo")],
+    )
+    .call(
+        "GG",
+        "GetGrade",
+        vec![
+            ArgSource::output("GQ", "Qual"),
+            ArgSource::output("GR", "Relia"),
+        ],
+    )
+    .call("GCN", "GetCompNo", vec![ArgSource::param("CompName")])
+    .call(
+        "DP",
+        "DecidePurchase",
+        vec![
+            ArgSource::output("GG", "Grade"),
+            ArgSource::output("GCN", "No"),
+        ],
+    )
+    .output_row(vec![OutputField::new(
+        "Decision",
+        DataType::Varchar,
+        ArgSource::output("DP", "Answer"),
+    )])
+    .expect("static spec")
+}
+
+/// **Cyclic case** — `AllCompNames(N)`: call `GetCompName(i)` for
+/// `i = 1..=N` in a do-until loop, accumulating the names. Inexpressible
+/// on the SQL UDTF architecture (no loop construct).
+pub fn all_comp_names() -> MappingSpec {
+    MappingSpec::new("AllCompNames", &[("N", DataType::Int)])
+        .cyclic(CyclicSpec {
+            counter_init: 1,
+            body: LocalCall::new("GCN", "GetCompName", vec![ArgSource::Counter]),
+            limit: ArgSource::param("N"),
+            accumulate: true,
+            max_iterations: 1_000_000,
+        })
+        .output_from_call("GCN")
+        .expect("static spec")
+}
+
+/// `AllCompNames` variant that first asks the PDM system how many
+/// components exist (`GetCompCount`), then loops — a loop *plus* acyclic
+/// structure, i.e. the general case.
+pub fn all_comp_names_auto() -> MappingSpec {
+    MappingSpec::new("AllCompNamesAuto", &[])
+        .call("Count", "GetCompCount", vec![])
+        .cyclic(CyclicSpec {
+            counter_init: 1,
+            body: LocalCall::new("GCN", "GetCompName", vec![ArgSource::Counter]),
+            limit: ArgSource::output("Count", "N"),
+            accumulate: true,
+            max_iterations: 1_000_000,
+        })
+        .output_from_call("GCN")
+        .expect("static spec")
+}
+
+/// The Fig. 5 workload: the paper's federated functions in increasing
+/// mapping complexity, paired with their Section 3 case.
+pub fn fig5_workload() -> Vec<(MappingSpec, ComplexityCase)> {
+    vec![
+        (gib_komp_nr(), ComplexityCase::Trivial),
+        (get_number_supp_1234(), ComplexityCase::Simple),
+        (get_sub_comp_discounts(), ComplexityCase::Independent),
+        (get_supp_qual_relia(), ComplexityCase::Independent),
+        (get_supp_qual(), ComplexityCase::DependentLinear),
+        (get_supp_scores(), ComplexityCase::DependentN1),
+        (get_no_supp_comp(), ComplexityCase::Dependent1N),
+        (buy_supp_comp(), ComplexityCase::Dependent1N),
+        (all_comp_names(), ComplexityCase::Cyclic),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify;
+
+    #[test]
+    fn classifications_match_declared_cases() {
+        for (spec, expected) in fig5_workload() {
+            assert_eq!(
+                classify(&spec),
+                expected,
+                "spec {} misclassified",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn buy_supp_comp_counts_five_locals() {
+        assert_eq!(buy_supp_comp().local_call_count(0), 5);
+    }
+
+    #[test]
+    fn all_comp_names_auto_is_general() {
+        assert_eq!(classify(&all_comp_names_auto()), ComplexityCase::General);
+    }
+
+    #[test]
+    fn all_specs_validate() {
+        for (spec, _) in fig5_workload() {
+            spec.validate().unwrap();
+        }
+        all_comp_names_auto().validate().unwrap();
+    }
+}

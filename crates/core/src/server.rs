@@ -1,0 +1,553 @@
+//! The integration server facade — "the middle tier" of Fig. 2.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use fedwf_appsys::{build_scenario, DataGenConfig, Scenario};
+use fedwf_fdbs::Fdbs;
+use fedwf_sim::{Breakdown, CostModel, EnvState, Meter};
+use fedwf_sim::env::Process;
+use fedwf_types::{FedError, FedResult, Ident, Table, Value};
+use fedwf_wrapper::{Controller, WfmsWrapper};
+use parking_lot::Mutex;
+
+use crate::arch::{
+    Architecture, ArchitectureKind, DeployedFunction, JavaUdtfArchitecture,
+    SimpleUdtfArchitecture, SqlUdtfArchitecture, WfmsArchitecture,
+};
+use crate::mapping::MappingSpec;
+
+/// Configuration of one integration-server instance ("one prototype").
+#[derive(Debug, Clone)]
+pub struct IntegrationConfig {
+    pub cost: CostModel,
+    pub data: DataGenConfig,
+    pub architecture: ArchitectureKind,
+    /// Run the workflow navigator on real worker threads.
+    pub threaded_wfms: bool,
+    /// Enable the wrapper-internal federated-function result cache (the
+    /// paper's future-work "query optimization options").
+    pub result_cache: bool,
+}
+
+impl Default for IntegrationConfig {
+    fn default() -> IntegrationConfig {
+        IntegrationConfig {
+            cost: CostModel::default(),
+            data: DataGenConfig::default(),
+            architecture: ArchitectureKind::Wfms,
+            threaded_wfms: false,
+            result_cache: false,
+        }
+    }
+}
+
+impl IntegrationConfig {
+    pub fn with_architecture(mut self, architecture: ArchitectureKind) -> Self {
+        self.architecture = architecture;
+        self
+    }
+
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    pub fn with_data(mut self, data: DataGenConfig) -> Self {
+        self.data = data;
+        self
+    }
+}
+
+/// The result of one federated-function call: the table plus the complete
+/// virtual-time accounting.
+#[derive(Debug)]
+pub struct CallOutcome {
+    pub table: Table,
+    pub meter: Meter,
+}
+
+impl CallOutcome {
+    /// Elapsed virtual time of the call.
+    pub fn elapsed_us(&self) -> u64 {
+        self.meter.now_us()
+    }
+
+    /// Fig. 6-style step breakdown.
+    pub fn breakdown_by_step(&self, title: &str) -> Breakdown {
+        Breakdown::by_step(title, self.meter.charges(), self.meter.now_us())
+    }
+
+    /// Component breakdown (controller share, RMI share, ...).
+    pub fn breakdown_by_component(&self, title: &str) -> Breakdown {
+        Breakdown::by_component(title, self.meter.charges(), self.meter.now_us())
+    }
+}
+
+/// The integration server: application systems at the bottom, FDBS + WfMS
+/// (through controller and wrapper) in the middle, SQL at the top.
+pub struct IntegrationServer {
+    config: IntegrationConfig,
+    scenario: Scenario,
+    fdbs: Arc<Fdbs>,
+    wrapper: Arc<WfmsWrapper>,
+    controller: Controller,
+    deployed: Mutex<BTreeMap<Ident, Arc<DeployedFunction>>>,
+    env: Mutex<EnvState>,
+}
+
+impl IntegrationServer {
+    pub fn new(config: IntegrationConfig) -> FedResult<IntegrationServer> {
+        let scenario = build_scenario(config.data.clone())?;
+        let controller = Controller::new(scenario.registry.clone(), config.cost.clone());
+        let wrapper = Arc::new(
+            WfmsWrapper::new(controller.clone())
+                .with_threads(config.threaded_wfms)
+                .with_result_cache(config.result_cache),
+        );
+        let fdbs = Arc::new(Fdbs::new(config.cost.clone()));
+        // The workflow audit database is queryable through SQL.
+        fdbs.register_udtf(wrapper.audit_udtf())?;
+        Ok(IntegrationServer {
+            config,
+            scenario,
+            fdbs,
+            wrapper,
+            controller,
+            deployed: Mutex::new(BTreeMap::new()),
+            env: Mutex::new(EnvState::cold()),
+        })
+    }
+
+    /// Convenience: a server with the given architecture and defaults.
+    pub fn with_architecture(kind: ArchitectureKind) -> FedResult<IntegrationServer> {
+        IntegrationServer::new(IntegrationConfig::default().with_architecture(kind))
+    }
+
+    pub fn config(&self) -> &IntegrationConfig {
+        &self.config
+    }
+
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    pub fn fdbs(&self) -> &Arc<Fdbs> {
+        &self.fdbs
+    }
+
+    pub fn wrapper(&self) -> &Arc<WfmsWrapper> {
+        &self.wrapper
+    }
+
+    pub fn controller(&self) -> &Controller {
+        &self.controller
+    }
+
+    /// The architecture implementation configured for this server.
+    pub fn architecture(&self) -> Box<dyn Architecture + '_> {
+        match self.config.architecture {
+            ArchitectureKind::Wfms => Box::new(WfmsArchitecture::new(
+                self.fdbs.clone(),
+                self.wrapper.clone(),
+            )),
+            ArchitectureKind::SqlUdtf => Box::new(SqlUdtfArchitecture::new(
+                self.fdbs.clone(),
+                self.controller.clone(),
+            )),
+            ArchitectureKind::JavaUdtf => Box::new(JavaUdtfArchitecture::new(
+                self.fdbs.clone(),
+                self.controller.clone(),
+            )),
+            ArchitectureKind::SimpleUdtf => Box::new(SimpleUdtfArchitecture::new(
+                self.fdbs.clone(),
+                self.controller.clone(),
+            )),
+        }
+    }
+
+    /// Deploy a federated function.
+    pub fn deploy(&self, spec: &MappingSpec) -> FedResult<()> {
+        let deployed = self.architecture().deploy(spec)?;
+        self.deployed
+            .lock()
+            .insert(spec.name.clone(), Arc::new(deployed));
+        Ok(())
+    }
+
+    /// Deploy several federated functions.
+    pub fn deploy_all<'a>(
+        &self,
+        specs: impl IntoIterator<Item = &'a MappingSpec>,
+    ) -> FedResult<()> {
+        for spec in specs {
+            self.deploy(spec)?;
+        }
+        Ok(())
+    }
+
+    pub fn deployed_function(&self, name: &str) -> FedResult<Arc<DeployedFunction>> {
+        self.deployed
+            .lock()
+            .get(&Ident::new(name))
+            .cloned()
+            .ok_or_else(|| {
+                FedError::catalog(format!("federated function {name} is not deployed"))
+            })
+    }
+
+    pub fn deployed_names(&self) -> Vec<String> {
+        self.deployed
+            .lock()
+            .keys()
+            .map(|k| k.as_str().to_string())
+            .collect()
+    }
+
+    /// Call a deployed federated function, booking boots for whatever is
+    /// not yet running (cold-start tier) and returning the full accounting.
+    pub fn call(&self, name: &str, args: &[Value]) -> FedResult<CallOutcome> {
+        let function = self.deployed_function(name)?;
+        let mut meter = Meter::new();
+        self.charge_boots(&mut meter);
+        let table = function.call(args, &mut meter)?;
+        Ok(CallOutcome { table, meter })
+    }
+
+    /// Run an arbitrary SQL statement against the FDBS (with boot charges).
+    pub fn query(&self, sql: &str, params: &[(&str, Value)]) -> FedResult<CallOutcome> {
+        let mut meter = Meter::new();
+        self.charge_boots(&mut meter);
+        let table = self.fdbs.execute_with_params(sql, params, &mut meter)?;
+        Ok(CallOutcome { table, meter })
+    }
+
+    fn charge_boots(&self, meter: &mut Meter) {
+        let mut env = self.env.lock();
+        let cost = &self.config.cost;
+        env.ensure_booted(Process::Fdbs, cost, meter);
+        env.ensure_booted(Process::Controller, cost, meter);
+        if self.config.architecture == ArchitectureKind::Wfms {
+            env.ensure_booted(Process::Wfms, cost, meter);
+        }
+        for name in self.scenario.registry.system_names() {
+            env.ensure_booted(Process::AppSystem(name.to_string()), cost, meter);
+        }
+    }
+
+    /// Pre-boot every process without measuring — the paper's measurements
+    /// start "right after the entire system has been booted", i.e. booted
+    /// processes but cold caches.
+    pub fn boot(&self) {
+        let mut meter = Meter::new();
+        self.charge_boots(&mut meter);
+    }
+
+    /// Drop all warm state *except* process boots: plan cache and workflow
+    /// template cache. The next call of each function is the paper's
+    /// "after some other function has been invoked" tier.
+    pub fn clear_caches(&self) {
+        self.fdbs.clear_plan_cache();
+        self.wrapper.clear_template_cache();
+        self.wrapper.clear_result_cache();
+        self.env.lock().clear_caches();
+    }
+
+    /// Whether the environment (all processes) has been booted.
+    pub fn is_booted(&self) -> bool {
+        self.env.lock().is_booted(&Process::Fdbs)
+    }
+}
+
+impl std::fmt::Debug for IntegrationServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IntegrationServer")
+            .field("architecture", &self.config.architecture)
+            .field("deployed", &self.deployed_names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_functions;
+    use fedwf_sim::Component;
+
+    fn server(kind: ArchitectureKind) -> IntegrationServer {
+        let config = IntegrationConfig::default()
+            .with_architecture(kind)
+            .with_data(DataGenConfig::tiny());
+        IntegrationServer::new(config).unwrap()
+    }
+
+    fn buy_args(s: &IntegrationServer) -> Vec<Value> {
+        vec![
+            Value::Int(s.scenario().well_known_supplier_no()),
+            Value::str(s.scenario().well_known_component_name()),
+        ]
+    }
+
+    #[test]
+    fn wfms_server_deploys_and_calls() {
+        let s = server(ArchitectureKind::Wfms);
+        s.deploy(&paper_functions::buy_supp_comp()).unwrap();
+        let args = buy_args(&s);
+        let outcome = s.call("BuySuppComp", &args).unwrap();
+        assert_eq!(outcome.table.value(0, "Decision"), Some(&Value::str("YES")));
+        assert!(outcome.elapsed_us() > 0);
+    }
+
+    #[test]
+    fn both_main_architectures_agree_on_results() {
+        let wf = server(ArchitectureKind::Wfms);
+        let sq = server(ArchitectureKind::SqlUdtf);
+        for s in [&wf, &sq] {
+            s.deploy(&paper_functions::buy_supp_comp()).unwrap();
+        }
+        let a = wf.call("BuySuppComp", &buy_args(&wf)).unwrap();
+        let b = sq.call("BuySuppComp", &buy_args(&sq)).unwrap();
+        assert_eq!(a.table.value(0, "Decision"), b.table.value(0, "Decision"));
+    }
+
+    #[test]
+    fn warm_up_tiers_are_ordered() {
+        let s = server(ArchitectureKind::Wfms);
+        s.deploy(&paper_functions::get_supp_qual()).unwrap();
+        let args = vec![Value::str(s.scenario().well_known_supplier_name())];
+        let cold = s.call("GetSuppQual", &args).unwrap().elapsed_us();
+        s.clear_caches();
+        let after_other = s.call("GetSuppQual", &args).unwrap().elapsed_us();
+        let repeated = s.call("GetSuppQual", &args).unwrap().elapsed_us();
+        assert!(cold > after_other, "{cold} > {after_other}");
+        assert!(after_other > repeated, "{after_other} > {repeated}");
+    }
+
+    #[test]
+    fn boot_charges_tagged_as_boot() {
+        let s = server(ArchitectureKind::Wfms);
+        s.deploy(&paper_functions::gib_komp_nr()).unwrap();
+        let outcome = s
+            .call(
+                "GibKompNr",
+                &[Value::str(s.scenario().well_known_component_name())],
+            )
+            .unwrap();
+        assert!(outcome
+            .meter
+            .charges()
+            .iter()
+            .any(|c| c.component == Component::Boot));
+        // Second call: no boot charges.
+        let outcome2 = s
+            .call(
+                "GibKompNr",
+                &[Value::str(s.scenario().well_known_component_name())],
+            )
+            .unwrap();
+        assert!(!outcome2
+            .meter
+            .charges()
+            .iter()
+            .any(|c| c.component == Component::Boot));
+    }
+
+    #[test]
+    fn udtf_architecture_does_not_boot_the_wfms() {
+        let s = server(ArchitectureKind::SqlUdtf);
+        s.deploy(&paper_functions::gib_komp_nr()).unwrap();
+        let outcome = s
+            .call(
+                "GibKompNr",
+                &[Value::str(s.scenario().well_known_component_name())],
+            )
+            .unwrap();
+        assert!(!outcome
+            .meter
+            .charges()
+            .iter()
+            .any(|c| c.step.contains("Boot WfMS")));
+    }
+
+    #[test]
+    fn query_surface_reaches_fdbs() {
+        let s = server(ArchitectureKind::SqlUdtf);
+        s.deploy(&paper_functions::get_supp_qual_relia()).unwrap();
+        let outcome = s
+            .query(
+                "SELECT T.Qual FROM TABLE (GetSuppQualRelia(S)) AS T",
+                &[("S", Value::Int(s.scenario().well_known_supplier_no()))],
+            )
+            .unwrap();
+        assert_eq!(outcome.table.value(0, "Qual"), Some(&Value::Int(93)));
+    }
+
+    #[test]
+    fn undeployed_function_errors() {
+        let s = server(ArchitectureKind::Wfms);
+        assert!(s.call("Nope", &[]).is_err());
+    }
+
+    #[test]
+    fn wfms_retries_ride_out_transient_faults_where_udtfs_fail() {
+        use crate::mapping::{ArgSource, MappingSpec};
+        use fedwf_types::DataType;
+        // A linear mapping whose second call is allowed two attempts.
+        let spec = MappingSpec::new("RobustQual", &[("SupplierName", DataType::Varchar)])
+            .call(
+                "GSN",
+                "GetSupplierNo",
+                vec![ArgSource::param("SupplierName")],
+            )
+            .call("GQ", "GetQuality", vec![ArgSource::output("GSN", "SupplierNo")])
+            .retry(3)
+            .output_from_call("GQ")
+            .unwrap();
+
+        let inject = |s: &IntegrationServer| {
+            s.scenario()
+                .registry
+                .system("stock")
+                .unwrap()
+                .inject_faults("GetQuality", 1);
+        };
+        let args = |s: &IntegrationServer| {
+            vec![Value::str(s.scenario().well_known_supplier_name())]
+        };
+
+        // WfMS architecture: the activity retries and the call succeeds.
+        let wf = server(ArchitectureKind::Wfms);
+        wf.deploy(&spec).unwrap();
+        inject(&wf);
+        let outcome = wf.call("RobustQual", &args(&wf)).unwrap();
+        assert_eq!(outcome.table.value(0, "Qual"), Some(&Value::Int(93)));
+
+        // UDTF architecture: no retry machinery — the first error is final.
+        let sq = server(ArchitectureKind::SqlUdtf);
+        sq.deploy(&spec).unwrap();
+        inject(&sq);
+        let err = sq.call("RobustQual", &args(&sq)).unwrap_err();
+        assert!(err.to_string().contains("transient fault"));
+        // The fault was consumed; the repeat succeeds.
+        assert!(sq.call("RobustQual", &args(&sq)).is_ok());
+    }
+
+    #[test]
+    fn revoked_local_function_fails_with_permission_error() {
+        let s = server(ArchitectureKind::Wfms);
+        s.deploy(&paper_functions::gib_komp_nr()).unwrap();
+        s.scenario()
+            .registry
+            .system("pdm")
+            .unwrap()
+            .revoke("GetCompNo");
+        let err = s
+            .call(
+                "GibKompNr",
+                &[Value::str(s.scenario().well_known_component_name())],
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("permission denied"), "{err}");
+        s.scenario()
+            .registry
+            .system("pdm")
+            .unwrap()
+            .grant("GetCompNo");
+        assert!(s
+            .call(
+                "GibKompNr",
+                &[Value::str(s.scenario().well_known_component_name())],
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn result_cache_accelerates_repeated_wfms_calls() {
+        let config = IntegrationConfig {
+            result_cache: true,
+            data: DataGenConfig::tiny(),
+            ..IntegrationConfig::default()
+        };
+        let s = IntegrationServer::new(config).unwrap();
+        s.boot();
+        s.deploy(&paper_functions::get_supp_qual()).unwrap();
+        let args = vec![Value::str(s.scenario().well_known_supplier_name())];
+        let first = s.call("GetSuppQual", &args).unwrap();
+        let second = s.call("GetSuppQual", &args).unwrap();
+        assert_eq!(first.table, second.table);
+        assert!(
+            second.elapsed_us() * 2 < first.elapsed_us(),
+            "cached call ({}) must be far cheaper than the first ({})",
+            second.elapsed_us(),
+            first.elapsed_us()
+        );
+    }
+
+    #[test]
+    fn workflow_audit_is_queryable() {
+        let s = server(ArchitectureKind::Wfms);
+        s.deploy(&paper_functions::get_supp_qual()).unwrap();
+        let args = vec![Value::str(s.scenario().well_known_supplier_name())];
+        s.call("GetSuppQual", &args).unwrap();
+        s.call("GetSuppQual", &args).unwrap();
+        let t = s
+            .query(
+                "SELECT A.Process, A.ElapsedUs FROM TABLE (WorkflowAudit()) AS A",
+                &[],
+            )
+            .unwrap()
+            .table;
+        assert_eq!(t.row_count(), 2);
+        assert!(t.value(0, "ElapsedUs").unwrap().as_i64().unwrap() > 0);
+    }
+
+    #[test]
+    fn concurrent_queries_are_consistent() {
+        use std::sync::Arc as StdArc;
+        let s = StdArc::new(server(ArchitectureKind::Wfms));
+        s.deploy(&paper_functions::buy_supp_comp()).unwrap();
+        let args = buy_args(&s);
+        // Warm everything once so the threads race on a steady state.
+        s.call("BuySuppComp", &args).unwrap();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let s = StdArc::clone(&s);
+            let args = args.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10 {
+                    let outcome = s.call("BuySuppComp", &args).expect("concurrent call");
+                    assert_eq!(
+                        outcome.table.value(0, "Decision"),
+                        Some(&Value::str("YES"))
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+        // 1 warm-up + 80 concurrent instances in the audit history.
+        let t = s
+            .query("SELECT A.Process FROM TABLE (WorkflowAudit()) AS A", &[])
+            .unwrap()
+            .table;
+        assert_eq!(t.row_count(), 81);
+    }
+
+    #[test]
+    fn breakdowns_are_available() {
+        let s = server(ArchitectureKind::Wfms);
+        s.deploy(&paper_functions::get_no_supp_comp()).unwrap();
+        s.boot();
+        let args = vec![
+            Value::str(s.scenario().well_known_supplier_name()),
+            Value::str(s.scenario().well_known_component_name()),
+        ];
+        s.call("GetNoSuppComp", &args).unwrap();
+        let outcome = s.call("GetNoSuppComp", &args).unwrap();
+        let steps = outcome.breakdown_by_step("WfMS approach");
+        assert!(steps.lines.iter().any(|l| l.label == "Process activities"));
+        let comps = outcome.breakdown_by_component("WfMS approach");
+        assert!(comps.lines.iter().any(|l| l.label == "Controller"));
+    }
+}

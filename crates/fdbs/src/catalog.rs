@@ -1,0 +1,242 @@
+//! The FDBS catalog: local tables, foreign tables, table functions.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use fedwf_relstore::Database;
+use fedwf_types::{FedError, FedResult, Ident, SchemaRef};
+use parking_lot::RwLock;
+
+use crate::sqlmed::ForeignServer;
+use crate::udtf::Udtf;
+
+/// Where a table name resolves to.
+#[derive(Clone)]
+pub enum TableOrigin {
+    /// A table in the FDBS's own storage.
+    Local,
+    /// A table at a foreign SQL source.
+    Foreign {
+        server: Arc<dyn ForeignServer>,
+        remote_name: String,
+    },
+}
+
+impl std::fmt::Debug for TableOrigin {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableOrigin::Local => write!(f, "Local"),
+            TableOrigin::Foreign {
+                server,
+                remote_name,
+            } => write!(f, "Foreign({}/{remote_name})", server.name()),
+        }
+    }
+}
+
+/// The catalog. Local table storage lives in an embedded relstore
+/// [`Database`]; foreign tables map to [`ForeignServer`]s; table functions
+/// are [`Udtf`]s.
+pub struct Catalog {
+    local: Database,
+    foreign_tables: RwLock<BTreeMap<Ident, ForeignTableEntry>>,
+    udtfs: RwLock<BTreeMap<Ident, Arc<Udtf>>>,
+}
+
+/// A foreign-table registration: the server plus the remote table name.
+type ForeignTableEntry = (Arc<dyn ForeignServer>, String);
+
+impl Default for Catalog {
+    fn default() -> Catalog {
+        Catalog::new()
+    }
+}
+
+impl Catalog {
+    pub fn new() -> Catalog {
+        Catalog {
+            local: Database::new("fdbs"),
+            foreign_tables: RwLock::new(BTreeMap::new()),
+            udtfs: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// The FDBS's own storage.
+    pub fn local(&self) -> &Database {
+        &self.local
+    }
+
+    /// Register a foreign table: `local_name` resolves to
+    /// `remote_name` at `server`.
+    pub fn register_foreign_table(
+        &self,
+        local_name: impl Into<Ident>,
+        server: Arc<dyn ForeignServer>,
+        remote_name: impl Into<String>,
+    ) -> FedResult<()> {
+        let local_name = local_name.into();
+        let remote_name = remote_name.into();
+        // Validate eagerly: the remote table must exist.
+        server.table_schema(&remote_name)?;
+        if self.local.has_table(local_name.as_str()) {
+            return Err(FedError::catalog(format!(
+                "cannot register foreign table {local_name}: a local table of that name exists"
+            )));
+        }
+        let mut tables = self.foreign_tables.write();
+        if tables.contains_key(&local_name) {
+            return Err(FedError::catalog(format!(
+                "foreign table {local_name} already registered"
+            )));
+        }
+        tables.insert(local_name, (server, remote_name));
+        Ok(())
+    }
+
+    /// Resolve a table name to its origin and schema.
+    pub fn resolve_table(&self, name: &Ident) -> FedResult<(TableOrigin, SchemaRef)> {
+        if self.local.has_table(name.as_str()) {
+            return Ok((TableOrigin::Local, self.local.table_schema(name.as_str())?));
+        }
+        if let Some((server, remote)) = self.foreign_tables.read().get(name) {
+            let schema = server.table_schema(remote)?;
+            return Ok((
+                TableOrigin::Foreign {
+                    server: server.clone(),
+                    remote_name: remote.clone(),
+                },
+                schema,
+            ));
+        }
+        Err(FedError::catalog(format!("unknown table {name}")))
+    }
+
+    /// Register a table function. Replaces nothing: re-registration errors.
+    pub fn register_udtf(&self, udtf: Udtf) -> FedResult<()> {
+        let mut udtfs = self.udtfs.write();
+        if udtfs.contains_key(&udtf.name) {
+            return Err(FedError::catalog(format!(
+                "function {} already registered",
+                udtf.name
+            )));
+        }
+        udtfs.insert(udtf.name.clone(), Arc::new(udtf));
+        Ok(())
+    }
+
+    /// Drop a table function.
+    pub fn drop_udtf(&self, name: &Ident) -> FedResult<()> {
+        if self.udtfs.write().remove(name).is_none() {
+            return Err(FedError::catalog(format!("unknown function {name}")));
+        }
+        Ok(())
+    }
+
+    pub fn udtf(&self, name: &Ident) -> FedResult<Arc<Udtf>> {
+        self.udtfs
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| FedError::catalog(format!("unknown function {name}")))
+    }
+
+    pub fn has_udtf(&self, name: &Ident) -> bool {
+        self.udtfs.read().contains_key(name)
+    }
+
+    pub fn udtf_names(&self) -> Vec<String> {
+        self.udtfs
+            .read()
+            .values()
+            .map(|u| u.name.as_str().to_string())
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for Catalog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Catalog")
+            .field("local_tables", &self.local.table_names())
+            .field(
+                "foreign_tables",
+                &self
+                    .foreign_tables
+                    .read()
+                    .keys()
+                    .map(|k| k.to_string())
+                    .collect::<Vec<_>>(),
+            )
+            .field("udtfs", &self.udtf_names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sqlmed::RelstoreServer;
+    use fedwf_types::{DataType, Schema, Table, Value};
+
+    fn catalog_with_foreign() -> Catalog {
+        let cat = Catalog::new();
+        let remote = Database::new("remote");
+        remote
+            .create_table("T", Arc::new(Schema::of(&[("a", DataType::Int)])))
+            .unwrap();
+        let server = Arc::new(RelstoreServer::new("erp", Arc::new(remote)));
+        cat.register_foreign_table("RemoteT", server, "T").unwrap();
+        cat
+    }
+
+    #[test]
+    fn local_table_resolution() {
+        let cat = Catalog::new();
+        cat.local()
+            .create_table("L", Arc::new(Schema::of(&[("x", DataType::Int)])))
+            .unwrap();
+        let (origin, schema) = cat.resolve_table(&Ident::new("l")).unwrap();
+        assert!(matches!(origin, TableOrigin::Local));
+        assert_eq!(schema.len(), 1);
+    }
+
+    #[test]
+    fn foreign_table_resolution() {
+        let cat = catalog_with_foreign();
+        let (origin, _) = cat.resolve_table(&Ident::new("remotet")).unwrap();
+        assert!(matches!(origin, TableOrigin::Foreign { .. }));
+        assert!(cat.resolve_table(&Ident::new("nope")).is_err());
+    }
+
+    #[test]
+    fn foreign_registration_validates_remote() {
+        let cat = Catalog::new();
+        let remote = Database::new("remote");
+        let server = Arc::new(RelstoreServer::new("erp", Arc::new(remote)));
+        assert!(cat
+            .register_foreign_table("X", server, "Missing")
+            .is_err());
+    }
+
+    #[test]
+    fn udtf_registration_and_drop() {
+        let cat = Catalog::new();
+        let udtf = Udtf::native(
+            "F",
+            vec![],
+            Arc::new(Schema::of(&[("x", DataType::Int)])),
+            |_, _| Ok(Table::scalar("x", Value::Int(1))),
+        );
+        cat.register_udtf(udtf).unwrap();
+        assert!(cat.has_udtf(&Ident::new("f")));
+        let dup = Udtf::native(
+            "F",
+            vec![],
+            Arc::new(Schema::of(&[("x", DataType::Int)])),
+            |_, _| Ok(Table::scalar("x", Value::Int(1))),
+        );
+        assert!(cat.register_udtf(dup).is_err());
+        cat.drop_udtf(&Ident::new("F")).unwrap();
+        assert!(!cat.has_udtf(&Ident::new("f")));
+        assert!(cat.drop_udtf(&Ident::new("F")).is_err());
+    }
+}

@@ -1,0 +1,780 @@
+//! The FDBS facade: statement execution, plan cache, SQL UDTF bodies.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use fedwf_sim::{Component, CostModel, Meter};
+use fedwf_sql::{parse_statement, parse_statements, Expr, SelectStmt, Statement};
+use fedwf_types::{
+    implicit_cast, DataType, FedError, FedResult, Ident, Row, Schema, Table, Value,
+};
+use parking_lot::RwLock;
+
+use crate::catalog::Catalog;
+use crate::exec::{execute_plan, invoke_udtf};
+use crate::plan::{FromStep, Plan, PlanBuilder};
+use crate::udtf::{ChargeItem, ChargeSpec, Udtf, UdtfKind};
+
+/// The federated database system engine.
+pub struct Fdbs {
+    catalog: Catalog,
+    cost: CostModel,
+    plan_cache: RwLock<HashMap<String, Arc<Plan>>>,
+}
+
+impl Default for Fdbs {
+    fn default() -> Fdbs {
+        Fdbs::new(CostModel::default())
+    }
+}
+
+impl Fdbs {
+    pub fn new(cost: CostModel) -> Fdbs {
+        Fdbs {
+            catalog: Catalog::new(),
+            cost,
+            plan_cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The charge sequence of a SQL integration UDTF under the enhanced
+    /// UDTF architecture (Fig. 6, right table: start / finish I-UDTF).
+    pub fn iudtf_charge_spec(&self) -> ChargeSpec {
+        ChargeSpec {
+            on_start: vec![ChargeItem::new(
+                Component::Udtf,
+                "Start I-UDTF",
+                self.cost.iudtf_start,
+            )],
+            on_finish: vec![ChargeItem::new(
+                Component::Udtf,
+                "Finish I-UDTF",
+                self.cost.iudtf_finish,
+            )],
+        }
+    }
+
+    /// Register a table function (A-UDTF, Java I-UDTF, or wrapper UDTF).
+    pub fn register_udtf(&self, udtf: Udtf) -> FedResult<()> {
+        self.catalog.register_udtf(udtf)
+    }
+
+    /// Number of cached plans (observability for tests and reports).
+    pub fn cached_plan_count(&self) -> usize {
+        self.plan_cache.read().len()
+    }
+
+    /// Drop all cached plans (used to model the cold-cache tier).
+    pub fn clear_plan_cache(&self) {
+        self.plan_cache.write().clear();
+    }
+
+    /// Execute one statement without host variables.
+    pub fn execute(&self, sql: &str, meter: &mut Meter) -> FedResult<Table> {
+        self.execute_with_params(sql, &[], meter)
+    }
+
+    /// Execute one statement with named host variables (the application
+    /// variables of embedded SQL).
+    pub fn execute_with_params(
+        &self,
+        sql: &str,
+        params: &[(&str, Value)],
+        meter: &mut Meter,
+    ) -> FedResult<Table> {
+        let stmt = parse_statement(sql)?;
+        match stmt {
+            Statement::Select(select) => {
+                let (plan, values) = self.plan_select(sql, &select, params, meter)?;
+                execute_plan(self, &plan, &values, meter)
+            }
+            Statement::Explain(inner) => match *inner {
+                Statement::Select(select) => {
+                    let (plan, _values) =
+                        self.plan_select(&select.to_string(), &select, params, meter)?;
+                    let schema = Arc::new(Schema::of(&[("plan", DataType::Varchar)]));
+                    let mut t = Table::new(schema);
+                    for line in plan.explain().lines() {
+                        t.push_unchecked(Row::new(vec![Value::str(line)]));
+                    }
+                    Ok(t)
+                }
+                other => Err(FedError::plan(format!(
+                    "EXPLAIN supports SELECT statements only, got {other}"
+                ))),
+            },
+            other => self.execute_statement(&other, meter),
+        }
+    }
+
+    /// Execute a semicolon-separated script (setup convenience); returns
+    /// the result of the final statement.
+    pub fn execute_script(&self, sql: &str, meter: &mut Meter) -> FedResult<Table> {
+        let stmts = parse_statements(sql)?;
+        let mut last = Table::new(Arc::new(Schema::empty()));
+        for stmt in &stmts {
+            last = match stmt {
+                Statement::Select(select) => {
+                    let key = format!("script:{select}");
+                    let (plan, values) = self.plan_select(&key, select, &[], meter)?;
+                    execute_plan(self, &plan, &values, meter)?
+                }
+                explain @ Statement::Explain(_) => {
+                    self.execute_with_params(&explain.to_string(), &[], meter)?
+                }
+                other => self.execute_statement(other, meter)?,
+            };
+        }
+        Ok(last)
+    }
+
+    /// Call a registered table function directly — the entry point an
+    /// application uses for a federated function outside a wider query.
+    pub fn call_function(
+        &self,
+        name: &str,
+        args: &[Value],
+        meter: &mut Meter,
+    ) -> FedResult<Table> {
+        let udtf = self.catalog.udtf(&Ident::new(name))?;
+        invoke_udtf(self, &udtf, args, meter)
+    }
+
+    /// Plan (with cache) a SELECT. Returns the plan and parameter values in
+    /// slot order.
+    fn plan_select(
+        &self,
+        cache_key_base: &str,
+        select: &SelectStmt,
+        params: &[(&str, Value)],
+        meter: &mut Meter,
+    ) -> FedResult<(Arc<Plan>, Vec<Value>)> {
+        let mut param_defs: Vec<(Ident, DataType)> = Vec::with_capacity(params.len());
+        let mut values: Vec<Value> = Vec::with_capacity(params.len());
+        for (name, value) in params {
+            let dt = value.data_type().ok_or_else(|| {
+                FedError::bind(format!(
+                    "host variable {name} is NULL; its type cannot be inferred"
+                ))
+            })?;
+            param_defs.push((Ident::new(*name), dt));
+            values.push(value.clone());
+        }
+        let cache_key = format!(
+            "{cache_key_base}|{}",
+            param_defs
+                .iter()
+                .map(|(n, t)| format!("{n}:{t}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        if let Some(plan) = self.plan_cache.read().get(&cache_key) {
+            return Ok((plan.clone(), values));
+        }
+        meter.charge(Component::Fdbs, "Compile statement", self.cost.plan_compile);
+        let plan = Arc::new(
+            PlanBuilder::new(&self.catalog)
+                .with_host_params(param_defs)
+                .bind(select)?,
+        );
+        self.plan_cache
+            .write()
+            .insert(cache_key, plan.clone());
+        Ok((plan, values))
+    }
+
+    /// Execute the SQL body of an I-UDTF with bound argument values.
+    pub(crate) fn execute_function_body(
+        &self,
+        udtf: &Udtf,
+        body: &SelectStmt,
+        args: &[Value],
+        meter: &mut Meter,
+    ) -> FedResult<Table> {
+        let cache_key = format!("fn:{}", udtf.name.normalized());
+        let plan = {
+            let cached = self.plan_cache.read().get(&cache_key).cloned();
+            match cached {
+                Some(p) => p,
+                None => {
+                    meter.charge(
+                        Component::Fdbs,
+                        "Compile statement",
+                        self.cost.plan_compile,
+                    );
+                    let plan = Arc::new(
+                        PlanBuilder::new(&self.catalog)
+                            .with_function_context(udtf.name.clone(), udtf.params.clone())
+                            .bind(body)?,
+                    );
+                    self.plan_cache.write().insert(cache_key, plan.clone());
+                    plan
+                }
+            }
+        };
+        execute_plan(self, &plan, args, meter)
+    }
+
+    /// DDL / DML dispatch.
+    fn execute_statement(&self, stmt: &Statement, meter: &mut Meter) -> FedResult<Table> {
+        // Any catalog change invalidates cached plans (they may hold
+        // references to dropped functions or stale schemas).
+        if matches!(
+            stmt,
+            Statement::CreateTable { .. }
+                | Statement::CreateIndex { .. }
+                | Statement::CreateFunction(_)
+                | Statement::DropTable { .. }
+                | Statement::DropFunction { .. }
+        ) {
+            self.plan_cache.write().clear();
+        }
+        match stmt {
+            Statement::Select(_) | Statement::Explain(_) => Err(FedError::plan(
+                "SELECT/EXPLAIN must go through the query path",
+            )),
+            Statement::CreateTable { name, columns } => {
+                let schema = Arc::new(Schema::new(
+                    columns
+                        .iter()
+                        .map(|c| {
+                            let col =
+                                fedwf_types::Column::new(c.name.clone(), c.data_type);
+                            if c.not_null {
+                                col.not_null()
+                            } else {
+                                col
+                            }
+                        })
+                        .collect(),
+                ));
+                self.catalog.local().create_table(name.clone(), schema)?;
+                Ok(done())
+            }
+            Statement::CreateIndex {
+                name,
+                table,
+                column,
+                unique,
+            } => {
+                let kind = if *unique {
+                    fedwf_relstore::IndexKind::Unique
+                } else {
+                    fedwf_relstore::IndexKind::NonUnique
+                };
+                self.catalog.local().create_index(
+                    table.as_str(),
+                    name.as_str(),
+                    column.as_str(),
+                    kind,
+                )?;
+                Ok(done())
+            }
+            Statement::CreateFunction(cf) => {
+                let params: Vec<(Ident, DataType)> = cf
+                    .params
+                    .iter()
+                    .map(|p| (p.name.clone(), p.data_type))
+                    .collect();
+                let returns = Arc::new(Schema::new(
+                    cf.returns
+                        .iter()
+                        .map(|c| {
+                            let col =
+                                fedwf_types::Column::new(c.name.clone(), c.data_type);
+                            if c.not_null {
+                                col.not_null()
+                            } else {
+                                col
+                            }
+                        })
+                        .collect(),
+                ));
+                // Validate the body eagerly, as DB2 does at CREATE time.
+                PlanBuilder::new(&self.catalog)
+                    .with_function_context(cf.name.clone(), params.clone())
+                    .bind(&cf.body)
+                    .map_err(|e| {
+                        e.with_context(format!("validating body of function {}", cf.name))
+                    })?;
+                let udtf = Udtf {
+                    name: cf.name.clone(),
+                    params,
+                    returns,
+                    kind: UdtfKind::Sql(Box::new(cf.body.clone())),
+                    charges: self.iudtf_charge_spec(),
+                };
+                self.catalog.register_udtf(udtf)?;
+                Ok(done())
+            }
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => {
+                let schema = self.catalog.local().table_schema(table.as_str())?;
+                let builder = PlanBuilder::new(&self.catalog);
+                let mut to_insert = Vec::with_capacity(rows.len());
+                for exprs in rows {
+                    let row = build_insert_row(&builder, &schema, columns.as_deref(), exprs)?;
+                    to_insert.push(row);
+                }
+                let n = self.catalog.local().insert_all(table.as_str(), to_insert)?;
+                meter.charge(
+                    Component::Fdbs,
+                    "Produce result rows",
+                    self.cost.row_output * n as u64,
+                );
+                Ok(affected(n))
+            }
+            Statement::Update {
+                table,
+                assignments,
+                selection,
+            } => {
+                let predicate = self.storage_predicate(table, selection)?;
+                let builder = PlanBuilder::new(&self.catalog);
+                let schema = self.catalog.local().table_schema(table.as_str())?;
+                let mut total = 0;
+                for (column, expr) in assignments {
+                    let value = eval_constant(&builder, expr)?;
+                    let col_idx = schema.index_of(column).ok_or_else(|| {
+                        FedError::bind(format!("unknown column {column} in UPDATE"))
+                    })?;
+                    let value = coerce(value, schema.columns()[col_idx].data_type)?;
+                    total = self.catalog.local().update_where(
+                        table.as_str(),
+                        &predicate,
+                        column.as_str(),
+                        value,
+                    )?;
+                }
+                Ok(affected(total))
+            }
+            Statement::Delete { table, selection } => {
+                let predicate = self.storage_predicate(table, selection)?;
+                let n = self
+                    .catalog
+                    .local()
+                    .delete_where(table.as_str(), &predicate)?;
+                Ok(affected(n))
+            }
+            Statement::DropTable { name } => {
+                self.catalog.local().drop_table(name.as_str())?;
+                Ok(done())
+            }
+            Statement::DropFunction { name } => {
+                self.catalog.drop_udtf(name)?;
+                // Invalidate the cached body plan, if any.
+                self.plan_cache
+                    .write()
+                    .remove(&format!("fn:{}", name.normalized()));
+                Ok(done())
+            }
+        }
+    }
+
+    /// Convert an UPDATE/DELETE selection into a storage predicate by
+    /// planning a synthetic single-table SELECT and reusing the pushdown
+    /// machinery. Predicates beyond the storage layer's shape are rejected.
+    fn storage_predicate(
+        &self,
+        table: &Ident,
+        selection: &Option<Expr>,
+    ) -> FedResult<fedwf_relstore::Predicate> {
+        let Some(selection) = selection else {
+            return Ok(fedwf_relstore::Predicate::True);
+        };
+        let synthetic = SelectStmt {
+            distinct: false,
+            projection: vec![fedwf_sql::SelectItem::Wildcard],
+            from: vec![fedwf_sql::FromItem::Table {
+                name: table.clone(),
+                alias: None,
+            }],
+            selection: Some(selection.clone()),
+            group_by: vec![],
+            order_by: vec![],
+            limit: None,
+        };
+        let plan = PlanBuilder::new(&self.catalog).bind(&synthetic)?;
+        if plan.step_filters[0].is_some() {
+            return Err(FedError::unsupported(format!(
+                "UPDATE/DELETE predicate on {table} is too complex for the storage layer"
+            )));
+        }
+        match &plan.steps[0] {
+            FromStep::ScanLocal { pushdown, .. } => Ok(pushdown.clone()),
+            _ => Err(FedError::unsupported(
+                "UPDATE/DELETE target must be a local table",
+            )),
+        }
+    }
+}
+
+impl std::fmt::Debug for Fdbs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fdbs")
+            .field("catalog", &self.catalog)
+            .field("cached_plans", &self.cached_plan_count())
+            .finish()
+    }
+}
+
+fn done() -> Table {
+    Table::new(Arc::new(Schema::empty()))
+}
+
+fn affected(n: usize) -> Table {
+    Table::scalar("rows", Value::Int(n as i32))
+}
+
+fn eval_constant(builder: &PlanBuilder<'_>, expr: &Expr) -> FedResult<Value> {
+    let bound = builder.bind_value_expr(expr)?;
+    bound.eval(&[], &[])
+}
+
+fn coerce(value: Value, to: DataType) -> FedResult<Value> {
+    if value.is_null() {
+        return Ok(Value::Null);
+    }
+    Ok(implicit_cast(&value, to)?)
+}
+
+fn build_insert_row(
+    builder: &PlanBuilder<'_>,
+    schema: &fedwf_types::SchemaRef,
+    columns: Option<&[Ident]>,
+    exprs: &[Expr],
+) -> FedResult<Row> {
+    let values: Vec<Value> = exprs
+        .iter()
+        .map(|e| eval_constant(builder, e))
+        .collect::<FedResult<_>>()?;
+    match columns {
+        None => {
+            if values.len() != schema.len() {
+                return Err(FedError::bind(format!(
+                    "INSERT supplies {} values for {} columns",
+                    values.len(),
+                    schema.len()
+                )));
+            }
+            let coerced: Vec<Value> = values
+                .into_iter()
+                .zip(schema.columns())
+                .map(|(v, c)| coerce(v, c.data_type))
+                .collect::<FedResult<_>>()?;
+            Ok(Row::new(coerced))
+        }
+        Some(cols) => {
+            if values.len() != cols.len() {
+                return Err(FedError::bind(
+                    "INSERT column list and VALUES arity differ",
+                ));
+            }
+            let mut row = vec![Value::Null; schema.len()];
+            for (col, v) in cols.iter().zip(values) {
+                let idx = schema.index_of(col).ok_or_else(|| {
+                    FedError::bind(format!("unknown column {col} in INSERT"))
+                })?;
+                row[idx] = coerce(v, schema.columns()[idx].data_type)?;
+            }
+            Ok(Row::new(row))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedwf_sim::Meter;
+
+    fn fdbs() -> Fdbs {
+        let f = Fdbs::new(CostModel::zero());
+        let mut m = Meter::new();
+        f.execute(
+            "CREATE TABLE Suppliers (SupplierNo INT NOT NULL, Name VARCHAR, Relia INT)",
+            &mut m,
+        )
+        .unwrap();
+        f.execute(
+            "CREATE UNIQUE INDEX pk ON Suppliers (SupplierNo)",
+            &mut m,
+        )
+        .unwrap();
+        f.execute(
+            "INSERT INTO Suppliers VALUES (1, 'Acme', 80), (2, 'Bolt', 95), (1234, 'Precision', 87)",
+            &mut m,
+        )
+        .unwrap();
+        f.register_udtf(Udtf::native(
+            "GetQuality",
+            vec![(Ident::new("SupplierNo"), DataType::Int)],
+            Arc::new(Schema::of(&[("Qual", DataType::Int)])),
+            |args, _m| {
+                let n = args[0].as_i64().unwrap_or(0);
+                Ok(Table::scalar("Qual", Value::Int(if n == 1234 { 93 } else { 40 })))
+            },
+        ))
+        .unwrap();
+        f.register_udtf(Udtf::native(
+            "GetReliability",
+            vec![(Ident::new("SupplierNo"), DataType::Int)],
+            Arc::new(Schema::of(&[("Relia", DataType::Int)])),
+            |args, _m| {
+                let n = args[0].as_i64().unwrap_or(0);
+                Ok(Table::scalar("Relia", Value::Int(if n == 1234 { 87 } else { 30 })))
+            },
+        ))
+        .unwrap();
+        f
+    }
+
+    #[test]
+    fn basic_select_with_pushdown() {
+        let f = fdbs();
+        let mut m = Meter::new();
+        let t = f
+            .execute("SELECT Name FROM Suppliers WHERE SupplierNo = 2", &mut m)
+            .unwrap();
+        assert_eq!(t.row_count(), 1);
+        assert_eq!(t.value(0, "Name"), Some(&Value::str("Bolt")));
+    }
+
+    #[test]
+    fn lateral_udtf_over_table() {
+        let f = fdbs();
+        let mut m = Meter::new();
+        let t = f
+            .execute(
+                "SELECT S.Name, GQ.Qual FROM Suppliers AS S, TABLE (GetQuality(S.SupplierNo)) AS GQ WHERE S.SupplierNo = 1234",
+                &mut m,
+            )
+            .unwrap();
+        assert_eq!(t.row_count(), 1);
+        assert_eq!(t.value(0, "Qual"), Some(&Value::Int(93)));
+    }
+
+    #[test]
+    fn host_variables() {
+        let f = fdbs();
+        let mut m = Meter::new();
+        let t = f
+            .execute_with_params(
+                "SELECT GQ.Qual FROM TABLE (GetQuality(SupplierNo)) AS GQ",
+                &[("SupplierNo", Value::Int(1234))],
+                &mut m,
+            )
+            .unwrap();
+        assert_eq!(t.value(0, "Qual"), Some(&Value::Int(93)));
+    }
+
+    #[test]
+    fn create_function_and_invoke() {
+        let f = fdbs();
+        let mut m = Meter::new();
+        f.execute(
+            "CREATE FUNCTION GetSuppScores (SupplierNo INT) RETURNS TABLE (Q INT, R INT) \
+             LANGUAGE SQL RETURN \
+             SELECT GQ.Qual, GR.Relia \
+             FROM TABLE (GetQuality(GetSuppScores.SupplierNo)) AS GQ, \
+                  TABLE (GetReliability(GetSuppScores.SupplierNo)) AS GR",
+            &mut m,
+        )
+        .unwrap();
+        let t = f
+            .execute(
+                "SELECT GS.Q, GS.R FROM TABLE (GetSuppScores(1234)) AS GS",
+                &mut m,
+            )
+            .unwrap();
+        assert_eq!(t.value(0, "Q"), Some(&Value::Int(93)));
+        assert_eq!(t.value(0, "R"), Some(&Value::Int(87)));
+    }
+
+    #[test]
+    fn create_function_validates_body_eagerly() {
+        let f = fdbs();
+        let mut m = Meter::new();
+        let err = f
+            .execute(
+                "CREATE FUNCTION Broken (X INT) RETURNS TABLE (Y INT) LANGUAGE SQL RETURN \
+                 SELECT GQ.Qual FROM TABLE (NoSuchFunction(Broken.X)) AS GQ",
+                &mut m,
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("NoSuchFunction") || err.to_string().contains("unknown"));
+    }
+
+    #[test]
+    fn plan_cache_hits_skip_compilation() {
+        let f = Fdbs::new(CostModel::default());
+        let mut m = Meter::new();
+        f.execute("CREATE TABLE T (a INT)", &mut m).unwrap();
+        f.execute("INSERT INTO T VALUES (1)", &mut m).unwrap();
+        let mut m1 = Meter::new();
+        f.execute("SELECT a FROM T", &mut m1).unwrap();
+        let first = m1.now_us();
+        let mut m2 = Meter::new();
+        f.execute("SELECT a FROM T", &mut m2).unwrap();
+        let second = m2.now_us();
+        assert!(
+            first >= second + f.cost().plan_compile,
+            "repeated call ({second}) must be at least plan_compile cheaper than first ({first})"
+        );
+        assert_eq!(f.cached_plan_count(), 1);
+    }
+
+    #[test]
+    fn dml_update_delete() {
+        let f = fdbs();
+        let mut m = Meter::new();
+        let t = f
+            .execute("UPDATE Suppliers SET Relia = 99 WHERE SupplierNo = 2", &mut m)
+            .unwrap();
+        assert_eq!(t.value(0, "rows"), Some(&Value::Int(1)));
+        let t = f
+            .execute("SELECT Relia FROM Suppliers WHERE SupplierNo = 2", &mut m)
+            .unwrap();
+        assert_eq!(t.value(0, "Relia"), Some(&Value::Int(99)));
+        let t = f
+            .execute("DELETE FROM Suppliers WHERE SupplierNo = 1", &mut m)
+            .unwrap();
+        assert_eq!(t.value(0, "rows"), Some(&Value::Int(1)));
+        let t = f.execute("SELECT * FROM Suppliers", &mut m).unwrap();
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    fn insert_with_column_list_fills_nulls() {
+        let f = fdbs();
+        let mut m = Meter::new();
+        f.execute(
+            "INSERT INTO Suppliers (SupplierNo) VALUES (77)",
+            &mut m,
+        )
+        .unwrap();
+        let t = f
+            .execute("SELECT Name FROM Suppliers WHERE SupplierNo = 77", &mut m)
+            .unwrap();
+        assert_eq!(t.value(0, "Name"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn order_by_distinct_limit() {
+        let f = fdbs();
+        let mut m = Meter::new();
+        let t = f
+            .execute(
+                "SELECT Relia FROM Suppliers ORDER BY Relia DESC LIMIT 2",
+                &mut m,
+            )
+            .unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.value(0, "Relia"), Some(&Value::Int(95)));
+        let t = f
+            .execute("SELECT DISTINCT 1 FROM Suppliers", &mut m)
+            .unwrap();
+        assert_eq!(t.row_count(), 1);
+    }
+
+    #[test]
+    fn drop_function_invalidates() {
+        let f = fdbs();
+        let mut m = Meter::new();
+        f.execute(
+            "CREATE FUNCTION F1 (X INT) RETURNS TABLE (Q INT) LANGUAGE SQL RETURN \
+             SELECT GQ.Qual FROM TABLE (GetQuality(F1.X)) AS GQ",
+            &mut m,
+        )
+        .unwrap();
+        f.execute("SELECT T.Q FROM TABLE (F1(1)) AS T", &mut m).unwrap();
+        f.execute("DROP FUNCTION F1", &mut m).unwrap();
+        assert!(f
+            .execute("SELECT T.Q FROM TABLE (F1(1)) AS T", &mut m)
+            .is_err());
+    }
+
+    #[test]
+    fn call_function_directly() {
+        let f = fdbs();
+        let mut m = Meter::new();
+        let t = f
+            .call_function("GetQuality", &[Value::Int(1234)], &mut m)
+            .unwrap();
+        assert_eq!(t.value(0, "Qual"), Some(&Value::Int(93)));
+    }
+
+    #[test]
+    fn explain_renders_the_plan() {
+        let f = fdbs();
+        let mut m = Meter::new();
+        let t = f
+            .execute(
+                "EXPLAIN SELECT S.Name, GQ.Qual FROM Suppliers AS S, TABLE (GetQuality(S.SupplierNo)) AS GQ WHERE S.SupplierNo = 1234 ORDER BY GQ.Qual LIMIT 5",
+                &mut m,
+            )
+            .unwrap();
+        let text: Vec<String> = t
+            .rows()
+            .iter()
+            .map(|r| r.values()[0].render())
+            .collect();
+        let joined = text.join("\n");
+        assert!(joined.contains("Limit 5"), "{joined}");
+        assert!(joined.contains("Sort"), "{joined}");
+        assert!(joined.contains("Project [Name, Qual]"), "{joined}");
+        assert!(joined.contains("ScanLocal Suppliers AS S [pushdown:"), "{joined}");
+        assert!(joined.contains("TableFunction GetQuality"), "{joined}");
+        assert!(joined.contains("[lateral]"), "{joined}");
+        // EXPLAIN of DML is rejected.
+        assert!(f
+            .execute("EXPLAIN DELETE FROM Suppliers", &mut m)
+            .is_err());
+    }
+
+    #[test]
+    fn explain_marks_independent_functions() {
+        let f = fdbs();
+        let mut m = Meter::new();
+        let t = f
+            .execute(
+                "EXPLAIN SELECT GQ.Qual, GR.Relia FROM TABLE (GetQuality(1)) AS GQ, TABLE (GetReliability(2)) AS GR",
+                &mut m,
+            )
+            .unwrap();
+        let joined: String = t
+            .rows()
+            .iter()
+            .map(|r| r.values()[0].render())
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(
+            joined.contains("[independent: join with selection]"),
+            "{joined}"
+        );
+    }
+
+    #[test]
+    fn script_execution() {
+        let f = Fdbs::new(CostModel::zero());
+        let mut m = Meter::new();
+        let t = f
+            .execute_script(
+                "CREATE TABLE X (a INT); INSERT INTO X VALUES (1), (2); SELECT a FROM X ORDER BY a DESC;",
+                &mut m,
+            )
+            .unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.value(0, "a"), Some(&Value::Int(2)));
+    }
+}

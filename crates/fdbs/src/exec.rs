@@ -1,0 +1,432 @@
+//! The plan executor: a materializing pipeline over the lateral chain.
+
+use fedwf_sim::{Component, Meter};
+use fedwf_types::{
+    implicit_cast, FedError, FedResult, ResultExt, Row, Table, Value,
+};
+
+use crate::engine::Fdbs;
+use crate::plan::{self as fedwf_plan, FromStep, Plan};
+use crate::udtf::{Udtf, UdtfKind};
+
+/// Execute a bound plan against the engine's catalog, booking executor
+/// costs to `meter`. `params` supplies the plan's parameter slots in order.
+pub fn execute_plan(
+    fdbs: &Fdbs,
+    plan: &Plan,
+    params: &[Value],
+    meter: &mut Meter,
+) -> FedResult<Table> {
+    if params.len() != plan.params.len() {
+        return Err(FedError::execution(format!(
+            "plan expects {} parameters, got {}",
+            plan.params.len(),
+            params.len()
+        )));
+    }
+    let cost = fdbs.cost();
+
+    // The lateral chain starts from a single empty row.
+    let mut rows: Vec<Row> = vec![Row::empty()];
+    for (i, step) in plan.steps.iter().enumerate() {
+        rows = execute_step(fdbs, step, i, rows, params, meter)
+            .context(format!("evaluating FROM item {} ({step:?})", i + 1))?;
+        if let Some(filter) = &plan.step_filters[i] {
+            let mut kept = Vec::with_capacity(rows.len());
+            for row in rows {
+                meter.charge(Component::Fdbs, "Evaluate predicates", cost.predicate_eval);
+                if filter.eval_predicate(row.values(), params)? {
+                    kept.push(row);
+                }
+            }
+            rows = kept;
+        }
+    }
+
+    // Grouping/aggregation replaces the scalar projection entirely.
+    if let Some(agg) = &plan.aggregate {
+        let mut out = aggregate_rows(fdbs, plan, agg, &rows, params, meter)?;
+        if let Some(limit) = plan.limit {
+            let rows: Vec<Row> = out.into_rows().into_iter().take(limit as usize).collect();
+            let mut limited = Table::new(plan.out_schema.clone());
+            for row in rows {
+                limited.push_unchecked(row);
+            }
+            out = limited;
+        }
+        return Ok(out);
+    }
+
+    // ORDER BY is evaluated on the full (pre-projection) row layout, so it
+    // may reference any FROM column, not just projected ones.
+    if !plan.order_by.is_empty() {
+        let mut keyed: Vec<(Vec<Value>, Row)> = rows
+            .into_iter()
+            .map(|row| {
+                let keys = plan
+                    .order_by
+                    .iter()
+                    .map(|(e, _)| e.eval(row.values(), params))
+                    .collect::<FedResult<Vec<_>>>()?;
+                Ok((keys, row))
+            })
+            .collect::<FedResult<_>>()?;
+        keyed.sort_by(|(ka, _), (kb, _)| {
+            for ((a, b), (_, asc)) in ka.iter().zip(kb).zip(&plan.order_by) {
+                let ord = a.index_cmp(b);
+                let ord = if *asc { ord } else { ord.reverse() };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        rows = keyed.into_iter().map(|(_, row)| row).collect();
+    }
+
+    // Projection.
+    let mut out = Table::new(plan.out_schema.clone());
+    for row in &rows {
+        let values: Vec<Value> = plan
+            .projection
+            .iter()
+            .map(|(e, _)| e.eval(row.values(), params))
+            .collect::<FedResult<_>>()?;
+        meter.charge(Component::Fdbs, "Produce result rows", cost.row_output);
+        out.push_unchecked(Row::new(values));
+    }
+
+    // DISTINCT.
+    if plan.distinct {
+        let mut seen: Vec<Row> = Vec::new();
+        let mut deduped = Table::new(plan.out_schema.clone());
+        for row in out.into_rows() {
+            let dup = seen.iter().any(|r| {
+                r.values()
+                    .iter()
+                    .zip(row.values())
+                    .all(|(a, b)| a.index_cmp(b) == std::cmp::Ordering::Equal)
+            });
+            if !dup {
+                seen.push(row.clone());
+                deduped.push_unchecked(row);
+            }
+        }
+        out = deduped;
+    }
+
+    // LIMIT.
+    if let Some(limit) = plan.limit {
+        let rows: Vec<Row> = out.into_rows().into_iter().take(limit as usize).collect();
+        let mut limited = Table::new(plan.out_schema.clone());
+        for row in rows {
+            limited.push_unchecked(row);
+        }
+        out = limited;
+    }
+
+    Ok(out)
+}
+
+fn execute_step(
+    fdbs: &Fdbs,
+    step: &FromStep,
+    position: usize,
+    prefix: Vec<Row>,
+    params: &[Value],
+    meter: &mut Meter,
+) -> FedResult<Vec<Row>> {
+    let cost = fdbs.cost();
+    match step {
+        FromStep::ScanLocal {
+            table, pushdown, ..
+        } => {
+            let scanned = fdbs.catalog().local().scan(table.as_str(), pushdown)?;
+            meter.charge(
+                Component::Fdbs,
+                "Scan local table",
+                cost.predicate_eval * scanned.row_count() as u64,
+            );
+            Ok(cross(prefix, scanned.rows()))
+        }
+        FromStep::ScanForeign {
+            server,
+            remote_name,
+            pushdown,
+            ..
+        } => {
+            let scanned = server.scan(remote_name, pushdown)?;
+            meter.charge(
+                Component::Fdbs,
+                format!("Subquery to SQL source {}", server.name()),
+                cost.rmi_call + cost.rmi_return,
+            );
+            Ok(cross(prefix, scanned.rows()))
+        }
+        FromStep::TableFunc {
+            udtf,
+            args,
+            independent,
+            ..
+        } => {
+            // Independent table functions compose with the prefix via a
+            // join-with-selection; they are also invoked only once (their
+            // result does not depend on prefix rows).
+            if *independent {
+                let arg_values: Vec<Value> = args
+                    .iter()
+                    .map(|a| a.eval(&[], params))
+                    .collect::<FedResult<_>>()?;
+                let result = invoke_udtf(fdbs, udtf, &arg_values, meter)?;
+                if position > 0 {
+                    meter.charge(
+                        Component::Fdbs,
+                        "Join with selection (compose result sets)",
+                        cost.join_with_selection_setup
+                            + cost.join_with_selection_per_row
+                                * (prefix.len() * result.row_count()) as u64,
+                    );
+                }
+                Ok(cross(prefix, result.rows()))
+            } else {
+                let mut out = Vec::new();
+                for row in &prefix {
+                    let arg_values: Vec<Value> = args
+                        .iter()
+                        .map(|a| a.eval(row.values(), params))
+                        .collect::<FedResult<_>>()?;
+                    let result = invoke_udtf(fdbs, udtf, &arg_values, meter)?;
+                    for rrow in result.rows() {
+                        out.push(row.concat(rrow));
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+/// Group the input rows by the plan's keys and evaluate the aggregate
+/// columns. Without GROUP BY there is exactly one group — even over zero
+/// rows (`COUNT(*)` of an empty table is 0, `SUM` is NULL).
+fn aggregate_rows(
+    fdbs: &Fdbs,
+    plan: &Plan,
+    agg: &fedwf_plan::AggregatePlan,
+    rows: &[Row],
+    params: &[Value],
+    meter: &mut Meter,
+) -> FedResult<Table> {
+    use fedwf_plan::{AggColumn, AggFn};
+    let cost = fdbs.cost();
+
+    // Collected argument values per group: (key values, per-column data).
+    struct Group {
+        keys: Vec<Value>,
+        /// For each aggregate column: non-null argument values (for
+        /// COUNT(*): the total row count as `seen`).
+        values: Vec<Vec<Value>>,
+        seen: u64,
+    }
+    let agg_count = agg.columns.len();
+    let mut groups: Vec<Group> = Vec::new();
+
+    for row in rows {
+        meter.charge(Component::Fdbs, "Evaluate predicates", cost.predicate_eval);
+        let keys: Vec<Value> = agg
+            .keys
+            .iter()
+            .map(|k| k.eval(row.values(), params))
+            .collect::<FedResult<_>>()?;
+        let group = match groups.iter_mut().find(|g| {
+            g.keys
+                .iter()
+                .zip(&keys)
+                .all(|(a, b)| a.index_cmp(b) == std::cmp::Ordering::Equal)
+        }) {
+            Some(g) => g,
+            None => {
+                groups.push(Group {
+                    keys: keys.clone(),
+                    values: vec![Vec::new(); agg_count],
+                    seen: 0,
+                });
+                groups.last_mut().expect("just pushed")
+            }
+        };
+        group.seen += 1;
+        for (i, (col, _)) in agg.columns.iter().enumerate() {
+            if let AggColumn::Agg { arg: Some(arg), .. } = col {
+                let v = arg.eval(row.values(), params)?;
+                if !v.is_null() {
+                    group.values[i].push(v);
+                }
+            }
+        }
+    }
+    // Global aggregation over zero rows still yields one (empty) group.
+    if groups.is_empty() && agg.keys.is_empty() {
+        groups.push(Group {
+            keys: vec![],
+            values: vec![Vec::new(); agg_count],
+            seen: 0,
+        });
+    }
+
+    let mut out = Table::new(plan.out_schema.clone());
+    for group in &groups {
+        let mut values = Vec::with_capacity(agg_count);
+        for (i, ((col, _), schema_col)) in agg
+            .columns
+            .iter()
+            .zip(plan.out_schema.columns())
+            .enumerate()
+        {
+            let v = match col {
+                AggColumn::Key(k) => group.keys[*k].clone(),
+                AggColumn::Agg { f, arg } => {
+                    let collected = &group.values[i];
+                    match f {
+                        AggFn::Count => match arg {
+                            None => Value::BigInt(group.seen as i64),
+                            Some(_) => Value::BigInt(collected.len() as i64),
+                        },
+                        AggFn::Sum | AggFn::Avg => {
+                            if collected.is_empty() {
+                                Value::Null
+                            } else {
+                                let as_f: f64 =
+                                    collected.iter().filter_map(Value::as_f64).sum();
+                                match (f, schema_col.data_type) {
+                                    (AggFn::Avg, _) => {
+                                        Value::Double(as_f / collected.len() as f64)
+                                    }
+                                    (_, fedwf_types::DataType::Double) => Value::Double(as_f),
+                                    _ => {
+                                        let as_i: i64 = collected
+                                            .iter()
+                                            .filter_map(Value::as_i64)
+                                            .sum();
+                                        Value::BigInt(as_i)
+                                    }
+                                }
+                            }
+                        }
+                        AggFn::Min | AggFn::Max => collected
+                            .iter()
+                            .cloned()
+                            .reduce(|a, b| {
+                                let keep_a = match f {
+                                    AggFn::Min => {
+                                        a.index_cmp(&b) != std::cmp::Ordering::Greater
+                                    }
+                                    _ => a.index_cmp(&b) != std::cmp::Ordering::Less,
+                                };
+                                if keep_a {
+                                    a
+                                } else {
+                                    b
+                                }
+                            })
+                            .unwrap_or(Value::Null),
+                    }
+                }
+            };
+            values.push(coerce_agg(v, schema_col.data_type));
+        }
+        meter.charge(Component::Fdbs, "Produce result rows", cost.row_output);
+        out.push_unchecked(Row::new(values));
+    }
+    Ok(out)
+}
+
+/// Widen an aggregate result to the declared column type where possible
+/// (keys already match; COUNT/SUM naturally produce BIGINT).
+fn coerce_agg(v: Value, to: fedwf_types::DataType) -> Value {
+    if v.is_null() {
+        return v;
+    }
+    match implicit_cast(&v, to) {
+        Ok(coerced) => coerced,
+        Err(_) => v,
+    }
+}
+
+fn cross(prefix: Vec<Row>, rows: &[Row]) -> Vec<Row> {
+    let mut out = Vec::with_capacity(prefix.len() * rows.len());
+    for left in &prefix {
+        for right in rows {
+            out.push(left.concat(right));
+        }
+    }
+    out
+}
+
+/// Invoke a UDTF: book its architecture charges, bind arguments, run the
+/// body (recursing into the engine for SQL-bodied functions), and map the
+/// result to the declared return schema.
+pub fn invoke_udtf(
+    fdbs: &Fdbs,
+    udtf: &Udtf,
+    args: &[Value],
+    meter: &mut Meter,
+) -> FedResult<Table> {
+    udtf.charges.book_start(meter);
+
+    if args.len() != udtf.params.len() {
+        return Err(FedError::execution(format!(
+            "function {} expects {} arguments, got {}",
+            udtf.name,
+            udtf.params.len(),
+            args.len()
+        )));
+    }
+    let bound: Vec<Value> = args
+        .iter()
+        .zip(&udtf.params)
+        .map(|(v, (pname, ptype))| {
+            implicit_cast(v, *ptype).map_err(|e| {
+                FedError::execution(format!("argument {pname} of {}: {e}", udtf.name))
+            })
+        })
+        .collect::<FedResult<_>>()?;
+
+    let raw = match &udtf.kind {
+        UdtfKind::Native(body) => body(&bound, meter)
+            .context(format!("invoking table function {}", udtf.name))?,
+        UdtfKind::Sql(body) => fdbs
+            .execute_function_body(udtf, body, &bound, meter)
+            .context(format!("invoking SQL table function {}", udtf.name))?,
+    };
+
+    // Positional mapping onto the declared return schema (the SQL body's
+    // column names need not match the declared names, as in DB2).
+    if raw.schema().len() != udtf.returns.len() {
+        return Err(FedError::execution(format!(
+            "function {} returned {} columns but declares {}",
+            udtf.name,
+            raw.schema().len(),
+            udtf.returns.len()
+        )));
+    }
+    let mut mapped = Table::new(udtf.returns.clone());
+    for row in raw.rows() {
+        let values: Vec<Value> = row
+            .values()
+            .iter()
+            .zip(udtf.returns.columns())
+            .map(|(v, col)| {
+                implicit_cast(v, col.data_type).map_err(|e| {
+                    FedError::execution(format!(
+                        "function {} result column {}: {e}",
+                        udtf.name, col.name
+                    ))
+                })
+            })
+            .collect::<FedResult<_>>()?;
+        mapped.push_unchecked(Row::new(values));
+    }
+
+    udtf.charges.book_finish(meter);
+    Ok(mapped)
+}

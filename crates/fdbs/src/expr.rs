@@ -1,0 +1,521 @@
+//! Bound scalar expressions and their evaluator.
+//!
+//! A [`BoundExpr`] is an [`fedwf_sql::Expr`] after name resolution: column
+//! references have become positional indexes into the executor's current
+//! row layout, parameter references (`BuySuppComp.SupplierNo`, or bare host
+//! variables) have become parameter slots, cast *functions* (`BIGINT(x)`)
+//! have been recognized, and scalar builtins are resolved.
+
+use fedwf_types::{cast_value, DataType, FedError, FedResult, Value};
+
+/// Scalar builtins beyond casts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarFn {
+    Upper,
+    Lower,
+    Length,
+    Abs,
+}
+
+impl ScalarFn {
+    pub fn resolve(name: &str) -> Option<ScalarFn> {
+        match name.to_ascii_uppercase().as_str() {
+            "UPPER" => Some(ScalarFn::Upper),
+            "LOWER" => Some(ScalarFn::Lower),
+            "LENGTH" => Some(ScalarFn::Length),
+            "ABS" => Some(ScalarFn::Abs),
+            _ => None,
+        }
+    }
+}
+
+/// Binary operators after binding (same set as the AST's).
+pub use fedwf_sql::BinaryOp;
+
+/// A fully resolved scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundExpr {
+    /// Column `index` of the executor's current row.
+    Column { index: usize, data_type: DataType },
+    /// Parameter slot (function parameter or host variable).
+    Param { index: usize, data_type: DataType },
+    Literal(Value),
+    Binary {
+        left: Box<BoundExpr>,
+        op: BinaryOp,
+        right: Box<BoundExpr>,
+    },
+    Not(Box<BoundExpr>),
+    Neg(Box<BoundExpr>),
+    Cast {
+        input: Box<BoundExpr>,
+        to: DataType,
+    },
+    Scalar {
+        f: ScalarFn,
+        args: Vec<BoundExpr>,
+    },
+    IsNull {
+        input: Box<BoundExpr>,
+        negated: bool,
+    },
+}
+
+impl BoundExpr {
+    /// Static result type where determinable (comparisons are BOOLEAN,
+    /// casts are their target, arithmetic follows the numeric lattice).
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            BoundExpr::Column { data_type, .. } | BoundExpr::Param { data_type, .. } => {
+                Some(*data_type)
+            }
+            BoundExpr::Literal(v) => v.data_type(),
+            BoundExpr::Cast { to, .. } => Some(*to),
+            BoundExpr::Not(_) | BoundExpr::IsNull { .. } => Some(DataType::Boolean),
+            BoundExpr::Neg(e) => e.data_type(),
+            BoundExpr::Scalar { f, .. } => Some(match f {
+                ScalarFn::Upper | ScalarFn::Lower => DataType::Varchar,
+                ScalarFn::Length => DataType::Int,
+                ScalarFn::Abs => DataType::Double,
+            }),
+            BoundExpr::Binary { left, op, right } => match op {
+                BinaryOp::And
+                | BinaryOp::Or
+                | BinaryOp::Eq
+                | BinaryOp::NotEq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq => Some(DataType::Boolean),
+                BinaryOp::Concat => Some(DataType::Varchar),
+                BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div => {
+                    let (a, b) = (left.data_type()?, right.data_type()?);
+                    let rank = a.numeric_rank()?.max(b.numeric_rank()?);
+                    Some(match rank {
+                        0 => DataType::Int,
+                        1 => DataType::BigInt,
+                        _ => DataType::Double,
+                    })
+                }
+            },
+        }
+    }
+
+    /// All column indexes referenced by the expression.
+    pub fn column_indexes(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let BoundExpr::Column { index, .. } = e {
+                out.push(*index);
+            }
+        });
+        out
+    }
+
+    fn walk<'a>(&'a self, f: &mut impl FnMut(&'a BoundExpr)) {
+        f(self);
+        match self {
+            BoundExpr::Binary { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+            BoundExpr::Not(e) | BoundExpr::Neg(e) => e.walk(f),
+            BoundExpr::Cast { input, .. } | BoundExpr::IsNull { input, .. } => input.walk(f),
+            BoundExpr::Scalar { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Evaluate against a row and the parameter vector.
+    pub fn eval(&self, row: &[Value], params: &[Value]) -> FedResult<Value> {
+        match self {
+            BoundExpr::Column { index, .. } => row.get(*index).cloned().ok_or_else(|| {
+                FedError::execution(format!("column index {index} out of row bounds"))
+            }),
+            BoundExpr::Param { index, .. } => params.get(*index).cloned().ok_or_else(|| {
+                FedError::execution(format!("parameter index {index} out of bounds"))
+            }),
+            BoundExpr::Literal(v) => Ok(v.clone()),
+            BoundExpr::Cast { input, to } => {
+                let v = input.eval(row, params)?;
+                Ok(cast_value(&v, *to)?)
+            }
+            BoundExpr::Not(e) => match e.eval(row, params)? {
+                Value::Null => Ok(Value::Null),
+                Value::Boolean(b) => Ok(Value::Boolean(!b)),
+                other => Err(FedError::execution(format!(
+                    "NOT applied to non-boolean {other}"
+                ))),
+            },
+            BoundExpr::Neg(e) => match e.eval(row, params)? {
+                Value::Null => Ok(Value::Null),
+                Value::Int(v) => Ok(Value::Int(-v)),
+                Value::BigInt(v) => Ok(Value::BigInt(-v)),
+                Value::Double(v) => Ok(Value::Double(-v)),
+                other => Err(FedError::execution(format!(
+                    "unary minus applied to {other}"
+                ))),
+            },
+            BoundExpr::IsNull { input, negated } => {
+                let v = input.eval(row, params)?;
+                Ok(Value::Boolean(v.is_null() != *negated))
+            }
+            BoundExpr::Scalar { f, args } => {
+                let vals: Vec<Value> = args
+                    .iter()
+                    .map(|a| a.eval(row, params))
+                    .collect::<FedResult<_>>()?;
+                eval_scalar(*f, &vals)
+            }
+            BoundExpr::Binary { left, op, right } => {
+                eval_binary(*op, left, right, row, params)
+            }
+        }
+    }
+
+    /// Evaluate as a predicate: true only when definitely TRUE (3VL).
+    pub fn eval_predicate(&self, row: &[Value], params: &[Value]) -> FedResult<bool> {
+        Ok(matches!(self.eval(row, params)?, Value::Boolean(true)))
+    }
+}
+
+fn eval_scalar(f: ScalarFn, args: &[Value]) -> FedResult<Value> {
+    let arg = |i: usize| -> FedResult<&Value> {
+        args.get(i)
+            .ok_or_else(|| FedError::execution("missing scalar function argument"))
+    };
+    if args.iter().any(Value::is_null) {
+        return Ok(Value::Null);
+    }
+    match f {
+        ScalarFn::Upper => Ok(Value::Varchar(
+            arg(0)?
+                .as_str()
+                .ok_or_else(|| FedError::execution("UPPER expects VARCHAR"))?
+                .to_uppercase(),
+        )),
+        ScalarFn::Lower => Ok(Value::Varchar(
+            arg(0)?
+                .as_str()
+                .ok_or_else(|| FedError::execution("LOWER expects VARCHAR"))?
+                .to_lowercase(),
+        )),
+        ScalarFn::Length => Ok(Value::Int(
+            arg(0)?
+                .as_str()
+                .ok_or_else(|| FedError::execution("LENGTH expects VARCHAR"))?
+                .chars()
+                .count() as i32,
+        )),
+        ScalarFn::Abs => {
+            let v = arg(0)?;
+            match v {
+                Value::Int(x) => Ok(Value::Int(x.abs())),
+                Value::BigInt(x) => Ok(Value::BigInt(x.abs())),
+                Value::Double(x) => Ok(Value::Double(x.abs())),
+                other => Err(FedError::execution(format!("ABS expects a number, got {other}"))),
+            }
+        }
+    }
+}
+
+fn eval_binary(
+    op: BinaryOp,
+    left: &BoundExpr,
+    right: &BoundExpr,
+    row: &[Value],
+    params: &[Value],
+) -> FedResult<Value> {
+    use BinaryOp::*;
+    // Short-circuiting 3VL AND / OR.
+    if matches!(op, And | Or) {
+        let l = left.eval(row, params)?;
+        let lb = match &l {
+            Value::Null => None,
+            Value::Boolean(b) => Some(*b),
+            other => {
+                return Err(FedError::execution(format!(
+                    "{op:?} applied to non-boolean {other}"
+                )))
+            }
+        };
+        match (op, lb) {
+            (And, Some(false)) => return Ok(Value::Boolean(false)),
+            (Or, Some(true)) => return Ok(Value::Boolean(true)),
+            _ => {}
+        }
+        let r = right.eval(row, params)?;
+        let rb = match &r {
+            Value::Null => None,
+            Value::Boolean(b) => Some(*b),
+            other => {
+                return Err(FedError::execution(format!(
+                    "{op:?} applied to non-boolean {other}"
+                )))
+            }
+        };
+        return Ok(match (op, lb, rb) {
+            (And, Some(true), Some(true)) => Value::Boolean(true),
+            (And, _, Some(false)) => Value::Boolean(false),
+            (Or, Some(false), Some(false)) => Value::Boolean(false),
+            (Or, _, Some(true)) => Value::Boolean(true),
+            _ => Value::Null,
+        });
+    }
+
+    let l = left.eval(row, params)?;
+    let r = right.eval(row, params)?;
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    match op {
+        Eq | NotEq | Lt | LtEq | Gt | GtEq => {
+            let ord = l.sql_cmp(&r).ok_or_else(|| {
+                FedError::execution(format!("cannot compare {l} with {r}"))
+            })?;
+            let b = match op {
+                Eq => ord == std::cmp::Ordering::Equal,
+                NotEq => ord != std::cmp::Ordering::Equal,
+                Lt => ord == std::cmp::Ordering::Less,
+                LtEq => ord != std::cmp::Ordering::Greater,
+                Gt => ord == std::cmp::Ordering::Greater,
+                GtEq => ord != std::cmp::Ordering::Less,
+                _ => unreachable!(),
+            };
+            Ok(Value::Boolean(b))
+        }
+        Concat => {
+            let (Some(a), Some(b)) = (l.as_str(), r.as_str()) else {
+                return Err(FedError::execution("|| expects VARCHAR operands"));
+            };
+            Ok(Value::Varchar(format!("{a}{b}")))
+        }
+        Add | Sub | Mul | Div => eval_arith(op, &l, &r),
+        And | Or => unreachable!("handled above"),
+    }
+}
+
+fn eval_arith(op: BinaryOp, l: &Value, r: &Value) -> FedResult<Value> {
+    use BinaryOp::*;
+    let rank = |v: &Value| v.data_type().and_then(|d| d.numeric_rank());
+    let (Some(lr), Some(rr)) = (rank(l), rank(r)) else {
+        return Err(FedError::execution(format!(
+            "arithmetic on non-numeric operands {l} and {r}"
+        )));
+    };
+    let out_rank = lr.max(rr);
+    if out_rank <= 1 {
+        let (a, b) = (l.as_i64().unwrap(), r.as_i64().unwrap());
+        let res = match op {
+            Add => a.checked_add(b),
+            Sub => a.checked_sub(b),
+            Mul => a.checked_mul(b),
+            Div => {
+                if b == 0 {
+                    return Err(FedError::execution("division by zero"));
+                }
+                a.checked_div(b)
+            }
+            _ => unreachable!(),
+        }
+        .ok_or_else(|| FedError::execution("integer arithmetic overflow"))?;
+        if out_rank == 0 {
+            // INT op INT stays INT (DB2); overflow promotes is NOT done.
+            let narrowed = i32::try_from(res)
+                .map_err(|_| FedError::execution("INT arithmetic overflow"))?;
+            Ok(Value::Int(narrowed))
+        } else {
+            Ok(Value::BigInt(res))
+        }
+    } else {
+        let (a, b) = (l.as_f64().unwrap(), r.as_f64().unwrap());
+        let res = match op {
+            Add => a + b,
+            Sub => a - b,
+            Mul => a * b,
+            Div => {
+                if b == 0.0 {
+                    return Err(FedError::execution("division by zero"));
+                }
+                a / b
+            }
+            _ => unreachable!(),
+        };
+        Ok(Value::Double(res))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(i: usize, dt: DataType) -> BoundExpr {
+        BoundExpr::Column {
+            index: i,
+            data_type: dt,
+        }
+    }
+
+    fn lit(v: impl Into<Value>) -> BoundExpr {
+        BoundExpr::Literal(v.into())
+    }
+
+    fn bin(l: BoundExpr, op: BinaryOp, r: BoundExpr) -> BoundExpr {
+        BoundExpr::Binary {
+            left: Box::new(l),
+            op,
+            right: Box::new(r),
+        }
+    }
+
+    #[test]
+    fn column_and_param_lookup() {
+        let row = vec![Value::Int(7)];
+        let params = vec![Value::str("x")];
+        assert_eq!(
+            col(0, DataType::Int).eval(&row, &params).unwrap(),
+            Value::Int(7)
+        );
+        let p = BoundExpr::Param {
+            index: 0,
+            data_type: DataType::Varchar,
+        };
+        assert_eq!(p.eval(&row, &params).unwrap(), Value::str("x"));
+        assert!(col(5, DataType::Int).eval(&row, &params).is_err());
+    }
+
+    #[test]
+    fn comparisons_are_three_valued() {
+        let e = bin(lit(1), BinaryOp::Eq, lit(Value::Null));
+        assert_eq!(e.eval(&[], &[]).unwrap(), Value::Null);
+        assert!(!e.eval_predicate(&[], &[]).unwrap());
+        let e = bin(lit(2), BinaryOp::Lt, lit(3));
+        assert_eq!(e.eval(&[], &[]).unwrap(), Value::Boolean(true));
+    }
+
+    #[test]
+    fn and_or_short_circuit_and_3vl() {
+        let t = lit(true);
+        let f = lit(false);
+        let n = lit(Value::Null);
+        assert_eq!(
+            bin(f.clone(), BinaryOp::And, n.clone()).eval(&[], &[]).unwrap(),
+            Value::Boolean(false)
+        );
+        assert_eq!(
+            bin(n.clone(), BinaryOp::And, t.clone()).eval(&[], &[]).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            bin(t.clone(), BinaryOp::Or, n.clone()).eval(&[], &[]).unwrap(),
+            Value::Boolean(true)
+        );
+        assert_eq!(
+            bin(n.clone(), BinaryOp::Or, f.clone()).eval(&[], &[]).unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn arithmetic_widening() {
+        assert_eq!(
+            bin(lit(2), BinaryOp::Add, lit(3)).eval(&[], &[]).unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            bin(lit(2i64), BinaryOp::Mul, lit(3)).eval(&[], &[]).unwrap(),
+            Value::BigInt(6)
+        );
+        assert_eq!(
+            bin(lit(1), BinaryOp::Div, lit(2.0)).eval(&[], &[]).unwrap(),
+            Value::Double(0.5)
+        );
+    }
+
+    #[test]
+    fn division_by_zero_and_overflow() {
+        assert!(bin(lit(1), BinaryOp::Div, lit(0)).eval(&[], &[]).is_err());
+        assert!(bin(lit(i32::MAX), BinaryOp::Add, lit(1))
+            .eval(&[], &[])
+            .is_err());
+        // The same sum as BIGINT is fine.
+        assert_eq!(
+            bin(lit(i32::MAX as i64), BinaryOp::Add, lit(1))
+                .eval(&[], &[])
+                .unwrap(),
+            Value::BigInt(i32::MAX as i64 + 1)
+        );
+    }
+
+    #[test]
+    fn cast_and_is_null() {
+        let e = BoundExpr::Cast {
+            input: Box::new(lit(5)),
+            to: DataType::BigInt,
+        };
+        assert_eq!(e.eval(&[], &[]).unwrap(), Value::BigInt(5));
+        let e = BoundExpr::IsNull {
+            input: Box::new(lit(Value::Null)),
+            negated: false,
+        };
+        assert_eq!(e.eval(&[], &[]).unwrap(), Value::Boolean(true));
+    }
+
+    #[test]
+    fn scalar_functions() {
+        let e = BoundExpr::Scalar {
+            f: ScalarFn::Upper,
+            args: vec![lit("bolt")],
+        };
+        assert_eq!(e.eval(&[], &[]).unwrap(), Value::str("BOLT"));
+        let e = BoundExpr::Scalar {
+            f: ScalarFn::Length,
+            args: vec![lit("bolt")],
+        };
+        assert_eq!(e.eval(&[], &[]).unwrap(), Value::Int(4));
+        let e = BoundExpr::Scalar {
+            f: ScalarFn::Abs,
+            args: vec![lit(-3)],
+        };
+        assert_eq!(e.eval(&[], &[]).unwrap(), Value::Int(3));
+        // NULL in, NULL out.
+        let e = BoundExpr::Scalar {
+            f: ScalarFn::Lower,
+            args: vec![lit(Value::Null)],
+        };
+        assert_eq!(e.eval(&[], &[]).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn concat() {
+        let e = bin(lit("Buy"), BinaryOp::Concat, lit("SuppComp"));
+        assert_eq!(e.eval(&[], &[]).unwrap(), Value::str("BuySuppComp"));
+        assert!(bin(lit(1), BinaryOp::Concat, lit("x")).eval(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn static_types() {
+        assert_eq!(
+            bin(lit(1), BinaryOp::Add, lit(2i64)).data_type(),
+            Some(DataType::BigInt)
+        );
+        assert_eq!(
+            bin(lit(1), BinaryOp::Eq, lit(2)).data_type(),
+            Some(DataType::Boolean)
+        );
+    }
+
+    #[test]
+    fn column_indexes_collected() {
+        let e = bin(
+            col(2, DataType::Int),
+            BinaryOp::Eq,
+            col(5, DataType::Int),
+        );
+        assert_eq!(e.column_indexes(), vec![2, 5]);
+    }
+}

@@ -1,0 +1,1114 @@
+//! Binder and planner: from AST to an executable lateral plan.
+//!
+//! The FROM clause compiles into a **left-to-right lateral chain**, exactly
+//! DB2's processing model that the paper leans on: each step sees the
+//! columns of every step to its *left* plus the enclosing function's
+//! parameters (or the statement's host variables). A table function whose
+//! arguments reference no lateral column is *independent* — when it is not
+//! the first step, composing its result set with the prefix is the
+//! "join with selection" whose cost distinguishes the UDTF architecture's
+//! independent case from its sequential case.
+
+use std::sync::Arc;
+
+use fedwf_relstore::{CmpOp, Predicate};
+use fedwf_sql::{BinaryOp, Expr, FromItem, SelectItem, SelectStmt, UnaryOp};
+use fedwf_types::{
+    Column, DataType, FedError, FedResult, Ident, QualifiedName, Schema, SchemaRef,
+};
+
+use crate::catalog::{Catalog, TableOrigin};
+use crate::expr::{BoundExpr, ScalarFn};
+use crate::sqlmed::ForeignServer;
+use crate::udtf::Udtf;
+
+/// One step of the lateral FROM chain.
+#[derive(Clone)]
+pub enum FromStep {
+    /// Scan of a local table with a pushed-down storage predicate.
+    ScanLocal {
+        table: Ident,
+        alias: Ident,
+        schema: SchemaRef,
+        pushdown: Predicate,
+    },
+    /// Scan of a foreign table; the predicate is pushed to the server as a
+    /// subquery.
+    ScanForeign {
+        server: Arc<dyn ForeignServer>,
+        remote_name: String,
+        alias: Ident,
+        schema: SchemaRef,
+        pushdown: Predicate,
+    },
+    /// Lateral table-function call.
+    TableFunc {
+        udtf: Arc<Udtf>,
+        alias: Ident,
+        args: Vec<BoundExpr>,
+        /// True when no argument references a lateral column — composing
+        /// with the prefix is then a join-with-selection.
+        independent: bool,
+    },
+}
+
+impl std::fmt::Debug for FromStep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FromStep::ScanLocal { table, alias, .. } => write!(f, "ScanLocal({table} AS {alias})"),
+            FromStep::ScanForeign {
+                server,
+                remote_name,
+                alias,
+                ..
+            } => write!(f, "ScanForeign({}/{remote_name} AS {alias})", server.name()),
+            FromStep::TableFunc {
+                udtf,
+                alias,
+                independent,
+                ..
+            } => write!(
+                f,
+                "TableFunc({} AS {alias}{})",
+                udtf.name,
+                if *independent { ", independent" } else { "" }
+            ),
+        }
+    }
+}
+
+impl FromStep {
+    pub fn alias(&self) -> &Ident {
+        match self {
+            FromStep::ScanLocal { alias, .. }
+            | FromStep::ScanForeign { alias, .. }
+            | FromStep::TableFunc { alias, .. } => alias,
+        }
+    }
+
+    pub fn schema(&self) -> SchemaRef {
+        match self {
+            FromStep::ScanLocal { schema, .. } | FromStep::ScanForeign { schema, .. } => {
+                schema.clone()
+            }
+            FromStep::TableFunc { udtf, .. } => udtf.returns.clone(),
+        }
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFn {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggFn {
+    pub fn resolve(name: &str) -> Option<AggFn> {
+        match name.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(AggFn::Count),
+            "SUM" => Some(AggFn::Sum),
+            "AVG" => Some(AggFn::Avg),
+            "MIN" => Some(AggFn::Min),
+            "MAX" => Some(AggFn::Max),
+            _ => None,
+        }
+    }
+}
+
+/// One output column of an aggregate query.
+#[derive(Debug, Clone)]
+pub enum AggColumn {
+    /// A grouping key (index into [`AggregatePlan::keys`]).
+    Key(usize),
+    /// An aggregate; `arg = None` is `COUNT(*)`.
+    Agg { f: AggFn, arg: Option<BoundExpr> },
+}
+
+/// Grouping/aggregation stage appended after the lateral chain.
+#[derive(Debug, Clone)]
+pub struct AggregatePlan {
+    pub keys: Vec<BoundExpr>,
+    /// Output columns in projection order, with their names.
+    pub columns: Vec<(AggColumn, Ident)>,
+}
+
+/// A bound, optimized, executable plan.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    pub steps: Vec<FromStep>,
+    /// Residual filter applied right after step `i` completes (indexes into
+    /// the concatenated prefix row layout).
+    pub step_filters: Vec<Option<BoundExpr>>,
+    pub projection: Vec<(BoundExpr, Ident)>,
+    /// `GROUP BY`/aggregate stage; when present, `projection` is unused.
+    pub aggregate: Option<AggregatePlan>,
+    pub distinct: bool,
+    pub order_by: Vec<(BoundExpr, bool)>,
+    pub limit: Option<u64>,
+    /// Declared parameter slots, in evaluation order.
+    pub params: Vec<(Ident, DataType)>,
+    pub out_schema: SchemaRef,
+}
+
+impl Plan {
+    /// Render the plan as an indented text tree — the `EXPLAIN` output.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        if let Some(limit) = self.limit {
+            out.push_str(&format!("Limit {limit}\n"));
+        }
+        if self.distinct {
+            out.push_str("Distinct\n");
+        }
+        if !self.order_by.is_empty() {
+            out.push_str(&format!(
+                "Sort [{}]\n",
+                self.order_by
+                    .iter()
+                    .map(|(e, asc)| format!("{e:?} {}", if *asc { "ASC" } else { "DESC" }))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+        match &self.aggregate {
+            Some(agg) => out.push_str(&format!(
+                "Aggregate [{} key(s); {}]\n",
+                agg.keys.len(),
+                agg.columns
+                    .iter()
+                    .map(|(_, name)| name.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )),
+            None => out.push_str(&format!(
+                "Project [{}]\n",
+                self.projection
+                    .iter()
+                    .map(|(_, name)| name.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )),
+        }
+        for (i, step) in self.steps.iter().enumerate().rev() {
+            let indent = "  ".repeat(self.steps.len() - i);
+            if let Some(filter) = &self.step_filters[i] {
+                out.push_str(&format!("{indent}Filter {filter:?}\n"));
+            }
+            match step {
+                FromStep::ScanLocal {
+                    table,
+                    alias,
+                    pushdown,
+                    ..
+                } => {
+                    out.push_str(&format!("{indent}ScanLocal {table} AS {alias}"));
+                    if *pushdown != Predicate::True {
+                        out.push_str(&format!(" [pushdown: {pushdown:?}]"));
+                    }
+                    out.push('\n');
+                }
+                FromStep::ScanForeign {
+                    server,
+                    remote_name,
+                    alias,
+                    pushdown,
+                    ..
+                } => {
+                    out.push_str(&format!(
+                        "{indent}ScanForeign {}/{remote_name} AS {alias}",
+                        server.name()
+                    ));
+                    if *pushdown != Predicate::True {
+                        out.push_str(&format!(" [pushdown: {pushdown:?}]"));
+                    }
+                    out.push('\n');
+                }
+                FromStep::TableFunc {
+                    udtf,
+                    alias,
+                    independent,
+                    args,
+                } => {
+                    out.push_str(&format!(
+                        "{indent}TableFunction {}({} arg{}) AS {alias}{}\n",
+                        udtf.name,
+                        args.len(),
+                        if args.len() == 1 { "" } else { "s" },
+                        if *independent && i > 0 {
+                            " [independent: join with selection]"
+                        } else if *independent {
+                            " [uncorrelated]"
+                        } else {
+                            " [lateral]"
+                        }
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Binder for SELECT statements.
+pub struct PlanBuilder<'a> {
+    catalog: &'a Catalog,
+    /// Enclosing `CREATE FUNCTION` name (parameter qualifier), if any.
+    function_name: Option<Ident>,
+    /// Parameter slots: function parameters or host variables.
+    params: Vec<(Ident, DataType)>,
+}
+
+struct Scope {
+    /// (alias, schema, column offset in the concatenated layout)
+    entries: Vec<(Ident, SchemaRef, usize)>,
+    width: usize,
+}
+
+impl Scope {
+    fn new() -> Scope {
+        Scope {
+            entries: vec![],
+            width: 0,
+        }
+    }
+
+    fn push(&mut self, alias: Ident, schema: SchemaRef) -> FedResult<()> {
+        if self.entries.iter().any(|(a, _, _)| a == &alias) {
+            return Err(FedError::bind(format!(
+                "duplicate correlation name {alias}"
+            )));
+        }
+        let w = schema.len();
+        self.entries.push((alias, schema, self.width));
+        self.width += w;
+        Ok(())
+    }
+
+    /// Resolve `alias.column` to (index, type).
+    fn resolve_qualified(&self, alias: &Ident, column: &Ident) -> Option<(usize, DataType)> {
+        let (_, schema, offset) = self.entries.iter().find(|(a, _, _)| a == alias)?;
+        let idx = schema.index_of(column)?;
+        Some((offset + idx, schema.columns()[idx].data_type))
+    }
+
+    /// Resolve a bare column name; Err on ambiguity, None when absent.
+    fn resolve_bare(&self, column: &Ident) -> FedResult<Option<(usize, DataType)>> {
+        let mut found = None;
+        for (_, schema, offset) in &self.entries {
+            if let Some(idx) = schema.index_of(column) {
+                if found.is_some() {
+                    return Err(FedError::bind(format!(
+                        "ambiguous column reference {column}"
+                    )));
+                }
+                found = Some((offset + idx, schema.columns()[idx].data_type));
+            }
+        }
+        Ok(found)
+    }
+}
+
+impl<'a> PlanBuilder<'a> {
+    pub fn new(catalog: &'a Catalog) -> PlanBuilder<'a> {
+        PlanBuilder {
+            catalog,
+            function_name: None,
+            params: vec![],
+        }
+    }
+
+    /// Bind inside a `CREATE FUNCTION` body: parameters are addressable as
+    /// `FunctionName.Param` or bare.
+    pub fn with_function_context(
+        mut self,
+        name: impl Into<Ident>,
+        params: Vec<(Ident, DataType)>,
+    ) -> Self {
+        self.function_name = Some(name.into());
+        self.params = params;
+        self
+    }
+
+    /// Bind a top-level statement with host variables (the application
+    /// variables of embedded SQL, e.g. `SupplierNo` in the paper's simple
+    /// UDTF statement).
+    pub fn with_host_params(mut self, params: Vec<(Ident, DataType)>) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Bind a standalone value expression (INSERT/UPDATE literals): no
+    /// columns in scope, only constants, parameters and scalar functions.
+    pub fn bind_value_expr(&self, expr: &Expr) -> FedResult<BoundExpr> {
+        Ok(fold(self.bind_expr(expr, &Scope::new())?))
+    }
+
+    pub fn bind(&self, stmt: &SelectStmt) -> FedResult<Plan> {
+        let mut scope = Scope::new();
+        let mut steps = Vec::with_capacity(stmt.from.len());
+
+        for item in &stmt.from {
+            let step = self.bind_from_item(item, &scope)?;
+            scope.push(step.alias().clone(), step.schema())?;
+            steps.push(step);
+        }
+
+        // Classify WHERE conjuncts: push into scans when possible, else
+        // attach as a residual filter at the earliest evaluable step.
+        if stmt.selection.is_some() && steps.is_empty() {
+            return Err(FedError::bind("WHERE clause without FROM clause"));
+        }
+        let mut step_filters: Vec<Option<BoundExpr>> = vec![None; steps.len()];
+        if let Some(selection) = &stmt.selection {
+            for conjunct in selection.conjuncts() {
+                self.place_conjunct(conjunct, &scope, &mut steps, &mut step_filters)?;
+            }
+        }
+
+        // Aggregate queries take a separate projection path.
+        let has_agg = !stmt.group_by.is_empty()
+            || stmt.projection.iter().any(|item| {
+                matches!(
+                    item,
+                    SelectItem::Expr {
+                        expr: Expr::Function { name, .. },
+                        ..
+                    } if AggFn::resolve(name.as_str()).is_some()
+                )
+            });
+        if has_agg {
+            return self.bind_aggregate(stmt, &scope, steps, step_filters);
+        }
+
+        // Projection.
+        let mut projection: Vec<(BoundExpr, Ident)> = Vec::new();
+        for item in &stmt.projection {
+            match item {
+                SelectItem::Wildcard => {
+                    for (alias, schema, offset) in &scope.entries {
+                        let _ = alias;
+                        for (i, col) in schema.columns().iter().enumerate() {
+                            projection.push((
+                                BoundExpr::Column {
+                                    index: offset + i,
+                                    data_type: col.data_type,
+                                },
+                                col.name.clone(),
+                            ));
+                        }
+                    }
+                    if scope.entries.is_empty() {
+                        return Err(FedError::bind("SELECT * without FROM clause"));
+                    }
+                }
+                SelectItem::QualifiedWildcard(alias) => {
+                    let entry = scope
+                        .entries
+                        .iter()
+                        .find(|(a, _, _)| a == alias)
+                        .ok_or_else(|| {
+                            FedError::bind(format!("unknown correlation name {alias}"))
+                        })?;
+                    for (i, col) in entry.1.columns().iter().enumerate() {
+                        projection.push((
+                            BoundExpr::Column {
+                                index: entry.2 + i,
+                                data_type: col.data_type,
+                            },
+                            col.name.clone(),
+                        ));
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    let bound = fold(self.bind_expr(expr, &scope)?);
+                    let name = alias.clone().unwrap_or_else(|| derive_name(expr, projection.len()));
+                    projection.push((bound, name));
+                }
+            }
+        }
+
+        let order_by = stmt
+            .order_by
+            .iter()
+            .map(|o| Ok((fold(self.bind_expr(&o.expr, &scope)?), o.ascending)))
+            .collect::<FedResult<Vec<_>>>()?;
+
+        let out_schema = Arc::new(Schema::new(
+            projection
+                .iter()
+                .map(|(e, name)| {
+                    Column::new(
+                        name.clone(),
+                        e.data_type().unwrap_or(DataType::Varchar),
+                    )
+                })
+                .collect(),
+        ));
+
+        Ok(Plan {
+            steps,
+            step_filters,
+            projection,
+            aggregate: None,
+            distinct: stmt.distinct,
+            order_by,
+            limit: stmt.limit,
+            params: self.params.clone(),
+            out_schema,
+        })
+    }
+
+    /// Bind a SELECT with aggregates and/or GROUP BY.
+    fn bind_aggregate(
+        &self,
+        stmt: &SelectStmt,
+        scope: &Scope,
+        steps: Vec<FromStep>,
+        step_filters: Vec<Option<BoundExpr>>,
+    ) -> FedResult<Plan> {
+        if !stmt.order_by.is_empty() {
+            return Err(FedError::unsupported(
+                "ORDER BY combined with aggregates is not supported",
+            ));
+        }
+        let keys: Vec<BoundExpr> = stmt
+            .group_by
+            .iter()
+            .map(|e| Ok(fold(self.bind_expr(e, scope)?)))
+            .collect::<FedResult<_>>()?;
+
+        let mut columns: Vec<(AggColumn, Ident)> = Vec::new();
+        for (pos, item) in stmt.projection.iter().enumerate() {
+            let SelectItem::Expr { expr, alias } = item else {
+                return Err(FedError::bind(
+                    "wildcards cannot appear in an aggregate projection",
+                ));
+            };
+            let name = alias
+                .clone()
+                .unwrap_or_else(|| derive_name(expr, pos));
+            // A top-level aggregate call?
+            if let Expr::Function { name: fname, args } = expr {
+                if let Some(f) = AggFn::resolve(fname.as_str()) {
+                    let arg = match (f, args.len()) {
+                        (AggFn::Count, 0) => None, // COUNT(*)
+                        (_, 1) => {
+                            let bound = fold(self.bind_expr(&args[0], scope)?);
+                            if f != AggFn::Count && f != AggFn::Min && f != AggFn::Max {
+                                let dt = bound.data_type();
+                                if !dt.map(|d| d.is_numeric()).unwrap_or(true) {
+                                    return Err(FedError::bind(format!(
+                                        "{fname} requires a numeric argument"
+                                    )));
+                                }
+                            }
+                            Some(bound)
+                        }
+                        _ => {
+                            return Err(FedError::bind(format!(
+                                "{fname} expects exactly one argument"
+                            )))
+                        }
+                    };
+                    columns.push((AggColumn::Agg { f, arg }, name));
+                    continue;
+                }
+            }
+            // Otherwise the expression must be one of the grouping keys.
+            let key_pos = stmt
+                .group_by
+                .iter()
+                .position(|k| k == expr)
+                .ok_or_else(|| {
+                    FedError::bind(format!(
+                        "projection {expr} is neither an aggregate nor listed in GROUP BY"
+                    ))
+                })?;
+            columns.push((AggColumn::Key(key_pos), name));
+        }
+
+        let out_schema = Arc::new(Schema::new(
+            columns
+                .iter()
+                .map(|(col, name)| {
+                    let dt = match col {
+                        AggColumn::Key(i) => {
+                            keys[*i].data_type().unwrap_or(DataType::Varchar)
+                        }
+                        AggColumn::Agg { f, arg } => match f {
+                            AggFn::Count => DataType::BigInt,
+                            AggFn::Avg => DataType::Double,
+                            AggFn::Sum => match arg.as_ref().and_then(|a| a.data_type()) {
+                                Some(DataType::Double) => DataType::Double,
+                                _ => DataType::BigInt,
+                            },
+                            AggFn::Min | AggFn::Max => arg
+                                .as_ref()
+                                .and_then(|a| a.data_type())
+                                .unwrap_or(DataType::Varchar),
+                        },
+                    };
+                    Column::new(name.clone(), dt)
+                })
+                .collect(),
+        ));
+
+        Ok(Plan {
+            steps,
+            step_filters,
+            projection: vec![],
+            aggregate: Some(AggregatePlan { keys, columns }),
+            distinct: stmt.distinct,
+            order_by: vec![],
+            limit: stmt.limit,
+            params: self.params.clone(),
+            out_schema,
+        })
+    }
+
+    fn bind_from_item(&self, item: &FromItem, scope: &Scope) -> FedResult<FromStep> {
+        match item {
+            FromItem::Table { name, alias } => {
+                let (origin, schema) = self.catalog.resolve_table(name)?;
+                let alias = alias.clone().unwrap_or_else(|| name.clone());
+                Ok(match origin {
+                    TableOrigin::Local => FromStep::ScanLocal {
+                        table: name.clone(),
+                        alias,
+                        schema,
+                        pushdown: Predicate::True,
+                    },
+                    TableOrigin::Foreign {
+                        server,
+                        remote_name,
+                    } => FromStep::ScanForeign {
+                        server,
+                        remote_name,
+                        alias,
+                        schema,
+                        pushdown: Predicate::True,
+                    },
+                })
+            }
+            FromItem::TableFunction { name, args, alias } => {
+                let udtf = self.catalog.udtf(name)?;
+                if args.len() != udtf.params.len() {
+                    return Err(FedError::bind(format!(
+                        "function {} expects {} arguments, got {}",
+                        udtf.name,
+                        udtf.params.len(),
+                        args.len()
+                    )));
+                }
+                let bound_args: Vec<BoundExpr> = args
+                    .iter()
+                    .map(|a| Ok(fold(self.bind_expr(a, scope)?)))
+                    .collect::<FedResult<_>>()?;
+                let independent = bound_args
+                    .iter()
+                    .all(|a| a.column_indexes().is_empty());
+                Ok(FromStep::TableFunc {
+                    udtf,
+                    alias: alias.clone(),
+                    args: bound_args,
+                    independent,
+                })
+            }
+        }
+    }
+
+    fn bind_expr(&self, expr: &Expr, scope: &Scope) -> FedResult<BoundExpr> {
+        match expr {
+            Expr::Literal(v) => Ok(BoundExpr::Literal(v.clone())),
+            Expr::Column(q) => self.bind_column(q, scope),
+            Expr::Binary { left, op, right } => Ok(BoundExpr::Binary {
+                left: Box::new(self.bind_expr(left, scope)?),
+                op: *op,
+                right: Box::new(self.bind_expr(right, scope)?),
+            }),
+            Expr::Unary { op, expr } => {
+                let inner = Box::new(self.bind_expr(expr, scope)?);
+                Ok(match op {
+                    UnaryOp::Not => BoundExpr::Not(inner),
+                    UnaryOp::Neg => BoundExpr::Neg(inner),
+                })
+            }
+            Expr::Cast { expr, data_type } => Ok(BoundExpr::Cast {
+                input: Box::new(self.bind_expr(expr, scope)?),
+                to: *data_type,
+            }),
+            Expr::IsNull { expr, negated } => Ok(BoundExpr::IsNull {
+                input: Box::new(self.bind_expr(expr, scope)?),
+                negated: *negated,
+            }),
+            Expr::Function { name, args } => {
+                // Cast functions: BIGINT(x), INT(x), VARCHAR(x), ...
+                if let Some(dt) = DataType::parse(name.as_str()) {
+                    if args.len() != 1 {
+                        return Err(FedError::bind(format!(
+                            "cast function {name} expects exactly one argument"
+                        )));
+                    }
+                    return Ok(BoundExpr::Cast {
+                        input: Box::new(self.bind_expr(&args[0], scope)?),
+                        to: dt,
+                    });
+                }
+                if let Some(f) = ScalarFn::resolve(name.as_str()) {
+                    let bound: Vec<BoundExpr> = args
+                        .iter()
+                        .map(|a| self.bind_expr(a, scope))
+                        .collect::<FedResult<_>>()?;
+                    if bound.len() != 1 {
+                        return Err(FedError::bind(format!(
+                            "scalar function {name} expects exactly one argument"
+                        )));
+                    }
+                    return Ok(BoundExpr::Scalar { f, args: bound });
+                }
+                if self.catalog.has_udtf(name) {
+                    return Err(FedError::bind(format!(
+                        "table function {name} cannot be nested in a scalar expression — reference it in the FROM clause (nesting of functions is not supported)"
+                    )));
+                }
+                Err(FedError::bind(format!("unknown scalar function {name}")))
+            }
+        }
+    }
+
+    fn bind_column(&self, q: &QualifiedName, scope: &Scope) -> FedResult<BoundExpr> {
+        if let Some(qualifier) = &q.qualifier {
+            // Correlation name wins over the function-name qualifier.
+            if let Some((index, data_type)) = scope.resolve_qualified(qualifier, &q.name) {
+                return Ok(BoundExpr::Column { index, data_type });
+            }
+            if Some(qualifier) == self.function_name.as_ref() {
+                if let Some(slot) = self.param_slot(&q.name) {
+                    return Ok(slot);
+                }
+                return Err(FedError::bind(format!(
+                    "function {qualifier} has no parameter {}",
+                    q.name
+                )));
+            }
+            return Err(FedError::bind(format!(
+                "unknown correlation name {qualifier} in reference {q}"
+            )));
+        }
+        if let Some((index, data_type)) = scope.resolve_bare(&q.name)? {
+            return Ok(BoundExpr::Column { index, data_type });
+        }
+        if let Some(slot) = self.param_slot(&q.name) {
+            return Ok(slot);
+        }
+        Err(FedError::bind(format!("unresolved column reference {q}")))
+    }
+
+    fn param_slot(&self, name: &Ident) -> Option<BoundExpr> {
+        self.params
+            .iter()
+            .position(|(n, _)| n == name)
+            .map(|index| BoundExpr::Param {
+                index,
+                data_type: self.params[index].1,
+            })
+    }
+
+    /// Place a WHERE conjunct: push into a scan's storage predicate when
+    /// it touches exactly one scan step and has a pushable shape; otherwise
+    /// attach it as a residual filter at the earliest step where all its
+    /// columns exist.
+    fn place_conjunct(
+        &self,
+        conjunct: &Expr,
+        scope: &Scope,
+        steps: &mut [FromStep],
+        step_filters: &mut [Option<BoundExpr>],
+    ) -> FedResult<()> {
+        let bound = fold(self.bind_expr(conjunct, scope)?);
+        let cols = bound.column_indexes();
+        // Earliest step whose prefix covers all referenced columns.
+        let mut target = 0usize;
+        for &c in &cols {
+            let step_of_col = scope
+                .entries
+                .iter()
+                .position(|(_, schema, offset)| c >= *offset && c < offset + schema.len())
+                .expect("bound column belongs to a scope entry");
+            target = target.max(step_of_col);
+        }
+
+        // Try full pushdown into a scan when every column belongs to the
+        // target step itself and the shape converts.
+        let (t_offset, t_len) = {
+            let (_, schema, offset) = &scope.entries[target];
+            (*offset, schema.len())
+        };
+        let local_only = cols.iter().all(|&c| c >= t_offset && c < t_offset + t_len);
+        if local_only {
+            if let Some(pred) = to_storage_predicate(&bound, t_offset) {
+                match &mut steps[target] {
+                    FromStep::ScanLocal { pushdown, .. }
+                    | FromStep::ScanForeign { pushdown, .. } => {
+                        *pushdown = std::mem::replace(pushdown, Predicate::True).and(pred);
+                        return Ok(());
+                    }
+                    FromStep::TableFunc { .. } => {}
+                }
+            }
+        }
+
+        step_filters[target] = Some(match step_filters[target].take() {
+            Some(existing) => BoundExpr::Binary {
+                left: Box::new(existing),
+                op: BinaryOp::And,
+                right: Box::new(bound),
+            },
+            None => bound,
+        });
+        Ok(())
+    }
+}
+
+/// Constant folding: collapse literal-only subtrees.
+pub fn fold(expr: BoundExpr) -> BoundExpr {
+    fn is_literal(e: &BoundExpr) -> bool {
+        matches!(e, BoundExpr::Literal(_))
+    }
+    let rebuilt = match expr {
+        BoundExpr::Binary { left, op, right } => BoundExpr::Binary {
+            left: Box::new(fold(*left)),
+            op,
+            right: Box::new(fold(*right)),
+        },
+        BoundExpr::Not(e) => BoundExpr::Not(Box::new(fold(*e))),
+        BoundExpr::Neg(e) => BoundExpr::Neg(Box::new(fold(*e))),
+        BoundExpr::Cast { input, to } => BoundExpr::Cast {
+            input: Box::new(fold(*input)),
+            to,
+        },
+        BoundExpr::IsNull { input, negated } => BoundExpr::IsNull {
+            input: Box::new(fold(*input)),
+            negated,
+        },
+        BoundExpr::Scalar { f, args } => BoundExpr::Scalar {
+            f,
+            args: args.into_iter().map(fold).collect(),
+        },
+        other => other,
+    };
+    let all_literal = match &rebuilt {
+        BoundExpr::Binary { left, right, .. } => is_literal(left) && is_literal(right),
+        BoundExpr::Not(e) | BoundExpr::Neg(e) => is_literal(e),
+        BoundExpr::Cast { input, .. } | BoundExpr::IsNull { input, .. } => is_literal(input),
+        BoundExpr::Scalar { args, .. } => args.iter().all(is_literal),
+        _ => false,
+    };
+    if all_literal {
+        if let Ok(v) = rebuilt.eval(&[], &[]) {
+            return BoundExpr::Literal(v);
+        }
+    }
+    rebuilt
+}
+
+/// Convert a bound predicate over one table's columns into a storage
+/// predicate, shifting indexes by `offset`. Returns `None` for shapes the
+/// storage layer cannot evaluate (params, arithmetic, cross-column).
+fn to_storage_predicate(expr: &BoundExpr, offset: usize) -> Option<Predicate> {
+    match expr {
+        BoundExpr::Binary { left, op, right } => match op {
+            BinaryOp::And => Some(
+                to_storage_predicate(left, offset)?.and(to_storage_predicate(right, offset)?),
+            ),
+            BinaryOp::Or => Some(
+                to_storage_predicate(left, offset)?.or(to_storage_predicate(right, offset)?),
+            ),
+            BinaryOp::Eq
+            | BinaryOp::NotEq
+            | BinaryOp::Lt
+            | BinaryOp::LtEq
+            | BinaryOp::Gt
+            | BinaryOp::GtEq => {
+                let cmp_op = match op {
+                    BinaryOp::Eq => CmpOp::Eq,
+                    BinaryOp::NotEq => CmpOp::NotEq,
+                    BinaryOp::Lt => CmpOp::Lt,
+                    BinaryOp::LtEq => CmpOp::LtEq,
+                    BinaryOp::Gt => CmpOp::Gt,
+                    BinaryOp::GtEq => CmpOp::GtEq,
+                    _ => unreachable!(),
+                };
+                match (&**left, &**right) {
+                    (BoundExpr::Column { index, .. }, BoundExpr::Literal(v)) => {
+                        Some(Predicate::cmp(index - offset, cmp_op, v.clone()))
+                    }
+                    (BoundExpr::Literal(v), BoundExpr::Column { index, .. }) => {
+                        let flipped = match cmp_op {
+                            CmpOp::Lt => CmpOp::Gt,
+                            CmpOp::LtEq => CmpOp::GtEq,
+                            CmpOp::Gt => CmpOp::Lt,
+                            CmpOp::GtEq => CmpOp::LtEq,
+                            other => other,
+                        };
+                        Some(Predicate::cmp(index - offset, flipped, v.clone()))
+                    }
+                    _ => None,
+                }
+            }
+            _ => None,
+        },
+        BoundExpr::Not(e) => Some(to_storage_predicate(e, offset)?.negate()),
+        BoundExpr::IsNull { input, negated } => match &**input {
+            BoundExpr::Column { index, .. } => Some(if *negated {
+                Predicate::IsNotNull(index - offset)
+            } else {
+                Predicate::IsNull(index - offset)
+            }),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn derive_name(expr: &Expr, position: usize) -> Ident {
+    match expr {
+        Expr::Column(q) => q.name.clone(),
+        Expr::Function { name, .. } => name.clone(),
+        Expr::Cast { expr, .. } => derive_name(expr, position),
+        _ => Ident::new(format!("C{}", position + 1)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::udtf::Udtf;
+    use fedwf_sql::parse_statement;
+    use fedwf_sql::Statement;
+    use fedwf_types::{Row, Table, Value};
+
+    fn catalog() -> Catalog {
+        let cat = Catalog::new();
+        cat.local()
+            .create_table(
+                "Suppliers",
+                Arc::new(Schema::of(&[
+                    ("SupplierNo", DataType::Int),
+                    ("Name", DataType::Varchar),
+                ])),
+            )
+            .unwrap();
+        cat.local()
+            .insert(
+                "Suppliers",
+                Row::new(vec![Value::Int(1), Value::str("Acme")]),
+            )
+            .unwrap();
+        cat.register_udtf(Udtf::native(
+            "GetQuality",
+            vec![(Ident::new("SupplierNo"), DataType::Int)],
+            Arc::new(Schema::of(&[("Qual", DataType::Int)])),
+            |_args, _m| Ok(Table::scalar("Qual", Value::Int(93))),
+        ))
+        .unwrap();
+        cat.register_udtf(Udtf::native(
+            "GetReliability",
+            vec![(Ident::new("SupplierNo"), DataType::Int)],
+            Arc::new(Schema::of(&[("Relia", DataType::Int)])),
+            |_args, _m| Ok(Table::scalar("Relia", Value::Int(87))),
+        ))
+        .unwrap();
+        cat
+    }
+
+    fn select(sql: &str) -> SelectStmt {
+        match parse_statement(sql).unwrap() {
+            Statement::Select(s) => s,
+            _ => panic!("expected select"),
+        }
+    }
+
+    #[test]
+    fn binds_lateral_table_functions() {
+        let cat = catalog();
+        let stmt = select(
+            "SELECT GQ.Qual FROM Suppliers AS S, TABLE (GetQuality(S.SupplierNo)) AS GQ",
+        );
+        let plan = PlanBuilder::new(&cat).bind(&stmt).unwrap();
+        assert_eq!(plan.steps.len(), 2);
+        let FromStep::TableFunc {
+            args, independent, ..
+        } = &plan.steps[1]
+        else {
+            panic!()
+        };
+        assert!(!independent, "args reference a lateral column");
+        assert_eq!(args.len(), 1);
+        assert_eq!(plan.out_schema.columns()[0].name, Ident::new("Qual"));
+    }
+
+    #[test]
+    fn forward_reference_is_rejected() {
+        // DB2's left-to-right rule: GQ cannot reference GR defined later.
+        let cat = catalog();
+        let stmt = select(
+            "SELECT 1 FROM TABLE (GetQuality(GR.Relia)) AS GQ, TABLE (GetReliability(1)) AS GR",
+        );
+        let err = PlanBuilder::new(&cat).bind(&stmt).unwrap_err();
+        assert!(err.to_string().contains("GR") || err.to_string().contains("unknown"));
+    }
+
+    #[test]
+    fn independence_detected_for_literal_args() {
+        let cat = catalog();
+        let stmt = select(
+            "SELECT GQ.Qual, GR.Relia FROM TABLE (GetQuality(7)) AS GQ, TABLE (GetReliability(7)) AS GR",
+        );
+        let plan = PlanBuilder::new(&cat).bind(&stmt).unwrap();
+        for step in &plan.steps {
+            let FromStep::TableFunc { independent, .. } = step else {
+                panic!()
+            };
+            assert!(independent);
+        }
+    }
+
+    #[test]
+    fn function_context_params_resolve() {
+        let cat = catalog();
+        let stmt = select(
+            "SELECT GQ.Qual FROM TABLE (GetQuality(GetSuppQual.SupplierNo)) AS GQ",
+        );
+        let plan = PlanBuilder::new(&cat)
+            .with_function_context(
+                "GetSuppQual",
+                vec![(Ident::new("SupplierNo"), DataType::Int)],
+            )
+            .bind(&stmt)
+            .unwrap();
+        let FromStep::TableFunc { args, .. } = &plan.steps[0] else {
+            panic!()
+        };
+        assert_eq!(
+            args[0],
+            BoundExpr::Param {
+                index: 0,
+                data_type: DataType::Int
+            }
+        );
+    }
+
+    #[test]
+    fn host_variables_resolve_bare_names() {
+        let cat = catalog();
+        let stmt = select("SELECT GQ.Qual FROM TABLE (GetQuality(SupplierNo)) AS GQ");
+        let plan = PlanBuilder::new(&cat)
+            .with_host_params(vec![(Ident::new("SupplierNo"), DataType::Int)])
+            .bind(&stmt)
+            .unwrap();
+        let FromStep::TableFunc { args, .. } = &plan.steps[0] else {
+            panic!()
+        };
+        assert!(matches!(args[0], BoundExpr::Param { index: 0, .. }));
+    }
+
+    #[test]
+    fn unresolved_reference_errors() {
+        let cat = catalog();
+        let stmt = select("SELECT GQ.Qual FROM TABLE (GetQuality(Nowhere)) AS GQ");
+        assert!(PlanBuilder::new(&cat).bind(&stmt).is_err());
+    }
+
+    #[test]
+    fn pushdown_into_local_scan() {
+        let cat = catalog();
+        let stmt = select("SELECT S.Name FROM Suppliers AS S WHERE S.SupplierNo = 1");
+        let plan = PlanBuilder::new(&cat).bind(&stmt).unwrap();
+        let FromStep::ScanLocal { pushdown, .. } = &plan.steps[0] else {
+            panic!()
+        };
+        assert_ne!(*pushdown, Predicate::True);
+        assert!(plan.step_filters[0].is_none(), "fully pushed down");
+    }
+
+    #[test]
+    fn cross_item_predicate_stays_residual() {
+        let cat = catalog();
+        let stmt = select(
+            "SELECT 1 FROM TABLE (GetQuality(1)) AS GQ, TABLE (GetReliability(1)) AS GR WHERE GQ.Qual = GR.Relia",
+        );
+        let plan = PlanBuilder::new(&cat).bind(&stmt).unwrap();
+        assert!(plan.step_filters[0].is_none());
+        assert!(plan.step_filters[1].is_some());
+    }
+
+    #[test]
+    fn param_predicate_not_pushed_to_storage() {
+        let cat = catalog();
+        let stmt = select("SELECT S.Name FROM Suppliers AS S WHERE S.SupplierNo = N");
+        let plan = PlanBuilder::new(&cat)
+            .with_host_params(vec![(Ident::new("N"), DataType::Int)])
+            .bind(&stmt)
+            .unwrap();
+        let FromStep::ScanLocal { pushdown, .. } = &plan.steps[0] else {
+            panic!()
+        };
+        assert_eq!(*pushdown, Predicate::True);
+        assert!(plan.step_filters[0].is_some());
+    }
+
+    #[test]
+    fn cast_function_is_recognized() {
+        let cat = catalog();
+        let stmt = select("SELECT BIGINT(GQ.Qual) FROM TABLE (GetQuality(1)) AS GQ");
+        let plan = PlanBuilder::new(&cat).bind(&stmt).unwrap();
+        assert!(matches!(plan.projection[0].0, BoundExpr::Cast { .. }));
+        assert_eq!(plan.out_schema.columns()[0].data_type, DataType::BigInt);
+    }
+
+    #[test]
+    fn nested_table_function_rejected_with_hint() {
+        let cat = catalog();
+        let stmt = select("SELECT 1 FROM TABLE (GetQuality(GetReliability(1))) AS GQ");
+        let err = PlanBuilder::new(&cat).bind(&stmt).unwrap_err();
+        assert!(err.to_string().contains("nested") || err.to_string().contains("nesting"));
+    }
+
+    #[test]
+    fn wildcards_expand() {
+        let cat = catalog();
+        let stmt = select("SELECT * FROM Suppliers AS S, TABLE (GetQuality(S.SupplierNo)) AS GQ");
+        let plan = PlanBuilder::new(&cat).bind(&stmt).unwrap();
+        assert_eq!(plan.out_schema.len(), 3);
+        let stmt = select("SELECT GQ.* FROM Suppliers AS S, TABLE (GetQuality(S.SupplierNo)) AS GQ");
+        let plan = PlanBuilder::new(&cat).bind(&stmt).unwrap();
+        assert_eq!(plan.out_schema.len(), 1);
+    }
+
+    #[test]
+    fn constant_folding_collapses_literals() {
+        let cat = catalog();
+        let stmt = select("SELECT 1 + 2 * 3 FROM Suppliers AS S");
+        let plan = PlanBuilder::new(&cat).bind(&stmt).unwrap();
+        assert_eq!(plan.projection[0].0, BoundExpr::Literal(Value::Int(7)));
+    }
+
+    #[test]
+    fn duplicate_alias_rejected() {
+        let cat = catalog();
+        let stmt = select("SELECT 1 FROM Suppliers AS S, Suppliers AS S");
+        assert!(PlanBuilder::new(&cat).bind(&stmt).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let cat = catalog();
+        let stmt = select("SELECT 1 FROM TABLE (GetQuality(1, 2)) AS GQ");
+        assert!(PlanBuilder::new(&cat).bind(&stmt).is_err());
+    }
+}

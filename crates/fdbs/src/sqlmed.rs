@@ -1,0 +1,109 @@
+//! SQL/MED-style wrapper interfaces (Management of External Data).
+//!
+//! The paper's architecture connects the FDBS to external systems through
+//! wrappers "according to the draft of SQL/MED". Two wrapper flavours
+//! matter here:
+//!
+//! * [`ForeignServer`] — a remote *SQL source* the FDBS federates: the FDBS
+//!   pushes a subquery (predicate + projection) down and gets a table back.
+//!   [`RelstoreServer`] adapts an embedded [`fedwf_relstore::Database`].
+//! * foreign *functions* are handled through the UDTF machinery
+//!   ([`crate::udtf::Udtf`] with a native body); the `fedwf-wrapper` crate
+//!   provides the implementation that bridges to the workflow engine.
+
+use std::sync::Arc;
+
+use fedwf_relstore::{Database, Predicate};
+use fedwf_types::{FedResult, SchemaRef, Table};
+
+/// A remote SQL source reachable through a wrapper.
+pub trait ForeignServer: Send + Sync {
+    /// Server name (for catalog bookkeeping and error messages).
+    fn name(&self) -> &str;
+
+    /// Schema of a remote table.
+    fn table_schema(&self, table: &str) -> FedResult<SchemaRef>;
+
+    /// Execute a pushed-down subquery: scan `table` applying `predicate`
+    /// remotely. The FDBS keeps residual predicates it could not push.
+    fn scan(&self, table: &str, predicate: &Predicate) -> FedResult<Table>;
+
+    /// Remote cardinality estimate (row count) for optimizer use.
+    fn estimate_rows(&self, table: &str) -> FedResult<usize>;
+}
+
+/// Adapter exposing an embedded relstore database as a foreign SQL source.
+pub struct RelstoreServer {
+    name: String,
+    db: Arc<Database>,
+}
+
+impl RelstoreServer {
+    pub fn new(name: impl Into<String>, db: Arc<Database>) -> RelstoreServer {
+        RelstoreServer {
+            name: name.into(),
+            db,
+        }
+    }
+
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+}
+
+impl ForeignServer for RelstoreServer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn table_schema(&self, table: &str) -> FedResult<SchemaRef> {
+        self.db.table_schema(table)
+    }
+
+    fn scan(&self, table: &str, predicate: &Predicate) -> FedResult<Table> {
+        self.db.scan(table, predicate)
+    }
+
+    fn estimate_rows(&self, table: &str) -> FedResult<usize> {
+        Ok(self.db.table_stats(table)?.row_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedwf_types::{DataType, Row, Schema, Value};
+
+    fn server() -> RelstoreServer {
+        let db = Database::new("remote");
+        db.create_table(
+            "Parts",
+            Arc::new(Schema::of(&[
+                ("PartNo", DataType::Int),
+                ("Name", DataType::Varchar),
+            ])),
+        )
+        .unwrap();
+        db.insert("Parts", Row::new(vec![Value::Int(1), Value::str("bolt")]))
+            .unwrap();
+        db.insert("Parts", Row::new(vec![Value::Int(2), Value::str("nut")]))
+            .unwrap();
+        RelstoreServer::new("erp", Arc::new(db))
+    }
+
+    #[test]
+    fn pushdown_scan() {
+        let s = server();
+        let t = s.scan("Parts", &Predicate::eq(0, 2)).unwrap();
+        assert_eq!(t.row_count(), 1);
+        assert_eq!(t.value(0, "Name"), Some(&Value::str("nut")));
+    }
+
+    #[test]
+    fn schema_and_estimate() {
+        let s = server();
+        assert_eq!(s.table_schema("Parts").unwrap().len(), 2);
+        assert_eq!(s.estimate_rows("Parts").unwrap(), 2);
+        assert!(s.table_schema("Nope").is_err());
+    }
+}

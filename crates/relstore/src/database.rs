@@ -1,0 +1,284 @@
+//! A named collection of stored tables with statement-level atomic updates.
+
+use std::collections::BTreeMap;
+
+use fedwf_types::{FedError, FedResult, Ident, Row, SchemaRef, Table, Value};
+use parking_lot::RwLock;
+
+use crate::index::IndexKind;
+use crate::predicate::Predicate;
+use crate::table::{RowId, StoredTable, TableStats};
+
+/// An embedded database: a set of tables guarded by a reader-writer lock.
+///
+/// Concurrency model: many readers or one writer per database — adequate for
+/// the integration server where each application system serializes its local
+/// function calls, and deliberately simpler than a full transaction manager
+/// (the paper's UDTF path is read-only anyway).
+#[derive(Debug, Default)]
+pub struct Database {
+    name: String,
+    tables: RwLock<BTreeMap<Ident, StoredTable>>,
+}
+
+impl Database {
+    pub fn new(name: impl Into<String>) -> Database {
+        Database {
+            name: name.into(),
+            tables: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Create an empty table.
+    pub fn create_table(&self, name: impl Into<Ident>, schema: SchemaRef) -> FedResult<()> {
+        let name = name.into();
+        let mut tables = self.tables.write();
+        if tables.contains_key(&name) {
+            return Err(FedError::catalog(format!(
+                "table {name} already exists in database {}",
+                self.name
+            )));
+        }
+        tables.insert(name.clone(), StoredTable::new(name, schema));
+        Ok(())
+    }
+
+    /// Drop a table.
+    pub fn drop_table(&self, name: &str) -> FedResult<()> {
+        let name = Ident::new(name);
+        if self.tables.write().remove(&name).is_none() {
+            return Err(FedError::catalog(format!(
+                "table {name} does not exist in database {}",
+                self.name
+            )));
+        }
+        Ok(())
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables
+            .read()
+            .keys()
+            .map(|k| k.as_str().to_string())
+            .collect()
+    }
+
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.read().contains_key(&Ident::new(name))
+    }
+
+    pub fn table_schema(&self, name: &str) -> FedResult<SchemaRef> {
+        let tables = self.tables.read();
+        let t = Self::resolve(&tables, name, &self.name)?;
+        Ok(t.schema().clone())
+    }
+
+    pub fn table_stats(&self, name: &str) -> FedResult<TableStats> {
+        let tables = self.tables.read();
+        Ok(Self::resolve(&tables, name, &self.name)?.stats())
+    }
+
+    /// Create an index on a table.
+    pub fn create_index(
+        &self,
+        table: &str,
+        index_name: &str,
+        column: &str,
+        kind: IndexKind,
+    ) -> FedResult<()> {
+        let mut tables = self.tables.write();
+        Self::resolve_mut(&mut tables, table, &self.name)?.create_index(index_name, column, kind)
+    }
+
+    /// Insert one row.
+    pub fn insert(&self, table: &str, row: Row) -> FedResult<RowId> {
+        let mut tables = self.tables.write();
+        Self::resolve_mut(&mut tables, table, &self.name)?.insert(row)
+    }
+
+    /// Insert many rows atomically: either all land or none do.
+    pub fn insert_all(&self, table: &str, rows: Vec<Row>) -> FedResult<usize> {
+        let mut tables = self.tables.write();
+        let t = Self::resolve_mut(&mut tables, table, &self.name)?;
+        let backup = t.clone();
+        let mut n = 0;
+        for row in rows {
+            match t.insert(row) {
+                Ok(_) => n += 1,
+                Err(e) => {
+                    *t = backup;
+                    return Err(e.with_context(format!("bulk insert into {table}")));
+                }
+            }
+        }
+        Ok(n)
+    }
+
+    /// Scan a table with a predicate.
+    pub fn scan(&self, table: &str, predicate: &Predicate) -> FedResult<Table> {
+        let tables = self.tables.read();
+        Self::resolve(&tables, table, &self.name)?.scan(predicate)
+    }
+
+    /// Full-table scan.
+    pub fn scan_all(&self, table: &str) -> FedResult<Table> {
+        self.scan(table, &Predicate::True)
+    }
+
+    /// Delete rows matching a predicate.
+    pub fn delete_where(&self, table: &str, predicate: &Predicate) -> FedResult<usize> {
+        let mut tables = self.tables.write();
+        Self::resolve_mut(&mut tables, table, &self.name)?.delete_where(predicate)
+    }
+
+    /// Statement-atomic update: on error the table is left untouched.
+    pub fn update_where(
+        &self,
+        table: &str,
+        predicate: &Predicate,
+        column: &str,
+        value: Value,
+    ) -> FedResult<usize> {
+        let mut tables = self.tables.write();
+        let t = Self::resolve_mut(&mut tables, table, &self.name)?;
+        let backup = t.clone();
+        match t.update_where(predicate, column, value) {
+            Ok(n) => Ok(n),
+            Err(e) => {
+                *t = backup;
+                Err(e.with_context(format!("updating table {table}")))
+            }
+        }
+    }
+
+    /// Whether a predicate on a table would use an index.
+    pub fn index_serves(&self, table: &str, predicate: &Predicate) -> FedResult<bool> {
+        let tables = self.tables.read();
+        Ok(Self::resolve(&tables, table, &self.name)?.index_serves(predicate))
+    }
+
+    fn resolve<'a>(
+        tables: &'a BTreeMap<Ident, StoredTable>,
+        name: &str,
+        db: &str,
+    ) -> FedResult<&'a StoredTable> {
+        tables.get(&Ident::new(name)).ok_or_else(|| {
+            FedError::catalog(format!("table {name} does not exist in database {db}"))
+        })
+    }
+
+    fn resolve_mut<'a>(
+        tables: &'a mut BTreeMap<Ident, StoredTable>,
+        name: &str,
+        db: &str,
+    ) -> FedResult<&'a mut StoredTable> {
+        tables.get_mut(&Ident::new(name)).ok_or_else(|| {
+            FedError::catalog(format!("table {name} does not exist in database {db}"))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedwf_types::{DataType, Schema};
+    use std::sync::Arc;
+
+    fn db() -> Database {
+        let db = Database::new("stock");
+        db.create_table(
+            "Components",
+            Arc::new(Schema::of(&[
+                ("CompNo", DataType::Int),
+                ("Name", DataType::Varchar),
+            ])),
+        )
+        .unwrap();
+        db.create_index("Components", "pk", "CompNo", IndexKind::Unique)
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_insert_scan() {
+        let db = db();
+        db.insert("Components", Row::new(vec![Value::Int(1), Value::str("bolt")]))
+            .unwrap();
+        let t = db.scan_all("Components").unwrap();
+        assert_eq!(t.row_count(), 1);
+        assert!(db.has_table("components")); // case-insensitive
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let db = db();
+        let schema = Arc::new(Schema::of(&[("x", DataType::Int)]));
+        assert!(db.create_table("COMPONENTS", schema).is_err());
+    }
+
+    #[test]
+    fn drop_table() {
+        let db = db();
+        db.drop_table("Components").unwrap();
+        assert!(!db.has_table("Components"));
+        assert!(db.drop_table("Components").is_err());
+    }
+
+    #[test]
+    fn bulk_insert_is_atomic() {
+        let db = db();
+        let rows = vec![
+            Row::new(vec![Value::Int(1), Value::str("a")]),
+            Row::new(vec![Value::Int(2), Value::str("b")]),
+            Row::new(vec![Value::Int(1), Value::str("dup!")]),
+        ];
+        assert!(db.insert_all("Components", rows).is_err());
+        assert_eq!(db.scan_all("Components").unwrap().row_count(), 0);
+    }
+
+    #[test]
+    fn update_is_statement_atomic() {
+        let db = db();
+        db.insert_all(
+            "Components",
+            vec![
+                Row::new(vec![Value::Int(1), Value::str("a")]),
+                Row::new(vec![Value::Int(2), Value::str("b")]),
+            ],
+        )
+        .unwrap();
+        // Setting both keys to 7 violates the unique pk on the second row;
+        // the whole statement must roll back.
+        assert!(db
+            .update_where("Components", &Predicate::True, "CompNo", Value::Int(7))
+            .is_err());
+        let t = db.scan_all("Components").unwrap();
+        let keys: Vec<_> = t
+            .rows()
+            .iter()
+            .map(|r| r.values()[0].clone())
+            .collect();
+        assert_eq!(keys, vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn unknown_table_errors_name_the_database() {
+        let db = db();
+        let err = db.scan_all("Nope").unwrap_err();
+        assert!(err.to_string().contains("stock"));
+    }
+
+    #[test]
+    fn stats_reflect_contents() {
+        let db = db();
+        db.insert("Components", Row::new(vec![Value::Int(1), Value::str("a")]))
+            .unwrap();
+        let stats = db.table_stats("Components").unwrap();
+        assert_eq!(stats.row_count, 1);
+        assert_eq!(stats.index_count, 1);
+    }
+}

@@ -1,0 +1,296 @@
+//! Row predicates for scans, updates and deletes.
+//!
+//! The predicate language is deliberately small — it is the storage-level
+//! target the FDBS pushes (parts of) WHERE clauses down into, not a general
+//! expression tree. SQL three-valued logic applies: a predicate *selects* a
+//! row only when it evaluates to definitely-true.
+
+use fedwf_types::{FedError, FedResult, Row, Schema, Value};
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+}
+
+impl CmpOp {
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::NotEq => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::LtEq => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::GtEq => ">=",
+        }
+    }
+
+    /// Apply the operator to an ordering result.
+    pub fn evaluate(&self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::NotEq => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::LtEq => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::GtEq => ord != Less,
+        }
+    }
+}
+
+/// A storage-level predicate over the columns of one table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true (full scan).
+    True,
+    /// `column <op> literal`.
+    Compare {
+        column: usize,
+        op: CmpOp,
+        value: Value,
+    },
+    /// `column IS NULL`.
+    IsNull(usize),
+    /// `column IS NOT NULL`.
+    IsNotNull(usize),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation (three-valued: NOT unknown = unknown).
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Convenience: `column = value`.
+    pub fn eq(column: usize, value: impl Into<Value>) -> Predicate {
+        Predicate::Compare {
+            column,
+            op: CmpOp::Eq,
+            value: value.into(),
+        }
+    }
+
+    /// Convenience: `column <op> value`.
+    pub fn cmp(column: usize, op: CmpOp, value: impl Into<Value>) -> Predicate {
+        Predicate::Compare {
+            column,
+            op,
+            value: value.into(),
+        }
+    }
+
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    pub fn negate(self) -> Predicate {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// Three-valued evaluation: `Some(bool)` for true/false, `None` for
+    /// unknown (null comparison).
+    pub fn evaluate3(&self, row: &Row) -> FedResult<Option<bool>> {
+        match self {
+            Predicate::True => Ok(Some(true)),
+            Predicate::Compare { column, op, value } => {
+                let cell = row
+                    .get(*column)
+                    .ok_or_else(|| FedError::storage(format!("column index {column} out of range")))?;
+                Ok(cell.sql_cmp(value).map(|ord| op.evaluate(ord)))
+            }
+            Predicate::IsNull(column) => {
+                let cell = row
+                    .get(*column)
+                    .ok_or_else(|| FedError::storage(format!("column index {column} out of range")))?;
+                Ok(Some(cell.is_null()))
+            }
+            Predicate::IsNotNull(column) => {
+                let cell = row
+                    .get(*column)
+                    .ok_or_else(|| FedError::storage(format!("column index {column} out of range")))?;
+                Ok(Some(!cell.is_null()))
+            }
+            Predicate::And(a, b) => {
+                // Kleene AND: false dominates, unknown otherwise propagates.
+                let va = a.evaluate3(row)?;
+                if va == Some(false) {
+                    return Ok(Some(false));
+                }
+                let vb = b.evaluate3(row)?;
+                Ok(match (va, vb) {
+                    (_, Some(false)) => Some(false),
+                    (Some(true), Some(true)) => Some(true),
+                    _ => None,
+                })
+            }
+            Predicate::Or(a, b) => {
+                let va = a.evaluate3(row)?;
+                if va == Some(true) {
+                    return Ok(Some(true));
+                }
+                let vb = b.evaluate3(row)?;
+                Ok(match (va, vb) {
+                    (_, Some(true)) => Some(true),
+                    (Some(false), Some(false)) => Some(false),
+                    _ => None,
+                })
+            }
+            Predicate::Not(p) => Ok(p.evaluate3(row)?.map(|b| !b)),
+        }
+    }
+
+    /// SQL selection semantics: a row passes only when definitely true.
+    pub fn selects(&self, row: &Row) -> FedResult<bool> {
+        Ok(self.evaluate3(row)? == Some(true))
+    }
+
+    /// Validate column indexes against a schema (DDL-time check).
+    pub fn validate(&self, schema: &Schema) -> FedResult<()> {
+        match self {
+            Predicate::True => Ok(()),
+            Predicate::Compare { column, .. }
+            | Predicate::IsNull(column)
+            | Predicate::IsNotNull(column) => {
+                if *column < schema.len() {
+                    Ok(())
+                } else {
+                    Err(FedError::storage(format!(
+                        "predicate references column {column} but table has {} columns",
+                        schema.len()
+                    )))
+                }
+            }
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.validate(schema)?;
+                b.validate(schema)
+            }
+            Predicate::Not(p) => p.validate(schema),
+        }
+    }
+
+    /// If this predicate (or one conjunct of it) pins `column = literal`,
+    /// return the column and literal — the storage layer uses this for
+    /// index selection.
+    pub fn equality_binding(&self) -> Option<(usize, &Value)> {
+        match self {
+            Predicate::Compare {
+                column,
+                op: CmpOp::Eq,
+                value,
+            } => Some((*column, value)),
+            Predicate::And(a, b) => a.equality_binding().or_else(|| b.equality_binding()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedwf_types::DataType;
+
+    fn row(vals: Vec<Value>) -> Row {
+        Row::new(vals)
+    }
+
+    #[test]
+    fn compare_selects_matching_rows() {
+        let p = Predicate::eq(0, 42);
+        assert!(p.selects(&row(vec![Value::Int(42)])).unwrap());
+        assert!(!p.selects(&row(vec![Value::Int(41)])).unwrap());
+    }
+
+    #[test]
+    fn null_comparison_is_unknown_and_not_selected() {
+        let p = Predicate::eq(0, 42);
+        assert_eq!(p.evaluate3(&row(vec![Value::Null])).unwrap(), None);
+        assert!(!p.selects(&row(vec![Value::Null])).unwrap());
+        // NOT(unknown) is still unknown, still not selected.
+        let np = p.negate();
+        assert!(!np.selects(&row(vec![Value::Null])).unwrap());
+    }
+
+    #[test]
+    fn kleene_and_or() {
+        let unknown = Predicate::eq(0, 1); // against NULL -> unknown
+        let truth = Predicate::True;
+        let falsity = Predicate::eq(1, 99); // against 0 -> false
+        let r = row(vec![Value::Null, Value::Int(0)]);
+        assert_eq!(
+            unknown.clone().and(truth.clone()).evaluate3(&r).unwrap(),
+            None
+        );
+        assert_eq!(
+            unknown.clone().and(falsity.clone()).evaluate3(&r).unwrap(),
+            Some(false)
+        );
+        assert_eq!(
+            unknown.clone().or(truth).evaluate3(&r).unwrap(),
+            Some(true)
+        );
+        assert_eq!(unknown.or(falsity).evaluate3(&r).unwrap(), None);
+    }
+
+    #[test]
+    fn is_null_predicates() {
+        let r = row(vec![Value::Null, Value::Int(1)]);
+        assert!(Predicate::IsNull(0).selects(&r).unwrap());
+        assert!(!Predicate::IsNull(1).selects(&r).unwrap());
+        assert!(Predicate::IsNotNull(1).selects(&r).unwrap());
+    }
+
+    #[test]
+    fn range_operators() {
+        let r = row(vec![Value::Int(5)]);
+        assert!(Predicate::cmp(0, CmpOp::Lt, 10).selects(&r).unwrap());
+        assert!(Predicate::cmp(0, CmpOp::GtEq, 5).selects(&r).unwrap());
+        assert!(!Predicate::cmp(0, CmpOp::Gt, 5).selects(&r).unwrap());
+        assert!(Predicate::cmp(0, CmpOp::NotEq, 4).selects(&r).unwrap());
+    }
+
+    #[test]
+    fn cross_type_numeric_compare() {
+        let r = row(vec![Value::BigInt(7)]);
+        assert!(Predicate::eq(0, 7).selects(&r).unwrap());
+        assert!(Predicate::cmp(0, CmpOp::Lt, Value::Double(7.5))
+            .selects(&r)
+            .unwrap());
+    }
+
+    #[test]
+    fn validate_checks_bounds() {
+        let schema = Schema::of(&[("a", DataType::Int)]);
+        assert!(Predicate::eq(0, 1).validate(&schema).is_ok());
+        assert!(Predicate::eq(1, 1).validate(&schema).is_err());
+        assert!(Predicate::eq(0, 1)
+            .and(Predicate::IsNull(5))
+            .validate(&schema)
+            .is_err());
+    }
+
+    #[test]
+    fn equality_binding_found_through_conjunction() {
+        let p = Predicate::cmp(1, CmpOp::Gt, 0).and(Predicate::eq(2, "x"));
+        let (col, v) = p.equality_binding().unwrap();
+        assert_eq!(col, 2);
+        assert_eq!(v, &Value::str("x"));
+        assert!(Predicate::cmp(0, CmpOp::Lt, 3).equality_binding().is_none());
+    }
+
+    #[test]
+    fn out_of_range_column_errors() {
+        let p = Predicate::eq(3, 1);
+        assert!(p.selects(&row(vec![Value::Int(1)])).is_err());
+    }
+}

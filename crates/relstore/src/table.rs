@@ -1,0 +1,379 @@
+//! Heap tables with slot-stable row ids and index maintenance.
+
+use fedwf_types::{FedError, FedResult, Ident, Row, SchemaRef, Table, Value};
+
+use crate::index::{Index, IndexKind};
+use crate::predicate::Predicate;
+
+/// Stable identifier of a row slot within one table.
+pub type RowId = u64;
+
+/// Optimizer-facing statistics for one table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableStats {
+    pub row_count: usize,
+    pub index_count: usize,
+}
+
+/// A heap table: schema, row slots (tombstoned on delete) and its indexes.
+#[derive(Debug, Clone)]
+pub struct StoredTable {
+    name: Ident,
+    schema: SchemaRef,
+    slots: Vec<Option<Row>>,
+    live_rows: usize,
+    indexes: Vec<Index>,
+}
+
+impl StoredTable {
+    pub fn new(name: impl Into<Ident>, schema: SchemaRef) -> StoredTable {
+        StoredTable {
+            name: name.into(),
+            schema,
+            slots: vec![],
+            live_rows: 0,
+            indexes: vec![],
+        }
+    }
+
+    pub fn name(&self) -> &Ident {
+        &self.name
+    }
+
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    pub fn stats(&self) -> TableStats {
+        TableStats {
+            row_count: self.live_rows,
+            index_count: self.indexes.len(),
+        }
+    }
+
+    /// Create an index over an existing column, back-filling current rows.
+    pub fn create_index(
+        &mut self,
+        index_name: impl Into<String>,
+        column_name: &str,
+        kind: IndexKind,
+    ) -> FedResult<()> {
+        let column = self
+            .schema
+            .index_of(&Ident::new(column_name))
+            .ok_or_else(|| {
+                FedError::storage(format!(
+                    "cannot index unknown column {column_name} of table {}",
+                    self.name
+                ))
+            })?;
+        let index_name = index_name.into();
+        if self.indexes.iter().any(|i| i.name == index_name) {
+            return Err(FedError::storage(format!(
+                "index {index_name} already exists on table {}",
+                self.name
+            )));
+        }
+        let mut index = Index::new(index_name, column, kind);
+        for (slot, row) in self.slots.iter().enumerate() {
+            if let Some(row) = row {
+                index.insert(&row.values()[column], slot as RowId)?;
+            }
+        }
+        self.indexes.push(index);
+        Ok(())
+    }
+
+    /// Insert a row; returns its row id. All indexes are maintained; a
+    /// unique violation rolls the insert back.
+    pub fn insert(&mut self, row: Row) -> FedResult<RowId> {
+        self.schema.check_row(&row)?;
+        let row_id = self.slots.len() as RowId;
+        for (i, index) in self.indexes.iter_mut().enumerate() {
+            if let Err(e) = index.insert(&row.values()[index.column], row_id) {
+                // Roll back entries added to earlier indexes.
+                for earlier in &mut self.indexes[..i] {
+                    earlier.remove(&row.values()[earlier.column], row_id);
+                }
+                return Err(e);
+            }
+        }
+        self.slots.push(Some(row));
+        self.live_rows += 1;
+        Ok(row_id)
+    }
+
+    /// Fetch a row by id.
+    pub fn get(&self, row_id: RowId) -> Option<&Row> {
+        self.slots.get(row_id as usize)?.as_ref()
+    }
+
+    /// Delete rows matching the predicate; returns how many were removed.
+    pub fn delete_where(&mut self, predicate: &Predicate) -> FedResult<usize> {
+        predicate.validate(&self.schema)?;
+        let mut deleted = 0;
+        for slot in 0..self.slots.len() {
+            let matches = match &self.slots[slot] {
+                Some(row) => predicate.selects(row)?,
+                None => false,
+            };
+            if matches {
+                let row = self.slots[slot].take().expect("checked above");
+                for index in &mut self.indexes {
+                    index.remove(&row.values()[index.column], slot as RowId);
+                }
+                self.live_rows -= 1;
+                deleted += 1;
+            }
+        }
+        Ok(deleted)
+    }
+
+    /// Update `column := value` on rows matching the predicate; returns the
+    /// number of updated rows. Unique violations abort mid-way with the
+    /// already-updated rows kept (statement-level atomicity is the
+    /// [`crate::database::Database`]'s job via its copy-on-write update).
+    pub fn update_where(
+        &mut self,
+        predicate: &Predicate,
+        column_name: &str,
+        value: Value,
+    ) -> FedResult<usize> {
+        predicate.validate(&self.schema)?;
+        let column = self
+            .schema
+            .index_of(&Ident::new(column_name))
+            .ok_or_else(|| {
+                FedError::storage(format!(
+                    "unknown column {column_name} in table {}",
+                    self.name
+                ))
+            })?;
+        // Type-check the new value against the column.
+        let col_meta = self.schema.column(column).expect("index validated");
+        if let Some(dt) = value.data_type() {
+            if dt != col_meta.data_type {
+                return Err(FedError::schema(format!(
+                    "column {} expects {} but update supplies {}",
+                    col_meta.name, col_meta.data_type, dt
+                )));
+            }
+        } else if !col_meta.nullable {
+            return Err(FedError::schema(format!(
+                "column {} is NOT NULL",
+                col_meta.name
+            )));
+        }
+        let mut updated = 0;
+        for slot in 0..self.slots.len() {
+            let matches = match &self.slots[slot] {
+                Some(row) => predicate.selects(row)?,
+                None => false,
+            };
+            if !matches {
+                continue;
+            }
+            let row_id = slot as RowId;
+            let old = self.slots[slot].as_ref().expect("matched row exists");
+            let old_key = old.values()[column].clone();
+            // Maintain indexes on the updated column.
+            for index in &mut self.indexes {
+                if index.column == column {
+                    index.remove(&old_key, row_id);
+                    index.insert(&value, row_id)?;
+                }
+            }
+            let mut values = self.slots[slot].take().expect("matched").into_values();
+            values[column] = value.clone();
+            self.slots[slot] = Some(Row::new(values));
+            updated += 1;
+        }
+        Ok(updated)
+    }
+
+    /// Scan rows matching the predicate, using an index when one covers an
+    /// equality conjunct. Returns a materialized [`Table`].
+    pub fn scan(&self, predicate: &Predicate) -> FedResult<Table> {
+        predicate.validate(&self.schema)?;
+        let mut out = Table::new(self.schema.clone());
+        match self.pick_index(predicate) {
+            Some((index, key)) => {
+                for row_id in index.lookup(key) {
+                    if let Some(row) = self.get(row_id) {
+                        if predicate.selects(row)? {
+                            out.push_unchecked(row.clone());
+                        }
+                    }
+                }
+            }
+            None => {
+                for row in self.slots.iter().flatten() {
+                    if predicate.selects(row)? {
+                        out.push_unchecked(row.clone());
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// How many rows the predicate selects (without materializing).
+    pub fn count_where(&self, predicate: &Predicate) -> FedResult<usize> {
+        predicate.validate(&self.schema)?;
+        let mut n = 0;
+        for row in self.slots.iter().flatten() {
+            if predicate.selects(row)? {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Whether a scan of `predicate` would be served by an index.
+    pub fn index_serves(&self, predicate: &Predicate) -> bool {
+        self.pick_index(predicate).is_some()
+    }
+
+    fn pick_index<'a>(&'a self, predicate: &'a Predicate) -> Option<(&'a Index, &'a Value)> {
+        let (column, key) = predicate.equality_binding()?;
+        let index = self.indexes.iter().find(|i| i.column == column)?;
+        Some((index, key))
+    }
+
+    /// Clone-free iteration over live rows, for engine-internal use.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &Row)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, row)| row.as_ref().map(|r| (slot as RowId, r)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedwf_types::{DataType, Schema};
+    use std::sync::Arc;
+
+    fn suppliers() -> StoredTable {
+        let schema = Arc::new(Schema::of(&[
+            ("SupplierNo", DataType::Int),
+            ("Name", DataType::Varchar),
+            ("Reliability", DataType::Int),
+        ]));
+        let mut t = StoredTable::new("Suppliers", schema);
+        t.create_index("pk", "SupplierNo", IndexKind::Unique).unwrap();
+        t.create_index("by_name", "Name", IndexKind::NonUnique)
+            .unwrap();
+        for (no, name, rel) in [(1, "Acme", 80), (2, "Bolt", 95), (3, "Cog", 70)] {
+            t.insert(Row::new(vec![
+                Value::Int(no),
+                Value::str(name),
+                Value::Int(rel),
+            ]))
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn insert_and_scan_all() {
+        let t = suppliers();
+        let all = t.scan(&Predicate::True).unwrap();
+        assert_eq!(all.row_count(), 3);
+        assert_eq!(t.stats().row_count, 3);
+        assert_eq!(t.stats().index_count, 2);
+    }
+
+    #[test]
+    fn unique_index_enforced_with_rollback() {
+        let mut t = suppliers();
+        let err = t
+            .insert(Row::new(vec![Value::Int(1), Value::str("Dup"), Value::Int(1)]))
+            .unwrap_err();
+        assert!(err.to_string().contains("unique"));
+        // The failed insert must not leave residue in the name index.
+        let found = t.scan(&Predicate::eq(1, "Dup")).unwrap();
+        assert_eq!(found.row_count(), 0);
+        assert_eq!(t.stats().row_count, 3);
+    }
+
+    #[test]
+    fn indexed_scan_matches_full_scan() {
+        let t = suppliers();
+        let p = Predicate::eq(0, 2);
+        assert!(t.index_serves(&p));
+        let via_index = t.scan(&p).unwrap();
+        assert_eq!(via_index.row_count(), 1);
+        assert_eq!(via_index.value(0, "Name"), Some(&Value::str("Bolt")));
+    }
+
+    #[test]
+    fn scan_with_residual_predicate_over_index() {
+        let t = suppliers();
+        // Equality on the indexed column AND an extra condition that fails.
+        let p = Predicate::eq(0, 2).and(Predicate::eq(2, 1));
+        let got = t.scan(&p).unwrap();
+        assert_eq!(got.row_count(), 0);
+    }
+
+    #[test]
+    fn delete_maintains_indexes_and_count() {
+        let mut t = suppliers();
+        let n = t.delete_where(&Predicate::eq(1, "Bolt")).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(t.stats().row_count, 2);
+        assert_eq!(t.scan(&Predicate::eq(0, 2)).unwrap().row_count(), 0);
+        // Row id 2 is untouched.
+        assert_eq!(t.scan(&Predicate::eq(0, 3)).unwrap().row_count(), 1);
+    }
+
+    #[test]
+    fn update_moves_index_entries() {
+        let mut t = suppliers();
+        let n = t
+            .update_where(&Predicate::eq(0, 3), "Name", Value::str("Cogs Inc"))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(t.scan(&Predicate::eq(1, "Cog")).unwrap().row_count(), 0);
+        assert_eq!(
+            t.scan(&Predicate::eq(1, "Cogs Inc")).unwrap().row_count(),
+            1
+        );
+    }
+
+    #[test]
+    fn update_type_mismatch_rejected() {
+        let mut t = suppliers();
+        assert!(t
+            .update_where(&Predicate::True, "Reliability", Value::str("high"))
+            .is_err());
+    }
+
+    #[test]
+    fn count_where() {
+        let t = suppliers();
+        assert_eq!(
+            t.count_where(&Predicate::cmp(2, crate::predicate::CmpOp::GtEq, 80))
+                .unwrap(),
+            2
+        );
+    }
+
+    #[test]
+    fn create_index_on_unknown_column_fails() {
+        let mut t = suppliers();
+        assert!(t.create_index("x", "Missing", IndexKind::NonUnique).is_err());
+        assert!(t.create_index("pk", "Name", IndexKind::NonUnique).is_err());
+    }
+
+    #[test]
+    fn backfilled_index_sees_existing_rows() {
+        let schema = Arc::new(Schema::of(&[("a", DataType::Int)]));
+        let mut t = StoredTable::new("T", schema);
+        t.insert(Row::new(vec![Value::Int(9)])).unwrap();
+        t.create_index("late", "a", IndexKind::Unique).unwrap();
+        assert!(t.index_serves(&Predicate::eq(0, 9)));
+        assert_eq!(t.scan(&Predicate::eq(0, 9)).unwrap().row_count(), 1);
+    }
+}

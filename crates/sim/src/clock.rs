@@ -1,0 +1,251 @@
+//! Branch-local virtual clocks with fork/join semantics.
+
+use std::sync::{Arc, Mutex};
+
+use crate::cost::Component;
+
+/// A single booked cost: which component was exercised, a human-readable
+/// step label (these become the rows of Fig. 6's breakdown tables), the
+/// virtual time at which the step started and its duration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Charge {
+    pub component: Component,
+    pub step: String,
+    pub start_us: u64,
+    pub duration_us: u64,
+}
+
+/// A virtual clock for one execution branch plus the log of charges booked
+/// on that branch.
+///
+/// Sequential work calls [`Meter::charge`]; logically-parallel work forks
+/// one child meter per branch with [`Meter::fork`], runs each branch against
+/// its own child, and then [`Meter::join`]s them — the parent clock advances
+/// to the *latest* child, so the elapsed time of a parallel block is the
+/// maximum of its branches, not the sum. This is the property behind the
+/// paper's observation that parallel workflow activities are faster than
+/// sequential ones.
+#[derive(Debug, Default)]
+pub struct Meter {
+    now_us: u64,
+    origin_us: u64,
+    charges: Vec<Charge>,
+}
+
+impl Meter {
+    /// A fresh meter starting at virtual time zero.
+    pub fn new() -> Meter {
+        Meter::default()
+    }
+
+    /// Current virtual time on this branch, in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    /// Virtual time elapsed since this meter was created (or forked).
+    pub fn elapsed_us(&self) -> u64 {
+        self.now_us - self.origin_us
+    }
+
+    /// Book `duration_us` of work attributed to `component` under `step`.
+    pub fn charge(&mut self, component: Component, step: impl Into<String>, duration_us: u64) {
+        self.charges.push(Charge {
+            component,
+            step: step.into(),
+            start_us: self.now_us,
+            duration_us,
+        });
+        self.now_us += duration_us;
+    }
+
+    /// A meter whose branch begins at an arbitrary virtual time — used by
+    /// schedulers that compute a node's start as the max over its
+    /// predecessors' completion times.
+    pub fn starting_at(start_us: u64) -> Meter {
+        Meter {
+            now_us: start_us,
+            origin_us: start_us,
+            charges: vec![],
+        }
+    }
+
+    /// Fork a child meter starting at this branch's current time.
+    pub fn fork(&self) -> Meter {
+        Meter {
+            now_us: self.now_us,
+            origin_us: self.now_us,
+            charges: vec![],
+        }
+    }
+
+    /// Join child meters back: the parent's clock advances to the latest
+    /// child and all child charges are appended to the parent log.
+    pub fn join(&mut self, children: Vec<Meter>) {
+        for child in children {
+            self.now_us = self.now_us.max(child.now_us);
+            self.charges.extend(child.charges);
+        }
+    }
+
+    /// All charges booked so far (including merged child charges).
+    pub fn charges(&self) -> &[Charge] {
+        &self.charges
+    }
+
+    /// Drain the meter into its charge log.
+    pub fn into_charges(self) -> Vec<Charge> {
+        self.charges
+    }
+
+    /// Total booked work (the *sum* of all charges — equals elapsed time on
+    /// purely sequential paths, exceeds it when branches overlapped).
+    pub fn total_booked_us(&self) -> u64 {
+        self.charges.iter().map(|c| c.duration_us).sum()
+    }
+}
+
+/// A shareable, internally synchronized meter handle.
+///
+/// Executors that thread a meter through iterator trees or across worker
+/// threads hold a `MeterHandle`; code that owns a linear branch can use a
+/// plain [`Meter`].
+#[derive(Debug, Clone, Default)]
+pub struct MeterHandle {
+    inner: Arc<Mutex<Meter>>,
+}
+
+impl MeterHandle {
+    pub fn new() -> MeterHandle {
+        MeterHandle::default()
+    }
+
+    pub fn from_meter(meter: Meter) -> MeterHandle {
+        MeterHandle {
+            inner: Arc::new(Mutex::new(meter)),
+        }
+    }
+
+    pub fn charge(&self, component: Component, step: impl Into<String>, duration_us: u64) {
+        self.inner
+            .lock()
+            .expect("meter poisoned")
+            .charge(component, step, duration_us);
+    }
+
+    pub fn now_us(&self) -> u64 {
+        self.inner.lock().expect("meter poisoned").now_us()
+    }
+
+    pub fn elapsed_us(&self) -> u64 {
+        self.inner.lock().expect("meter poisoned").elapsed_us()
+    }
+
+    /// Fork a plain child meter (children are branch-owned, not shared).
+    pub fn fork(&self) -> Meter {
+        self.inner.lock().expect("meter poisoned").fork()
+    }
+
+    pub fn join(&self, children: Vec<Meter>) {
+        self.inner.lock().expect("meter poisoned").join(children);
+    }
+
+    /// Snapshot of the charge log.
+    pub fn charges(&self) -> Vec<Charge> {
+        self.inner.lock().expect("meter poisoned").charges().to_vec()
+    }
+
+    pub fn total_booked_us(&self) -> u64 {
+        self.inner.lock().expect("meter poisoned").total_booked_us()
+    }
+
+    /// Extract the meter, leaving a fresh one behind.
+    pub fn take(&self) -> Meter {
+        std::mem::take(&mut *self.inner.lock().expect("meter poisoned"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::Component;
+
+    #[test]
+    fn sequential_charges_accumulate() {
+        let mut m = Meter::new();
+        m.charge(Component::Udtf, "start", 10);
+        m.charge(Component::Rmi, "call", 5);
+        assert_eq!(m.now_us(), 15);
+        assert_eq!(m.total_booked_us(), 15);
+        assert_eq!(m.charges().len(), 2);
+        assert_eq!(m.charges()[1].start_us, 10);
+    }
+
+    #[test]
+    fn join_takes_max_of_branches() {
+        let mut m = Meter::new();
+        m.charge(Component::WfEngine, "setup", 100);
+        let mut a = m.fork();
+        let mut b = m.fork();
+        a.charge(Component::Activity, "GetQuality", 40);
+        b.charge(Component::Activity, "GetReliability", 70);
+        m.join(vec![a, b]);
+        // Elapsed = 100 + max(40, 70); booked = 100 + 40 + 70.
+        assert_eq!(m.now_us(), 170);
+        assert_eq!(m.total_booked_us(), 210);
+    }
+
+    #[test]
+    fn fork_starts_at_parent_time() {
+        let mut m = Meter::new();
+        m.charge(Component::Udtf, "start", 25);
+        let child = m.fork();
+        assert_eq!(child.now_us(), 25);
+        assert_eq!(child.elapsed_us(), 0);
+    }
+
+    #[test]
+    fn nested_fork_join() {
+        let mut m = Meter::new();
+        let mut outer_a = m.fork();
+        {
+            let mut inner1 = outer_a.fork();
+            let mut inner2 = outer_a.fork();
+            inner1.charge(Component::Activity, "x", 10);
+            inner2.charge(Component::Activity, "y", 30);
+            outer_a.join(vec![inner1, inner2]);
+        }
+        let mut outer_b = m.fork();
+        outer_b.charge(Component::Activity, "z", 20);
+        m.join(vec![outer_a, outer_b]);
+        assert_eq!(m.now_us(), 30);
+    }
+
+    #[test]
+    fn join_with_idle_branch_keeps_parent_time() {
+        let mut m = Meter::new();
+        m.charge(Component::Udtf, "s", 50);
+        let idle = m.fork();
+        m.join(vec![idle]);
+        assert_eq!(m.now_us(), 50);
+    }
+
+    #[test]
+    fn handle_shares_state() {
+        let h = MeterHandle::new();
+        let h2 = h.clone();
+        h.charge(Component::Controller, "dispatch", 3);
+        h2.charge(Component::Controller, "dispatch", 4);
+        assert_eq!(h.now_us(), 7);
+        assert_eq!(h.charges().len(), 2);
+    }
+
+    #[test]
+    fn handle_take_resets() {
+        let h = MeterHandle::new();
+        h.charge(Component::Udtf, "s", 9);
+        let m = h.take();
+        assert_eq!(m.now_us(), 9);
+        assert_eq!(h.now_us(), 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # fedwf-sim
+//!
+//! A deterministic virtual-time cost model standing in for the paper's
+//! measurement testbed (IBM DB2 UDB v7.1 + MQSeries Workflow v3.2.2 on 2001
+//! hardware).
+//!
+//! ## Why a simulated clock
+//!
+//! The paper's Section 4 numbers are *elapsed-time* measurements whose
+//! magnitude is dominated by process boots, JVM starts and RMI hops — costs
+//! that no 2026 reproduction can (or should) reproduce in wall-clock terms.
+//! What *can* be reproduced is the causal structure: which primitive costs
+//! are paid how many times on each architecture's execution path. This crate
+//! models exactly that:
+//!
+//! * a [`Meter`] accumulates virtual microseconds along an execution branch
+//!   and records every charge with a [`Component`] tag and a step label;
+//! * forked branches (parallel workflow activities) carry child meters and a
+//!   join advances the parent to the *maximum* child time — so parallelism
+//!   genuinely saves virtual time;
+//! * a [`CostModel`] names every primitive the paper's breakdown (Fig. 6)
+//!   mentions, with defaults calibrated so the published shapes emerge;
+//! * an [`EnvState`] remembers what has already been booted/compiled/loaded,
+//!   producing the paper's cold / after-other-function / repeated-call
+//!   effects.
+//!
+//! All engines in the workspace charge their work through this crate, so a
+//! single run yields both a result table and an auditable time breakdown.
+
+pub mod breakdown;
+pub mod clock;
+pub mod cost;
+pub mod env;
+
+pub use breakdown::{Breakdown, BreakdownLine};
+pub use clock::{Charge, Meter, MeterHandle};
+pub use cost::{Component, CostModel};
+pub use env::EnvState;

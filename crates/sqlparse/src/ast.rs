@@ -1,0 +1,689 @@
+//! The abstract syntax tree and its SQL pretty-printer.
+
+use std::fmt;
+
+use fedwf_types::{DataType, Ident, QualifiedName, Value};
+
+/// Binary operators, by increasing precedence class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    Or,
+    And,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Concat,
+}
+
+impl BinaryOp {
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            BinaryOp::Or => "OR",
+            BinaryOp::And => "AND",
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Concat => "||",
+        }
+    }
+
+    /// Binding power for the precedence-climbing parser/printer.
+    pub fn precedence(&self) -> u8 {
+        match self {
+            BinaryOp::Or => 1,
+            BinaryOp::And => 2,
+            BinaryOp::Eq
+            | BinaryOp::NotEq
+            | BinaryOp::Lt
+            | BinaryOp::LtEq
+            | BinaryOp::Gt
+            | BinaryOp::GtEq => 4,
+            BinaryOp::Add | BinaryOp::Sub | BinaryOp::Concat => 5,
+            BinaryOp::Mul | BinaryOp::Div => 6,
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    Not,
+    Neg,
+}
+
+/// Scalar expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column or parameter reference (`GQ.Qual`, `BuySuppComp.SupplierNo`,
+    /// bare `SupplierNo`).
+    Column(QualifiedName),
+    /// Literal value.
+    Literal(Value),
+    /// Binary operation.
+    Binary {
+        left: Box<Expr>,
+        op: BinaryOp,
+        right: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary { op: UnaryOp, expr: Box<Expr> },
+    /// Scalar function call, including cast functions like `BIGINT(x)`.
+    Function { name: Ident, args: Vec<Expr> },
+    /// `CAST(expr AS type)`.
+    Cast {
+        expr: Box<Expr>,
+        data_type: DataType,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull { expr: Box<Expr>, negated: bool },
+}
+
+impl Expr {
+    pub fn col(qualifier: &str, name: &str) -> Expr {
+        Expr::Column(QualifiedName::qualified(qualifier, name))
+    }
+
+    pub fn bare(name: &str) -> Expr {
+        Expr::Column(QualifiedName::bare(name))
+    }
+
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    pub fn binary(left: Expr, op: BinaryOp, right: Expr) -> Expr {
+        Expr::Binary {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        }
+    }
+
+    pub fn eq(left: Expr, right: Expr) -> Expr {
+        Expr::binary(left, BinaryOp::Eq, right)
+    }
+
+    pub fn and(left: Expr, right: Expr) -> Expr {
+        Expr::binary(left, BinaryOp::And, right)
+    }
+
+    /// All column references in the expression, in syntactic order.
+    pub fn column_refs(&self) -> Vec<&QualifiedName> {
+        let mut out = Vec::new();
+        self.walk_columns(&mut |q| out.push(q));
+        out
+    }
+
+    fn walk_columns<'a>(&'a self, f: &mut impl FnMut(&'a QualifiedName)) {
+        match self {
+            Expr::Column(q) => f(q),
+            Expr::Literal(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.walk_columns(f);
+                right.walk_columns(f);
+            }
+            Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::IsNull { expr, .. } => {
+                expr.walk_columns(f)
+            }
+            Expr::Function { args, .. } => {
+                for a in args {
+                    a.walk_columns(f);
+                }
+            }
+        }
+    }
+
+    /// Split a conjunction into its conjuncts (`a AND b AND c` → `[a,b,c]`).
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        match self {
+            Expr::Binary {
+                left,
+                op: BinaryOp::And,
+                right,
+            } => {
+                let mut v = left.conjuncts();
+                v.extend(right.conjuncts());
+                v
+            }
+            other => vec![other],
+        }
+    }
+
+    /// Rebuild a conjunction from conjuncts; `None` for an empty list.
+    pub fn conjoin(exprs: Vec<Expr>) -> Option<Expr> {
+        exprs.into_iter().reduce(Expr::and)
+    }
+
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, parent_prec: u8) -> fmt::Result {
+        match self {
+            Expr::Column(q) => write!(f, "{q}"),
+            Expr::Literal(v) => match v {
+                Value::Varchar(s) => write!(f, "'{}'", s.replace('\'', "''")),
+                Value::Null => write!(f, "NULL"),
+                other => write!(f, "{other}"),
+            },
+            Expr::Binary { left, op, right } => {
+                let prec = op.precedence();
+                let needs_parens = prec < parent_prec;
+                if needs_parens {
+                    write!(f, "(")?;
+                }
+                left.fmt_prec(f, prec)?;
+                write!(f, " {} ", op.symbol())?;
+                // Right side binds one tighter for left-associative printing.
+                right.fmt_prec(f, prec + 1)?;
+                if needs_parens {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Expr::Unary { op, expr } => match op {
+                UnaryOp::Not => {
+                    write!(f, "NOT ")?;
+                    expr.fmt_prec(f, 3)
+                }
+                UnaryOp::Neg => {
+                    write!(f, "-")?;
+                    expr.fmt_prec(f, 7)
+                }
+            },
+            Expr::Function { name, args } => {
+                // COUNT with no arguments is the COUNT(*) form.
+                if args.is_empty() && name == &Ident::new("COUNT") {
+                    return write!(f, "COUNT(*)");
+                }
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    a.fmt_prec(f, 0)?;
+                }
+                write!(f, ")")
+            }
+            Expr::Cast { expr, data_type } => {
+                write!(f, "CAST(")?;
+                expr.fmt_prec(f, 0)?;
+                write!(f, " AS {data_type})")
+            }
+            Expr::IsNull { expr, negated } => {
+                expr.fmt_prec(f, 7)?;
+                if *negated {
+                    write!(f, " IS NOT NULL")
+                } else {
+                    write!(f, " IS NULL")
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}
+
+/// One item of a SELECT projection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `alias.*`
+    QualifiedWildcard(Ident),
+    /// `expr [AS alias]`
+    Expr { expr: Expr, alias: Option<Ident> },
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Wildcard => write!(f, "*"),
+            SelectItem::QualifiedWildcard(q) => write!(f, "{q}.*"),
+            SelectItem::Expr { expr, alias } => {
+                write!(f, "{expr}")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// One item of a FROM clause. DB2 processes these **left to right**, and a
+/// table function's arguments may reference correlation names introduced to
+/// its left — the lateral semantics the paper leans on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FromItem {
+    /// `name [AS alias]` — a base or federated table.
+    Table { name: Ident, alias: Option<Ident> },
+    /// `TABLE (func(args)) AS alias` — a user-defined table function with
+    /// its mandatory correlation name.
+    TableFunction {
+        name: Ident,
+        args: Vec<Expr>,
+        alias: Ident,
+    },
+}
+
+impl FromItem {
+    /// The correlation name this item binds.
+    pub fn binding(&self) -> &Ident {
+        match self {
+            FromItem::Table { name, alias } => alias.as_ref().unwrap_or(name),
+            FromItem::TableFunction { alias, .. } => alias,
+        }
+    }
+}
+
+impl fmt::Display for FromItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FromItem::Table { name, alias } => {
+                write!(f, "{name}")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+            FromItem::TableFunction { name, args, alias } => {
+                write!(f, "TABLE ({name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")) AS {alias}")
+            }
+        }
+    }
+}
+
+/// `ORDER BY` item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderByItem {
+    pub expr: Expr,
+    pub ascending: bool,
+}
+
+impl fmt::Display for OrderByItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.expr)?;
+        if !self.ascending {
+            write!(f, " DESC")?;
+        }
+        Ok(())
+    }
+}
+
+/// A SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub distinct: bool,
+    pub projection: Vec<SelectItem>,
+    pub from: Vec<FromItem>,
+    pub selection: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub order_by: Vec<OrderByItem>,
+    pub limit: Option<u64>,
+}
+
+impl fmt::Display for SelectStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        for (i, item) in self.projection.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        if !self.from.is_empty() {
+            write!(f, " FROM ")?;
+            for (i, item) in self.from.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{item}")?;
+            }
+        }
+        if let Some(sel) = &self.selection {
+            write!(f, " WHERE {sel}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, e) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{e}")?;
+            }
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, item) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{item}")?;
+            }
+        }
+        if let Some(limit) = self.limit {
+            write!(f, " LIMIT {limit}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A column definition in `CREATE TABLE` / `RETURNS TABLE`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    pub name: Ident,
+    pub data_type: DataType,
+    pub not_null: bool,
+}
+
+impl fmt::Display for ColumnDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.name, self.data_type)?;
+        if self.not_null {
+            write!(f, " NOT NULL")?;
+        }
+        Ok(())
+    }
+}
+
+/// A parameter definition in `CREATE FUNCTION`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDef {
+    pub name: Ident,
+    pub data_type: DataType,
+}
+
+impl fmt::Display for ParamDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.name, self.data_type)
+    }
+}
+
+/// `CREATE FUNCTION name (params) RETURNS TABLE (cols) LANGUAGE SQL RETURN
+/// select` — the paper's SQL integration UDTF definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateFunctionStmt {
+    pub name: Ident,
+    pub params: Vec<ParamDef>,
+    pub returns: Vec<ColumnDef>,
+    pub body: SelectStmt,
+}
+
+impl fmt::Display for CreateFunctionStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CREATE FUNCTION {} (", self.name)?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, ") RETURNS TABLE (")?;
+        for (i, c) in self.returns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ") LANGUAGE SQL RETURN {}", self.body)
+    }
+}
+
+/// Top-level statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Select(SelectStmt),
+    CreateTable {
+        name: Ident,
+        columns: Vec<ColumnDef>,
+    },
+    CreateFunction(CreateFunctionStmt),
+    CreateIndex {
+        name: Ident,
+        table: Ident,
+        column: Ident,
+        unique: bool,
+    },
+    Insert {
+        table: Ident,
+        columns: Option<Vec<Ident>>,
+        rows: Vec<Vec<Expr>>,
+    },
+    Update {
+        table: Ident,
+        assignments: Vec<(Ident, Expr)>,
+        selection: Option<Expr>,
+    },
+    Delete {
+        table: Ident,
+        selection: Option<Expr>,
+    },
+    DropTable {
+        name: Ident,
+    },
+    DropFunction {
+        name: Ident,
+    },
+    /// `EXPLAIN <select>` — show the plan instead of executing it.
+    Explain(Box<Statement>),
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Select(s) => write!(f, "{s}"),
+            Statement::CreateTable { name, columns } => {
+                write!(f, "CREATE TABLE {name} (")?;
+                for (i, c) in columns.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+            Statement::CreateFunction(c) => write!(f, "{c}"),
+            Statement::CreateIndex {
+                name,
+                table,
+                column,
+                unique,
+            } => {
+                write!(f, "CREATE ")?;
+                if *unique {
+                    write!(f, "UNIQUE ")?;
+                }
+                write!(f, "INDEX {name} ON {table} ({column})")
+            }
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => {
+                write!(f, "INSERT INTO {table}")?;
+                if let Some(cols) = columns {
+                    write!(f, " (")?;
+                    for (i, c) in cols.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{c}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                write!(f, " VALUES ")?;
+                for (i, row) in rows.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "(")?;
+                    for (j, e) in row.iter().enumerate() {
+                        if j > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{e}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Statement::Update {
+                table,
+                assignments,
+                selection,
+            } => {
+                write!(f, "UPDATE {table} SET ")?;
+                for (i, (c, e)) in assignments.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{c} = {e}")?;
+                }
+                if let Some(sel) = selection {
+                    write!(f, " WHERE {sel}")?;
+                }
+                Ok(())
+            }
+            Statement::Delete { table, selection } => {
+                write!(f, "DELETE FROM {table}")?;
+                if let Some(sel) = selection {
+                    write!(f, " WHERE {sel}")?;
+                }
+                Ok(())
+            }
+            Statement::DropTable { name } => write!(f, "DROP TABLE {name}"),
+            Statement::DropFunction { name } => write!(f, "DROP FUNCTION {name}"),
+            Statement::Explain(inner) => write!(f, "EXPLAIN {inner}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_display_respects_precedence() {
+        // (a OR b) AND c must print its parentheses.
+        let e = Expr::binary(
+            Expr::binary(Expr::bare("a"), BinaryOp::Or, Expr::bare("b")),
+            BinaryOp::And,
+            Expr::bare("c"),
+        );
+        assert_eq!(e.to_string(), "(a OR b) AND c");
+        // a OR b AND c needs none.
+        let e2 = Expr::binary(
+            Expr::bare("a"),
+            BinaryOp::Or,
+            Expr::binary(Expr::bare("b"), BinaryOp::And, Expr::bare("c")),
+        );
+        assert_eq!(e2.to_string(), "a OR b AND c");
+    }
+
+    #[test]
+    fn right_associative_printing_parenthesizes() {
+        // a - (b - c): the right operand of a left-assoc op needs parens.
+        let e = Expr::binary(
+            Expr::bare("a"),
+            BinaryOp::Sub,
+            Expr::binary(Expr::bare("b"), BinaryOp::Sub, Expr::bare("c")),
+        );
+        assert_eq!(e.to_string(), "a - (b - c)");
+    }
+
+    #[test]
+    fn string_literals_escape_quotes() {
+        let e = Expr::lit("it's");
+        assert_eq!(e.to_string(), "'it''s'");
+    }
+
+    #[test]
+    fn column_refs_in_order() {
+        let e = Expr::eq(Expr::col("GQ", "Qual"), Expr::col("GR", "Relia"));
+        let refs = e.column_refs();
+        assert_eq!(refs.len(), 2);
+        assert_eq!(refs[0].to_string(), "GQ.Qual");
+    }
+
+    #[test]
+    fn conjuncts_split_and_rejoin() {
+        let a = Expr::eq(Expr::bare("x"), Expr::lit(1));
+        let b = Expr::eq(Expr::bare("y"), Expr::lit(2));
+        let c = Expr::eq(Expr::bare("z"), Expr::lit(3));
+        let all = Expr::and(Expr::and(a.clone(), b.clone()), c.clone());
+        assert_eq!(all.conjuncts(), vec![&a, &b, &c]);
+        let back = Expr::conjoin(vec![a, b, c]).unwrap();
+        assert_eq!(back, all);
+        assert_eq!(Expr::conjoin(vec![]), None);
+    }
+
+    #[test]
+    fn from_item_binding() {
+        let t = FromItem::Table {
+            name: Ident::new("Suppliers"),
+            alias: Some(Ident::new("S")),
+        };
+        assert_eq!(t.binding(), &Ident::new("s"));
+        let tf = FromItem::TableFunction {
+            name: Ident::new("GetQuality"),
+            args: vec![],
+            alias: Ident::new("GQ"),
+        };
+        assert_eq!(tf.binding(), &Ident::new("gq"));
+    }
+
+    #[test]
+    fn paper_statement_prints_back() {
+        let stmt = SelectStmt {
+            distinct: false,
+            projection: vec![SelectItem::Expr {
+                expr: Expr::col("DP", "Answer"),
+                alias: None,
+            }],
+            from: vec![
+                FromItem::TableFunction {
+                    name: Ident::new("GetQuality"),
+                    args: vec![Expr::bare("SupplierNo")],
+                    alias: Ident::new("GQ"),
+                },
+                FromItem::TableFunction {
+                    name: Ident::new("DecidePurchase"),
+                    args: vec![Expr::col("GG", "Grade"), Expr::col("GCN", "No")],
+                    alias: Ident::new("DP"),
+                },
+            ],
+            selection: None,
+            group_by: vec![],
+            order_by: vec![],
+            limit: None,
+        };
+        let sql = stmt.to_string();
+        assert!(sql.contains("TABLE (GetQuality(SupplierNo)) AS GQ"));
+        assert!(sql.contains("TABLE (DecidePurchase(GG.Grade, GCN.No)) AS DP"));
+    }
+}

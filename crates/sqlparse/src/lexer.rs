@@ -1,0 +1,544 @@
+//! The SQL lexer.
+
+use std::fmt;
+
+use fedwf_types::{FedError, FedResult};
+
+/// Reserved words of the dialect. Everything else is an identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Keyword {
+    Select,
+    From,
+    Where,
+    As,
+    Table,
+    Create,
+    Function,
+    Returns,
+    Language,
+    Sql,
+    Return,
+    Insert,
+    Into,
+    Values,
+    Update,
+    Set,
+    Delete,
+    Drop,
+    And,
+    Or,
+    Not,
+    Null,
+    Is,
+    True,
+    False,
+    Cast,
+    Order,
+    By,
+    Asc,
+    Desc,
+    Limit,
+    Distinct,
+    Unique,
+    Index,
+    On,
+    Explain,
+    Group,
+}
+
+impl Keyword {
+    pub fn parse(word: &str) -> Option<Keyword> {
+        Some(match word.to_ascii_uppercase().as_str() {
+            "SELECT" => Keyword::Select,
+            "FROM" => Keyword::From,
+            "WHERE" => Keyword::Where,
+            "AS" => Keyword::As,
+            "TABLE" => Keyword::Table,
+            "CREATE" => Keyword::Create,
+            "FUNCTION" => Keyword::Function,
+            "RETURNS" => Keyword::Returns,
+            "LANGUAGE" => Keyword::Language,
+            "SQL" => Keyword::Sql,
+            "RETURN" => Keyword::Return,
+            "INSERT" => Keyword::Insert,
+            "INTO" => Keyword::Into,
+            "VALUES" => Keyword::Values,
+            "UPDATE" => Keyword::Update,
+            "SET" => Keyword::Set,
+            "DELETE" => Keyword::Delete,
+            "DROP" => Keyword::Drop,
+            "AND" => Keyword::And,
+            "OR" => Keyword::Or,
+            "NOT" => Keyword::Not,
+            "NULL" => Keyword::Null,
+            "IS" => Keyword::Is,
+            "TRUE" => Keyword::True,
+            "FALSE" => Keyword::False,
+            "CAST" => Keyword::Cast,
+            "ORDER" => Keyword::Order,
+            "BY" => Keyword::By,
+            "ASC" => Keyword::Asc,
+            "DESC" => Keyword::Desc,
+            "LIMIT" => Keyword::Limit,
+            "DISTINCT" => Keyword::Distinct,
+            "UNIQUE" => Keyword::Unique,
+            "INDEX" => Keyword::Index,
+            "ON" => Keyword::On,
+            "EXPLAIN" => Keyword::Explain,
+            "GROUP" => Keyword::Group,
+            _ => return None,
+        })
+    }
+}
+
+/// Kinds of tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    Keyword(Keyword),
+    /// Unreserved identifier, original spelling preserved.
+    Ident(String),
+    /// Integer literal (fits i64).
+    Integer(i64),
+    /// Floating point literal.
+    Float(f64),
+    /// String literal, quotes stripped, `''` unescaped.
+    String(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Semicolon,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    /// `||` string concatenation.
+    Concat,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "{k:?}"),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Integer(v) => write!(f, "{v}"),
+            TokenKind::Float(v) => write!(f, "{v}"),
+            TokenKind::String(s) => write!(f, "'{s}'"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Dot => write!(f, "."),
+            TokenKind::Semicolon => write!(f, ";"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Slash => write!(f, "/"),
+            TokenKind::Eq => write!(f, "="),
+            TokenKind::NotEq => write!(f, "<>"),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::LtEq => write!(f, "<="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::GtEq => write!(f, ">="),
+            TokenKind::Concat => write!(f, "||"),
+        }
+    }
+}
+
+/// A token plus its byte offset in the source (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub offset: usize,
+}
+
+/// The lexer: consumes a source string, produces tokens.
+pub struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    pub fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Tokenize the whole input.
+    pub fn tokenize(mut self) -> FedResult<Vec<Token>> {
+        let mut tokens = Vec::new();
+        while let Some(tok) = self.next_token()? {
+            tokens.push(tok);
+        }
+        Ok(tokens)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) -> FedResult<()> {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                // `--` line comment.
+                Some(b'-') if self.peek2() == Some(b'-') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                // `/* ... */` block comment.
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.pos += 2;
+                                break;
+                            }
+                            (Some(_), _) => self.pos += 1,
+                            (None, _) => {
+                                return Err(FedError::parse(format!(
+                                    "unterminated block comment at offset {start}"
+                                )))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> FedResult<Option<Token>> {
+        self.skip_trivia()?;
+        let offset = self.pos;
+        let b = match self.peek() {
+            Some(b) => b,
+            None => return Ok(None),
+        };
+        let kind = match b {
+            b'(' => {
+                self.bump();
+                TokenKind::LParen
+            }
+            b')' => {
+                self.bump();
+                TokenKind::RParen
+            }
+            b',' => {
+                self.bump();
+                TokenKind::Comma
+            }
+            b'.' => {
+                self.bump();
+                TokenKind::Dot
+            }
+            b';' => {
+                self.bump();
+                TokenKind::Semicolon
+            }
+            b'*' => {
+                self.bump();
+                TokenKind::Star
+            }
+            b'+' => {
+                self.bump();
+                TokenKind::Plus
+            }
+            b'-' => {
+                self.bump();
+                TokenKind::Minus
+            }
+            b'/' => {
+                self.bump();
+                TokenKind::Slash
+            }
+            b'=' => {
+                self.bump();
+                TokenKind::Eq
+            }
+            b'<' => {
+                self.bump();
+                match self.peek() {
+                    Some(b'=') => {
+                        self.bump();
+                        TokenKind::LtEq
+                    }
+                    Some(b'>') => {
+                        self.bump();
+                        TokenKind::NotEq
+                    }
+                    _ => TokenKind::Lt,
+                }
+            }
+            b'>' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::GtEq
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            b'!' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::NotEq
+                } else {
+                    return Err(FedError::parse(format!(
+                        "unexpected character '!' at offset {offset}"
+                    )));
+                }
+            }
+            b'|' => {
+                self.bump();
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    TokenKind::Concat
+                } else {
+                    return Err(FedError::parse(format!(
+                        "unexpected character '|' at offset {offset}"
+                    )));
+                }
+            }
+            b'\'' => self.lex_string(offset)?,
+            b'0'..=b'9' => self.lex_number(offset)?,
+            b if b.is_ascii_alphabetic() || b == b'_' => self.lex_word(),
+            other => {
+                return Err(FedError::parse(format!(
+                    "unexpected character {:?} at offset {offset}",
+                    other as char
+                )))
+            }
+        };
+        Ok(Some(Token { kind, offset }))
+    }
+
+    fn lex_word(&mut self) -> TokenKind {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let word = &self.src[start..self.pos];
+        match Keyword::parse(word) {
+            Some(k) => TokenKind::Keyword(k),
+            None => TokenKind::Ident(word.to_string()),
+        }
+    }
+
+    fn lex_number(&mut self, offset: usize) -> FedResult<TokenKind> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        // A fractional part only when the dot is followed by a digit —
+        // keeps `1.e` or alias-dots unambiguous.
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(b'0'..=b'9')) {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            let mut lookahead = self.pos + 1;
+            if matches!(self.bytes.get(lookahead), Some(b'+') | Some(b'-')) {
+                lookahead += 1;
+            }
+            if matches!(self.bytes.get(lookahead), Some(b'0'..=b'9')) {
+                is_float = true;
+                self.pos = lookahead;
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+        }
+        let text = &self.src[start..self.pos];
+        if is_float {
+            text.parse::<f64>()
+                .map(TokenKind::Float)
+                .map_err(|e| FedError::parse(format!("bad float literal at offset {offset}: {e}")))
+        } else {
+            text.parse::<i64>().map(TokenKind::Integer).map_err(|e| {
+                FedError::parse(format!("bad integer literal at offset {offset}: {e}"))
+            })
+        }
+    }
+
+    fn lex_string(&mut self, offset: usize) -> FedResult<TokenKind> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'\'') => {
+                    if self.peek() == Some(b'\'') {
+                        self.bump();
+                        out.push('\'');
+                    } else {
+                        return Ok(TokenKind::String(out));
+                    }
+                }
+                Some(b) => out.push(b as char),
+                None => {
+                    return Err(FedError::parse(format!(
+                        "unterminated string literal at offset {offset}"
+                    )))
+                }
+            }
+        }
+    }
+}
+
+/// Tokenize a source string.
+pub fn tokenize(src: &str) -> FedResult<Vec<Token>> {
+    Lexer::new(src).tokenize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_paper_select_fragment() {
+        let toks = kinds("SELECT DP.Answer FROM TABLE (GetQuality(SupplierNo)) AS GQ");
+        assert_eq!(toks[0], TokenKind::Keyword(Keyword::Select));
+        assert_eq!(toks[1], TokenKind::Ident("DP".into()));
+        assert_eq!(toks[2], TokenKind::Dot);
+        assert!(toks.contains(&TokenKind::Keyword(Keyword::Table)));
+        assert!(toks.contains(&TokenKind::Ident("GetQuality".into())));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(kinds("select")[0], TokenKind::Keyword(Keyword::Select));
+        assert_eq!(kinds("SeLeCt")[0], TokenKind::Keyword(Keyword::Select));
+    }
+
+    #[test]
+    fn numbers_int_float_exponent() {
+        assert_eq!(kinds("42"), vec![TokenKind::Integer(42)]);
+        assert_eq!(kinds("3.5"), vec![TokenKind::Float(3.5)]);
+        assert_eq!(kinds("1e3"), vec![TokenKind::Float(1000.0)]);
+        assert_eq!(kinds("2.5E-1"), vec![TokenKind::Float(0.25)]);
+    }
+
+    #[test]
+    fn dot_after_integer_is_not_float_when_no_digit() {
+        // `1.` followed by an identifier (pathological but unambiguous).
+        let toks = kinds("1 . x");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Integer(1),
+                TokenKind::Dot,
+                TokenKind::Ident("x".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escaped_quotes() {
+        assert_eq!(
+            kinds("'it''s'"),
+            vec![TokenKind::String("it's".into())]
+        );
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("= <> != < <= > >= || + - * /"),
+            vec![
+                TokenKind::Eq,
+                TokenKind::NotEq,
+                TokenKind::NotEq,
+                TokenKind::Lt,
+                TokenKind::LtEq,
+                TokenKind::Gt,
+                TokenKind::GtEq,
+                TokenKind::Concat,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Slash,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = kinds("SELECT -- the projection\n 1 /* one */ , 2");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Integer(1),
+                TokenKind::Comma,
+                TokenKind::Integer(2),
+            ]
+        );
+        assert!(tokenize("/* open").is_err());
+    }
+
+    #[test]
+    fn offsets_point_at_tokens() {
+        let toks = tokenize("SELECT  x").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 8);
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(tokenize("SELECT #").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("a | b").is_err());
+    }
+
+    #[test]
+    fn underscore_identifiers() {
+        assert_eq!(
+            kinds("_tmp foo_bar"),
+            vec![
+                TokenKind::Ident("_tmp".into()),
+                TokenKind::Ident("foo_bar".into())
+            ]
+        );
+    }
+}

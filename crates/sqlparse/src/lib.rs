@@ -1,0 +1,34 @@
+//! # fedwf-sql
+//!
+//! Lexer, parser and AST for the DB2-flavoured SQL dialect the paper uses.
+//! The dialect's distinguishing features, all of which appear verbatim in
+//! the paper's examples, are:
+//!
+//! * table functions in the FROM clause — `TABLE (GetQuality(SupplierNo))
+//!   AS GQ` — with a *mandatory* correlation name and left-to-right
+//!   evaluation, where later items may reference output columns of earlier
+//!   items (the lateral dependency that encodes the precedence structure of
+//!   local function calls);
+//! * `CREATE FUNCTION name (params) RETURNS TABLE (cols) LANGUAGE SQL
+//!   RETURN select` — the SQL integration UDTFs (I-UDTFs), whose bodies may
+//!   reference their own parameters as `FunctionName.ParamName`;
+//! * cast functions such as `BIGINT(expr)` used by the *simple case*
+//!   mapping.
+//!
+//! Besides these, the grammar covers ordinary SELECT / CREATE TABLE /
+//! INSERT / UPDATE / DELETE / DROP so the FDBS is usable as a database.
+//!
+//! The parser is a hand-written recursive-descent/precedence-climbing
+//! parser over a standalone lexer; the AST pretty-prints back to SQL
+//! (`Display`), and `parse(pretty(ast)) == ast` is property-tested.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{
+    BinaryOp, ColumnDef, CreateFunctionStmt, Expr, FromItem, OrderByItem, ParamDef, SelectItem,
+    SelectStmt, Statement, UnaryOp,
+};
+pub use lexer::{Keyword, Lexer, Token, TokenKind};
+pub use parser::{parse_expression, parse_statement, parse_statements, Parser};

@@ -1,0 +1,227 @@
+//! Cast rules between SQL types.
+//!
+//! Section 3's *simple case* resolves signature mismatches between federated
+//! and local functions with cast functions (`BIGINT(GN.Number)`) on the UDTF
+//! side and *helper activities* on the WfMS side. Both paths funnel through
+//! [`cast_value`], so the two architectures are guaranteed to agree on
+//! conversion semantics.
+
+use std::fmt;
+
+use crate::value::{DataType, Value};
+
+/// Error produced by a failed cast.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CastError {
+    pub from: Option<DataType>,
+    pub to: DataType,
+    pub detail: String,
+}
+
+impl fmt::Display for CastError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.from {
+            Some(from) => write!(f, "cannot cast {} to {}: {}", from, self.to, self.detail),
+            None => write!(f, "cannot cast NULL-typed value to {}: {}", self.to, self.detail),
+        }
+    }
+}
+
+impl std::error::Error for CastError {}
+
+fn err(v: &Value, to: DataType, detail: impl Into<String>) -> CastError {
+    CastError {
+        from: v.data_type(),
+        to,
+        detail: detail.into(),
+    }
+}
+
+/// Explicit cast, `CAST(v AS to)` / `BIGINT(v)` semantics.
+///
+/// * `NULL` casts to `NULL` of any type.
+/// * Numeric widening is always exact; narrowing fails on overflow and
+///   `DOUBLE -> INT/BIGINT` truncates toward zero (DB2 behaviour).
+/// * Strings parse to numerics/booleans when well-formed.
+/// * Everything casts to `VARCHAR` via its rendering.
+pub fn cast_value(v: &Value, to: DataType) -> Result<Value, CastError> {
+    if v.is_null() {
+        return Ok(Value::Null);
+    }
+    match (v, to) {
+        // Identity casts.
+        (Value::Int(_), DataType::Int)
+        | (Value::BigInt(_), DataType::BigInt)
+        | (Value::Double(_), DataType::Double)
+        | (Value::Varchar(_), DataType::Varchar)
+        | (Value::Boolean(_), DataType::Boolean) => Ok(v.clone()),
+
+        // Numeric widening / narrowing.
+        (Value::Int(x), DataType::BigInt) => Ok(Value::BigInt(*x as i64)),
+        (Value::Int(x), DataType::Double) => Ok(Value::Double(*x as f64)),
+        (Value::BigInt(x), DataType::Int) => i32::try_from(*x)
+            .map(Value::Int)
+            .map_err(|_| err(v, to, format!("{x} out of INT range"))),
+        (Value::BigInt(x), DataType::Double) => Ok(Value::Double(*x as f64)),
+        (Value::Double(x), DataType::Int) => {
+            let t = x.trunc();
+            if t.is_finite() && t >= i32::MIN as f64 && t <= i32::MAX as f64 {
+                Ok(Value::Int(t as i32))
+            } else {
+                Err(err(v, to, format!("{x} out of INT range")))
+            }
+        }
+        (Value::Double(x), DataType::BigInt) => {
+            let t = x.trunc();
+            // i64::MAX is not exactly representable as f64; stay within the
+            // exactly representable band.
+            if t.is_finite() && t >= -(2f64.powi(63)) && t < 2f64.powi(63) {
+                Ok(Value::BigInt(t as i64))
+            } else {
+                Err(err(v, to, format!("{x} out of BIGINT range")))
+            }
+        }
+
+        // To string.
+        (_, DataType::Varchar) => Ok(Value::Varchar(v.render())),
+
+        // From string.
+        (Value::Varchar(s), DataType::Int) => s
+            .trim()
+            .parse::<i32>()
+            .map(Value::Int)
+            .map_err(|e| err(v, to, e.to_string())),
+        (Value::Varchar(s), DataType::BigInt) => s
+            .trim()
+            .parse::<i64>()
+            .map(Value::BigInt)
+            .map_err(|e| err(v, to, e.to_string())),
+        (Value::Varchar(s), DataType::Double) => s
+            .trim()
+            .parse::<f64>()
+            .map(Value::Double)
+            .map_err(|e| err(v, to, e.to_string())),
+        (Value::Varchar(s), DataType::Boolean) => match s.trim().to_ascii_uppercase().as_str() {
+            "TRUE" | "T" | "YES" | "1" => Ok(Value::Boolean(true)),
+            "FALSE" | "F" | "NO" | "0" => Ok(Value::Boolean(false)),
+            other => Err(err(v, to, format!("{other:?} is not a boolean literal"))),
+        },
+
+        // Boolean <-> numeric is not part of the dialect.
+        _ => Err(err(v, to, "no cast rule")),
+    }
+}
+
+/// Implicit cast used when binding argument values to typed parameters:
+/// only identity and *widening* numeric conversions are allowed, mirroring
+/// the FDBS's function-resolution rules. Anything else must be written as an
+/// explicit cast (a cast function or a WfMS helper activity).
+pub fn implicit_cast(v: &Value, to: DataType) -> Result<Value, CastError> {
+    if v.is_null() {
+        return Ok(Value::Null);
+    }
+    let from = v.data_type().expect("non-null value has a type");
+    if from == to {
+        return Ok(v.clone());
+    }
+    match (from.numeric_rank(), to.numeric_rank()) {
+        (Some(a), Some(b)) if a < b => cast_value(v, to),
+        _ => Err(err(
+            v,
+            to,
+            "implicit conversion allowed only for numeric widening",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_casts_to_anything() {
+        for dt in [
+            DataType::Int,
+            DataType::BigInt,
+            DataType::Double,
+            DataType::Varchar,
+            DataType::Boolean,
+        ] {
+            assert_eq!(cast_value(&Value::Null, dt).unwrap(), Value::Null);
+        }
+    }
+
+    #[test]
+    fn paper_simple_case_int_to_bigint() {
+        // The GetNumberSupp1234 example: SELECT BIGINT(GN.Number).
+        assert_eq!(
+            cast_value(&Value::Int(4711), DataType::BigInt).unwrap(),
+            Value::BigInt(4711)
+        );
+    }
+
+    #[test]
+    fn narrowing_overflow_fails() {
+        assert!(cast_value(&Value::BigInt(i64::MAX), DataType::Int).is_err());
+        assert_eq!(
+            cast_value(&Value::BigInt(42), DataType::Int).unwrap(),
+            Value::Int(42)
+        );
+    }
+
+    #[test]
+    fn double_truncates_toward_zero() {
+        assert_eq!(
+            cast_value(&Value::Double(3.9), DataType::Int).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            cast_value(&Value::Double(-3.9), DataType::Int).unwrap(),
+            Value::Int(-3)
+        );
+        assert!(cast_value(&Value::Double(f64::NAN), DataType::Int).is_err());
+        assert!(cast_value(&Value::Double(1e300), DataType::BigInt).is_err());
+    }
+
+    #[test]
+    fn string_parses() {
+        assert_eq!(
+            cast_value(&Value::str(" 17 "), DataType::Int).unwrap(),
+            Value::Int(17)
+        );
+        assert_eq!(
+            cast_value(&Value::str("yes"), DataType::Boolean).unwrap(),
+            Value::Boolean(true)
+        );
+        assert!(cast_value(&Value::str("abc"), DataType::Int).is_err());
+    }
+
+    #[test]
+    fn everything_renders_to_varchar() {
+        assert_eq!(
+            cast_value(&Value::Boolean(true), DataType::Varchar).unwrap(),
+            Value::str("TRUE")
+        );
+        assert_eq!(
+            cast_value(&Value::Double(2.5), DataType::Varchar).unwrap(),
+            Value::str("2.5")
+        );
+    }
+
+    #[test]
+    fn implicit_only_widens() {
+        assert_eq!(
+            implicit_cast(&Value::Int(1), DataType::BigInt).unwrap(),
+            Value::BigInt(1)
+        );
+        assert!(implicit_cast(&Value::BigInt(1), DataType::Int).is_err());
+        assert!(implicit_cast(&Value::str("1"), DataType::Int).is_err());
+        assert!(implicit_cast(&Value::Int(1), DataType::Varchar).is_err());
+    }
+
+    #[test]
+    fn boolean_numeric_has_no_rule() {
+        assert!(cast_value(&Value::Boolean(true), DataType::Int).is_err());
+        assert!(cast_value(&Value::Int(1), DataType::Boolean).is_err());
+    }
+}

@@ -1,0 +1,191 @@
+//! The workspace-wide error type.
+//!
+//! Every layer of the integration server (storage, SQL, workflow engine,
+//! application systems, wrapper) produces a [`FedError`] so that a user
+//! query failing deep inside a local function surfaces with its provenance
+//! intact.
+
+use std::fmt;
+
+use crate::cast::CastError;
+
+/// Result alias used across the workspace.
+pub type FedResult<T> = Result<T, FedError>;
+
+/// The layer an error originated in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorLayer {
+    /// Relational storage engine.
+    Storage,
+    /// SQL lexer/parser.
+    Parse,
+    /// Name resolution / typing.
+    Bind,
+    /// Plan construction or optimization.
+    Plan,
+    /// Runtime execution.
+    Execution,
+    /// Schema/constraint violations.
+    Schema,
+    /// Catalog lookups and DDL.
+    Catalog,
+    /// Workflow buildtime or runtime.
+    Workflow,
+    /// An application system / local function.
+    AppSystem,
+    /// SQL/MED wrapper or controller.
+    Wrapper,
+    /// Feature outside an architecture's mapping capability
+    /// (e.g. a cyclic dependency handed to the UDTF architecture).
+    Unsupported,
+}
+
+impl fmt::Display for ErrorLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorLayer::Storage => "storage",
+            ErrorLayer::Parse => "parse",
+            ErrorLayer::Bind => "bind",
+            ErrorLayer::Plan => "plan",
+            ErrorLayer::Execution => "execution",
+            ErrorLayer::Schema => "schema",
+            ErrorLayer::Catalog => "catalog",
+            ErrorLayer::Workflow => "workflow",
+            ErrorLayer::AppSystem => "application-system",
+            ErrorLayer::Wrapper => "wrapper",
+            ErrorLayer::Unsupported => "unsupported",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Workspace-wide error: a layer tag, a message, and an optional chain of
+/// context frames added as the error travels up through components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FedError {
+    pub layer: ErrorLayer,
+    pub message: String,
+    pub context: Vec<String>,
+}
+
+impl FedError {
+    pub fn new(layer: ErrorLayer, message: impl Into<String>) -> FedError {
+        FedError {
+            layer,
+            message: message.into(),
+            context: vec![],
+        }
+    }
+
+    pub fn storage(msg: impl Into<String>) -> FedError {
+        FedError::new(ErrorLayer::Storage, msg)
+    }
+    pub fn parse(msg: impl Into<String>) -> FedError {
+        FedError::new(ErrorLayer::Parse, msg)
+    }
+    pub fn bind(msg: impl Into<String>) -> FedError {
+        FedError::new(ErrorLayer::Bind, msg)
+    }
+    pub fn plan(msg: impl Into<String>) -> FedError {
+        FedError::new(ErrorLayer::Plan, msg)
+    }
+    pub fn execution(msg: impl Into<String>) -> FedError {
+        FedError::new(ErrorLayer::Execution, msg)
+    }
+    pub fn schema(msg: impl Into<String>) -> FedError {
+        FedError::new(ErrorLayer::Schema, msg)
+    }
+    pub fn catalog(msg: impl Into<String>) -> FedError {
+        FedError::new(ErrorLayer::Catalog, msg)
+    }
+    pub fn workflow(msg: impl Into<String>) -> FedError {
+        FedError::new(ErrorLayer::Workflow, msg)
+    }
+    pub fn app_system(msg: impl Into<String>) -> FedError {
+        FedError::new(ErrorLayer::AppSystem, msg)
+    }
+    pub fn wrapper(msg: impl Into<String>) -> FedError {
+        FedError::new(ErrorLayer::Wrapper, msg)
+    }
+    pub fn unsupported(msg: impl Into<String>) -> FedError {
+        FedError::new(ErrorLayer::Unsupported, msg)
+    }
+
+    /// Attach a context frame, e.g. "while executing activity GetQuality".
+    pub fn with_context(mut self, frame: impl Into<String>) -> FedError {
+        self.context.push(frame.into());
+        self
+    }
+
+    /// True when the error marks a capability gap rather than a failure —
+    /// the paper's Section 3 table records exactly these.
+    pub fn is_unsupported(&self) -> bool {
+        self.layer == ErrorLayer::Unsupported
+    }
+}
+
+impl fmt::Display for FedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.layer, self.message)?;
+        for frame in &self.context {
+            write!(f, "\n  while {frame}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for FedError {}
+
+impl From<CastError> for FedError {
+    fn from(e: CastError) -> FedError {
+        FedError::execution(e.to_string())
+    }
+}
+
+/// Extension for adding context to a `FedResult` chain.
+pub trait ResultExt<T> {
+    fn context(self, frame: impl Into<String>) -> FedResult<T>;
+}
+
+impl<T> ResultExt<T> for FedResult<T> {
+    fn context(self, frame: impl Into<String>) -> FedResult<T> {
+        self.map_err(|e| e.with_context(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{DataType, Value};
+
+    #[test]
+    fn display_includes_layer_and_context() {
+        let e = FedError::workflow("activity failed")
+            .with_context("executing activity GetQuality")
+            .with_context("running process BuySuppComp");
+        let s = e.to_string();
+        assert!(s.contains("[workflow] activity failed"));
+        assert!(s.contains("while executing activity GetQuality"));
+        assert!(s.contains("while running process BuySuppComp"));
+    }
+
+    #[test]
+    fn cast_error_converts() {
+        let ce = crate::cast::cast_value(&Value::str("abc"), DataType::Int).unwrap_err();
+        let fe: FedError = ce.into();
+        assert_eq!(fe.layer, ErrorLayer::Execution);
+    }
+
+    #[test]
+    fn unsupported_marker() {
+        assert!(FedError::unsupported("cyclic dependency").is_unsupported());
+        assert!(!FedError::parse("x").is_unsupported());
+    }
+
+    #[test]
+    fn result_ext_adds_context() {
+        let r: FedResult<()> = Err(FedError::storage("io"));
+        let r = r.context("scanning table Suppliers");
+        assert_eq!(r.unwrap_err().context, vec!["scanning table Suppliers"]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Identifiers and qualified names.
+//!
+//! SQL identifiers in the paper's dialect are case-insensitive unless quoted
+//! (we model the unquoted behaviour only: identifiers are normalized to a
+//! canonical form but remember their original spelling for display).
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A case-insensitive SQL identifier.
+///
+/// Two identifiers compare equal when they match ignoring ASCII case, which
+/// is how the FDBS catalog resolves `BuySuppComp` vs `BUYSUPPCOMP`.
+#[derive(Debug, Clone)]
+pub struct Ident {
+    original: String,
+    normalized: String,
+}
+
+impl Ident {
+    pub fn new(s: impl Into<String>) -> Ident {
+        let original = s.into();
+        let normalized = original.to_ascii_lowercase();
+        Ident {
+            original,
+            normalized,
+        }
+    }
+
+    /// The identifier as the user wrote it.
+    pub fn as_str(&self) -> &str {
+        &self.original
+    }
+
+    /// The canonical (lower-cased) form used for lookups.
+    pub fn normalized(&self) -> &str {
+        &self.normalized
+    }
+}
+
+impl PartialEq for Ident {
+    fn eq(&self, other: &Ident) -> bool {
+        self.normalized == other.normalized
+    }
+}
+impl Eq for Ident {}
+
+impl Hash for Ident {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.normalized.hash(state);
+    }
+}
+
+impl PartialOrd for Ident {
+    fn partial_cmp(&self, other: &Ident) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ident {
+    fn cmp(&self, other: &Ident) -> std::cmp::Ordering {
+        self.normalized.cmp(&other.normalized)
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.original)
+    }
+}
+
+impl From<&str> for Ident {
+    fn from(s: &str) -> Ident {
+        Ident::new(s)
+    }
+}
+impl From<String> for Ident {
+    fn from(s: String) -> Ident {
+        Ident::new(s)
+    }
+}
+
+/// A possibly-qualified name such as `GQ.Qual` or `BuySuppComp.SupplierNo`.
+///
+/// In the paper's dialect the qualifier is either a FROM-clause correlation
+/// name or — inside a `CREATE FUNCTION ... LANGUAGE SQL` body — the federated
+/// function's own name, referring to one of its parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QualifiedName {
+    pub qualifier: Option<Ident>,
+    pub name: Ident,
+}
+
+impl QualifiedName {
+    pub fn bare(name: impl Into<Ident>) -> QualifiedName {
+        QualifiedName {
+            qualifier: None,
+            name: name.into(),
+        }
+    }
+
+    pub fn qualified(qualifier: impl Into<Ident>, name: impl Into<Ident>) -> QualifiedName {
+        QualifiedName {
+            qualifier: Some(qualifier.into()),
+            name: name.into(),
+        }
+    }
+}
+
+impl fmt::Display for QualifiedName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{}.{}", q, self.name),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn idents_compare_case_insensitively() {
+        assert_eq!(Ident::new("BuySuppComp"), Ident::new("BUYSUPPCOMP"));
+        assert_ne!(Ident::new("GetQuality"), Ident::new("GetReliability"));
+    }
+
+    #[test]
+    fn idents_hash_case_insensitively() {
+        let mut set = HashSet::new();
+        set.insert(Ident::new("GetGrade"));
+        assert!(set.contains(&Ident::new("getgrade")));
+    }
+
+    #[test]
+    fn display_preserves_original_spelling() {
+        assert_eq!(Ident::new("GetCompNo").to_string(), "GetCompNo");
+        assert_eq!(
+            QualifiedName::qualified("GQ", "Qual").to_string(),
+            "GQ.Qual"
+        );
+        assert_eq!(QualifiedName::bare("Answer").to_string(), "Answer");
+    }
+
+    #[test]
+    fn qualified_name_equality() {
+        assert_eq!(
+            QualifiedName::qualified("gq", "QUAL"),
+            QualifiedName::qualified("GQ", "qual")
+        );
+        assert_ne!(
+            QualifiedName::bare("qual"),
+            QualifiedName::qualified("gq", "qual")
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! # fedwf-types
+//!
+//! Foundation crate of the *fedwf* workspace: the dynamically typed value
+//! model, schemas, rows and tables shared by the relational storage engine,
+//! the SQL layer, the workflow engine and the application systems, plus the
+//! workspace-wide error type.
+//!
+//! The type lattice intentionally mirrors the small set of SQL types the
+//! paper's examples use (`INT`, `BIGINT`, `DOUBLE`, `VARCHAR`, `BOOLEAN`),
+//! including the explicit `INT -> BIGINT` widening cast that the *simple
+//! case* mapping of Section 3 demonstrates with `BIGINT(GN.Number)`.
+
+pub mod cast;
+pub mod error;
+pub mod ident;
+pub mod row;
+pub mod value;
+
+pub use cast::{cast_value, implicit_cast, CastError};
+pub use error::{ErrorLayer, FedError, FedResult, ResultExt};
+pub use ident::{Ident, QualifiedName};
+pub use row::{Column, Row, Schema, SchemaRef, Table};
+pub use value::{DataType, Value};

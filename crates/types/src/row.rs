@@ -1,0 +1,396 @@
+//! Schemas, rows and in-memory result tables.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{FedError, FedResult};
+use crate::ident::Ident;
+use crate::value::{DataType, Value};
+
+/// A named, typed column of a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    pub name: Ident,
+    pub data_type: DataType,
+    pub nullable: bool,
+}
+
+impl Column {
+    pub fn new(name: impl Into<Ident>, data_type: DataType) -> Column {
+        Column {
+            name: name.into(),
+            data_type,
+            nullable: true,
+        }
+    }
+
+    pub fn not_null(mut self) -> Column {
+        self.nullable = false;
+        self
+    }
+}
+
+/// An ordered list of columns. Shared via `Arc` between plans and tables.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    pub fn new(columns: Vec<Column>) -> Schema {
+        Schema { columns }
+    }
+
+    /// Build a schema of nullable columns from `(name, type)` pairs.
+    pub fn of(cols: &[(&str, DataType)]) -> Schema {
+        Schema {
+            columns: cols
+                .iter()
+                .map(|(n, t)| Column::new(*n, *t))
+                .collect(),
+        }
+    }
+
+    pub fn empty() -> Schema {
+        Schema { columns: vec![] }
+    }
+
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Index of the column with the given (case-insensitive) name.
+    pub fn index_of(&self, name: &Ident) -> Option<usize> {
+        self.columns.iter().position(|c| &c.name == name)
+    }
+
+    pub fn column(&self, idx: usize) -> Option<&Column> {
+        self.columns.get(idx)
+    }
+
+    /// Concatenate two schemas (used for join / lateral outputs).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        Schema { columns }
+    }
+
+    /// Check that a row conforms to this schema: arity, types (after
+    /// implicit widening is *not* applied — storage is strict), nullability.
+    pub fn check_row(&self, row: &Row) -> FedResult<()> {
+        if row.len() != self.len() {
+            return Err(FedError::schema(format!(
+                "row arity {} does not match schema arity {}",
+                row.len(),
+                self.len()
+            )));
+        }
+        for (i, (v, c)) in row.values().iter().zip(self.columns.iter()).enumerate() {
+            match v.data_type() {
+                None => {
+                    if !c.nullable {
+                        return Err(FedError::schema(format!(
+                            "column {} ({}) is NOT NULL but row has NULL at position {i}",
+                            c.name, c.data_type
+                        )));
+                    }
+                }
+                Some(dt) => {
+                    if dt != c.data_type {
+                        return Err(FedError::schema(format!(
+                            "column {} expects {} but row has {} at position {i}",
+                            c.name, c.data_type, dt
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A shared schema handle.
+pub type SchemaRef = Arc<Schema>;
+
+/// A single row of values.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Row {
+    values: Vec<Value>,
+}
+
+impl Row {
+    pub fn new(values: Vec<Value>) -> Row {
+        Row { values }
+    }
+
+    pub fn empty() -> Row {
+        Row { values: vec![] }
+    }
+
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+
+    /// Concatenate two rows (join output).
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut values = self.values.clone();
+        values.extend(other.values.iter().cloned());
+        Row { values }
+    }
+
+    /// Project the row onto the given column indexes.
+    pub fn project(&self, indexes: &[usize]) -> Row {
+        Row {
+            values: indexes
+                .iter()
+                .map(|&i| self.values[i].clone())
+                .collect(),
+        }
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Row {
+        Row { values }
+    }
+}
+
+/// An in-memory table: a schema plus materialized rows. This is the result
+/// format handed from UDTFs to the FDBS ("the result ... is mapped to an
+/// abstract table") and from the FDBS back to applications.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    schema: SchemaRef,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    pub fn new(schema: SchemaRef) -> Table {
+        Table {
+            schema,
+            rows: vec![],
+        }
+    }
+
+    pub fn with_rows(schema: SchemaRef, rows: Vec<Row>) -> FedResult<Table> {
+        for r in &rows {
+            schema.check_row(r)?;
+        }
+        Ok(Table { schema, rows })
+    }
+
+    /// Build a single-row, single-column table — the common shape of a local
+    /// function result in the sample scenario.
+    pub fn scalar(name: &str, value: Value) -> Table {
+        let dt = value.data_type().unwrap_or(DataType::Varchar);
+        let schema = Arc::new(Schema::of(&[(name, dt)]));
+        Table {
+            schema,
+            rows: vec![Row::new(vec![value])],
+        }
+    }
+
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append a row after checking it against the schema.
+    pub fn push(&mut self, row: Row) -> FedResult<()> {
+        self.schema.check_row(&row)?;
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Append a row without the schema check (hot path inside executors that
+    /// construct type-correct rows by construction).
+    pub fn push_unchecked(&mut self, row: Row) {
+        self.rows.push(row);
+    }
+
+    /// Value at (row, column-name), convenience for tests and examples.
+    pub fn value(&self, row: usize, column: &str) -> Option<&Value> {
+        let idx = self.schema.index_of(&Ident::new(column))?;
+        self.rows.get(row)?.get(idx)
+    }
+
+    /// Render an ASCII table, the way the `report` binary prints results.
+    pub fn render(&self) -> String {
+        let headers: Vec<String> = self
+            .schema
+            .columns()
+            .iter()
+            .map(|c| c.name.to_string())
+            .collect();
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.values().iter().map(Value::render).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| -> String {
+            let mut s = String::from("|");
+            for (i, c) in cells.iter().enumerate() {
+                s.push_str(&format!(" {:width$} |", c, width = widths[i]));
+            }
+            s
+        };
+        let sep: String = {
+            let mut s = String::from("+");
+            for w in &widths {
+                s.push_str(&"-".repeat(w + 2));
+                s.push('+');
+            }
+            s
+        };
+        let mut out = String::new();
+        out.push_str(&sep);
+        out.push('\n');
+        out.push_str(&line(&headers));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &rendered {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out.push_str(&sep);
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_schema() -> SchemaRef {
+        Arc::new(Schema::of(&[
+            ("SupplierNo", DataType::Int),
+            ("Name", DataType::Varchar),
+        ]))
+    }
+
+    #[test]
+    fn schema_lookup_is_case_insensitive() {
+        let s = sample_schema();
+        assert_eq!(s.index_of(&Ident::new("supplierno")), Some(0));
+        assert_eq!(s.index_of(&Ident::new("NAME")), Some(1));
+        assert_eq!(s.index_of(&Ident::new("missing")), None);
+    }
+
+    #[test]
+    fn check_row_enforces_arity_and_types() {
+        let s = sample_schema();
+        assert!(s
+            .check_row(&Row::new(vec![Value::Int(1), Value::str("a")]))
+            .is_ok());
+        assert!(s.check_row(&Row::new(vec![Value::Int(1)])).is_err());
+        assert!(s
+            .check_row(&Row::new(vec![Value::str("x"), Value::str("a")]))
+            .is_err());
+    }
+
+    #[test]
+    fn check_row_enforces_not_null() {
+        let s = Arc::new(Schema::new(vec![
+            Column::new("id", DataType::Int).not_null()
+        ]));
+        assert!(s.check_row(&Row::new(vec![Value::Null])).is_err());
+        assert!(s.check_row(&Row::new(vec![Value::Int(0)])).is_ok());
+    }
+
+    #[test]
+    fn table_push_checks_schema() {
+        let mut t = Table::new(sample_schema());
+        assert!(t.push(Row::new(vec![Value::Int(1), Value::str("a")])).is_ok());
+        assert!(t.push(Row::new(vec![Value::str("x"), Value::str("a")])).is_err());
+        assert_eq!(t.row_count(), 1);
+    }
+
+    #[test]
+    fn scalar_table_shape() {
+        let t = Table::scalar("Qual", Value::Int(93));
+        assert_eq!(t.row_count(), 1);
+        assert_eq!(t.schema().len(), 1);
+        assert_eq!(t.value(0, "Qual"), Some(&Value::Int(93)));
+    }
+
+    #[test]
+    fn row_project_and_concat() {
+        let r = Row::new(vec![Value::Int(1), Value::str("a"), Value::Boolean(true)]);
+        assert_eq!(
+            r.project(&[2, 0]),
+            Row::new(vec![Value::Boolean(true), Value::Int(1)])
+        );
+        let joined = r.concat(&Row::new(vec![Value::Null]));
+        assert_eq!(joined.len(), 4);
+    }
+
+    #[test]
+    fn schema_concat_preserves_order() {
+        let a = Schema::of(&[("x", DataType::Int)]);
+        let b = Schema::of(&[("y", DataType::Varchar)]);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.index_of(&Ident::new("y")), Some(1));
+    }
+
+    #[test]
+    fn render_produces_ascii_grid() {
+        let t = Table::scalar("Answer", Value::str("yes"));
+        let s = t.render();
+        assert!(s.contains("Answer"));
+        assert!(s.contains("yes"));
+        assert!(s.starts_with('+'));
+    }
+}

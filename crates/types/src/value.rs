@@ -1,0 +1,333 @@
+//! The dynamically typed SQL value model.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// SQL data types supported across the federation.
+///
+/// The set matches what the paper's examples exercise: the application
+/// systems hand back `INT` stock numbers, `VARCHAR` component names and
+/// decisions, and the *simple case* of Section 3 converts `INT` to `BIGINT`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 32-bit signed integer (`INT`).
+    Int,
+    /// 64-bit signed integer (`BIGINT`).
+    BigInt,
+    /// 64-bit IEEE float (`DOUBLE`).
+    Double,
+    /// Variable length character string (`VARCHAR`).
+    Varchar,
+    /// Boolean (`BOOLEAN`).
+    Boolean,
+}
+
+impl DataType {
+    /// SQL spelling of the type, as it appears in `CREATE FUNCTION`/`CREATE
+    /// TABLE` statements.
+    pub fn sql_name(&self) -> &'static str {
+        match self {
+            DataType::Int => "INT",
+            DataType::BigInt => "BIGINT",
+            DataType::Double => "DOUBLE",
+            DataType::Varchar => "VARCHAR",
+            DataType::Boolean => "BOOLEAN",
+        }
+    }
+
+    /// Parse a SQL type name (case-insensitive). Accepts common synonyms.
+    pub fn parse(name: &str) -> Option<DataType> {
+        match name.to_ascii_uppercase().as_str() {
+            "INT" | "INTEGER" => Some(DataType::Int),
+            "BIGINT" | "LONG" => Some(DataType::BigInt),
+            "DOUBLE" | "FLOAT" | "REAL" => Some(DataType::Double),
+            "VARCHAR" | "CHAR" | "STRING" | "TEXT" => Some(DataType::Varchar),
+            "BOOLEAN" | "BOOL" => Some(DataType::Boolean),
+            _ => None,
+        }
+    }
+
+    /// Whether the type is numeric (participates in arithmetic and in the
+    /// numeric widening lattice `INT < BIGINT < DOUBLE`).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, DataType::Int | DataType::BigInt | DataType::Double)
+    }
+
+    /// Position in the numeric widening lattice; `None` for non-numerics.
+    pub fn numeric_rank(&self) -> Option<u8> {
+        match self {
+            DataType::Int => Some(0),
+            DataType::BigInt => Some(1),
+            DataType::Double => Some(2),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.sql_name())
+    }
+}
+
+/// A single SQL value. `Null` is typeless, as in SQL.
+#[derive(Debug, Clone)]
+pub enum Value {
+    Null,
+    Int(i32),
+    BigInt(i64),
+    Double(f64),
+    Varchar(String),
+    Boolean(bool),
+}
+
+impl Value {
+    /// The concrete type of the value, `None` for `Null`.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::BigInt(_) => Some(DataType::BigInt),
+            Value::Double(_) => Some(DataType::Double),
+            Value::Varchar(_) => Some(DataType::Varchar),
+            Value::Boolean(_) => Some(DataType::Boolean),
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Convenience constructor for string values.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Varchar(s.into())
+    }
+
+    /// Numeric view as f64, if the value is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::BigInt(v) => Some(*v as f64),
+            Value::Double(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Integer view as i64, if the value is an integer type.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v as i64),
+            Value::BigInt(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Varchar(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Boolean(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// SQL three-valued-logic equality: `Null = anything` is unknown
+    /// (`None`); numeric comparison is performed across numeric types.
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        self.sql_cmp(other).map(|o| o == Ordering::Equal)
+    }
+
+    /// SQL comparison with numeric widening; `None` if either side is null
+    /// or the types are incomparable.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Varchar(a), Varchar(b)) => Some(a.cmp(b)),
+            (Boolean(a), Boolean(b)) => Some(a.cmp(b)),
+            (a, b) => {
+                let (x, y) = (a.as_f64()?, b.as_f64()?);
+                x.partial_cmp(&y)
+            }
+        }
+    }
+
+    /// Total ordering used by index structures: NULL sorts first, then
+    /// booleans, then numerics, then strings. Unlike [`Value::sql_cmp`]
+    /// this never fails, which is what a B-tree needs.
+    pub fn index_cmp(&self, other: &Value) -> Ordering {
+        fn class(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Boolean(_) => 1,
+                Value::Int(_) | Value::BigInt(_) | Value::Double(_) => 2,
+                Value::Varchar(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Boolean(a), Value::Boolean(b)) => a.cmp(b),
+            (Value::Varchar(a), Value::Varchar(b)) => a.cmp(b),
+            (a, b) if class(a) == 2 && class(b) == 2 => {
+                // Compare integers exactly when possible; fall back to f64.
+                match (a.as_i64(), b.as_i64()) {
+                    (Some(x), Some(y)) => x.cmp(&y),
+                    _ => a
+                        .as_f64()
+                        .unwrap()
+                        .partial_cmp(&b.as_f64().unwrap())
+                        .unwrap_or(Ordering::Equal),
+                }
+            }
+            (a, b) => class(a).cmp(&class(b)),
+        }
+    }
+
+    /// Render the value the way a result-table printer would.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Null => "NULL".to_string(),
+            Value::Int(v) => v.to_string(),
+            Value::BigInt(v) => v.to_string(),
+            Value::Double(v) => format!("{v}"),
+            Value::Varchar(s) => s.clone(),
+            Value::Boolean(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    /// Structural equality (used by tests and containers), *not* SQL
+    /// equality: `Null == Null` here, and `Int(1) != BigInt(1)`.
+    fn eq(&self, other: &Value) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => true,
+            (Int(a), Int(b)) => a == b,
+            (BigInt(a), BigInt(b)) => a == b,
+            (Double(a), Double(b)) => a == b || (a.is_nan() && b.is_nan()),
+            (Varchar(a), Varchar(b)) => a == b,
+            (Boolean(a), Boolean(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::BigInt(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Varchar(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Varchar(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Boolean(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_type_parse_round_trip() {
+        for dt in [
+            DataType::Int,
+            DataType::BigInt,
+            DataType::Double,
+            DataType::Varchar,
+            DataType::Boolean,
+        ] {
+            assert_eq!(DataType::parse(dt.sql_name()), Some(dt));
+        }
+        assert_eq!(DataType::parse("integer"), Some(DataType::Int));
+        assert_eq!(DataType::parse("LONG"), Some(DataType::BigInt));
+        assert_eq!(DataType::parse("no-such-type"), None);
+    }
+
+    #[test]
+    fn numeric_rank_orders_widening_lattice() {
+        assert!(DataType::Int.numeric_rank() < DataType::BigInt.numeric_rank());
+        assert!(DataType::BigInt.numeric_rank() < DataType::Double.numeric_rank());
+        assert_eq!(DataType::Varchar.numeric_rank(), None);
+    }
+
+    #[test]
+    fn sql_eq_crosses_numeric_types() {
+        assert_eq!(Value::Int(7).sql_eq(&Value::BigInt(7)), Some(true));
+        assert_eq!(Value::Int(7).sql_eq(&Value::Double(7.0)), Some(true));
+        assert_eq!(Value::Int(7).sql_eq(&Value::Int(8)), Some(false));
+    }
+
+    #[test]
+    fn sql_eq_with_null_is_unknown() {
+        assert_eq!(Value::Null.sql_eq(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null), None);
+        assert_eq!(Value::Null.sql_eq(&Value::Null), None);
+    }
+
+    #[test]
+    fn sql_cmp_incomparable_types() {
+        assert_eq!(Value::Int(1).sql_cmp(&Value::str("1")), None);
+        assert_eq!(Value::Boolean(true).sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn index_cmp_is_total_and_null_first() {
+        assert_eq!(Value::Null.index_cmp(&Value::Int(0)), Ordering::Less);
+        assert_eq!(
+            Value::Int(2).index_cmp(&Value::BigInt(2)),
+            Ordering::Equal
+        );
+        assert_eq!(
+            Value::str("a").index_cmp(&Value::Int(999)),
+            Ordering::Greater
+        );
+    }
+
+    #[test]
+    fn structural_eq_distinguishes_types() {
+        assert_ne!(Value::Int(1), Value::BigInt(1));
+        assert_eq!(Value::Null, Value::Null);
+        assert_eq!(Value::Double(f64::NAN), Value::Double(f64::NAN));
+    }
+
+    #[test]
+    fn render_formats() {
+        assert_eq!(Value::Null.render(), "NULL");
+        assert_eq!(Value::str("x").render(), "x");
+        assert_eq!(Value::Boolean(false).render(), "FALSE");
+    }
+}

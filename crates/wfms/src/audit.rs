@@ -1,0 +1,117 @@
+//! The audit trail: every state transition of a process instance, stamped
+//! with virtual time.
+
+use std::fmt;
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AuditEvent {
+    ProcessStarted,
+    ActivityStarted,
+    /// Completed with the given result row count.
+    ActivityCompleted { rows: usize },
+    /// Dead-path eliminated (an incoming transition condition was false or
+    /// a predecessor was itself skipped).
+    ActivitySkipped,
+    /// One attempt failed; `attempt` is 1-based.
+    ActivityFailed { attempt: u32, error: String },
+    /// A loop body finished its `iteration`-th run (1-based).
+    LoopIteration { iteration: usize },
+    ProcessCompleted,
+    ProcessFailed { error: String },
+}
+
+/// One audit record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditRecord {
+    pub at_us: u64,
+    /// Node name, or the process name for process-level events.
+    pub node: String,
+    pub event: AuditEvent,
+}
+
+/// The ordered audit trail of one process instance.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AuditTrail {
+    records: Vec<AuditRecord>,
+}
+
+impl AuditTrail {
+    pub fn new() -> AuditTrail {
+        AuditTrail::default()
+    }
+
+    pub fn record(&mut self, at_us: u64, node: impl Into<String>, event: AuditEvent) {
+        self.records.push(AuditRecord {
+            at_us,
+            node: node.into(),
+            event,
+        });
+    }
+
+    pub fn records(&self) -> &[AuditRecord] {
+        &self.records
+    }
+
+    /// Records for one node.
+    pub fn for_node(&self, node: &str) -> Vec<&AuditRecord> {
+        self.records.iter().filter(|r| r.node == node).collect()
+    }
+
+    /// Count of records matching a predicate on the event.
+    pub fn count_events(&self, pred: impl Fn(&AuditEvent) -> bool) -> usize {
+        self.records.iter().filter(|r| pred(&r.event)).count()
+    }
+
+    /// Merge another trail (e.g. a loop body's) into this one.
+    pub fn extend(&mut self, other: AuditTrail) {
+        self.records.extend(other.records);
+    }
+}
+
+impl fmt::Display for AuditTrail {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.records {
+            writeln!(f, "[{:>10}us] {:<24} {:?}", r.at_us, r.node, r.event)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate_in_order() {
+        let mut t = AuditTrail::new();
+        t.record(0, "p", AuditEvent::ProcessStarted);
+        t.record(10, "a", AuditEvent::ActivityStarted);
+        t.record(60, "a", AuditEvent::ActivityCompleted { rows: 1 });
+        assert_eq!(t.records().len(), 3);
+        assert_eq!(t.for_node("a").len(), 2);
+        assert_eq!(
+            t.count_events(|e| matches!(e, AuditEvent::ActivityCompleted { .. })),
+            1
+        );
+    }
+
+    #[test]
+    fn display_renders_each_record() {
+        let mut t = AuditTrail::new();
+        t.record(5, "GetQuality", AuditEvent::ActivityStarted);
+        let s = t.to_string();
+        assert!(s.contains("GetQuality"));
+        assert!(s.contains("5us"));
+    }
+
+    #[test]
+    fn extend_merges() {
+        let mut a = AuditTrail::new();
+        a.record(0, "x", AuditEvent::ProcessStarted);
+        let mut b = AuditTrail::new();
+        b.record(1, "y", AuditEvent::ProcessCompleted);
+        a.extend(b);
+        assert_eq!(a.records().len(), 2);
+    }
+}

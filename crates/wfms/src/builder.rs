@@ -1,0 +1,659 @@
+//! Buildtime: the fluent [`ProcessBuilder`] and full model validation.
+
+use std::collections::{HashMap, HashSet};
+
+use fedwf_types::{DataType, FedError, FedResult, Ident, Value};
+
+use crate::condition::Condition;
+use crate::container::ContainerSchema;
+use crate::model::{
+    Activity, ActivityKind, ControlConnector, DataBinding, DataSource, HelperOp, LoopNode, Node,
+    OutputSource, ProcessModel, RetryPolicy,
+};
+
+/// Fluent builder for [`ProcessModel`]s. `build()` validates the complete
+/// model; an invalid model is unrepresentable downstream.
+pub struct ProcessBuilder {
+    name: String,
+    input: ContainerSchema,
+    nodes: Vec<Node>,
+    connectors: Vec<ControlConnector>,
+    output: Option<OutputSource>,
+}
+
+impl ProcessBuilder {
+    pub fn new(name: impl Into<String>) -> ProcessBuilder {
+        ProcessBuilder {
+            name: name.into(),
+            input: ContainerSchema::empty(),
+            nodes: vec![],
+            connectors: vec![],
+            output: None,
+        }
+    }
+
+    /// Declare the process input container.
+    pub fn input(mut self, fields: &[(&str, DataType)]) -> Self {
+        self.input = ContainerSchema::new(fields);
+        self
+    }
+
+    /// Add a program activity calling `function` with positionally bound
+    /// inputs and a declared output container.
+    pub fn program(
+        mut self,
+        name: &str,
+        function: &str,
+        inputs: Vec<DataBinding>,
+        output: &[(&str, DataType)],
+    ) -> Self {
+        self.nodes.push(Node::Activity(Activity {
+            name: Ident::new(name),
+            kind: ActivityKind::Program {
+                function: function.to_string(),
+                inputs,
+            },
+            output: ContainerSchema::new(output),
+            retry: RetryPolicy::default(),
+        }));
+        self
+    }
+
+    /// Set the retry policy of the most recently added activity.
+    pub fn with_retry(mut self, max_attempts: u32) -> Self {
+        if let Some(Node::Activity(a)) = self.nodes.last_mut() {
+            a.retry = RetryPolicy { max_attempts };
+        }
+        self
+    }
+
+    /// Helper activity: type cast (the simple case).
+    pub fn cast(mut self, name: &str, input: DataSource, to: DataType) -> Self {
+        let output_field = Ident::new("value");
+        self.nodes.push(Node::Activity(Activity {
+            name: Ident::new(name),
+            kind: ActivityKind::Helper(HelperOp::Cast {
+                input,
+                to,
+                output_field: output_field.clone(),
+            }),
+            output: ContainerSchema::new(&[("value", to)]),
+            retry: RetryPolicy::default(),
+        }));
+        self
+    }
+
+    /// Helper activity: constant supply (the simple case).
+    pub fn constant(mut self, name: &str, value: impl Into<Value>) -> Self {
+        let value = value.into();
+        let dt = value.data_type().unwrap_or(DataType::Varchar);
+        self.nodes.push(Node::Activity(Activity {
+            name: Ident::new(name),
+            kind: ActivityKind::Helper(HelperOp::Const {
+                value,
+                output_field: Ident::new("value"),
+            }),
+            output: ContainerSchema::new(&[("value", dt)]),
+            retry: RetryPolicy::default(),
+        }));
+        self
+    }
+
+    /// Helper activity: integer addition (loop counters).
+    pub fn add(mut self, name: &str, left: DataSource, right: DataSource) -> Self {
+        self.nodes.push(Node::Activity(Activity {
+            name: Ident::new(name),
+            kind: ActivityKind::Helper(HelperOp::Add {
+                left,
+                right,
+                output_field: Ident::new("value"),
+            }),
+            output: ContainerSchema::new(&[("value", DataType::Int)]),
+            retry: RetryPolicy::default(),
+        }));
+        self
+    }
+
+    /// Helper activity: join-compose the tables of two upstream activities
+    /// (the independent case). `project` lists `(from_left, source_column,
+    /// output_name)`; the output schema is resolved during `build()`.
+    pub fn join(
+        mut self,
+        name: &str,
+        left: &str,
+        right: &str,
+        left_on: &str,
+        right_on: &str,
+        project: &[(bool, &str, &str)],
+    ) -> Self {
+        self.nodes.push(Node::Activity(Activity {
+            name: Ident::new(name),
+            kind: ActivityKind::Helper(HelperOp::Join {
+                left: Ident::new(left),
+                right: Ident::new(right),
+                left_on: Ident::new(left_on),
+                right_on: Ident::new(right_on),
+                project: project
+                    .iter()
+                    .map(|(l, src, out)| (*l, Ident::new(*src), Ident::new(*out)))
+                    .collect(),
+            }),
+            // Placeholder; resolved in build().
+            output: ContainerSchema::empty(),
+            retry: RetryPolicy::default(),
+        }));
+        self
+    }
+
+    /// Add a do-until loop node.
+    pub fn loop_node(mut self, node: LoopNode) -> Self {
+        self.nodes.push(Node::Loop(node));
+        self
+    }
+
+    /// Unconditional control connector.
+    pub fn connector(mut self, from: &str, to: &str) -> Self {
+        self.connectors.push(ControlConnector {
+            from: Ident::new(from),
+            to: Ident::new(to),
+            condition: Condition::True,
+        });
+        self
+    }
+
+    /// Conditional control connector (transition condition over the
+    /// source's output container).
+    pub fn connector_if(mut self, from: &str, to: &str, condition: Condition) -> Self {
+        self.connectors.push(ControlConnector {
+            from: Ident::new(from),
+            to: Ident::new(to),
+            condition,
+        });
+        self
+    }
+
+    /// Chain `names` sequentially with unconditional connectors.
+    pub fn sequence(mut self, names: &[&str]) -> Self {
+        for pair in names.windows(2) {
+            self = self.connector(pair[0], pair[1]);
+        }
+        self
+    }
+
+    /// The process yields the whole result table of `node`.
+    pub fn output_table(mut self, node: &str) -> Self {
+        self.output = Some(OutputSource::NodeTable(Ident::new(node)));
+        self
+    }
+
+    /// The process yields one row assembled from bindings.
+    pub fn output_row(mut self, fields: &[(&str, DataType, DataSource)]) -> Self {
+        self.output = Some(OutputSource::Row(
+            fields
+                .iter()
+                .map(|(n, t, s)| (Ident::new(*n), *t, s.clone()))
+                .collect(),
+        ));
+        self
+    }
+
+    /// Validate everything and produce the immutable model.
+    pub fn build(self) -> FedResult<ProcessModel> {
+        let output = self.output.ok_or_else(|| {
+            FedError::workflow(format!("process {}: no output declared", self.name))
+        })?;
+        let mut model = ProcessModel {
+            name: self.name,
+            input: self.input,
+            nodes: self.nodes,
+            connectors: self.connectors,
+            output,
+        };
+        resolve_join_schemas(&mut model)?;
+        validate(&model)?;
+        Ok(model)
+    }
+}
+
+/// Fill in the output schemas of Join helpers from their source nodes.
+fn resolve_join_schemas(model: &mut ProcessModel) -> FedResult<()> {
+    let schemas: HashMap<Ident, ContainerSchema> = model
+        .nodes
+        .iter()
+        .map(|n| (n.name().clone(), n.output_schema()))
+        .collect();
+    for node in &mut model.nodes {
+        let Node::Activity(a) = node else { continue };
+        let ActivityKind::Helper(HelperOp::Join {
+            left,
+            right,
+            project,
+            ..
+        }) = &a.kind
+        else {
+            continue;
+        };
+        let left_schema = schemas.get(left).ok_or_else(|| {
+            FedError::workflow(format!("join {}: unknown left node {left}", a.name))
+        })?;
+        let right_schema = schemas.get(right).ok_or_else(|| {
+            FedError::workflow(format!("join {}: unknown right node {right}", a.name))
+        })?;
+        let mut fields = Vec::new();
+        for (from_left, src, out) in project {
+            let side = if *from_left { left_schema } else { right_schema };
+            let dt = side.field_type(src).ok_or_else(|| {
+                FedError::workflow(format!(
+                    "join {}: projected column {src} not in {} side",
+                    a.name,
+                    if *from_left { "left" } else { "right" }
+                ))
+            })?;
+            fields.push((out.as_str().to_string(), dt));
+        }
+        let spec: Vec<(&str, DataType)> =
+            fields.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        a.output = ContainerSchema::new(&spec);
+    }
+    Ok(())
+}
+
+/// Transitive control predecessors of every node.
+fn ancestors(model: &ProcessModel) -> HashMap<Ident, HashSet<Ident>> {
+    let mut out: HashMap<Ident, HashSet<Ident>> = HashMap::new();
+    // Iterate to a fixed point; graphs are small.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for c in &model.connectors {
+            let from_set: HashSet<Ident> = out.get(&c.from).cloned().unwrap_or_default();
+            let entry = out.entry(c.to.clone()).or_default();
+            let before = entry.len();
+            entry.insert(c.from.clone());
+            entry.extend(from_set);
+            if entry.len() != before {
+                changed = true;
+            }
+        }
+    }
+    out
+}
+
+/// Full structural validation of a process model.
+pub fn validate(model: &ProcessModel) -> FedResult<()> {
+    let err = |msg: String| Err(FedError::workflow(format!("process {}: {msg}", model.name)));
+
+    // Unique node names.
+    let mut seen = HashSet::new();
+    for node in &model.nodes {
+        if !seen.insert(node.name().clone()) {
+            return err(format!("duplicate node name {}", node.name()));
+        }
+    }
+
+    // Connectors reference nodes; no self-edges; conditions well-formed.
+    for c in &model.connectors {
+        let from = model
+            .node(&c.from)
+            .ok_or_else(|| FedError::workflow(format!("connector from unknown node {}", c.from)))?;
+        if model.node(&c.to).is_none() {
+            return err(format!("connector to unknown node {}", c.to));
+        }
+        if c.from == c.to {
+            return err(format!("self-connector on {}", c.from));
+        }
+        let from_schema = from.output_schema();
+        for field in c.condition.referenced_fields() {
+            if !from_schema.has_field(field) {
+                return err(format!(
+                    "transition condition on {}->{} references field {field} missing from {}'s output",
+                    c.from, c.to, c.from
+                ));
+            }
+        }
+    }
+
+    // Acyclic.
+    model.topo_order()?;
+
+    let anc = ancestors(model);
+
+    // Validate a data source used by `consumer` (None = process output).
+    let check_source = |source: &DataSource, consumer: Option<&Ident>| -> FedResult<()> {
+        match source {
+            DataSource::Constant(_) => Ok(()),
+            DataSource::ProcessInput(f) => {
+                if model.input.has_field(f) {
+                    Ok(())
+                } else {
+                    Err(FedError::workflow(format!(
+                        "process {}: data source references unknown process input {f}",
+                        model.name
+                    )))
+                }
+            }
+            DataSource::ActivityOutput { activity, field } => {
+                let node = model.node(activity).ok_or_else(|| {
+                    FedError::workflow(format!(
+                        "process {}: data source references unknown node {activity}",
+                        model.name
+                    ))
+                })?;
+                if !node.output_schema().has_field(field) {
+                    return Err(FedError::workflow(format!(
+                        "process {}: node {activity} has no output field {field}",
+                        model.name
+                    )));
+                }
+                if let Some(consumer) = consumer {
+                    let is_ancestor = anc
+                        .get(consumer)
+                        .map(|s| s.contains(activity))
+                        .unwrap_or(false);
+                    if !is_ancestor {
+                        return Err(FedError::workflow(format!(
+                            "process {}: {consumer} reads output of {activity} without a control path from it — the data connector must parallel the control flow",
+                            model.name
+                        )));
+                    }
+                }
+                Ok(())
+            }
+        }
+    };
+
+    for node in &model.nodes {
+        match node {
+            Node::Activity(a) => match &a.kind {
+                ActivityKind::Program { inputs, .. } => {
+                    for b in inputs {
+                        check_source(&b.source, Some(&a.name))?;
+                    }
+                }
+                ActivityKind::Helper(h) => match h {
+                    HelperOp::Cast { input, .. } => check_source(input, Some(&a.name))?,
+                    HelperOp::Const { .. } => {}
+                    HelperOp::Add { left, right, .. } => {
+                        check_source(left, Some(&a.name))?;
+                        check_source(right, Some(&a.name))?;
+                    }
+                    HelperOp::Join {
+                        left,
+                        right,
+                        left_on,
+                        right_on,
+                        ..
+                    } => {
+                        for (side, on) in [(left, left_on), (right, right_on)] {
+                            check_source(
+                                &DataSource::ActivityOutput {
+                                    activity: side.clone(),
+                                    field: on.clone(),
+                                },
+                                Some(&a.name),
+                            )?;
+                        }
+                    }
+                },
+            },
+            Node::Loop(l) => {
+                if l.max_iterations == 0 {
+                    return err(format!("loop {}: max_iterations must be >= 1", l.name));
+                }
+                if l.body.input != l.vars {
+                    return err(format!(
+                        "loop {}: body input schema must equal the loop variables",
+                        l.name
+                    ));
+                }
+                for b in &l.init {
+                    if !l.vars.has_field(&b.target) {
+                        return err(format!(
+                            "loop {}: init binds unknown variable {}",
+                            l.name, b.target
+                        ));
+                    }
+                    check_source(&b.source, Some(&l.name))?;
+                }
+                let body_out = l.body.output_schema();
+                for (var, from) in &l.update {
+                    if !l.vars.has_field(var) {
+                        return err(format!("loop {}: update of unknown variable {var}", l.name));
+                    }
+                    if !body_out.has_field(from) {
+                        return err(format!(
+                            "loop {}: update reads unknown body output field {from}",
+                            l.name
+                        ));
+                    }
+                }
+                for f in l.until.referenced_fields() {
+                    if !l.vars.has_field(f) {
+                        return err(format!(
+                            "loop {}: until-condition references unknown variable {f}",
+                            l.name
+                        ));
+                    }
+                }
+                if let Some((var, _)) = &l.counter {
+                    if !l.vars.has_field(var) {
+                        return err(format!(
+                            "loop {}: counter over unknown variable {var}",
+                            l.name
+                        ));
+                    }
+                }
+                // The body is a process model in its own right.
+                validate(&l.body)?;
+            }
+        }
+    }
+
+    // Output.
+    match &model.output {
+        OutputSource::NodeTable(name) => {
+            if model.node(name).is_none() {
+                return err(format!("output references unknown node {name}"));
+            }
+        }
+        OutputSource::Row(fields) => {
+            let mut names = HashSet::new();
+            for (n, _, s) in fields {
+                if !names.insert(n.clone()) {
+                    return err(format!("duplicate output field {n}"));
+                }
+                check_source(s, None)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::CondOp;
+
+    fn linear_two() -> ProcessBuilder {
+        // GetSupplierNo -> GetQuality, the paper's linear-dependency case.
+        ProcessBuilder::new("GetSuppQual")
+            .input(&[("SupplierName", DataType::Varchar)])
+            .program(
+                "GetSupplierNo",
+                "GetSupplierNo",
+                vec![DataBinding::new(
+                    "SupplierName",
+                    DataSource::input("SupplierName"),
+                )],
+                &[("SupplierNo", DataType::Int)],
+            )
+            .program(
+                "GetQuality",
+                "GetQuality",
+                vec![DataBinding::new(
+                    "SupplierNo",
+                    DataSource::output("GetSupplierNo", "SupplierNo"),
+                )],
+                &[("Qual", DataType::Int)],
+            )
+            .sequence(&["GetSupplierNo", "GetQuality"])
+            .output_table("GetQuality")
+    }
+
+    #[test]
+    fn valid_linear_process_builds() {
+        let p = linear_two().build().unwrap();
+        assert_eq!(p.nodes.len(), 2);
+        assert_eq!(p.program_activity_count(), 2);
+    }
+
+    #[test]
+    fn missing_output_is_rejected() {
+        let b = ProcessBuilder::new("p").constant("c", 1);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let b = ProcessBuilder::new("p")
+            .constant("c", 1)
+            .constant("c", 2)
+            .output_table("c");
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn data_connector_must_parallel_control_flow() {
+        // GetQuality reads GetSupplierNo's output but there is no control
+        // connector between them — must be rejected.
+        let b = ProcessBuilder::new("broken")
+            .input(&[("SupplierName", DataType::Varchar)])
+            .program(
+                "GetSupplierNo",
+                "GetSupplierNo",
+                vec![DataBinding::new(
+                    "SupplierName",
+                    DataSource::input("SupplierName"),
+                )],
+                &[("SupplierNo", DataType::Int)],
+            )
+            .program(
+                "GetQuality",
+                "GetQuality",
+                vec![DataBinding::new(
+                    "SupplierNo",
+                    DataSource::output("GetSupplierNo", "SupplierNo"),
+                )],
+                &[("Qual", DataType::Int)],
+            )
+            .output_table("GetQuality");
+        let err = b.build().unwrap_err();
+        assert!(err.to_string().contains("control path"));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let b = ProcessBuilder::new("p")
+            .constant("a", 1)
+            .constant("b", 2)
+            .connector("a", "b")
+            .connector("b", "a")
+            .output_table("b");
+        assert!(b.build().unwrap_err().to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn condition_fields_checked_against_source_schema() {
+        let b = ProcessBuilder::new("p")
+            .constant("a", 1)
+            .constant("b", 2)
+            .connector_if("a", "b", Condition::cmp("missing", CondOp::Eq, 1))
+            .output_table("b");
+        assert!(b.build().unwrap_err().to_string().contains("missing"));
+    }
+
+    #[test]
+    fn join_schema_resolved_from_sides() {
+        let p = ProcessBuilder::new("GetSubCompDiscounts")
+            .input(&[("CompNo", DataType::Int), ("Discount", DataType::Int)])
+            .program(
+                "GetSubCompNo",
+                "GetSubCompNo",
+                vec![DataBinding::new("CompNo", DataSource::input("CompNo"))],
+                &[("SubCompNo", DataType::Int)],
+            )
+            .program(
+                "GetCompSupp4Discount",
+                "GetCompSupp4Discount",
+                vec![DataBinding::new("Discount", DataSource::input("Discount"))],
+                &[("CompNo", DataType::Int), ("SupplierNo", DataType::Int)],
+            )
+            .join(
+                "Compose",
+                "GetSubCompNo",
+                "GetCompSupp4Discount",
+                "SubCompNo",
+                "CompNo",
+                &[
+                    (true, "SubCompNo", "SubCompNo"),
+                    (false, "SupplierNo", "SupplierNo"),
+                ],
+            )
+            .connector("GetSubCompNo", "Compose")
+            .connector("GetCompSupp4Discount", "Compose")
+            .output_table("Compose")
+            .build()
+            .unwrap();
+        let out = p.output_schema();
+        assert_eq!(out.field_type(&Ident::new("SupplierNo")), Some(DataType::Int));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn join_with_unknown_projection_rejected() {
+        let b = ProcessBuilder::new("p")
+            .constant("l", 1)
+            .constant("r", 2)
+            .join("j", "l", "r", "value", "value", &[(true, "nope", "x")])
+            .connector("l", "j")
+            .connector("r", "j")
+            .output_table("j");
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn unknown_process_input_rejected() {
+        let b = ProcessBuilder::new("p")
+            .program(
+                "a",
+                "F",
+                vec![DataBinding::new("x", DataSource::input("missing"))],
+                &[("y", DataType::Int)],
+            )
+            .output_table("a");
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn output_row_with_duplicate_fields_rejected() {
+        let b = ProcessBuilder::new("p")
+            .constant("a", 1)
+            .output_row(&[
+                ("x", DataType::Int, DataSource::constant(1)),
+                ("x", DataType::Int, DataSource::constant(2)),
+            ]);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn retry_policy_attaches_to_last_activity() {
+        let p = ProcessBuilder::new("p")
+            .program("a", "F", vec![], &[("y", DataType::Int)])
+            .with_retry(3)
+            .output_table("a")
+            .build()
+            .unwrap();
+        let Node::Activity(a) = &p.nodes[0] else { panic!() };
+        assert_eq!(a.retry.max_attempts, 3);
+    }
+}

@@ -1,0 +1,189 @@
+//! Transition and loop-exit conditions evaluated over containers.
+
+use fedwf_types::{FedResult, Ident, Value};
+
+use crate::container::Container;
+
+/// Comparison operators for conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CondOp {
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+}
+
+impl CondOp {
+    fn evaluate(&self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CondOp::Eq => ord == Equal,
+            CondOp::NotEq => ord != Equal,
+            CondOp::Lt => ord == Less,
+            CondOp::LtEq => ord != Greater,
+            CondOp::Gt => ord == Greater,
+            CondOp::GtEq => ord != Less,
+        }
+    }
+}
+
+/// A boolean condition over a container, as written on a control connector
+/// (transition condition) or a loop block (exit condition).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// Unconditional (a plain control connector).
+    True,
+    /// `field <op> literal`. Comparison with NULL is false (the connector
+    /// does not fire), matching production-workflow semantics where an
+    /// unset output means "no decision".
+    Cmp {
+        field: Ident,
+        op: CondOp,
+        value: Value,
+    },
+    /// `left_field <op> right_field` — both read from the same container
+    /// (loop-exit conditions like `i > limit`).
+    CmpField {
+        left: Ident,
+        op: CondOp,
+        right: Ident,
+    },
+    And(Box<Condition>, Box<Condition>),
+    Or(Box<Condition>, Box<Condition>),
+    Not(Box<Condition>),
+}
+
+impl Condition {
+    pub fn cmp(field: &str, op: CondOp, value: impl Into<Value>) -> Condition {
+        Condition::Cmp {
+            field: Ident::new(field),
+            op,
+            value: value.into(),
+        }
+    }
+
+    pub fn eq(field: &str, value: impl Into<Value>) -> Condition {
+        Condition::cmp(field, CondOp::Eq, value)
+    }
+
+    pub fn cmp_fields(left: &str, op: CondOp, right: &str) -> Condition {
+        Condition::CmpField {
+            left: Ident::new(left),
+            op,
+            right: Ident::new(right),
+        }
+    }
+
+    pub fn and(self, other: Condition) -> Condition {
+        Condition::And(Box::new(self), Box::new(other))
+    }
+
+    pub fn or(self, other: Condition) -> Condition {
+        Condition::Or(Box::new(self), Box::new(other))
+    }
+
+    pub fn negate(self) -> Condition {
+        Condition::Not(Box::new(self))
+    }
+
+    /// Evaluate over a container. NULL comparisons yield `false` (two-valued
+    /// at this level: a connector either fires or it does not).
+    pub fn evaluate(&self, container: &Container) -> FedResult<bool> {
+        match self {
+            Condition::True => Ok(true),
+            Condition::Cmp { field, op, value } => {
+                let actual = container.get(field)?;
+                Ok(actual
+                    .sql_cmp(value)
+                    .map(|ord| op.evaluate(ord))
+                    .unwrap_or(false))
+            }
+            Condition::CmpField { left, op, right } => {
+                let l = container.get(left)?;
+                let r = container.get(right)?;
+                Ok(l.sql_cmp(&r).map(|ord| op.evaluate(ord)).unwrap_or(false))
+            }
+            Condition::And(a, b) => Ok(a.evaluate(container)? && b.evaluate(container)?),
+            Condition::Or(a, b) => Ok(a.evaluate(container)? || b.evaluate(container)?),
+            Condition::Not(c) => Ok(!c.evaluate(container)?),
+        }
+    }
+
+    /// Fields the condition references (for buildtime validation).
+    pub fn referenced_fields(&self) -> Vec<&Ident> {
+        match self {
+            Condition::True => vec![],
+            Condition::Cmp { field, .. } => vec![field],
+            Condition::CmpField { left, right, .. } => vec![left, right],
+            Condition::And(a, b) | Condition::Or(a, b) => {
+                let mut v = a.referenced_fields();
+                v.extend(b.referenced_fields());
+                v
+            }
+            Condition::Not(c) => c.referenced_fields(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::ContainerSchema;
+    use fedwf_types::DataType;
+
+    fn container(n: i32) -> Container {
+        let mut c = ContainerSchema::new(&[("i", DataType::Int)]).instantiate();
+        c.set(&Ident::new("i"), Value::Int(n)).unwrap();
+        c
+    }
+
+    #[test]
+    fn comparisons() {
+        let c = container(5);
+        assert!(Condition::eq("i", 5).evaluate(&c).unwrap());
+        assert!(Condition::cmp("i", CondOp::Lt, 10).evaluate(&c).unwrap());
+        assert!(!Condition::cmp("i", CondOp::Gt, 5).evaluate(&c).unwrap());
+        assert!(Condition::cmp("i", CondOp::GtEq, 5).evaluate(&c).unwrap());
+    }
+
+    #[test]
+    fn null_comparisons_do_not_fire() {
+        let c = ContainerSchema::new(&[("i", DataType::Int)]).instantiate();
+        assert!(!Condition::eq("i", 5).evaluate(&c).unwrap());
+        // But NOT(i = 5) fires, because NOT(false) = true at this level.
+        assert!(Condition::eq("i", 5).negate().evaluate(&c).unwrap());
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let c = container(5);
+        assert!(Condition::eq("i", 5)
+            .and(Condition::cmp("i", CondOp::Lt, 6))
+            .evaluate(&c)
+            .unwrap());
+        assert!(Condition::eq("i", 9)
+            .or(Condition::eq("i", 5))
+            .evaluate(&c)
+            .unwrap());
+        assert!(!Condition::True.negate().evaluate(&c).unwrap());
+    }
+
+    #[test]
+    fn unknown_field_is_an_error() {
+        let c = container(1);
+        assert!(Condition::eq("missing", 1).evaluate(&c).is_err());
+    }
+
+    #[test]
+    fn referenced_fields_collected() {
+        let cond = Condition::eq("a", 1).and(Condition::eq("b", 2).negate());
+        let fields: Vec<String> = cond
+            .referenced_fields()
+            .iter()
+            .map(|f| f.normalized().to_string())
+            .collect();
+        assert_eq!(fields, vec!["a", "b"]);
+    }
+}

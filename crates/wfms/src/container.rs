@@ -1,0 +1,184 @@
+//! Typed input/output containers — the data vessels MQSeries Workflow
+//! passes between activities.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use fedwf_types::{implicit_cast, DataType, FedError, FedResult, Ident, Value};
+
+/// The declared fields of a container.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ContainerSchema {
+    fields: Vec<(Ident, DataType)>,
+}
+
+impl ContainerSchema {
+    pub fn new(fields: &[(&str, DataType)]) -> ContainerSchema {
+        ContainerSchema {
+            fields: fields
+                .iter()
+                .map(|(n, t)| (Ident::new(*n), *t))
+                .collect(),
+        }
+    }
+
+    pub fn empty() -> ContainerSchema {
+        ContainerSchema::default()
+    }
+
+    pub fn fields(&self) -> &[(Ident, DataType)] {
+        &self.fields
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    pub fn field_type(&self, name: &Ident) -> Option<DataType> {
+        self.fields
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| *t)
+    }
+
+    pub fn has_field(&self, name: &Ident) -> bool {
+        self.field_type(name).is_some()
+    }
+
+    /// Instantiate an empty (all-unset) container of this schema.
+    pub fn instantiate(&self) -> Container {
+        Container {
+            schema: self.clone(),
+            values: BTreeMap::new(),
+        }
+    }
+}
+
+/// A container instance: named, typed slots. Unset slots read as NULL.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Container {
+    schema: ContainerSchema,
+    values: BTreeMap<Ident, Value>,
+}
+
+impl Container {
+    pub fn schema(&self) -> &ContainerSchema {
+        &self.schema
+    }
+
+    /// Set a field, implicit-widening the value to the declared type.
+    pub fn set(&mut self, name: &Ident, value: Value) -> FedResult<()> {
+        let dt = self.schema.field_type(name).ok_or_else(|| {
+            FedError::workflow(format!("container has no field {name}"))
+        })?;
+        let coerced = implicit_cast(&value, dt).map_err(|e| {
+            FedError::workflow(format!("field {name}: {e}"))
+        })?;
+        self.values.insert(name.clone(), coerced);
+        Ok(())
+    }
+
+    /// Read a field; unset fields are NULL.
+    pub fn get(&self, name: &Ident) -> FedResult<Value> {
+        if !self.schema.has_field(name) {
+            return Err(FedError::workflow(format!(
+                "container has no field {name}"
+            )));
+        }
+        Ok(self.values.get(name).cloned().unwrap_or(Value::Null))
+    }
+
+    /// Whether every field has been set (used to validate process outputs).
+    pub fn fully_set(&self) -> bool {
+        self.schema
+            .fields
+            .iter()
+            .all(|(n, _)| self.values.contains_key(n))
+    }
+
+    /// The values in schema order (for turning a container into a row).
+    pub fn values_in_order(&self) -> Vec<Value> {
+        self.schema
+            .fields
+            .iter()
+            .map(|(n, _)| self.values.get(n).cloned().unwrap_or(Value::Null))
+            .collect()
+    }
+}
+
+impl fmt::Display for Container {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (n, _)) in self.schema.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            let v = self.values.get(n).cloned().unwrap_or(Value::Null);
+            write!(f, "{n}: {v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> ContainerSchema {
+        ContainerSchema::new(&[("SupplierNo", DataType::Int), ("Name", DataType::Varchar)])
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut c = schema().instantiate();
+        c.set(&Ident::new("SupplierNo"), Value::Int(1234)).unwrap();
+        assert_eq!(c.get(&Ident::new("supplierno")).unwrap(), Value::Int(1234));
+    }
+
+    #[test]
+    fn unset_reads_null() {
+        let c = schema().instantiate();
+        assert_eq!(c.get(&Ident::new("Name")).unwrap(), Value::Null);
+        assert!(!c.fully_set());
+    }
+
+    #[test]
+    fn unknown_field_errors() {
+        let mut c = schema().instantiate();
+        assert!(c.set(&Ident::new("Nope"), Value::Int(1)).is_err());
+        assert!(c.get(&Ident::new("Nope")).is_err());
+    }
+
+    #[test]
+    fn widening_allowed_narrowing_rejected() {
+        let s = ContainerSchema::new(&[("big", DataType::BigInt)]);
+        let mut c = s.instantiate();
+        c.set(&Ident::new("big"), Value::Int(5)).unwrap();
+        assert_eq!(c.get(&Ident::new("big")).unwrap(), Value::BigInt(5));
+        let s2 = ContainerSchema::new(&[("small", DataType::Int)]);
+        let mut c2 = s2.instantiate();
+        assert!(c2.set(&Ident::new("small"), Value::BigInt(5)).is_err());
+    }
+
+    #[test]
+    fn values_in_order_follow_schema() {
+        let mut c = schema().instantiate();
+        c.set(&Ident::new("Name"), Value::str("Acme")).unwrap();
+        assert_eq!(
+            c.values_in_order(),
+            vec![Value::Null, Value::str("Acme")]
+        );
+    }
+
+    #[test]
+    fn fully_set_after_all_fields() {
+        let mut c = schema().instantiate();
+        c.set(&Ident::new("SupplierNo"), Value::Int(1)).unwrap();
+        c.set(&Ident::new("Name"), Value::str("x")).unwrap();
+        assert!(c.fully_set());
+    }
+}

@@ -1,0 +1,425 @@
+//! The process model: activities, connectors, loops.
+//!
+//! The model follows the production-workflow vocabulary of Leymann/Roller
+//! (the book the paper cites): *program activities* call external programs
+//! (here: predefined local functions of application systems), *control
+//! connectors* with transition conditions span the precedence graph, *data
+//! connectors* feed input containers, and *blocks* with an until-condition
+//! provide iteration.
+
+use fedwf_types::{DataType, FedError, FedResult, Ident, Schema, SchemaRef, Value};
+use std::sync::Arc;
+
+use crate::condition::Condition;
+use crate::container::ContainerSchema;
+
+/// Where an activity input (or an output field) takes its value from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataSource {
+    /// A field of the process input container.
+    ProcessInput(Ident),
+    /// A column of an upstream activity's (first) result row.
+    ActivityOutput { activity: Ident, field: Ident },
+    /// A constant supplied by the mapping — the paper's *simple case*
+    /// ("the workflow solution can supply a constant value when calling
+    /// the local function").
+    Constant(Value),
+}
+
+impl DataSource {
+    pub fn input(name: &str) -> DataSource {
+        DataSource::ProcessInput(Ident::new(name))
+    }
+
+    pub fn output(activity: &str, field: &str) -> DataSource {
+        DataSource::ActivityOutput {
+            activity: Ident::new(activity),
+            field: Ident::new(field),
+        }
+    }
+
+    pub fn constant(value: impl Into<Value>) -> DataSource {
+        DataSource::Constant(value.into())
+    }
+}
+
+/// A data connector: fills `target` (an input-container field) from a
+/// source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataBinding {
+    pub target: Ident,
+    pub source: DataSource,
+}
+
+impl DataBinding {
+    pub fn new(target: &str, source: DataSource) -> DataBinding {
+        DataBinding {
+            target: Ident::new(target),
+            source,
+        }
+    }
+}
+
+/// Built-in helper activities — the glue the paper's WfMS mappings use for
+/// type conversions, constants and result composition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HelperOp {
+    /// Cast a value to another type (simple case).
+    Cast {
+        input: DataSource,
+        to: DataType,
+        output_field: Ident,
+    },
+    /// Produce a constant (simple case).
+    Const { value: Value, output_field: Ident },
+    /// Inner-join the result tables of two upstream activities on one
+    /// column each and project columns from both sides (independent case:
+    /// "results are combined by a helper function").
+    Join {
+        left: Ident,
+        right: Ident,
+        left_on: Ident,
+        right_on: Ident,
+        /// (take-from-left?, source column, output name)
+        project: Vec<(bool, Ident, Ident)>,
+    },
+    /// Integer addition of two sources (loop counters).
+    Add {
+        left: DataSource,
+        right: DataSource,
+        output_field: Ident,
+    },
+}
+
+/// What an activity does.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ActivityKind {
+    /// Call a predefined local function of an application system. Inputs
+    /// are bound in the order given and passed positionally.
+    Program {
+        function: String,
+        inputs: Vec<DataBinding>,
+    },
+    /// A built-in helper.
+    Helper(HelperOp),
+}
+
+/// Per-activity error handling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (1 = no retry).
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy { max_attempts: 1 }
+    }
+}
+
+/// One activity of a process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Activity {
+    pub name: Ident,
+    pub kind: ActivityKind,
+    /// Declared output container schema; a program activity's result table
+    /// must match it.
+    pub output: ContainerSchema,
+    pub retry: RetryPolicy,
+}
+
+/// A do-until loop over a sub-workflow — the cyclic-dependency case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopNode {
+    pub name: Ident,
+    /// The loop variables (the loop's private container).
+    pub vars: ContainerSchema,
+    /// Initial values of the loop variables.
+    pub init: Vec<DataBinding>,
+    /// The sub-workflow executed each iteration; its process input schema
+    /// must equal `vars`.
+    pub body: ProcessModel,
+    /// After each iteration: `var := body-output-field`.
+    pub update: Vec<(Ident, Ident)>,
+    /// Built-in counter: after each iteration `var := var + step`, applied
+    /// before the until-condition. Lets the loop body stay a pure function
+    /// call (the counter bookkeeping is the engine's job).
+    pub counter: Option<(Ident, i64)>,
+    /// Loop exits when this condition over the (updated) vars holds
+    /// (do-until: the body always runs at least once).
+    pub until: Condition,
+    /// If set, the body's output rows are appended to the loop's result
+    /// table each iteration; otherwise the loop yields the final vars as a
+    /// single row.
+    pub accumulate: bool,
+    /// Safety bound against diverging loops.
+    pub max_iterations: usize,
+}
+
+/// A node of the process graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    Activity(Activity),
+    Loop(LoopNode),
+}
+
+impl Node {
+    pub fn name(&self) -> &Ident {
+        match self {
+            Node::Activity(a) => &a.name,
+            Node::Loop(l) => &l.name,
+        }
+    }
+
+    /// The schema of the node's result table.
+    pub fn output_schema(&self) -> ContainerSchema {
+        match self {
+            Node::Activity(a) => a.output.clone(),
+            Node::Loop(l) => {
+                if l.accumulate {
+                    l.body.output_schema()
+                } else {
+                    l.vars.clone()
+                }
+            }
+        }
+    }
+}
+
+/// A control connector: `from` must finish (and `condition` hold over its
+/// output) before `to` may start.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlConnector {
+    pub from: Ident,
+    pub to: Ident,
+    pub condition: Condition,
+}
+
+/// Where the process output container/table comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OutputSource {
+    /// The whole result table of one node.
+    NodeTable(Ident),
+    /// A single row assembled from bindings.
+    Row(Vec<(Ident, DataType, DataSource)>),
+}
+
+/// A complete process model (also used as a loop body / sub-workflow).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessModel {
+    pub name: String,
+    pub input: ContainerSchema,
+    pub nodes: Vec<Node>,
+    pub connectors: Vec<ControlConnector>,
+    pub output: OutputSource,
+}
+
+impl ProcessModel {
+    pub fn node(&self, name: &Ident) -> Option<&Node> {
+        self.nodes.iter().find(|n| n.name() == name)
+    }
+
+    /// The schema of the process result table.
+    pub fn output_schema(&self) -> ContainerSchema {
+        match &self.output {
+            OutputSource::NodeTable(name) => self
+                .node(name)
+                .map(|n| n.output_schema())
+                .unwrap_or_else(ContainerSchema::empty),
+            OutputSource::Row(fields) => {
+                let spec: Vec<(&str, DataType)> = fields
+                    .iter()
+                    .map(|(n, t, _)| (n.as_str(), *t))
+                    .collect();
+                ContainerSchema::new(&spec)
+            }
+        }
+    }
+
+    /// The output schema as a relational [`Schema`].
+    pub fn output_table_schema(&self) -> SchemaRef {
+        let cs = self.output_schema();
+        Arc::new(Schema::of(
+            &cs.fields()
+                .iter()
+                .map(|(n, t)| (n.as_str(), *t))
+                .collect::<Vec<_>>(),
+        ))
+    }
+
+    /// Direct control predecessors of a node.
+    pub fn predecessors(&self, name: &Ident) -> Vec<&Ident> {
+        self.connectors
+            .iter()
+            .filter(|c| &c.to == name)
+            .map(|c| &c.from)
+            .collect()
+    }
+
+    /// Topological order of the nodes; errors on a cycle. Ties broken by
+    /// declaration order, so the result is deterministic.
+    pub fn topo_order(&self) -> FedResult<Vec<&Ident>> {
+        let names: Vec<&Ident> = self.nodes.iter().map(|n| n.name()).collect();
+        let mut in_deg: Vec<usize> = names
+            .iter()
+            .map(|n| self.predecessors(n).len())
+            .collect();
+        let mut order = Vec::with_capacity(names.len());
+        let mut done = vec![false; names.len()];
+        loop {
+            let next = (0..names.len()).find(|&i| !done[i] && in_deg[i] == 0);
+            let Some(i) = next else { break };
+            done[i] = true;
+            order.push(names[i]);
+            for c in &self.connectors {
+                if &c.from == names[i] {
+                    if let Some(j) = names.iter().position(|n| **n == c.to) {
+                        in_deg[j] -= 1;
+                    }
+                }
+            }
+        }
+        if order.len() != names.len() {
+            return Err(FedError::workflow(format!(
+                "process {} has a control-flow cycle",
+                self.name
+            )));
+        }
+        Ok(order)
+    }
+
+    /// Number of program activities (recursing into loop bodies) — the
+    /// paper's "number of functions integrated".
+    pub fn program_activity_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| match n {
+                Node::Activity(a) => match a.kind {
+                    ActivityKind::Program { .. } => 1,
+                    ActivityKind::Helper(_) => 0,
+                },
+                Node::Loop(l) => l.body.program_activity_count(),
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn activity(name: &str) -> Node {
+        Node::Activity(Activity {
+            name: Ident::new(name),
+            kind: ActivityKind::Helper(HelperOp::Const {
+                value: Value::Int(0),
+                output_field: Ident::new("x"),
+            }),
+            output: ContainerSchema::new(&[("x", DataType::Int)]),
+            retry: RetryPolicy::default(),
+        })
+    }
+
+    fn connector(from: &str, to: &str) -> ControlConnector {
+        ControlConnector {
+            from: Ident::new(from),
+            to: Ident::new(to),
+            condition: Condition::True,
+        }
+    }
+
+    fn diamond() -> ProcessModel {
+        ProcessModel {
+            name: "diamond".into(),
+            input: ContainerSchema::empty(),
+            nodes: vec![activity("a"), activity("b"), activity("c"), activity("d")],
+            connectors: vec![
+                connector("a", "b"),
+                connector("a", "c"),
+                connector("b", "d"),
+                connector("c", "d"),
+            ],
+            output: OutputSource::NodeTable(Ident::new("d")),
+        }
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let p = diamond();
+        let order = p.topo_order().unwrap();
+        let pos =
+            |n: &str| order.iter().position(|x| **x == Ident::new(n)).unwrap();
+        assert!(pos("a") < pos("b"));
+        assert!(pos("a") < pos("c"));
+        assert!(pos("b") < pos("d"));
+        assert!(pos("c") < pos("d"));
+    }
+
+    #[test]
+    fn topo_order_is_deterministic_by_declaration() {
+        let p = diamond();
+        let order = p.topo_order().unwrap();
+        // b declared before c, both ready after a.
+        assert_eq!(
+            order,
+            vec![
+                &Ident::new("a"),
+                &Ident::new("b"),
+                &Ident::new("c"),
+                &Ident::new("d")
+            ]
+        );
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut p = diamond();
+        p.connectors.push(connector("d", "a"));
+        assert!(p.topo_order().is_err());
+    }
+
+    #[test]
+    fn output_schema_from_node() {
+        let p = diamond();
+        let s = p.output_schema();
+        assert_eq!(s.len(), 1);
+        assert!(s.has_field(&Ident::new("x")));
+    }
+
+    #[test]
+    fn output_schema_from_row_spec() {
+        let mut p = diamond();
+        p.output = OutputSource::Row(vec![(
+            Ident::new("Answer"),
+            DataType::Varchar,
+            DataSource::constant("yes"),
+        )]);
+        assert_eq!(
+            p.output_table_schema().columns()[0].data_type,
+            DataType::Varchar
+        );
+    }
+
+    #[test]
+    fn predecessors_listed() {
+        let p = diamond();
+        let preds = p.predecessors(&Ident::new("d"));
+        assert_eq!(preds.len(), 2);
+    }
+
+    #[test]
+    fn program_activity_count_skips_helpers() {
+        let mut p = diamond();
+        assert_eq!(p.program_activity_count(), 0);
+        p.nodes.push(Node::Activity(Activity {
+            name: Ident::new("prog"),
+            kind: ActivityKind::Program {
+                function: "GetQuality".into(),
+                inputs: vec![],
+            },
+            output: ContainerSchema::new(&[("Qual", DataType::Int)]),
+            retry: RetryPolicy::default(),
+        }));
+        assert_eq!(p.program_activity_count(), 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! The A-UDTF factory: one access UDTF per local function.
+
+use fedwf_fdbs::{ChargeItem, ChargeSpec, Udtf};
+use fedwf_sim::Component;
+use fedwf_types::FedResult;
+
+use crate::controller::Controller;
+
+/// Build the access UDTF (A-UDTF) for one local function. Each invocation
+/// books the right-hand Fig. 6 sequence: prepare (split between the FDBS's
+/// UDTF machinery and the controller), the RMI hop into the controller, the
+/// controller run, the local function itself, tear-down and the RMI return.
+pub fn build_access_udtf(controller: &Controller, function: &str) -> FedResult<Udtf> {
+    let signature = controller.registry().signature(function)?;
+    let cost = controller.cost().clone();
+    let charges = ChargeSpec {
+        on_start: vec![
+            ChargeItem::new(Component::Udtf, "Prepare A-UDTF", cost.audtf_prepare_udtf),
+            ChargeItem::new(
+                Component::Controller,
+                "Prepare A-UDTF",
+                cost.audtf_prepare_controller,
+            ),
+            ChargeItem::new(Component::Rmi, "RMI call", cost.rmi_call),
+        ],
+        on_finish: vec![
+            ChargeItem::new(Component::Udtf, "Finish A-UDTF", cost.audtf_finish_udtf),
+            ChargeItem::new(
+                Component::Controller,
+                "Finish A-UDTF",
+                cost.audtf_finish_controller,
+            ),
+            ChargeItem::new(Component::Rmi, "RMI return", cost.rmi_return),
+        ],
+    };
+    let controller = controller.clone();
+    let function_name = function.to_string();
+    Ok(Udtf::native(
+        signature.name.clone(),
+        signature.params.clone(),
+        signature.returns.clone(),
+        move |args, meter| controller.dispatch_local(&function_name, args, meter),
+    )
+    .with_charges(charges))
+}
+
+/// Build A-UDTFs for every local function of every application system —
+/// the full connectivity layer of the simple and enhanced UDTF
+/// architectures.
+pub fn build_all_access_udtfs(controller: &Controller) -> FedResult<Vec<Udtf>> {
+    let mut out = Vec::new();
+    for system_name in controller.registry().system_names() {
+        let system = controller
+            .registry()
+            .system(system_name)
+            .expect("listed system exists");
+        for function in system.function_names() {
+            out.push(build_access_udtf(controller, &function)?);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedwf_appsys::{build_scenario, DataGenConfig};
+    use fedwf_fdbs::{Fdbs, UdtfKind};
+    use fedwf_sim::{CostModel, Meter};
+    use fedwf_types::Value;
+
+    fn controller() -> Controller {
+        let scenario = build_scenario(DataGenConfig::tiny()).unwrap();
+        Controller::new(scenario.registry, CostModel::default())
+    }
+
+    #[test]
+    fn audtf_signature_mirrors_local_function() {
+        let c = controller();
+        let udtf = build_access_udtf(&c, "GetQuality").unwrap();
+        assert_eq!(udtf.params.len(), 1);
+        assert_eq!(udtf.returns.len(), 1);
+        assert!(matches!(udtf.kind, UdtfKind::Native(_)));
+        assert_eq!(udtf.charges.on_start.len(), 3);
+    }
+
+    #[test]
+    fn audtf_runs_through_fdbs_with_charges() {
+        let c = controller();
+        let fdbs = Fdbs::new(CostModel::default());
+        fdbs.register_udtf(build_access_udtf(&c, "GetQuality").unwrap())
+            .unwrap();
+        let mut meter = Meter::new();
+        let t = fdbs
+            .execute_with_params(
+                "SELECT GQ.Qual FROM TABLE (GetQuality(S)) AS GQ",
+                &[("S", Value::Int(1234))],
+                &mut meter,
+            )
+            .unwrap();
+        assert_eq!(t.value(0, "Qual"), Some(&Value::Int(93)));
+        let cost = CostModel::default();
+        let expected_udtf_path = cost.audtf_prepare_udtf
+            + cost.audtf_prepare_controller
+            + cost.rmi_call
+            + cost.controller_dispatch
+            + cost.local_function_cost(1)
+            + cost.audtf_finish_udtf
+            + cost.audtf_finish_controller
+            + cost.rmi_return;
+        // Plan compile + the A-UDTF path + one projected row.
+        assert_eq!(
+            meter.now_us(),
+            cost.plan_compile + expected_udtf_path + cost.row_output
+        );
+    }
+
+    #[test]
+    fn build_all_covers_every_function() {
+        let c = controller();
+        let udtfs = build_all_access_udtfs(&c).unwrap();
+        // 3 (stock) + 5 (purchasing) + 4 (pdm) local functions.
+        assert_eq!(udtfs.len(), 12);
+    }
+
+    #[test]
+    fn unknown_function_is_an_error() {
+        let c = controller();
+        assert!(build_access_udtf(&c, "Nope").is_err());
+    }
+}

@@ -1,0 +1,45 @@
+//! Adapter: workflow program activities → application-system functions.
+
+use fedwf_appsys::AppSystemRegistry;
+use fedwf_types::{FedResult, Table, Value};
+use fedwf_wfms::ProgramExecutor;
+
+/// The program implementations of all workflow activities: each program
+/// name is a predefined local function of some application system. Cost
+/// accounting stays in the workflow engine (which knows about activity
+/// startup and containers); this adapter only routes the call.
+#[derive(Clone)]
+pub struct AppSystemExecutor {
+    registry: AppSystemRegistry,
+}
+
+impl AppSystemExecutor {
+    pub fn new(registry: AppSystemRegistry) -> AppSystemExecutor {
+        AppSystemExecutor { registry }
+    }
+
+    pub fn registry(&self) -> &AppSystemRegistry {
+        &self.registry
+    }
+}
+
+impl ProgramExecutor for AppSystemExecutor {
+    fn execute(&self, function: &str, args: &[Value]) -> FedResult<Table> {
+        self.registry.call(function, args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedwf_appsys::{build_scenario, DataGenConfig};
+
+    #[test]
+    fn routes_program_calls() {
+        let scenario = build_scenario(DataGenConfig::tiny()).unwrap();
+        let ex = AppSystemExecutor::new(scenario.registry);
+        let t = ex.execute("GetReliability", &[Value::Int(1234)]).unwrap();
+        assert_eq!(t.value(0, "Relia"), Some(&Value::Int(87)));
+        assert!(ex.execute("Missing", &[]).is_err());
+    }
+}

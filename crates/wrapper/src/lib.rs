@@ -1,0 +1,32 @@
+//! # fedwf-wrapper
+//!
+//! The glue tier of the integration server:
+//!
+//! * [`Controller`] — the extra process the paper had to introduce because
+//!   of DB2's security restrictions: it isolates the UDTF process from the
+//!   database connection, is started once at boot, and keeps the WfMS
+//!   connection alive. Every cost it causes is tagged
+//!   [`fedwf_sim::Component::Controller`], making the paper's controller
+//!   ablation (ratio 3 → 3.7) a one-line cost-model change.
+//! * [`AppSystemExecutor`] — adapts the application-system registry to the
+//!   workflow engine's [`fedwf_wfms::ProgramExecutor`] interface (the
+//!   activities' program implementations).
+//! * [`WfmsWrapper`] — the SQL/MED-style wrapper: deploys workflow
+//!   processes and exposes each as a *connecting UDTF* the FDBS can
+//!   reference in a FROM clause. Invoking it books the paper's left-hand
+//!   Fig. 6 sequence (start/process UDTF, RMI call, controller bridge,
+//!   workflow + Java environment start, activities, RMI return, finish).
+//! * [`build_access_udtf`] — the A-UDTF factory for the pure-UDTF
+//!   architectures: one access UDTF per local function, each invocation
+//!   booking the right-hand Fig. 6 sequence (prepare, RMI, controller run,
+//!   local function, finish, RMI return).
+
+pub mod audtf;
+pub mod controller;
+pub mod executor;
+pub mod wfms_wrapper;
+
+pub use audtf::build_access_udtf;
+pub use controller::Controller;
+pub use executor::AppSystemExecutor;
+pub use wfms_wrapper::WfmsWrapper;

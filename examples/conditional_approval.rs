@@ -1,0 +1,127 @@
+//! What the WfMS can express and SQL cannot: transition *conditions* and
+//! do-until *loops* (Section 3: "the WfMS supports still more functionality
+//! like conditions, that cannot be expressed by SQL").
+//!
+//! A purchasing process with an XOR split: good suppliers get an automatic
+//! decision, weak ones trigger a discount search before deciding — and a
+//! loop that inventories component names. Both deploy as connecting UDTFs
+//! and are then callable from plain SQL.
+//!
+//! ```text
+//! cargo run --example conditional_approval
+//! ```
+
+use fedwf::core::{paper_functions, ArchitectureKind, IntegrationServer};
+use fedwf::sim::Meter;
+use fedwf::types::{DataType, Value};
+use fedwf::wfms::{CondOp, Condition, DataBinding, DataSource, ProcessBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let server = IntegrationServer::with_architecture(ArchitectureKind::Wfms)?;
+    server.boot();
+
+    // ---- a conditional workflow, built directly on the wrapper ----------
+    // GetQuality -> (Qual >= 70)  -> DecideDirect
+    //            -> (Qual <  70)  -> FindDiscounts -> DecideWithDiscount
+    let process = ProcessBuilder::new("ConditionalApproval")
+        .input(&[("SupplierNo", DataType::Int), ("CompNo", DataType::Int)])
+        .program(
+            "GetQuality",
+            "GetQuality",
+            vec![DataBinding::new("SupplierNo", DataSource::input("SupplierNo"))],
+            &[("Qual", DataType::Int)],
+        )
+        .program(
+            "DecideDirect",
+            "DecidePurchase",
+            vec![
+                DataBinding::new("Grade", DataSource::output("GetQuality", "Qual")),
+                DataBinding::new("No", DataSource::input("CompNo")),
+            ],
+            &[("Answer", DataType::Varchar)],
+        )
+        .program(
+            "FindDiscounts",
+            "GetCompSupp4Discount",
+            vec![DataBinding::new("Discount", DataSource::Constant(Value::Int(10)))],
+            &[("CompNo", DataType::Int), ("SupplierNo", DataType::Int)],
+        )
+        .program(
+            "DecideWithDiscount",
+            "DecidePurchase",
+            vec![
+                DataBinding::new("Grade", DataSource::output("GetQuality", "Qual")),
+                DataBinding::new("No", DataSource::output("FindDiscounts", "CompNo")),
+            ],
+            &[("Answer", DataType::Varchar)],
+        )
+        .connector_if(
+            "GetQuality",
+            "DecideDirect",
+            Condition::cmp("Qual", CondOp::GtEq, 70),
+        )
+        .connector_if(
+            "GetQuality",
+            "FindDiscounts",
+            Condition::cmp("Qual", CondOp::Lt, 70),
+        )
+        .connector("FindDiscounts", "DecideWithDiscount")
+        .output_row(&[
+            (
+                "DirectAnswer",
+                DataType::Varchar,
+                DataSource::output("DecideDirect", "Answer"),
+            ),
+            (
+                "DiscountAnswer",
+                DataType::Varchar,
+                DataSource::output("DecideWithDiscount", "Answer"),
+            ),
+        ])
+        .build()?;
+    server.wrapper().deploy_process(process)?;
+    server
+        .fdbs()
+        .register_udtf(server.wrapper().connecting_udtf("ConditionalApproval")?)?;
+
+    // A strong supplier takes the direct branch; the discount branch is
+    // dead-path-eliminated (NULL).
+    let strong = server.scenario().well_known_supplier_no();
+    let comp = server.scenario().well_known_component_no();
+    let mut meter = Meter::new();
+    let t = server.fdbs().execute_with_params(
+        "SELECT CA.DirectAnswer, CA.DiscountAnswer \
+         FROM TABLE (ConditionalApproval(S, C)) AS CA",
+        &[("S", Value::Int(strong)), ("C", Value::Int(comp))],
+        &mut meter,
+    )?;
+    println!("strong supplier {strong}:\n{t}\n");
+
+    // A weak supplier: find one with low quality and watch the XOR flip.
+    let weak = (1..200)
+        .find(|&n| {
+            server
+                .scenario()
+                .registry
+                .call("GetQuality", &[Value::Int(n)])
+                .ok()
+                .and_then(|t| t.value(0, "Qual").and_then(Value::as_i64))
+                .map(|q| q < 70)
+                .unwrap_or(false)
+        })
+        .expect("the generated data always contains weak suppliers");
+    let t = server.fdbs().execute_with_params(
+        "SELECT CA.DirectAnswer, CA.DiscountAnswer \
+         FROM TABLE (ConditionalApproval(S, C)) AS CA",
+        &[("S", Value::Int(weak)), ("C", Value::Int(comp))],
+        &mut meter,
+    )?;
+    println!("weak supplier {weak}:\n{t}\n");
+
+    // ---- the do-until loop (cyclic case) ---------------------------------
+    server.deploy(&paper_functions::all_comp_names())?;
+    let outcome = server.call("AllCompNames", &[Value::Int(5)])?;
+    println!("AllCompNames(5) — the loop the SQL UDTF architecture cannot express:");
+    println!("{}", outcome.table);
+    Ok(())
+}

@@ -1,0 +1,146 @@
+//! An interactive SQL shell against the integration server.
+//!
+//! ```text
+//! cargo run --bin fedwf-sql                 # WfMS architecture (default)
+//! cargo run --bin fedwf-sql -- --udtf       # enhanced SQL UDTF architecture
+//! ```
+//!
+//! The shell boots the three application systems, deploys every federated
+//! function of the paper, and then reads statements from stdin. Besides
+//! SQL (`SELECT`/`EXPLAIN`/DDL/DML), it understands:
+//!
+//! * `\functions` — list deployed federated functions and A-UDTFs,
+//! * `\processes` — list deployed workflow processes,
+//! * `\fdl <process>` — print a workflow process in FDL,
+//! * `\cost` — print the time breakdown of the last statement,
+//! * `\quit`.
+
+use std::io::{BufRead, Write};
+
+use fedwf::core::{paper_functions, ArchitectureKind, IntegrationServer};
+use fedwf::sim::{Breakdown, Meter};
+use fedwf::wfms::export_fdl;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let kind = if args.iter().any(|a| a == "--udtf") {
+        ArchitectureKind::SqlUdtf
+    } else if args.iter().any(|a| a == "--java") {
+        ArchitectureKind::JavaUdtf
+    } else {
+        ArchitectureKind::Wfms
+    };
+
+    eprintln!("fedwf SQL shell — {}", kind.name());
+    eprintln!("booting application systems and deploying the paper's federated functions ...");
+    let server = IntegrationServer::with_architecture(kind)?;
+    server.boot();
+    let mut deployed = 0;
+    for (spec, _) in paper_functions::fig5_workload() {
+        if server.architecture().supports(&spec) {
+            server.deploy(&spec)?;
+            deployed += 1;
+        }
+    }
+    eprintln!(
+        "{deployed} federated functions deployed. Try:\n  SELECT T.Decision FROM TABLE (BuySuppComp(1234, 'hex bolt M8')) AS T\n"
+    );
+
+    let stdin = std::io::stdin();
+    let mut last_meter: Option<Meter> = None;
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            eprint!("fedwf> ");
+        } else {
+            eprint!("   ... ");
+        }
+        std::io::stderr().flush()?;
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break; // EOF
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('\\') {
+            match handle_command(&server, trimmed, &last_meter) {
+                Ok(true) => continue,
+                Ok(false) => break,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    continue;
+                }
+            }
+        }
+        buffer.push_str(&line);
+        // Statements end with a semicolon (or a lone newline for brevity).
+        if !trimmed.ends_with(';') && !trimmed.is_empty() {
+            continue;
+        }
+        let sql = buffer.trim().trim_end_matches(';').trim().to_string();
+        buffer.clear();
+        if sql.is_empty() {
+            continue;
+        }
+        let mut meter = Meter::new();
+        match server.fdbs().execute(&sql, &mut meter) {
+            Ok(table) => {
+                if table.schema().is_empty() {
+                    println!("ok");
+                } else {
+                    println!("{table}");
+                    println!("({} row(s), {} virtual us)", table.row_count(), meter.now_us());
+                }
+                last_meter = Some(meter);
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+    Ok(())
+}
+
+/// Returns Ok(false) to quit.
+fn handle_command(
+    server: &IntegrationServer,
+    command: &str,
+    last_meter: &Option<Meter>,
+) -> Result<bool, Box<dyn std::error::Error>> {
+    let (cmd, arg) = match command.split_once(char::is_whitespace) {
+        Some((c, a)) => (c, a.trim()),
+        None => (command, ""),
+    };
+    match cmd {
+        "\\quit" | "\\q" => return Ok(false),
+        "\\functions" | "\\f" => {
+            println!("deployed federated functions:");
+            for name in server.deployed_names() {
+                println!("  {name}");
+            }
+            println!("table functions in the FDBS catalog:");
+            for name in server.fdbs().catalog().udtf_names() {
+                println!("  {name}");
+            }
+        }
+        "\\processes" | "\\p" => {
+            for name in server.wrapper().process_names() {
+                println!("  {name}");
+            }
+        }
+        "\\fdl" => {
+            let process = server.wrapper().process(arg)?;
+            print!("{}", export_fdl(&process));
+        }
+        "\\cost" => match last_meter {
+            Some(meter) => {
+                let b = Breakdown::by_step(
+                    "last statement",
+                    meter.charges(),
+                    meter.now_us(),
+                );
+                println!("{b}");
+            }
+            None => println!("no statement executed yet"),
+        },
+        other => eprintln!("unknown command {other} (try \\functions, \\processes, \\fdl, \\cost, \\quit)"),
+    }
+    Ok(true)
+}

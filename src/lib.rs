@@ -1,0 +1,11 @@
+#![doc = include_str!("../README.md")]
+
+pub use fedwf_appsys as appsys;
+pub use fedwf_core as core;
+pub use fedwf_fdbs as fdbs;
+pub use fedwf_relstore as relstore;
+pub use fedwf_sim as sim;
+pub use fedwf_sql as sql;
+pub use fedwf_types as types;
+pub use fedwf_wfms as wfms;
+pub use fedwf_wrapper as wrapper;

@@ -1,0 +1,195 @@
+//! End-to-end integration tests spanning all crates: SQL in at the top,
+//! local functions executing inside application systems at the bottom.
+
+use fedwf::core::{paper_functions, ArchitectureKind, IntegrationServer};
+use fedwf::sim::Component;
+use fedwf::types::Value;
+
+fn server(kind: ArchitectureKind) -> IntegrationServer {
+    let s = IntegrationServer::with_architecture(kind).expect("server");
+    s.boot();
+    s
+}
+
+#[test]
+fn the_full_paper_workload_deploys_and_runs_on_the_wfms() {
+    let s = server(ArchitectureKind::Wfms);
+    for (spec, _) in paper_functions::fig5_workload() {
+        s.deploy(&spec).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        let args = fedwf_bench_args(&s, spec.name.normalized());
+        let outcome = s
+            .call(spec.name.as_str(), &args)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        assert!(!outcome.table.is_empty(), "{} returned no rows", spec.name);
+    }
+}
+
+#[test]
+fn the_supported_workload_runs_on_every_architecture() {
+    for kind in ArchitectureKind::ALL {
+        let s = server(kind);
+        for (spec, _) in paper_functions::fig5_workload() {
+            if !s.architecture().supports(&spec) {
+                continue;
+            }
+            s.deploy(&spec).unwrap();
+            let args = fedwf_bench_args(&s, spec.name.normalized());
+            let outcome = s.call(spec.name.as_str(), &args).unwrap();
+            assert!(
+                !outcome.table.is_empty(),
+                "{} on {} returned no rows",
+                spec.name,
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn all_architectures_agree_on_every_result() {
+    // Deploy the same workload everywhere and compare result tables
+    // cell by cell — the architectures must be semantically equivalent.
+    let servers: Vec<IntegrationServer> =
+        ArchitectureKind::ALL.iter().map(|&k| server(k)).collect();
+    for (spec, _) in paper_functions::fig5_workload() {
+        let mut reference = None;
+        for s in &servers {
+            if !s.architecture().supports(&spec) {
+                continue;
+            }
+            s.deploy(&spec).unwrap();
+            let args = fedwf_bench_args(s, spec.name.normalized());
+            let table = s.call(spec.name.as_str(), &args).unwrap().table;
+            match &reference {
+                None => reference = Some(table),
+                Some(expected) => {
+                    assert_eq!(
+                        expected.rows().len(),
+                        table.rows().len(),
+                        "{} row count differs on {}",
+                        spec.name,
+                        s.config().architecture.name()
+                    );
+                    for (er, ar) in expected.rows().iter().zip(table.rows()) {
+                        assert_eq!(
+                            er,
+                            ar,
+                            "{} rows differ on {}",
+                            spec.name,
+                            s.config().architecture.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn federated_function_inside_a_bigger_query() {
+    let s = server(ArchitectureKind::Wfms);
+    s.deploy(&paper_functions::get_supp_qual_relia()).unwrap();
+    // Use the federated function and project an arithmetic expression.
+    let outcome = s
+        .query(
+            "SELECT Q.Qual + Q.Relia AS Sum FROM TABLE (GetSuppQualRelia(S)) AS Q WHERE Q.Qual > 0",
+            &[("S", Value::Int(s.scenario().well_known_supplier_no()))],
+        )
+        .unwrap();
+    assert_eq!(outcome.table.value(0, "Sum"), Some(&Value::Int(93 + 87)));
+}
+
+#[test]
+fn errors_propagate_with_provenance() {
+    let s = server(ArchitectureKind::Wfms);
+    s.deploy(&paper_functions::get_supp_qual()).unwrap();
+    let err = s
+        .call("GetSuppQual", &[Value::str("No Such Supplier GmbH")])
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("GetSupplierNo") || msg.contains("supplier name"),
+        "error lacks provenance: {msg}"
+    );
+}
+
+#[test]
+fn wfms_architecture_books_workflow_components() {
+    let s = server(ArchitectureKind::Wfms);
+    s.deploy(&paper_functions::get_supp_qual()).unwrap();
+    let args = vec![Value::str(s.scenario().well_known_supplier_name())];
+    let outcome = s.call("GetSuppQual", &args).unwrap();
+    let components: Vec<Component> = outcome
+        .meter
+        .charges()
+        .iter()
+        .map(|c| c.component)
+        .collect();
+    for expected in [
+        Component::Udtf,
+        Component::Rmi,
+        Component::Controller,
+        Component::JavaEnv,
+        Component::WfEngine,
+        Component::Activity,
+        Component::LocalFunction,
+    ] {
+        assert!(
+            components.contains(&expected),
+            "missing {expected} in the WfMS call path"
+        );
+    }
+}
+
+#[test]
+fn udtf_architecture_never_touches_the_workflow_engine() {
+    let s = server(ArchitectureKind::SqlUdtf);
+    s.deploy(&paper_functions::get_supp_qual()).unwrap();
+    let args = vec![Value::str(s.scenario().well_known_supplier_name())];
+    let outcome = s.call("GetSuppQual", &args).unwrap();
+    assert!(
+        !outcome
+            .meter
+            .charges()
+            .iter()
+            .any(|c| matches!(c.component, Component::WfEngine | Component::JavaEnv)),
+        "the UDTF path must not book workflow components"
+    );
+}
+
+#[test]
+fn repeated_calls_converge_to_a_fixed_cost() {
+    let s = server(ArchitectureKind::Wfms);
+    s.deploy(&paper_functions::gib_komp_nr()).unwrap();
+    let args = vec![Value::str(s.scenario().well_known_component_name())];
+    s.call("GibKompNr", &args).unwrap();
+    let second = s.call("GibKompNr", &args).unwrap().elapsed_us();
+    let third = s.call("GibKompNr", &args).unwrap().elapsed_us();
+    assert_eq!(second, third, "warm calls must be deterministic");
+}
+
+/// Argument recipes shared by the tests (mirrors the bench crate's).
+fn fedwf_bench_args(s: &IntegrationServer, normalized_name: &str) -> Vec<Value> {
+    let sc = s.scenario();
+    match normalized_name {
+        "gibkompnr" => vec![Value::str(sc.well_known_component_name())],
+        "getnumbersupp1234" => vec![Value::Int(sc.well_known_component_no())],
+        "getsubcompdiscounts" => {
+            vec![Value::Int(sc.well_known_component_no()), Value::Int(10)]
+        }
+        "getsuppqualrelia" => vec![Value::Int(sc.well_known_supplier_no())],
+        "getsuppqual" | "getsuppscores" => {
+            vec![Value::str(sc.well_known_supplier_name())]
+        }
+        "getnosuppcomp" => vec![
+            Value::str(sc.well_known_supplier_name()),
+            Value::str(sc.well_known_component_name()),
+        ],
+        "buysuppcomp" => vec![
+            Value::Int(sc.well_known_supplier_no()),
+            Value::str(sc.well_known_component_name()),
+        ],
+        "allcompnames" => vec![Value::Int(5)],
+        other => panic!("no argument recipe for {other}"),
+    }
+}

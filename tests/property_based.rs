@@ -1,0 +1,220 @@
+//! Property-based tests over core invariants, spanning crates.
+
+use proptest::prelude::*;
+
+use fedwf::relstore::{CmpOp, Database, IndexKind, Predicate};
+use fedwf::sim::{Breakdown, Component, Meter};
+use fedwf::sql::{parse_expression, parse_statement, Expr, Statement};
+use fedwf::types::{cast_value, DataType, Row, Schema, Value};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Value / cast lattice
+// ---------------------------------------------------------------------------
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i32>().prop_map(Value::Int),
+        any::<i64>().prop_map(Value::BigInt),
+        (-1.0e12..1.0e12f64).prop_map(Value::Double),
+        "[a-zA-Z0-9 _-]{0,12}".prop_map(Value::Varchar),
+        any::<bool>().prop_map(Value::Boolean),
+    ]
+}
+
+proptest! {
+    /// Widening INT -> BIGINT -> roundtrip back is the identity.
+    #[test]
+    fn widen_then_narrow_roundtrips(x in any::<i32>()) {
+        let widened = cast_value(&Value::Int(x), DataType::BigInt).unwrap();
+        let back = cast_value(&widened, DataType::Int).unwrap();
+        prop_assert_eq!(back, Value::Int(x));
+    }
+
+    /// Every value casts to VARCHAR, and the result renders identically.
+    #[test]
+    fn everything_casts_to_varchar(v in arb_value()) {
+        let casted = cast_value(&v, DataType::Varchar).unwrap();
+        if v.is_null() {
+            prop_assert!(casted.is_null());
+        } else {
+            prop_assert_eq!(casted.render(), v.render());
+        }
+    }
+
+    /// index_cmp is a total order: antisymmetric and transitive on samples.
+    #[test]
+    fn index_cmp_total_order(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering;
+        prop_assert_eq!(a.index_cmp(&b), b.index_cmp(&a).reverse());
+        if a.index_cmp(&b) != Ordering::Greater && b.index_cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.index_cmp(&c), Ordering::Greater);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SQL parser round-trip
+// ---------------------------------------------------------------------------
+
+fn arb_literal_expr() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        any::<i32>().prop_map(Expr::lit),
+        "[a-zA-Z0-9 ]{0,10}".prop_map(|s| Expr::lit(Value::Varchar(s))),
+        Just(Expr::lit(Value::Null)),
+        Just(Expr::Literal(Value::Boolean(true))),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_literal_expr(),
+        "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| {
+            fedwf::sql::Keyword::parse(s).is_none()
+        }).prop_map(|s| Expr::bare(&s)),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::eq(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binary(
+                a,
+                fedwf::sql::BinaryOp::Add,
+                b
+            )),
+            inner.clone().prop_map(|e| Expr::IsNull {
+                expr: Box::new(e),
+                negated: false
+            }),
+            inner.prop_map(|e| Expr::Cast {
+                expr: Box::new(e),
+                data_type: DataType::BigInt
+            }),
+        ]
+    })
+}
+
+proptest! {
+    /// pretty-print → reparse is the identity on expressions.
+    #[test]
+    fn expression_round_trip(e in arb_expr()) {
+        let printed = e.to_string();
+        let reparsed = parse_expression(&printed)
+            .unwrap_or_else(|err| panic!("cannot reparse {printed:?}: {err}"));
+        prop_assert_eq!(reparsed, e, "printed: {}", printed);
+    }
+
+    /// pretty-print → reparse is the identity on simple SELECTs.
+    #[test]
+    fn select_round_trip(
+        cols in prop::collection::vec("[a-z][a-z0-9]{0,6}", 1..4),
+        table in "[a-z][a-z0-9]{0,6}",
+        limit in proptest::option::of(0u64..1000),
+    ) {
+        prop_assume!(fedwf::sql::Keyword::parse(&table).is_none());
+        for c in &cols {
+            prop_assume!(fedwf::sql::Keyword::parse(c).is_none());
+        }
+        let sql = format!(
+            "SELECT {} FROM {}{}",
+            cols.join(", "),
+            table,
+            limit.map(|l| format!(" LIMIT {l}")).unwrap_or_default()
+        );
+        let stmt = parse_statement(&sql).unwrap();
+        let printed = stmt.to_string();
+        let reparsed = parse_statement(&printed).unwrap();
+        prop_assert_eq!(stmt, reparsed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Storage: indexed scans agree with full scans
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn indexed_and_full_scans_agree(
+        keys in prop::collection::hash_set(0i32..500, 0..40),
+        probe in 0i32..500,
+    ) {
+        let db = Database::new("prop");
+        db.create_table(
+            "T",
+            Arc::new(Schema::of(&[("k", DataType::Int), ("v", DataType::Varchar)])),
+        ).unwrap();
+        let rows: Vec<Row> = keys
+            .iter()
+            .map(|&k| Row::new(vec![Value::Int(k), Value::str(format!("v{k}"))]))
+            .collect();
+        db.insert_all("T", rows).unwrap();
+
+        let full = db.scan("T", &Predicate::eq(0, probe)).unwrap();
+        db.create_index("T", "pk", "k", IndexKind::Unique).unwrap();
+        let indexed = db.scan("T", &Predicate::eq(0, probe)).unwrap();
+        prop_assert_eq!(full.row_count(), indexed.row_count());
+        // Range predicate: count equals the set-based count.
+        let expected = keys.iter().filter(|&&k| k < probe).count();
+        let got = db.scan("T", &Predicate::cmp(0, CmpOp::Lt, probe)).unwrap();
+        prop_assert_eq!(got.row_count(), expected);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Virtual clock: fork/join algebra
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Join time equals the maximum branch time; booked work is the sum.
+    #[test]
+    fn join_is_max_booked_is_sum(branches in prop::collection::vec(0u64..10_000, 1..6)) {
+        let mut meter = Meter::new();
+        meter.charge(Component::WfEngine, "setup", 100);
+        let mut children = Vec::new();
+        for (i, cost) in branches.iter().enumerate() {
+            let mut child = meter.fork();
+            child.charge(Component::Activity, format!("branch {i}"), *cost);
+            children.push(child);
+        }
+        meter.join(children);
+        let max = branches.iter().copied().max().unwrap();
+        let sum: u64 = branches.iter().sum();
+        prop_assert_eq!(meter.now_us(), 100 + max);
+        prop_assert_eq!(meter.total_booked_us(), 100 + sum);
+    }
+
+    /// Breakdown percentages over sequential charges sum to 100.
+    #[test]
+    fn sequential_breakdown_sums_to_100(costs in prop::collection::vec(1u64..5_000, 1..10)) {
+        let mut meter = Meter::new();
+        for (i, c) in costs.iter().enumerate() {
+            meter.charge(Component::Udtf, format!("step {i}"), *c);
+        }
+        let b = Breakdown::by_step("t", meter.charges(), meter.now_us());
+        let total: f64 = b.lines.iter().map(|l| l.percent).sum();
+        prop_assert!((total - 100.0).abs() < 1e-6, "total = {total}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Statement round-trip for the paper's verbatim examples
+// ---------------------------------------------------------------------------
+
+#[test]
+fn paper_statements_round_trip() {
+    let statements = [
+        "SELECT DP.Answer FROM TABLE (GetQuality(SupplierNo)) AS GQ, TABLE (GetReliability(SupplierNo)) AS GR, TABLE (GetGrade(GQ.Qual, GR.Relia)) AS GG, TABLE (GetCompNo(CompName)) AS GCN, TABLE (DecidePurchase(GG.Grade, GCN.No)) AS DP",
+        "CREATE FUNCTION GetNumberSupp1234 (CompNo INT) RETURNS TABLE (Number INT) LANGUAGE SQL RETURN SELECT BIGINT(GN.Number) FROM TABLE (GetNumber(1234, GetNumberSupp1234.CompNo)) AS GN",
+        "CREATE FUNCTION GetSubCompDiscounts (CompNo INT, Discount INT) RETURNS TABLE (SubCompNo INT, SupplierNo INT) LANGUAGE SQL RETURN SELECT GSCD.SubCompNo, GCS4D.SupplierNo FROM TABLE (GetSubCompNo(GetSubCompDiscounts.CompNo)) AS GSCD, TABLE (GetCompSupp4Discount(GetSubCompDiscounts.Discount)) AS GCS4D WHERE GSCD.SubCompNo = GCS4D.CompNo",
+        "CREATE FUNCTION GetSuppQual (SupplierName VARCHAR) RETURNS TABLE (Qual INT) LANGUAGE SQL RETURN SELECT GQ.Qual FROM TABLE (GetSupplierNo(GetSuppQual.SupplierName)) AS GSN, TABLE (GetQuality(GSN.SupplierNo)) AS GQ",
+        "SELECT BSC.Answer FROM TABLE (BuySuppComp(SupplierNo, CompName)) AS BSC",
+    ];
+    for sql in statements {
+        let stmt: Statement = parse_statement(sql).unwrap();
+        let printed = stmt.to_string();
+        let reparsed = parse_statement(&printed).unwrap();
+        assert_eq!(stmt, reparsed, "round-trip failed for {sql}");
+    }
+}
