@@ -6,8 +6,7 @@
 //! matching rows to find, set-returning functions return multi-row results,
 //! the well-known entities of the paper's examples exist).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fedwf_types::rng::Rng;
 
 /// Configuration for the data generator.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -112,14 +111,31 @@ const NOUNS: &[&str] = &[
 ];
 
 const SUPPLIER_STEMS: &[&str] = &[
-    "Acme", "Bolt & Sons", "Cogworks", "Dynamo", "Elbe Metall", "Fischer", "Gear AG", "Hanse",
-    "Isar Tech", "Jupiter", "Kessel", "Lahn Werke", "Main Motoren", "Neckar", "Oder Stahl",
-    "Pfalz Praezision", "Quantum", "Rhein Metall", "Saar Technik", "Tauber",
+    "Acme",
+    "Bolt & Sons",
+    "Cogworks",
+    "Dynamo",
+    "Elbe Metall",
+    "Fischer",
+    "Gear AG",
+    "Hanse",
+    "Isar Tech",
+    "Jupiter",
+    "Kessel",
+    "Lahn Werke",
+    "Main Motoren",
+    "Neckar",
+    "Oder Stahl",
+    "Pfalz Praezision",
+    "Quantum",
+    "Rhein Metall",
+    "Saar Technik",
+    "Tauber",
 ];
 
 /// Generate the dataset for a configuration. Pure function of the config.
 pub fn generate(config: &DataGenConfig) -> GeneratedData {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
 
     let mut suppliers = Vec::with_capacity(config.suppliers + 1);
     // The well-known supplier first, with stable scores.
@@ -141,8 +157,8 @@ pub fn generate(config: &DataGenConfig) -> GeneratedData {
                 SUPPLIER_STEMS[i % SUPPLIER_STEMS.len()],
                 supplier_no
             ),
-            reliability: rng.gen_range(30..=100),
-            quality: rng.gen_range(30..=100),
+            reliability: rng.range_i32(30, 100),
+            quality: rng.range_i32(30, 100),
         });
     }
 
@@ -157,7 +173,7 @@ pub fn generate(config: &DataGenConfig) -> GeneratedData {
         components.push(ComponentRecord {
             comp_no,
             name: format!("{} #{comp_no}", NOUNS[i % NOUNS.len()]),
-            in_stock: rng.gen_range(0..=1000),
+            in_stock: rng.range_i32(0, 1000),
         });
     }
 
@@ -168,9 +184,9 @@ pub fn generate(config: &DataGenConfig) -> GeneratedData {
         if idx + 1 >= components.len() {
             break;
         }
-        let n_children = rng.gen_range(0..=config.max_bom_children);
+        let n_children = rng.range_usize(0, config.max_bom_children + 1);
         for _ in 0..n_children {
-            let child_idx = rng.gen_range(idx + 1..components.len());
+            let child_idx = rng.range_usize(idx + 1, components.len());
             bom.push(BomRecord {
                 parent_no: comp.comp_no,
                 child_no: components[child_idx].comp_no,
@@ -198,7 +214,7 @@ pub fn generate(config: &DataGenConfig) -> GeneratedData {
     let mut stock_numbers = Vec::new();
     let mut next_stock_no = 100_000;
     for comp in &components {
-        let n = rng.gen_range(1..=3.min(suppliers.len()));
+        let n = rng.range_usize(1, 3.min(suppliers.len()) + 1);
         for k in 0..n {
             let s = &suppliers[(comp.comp_no as usize + k * 7) % suppliers.len()];
             stock_numbers.push(StockNumberRecord {
@@ -222,7 +238,7 @@ pub fn generate(config: &DataGenConfig) -> GeneratedData {
             discounts.push(DiscountRecord {
                 supplier_no: sn.supplier_no,
                 comp_no: sn.comp_no,
-                discount: rng.gen_range(5..=30),
+                discount: rng.range_i32(5, 30),
             });
         }
     }
@@ -279,24 +295,20 @@ mod tests {
     #[test]
     fn well_known_entities_exist() {
         let d = generate(&DataGenConfig::tiny());
-        assert!(d
-            .suppliers
-            .iter()
-            .any(|s| s.supplier_no == WELL_KNOWN_SUPPLIER_NO
-                && s.name == WELL_KNOWN_SUPPLIER_NAME));
+        assert!(
+            d.suppliers
+                .iter()
+                .any(|s| s.supplier_no == WELL_KNOWN_SUPPLIER_NO
+                    && s.name == WELL_KNOWN_SUPPLIER_NAME)
+        );
         assert!(d
             .components
             .iter()
             .any(|c| c.name == WELL_KNOWN_COMPONENT_NAME));
-        assert!(d
-            .stock_numbers
-            .iter()
-            .any(|s| s.supplier_no == WELL_KNOWN_SUPPLIER_NO
-                && s.comp_no == WELL_KNOWN_COMPONENT_NO));
-        assert!(d
-            .bom
-            .iter()
-            .any(|b| b.parent_no == WELL_KNOWN_COMPONENT_NO));
+        assert!(d.stock_numbers.iter().any(
+            |s| s.supplier_no == WELL_KNOWN_SUPPLIER_NO && s.comp_no == WELL_KNOWN_COMPONENT_NO
+        ));
+        assert!(d.bom.iter().any(|b| b.parent_no == WELL_KNOWN_COMPONENT_NO));
     }
 
     #[test]

@@ -25,10 +25,7 @@ impl FunctionSignature {
     ) -> FunctionSignature {
         FunctionSignature {
             name: name.into(),
-            params: params
-                .iter()
-                .map(|(n, t)| (Ident::new(*n), *t))
-                .collect(),
+            params: params.iter().map(|(n, t)| (Ident::new(*n), *t)).collect(),
             returns: Arc::new(Schema::of(returns)),
         }
     }
@@ -49,10 +46,7 @@ impl FunctionSignature {
             .zip(self.params.iter())
             .map(|(v, (pname, ptype))| {
                 implicit_cast(v, *ptype).map_err(|e| {
-                    FedError::app_system(format!(
-                        "argument {pname} of {}: {e}",
-                        self.name
-                    ))
+                    FedError::app_system(format!("argument {pname} of {}: {e}", self.name))
                 })
             })
             .collect()
@@ -104,8 +98,9 @@ impl LocalFunction {
     /// the result against the declared return schema.
     pub fn invoke(&self, db: &Database, args: &[Value]) -> FedResult<Table> {
         let bound = self.signature.bind_args(args)?;
-        let result = (self.body)(db, &bound)
-            .map_err(|e| e.with_context(format!("executing local function {}", self.signature.name)))?;
+        let result = (self.body)(db, &bound).map_err(|e| {
+            e.with_context(format!("executing local function {}", self.signature.name))
+        })?;
         if result.schema().as_ref() != self.signature.returns.as_ref() {
             return Err(FedError::app_system(format!(
                 "local function {} returned schema {:?} but declares {:?}",
@@ -137,9 +132,7 @@ mod tests {
             &[("x", DataType::BigInt)],
             &[("y", DataType::BigInt)],
         );
-        LocalFunction::new(sig, |_db, args| {
-            Ok(Table::scalar("y", args[0].clone()))
-        })
+        LocalFunction::new(sig, |_db, args| Ok(Table::scalar("y", args[0].clone())))
     }
 
     #[test]
@@ -164,9 +157,7 @@ mod tests {
         let f = echo_function();
         let db = Database::new("t");
         assert!(f.invoke(&db, &[]).is_err());
-        assert!(f
-            .invoke(&db, &[Value::Int(1), Value::Int(2)])
-            .is_err());
+        assert!(f.invoke(&db, &[Value::Int(1), Value::Int(2)]).is_err());
     }
 
     #[test]

@@ -56,7 +56,12 @@ pub fn build_scenario(config: DataGenConfig) -> FedResult<Scenario> {
     Ok(Scenario { registry, config })
 }
 
-fn single_int(table: Table, column: &str, what: &str, key: &dyn std::fmt::Display) -> FedResult<Value> {
+fn single_int(
+    table: Table,
+    column: &str,
+    what: &str,
+    key: &dyn std::fmt::Display,
+) -> FedResult<Value> {
     match table.rows().first() {
         Some(row) => {
             let idx = table
@@ -136,10 +141,7 @@ fn build_stock_system(data: &GeneratedData) -> FedResult<Arc<ApplicationSystem>>
             &[("Qual", DataType::Int)],
         ),
         |db, args| {
-            let t = db.scan(
-                "SupplierQuality",
-                &Predicate::eq(0, args[0].clone()),
-            )?;
+            let t = db.scan("SupplierQuality", &Predicate::eq(0, args[0].clone()))?;
             let qual = single_int(t, "Qual", "supplier", &args[0])?;
             Ok(Table::scalar("Qual", qual))
         },
@@ -157,7 +159,12 @@ fn build_stock_system(data: &GeneratedData) -> FedResult<Arc<ApplicationSystem>>
                 "StockNumbers",
                 &Predicate::eq(0, args[0].clone()).and(Predicate::eq(1, args[1].clone())),
             )?;
-            let no = single_int(t, "StockNo", "stock number for supplier/component", &args[0])?;
+            let no = single_int(
+                t,
+                "StockNo",
+                "stock number for supplier/component",
+                &args[0],
+            )?;
             Ok(Table::scalar("Number", no))
         },
     ))?;
@@ -294,8 +301,12 @@ fn build_purchasing_system(data: &GeneratedData) -> FedResult<Arc<ApplicationSys
             &[("Grade", DataType::Int)],
         ),
         |_db, args| {
-            let q = args[0].as_i64().ok_or_else(|| FedError::app_system("Qual must not be NULL"))?;
-            let r = args[1].as_i64().ok_or_else(|| FedError::app_system("Relia must not be NULL"))?;
+            let q = args[0]
+                .as_i64()
+                .ok_or_else(|| FedError::app_system("Qual must not be NULL"))?;
+            let r = args[1]
+                .as_i64()
+                .ok_or_else(|| FedError::app_system("Relia must not be NULL"))?;
             // Quality weighs more than reliability.
             let grade = (2 * q + r) / 3;
             Ok(Table::scalar("Grade", Value::Int(grade as i32)))
@@ -311,7 +322,9 @@ fn build_purchasing_system(data: &GeneratedData) -> FedResult<Arc<ApplicationSys
             &[("Answer", DataType::Varchar)],
         ),
         |db, args| {
-            let grade = args[0].as_i64().ok_or_else(|| FedError::app_system("Grade must not be NULL"))?;
+            let grade = args[0]
+                .as_i64()
+                .ok_or_else(|| FedError::app_system("Grade must not be NULL"))?;
             let comp_no = args[1].clone();
             let offers = db.scan("Discounts", &Predicate::eq(1, comp_no))?;
             let best_discount = offers
@@ -439,7 +452,10 @@ mod tests {
     #[test]
     fn builds_three_systems() {
         let s = scenario();
-        assert_eq!(s.registry.system_names(), vec!["pdm", "purchasing", "stock"]);
+        assert_eq!(
+            s.registry.system_names(),
+            vec!["pdm", "purchasing", "stock"]
+        );
     }
 
     #[test]
@@ -450,7 +466,9 @@ mod tests {
         let reg = &s.registry;
         let supplier = Value::Int(s.well_known_supplier_no());
 
-        let qual = reg.call("GetQuality", std::slice::from_ref(&supplier)).unwrap();
+        let qual = reg
+            .call("GetQuality", std::slice::from_ref(&supplier))
+            .unwrap();
         let relia = reg.call("GetReliability", &[supplier]).unwrap();
         let grade = reg
             .call(
@@ -462,10 +480,7 @@ mod tests {
             )
             .unwrap();
         let comp_no = reg
-            .call(
-                "GetCompNo",
-                &[Value::str(s.well_known_component_name())],
-            )
+            .call("GetCompNo", &[Value::str(s.well_known_component_name())])
             .unwrap();
         let decision = reg
             .call(
@@ -486,10 +501,7 @@ mod tests {
         let s = scenario();
         let t = s
             .registry
-            .call(
-                "GetSupplierNo",
-                &[Value::str(s.well_known_supplier_name())],
-            )
+            .call("GetSupplierNo", &[Value::str(s.well_known_supplier_name())])
             .unwrap();
         assert_eq!(
             t.value(0, "SupplierNo"),
@@ -521,14 +533,20 @@ mod tests {
             .call("GetSubCompNo", &[Value::Int(s.well_known_component_no())])
             .unwrap();
         assert!(subs.row_count() >= 2, "forced BOM edges must be visible");
-        let offers = s.registry.call("GetCompSupp4Discount", &[Value::Int(10)]).unwrap();
+        let offers = s
+            .registry
+            .call("GetCompSupp4Discount", &[Value::Int(10)])
+            .unwrap();
         assert!(!offers.is_empty());
     }
 
     #[test]
     fn missing_entities_produce_app_errors() {
         let s = scenario();
-        assert!(s.registry.call("GetQuality", &[Value::Int(99_999)]).is_err());
+        assert!(s
+            .registry
+            .call("GetQuality", &[Value::Int(99_999)])
+            .is_err());
         assert!(s
             .registry
             .call("GetCompNo", &[Value::str("no such part")])

@@ -5,8 +5,8 @@ use std::sync::Arc;
 
 use fedwf_relstore::Database;
 use fedwf_sim::{Component, CostModel, Meter};
+use fedwf_types::sync::RwLock;
 use fedwf_types::{FedError, FedResult, Ident, Table, Value};
-use parking_lot::RwLock;
 
 use crate::function::{FunctionSignature, LocalFunction};
 
@@ -128,17 +128,9 @@ impl ApplicationSystem {
                 faults.remove(&ident);
             }
         }
-        let f = self
-            .functions
-            .read()
-            .get(&ident)
-            .cloned()
-            .ok_or_else(|| {
-                FedError::app_system(format!(
-                    "system {} has no function {name}",
-                    self.name
-                ))
-            })?;
+        let f = self.functions.read().get(&ident).cloned().ok_or_else(|| {
+            FedError::app_system(format!("system {} has no function {name}", self.name))
+        })?;
         f.invoke(&self.db, args)
     }
 
@@ -224,7 +216,8 @@ impl AppSystemRegistry {
 
     /// Call a function by name, routing to its system.
     pub fn call(&self, function_name: &str, args: &[Value]) -> FedResult<Table> {
-        self.resolve_function(function_name)?.call(function_name, args)
+        self.resolve_function(function_name)?
+            .call(function_name, args)
     }
 
     /// Metered variant of [`AppSystemRegistry::call`].
@@ -255,11 +248,7 @@ mod tests {
 
     fn one_system() -> Arc<ApplicationSystem> {
         let sys = ApplicationSystem::new("stock");
-        let sig = FunctionSignature::new(
-            "GetAnswer",
-            &[],
-            &[("Answer", DataType::Int)],
-        );
+        let sig = FunctionSignature::new("GetAnswer", &[], &[("Answer", DataType::Int)]);
         sys.register(LocalFunction::new(sig, |_db, _| {
             Ok(Table::scalar("Answer", Value::Int(42)))
         }))

@@ -1,8 +1,9 @@
 //! E6 — controller ablation: the same calls under the default and the
 //! controller-free cost models.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use fedwf_bench::experiments::{args_for, make_server_with_cost};
+use fedwf_bench::micro::Criterion;
+use fedwf_bench::{criterion_group, criterion_main};
 use fedwf_core::{paper_functions, ArchitectureKind};
 use fedwf_sim::CostModel;
 use std::time::Duration;
@@ -12,7 +13,10 @@ fn bench_ablation(c: &mut Criterion) {
     let spec = paper_functions::get_no_supp_comp();
     for (label, cost) in [
         ("with_controller", CostModel::default()),
-        ("without_controller", CostModel::default().without_controller()),
+        (
+            "without_controller",
+            CostModel::default().without_controller(),
+        ),
     ] {
         for (arch_label, kind) in [
             ("udtf", ArchitectureKind::SqlUdtf),
@@ -32,7 +36,7 @@ fn bench_ablation(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default()
+    config = fedwf_bench::micro::Criterion::default()
         .sample_size(10)
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_millis(800));

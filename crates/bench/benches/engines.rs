@@ -4,7 +4,8 @@
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fedwf_bench::micro::{BenchmarkId, Criterion, Throughput};
+use fedwf_bench::{criterion_group, criterion_main};
 use fedwf_relstore::{Database, IndexKind, Predicate};
 use fedwf_sim::{CostModel, Meter};
 use fedwf_sql::parse_statement;
@@ -48,12 +49,7 @@ fn bench_storage(c: &mut Criterion) {
         db.insert_all(
             "T",
             (0..rows)
-                .map(|i| {
-                    Row::new(vec![
-                        Value::Int(i as i32),
-                        Value::str(format!("row-{i}")),
-                    ])
-                })
+                .map(|i| Row::new(vec![Value::Int(i as i32), Value::str(format!("row-{i}"))]))
                 .collect(),
         )
         .unwrap();
@@ -61,9 +57,7 @@ fn bench_storage(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("indexed_point_lookup", rows),
             &db,
-            |b, db| {
-                b.iter(|| db.scan("T", &Predicate::eq(0, 500)).expect("scan"))
-            },
+            |b, db| b.iter(|| db.scan("T", &Predicate::eq(0, 500)).expect("scan")),
         );
         group.bench_with_input(BenchmarkId::new("full_scan", rows), &db, |b, db| {
             b.iter(|| db.scan_all("T").expect("scan"))
@@ -134,7 +128,7 @@ fn bench_workflow_engine(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default()
+    config = fedwf_bench::micro::Criterion::default()
         .sample_size(10)
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_millis(800));

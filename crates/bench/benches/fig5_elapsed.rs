@@ -4,8 +4,9 @@
 //! bench measures the *real* cost of our engines executing the same calls
 //! (plan-cache hits, lateral execution, workflow navigation).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fedwf_bench::experiments::{args_for, make_server};
+use fedwf_bench::micro::{BenchmarkId, Criterion};
+use fedwf_bench::{criterion_group, criterion_main};
 use fedwf_core::{paper_functions, ArchitectureKind};
 use std::time::Duration;
 
@@ -44,7 +45,7 @@ fn bench_fig5(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default()
+    config = fedwf_bench::micro::Criterion::default()
         .sample_size(10)
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_millis(800));

@@ -1,8 +1,9 @@
 //! Fig. 6 — cost of executing + accounting GetNoSuppComp on both
 //! architectures, including the breakdown aggregation itself.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use fedwf_bench::experiments::{args_for, make_server};
+use fedwf_bench::micro::Criterion;
+use fedwf_bench::{criterion_group, criterion_main};
 use fedwf_core::{paper_functions, ArchitectureKind};
 use std::time::Duration;
 
@@ -30,7 +31,7 @@ fn bench_fig6(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default()
+    config = fedwf_bench::micro::Criterion::default()
         .sample_size(10)
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_millis(800));

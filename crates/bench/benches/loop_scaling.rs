@@ -1,7 +1,8 @@
 //! E5 — AllCompNames do-until loop: wall-clock scaling with iterations.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fedwf_bench::experiments::make_server;
+use fedwf_bench::micro::{BenchmarkId, Criterion, Throughput};
+use fedwf_bench::{criterion_group, criterion_main};
 use fedwf_core::{paper_functions, ArchitectureKind};
 use fedwf_types::Value;
 use std::time::Duration;
@@ -28,7 +29,7 @@ fn bench_loop(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default()
+    config = fedwf_bench::micro::Criterion::default()
         .sample_size(10)
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_millis(800));

@@ -2,8 +2,9 @@
 //! navigator (the threaded WfMS pays thread overhead for genuinely
 //! parallel local calls).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use fedwf_bench::experiments::make_server;
+use fedwf_bench::micro::Criterion;
+use fedwf_bench::{criterion_group, criterion_main};
 use fedwf_core::{paper_functions, ArchitectureKind, IntegrationConfig, IntegrationServer};
 use fedwf_types::Value;
 use std::time::Duration;
@@ -27,7 +28,12 @@ fn bench_contrast(c: &mut Criterion) {
         server.call("GetSuppQualRelia", &parallel_args).unwrap();
         server.call("GetSuppQual", &sequential_args).unwrap();
         group.bench_function(format!("{label}/parallel"), |b| {
-            b.iter(|| server.call("GetSuppQualRelia", &parallel_args).unwrap().table)
+            b.iter(|| {
+                server
+                    .call("GetSuppQualRelia", &parallel_args)
+                    .unwrap()
+                    .table
+            })
         });
         group.bench_function(format!("{label}/sequential"), |b| {
             b.iter(|| server.call("GetSuppQual", &sequential_args).unwrap().table)
@@ -54,7 +60,7 @@ fn bench_contrast(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default()
+    config = fedwf_bench::micro::Criterion::default()
         .sample_size(10)
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_millis(800));

@@ -1,8 +1,9 @@
 //! E10 — scalability: wall-clock of warm calls as the enterprise grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fedwf_appsys::DataGenConfig;
 use fedwf_bench::experiments::args_for;
+use fedwf_bench::micro::{BenchmarkId, Criterion, Throughput};
+use fedwf_bench::{criterion_group, criterion_main};
 use fedwf_core::{paper_functions, ArchitectureKind, IntegrationConfig, IntegrationServer};
 use std::time::Duration;
 
@@ -31,9 +32,7 @@ fn bench_scalability(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(spec.name.as_str(), components),
                 &spec,
-                |b, spec| {
-                    b.iter(|| server.call(spec.name.as_str(), &args).expect("call").table)
-                },
+                |b, spec| b.iter(|| server.call(spec.name.as_str(), &args).expect("call").table),
             );
         }
     }
@@ -42,7 +41,7 @@ fn bench_scalability(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default()
+    config = fedwf_bench::micro::Criterion::default()
         .sample_size(10)
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_millis(800));

@@ -26,10 +26,7 @@ fn main() {
         section("E2 — Fig. 5: elapsed time per federated function (warm calls)");
         let rows = exp::fig5_elapsed();
         println!("{}", exp::render_fig5(&rows));
-        let max_ratio = rows
-            .iter()
-            .filter_map(|r| r.ratio())
-            .fold(0.0f64, f64::max);
+        let max_ratio = rows.iter().filter_map(|r| r.ratio()).fold(0.0f64, f64::max);
         println!(
             "paper: \"the WfMS approach is up to three times slower\";\n\
              measured: ratios up to {max_ratio:.2} (fixed WfMS invocation overhead\n\
@@ -175,6 +172,24 @@ fn main() {
             "\npaper (future work): the wrapper \"mak[es] various query optimization\n\
              options available\" — caching identical federated-function results is\n\
              sound under the read-only UDTF semantics.\n"
+        );
+    }
+
+    if want("e12") {
+        use fedwf_bench::throughput::{self, ThroughputSummary};
+        section("E12 — serving-layer throughput (wall clock, closed loop)");
+        println!("{}", ThroughputSummary::render_header());
+        for kind in [ArchitectureKind::Wfms, ArchitectureKind::SqlUdtf] {
+            for summary in throughput::ladder(kind, 25) {
+                println!("{}", summary.render_row());
+            }
+        }
+        println!(
+            "\nbeyond the paper: its testbed measured one call at a time; this\n\
+             reproduction's front (bounded queue + worker pool over the\n\
+             read-mostly server) serves N clients concurrently. Full ladder,\n\
+             result-cache scaling and the 16-client soak:\n\
+             cargo bench -p fedwf-bench --bench throughput.\n"
         );
     }
 

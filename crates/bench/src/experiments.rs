@@ -245,10 +245,8 @@ pub struct WarmupRow {
 pub fn warmup_tiers(kind: ArchitectureKind) -> Vec<WarmupRow> {
     let mut rows = Vec::new();
     for (spec, _) in paper_functions::fig5_workload() {
-        let server = IntegrationServer::new(
-            IntegrationConfig::default().with_architecture(kind),
-        )
-        .unwrap();
+        let server =
+            IntegrationServer::new(IntegrationConfig::default().with_architecture(kind)).unwrap();
         if !server.architecture().supports(&spec) {
             continue;
         }
@@ -343,7 +341,11 @@ pub fn linear_fit(points: &[LoopScalingPoint]) -> (f64, f64, f64) {
             (p.elapsed_us as f64 - pred).powi(2)
         })
         .sum();
-    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     (a, b, r2)
 }
 
@@ -483,7 +485,11 @@ pub fn error_handling(attempts: usize) -> Vec<ErrorHandlingResult> {
             "GetSupplierNo",
             vec![ArgSource::param("SupplierName")],
         )
-        .call("GQ", "GetQuality", vec![ArgSource::output("GSN", "SupplierNo")])
+        .call(
+            "GQ",
+            "GetQuality",
+            vec![ArgSource::output("GSN", "SupplierNo")],
+        )
         .retry(3)
         .output_from_call("GQ")
         .expect("static spec");
@@ -623,10 +629,7 @@ mod tests {
             .find(|r| r.case == ComplexityCase::Cyclic)
             .unwrap();
         assert!(cyclic.mechanisms[0].1.is_none());
-        let unsupported: usize = rows
-            .iter()
-            .filter(|r| r.mechanisms[0].1.is_none())
-            .count();
+        let unsupported: usize = rows.iter().filter(|r| r.mechanisms[0].1.is_none()).count();
         assert_eq!(unsupported, 1);
     }
 

@@ -1,0 +1,272 @@
+//! A miniature wall-clock benchmarking harness with a Criterion-compatible
+//! API subset, so the workspace benches build offline with no external
+//! crates. Each benchmark is warmed up, then sampled; the report prints
+//! minimum / mean / p95 per-iteration times.
+//!
+//! Quick mode (for CI): pass `--quick` on the bench command line or set
+//! `FEDWF_BENCH_QUICK=1` to shrink warm-up and sampling to a few
+//! milliseconds per benchmark.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Entry point state: global settings plus the quick-mode flag.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    quick: bool,
+}
+
+fn quick_requested() -> bool {
+    std::env::args().any(|a| a == "--quick")
+        || std::env::var("FEDWF_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(800),
+            quick: quick_requested(),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    fn effective(&self) -> (usize, Duration, Duration) {
+        if self.quick {
+            (3, Duration::from_millis(5), Duration::from_millis(20))
+        } else {
+            (self.sample_size, self.warm_up, self.measurement)
+        }
+    }
+}
+
+/// Units processed per iteration, for derived throughput lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A labelled benchmark id: `BenchmarkId::new("group", param)` renders as
+/// `group/param`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let (samples, warm_up, measurement) = self.criterion.effective();
+        let mut bencher = Bencher {
+            warm_up,
+            sample_budget: measurement / samples as u32,
+            samples,
+            per_iter_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        report(&id.to_string(), &bencher.per_iter_ns, self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Runs the measured closure; collected timings feed the report.
+pub struct Bencher {
+    warm_up: Duration,
+    sample_budget: Duration,
+    samples: usize,
+    per_iter_ns: Vec<f64>,
+}
+
+impl Bencher {
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up: run until the warm-up budget is spent, counting
+        // iterations to size the measurement batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let batch = ((self.sample_budget.as_secs_f64() / per_iter.max(1e-9)) as u64).max(1);
+
+        self.per_iter_ns.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / batch as f64;
+            self.per_iter_ns.push(ns);
+        }
+    }
+}
+
+fn report(label: &str, per_iter_ns: &[f64], throughput: Option<Throughput>) {
+    if per_iter_ns.is_empty() {
+        println!("  {label:<40} (no samples)");
+        return;
+    }
+    let mut sorted = per_iter_ns.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let min = sorted[0];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let p95 = sorted[((sorted.len() - 1) as f64 * 0.95) as usize];
+    let extra = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.0} elem/s)", n as f64 / (mean * 1e-9))
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "  ({:.1} MiB/s)",
+                n as f64 / (mean * 1e-9) / (1 << 20) as f64
+            )
+        }
+        None => String::new(),
+    };
+    println!(
+        "  {label:<40} min {:>12}  mean {:>12}  p95 {:>12}{extra}",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(p95)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Criterion-compatible group macro: both the positional and the
+/// `name = ...; config = ...; targets = ...` forms are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::micro::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Criterion-compatible main macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(3));
+        let mut group = c.benchmark_group("smoke");
+        let mut count = 0u64;
+        group.bench_function("incr", |b| b.iter(|| count += 1));
+        group.throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::new("with", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

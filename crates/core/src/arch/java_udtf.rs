@@ -6,9 +6,7 @@ use std::sync::Arc;
 
 use fedwf_fdbs::{Fdbs, Udtf, UdtfKind};
 use fedwf_sim::Meter;
-use fedwf_types::{
-    cast_value, FedError, FedResult, Ident, Row, SchemaRef, Table, Value,
-};
+use fedwf_types::{cast_value, FedError, FedResult, Ident, Row, SchemaRef, Table, Value};
 use fedwf_wrapper::Controller;
 
 use crate::arch::{
@@ -133,41 +131,41 @@ impl Architecture for JavaUdtfArchitecture {
             .into_iter()
             .map(Self::compile_step)
             .collect();
-        let cyclic = spec.cyclic.clone().map(|cy| (Self::compile_step(&cy.body), cy));
+        let cyclic = spec
+            .cyclic
+            .clone()
+            .map(|cy| (Self::compile_step(&cy.body), cy));
 
         // Precompute join projection indexes, if the output composes sets.
-        let join_plan: Option<JoinPlan> =
-            if let FedOutput::Join {
-                left,
-                right,
-                left_on,
-                right_on,
-                project,
-            } = &spec.output
-            {
-                let ls = call_schema(&self.controller, spec, left)?;
-                let rs = call_schema(&self.controller, spec, right)?;
-                let li = ls.index_of(left_on).ok_or_else(|| {
-                    FedError::plan(format!("join column {left_on} missing"))
-                })?;
-                let ri = rs.index_of(right_on).ok_or_else(|| {
-                    FedError::plan(format!("join column {right_on} missing"))
-                })?;
-                let proj = project
-                    .iter()
-                    .map(|(from_left, src, _)| {
-                        let side = if *from_left { &ls } else { &rs };
-                        side.index_of(src)
-                            .map(|i| (*from_left, i))
-                            .ok_or_else(|| {
-                                FedError::plan(format!("join projects unknown column {src}"))
-                            })
+        let join_plan: Option<JoinPlan> = if let FedOutput::Join {
+            left,
+            right,
+            left_on,
+            right_on,
+            project,
+        } = &spec.output
+        {
+            let ls = call_schema(&self.controller, spec, left)?;
+            let rs = call_schema(&self.controller, spec, right)?;
+            let li = ls
+                .index_of(left_on)
+                .ok_or_else(|| FedError::plan(format!("join column {left_on} missing")))?;
+            let ri = rs
+                .index_of(right_on)
+                .ok_or_else(|| FedError::plan(format!("join column {right_on} missing")))?;
+            let proj = project
+                .iter()
+                .map(|(from_left, src, _)| {
+                    let side = if *from_left { &ls } else { &rs };
+                    side.index_of(src).map(|i| (*from_left, i)).ok_or_else(|| {
+                        FedError::plan(format!("join projects unknown column {src}"))
                     })
-                    .collect::<FedResult<Vec<_>>>()?;
-                Some((left.clone(), right.clone(), li, ri, proj))
-            } else {
-                None
-            };
+                })
+                .collect::<FedResult<Vec<_>>>()?;
+            Some((left.clone(), right.clone(), li, ri, proj))
+        } else {
+            None
+        };
 
         let fdbs = self.fdbs.clone();
         let fed_params = spec.params.clone();
@@ -351,7 +349,9 @@ mod tests {
     #[test]
     fn join_output_composes_in_program() {
         let a = arch();
-        let deployed = a.deploy(&paper_functions::get_sub_comp_discounts()).unwrap();
+        let deployed = a
+            .deploy(&paper_functions::get_sub_comp_discounts())
+            .unwrap();
         let mut meter = Meter::new();
         // The well-known component has sub-components; ask for any
         // discount >= 1 so the right side is large.

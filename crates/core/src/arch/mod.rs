@@ -25,9 +25,7 @@ use std::sync::Arc;
 
 use fedwf_fdbs::Fdbs;
 use fedwf_sim::Meter;
-use fedwf_types::{
-    DataType, FedError, FedResult, Ident, Schema, SchemaRef, Table, Value,
-};
+use fedwf_types::{DataType, FedError, FedResult, Ident, Schema, SchemaRef, Table, Value};
 use fedwf_wrapper::{build_access_udtf, Controller};
 
 use crate::classify::ComplexityCase;
@@ -203,9 +201,9 @@ pub(crate) fn spec_output_schema(
             let mut cols = Vec::with_capacity(project.len());
             for (from_left, src, out) in project {
                 let side = if *from_left { &ls } else { &rs };
-                let idx = side.index_of(src).ok_or_else(|| {
-                    FedError::plan(format!("join projects unknown column {src}"))
-                })?;
+                let idx = side
+                    .index_of(src)
+                    .ok_or_else(|| FedError::plan(format!("join projects unknown column {src}")))?;
                 cols.push((out.as_str().to_string(), side.columns()[idx].data_type));
             }
             Ok(Arc::new(Schema::of(
@@ -249,10 +247,7 @@ pub(crate) fn ensure_access_udtfs(
 /// `SELECT T.* FROM TABLE (Name(p0, p1, ...)) AS T`.
 pub(crate) fn call_sql_for(name: &Ident, param_count: usize) -> String {
     let args: Vec<String> = (0..param_count).map(|i| format!("p{i}")).collect();
-    format!(
-        "SELECT T.* FROM TABLE ({name}({})) AS T",
-        args.join(", ")
-    )
+    format!("SELECT T.* FROM TABLE ({name}({})) AS T", args.join(", "))
 }
 
 pub(crate) fn make_deployed(

@@ -107,7 +107,10 @@ mod tests {
             .unwrap();
         assert!(sql.contains("TABLE (GetQuality(p0)) AS GQ"), "{sql}");
         assert!(sql.contains("TABLE (GetCompNo(p1)) AS GCN"), "{sql}");
-        assert!(!sql.contains("BuySuppComp."), "no function-name qualifier: {sql}");
+        assert!(
+            !sql.contains("BuySuppComp."),
+            "no function-name qualifier: {sql}"
+        );
     }
 
     #[test]

@@ -12,8 +12,8 @@ use fedwf_types::{FedError, FedResult, Ident};
 use fedwf_wrapper::Controller;
 
 use crate::arch::{
-    call_schema, call_sql_for, ensure_access_udtfs, make_deployed, source_type,
-    spec_output_schema, Architecture, ArchitectureKind, DeployedFunction,
+    call_schema, call_sql_for, ensure_access_udtfs, make_deployed, source_type, spec_output_schema,
+    Architecture, ArchitectureKind, DeployedFunction,
 };
 use crate::classify::ComplexityCase;
 use crate::mapping::{ArgSource, FedOutput, MappingSpec};
@@ -280,7 +280,10 @@ mod tests {
         let create = a.generate_create_function(&spec).unwrap();
         let sql = Statement::CreateFunction(create).to_string();
         assert!(sql.contains("BIGINT(GN.Number)"), "{sql}");
-        assert!(sql.contains("GetNumber(1234, GetNumberSupp1234.CompNo)"), "{sql}");
+        assert!(
+            sql.contains("GetNumber(1234, GetNumberSupp1234.CompNo)"),
+            "{sql}"
+        );
     }
 
     #[test]

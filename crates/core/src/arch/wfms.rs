@@ -37,11 +37,8 @@ impl WfmsArchitecture {
     pub fn compile_process(&self, spec: &MappingSpec) -> FedResult<ProcessModel> {
         spec.validate()?;
         let registry = self.wrapper.controller().registry();
-        let params_spec: Vec<(&str, DataType)> = spec
-            .params
-            .iter()
-            .map(|(n, t)| (n.as_str(), *t))
-            .collect();
+        let params_spec: Vec<(&str, DataType)> =
+            spec.params.iter().map(|(n, t)| (n.as_str(), *t)).collect();
         let mut b = ProcessBuilder::new(spec.name.as_str().to_string()).input(&params_spec);
         let mut connectors: HashSet<(String, String)> = HashSet::new();
         let mut connect = |b: ProcessBuilder, from: &str, to: &str| -> ProcessBuilder {
@@ -66,9 +63,7 @@ impl WfmsArchitecture {
                 )));
             }
             let mut inputs = Vec::with_capacity(call.args.len());
-            for (i, (arg, (pname, ptype))) in
-                call.args.iter().zip(&signature.params).enumerate()
-            {
+            for (i, (arg, (pname, ptype))) in call.args.iter().zip(&signature.params).enumerate() {
                 let src_type = source_type(self.wrapper.controller(), spec, arg)?;
                 let call_name = call.id.as_str().to_string();
                 match arg {
@@ -137,8 +132,10 @@ impl WfmsArchitecture {
             let signature = registry.signature(&cy.body.function)?;
             // Loop variables: counter, limit, and every federated parameter
             // the body references.
-            let mut var_spec: Vec<(String, DataType)> =
-                vec![("i".to_string(), DataType::Int), ("limit".to_string(), DataType::Int)];
+            let mut var_spec: Vec<(String, DataType)> = vec![
+                ("i".to_string(), DataType::Int),
+                ("limit".to_string(), DataType::Int),
+            ];
             for arg in &cy.body.args {
                 if let ArgSource::Param(p) = arg {
                     let t = source_type(self.wrapper.controller(), spec, arg)?;
@@ -286,9 +283,7 @@ impl WfmsArchitecture {
 fn arg_to_data_source(arg: &ArgSource) -> FedResult<DataSource> {
     Ok(match arg {
         ArgSource::Param(p) => DataSource::input(p.as_str()),
-        ArgSource::Output { call, column } => {
-            DataSource::output(call.as_str(), column.as_str())
-        }
+        ArgSource::Output { call, column } => DataSource::output(call.as_str(), column.as_str()),
         ArgSource::Constant(v) => DataSource::Constant(v.clone()),
         ArgSource::Counter => DataSource::input("i"),
     })
@@ -309,9 +304,7 @@ impl Architecture for WfmsArchitecture {
                 Some("parallel and sequential execution of activities")
             }
             ComplexityCase::Cyclic => Some("loop construct with sub-workflow"),
-            ComplexityCase::General => {
-                Some("arbitrary combination of control-flow constructs")
-            }
+            ComplexityCase::General => Some("arbitrary combination of control-flow constructs"),
         }
     }
 
@@ -354,7 +347,9 @@ mod tests {
     #[test]
     fn compiles_buysuppcomp_to_five_program_activities() {
         let a = arch();
-        let process = a.compile_process(&paper_functions::buy_supp_comp()).unwrap();
+        let process = a
+            .compile_process(&paper_functions::buy_supp_comp())
+            .unwrap();
         assert_eq!(process.program_activity_count(), 5);
         // GG waits for GQ and GR; DP waits for GG and GCN.
         let preds: Vec<String> = process
@@ -392,8 +387,14 @@ mod tests {
         // One program activity + a Const helper + a CastOut helper.
         assert_eq!(process.program_activity_count(), 1);
         assert_eq!(process.nodes.len(), 3);
-        assert!(process.nodes.iter().any(|n| n.name().as_str().starts_with("Const_")));
-        assert!(process.nodes.iter().any(|n| n.name().as_str().starts_with("CastOut_")));
+        assert!(process
+            .nodes
+            .iter()
+            .any(|n| n.name().as_str().starts_with("Const_")));
+        assert!(process
+            .nodes
+            .iter()
+            .any(|n| n.name().as_str().starts_with("CastOut_")));
     }
 
     #[test]
@@ -417,7 +418,9 @@ mod tests {
         assert_eq!(t.row_count(), 5);
         assert_eq!(
             t.value(0, "Name"),
-            Some(&Value::str(fedwf_appsys::datagen::WELL_KNOWN_COMPONENT_NAME))
+            Some(&Value::str(
+                fedwf_appsys::datagen::WELL_KNOWN_COMPONENT_NAME
+            ))
         );
     }
 

@@ -190,7 +190,11 @@ mod tests {
     fn linear_chain() {
         let spec = MappingSpec::new("X", &[("N", DataType::Varchar)])
             .call("A", "GetSupplierNo", vec![ArgSource::param("N")])
-            .call("B", "GetQuality", vec![ArgSource::output("A", "SupplierNo")])
+            .call(
+                "B",
+                "GetQuality",
+                vec![ArgSource::output("A", "SupplierNo")],
+            )
             .output_from_call("B")
             .unwrap();
         assert_eq!(classify(&spec), ComplexityCase::DependentLinear);
@@ -218,7 +222,11 @@ mod tests {
     fn fan_out_is_n1() {
         let spec = MappingSpec::new("X", &[("N", DataType::Varchar)])
             .call("A", "GetSupplierNo", vec![ArgSource::param("N")])
-            .call("B", "GetQuality", vec![ArgSource::output("A", "SupplierNo")])
+            .call(
+                "B",
+                "GetQuality",
+                vec![ArgSource::output("A", "SupplierNo")],
+            )
             .call(
                 "C",
                 "GetReliability",
@@ -269,20 +277,29 @@ mod tests {
         // heads also make D... model the actual 5-call graph.
         let spec = MappingSpec::new(
             "BuySuppComp",
-            &[("SupplierNo", DataType::Int), ("CompName", DataType::Varchar)],
+            &[
+                ("SupplierNo", DataType::Int),
+                ("CompName", DataType::Varchar),
+            ],
         )
         .call("GQ", "GetQuality", vec![ArgSource::param("SupplierNo")])
         .call("GR", "GetReliability", vec![ArgSource::param("SupplierNo")])
         .call(
             "GG",
             "GetGrade",
-            vec![ArgSource::output("GQ", "Qual"), ArgSource::output("GR", "Relia")],
+            vec![
+                ArgSource::output("GQ", "Qual"),
+                ArgSource::output("GR", "Relia"),
+            ],
         )
         .call("GCN", "GetCompNo", vec![ArgSource::param("CompName")])
         .call(
             "DP",
             "DecidePurchase",
-            vec![ArgSource::output("GG", "Grade"), ArgSource::output("GCN", "No")],
+            vec![
+                ArgSource::output("GG", "Grade"),
+                ArgSource::output("GCN", "No"),
+            ],
         )
         .output_from_call("DP")
         .unwrap();

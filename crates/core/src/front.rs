@@ -1,0 +1,414 @@
+//! The multi-client serving layer in front of the integration server.
+//!
+//! The paper benchmarks one federated-function call at a time; a real
+//! middle tier (Fig. 2) sits behind many concurrent clients. [`ServerFront`]
+//! adds that missing layer: a fixed pool of worker threads drains a
+//! *bounded* work queue of calls against a shared [`IntegrationServer`].
+//!
+//! Design points, in the order a request meets them:
+//!
+//! 1. **Admission control.** The queue is a `sync_channel` with a fixed
+//!    depth. When it is full the call is *shed* immediately with
+//!    [`FedError::overloaded`] — the request is never executed, so the
+//!    client may safely retry elsewhere. Nothing blocks at admission.
+//! 2. **Per-call deadline.** Every call carries a deadline (the configured
+//!    default, or per-call via [`ServerFront::call_with_deadline`]). The
+//!    submitting client waits at most that long for the reply
+//!    ([`FedError::timeout`] otherwise), and a worker that dequeues an
+//!    already-expired job drops it without executing — queue time counts
+//!    against the deadline, so a backed-up front does not burn CPU on
+//!    answers nobody is waiting for.
+//! 3. **Execution.** Workers call straight into
+//!    [`IntegrationServer::call`], whose hot path is read-mostly: after
+//!    warm-up, no exclusive lock is taken anywhere, so workers genuinely
+//!    run in parallel.
+//! 4. **Graceful shutdown.** Dropping the front closes the queue, lets the
+//!    workers drain what was already admitted, and joins them. Clients
+//!    still waiting get their replies; nothing is lost mid-execution.
+//!
+//! ```
+//! use fedwf_core::{paper_functions, ArchitectureKind, FrontConfig, IntegrationServer, ServerFront};
+//! use fedwf_types::Value;
+//! use std::sync::Arc;
+//!
+//! let server = Arc::new(IntegrationServer::with_architecture(ArchitectureKind::Wfms)?);
+//! server.boot();
+//! server.deploy(&paper_functions::get_supp_qual())?;
+//! let front = ServerFront::start(server.clone(), FrontConfig::default());
+//! let outcome = front.call(
+//!     "GetSuppQual",
+//!     &[Value::str(server.scenario().well_known_supplier_name())],
+//! )?;
+//! assert_eq!(outcome.table.value(0, "Qual"), Some(&Value::Int(93)));
+//! # Ok::<(), fedwf_types::FedError>(())
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use fedwf_types::sync::Mutex;
+use fedwf_types::{FedError, FedResult, Value};
+
+use crate::server::{CallOutcome, IntegrationServer};
+
+/// Configuration of a [`ServerFront`].
+#[derive(Debug, Clone)]
+pub struct FrontConfig {
+    /// Number of worker threads draining the queue.
+    pub workers: usize,
+    /// Bound of the admission queue. A call arriving while `queue_depth`
+    /// jobs are already waiting is shed with [`FedError::overloaded`].
+    pub queue_depth: usize,
+    /// Deadline applied by [`ServerFront::call`]; covers queueing *and*
+    /// execution time.
+    pub default_deadline: Duration,
+}
+
+impl Default for FrontConfig {
+    fn default() -> FrontConfig {
+        FrontConfig {
+            workers: 4,
+            queue_depth: 64,
+            default_deadline: Duration::from_secs(10),
+        }
+    }
+}
+
+impl FrontConfig {
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
+        self.queue_depth = queue_depth;
+        self
+    }
+
+    pub fn with_default_deadline(mut self, deadline: Duration) -> Self {
+        self.default_deadline = deadline;
+        self
+    }
+}
+
+/// Counters a front keeps about its own behaviour. Snapshot via
+/// [`ServerFront::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrontStats {
+    /// Calls admitted into the queue.
+    pub accepted: u64,
+    /// Calls whose execution finished (successfully or with an execution
+    /// error) and whose reply was sent.
+    pub completed: u64,
+    /// Calls shed at admission because the queue was full.
+    pub shed: u64,
+    /// Calls dropped by a worker because their deadline had already
+    /// expired while they sat in the queue.
+    pub expired_in_queue: u64,
+}
+
+#[derive(Default)]
+struct StatCells {
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    expired_in_queue: AtomicU64,
+}
+
+/// One queued call. The reply channel has capacity 1 so a worker's send
+/// never blocks, even when the client has already timed out and gone away.
+struct Job {
+    name: String,
+    args: Vec<Value>,
+    deadline: Instant,
+    reply: SyncSender<FedResult<CallOutcome>>,
+}
+
+/// A concurrent serving layer over one [`IntegrationServer`]: bounded
+/// admission queue, fixed worker pool, per-call deadlines, load shedding.
+///
+/// See the [module documentation](self) for the request life cycle.
+pub struct ServerFront {
+    queue: SyncSender<Job>,
+    workers: Vec<JoinHandle<()>>,
+    default_deadline: Duration,
+    stats: Arc<StatCells>,
+}
+
+impl ServerFront {
+    /// Spawn the worker pool and return the front. Workers hold an `Arc`
+    /// of the server; the server stays usable directly as well.
+    pub fn start(server: Arc<IntegrationServer>, config: FrontConfig) -> ServerFront {
+        let workers = config.workers.max(1);
+        let (queue, rx) = sync_channel::<Job>(config.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let stats = Arc::new(StatCells::default());
+        let handles = (0..workers)
+            .map(|i| {
+                let server = Arc::clone(&server);
+                let rx = Arc::clone(&rx);
+                let stats = Arc::clone(&stats);
+                std::thread::Builder::new()
+                    .name(format!("fedwf-front-{i}"))
+                    .spawn(move || worker_loop(&server, &rx, &stats))
+                    .expect("spawn front worker")
+            })
+            .collect();
+        ServerFront {
+            queue,
+            workers: handles,
+            default_deadline: config.default_deadline,
+            stats,
+        }
+    }
+
+    /// Call a deployed federated function through the front with the
+    /// configured default deadline.
+    ///
+    /// Errors: [`FedError::overloaded`] if shed at admission,
+    /// [`FedError::timeout`] if the deadline expires first, otherwise
+    /// whatever the execution itself produced.
+    pub fn call(&self, name: &str, args: &[Value]) -> FedResult<CallOutcome> {
+        self.call_with_deadline(name, args, self.default_deadline)
+    }
+
+    /// Like [`ServerFront::call`] with an explicit per-call deadline
+    /// covering both queueing and execution.
+    pub fn call_with_deadline(
+        &self,
+        name: &str,
+        args: &[Value],
+        deadline: Duration,
+    ) -> FedResult<CallOutcome> {
+        let expires = Instant::now() + deadline;
+        let (reply_tx, reply_rx) = sync_channel(1);
+        let job = Job {
+            name: name.to_string(),
+            args: args.to_vec(),
+            deadline: expires,
+            reply: reply_tx,
+        };
+        match self.queue.try_send(job) {
+            Ok(()) => {
+                self.stats.accepted.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(TrySendError::Full(_)) => {
+                self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(FedError::overloaded(format!(
+                    "admission queue full, call to {name} shed"
+                )));
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                return Err(FedError::overloaded(format!(
+                    "serving front is shut down, call to {name} rejected"
+                )));
+            }
+        }
+        self.await_reply(reply_rx, expires, name)
+    }
+
+    fn await_reply(
+        &self,
+        reply_rx: Receiver<FedResult<CallOutcome>>,
+        expires: Instant,
+        name: &str,
+    ) -> FedResult<CallOutcome> {
+        let remaining = expires.saturating_duration_since(Instant::now());
+        match reply_rx.recv_timeout(remaining) {
+            Ok(result) => result,
+            Err(RecvTimeoutError::Timeout) => Err(FedError::timeout(format!(
+                "deadline expired waiting for {name}"
+            ))),
+            // Worker dropped the job: its deadline expired in the queue.
+            Err(RecvTimeoutError::Disconnected) => Err(FedError::timeout(format!(
+                "deadline expired before {name} was dequeued"
+            ))),
+        }
+    }
+
+    /// A consistent-enough snapshot of the front's counters.
+    pub fn stats(&self) -> FrontStats {
+        FrontStats {
+            accepted: self.stats.accepted.load(Ordering::Relaxed),
+            completed: self.stats.completed.load(Ordering::Relaxed),
+            shed: self.stats.shed.load(Ordering::Relaxed),
+            expired_in_queue: self.stats.expired_in_queue.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of worker threads serving this front.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Drop for ServerFront {
+    /// Graceful shutdown: close the queue (workers see `Err` once the
+    /// already-admitted jobs are drained) and join every worker.
+    fn drop(&mut self) {
+        // Replace the live sender with a dummy one so the real sender is
+        // dropped and the channel disconnects.
+        let (dummy, _) = sync_channel(1);
+        drop(std::mem::replace(&mut self.queue, dummy));
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ServerFront {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerFront")
+            .field("workers", &self.workers.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+fn worker_loop(server: &IntegrationServer, rx: &Arc<Mutex<Receiver<Job>>>, stats: &StatCells) {
+    loop {
+        // Hold the receiver lock only for the dequeue itself, never while
+        // executing — otherwise the pool would serialize.
+        let job = match rx.lock().recv() {
+            Ok(job) => job,
+            Err(_) => return, // front dropped, queue drained
+        };
+        if Instant::now() >= job.deadline {
+            // Expired while queued: drop the reply sender; the client's
+            // recv sees a disconnect and reports a timeout.
+            stats.expired_in_queue.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        let result = server.call(&job.name, &job.args);
+        stats.completed.fetch_add(1, Ordering::Relaxed);
+        // The client may have timed out and dropped its receiver; a failed
+        // send is fine.
+        let _ = job.reply.send(result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::ArchitectureKind;
+    use crate::paper_functions;
+    use crate::server::IntegrationConfig;
+    use fedwf_appsys::DataGenConfig;
+
+    fn front_server() -> Arc<IntegrationServer> {
+        let config = IntegrationConfig::default()
+            .with_architecture(ArchitectureKind::Wfms)
+            .with_data(DataGenConfig::tiny());
+        let server = Arc::new(IntegrationServer::new(config).unwrap());
+        server.boot();
+        server.deploy(&paper_functions::get_supp_qual()).unwrap();
+        server
+    }
+
+    fn qual_args(server: &IntegrationServer) -> Vec<Value> {
+        vec![Value::str(server.scenario().well_known_supplier_name())]
+    }
+
+    #[test]
+    fn front_serves_calls() {
+        let server = front_server();
+        let front = ServerFront::start(server.clone(), FrontConfig::default());
+        let outcome = front.call("GetSuppQual", &qual_args(&server)).unwrap();
+        assert_eq!(outcome.table.value(0, "Qual"), Some(&Value::Int(93)));
+        let stats = front.stats();
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.shed, 0);
+    }
+
+    #[test]
+    fn front_propagates_execution_errors() {
+        let server = front_server();
+        let front = ServerFront::start(server, FrontConfig::default());
+        let err = front.call("NotDeployed", &[]).unwrap_err();
+        assert!(err.to_string().contains("not deployed"), "{err}");
+    }
+
+    #[test]
+    fn many_clients_all_get_answers() {
+        let server = front_server();
+        let front = Arc::new(ServerFront::start(
+            server.clone(),
+            FrontConfig::default().with_workers(4).with_queue_depth(256),
+        ));
+        let args = qual_args(&server);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let front = Arc::clone(&front);
+            let args = args.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..5 {
+                    let outcome = front.call("GetSuppQual", &args).expect("front call");
+                    assert_eq!(outcome.table.value(0, "Qual"), Some(&Value::Int(93)));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("client panicked");
+        }
+        let stats = front.stats();
+        assert_eq!(stats.accepted, 40);
+        assert_eq!(stats.completed, 40);
+    }
+
+    #[test]
+    fn full_queue_sheds_with_typed_overload_error() {
+        let server = front_server();
+        // One worker, depth-1 queue, 16 simultaneous clients: some calls
+        // run, the rest must come back as typed overload errors — never a
+        // block, never a panic.
+        let front = Arc::new(ServerFront::start(
+            server.clone(),
+            FrontConfig::default().with_workers(1).with_queue_depth(1),
+        ));
+        let args = qual_args(&server);
+        let mut clients = Vec::new();
+        for _ in 0..16 {
+            let front = Arc::clone(&front);
+            let args = args.clone();
+            clients.push(std::thread::spawn(move || front.call("GetSuppQual", &args)));
+        }
+        let results: Vec<_> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+        let ok = results.iter().filter(|r| r.is_ok()).count();
+        let shed = results
+            .iter()
+            .filter(|r| matches!(r, Err(e) if e.is_overloaded()))
+            .count();
+        assert_eq!(ok + shed, 16, "only success or typed overload: {results:?}");
+        assert!(ok >= 1, "at least the parked call must succeed");
+        let stats = front.stats();
+        assert_eq!(stats.shed as usize, shed);
+        assert_eq!(stats.accepted as usize, ok);
+    }
+
+    #[test]
+    fn zero_deadline_times_out() {
+        let server = front_server();
+        let front = ServerFront::start(server.clone(), FrontConfig::default());
+        let err = front
+            .call_with_deadline("GetSuppQual", &qual_args(&server), Duration::ZERO)
+            .unwrap_err();
+        assert!(err.is_timeout(), "{err}");
+    }
+
+    #[test]
+    fn drop_joins_workers_and_drains_queue() {
+        let server = front_server();
+        let front = ServerFront::start(
+            server.clone(),
+            FrontConfig::default().with_workers(2).with_queue_depth(8),
+        );
+        for _ in 0..4 {
+            front.call("GetSuppQual", &qual_args(&server)).unwrap();
+        }
+        drop(front); // must not hang
+    }
+}

@@ -27,6 +27,9 @@
 //!   systems, controller, wrapper, WfMS and FDBS together, with the
 //!   warm-up environment model (boots, plan cache, template cache) that
 //!   reproduces Section 4's cold / after-other / repeated tiers;
+//! * [`front`] — the [`ServerFront`] serving layer: a bounded admission
+//!   queue and worker pool letting N client threads call the server
+//!   concurrently, with per-call deadlines and typed load shedding;
 //! * [`paper_functions`] — the federated functions of the paper's running
 //!   examples (`BuySuppComp`, `GibKompNr`, `GetNumberSupp1234`,
 //!   `GetSubCompDiscounts`, `GetSuppQual`, `GetSuppQualRelia`,
@@ -59,6 +62,7 @@
 
 pub mod arch;
 pub mod classify;
+pub mod front;
 pub mod mapping;
 pub mod paper_functions;
 pub mod server;
@@ -68,5 +72,6 @@ pub use arch::{
     SqlUdtfArchitecture, WfmsArchitecture,
 };
 pub use classify::{classify, ComplexityCase};
+pub use front::{FrontConfig, FrontStats, ServerFront};
 pub use mapping::{ArgSource, CyclicSpec, FedOutput, LocalCall, MappingSpec};
 pub use server::{CallOutcome, IntegrationConfig, IntegrationServer};

@@ -178,10 +178,7 @@ impl MappingSpec {
     pub fn new(name: &str, params: &[(&str, DataType)]) -> MappingSpecBuilder {
         MappingSpecBuilder {
             name: Ident::new(name),
-            params: params
-                .iter()
-                .map(|(n, t)| (Ident::new(*n), *t))
-                .collect(),
+            params: params.iter().map(|(n, t)| (Ident::new(*n), *t)).collect(),
             calls: vec![],
             cyclic: None,
         }
@@ -206,9 +203,10 @@ impl MappingSpec {
                 if placed[i] {
                     continue;
                 }
-                let ready = call.control_deps().iter().all(|dep| {
-                    order.iter().any(|c| &c.id == *dep)
-                });
+                let ready = call
+                    .control_deps()
+                    .iter()
+                    .all(|dep| order.iter().any(|c| &c.id == *dep));
                 if ready {
                     placed[i] = true;
                     order.push(call);
@@ -292,10 +290,7 @@ impl MappingSpec {
             }
             for dep in &c.after {
                 if self.call(dep).is_none() {
-                    return err(format!(
-                        "call {} is ordered after unknown call {dep}",
-                        c.id
-                    ));
+                    return err(format!("call {} is ordered after unknown call {dep}", c.id));
                 }
             }
         }
@@ -363,7 +358,8 @@ impl MappingSpecBuilder {
         args: Vec<ArgSource>,
         after: &[&str],
     ) -> Self {
-        self.calls.push(LocalCall::new(id, function, args).after(after));
+        self.calls
+            .push(LocalCall::new(id, function, args).after(after));
         self
     }
 

@@ -68,7 +68,11 @@ pub fn get_supp_qual() -> MappingSpec {
             "GetSupplierNo",
             vec![ArgSource::param("SupplierName")],
         )
-        .call("GQ", "GetQuality", vec![ArgSource::output("GSN", "SupplierNo")])
+        .call(
+            "GQ",
+            "GetQuality",
+            vec![ArgSource::output("GSN", "SupplierNo")],
+        )
         .output_from_call("GQ")
         .expect("static spec")
 }
@@ -81,11 +85,7 @@ pub fn get_supp_qual() -> MappingSpec {
 pub fn get_supp_qual_relia() -> MappingSpec {
     MappingSpec::new("GetSuppQualRelia", &[("SupplierNo", DataType::Int)])
         .call("GQ", "GetQuality", vec![ArgSource::param("SupplierNo")])
-        .call(
-            "GR",
-            "GetReliability",
-            vec![ArgSource::param("SupplierNo")],
-        )
+        .call("GR", "GetReliability", vec![ArgSource::param("SupplierNo")])
         .output_row(vec![
             OutputField::new("Qual", DataType::Int, ArgSource::output("GQ", "Qual")),
             OutputField::new("Relia", DataType::Int, ArgSource::output("GR", "Relia")),
@@ -112,7 +112,12 @@ pub fn get_no_supp_comp() -> MappingSpec {
         "GetSupplierNo",
         vec![ArgSource::param("SupplierName")],
     )
-    .call_after("GCN", "GetCompNo", vec![ArgSource::param("CompName")], &["GSN"])
+    .call_after(
+        "GCN",
+        "GetCompNo",
+        vec![ArgSource::param("CompName")],
+        &["GSN"],
+    )
     .call(
         "GN",
         "GetNumber",
@@ -134,7 +139,11 @@ pub fn get_supp_scores() -> MappingSpec {
             "GetSupplierNo",
             vec![ArgSource::param("SupplierName")],
         )
-        .call("GQ", "GetQuality", vec![ArgSource::output("GSN", "SupplierNo")])
+        .call(
+            "GQ",
+            "GetQuality",
+            vec![ArgSource::output("GSN", "SupplierNo")],
+        )
         .call(
             "GR",
             "GetReliability",
@@ -158,11 +167,7 @@ pub fn buy_supp_comp() -> MappingSpec {
         ],
     )
     .call("GQ", "GetQuality", vec![ArgSource::param("SupplierNo")])
-    .call(
-        "GR",
-        "GetReliability",
-        vec![ArgSource::param("SupplierNo")],
-    )
+    .call("GR", "GetReliability", vec![ArgSource::param("SupplierNo")])
     .call(
         "GG",
         "GetGrade",

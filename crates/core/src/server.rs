@@ -1,19 +1,20 @@
 //! The integration server facade — "the middle tier" of Fig. 2.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use fedwf_appsys::{build_scenario, DataGenConfig, Scenario};
 use fedwf_fdbs::Fdbs;
-use fedwf_sim::{Breakdown, CostModel, EnvState, Meter};
 use fedwf_sim::env::Process;
+use fedwf_sim::{Breakdown, CostModel, EnvState, Meter};
+use fedwf_types::sync::{Mutex, RwLock};
 use fedwf_types::{FedError, FedResult, Ident, Table, Value};
 use fedwf_wrapper::{Controller, WfmsWrapper};
-use parking_lot::Mutex;
 
 use crate::arch::{
-    Architecture, ArchitectureKind, DeployedFunction, JavaUdtfArchitecture,
-    SimpleUdtfArchitecture, SqlUdtfArchitecture, WfmsArchitecture,
+    Architecture, ArchitectureKind, DeployedFunction, JavaUdtfArchitecture, SimpleUdtfArchitecture,
+    SqlUdtfArchitecture, WfmsArchitecture,
 };
 use crate::mapping::MappingSpec;
 
@@ -92,8 +93,21 @@ pub struct IntegrationServer {
     fdbs: Arc<Fdbs>,
     wrapper: Arc<WfmsWrapper>,
     controller: Controller,
-    deployed: Mutex<BTreeMap<Ident, Arc<DeployedFunction>>>,
+    /// Read-mostly catalog of deployed federated functions: every call
+    /// takes a shared read lock; only `deploy` writes.
+    deployed: RwLock<BTreeMap<Ident, Arc<DeployedFunction>>>,
+    /// Boot bookkeeping; only consulted while the environment is still
+    /// cold — the hot call path short-circuits on [`Self::all_booted`].
     env: Mutex<EnvState>,
+    /// Set once every process this configuration needs has booted; from
+    /// then on `charge_boots` is a single atomic load, no lock at all.
+    all_booted: AtomicBool,
+    /// Phase guard making cache-clear transitions atomic with respect to
+    /// in-flight calls: calls hold a shared read guard for their whole
+    /// duration, `clear_caches` takes the exclusive write side — so no
+    /// call can observe a half-cleared environment (e.g. plan cache
+    /// already cold while the template cache is still warm).
+    phase: RwLock<()>,
 }
 
 impl IntegrationServer {
@@ -114,8 +128,10 @@ impl IntegrationServer {
             fdbs,
             wrapper,
             controller,
-            deployed: Mutex::new(BTreeMap::new()),
+            deployed: RwLock::new(BTreeMap::new()),
             env: Mutex::new(EnvState::cold()),
+            all_booted: AtomicBool::new(false),
+            phase: RwLock::new(()),
         })
     }
 
@@ -170,7 +186,7 @@ impl IntegrationServer {
     pub fn deploy(&self, spec: &MappingSpec) -> FedResult<()> {
         let deployed = self.architecture().deploy(spec)?;
         self.deployed
-            .lock()
+            .write()
             .insert(spec.name.clone(), Arc::new(deployed));
         Ok(())
     }
@@ -188,17 +204,15 @@ impl IntegrationServer {
 
     pub fn deployed_function(&self, name: &str) -> FedResult<Arc<DeployedFunction>> {
         self.deployed
-            .lock()
+            .read()
             .get(&Ident::new(name))
             .cloned()
-            .ok_or_else(|| {
-                FedError::catalog(format!("federated function {name} is not deployed"))
-            })
+            .ok_or_else(|| FedError::catalog(format!("federated function {name} is not deployed")))
     }
 
     pub fn deployed_names(&self) -> Vec<String> {
         self.deployed
-            .lock()
+            .read()
             .keys()
             .map(|k| k.as_str().to_string())
             .collect()
@@ -206,7 +220,12 @@ impl IntegrationServer {
 
     /// Call a deployed federated function, booking boots for whatever is
     /// not yet running (cold-start tier) and returning the full accounting.
+    ///
+    /// Thread-safe and read-mostly: concurrent calls share the phase read
+    /// guard and the deployed-catalog read lock; once the environment is
+    /// booted, no exclusive lock is taken anywhere on this path.
     pub fn call(&self, name: &str, args: &[Value]) -> FedResult<CallOutcome> {
+        let _phase = self.phase.read();
         let function = self.deployed_function(name)?;
         let mut meter = Meter::new();
         self.charge_boots(&mut meter);
@@ -216,13 +235,20 @@ impl IntegrationServer {
 
     /// Run an arbitrary SQL statement against the FDBS (with boot charges).
     pub fn query(&self, sql: &str, params: &[(&str, Value)]) -> FedResult<CallOutcome> {
+        let _phase = self.phase.read();
         let mut meter = Meter::new();
         self.charge_boots(&mut meter);
         let table = self.fdbs.execute_with_params(sql, params, &mut meter)?;
         Ok(CallOutcome { table, meter })
     }
 
+    /// Charge boot costs for every not-yet-running process. Steady state
+    /// (everything booted) is a single atomic load — the hot call path of
+    /// a warmed-up server never takes the env lock.
     fn charge_boots(&self, meter: &mut Meter) {
+        if self.all_booted.load(Ordering::Acquire) {
+            return;
+        }
         let mut env = self.env.lock();
         let cost = &self.config.cost;
         env.ensure_booted(Process::Fdbs, cost, meter);
@@ -233,6 +259,9 @@ impl IntegrationServer {
         for name in self.scenario.registry.system_names() {
             env.ensure_booted(Process::AppSystem(name.to_string()), cost, meter);
         }
+        // Boots are monotonic (clear_caches keeps processes running), so
+        // the flag can never need to be unset again.
+        self.all_booted.store(true, Ordering::Release);
     }
 
     /// Pre-boot every process without measuring — the paper's measurements
@@ -246,7 +275,12 @@ impl IntegrationServer {
     /// Drop all warm state *except* process boots: plan cache and workflow
     /// template cache. The next call of each function is the paper's
     /// "after some other function has been invoked" tier.
+    ///
+    /// Atomic with respect to in-flight calls: the exclusive phase guard
+    /// waits for running calls to drain and blocks new ones until every
+    /// cache (plan, template, result, env) has been cleared together.
     pub fn clear_caches(&self) {
+        let _phase = self.phase.write();
         self.fdbs.clear_plan_cache();
         self.wrapper.clear_template_cache();
         self.wrapper.clear_result_cache();
@@ -399,7 +433,11 @@ mod tests {
                 "GetSupplierNo",
                 vec![ArgSource::param("SupplierName")],
             )
-            .call("GQ", "GetQuality", vec![ArgSource::output("GSN", "SupplierNo")])
+            .call(
+                "GQ",
+                "GetQuality",
+                vec![ArgSource::output("GSN", "SupplierNo")],
+            )
             .retry(3)
             .output_from_call("GQ")
             .unwrap();
@@ -411,9 +449,8 @@ mod tests {
                 .unwrap()
                 .inject_faults("GetQuality", 1);
         };
-        let args = |s: &IntegrationServer| {
-            vec![Value::str(s.scenario().well_known_supplier_name())]
-        };
+        let args =
+            |s: &IntegrationServer| vec![Value::str(s.scenario().well_known_supplier_name())];
 
         // WfMS architecture: the activity retries and the call succeeds.
         let wf = server(ArchitectureKind::Wfms);
@@ -516,10 +553,7 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for _ in 0..10 {
                     let outcome = s.call("BuySuppComp", &args).expect("concurrent call");
-                    assert_eq!(
-                        outcome.table.value(0, "Decision"),
-                        Some(&Value::str("YES"))
-                    );
+                    assert_eq!(outcome.table.value(0, "Decision"), Some(&Value::str("YES")));
                 }
             }));
         }

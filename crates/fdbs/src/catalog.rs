@@ -4,8 +4,8 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use fedwf_relstore::Database;
+use fedwf_types::sync::RwLock;
 use fedwf_types::{FedError, FedResult, Ident, SchemaRef};
-use parking_lot::RwLock;
 
 use crate::sqlmed::ForeignServer;
 use crate::udtf::Udtf;
@@ -212,9 +212,7 @@ mod tests {
         let cat = Catalog::new();
         let remote = Database::new("remote");
         let server = Arc::new(RelstoreServer::new("erp", Arc::new(remote)));
-        assert!(cat
-            .register_foreign_table("X", server, "Missing")
-            .is_err());
+        assert!(cat.register_foreign_table("X", server, "Missing").is_err());
     }
 
     #[test]

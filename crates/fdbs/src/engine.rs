@@ -5,10 +5,8 @@ use std::sync::Arc;
 
 use fedwf_sim::{Component, CostModel, Meter};
 use fedwf_sql::{parse_statement, parse_statements, Expr, SelectStmt, Statement};
-use fedwf_types::{
-    implicit_cast, DataType, FedError, FedResult, Ident, Row, Schema, Table, Value,
-};
-use parking_lot::RwLock;
+use fedwf_types::sync::RwLock;
+use fedwf_types::{implicit_cast, DataType, FedError, FedResult, Ident, Row, Schema, Table, Value};
 
 use crate::catalog::Catalog;
 use crate::exec::{execute_plan, invoke_udtf};
@@ -138,12 +136,7 @@ impl Fdbs {
 
     /// Call a registered table function directly — the entry point an
     /// application uses for a federated function outside a wider query.
-    pub fn call_function(
-        &self,
-        name: &str,
-        args: &[Value],
-        meter: &mut Meter,
-    ) -> FedResult<Table> {
+    pub fn call_function(&self, name: &str, args: &[Value], meter: &mut Meter) -> FedResult<Table> {
         let udtf = self.catalog.udtf(&Ident::new(name))?;
         invoke_udtf(self, &udtf, args, meter)
     }
@@ -185,9 +178,7 @@ impl Fdbs {
                 .with_host_params(param_defs)
                 .bind(select)?,
         );
-        self.plan_cache
-            .write()
-            .insert(cache_key, plan.clone());
+        self.plan_cache.write().insert(cache_key, plan.clone());
         Ok((plan, values))
     }
 
@@ -205,11 +196,7 @@ impl Fdbs {
             match cached {
                 Some(p) => p,
                 None => {
-                    meter.charge(
-                        Component::Fdbs,
-                        "Compile statement",
-                        self.cost.plan_compile,
-                    );
+                    meter.charge(Component::Fdbs, "Compile statement", self.cost.plan_compile);
                     let plan = Arc::new(
                         PlanBuilder::new(&self.catalog)
                             .with_function_context(udtf.name.clone(), udtf.params.clone())
@@ -246,8 +233,7 @@ impl Fdbs {
                     columns
                         .iter()
                         .map(|c| {
-                            let col =
-                                fedwf_types::Column::new(c.name.clone(), c.data_type);
+                            let col = fedwf_types::Column::new(c.name.clone(), c.data_type);
                             if c.not_null {
                                 col.not_null()
                             } else {
@@ -288,8 +274,7 @@ impl Fdbs {
                     cf.returns
                         .iter()
                         .map(|c| {
-                            let col =
-                                fedwf_types::Column::new(c.name.clone(), c.data_type);
+                            let col = fedwf_types::Column::new(c.name.clone(), c.data_type);
                             if c.not_null {
                                 col.not_null()
                             } else {
@@ -477,15 +462,13 @@ fn build_insert_row(
         }
         Some(cols) => {
             if values.len() != cols.len() {
-                return Err(FedError::bind(
-                    "INSERT column list and VALUES arity differ",
-                ));
+                return Err(FedError::bind("INSERT column list and VALUES arity differ"));
             }
             let mut row = vec![Value::Null; schema.len()];
             for (col, v) in cols.iter().zip(values) {
-                let idx = schema.index_of(col).ok_or_else(|| {
-                    FedError::bind(format!("unknown column {col} in INSERT"))
-                })?;
+                let idx = schema
+                    .index_of(col)
+                    .ok_or_else(|| FedError::bind(format!("unknown column {col} in INSERT")))?;
                 row[idx] = coerce(v, schema.columns()[idx].data_type)?;
             }
             Ok(Row::new(row))
@@ -506,11 +489,8 @@ mod tests {
             &mut m,
         )
         .unwrap();
-        f.execute(
-            "CREATE UNIQUE INDEX pk ON Suppliers (SupplierNo)",
-            &mut m,
-        )
-        .unwrap();
+        f.execute("CREATE UNIQUE INDEX pk ON Suppliers (SupplierNo)", &mut m)
+            .unwrap();
         f.execute(
             "INSERT INTO Suppliers VALUES (1, 'Acme', 80), (2, 'Bolt', 95), (1234, 'Precision', 87)",
             &mut m,
@@ -522,7 +502,10 @@ mod tests {
             Arc::new(Schema::of(&[("Qual", DataType::Int)])),
             |args, _m| {
                 let n = args[0].as_i64().unwrap_or(0);
-                Ok(Table::scalar("Qual", Value::Int(if n == 1234 { 93 } else { 40 })))
+                Ok(Table::scalar(
+                    "Qual",
+                    Value::Int(if n == 1234 { 93 } else { 40 }),
+                ))
             },
         ))
         .unwrap();
@@ -532,7 +515,10 @@ mod tests {
             Arc::new(Schema::of(&[("Relia", DataType::Int)])),
             |args, _m| {
                 let n = args[0].as_i64().unwrap_or(0);
-                Ok(Table::scalar("Relia", Value::Int(if n == 1234 { 87 } else { 30 })))
+                Ok(Table::scalar(
+                    "Relia",
+                    Value::Int(if n == 1234 { 87 } else { 30 }),
+                ))
             },
         ))
         .unwrap();
@@ -639,7 +625,10 @@ mod tests {
         let f = fdbs();
         let mut m = Meter::new();
         let t = f
-            .execute("UPDATE Suppliers SET Relia = 99 WHERE SupplierNo = 2", &mut m)
+            .execute(
+                "UPDATE Suppliers SET Relia = 99 WHERE SupplierNo = 2",
+                &mut m,
+            )
             .unwrap();
         assert_eq!(t.value(0, "rows"), Some(&Value::Int(1)));
         let t = f
@@ -658,11 +647,8 @@ mod tests {
     fn insert_with_column_list_fills_nulls() {
         let f = fdbs();
         let mut m = Meter::new();
-        f.execute(
-            "INSERT INTO Suppliers (SupplierNo) VALUES (77)",
-            &mut m,
-        )
-        .unwrap();
+        f.execute("INSERT INTO Suppliers (SupplierNo) VALUES (77)", &mut m)
+            .unwrap();
         let t = f
             .execute("SELECT Name FROM Suppliers WHERE SupplierNo = 77", &mut m)
             .unwrap();
@@ -697,7 +683,8 @@ mod tests {
             &mut m,
         )
         .unwrap();
-        f.execute("SELECT T.Q FROM TABLE (F1(1)) AS T", &mut m).unwrap();
+        f.execute("SELECT T.Q FROM TABLE (F1(1)) AS T", &mut m)
+            .unwrap();
         f.execute("DROP FUNCTION F1", &mut m).unwrap();
         assert!(f
             .execute("SELECT T.Q FROM TABLE (F1(1)) AS T", &mut m)
@@ -724,22 +711,19 @@ mod tests {
                 &mut m,
             )
             .unwrap();
-        let text: Vec<String> = t
-            .rows()
-            .iter()
-            .map(|r| r.values()[0].render())
-            .collect();
+        let text: Vec<String> = t.rows().iter().map(|r| r.values()[0].render()).collect();
         let joined = text.join("\n");
         assert!(joined.contains("Limit 5"), "{joined}");
         assert!(joined.contains("Sort"), "{joined}");
         assert!(joined.contains("Project [Name, Qual]"), "{joined}");
-        assert!(joined.contains("ScanLocal Suppliers AS S [pushdown:"), "{joined}");
+        assert!(
+            joined.contains("ScanLocal Suppliers AS S [pushdown:"),
+            "{joined}"
+        );
         assert!(joined.contains("TableFunction GetQuality"), "{joined}");
         assert!(joined.contains("[lateral]"), "{joined}");
         // EXPLAIN of DML is rejected.
-        assert!(f
-            .execute("EXPLAIN DELETE FROM Suppliers", &mut m)
-            .is_err());
+        assert!(f.execute("EXPLAIN DELETE FROM Suppliers", &mut m).is_err());
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! The plan executor: a materializing pipeline over the lateral chain.
 
 use fedwf_sim::{Component, Meter};
-use fedwf_types::{
-    implicit_cast, FedError, FedResult, ResultExt, Row, Table, Value,
-};
+use fedwf_types::{implicit_cast, FedError, FedResult, ResultExt, Row, Table, Value};
 
 use crate::engine::Fdbs;
 use crate::plan::{self as fedwf_plan, FromStep, Plan};
@@ -295,18 +293,13 @@ fn aggregate_rows(
                             if collected.is_empty() {
                                 Value::Null
                             } else {
-                                let as_f: f64 =
-                                    collected.iter().filter_map(Value::as_f64).sum();
+                                let as_f: f64 = collected.iter().filter_map(Value::as_f64).sum();
                                 match (f, schema_col.data_type) {
-                                    (AggFn::Avg, _) => {
-                                        Value::Double(as_f / collected.len() as f64)
-                                    }
+                                    (AggFn::Avg, _) => Value::Double(as_f / collected.len() as f64),
                                     (_, fedwf_types::DataType::Double) => Value::Double(as_f),
                                     _ => {
-                                        let as_i: i64 = collected
-                                            .iter()
-                                            .filter_map(Value::as_i64)
-                                            .sum();
+                                        let as_i: i64 =
+                                            collected.iter().filter_map(Value::as_i64).sum();
                                         Value::BigInt(as_i)
                                     }
                                 }
@@ -317,9 +310,7 @@ fn aggregate_rows(
                             .cloned()
                             .reduce(|a, b| {
                                 let keep_a = match f {
-                                    AggFn::Min => {
-                                        a.index_cmp(&b) != std::cmp::Ordering::Greater
-                                    }
+                                    AggFn::Min => a.index_cmp(&b) != std::cmp::Ordering::Greater,
                                     _ => a.index_cmp(&b) != std::cmp::Ordering::Less,
                                 };
                                 if keep_a {
@@ -385,15 +376,15 @@ pub fn invoke_udtf(
         .iter()
         .zip(&udtf.params)
         .map(|(v, (pname, ptype))| {
-            implicit_cast(v, *ptype).map_err(|e| {
-                FedError::execution(format!("argument {pname} of {}: {e}", udtf.name))
-            })
+            implicit_cast(v, *ptype)
+                .map_err(|e| FedError::execution(format!("argument {pname} of {}: {e}", udtf.name)))
         })
         .collect::<FedResult<_>>()?;
 
     let raw = match &udtf.kind {
-        UdtfKind::Native(body) => body(&bound, meter)
-            .context(format!("invoking table function {}", udtf.name))?,
+        UdtfKind::Native(body) => {
+            body(&bound, meter).context(format!("invoking table function {}", udtf.name))?
+        }
         UdtfKind::Sql(body) => fdbs
             .execute_function_body(udtf, body, &bound, meter)
             .context(format!("invoking SQL table function {}", udtf.name))?,

@@ -36,9 +36,15 @@ pub use fedwf_sql::BinaryOp;
 #[derive(Debug, Clone, PartialEq)]
 pub enum BoundExpr {
     /// Column `index` of the executor's current row.
-    Column { index: usize, data_type: DataType },
+    Column {
+        index: usize,
+        data_type: DataType,
+    },
     /// Parameter slot (function parameter or host variable).
-    Param { index: usize, data_type: DataType },
+    Param {
+        index: usize,
+        data_type: DataType,
+    },
     Literal(Value),
     Binary {
         left: Box<BoundExpr>,
@@ -171,9 +177,7 @@ impl BoundExpr {
                     .collect::<FedResult<_>>()?;
                 eval_scalar(*f, &vals)
             }
-            BoundExpr::Binary { left, op, right } => {
-                eval_binary(*op, left, right, row, params)
-            }
+            BoundExpr::Binary { left, op, right } => eval_binary(*op, left, right, row, params),
         }
     }
 
@@ -217,7 +221,9 @@ fn eval_scalar(f: ScalarFn, args: &[Value]) -> FedResult<Value> {
                 Value::Int(x) => Ok(Value::Int(x.abs())),
                 Value::BigInt(x) => Ok(Value::BigInt(x.abs())),
                 Value::Double(x) => Ok(Value::Double(x.abs())),
-                other => Err(FedError::execution(format!("ABS expects a number, got {other}"))),
+                other => Err(FedError::execution(format!(
+                    "ABS expects a number, got {other}"
+                ))),
             }
         }
     }
@@ -274,9 +280,9 @@ fn eval_binary(
     }
     match op {
         Eq | NotEq | Lt | LtEq | Gt | GtEq => {
-            let ord = l.sql_cmp(&r).ok_or_else(|| {
-                FedError::execution(format!("cannot compare {l} with {r}"))
-            })?;
+            let ord = l
+                .sql_cmp(&r)
+                .ok_or_else(|| FedError::execution(format!("cannot compare {l} with {r}")))?;
             let b = match op {
                 Eq => ord == std::cmp::Ordering::Equal,
                 NotEq => ord != std::cmp::Ordering::Equal,
@@ -325,8 +331,8 @@ fn eval_arith(op: BinaryOp, l: &Value, r: &Value) -> FedResult<Value> {
         .ok_or_else(|| FedError::execution("integer arithmetic overflow"))?;
         if out_rank == 0 {
             // INT op INT stays INT (DB2); overflow promotes is NOT done.
-            let narrowed = i32::try_from(res)
-                .map_err(|_| FedError::execution("INT arithmetic overflow"))?;
+            let narrowed =
+                i32::try_from(res).map_err(|_| FedError::execution("INT arithmetic overflow"))?;
             Ok(Value::Int(narrowed))
         } else {
             Ok(Value::BigInt(res))
@@ -403,19 +409,27 @@ mod tests {
         let f = lit(false);
         let n = lit(Value::Null);
         assert_eq!(
-            bin(f.clone(), BinaryOp::And, n.clone()).eval(&[], &[]).unwrap(),
+            bin(f.clone(), BinaryOp::And, n.clone())
+                .eval(&[], &[])
+                .unwrap(),
             Value::Boolean(false)
         );
         assert_eq!(
-            bin(n.clone(), BinaryOp::And, t.clone()).eval(&[], &[]).unwrap(),
+            bin(n.clone(), BinaryOp::And, t.clone())
+                .eval(&[], &[])
+                .unwrap(),
             Value::Null
         );
         assert_eq!(
-            bin(t.clone(), BinaryOp::Or, n.clone()).eval(&[], &[]).unwrap(),
+            bin(t.clone(), BinaryOp::Or, n.clone())
+                .eval(&[], &[])
+                .unwrap(),
             Value::Boolean(true)
         );
         assert_eq!(
-            bin(n.clone(), BinaryOp::Or, f.clone()).eval(&[], &[]).unwrap(),
+            bin(n.clone(), BinaryOp::Or, f.clone())
+                .eval(&[], &[])
+                .unwrap(),
             Value::Null
         );
     }
@@ -427,7 +441,9 @@ mod tests {
             Value::Int(5)
         );
         assert_eq!(
-            bin(lit(2i64), BinaryOp::Mul, lit(3)).eval(&[], &[]).unwrap(),
+            bin(lit(2i64), BinaryOp::Mul, lit(3))
+                .eval(&[], &[])
+                .unwrap(),
             Value::BigInt(6)
         );
         assert_eq!(
@@ -494,7 +510,9 @@ mod tests {
     fn concat() {
         let e = bin(lit("Buy"), BinaryOp::Concat, lit("SuppComp"));
         assert_eq!(e.eval(&[], &[]).unwrap(), Value::str("BuySuppComp"));
-        assert!(bin(lit(1), BinaryOp::Concat, lit("x")).eval(&[], &[]).is_err());
+        assert!(bin(lit(1), BinaryOp::Concat, lit("x"))
+            .eval(&[], &[])
+            .is_err());
     }
 
     #[test]
@@ -511,11 +529,7 @@ mod tests {
 
     #[test]
     fn column_indexes_collected() {
-        let e = bin(
-            col(2, DataType::Int),
-            BinaryOp::Eq,
-            col(5, DataType::Int),
-        );
+        let e = bin(col(2, DataType::Int), BinaryOp::Eq, col(5, DataType::Int));
         assert_eq!(e.column_indexes(), vec![2, 5]);
     }
 }

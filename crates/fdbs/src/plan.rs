@@ -13,9 +13,7 @@ use std::sync::Arc;
 
 use fedwf_relstore::{CmpOp, Predicate};
 use fedwf_sql::{BinaryOp, Expr, FromItem, SelectItem, SelectStmt, UnaryOp};
-use fedwf_types::{
-    Column, DataType, FedError, FedResult, Ident, QualifiedName, Schema, SchemaRef,
-};
+use fedwf_types::{Column, DataType, FedError, FedResult, Ident, QualifiedName, Schema, SchemaRef};
 
 use crate::catalog::{Catalog, TableOrigin};
 use crate::expr::{BoundExpr, ScalarFn};
@@ -425,7 +423,9 @@ impl<'a> PlanBuilder<'a> {
                 }
                 SelectItem::Expr { expr, alias } => {
                     let bound = fold(self.bind_expr(expr, &scope)?);
-                    let name = alias.clone().unwrap_or_else(|| derive_name(expr, projection.len()));
+                    let name = alias
+                        .clone()
+                        .unwrap_or_else(|| derive_name(expr, projection.len()));
                     projection.push((bound, name));
                 }
             }
@@ -441,10 +441,7 @@ impl<'a> PlanBuilder<'a> {
             projection
                 .iter()
                 .map(|(e, name)| {
-                    Column::new(
-                        name.clone(),
-                        e.data_type().unwrap_or(DataType::Varchar),
-                    )
+                    Column::new(name.clone(), e.data_type().unwrap_or(DataType::Varchar))
                 })
                 .collect(),
         ));
@@ -488,9 +485,7 @@ impl<'a> PlanBuilder<'a> {
                     "wildcards cannot appear in an aggregate projection",
                 ));
             };
-            let name = alias
-                .clone()
-                .unwrap_or_else(|| derive_name(expr, pos));
+            let name = alias.clone().unwrap_or_else(|| derive_name(expr, pos));
             // A top-level aggregate call?
             if let Expr::Function { name: fname, args } = expr {
                 if let Some(f) = AggFn::resolve(fname.as_str()) {
@@ -536,9 +531,7 @@ impl<'a> PlanBuilder<'a> {
                 .iter()
                 .map(|(col, name)| {
                     let dt = match col {
-                        AggColumn::Key(i) => {
-                            keys[*i].data_type().unwrap_or(DataType::Varchar)
-                        }
+                        AggColumn::Key(i) => keys[*i].data_type().unwrap_or(DataType::Varchar),
                         AggColumn::Agg { f, arg } => match f {
                             AggFn::Count => DataType::BigInt,
                             AggFn::Avg => DataType::Double,
@@ -608,9 +601,7 @@ impl<'a> PlanBuilder<'a> {
                     .iter()
                     .map(|a| Ok(fold(self.bind_expr(a, scope)?)))
                     .collect::<FedResult<_>>()?;
-                let independent = bound_args
-                    .iter()
-                    .all(|a| a.column_indexes().is_empty());
+                let independent = bound_args.iter().all(|a| a.column_indexes().is_empty());
                 Ok(FromStep::TableFunc {
                     udtf,
                     alias: alias.clone(),
@@ -822,12 +813,12 @@ pub fn fold(expr: BoundExpr) -> BoundExpr {
 fn to_storage_predicate(expr: &BoundExpr, offset: usize) -> Option<Predicate> {
     match expr {
         BoundExpr::Binary { left, op, right } => match op {
-            BinaryOp::And => Some(
-                to_storage_predicate(left, offset)?.and(to_storage_predicate(right, offset)?),
-            ),
-            BinaryOp::Or => Some(
-                to_storage_predicate(left, offset)?.or(to_storage_predicate(right, offset)?),
-            ),
+            BinaryOp::And => {
+                Some(to_storage_predicate(left, offset)?.and(to_storage_predicate(right, offset)?))
+            }
+            BinaryOp::Or => {
+                Some(to_storage_predicate(left, offset)?.or(to_storage_predicate(right, offset)?))
+            }
             BinaryOp::Eq
             | BinaryOp::NotEq
             | BinaryOp::Lt
@@ -936,9 +927,8 @@ mod tests {
     #[test]
     fn binds_lateral_table_functions() {
         let cat = catalog();
-        let stmt = select(
-            "SELECT GQ.Qual FROM Suppliers AS S, TABLE (GetQuality(S.SupplierNo)) AS GQ",
-        );
+        let stmt =
+            select("SELECT GQ.Qual FROM Suppliers AS S, TABLE (GetQuality(S.SupplierNo)) AS GQ");
         let plan = PlanBuilder::new(&cat).bind(&stmt).unwrap();
         assert_eq!(plan.steps.len(), 2);
         let FromStep::TableFunc {
@@ -981,9 +971,7 @@ mod tests {
     #[test]
     fn function_context_params_resolve() {
         let cat = catalog();
-        let stmt = select(
-            "SELECT GQ.Qual FROM TABLE (GetQuality(GetSuppQual.SupplierNo)) AS GQ",
-        );
+        let stmt = select("SELECT GQ.Qual FROM TABLE (GetQuality(GetSuppQual.SupplierNo)) AS GQ");
         let plan = PlanBuilder::new(&cat)
             .with_function_context(
                 "GetSuppQual",
@@ -1085,7 +1073,8 @@ mod tests {
         let stmt = select("SELECT * FROM Suppliers AS S, TABLE (GetQuality(S.SupplierNo)) AS GQ");
         let plan = PlanBuilder::new(&cat).bind(&stmt).unwrap();
         assert_eq!(plan.out_schema.len(), 3);
-        let stmt = select("SELECT GQ.* FROM Suppliers AS S, TABLE (GetQuality(S.SupplierNo)) AS GQ");
+        let stmt =
+            select("SELECT GQ.* FROM Suppliers AS S, TABLE (GetQuality(S.SupplierNo)) AS GQ");
         let plan = PlanBuilder::new(&cat).bind(&stmt).unwrap();
         assert_eq!(plan.out_schema.len(), 1);
     }

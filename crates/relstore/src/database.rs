@@ -2,8 +2,8 @@
 
 use std::collections::BTreeMap;
 
+use fedwf_types::sync::RwLock;
 use fedwf_types::{FedError, FedResult, Ident, Row, SchemaRef, Table, Value};
-use parking_lot::RwLock;
 
 use crate::index::IndexKind;
 use crate::predicate::Predicate;
@@ -206,8 +206,11 @@ mod tests {
     #[test]
     fn create_insert_scan() {
         let db = db();
-        db.insert("Components", Row::new(vec![Value::Int(1), Value::str("bolt")]))
-            .unwrap();
+        db.insert(
+            "Components",
+            Row::new(vec![Value::Int(1), Value::str("bolt")]),
+        )
+        .unwrap();
         let t = db.scan_all("Components").unwrap();
         assert_eq!(t.row_count(), 1);
         assert!(db.has_table("components")); // case-insensitive
@@ -257,11 +260,7 @@ mod tests {
             .update_where("Components", &Predicate::True, "CompNo", Value::Int(7))
             .is_err());
         let t = db.scan_all("Components").unwrap();
-        let keys: Vec<_> = t
-            .rows()
-            .iter()
-            .map(|r| r.values()[0].clone())
-            .collect();
+        let keys: Vec<_> = t.rows().iter().map(|r| r.values()[0].clone()).collect();
         assert_eq!(keys, vec![Value::Int(1), Value::Int(2)]);
     }
 

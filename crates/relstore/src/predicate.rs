@@ -104,21 +104,21 @@ impl Predicate {
         match self {
             Predicate::True => Ok(Some(true)),
             Predicate::Compare { column, op, value } => {
-                let cell = row
-                    .get(*column)
-                    .ok_or_else(|| FedError::storage(format!("column index {column} out of range")))?;
+                let cell = row.get(*column).ok_or_else(|| {
+                    FedError::storage(format!("column index {column} out of range"))
+                })?;
                 Ok(cell.sql_cmp(value).map(|ord| op.evaluate(ord)))
             }
             Predicate::IsNull(column) => {
-                let cell = row
-                    .get(*column)
-                    .ok_or_else(|| FedError::storage(format!("column index {column} out of range")))?;
+                let cell = row.get(*column).ok_or_else(|| {
+                    FedError::storage(format!("column index {column} out of range"))
+                })?;
                 Ok(Some(cell.is_null()))
             }
             Predicate::IsNotNull(column) => {
-                let cell = row
-                    .get(*column)
-                    .ok_or_else(|| FedError::storage(format!("column index {column} out of range")))?;
+                let cell = row.get(*column).ok_or_else(|| {
+                    FedError::storage(format!("column index {column} out of range"))
+                })?;
                 Ok(Some(!cell.is_null()))
             }
             Predicate::And(a, b) => {
@@ -235,10 +235,7 @@ mod tests {
             unknown.clone().and(falsity.clone()).evaluate3(&r).unwrap(),
             Some(false)
         );
-        assert_eq!(
-            unknown.clone().or(truth).evaluate3(&r).unwrap(),
-            Some(true)
-        );
+        assert_eq!(unknown.clone().or(truth).evaluate3(&r).unwrap(), Some(true));
         assert_eq!(unknown.or(falsity).evaluate3(&r).unwrap(), None);
     }
 

@@ -262,7 +262,8 @@ mod tests {
             ("Reliability", DataType::Int),
         ]));
         let mut t = StoredTable::new("Suppliers", schema);
-        t.create_index("pk", "SupplierNo", IndexKind::Unique).unwrap();
+        t.create_index("pk", "SupplierNo", IndexKind::Unique)
+            .unwrap();
         t.create_index("by_name", "Name", IndexKind::NonUnique)
             .unwrap();
         for (no, name, rel) in [(1, "Acme", 80), (2, "Bolt", 95), (3, "Cog", 70)] {
@@ -289,7 +290,11 @@ mod tests {
     fn unique_index_enforced_with_rollback() {
         let mut t = suppliers();
         let err = t
-            .insert(Row::new(vec![Value::Int(1), Value::str("Dup"), Value::Int(1)]))
+            .insert(Row::new(vec![
+                Value::Int(1),
+                Value::str("Dup"),
+                Value::Int(1),
+            ]))
             .unwrap_err();
         assert!(err.to_string().contains("unique"));
         // The failed insert must not leave residue in the name index.
@@ -363,7 +368,9 @@ mod tests {
     #[test]
     fn create_index_on_unknown_column_fails() {
         let mut t = suppliers();
-        assert!(t.create_index("x", "Missing", IndexKind::NonUnique).is_err());
+        assert!(t
+            .create_index("x", "Missing", IndexKind::NonUnique)
+            .is_err());
         assert!(t.create_index("pk", "Name", IndexKind::NonUnique).is_err());
     }
 

@@ -5,8 +5,9 @@
 use std::sync::Arc;
 
 use fedwf_relstore::{CmpOp, Database, IndexKind, Predicate};
+use fedwf_types::check;
+use fedwf_types::rng::Rng;
 use fedwf_types::{DataType, Row, Schema, Value};
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -19,19 +20,21 @@ enum Op {
     CountAll,
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    let key = 0i32..30;
-    let payload = -50i32..50;
-    prop_oneof![
-        (key.clone(), payload.clone()).prop_map(|(key, payload)| Op::Insert { key, payload }),
-        key.clone().prop_map(Op::DeleteWhereKeyEq),
-        payload.clone().prop_map(Op::DeleteWherePayloadLt),
-        (key.clone(), payload.clone())
-            .prop_map(|(key, new_payload)| Op::UpdatePayload { key, new_payload }),
-        key.clone().prop_map(Op::ScanKeyEq),
-        payload.prop_map(Op::ScanPayloadGtEq),
-        Just(Op::CountAll),
-    ]
+fn gen_op(rng: &mut Rng) -> Op {
+    let key = rng.range_i32(0, 29);
+    let payload = rng.range_i32(-50, 49);
+    match rng.range_usize(0, 7) {
+        0 => Op::Insert { key, payload },
+        1 => Op::DeleteWhereKeyEq(key),
+        2 => Op::DeleteWherePayloadLt(payload),
+        3 => Op::UpdatePayload {
+            key,
+            new_payload: payload,
+        },
+        4 => Op::ScanKeyEq(key),
+        5 => Op::ScanPayloadGtEq(payload),
+        _ => Op::CountAll,
+    }
 }
 
 /// The oracle: rows as (key, payload) pairs with the same uniqueness rule.
@@ -50,10 +53,12 @@ impl Oracle {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-    #[test]
-    fn storage_agrees_with_oracle(ops in prop::collection::vec(arb_op(), 1..60)) {
+#[test]
+fn storage_agrees_with_oracle() {
+    check::cases(128, |rng| {
+        let n_ops = rng.range_usize(1, 60);
+        let ops: Vec<Op> = (0..n_ops).map(|_| gen_op(rng)).collect();
+
         let db = Database::new("model");
         db.create_table(
             "T",
@@ -61,30 +66,27 @@ proptest! {
         )
         .unwrap();
         db.create_index("T", "pk", "k", IndexKind::Unique).unwrap();
-        db.create_index("T", "by_p", "p", IndexKind::NonUnique).unwrap();
+        db.create_index("T", "by_p", "p", IndexKind::NonUnique)
+            .unwrap();
         let mut oracle = Oracle::default();
 
         for op in &ops {
             match op {
                 Op::Insert { key, payload } => {
                     let expected_ok = oracle.insert(*key, *payload);
-                    let actual = db.insert(
-                        "T",
-                        Row::new(vec![Value::Int(*key), Value::Int(*payload)]),
-                    );
-                    prop_assert_eq!(
+                    let actual =
+                        db.insert("T", Row::new(vec![Value::Int(*key), Value::Int(*payload)]));
+                    assert_eq!(
                         actual.is_ok(),
                         expected_ok,
-                        "insert({},{}) divergence",
-                        key,
-                        payload
+                        "insert({key},{payload}) divergence"
                     );
                 }
                 Op::DeleteWhereKeyEq(key) => {
                     let expected = oracle.rows.iter().filter(|(k, _)| k == key).count();
                     oracle.rows.retain(|(k, _)| k != key);
                     let actual = db.delete_where("T", &Predicate::eq(0, *key)).unwrap();
-                    prop_assert_eq!(actual, expected);
+                    assert_eq!(actual, expected);
                 }
                 Op::DeleteWherePayloadLt(bound) => {
                     let expected = oracle.rows.iter().filter(|(_, p)| p < bound).count();
@@ -92,7 +94,7 @@ proptest! {
                     let actual = db
                         .delete_where("T", &Predicate::cmp(1, CmpOp::Lt, *bound))
                         .unwrap();
-                    prop_assert_eq!(actual, expected);
+                    assert_eq!(actual, expected);
                 }
                 Op::UpdatePayload { key, new_payload } => {
                     let mut expected = 0;
@@ -103,17 +105,12 @@ proptest! {
                         }
                     }
                     let actual = db
-                        .update_where(
-                            "T",
-                            &Predicate::eq(0, *key),
-                            "p",
-                            Value::Int(*new_payload),
-                        )
+                        .update_where("T", &Predicate::eq(0, *key), "p", Value::Int(*new_payload))
                         .unwrap();
-                    prop_assert_eq!(actual, expected);
+                    assert_eq!(actual, expected);
                 }
                 Op::ScanKeyEq(key) => {
-                    let expected: Vec<i32> = oracle
+                    let mut expected: Vec<i32> = oracle
                         .rows
                         .iter()
                         .filter(|(k, _)| k == key)
@@ -126,26 +123,22 @@ proptest! {
                         .map(|r| r.values()[1].as_i64().unwrap() as i32)
                         .collect();
                     actual.sort_unstable();
-                    let mut expected = expected;
                     expected.sort_unstable();
-                    prop_assert_eq!(actual, expected);
+                    assert_eq!(actual, expected);
                 }
                 Op::ScanPayloadGtEq(bound) => {
                     let expected = oracle.rows.iter().filter(|(_, p)| p >= bound).count();
                     let got = db
                         .scan("T", &Predicate::cmp(1, CmpOp::GtEq, *bound))
                         .unwrap();
-                    prop_assert_eq!(got.row_count(), expected);
+                    assert_eq!(got.row_count(), expected);
                 }
                 Op::CountAll => {
                     let got = db.scan_all("T").unwrap();
-                    prop_assert_eq!(got.row_count(), oracle.rows.len());
-                    prop_assert_eq!(
-                        db.table_stats("T").unwrap().row_count,
-                        oracle.rows.len()
-                    );
+                    assert_eq!(got.row_count(), oracle.rows.len());
+                    assert_eq!(db.table_stats("T").unwrap().row_count, oracle.rows.len());
                 }
             }
         }
-    }
+    });
 }

@@ -115,7 +115,12 @@ impl Breakdown {
             "{:label_width$} | {:>10} | {:>6}\n",
             "Step", "micros", "%"
         ));
-        out.push_str(&format!("{}-+-{}-+-{}\n", "-".repeat(label_width), "-".repeat(10), "-".repeat(6)));
+        out.push_str(&format!(
+            "{}-+-{}-+-{}\n",
+            "-".repeat(label_width),
+            "-".repeat(10),
+            "-".repeat(6)
+        ));
         for l in &self.lines {
             out.push_str(&format!(
                 "{:label_width$} | {:>10} | {:>5.1}%\n",
@@ -124,9 +129,7 @@ impl Breakdown {
         }
         out.push_str(&format!(
             "{:label_width$} | {:>10} | {:>5.1}%\n",
-            "TOTAL (elapsed)",
-            self.elapsed_us,
-            100.0
+            "TOTAL (elapsed)", self.elapsed_us, 100.0
         ));
         out
     }
@@ -166,7 +169,12 @@ mod tests {
         let b = Breakdown::by_step("t", m.charges(), m.now_us());
         assert_eq!(
             b.lines.iter().map(|l| l.label.as_str()).collect::<Vec<_>>(),
-            vec!["Start UDTF", "RMI call", "Process activities", "Finish UDTF"]
+            vec![
+                "Start UDTF",
+                "RMI call",
+                "Process activities",
+                "Finish UDTF"
+            ]
         );
         assert_eq!(b.elapsed_us, 100);
         assert!((b.lines[2].percent - 50.0).abs() < 1e-9);

@@ -152,7 +152,11 @@ impl MeterHandle {
 
     /// Snapshot of the charge log.
     pub fn charges(&self) -> Vec<Charge> {
-        self.inner.lock().expect("meter poisoned").charges().to_vec()
+        self.inner
+            .lock()
+            .expect("meter poisoned")
+            .charges()
+            .to_vec()
     }
 
     pub fn total_booked_us(&self) -> u64 {

@@ -383,9 +383,6 @@ mod tests {
     fn local_function_cost_scales_with_rows() {
         let m = CostModel::default();
         assert!(m.local_function_cost(100) > m.local_function_cost(1));
-        assert_eq!(
-            m.local_function_cost(0),
-            m.local_function_base
-        );
+        assert_eq!(m.local_function_cost(0), m.local_function_base);
     }
 }

@@ -22,7 +22,11 @@
 //!   mentions, with defaults calibrated so the published shapes emerge;
 //! * an [`EnvState`] remembers what has already been booted/compiled/loaded,
 //!   producing the paper's cold / after-other-function / repeated-call
-//!   effects.
+//!   effects;
+//! * a [`wall`] module supplies the one place real time *is* wanted — the
+//!   serving-layer throughput harness — with a [`WallClock`] and a
+//!   [`LatencyHistogram`] (QPS, p50/p95/p99), reported alongside, never in
+//!   place of, the virtual accounting.
 //!
 //! All engines in the workspace charge their work through this crate, so a
 //! single run yields both a result table and an auditable time breakdown.
@@ -31,8 +35,10 @@ pub mod breakdown;
 pub mod clock;
 pub mod cost;
 pub mod env;
+pub mod wall;
 
 pub use breakdown::{Breakdown, BreakdownLine};
 pub use clock::{Charge, Meter, MeterHandle};
 pub use cost::{Component, CostModel};
 pub use env::EnvState;
+pub use wall::{LatencyHistogram, WallClock};

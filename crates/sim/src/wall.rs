@@ -1,0 +1,201 @@
+//! Wall-clock measurement for the serving layer.
+//!
+//! The virtual [`Meter`](crate::Meter) answers the paper's question — *how
+//! much 2001-hardware time would this call have cost* — but says nothing
+//! about how well the reproduction itself scales across threads. The
+//! throughput harness needs real elapsed time: a [`WallClock`] for spans and
+//! a [`LatencyHistogram`] aggregating per-call latencies into the usual
+//! QPS / p50 / p95 / p99 summary.
+//!
+//! Both live alongside the virtual clock on purpose: a benchmark records
+//! one `Meter` per call *and* one wall-clock sample per call, so virtual
+//! cost and real concurrency behaviour can be reported side by side.
+
+use std::time::{Duration, Instant};
+
+/// A monotonic wall-clock span: start it, then ask how long it has run.
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    start: Instant,
+}
+
+impl WallClock {
+    /// Start a new span at the current instant.
+    pub fn start() -> WallClock {
+        WallClock {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since [`WallClock::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed whole microseconds since [`WallClock::start`].
+    pub fn elapsed_us(&self) -> u64 {
+        self.elapsed().as_micros() as u64
+    }
+}
+
+/// An exact latency histogram: every sample is kept (benchmark runs are
+/// small enough that sorting on demand beats maintaining buckets), and
+/// quantiles are read with the nearest-rank rule.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyHistogram {
+    samples_us: Vec<u64>,
+    sorted: bool,
+}
+
+impl LatencyHistogram {
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Record one latency sample in microseconds.
+    pub fn record_us(&mut self, us: u64) {
+        self.samples_us.push(us);
+        self.sorted = false;
+    }
+
+    /// Record one latency sample as a [`Duration`].
+    pub fn record(&mut self, d: Duration) {
+        self.record_us(d.as_micros() as u64);
+    }
+
+    /// Merge another histogram's samples into this one (used to combine
+    /// per-client histograms into a run-wide one).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        self.samples_us.extend_from_slice(&other.samples_us);
+        self.sorted = false;
+    }
+
+    pub fn count(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples_us.is_empty()
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        if self.samples_us.is_empty() {
+            return 0;
+        }
+        let sum: u128 = self.samples_us.iter().map(|&s| s as u128).sum();
+        (sum / self.samples_us.len() as u128) as u64
+    }
+
+    pub fn max_us(&self) -> u64 {
+        self.samples_us.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Nearest-rank quantile, `q` in `[0, 1]`. Returns 0 when empty.
+    pub fn quantile_us(&mut self, q: f64) -> u64 {
+        if self.samples_us.is_empty() {
+            return 0;
+        }
+        if !self.sorted {
+            self.samples_us.sort_unstable();
+            self.sorted = true;
+        }
+        let n = self.samples_us.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        self.samples_us[rank - 1]
+    }
+
+    pub fn p50_us(&mut self) -> u64 {
+        self.quantile_us(0.50)
+    }
+
+    pub fn p95_us(&mut self) -> u64 {
+        self.quantile_us(0.95)
+    }
+
+    pub fn p99_us(&mut self) -> u64 {
+        self.quantile_us(0.99)
+    }
+
+    /// Completed calls per second for a run that took `elapsed` of wall
+    /// time (0.0 for an empty or zero-length run).
+    pub fn qps(&self, elapsed: Duration) -> f64 {
+        let secs = elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.count() as f64 / secs
+    }
+
+    /// One-line summary: `n=… qps=… p50=…us p95=…us p99=…us`.
+    pub fn summary(&mut self, elapsed: Duration) -> String {
+        format!(
+            "n={} qps={:.0} p50={}us p95={}us p99={}us",
+            self.count(),
+            self.qps(elapsed),
+            self.p50_us(),
+            self.p95_us(),
+            self.p99_us()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_follow_nearest_rank() {
+        let mut h = LatencyHistogram::new();
+        for us in [10, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            h.record_us(us);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.p50_us(), 50);
+        assert_eq!(h.p95_us(), 100);
+        assert_eq!(h.p99_us(), 100);
+        assert_eq!(h.quantile_us(0.0), 10);
+        assert_eq!(h.quantile_us(1.0), 100);
+        assert_eq!(h.mean_us(), 55);
+        assert_eq!(h.max_us(), 100);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeroes() {
+        let mut h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.p50_us(), 0);
+        assert_eq!(h.mean_us(), 0);
+        assert_eq!(h.qps(Duration::from_secs(1)), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record_us(1);
+        b.record_us(3);
+        b.record_us(5);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.quantile_us(1.0), 5);
+    }
+
+    #[test]
+    fn qps_counts_per_second() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..500 {
+            h.record_us(100);
+        }
+        let qps = h.qps(Duration::from_millis(250));
+        assert!((qps - 2000.0).abs() < 1e-6, "{qps}");
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let w = WallClock::start();
+        let a = w.elapsed();
+        let b = w.elapsed();
+        assert!(b >= a);
+    }
+}

@@ -474,10 +474,7 @@ mod tests {
 
     #[test]
     fn strings_with_escaped_quotes() {
-        assert_eq!(
-            kinds("'it''s'"),
-            vec![TokenKind::String("it's".into())]
-        );
+        assert_eq!(kinds("'it''s'"), vec![TokenKind::String("it's".into())]);
         assert!(tokenize("'unterminated").is_err());
     }
 

@@ -741,10 +741,14 @@ mod tests {
     fn precedence_and_parentheses() {
         let e = parse_expression("a = 1 OR b = 2 AND c = 3").unwrap();
         // AND binds tighter.
-        let Expr::Binary { op, .. } = &e else { panic!() };
+        let Expr::Binary { op, .. } = &e else {
+            panic!()
+        };
         assert_eq!(*op, BinaryOp::Or);
         let e2 = parse_expression("(a = 1 OR b = 2) AND c = 3").unwrap();
-        let Expr::Binary { op, .. } = &e2 else { panic!() };
+        let Expr::Binary { op, .. } = &e2 else {
+            panic!()
+        };
         assert_eq!(*op, BinaryOp::And);
     }
 
@@ -769,9 +773,17 @@ mod tests {
         assert!(matches!(e, Expr::IsNull { negated: true, .. }));
         let e = parse_expression("NOT x = 1 AND y = 2").unwrap();
         // NOT applies to the comparison, not the conjunction.
-        let Expr::Binary { op, left, .. } = &e else { panic!() };
+        let Expr::Binary { op, left, .. } = &e else {
+            panic!()
+        };
         assert_eq!(*op, BinaryOp::And);
-        assert!(matches!(**left, Expr::Unary { op: UnaryOp::Not, .. }));
+        assert!(matches!(
+            **left,
+            Expr::Unary {
+                op: UnaryOp::Not,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -780,7 +792,10 @@ mod tests {
         assert_eq!(parse_expression("-2.5").unwrap(), Expr::lit(-2.5));
         assert!(matches!(
             parse_expression("-x").unwrap(),
-            Expr::Unary { op: UnaryOp::Neg, .. }
+            Expr::Unary {
+                op: UnaryOp::Neg,
+                ..
+            }
         ));
     }
 
@@ -804,17 +819,19 @@ mod tests {
 
     #[test]
     fn ddl_and_dml_statements() {
-        let s = parse_statement(
-            "CREATE TABLE Suppliers (SupplierNo INT NOT NULL, Name VARCHAR(30))",
-        )
-        .unwrap();
+        let s =
+            parse_statement("CREATE TABLE Suppliers (SupplierNo INT NOT NULL, Name VARCHAR(30))")
+                .unwrap();
         let Statement::CreateTable { columns, .. } = s else {
             panic!()
         };
         assert!(columns[0].not_null);
         assert!(!columns[1].not_null);
 
-        let s = parse_statement("INSERT INTO Suppliers (SupplierNo, Name) VALUES (1, 'Acme'), (2, 'Bolt')").unwrap();
+        let s = parse_statement(
+            "INSERT INTO Suppliers (SupplierNo, Name) VALUES (1, 'Acme'), (2, 'Bolt')",
+        )
+        .unwrap();
         let Statement::Insert { rows, columns, .. } = s else {
             panic!()
         };
@@ -894,10 +911,9 @@ mod tests {
 
     #[test]
     fn script_parsing() {
-        let stmts = parse_statements(
-            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;",
-        )
-        .unwrap();
+        let stmts =
+            parse_statements("CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;")
+                .unwrap();
         assert_eq!(stmts.len(), 3);
     }
 

@@ -22,7 +22,11 @@ impl fmt::Display for CastError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.from {
             Some(from) => write!(f, "cannot cast {} to {}: {}", from, self.to, self.detail),
-            None => write!(f, "cannot cast NULL-typed value to {}: {}", self.to, self.detail),
+            None => write!(
+                f,
+                "cannot cast NULL-typed value to {}: {}",
+                self.to, self.detail
+            ),
         }
     }
 }

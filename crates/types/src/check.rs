@@ -1,0 +1,60 @@
+//! A miniature property-testing harness (the offline stand-in for
+//! `proptest`): run a predicate over many deterministically seeded random
+//! cases and report the failing seed so a run can be reproduced exactly.
+//!
+//! ```
+//! use fedwf_types::check;
+//!
+//! check::cases(64, |rng| {
+//!     let x = rng.range_i32(-1000, 1000);
+//!     assert_eq!(x.wrapping_add(0), x);
+//! });
+//! ```
+
+use crate::rng::Rng;
+
+/// Base seed of every run — fixed so CI is deterministic. Case `i` uses
+/// seed `BASE_SEED + i`, which the failure message reports.
+pub const BASE_SEED: u64 = 0xFED_F00D;
+
+/// Run `property` against `n` deterministic random cases. Panics (with the
+/// reproducing seed) as soon as one case fails.
+pub fn cases(n: u64, mut property: impl FnMut(&mut Rng)) {
+    for i in 0..n {
+        let seed = BASE_SEED + i;
+        let mut rng = Rng::seed_from_u64(seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| property(&mut rng)));
+        if let Err(payload) = outcome {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            panic!("property failed on case {i} (seed {seed:#x}): {msg}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0;
+        cases(16, |rng| {
+            count += 1;
+            let a = rng.range_i32(0, 100);
+            assert!(a <= 100);
+        });
+        assert_eq!(count, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed on case")]
+    fn failing_property_reports_seed() {
+        cases(8, |rng| {
+            assert!(rng.range_i32(0, 10) > 100, "impossible bound");
+        });
+    }
+}

@@ -38,6 +38,11 @@ pub enum ErrorLayer {
     /// Feature outside an architecture's mapping capability
     /// (e.g. a cyclic dependency handed to the UDTF architecture).
     Unsupported,
+    /// The serving layer shed the request (admission queue full or the
+    /// front is shutting down). The request was *not* executed.
+    Overload,
+    /// A per-call deadline expired before a result was produced.
+    Timeout,
 }
 
 impl fmt::Display for ErrorLayer {
@@ -54,6 +59,8 @@ impl fmt::Display for ErrorLayer {
             ErrorLayer::AppSystem => "application-system",
             ErrorLayer::Wrapper => "wrapper",
             ErrorLayer::Unsupported => "unsupported",
+            ErrorLayer::Overload => "overload",
+            ErrorLayer::Timeout => "timeout",
         };
         f.write_str(s)
     }
@@ -110,6 +117,12 @@ impl FedError {
     pub fn unsupported(msg: impl Into<String>) -> FedError {
         FedError::new(ErrorLayer::Unsupported, msg)
     }
+    pub fn overloaded(msg: impl Into<String>) -> FedError {
+        FedError::new(ErrorLayer::Overload, msg)
+    }
+    pub fn timeout(msg: impl Into<String>) -> FedError {
+        FedError::new(ErrorLayer::Timeout, msg)
+    }
 
     /// Attach a context frame, e.g. "while executing activity GetQuality".
     pub fn with_context(mut self, frame: impl Into<String>) -> FedError {
@@ -121,6 +134,17 @@ impl FedError {
     /// the paper's Section 3 table records exactly these.
     pub fn is_unsupported(&self) -> bool {
         self.layer == ErrorLayer::Unsupported
+    }
+
+    /// True when the serving layer shed this request without executing it
+    /// (safe to retry against a less loaded server).
+    pub fn is_overloaded(&self) -> bool {
+        self.layer == ErrorLayer::Overload
+    }
+
+    /// True when a per-call deadline expired.
+    pub fn is_timeout(&self) -> bool {
+        self.layer == ErrorLayer::Timeout
     }
 }
 

@@ -11,9 +11,12 @@
 //! case* mapping of Section 3 demonstrates with `BIGINT(GN.Number)`.
 
 pub mod cast;
+pub mod check;
 pub mod error;
 pub mod ident;
+pub mod rng;
 pub mod row;
+pub mod sync;
 pub mod value;
 
 pub use cast::{cast_value, implicit_cast, CastError};

@@ -1,0 +1,164 @@
+//! A small deterministic pseudo-random number generator (xoshiro256**
+//! seeded by SplitMix64) so the workspace needs no external `rand` crate.
+//!
+//! Same seed, same stream, byte for byte, on every platform — exactly the
+//! property the deterministic data generator and the in-tree property-test
+//! harness ([`crate::check`]) rely on.
+
+/// Deterministic PRNG with convenience samplers.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: [u64; 4],
+}
+
+fn splitmix64(seed: &mut u64) -> u64 {
+    *seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *seed;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// A generator fully determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        let mut s = seed;
+        Rng {
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
+        }
+    }
+
+    /// Next raw 64-bit value (xoshiro256**).
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        let s2 = s2 ^ s0;
+        let s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        let s2 = s2 ^ t;
+        let s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    /// Uses Lemire's multiply-shift reduction with rejection for
+    /// bias-free sampling.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "next_below requires a non-zero bound");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let low = m as u64;
+            if low >= bound || low >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `i64` in the inclusive range `[lo, hi]`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = (hi as i128 - lo as i128 + 1) as u128;
+        if span > u64::MAX as u128 {
+            return self.next_u64() as i64;
+        }
+        lo.wrapping_add(self.next_below(span as u64) as i64)
+    }
+
+    /// Uniform `i32` in the inclusive range `[lo, hi]`.
+    pub fn range_i32(&mut self, lo: i32, hi: i32) -> i32 {
+        self.range_i64(lo as i64, hi as i64) as i32
+    }
+
+    /// Uniform `u64` in the inclusive range `[lo, hi]`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.next_below(span + 1)
+    }
+
+    /// Uniform `usize` in the half-open range `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.next_below((hi - lo) as u64) as usize
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    /// A uniformly chosen element of the slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.range_usize(0, items.len())]
+    }
+
+    /// A random ASCII string drawn from `alphabet`, length in `[0, max_len]`.
+    pub fn ascii_string(&mut self, alphabet: &[u8], max_len: usize) -> String {
+        let len = self.range_usize(0, max_len + 1);
+        (0..len).map(|_| *self.pick(alphabet) as char).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = Rng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = r.range_i32(-5, 5);
+            assert!((-5..=5).contains(&x));
+            let y = r.range_usize(3, 9);
+            assert!((3..9).contains(&y));
+        }
+        assert_eq!(r.range_i32(4, 4), 4);
+    }
+
+    #[test]
+    fn bool_probability_is_plausible() {
+        let mut r = Rng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn pick_and_strings() {
+        let mut r = Rng::seed_from_u64(3);
+        let items = [1, 2, 3];
+        assert!(items.contains(r.pick(&items)));
+        let s = r.ascii_string(b"ab", 6);
+        assert!(s.len() <= 6);
+        assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+    }
+}

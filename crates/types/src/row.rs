@@ -44,10 +44,7 @@ impl Schema {
     /// Build a schema of nullable columns from `(name, type)` pairs.
     pub fn of(cols: &[(&str, DataType)]) -> Schema {
         Schema {
-            columns: cols
-                .iter()
-                .map(|(n, t)| Column::new(*n, *t))
-                .collect(),
+            columns: cols.iter().map(|(n, t)| Column::new(*n, *t)).collect(),
         }
     }
 
@@ -165,10 +162,7 @@ impl Row {
     /// Project the row onto the given column indexes.
     pub fn project(&self, indexes: &[usize]) -> Row {
         Row {
-            values: indexes
-                .iter()
-                .map(|&i| self.values[i].clone())
-                .collect(),
+            values: indexes.iter().map(|&i| self.values[i].clone()).collect(),
         }
     }
 }
@@ -352,8 +346,12 @@ mod tests {
     #[test]
     fn table_push_checks_schema() {
         let mut t = Table::new(sample_schema());
-        assert!(t.push(Row::new(vec![Value::Int(1), Value::str("a")])).is_ok());
-        assert!(t.push(Row::new(vec![Value::str("x"), Value::str("a")])).is_err());
+        assert!(t
+            .push(Row::new(vec![Value::Int(1), Value::str("a")]))
+            .is_ok());
+        assert!(t
+            .push(Row::new(vec![Value::str("x"), Value::str("a")]))
+            .is_err());
         assert_eq!(t.row_count(), 1);
     }
 

@@ -307,10 +307,7 @@ mod tests {
     #[test]
     fn index_cmp_is_total_and_null_first() {
         assert_eq!(Value::Null.index_cmp(&Value::Int(0)), Ordering::Less);
-        assert_eq!(
-            Value::Int(2).index_cmp(&Value::BigInt(2)),
-            Ordering::Equal
-        );
+        assert_eq!(Value::Int(2).index_cmp(&Value::BigInt(2)), Ordering::Equal);
         assert_eq!(
             Value::str("a").index_cmp(&Value::Int(999)),
             Ordering::Greater

@@ -9,16 +9,25 @@ pub enum AuditEvent {
     ProcessStarted,
     ActivityStarted,
     /// Completed with the given result row count.
-    ActivityCompleted { rows: usize },
+    ActivityCompleted {
+        rows: usize,
+    },
     /// Dead-path eliminated (an incoming transition condition was false or
     /// a predecessor was itself skipped).
     ActivitySkipped,
     /// One attempt failed; `attempt` is 1-based.
-    ActivityFailed { attempt: u32, error: String },
+    ActivityFailed {
+        attempt: u32,
+        error: String,
+    },
     /// A loop body finished its `iteration`-th run (1-based).
-    LoopIteration { iteration: usize },
+    LoopIteration {
+        iteration: usize,
+    },
     ProcessCompleted,
-    ProcessFailed { error: String },
+    ProcessFailed {
+        error: String,
+    },
 }
 
 /// One audit record.

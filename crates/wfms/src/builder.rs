@@ -241,7 +241,11 @@ fn resolve_join_schemas(model: &mut ProcessModel) -> FedResult<()> {
         })?;
         let mut fields = Vec::new();
         for (from_left, src, out) in project {
-            let side = if *from_left { left_schema } else { right_schema };
+            let side = if *from_left {
+                left_schema
+            } else {
+                right_schema
+            };
             let dt = side.field_type(src).ok_or_else(|| {
                 FedError::workflow(format!(
                     "join {}: projected column {src} not in {} side",
@@ -251,8 +255,7 @@ fn resolve_join_schemas(model: &mut ProcessModel) -> FedResult<()> {
             })?;
             fields.push((out.as_str().to_string(), dt));
         }
-        let spec: Vec<(&str, DataType)> =
-            fields.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        let spec: Vec<(&str, DataType)> = fields.iter().map(|(n, t)| (n.as_str(), *t)).collect();
         a.output = ContainerSchema::new(&spec);
     }
     Ok(())
@@ -605,7 +608,10 @@ mod tests {
             .build()
             .unwrap();
         let out = p.output_schema();
-        assert_eq!(out.field_type(&Ident::new("SupplierNo")), Some(DataType::Int));
+        assert_eq!(
+            out.field_type(&Ident::new("SupplierNo")),
+            Some(DataType::Int)
+        );
         assert_eq!(out.len(), 2);
     }
 
@@ -636,12 +642,10 @@ mod tests {
 
     #[test]
     fn output_row_with_duplicate_fields_rejected() {
-        let b = ProcessBuilder::new("p")
-            .constant("a", 1)
-            .output_row(&[
-                ("x", DataType::Int, DataSource::constant(1)),
-                ("x", DataType::Int, DataSource::constant(2)),
-            ]);
+        let b = ProcessBuilder::new("p").constant("a", 1).output_row(&[
+            ("x", DataType::Int, DataSource::constant(1)),
+            ("x", DataType::Int, DataSource::constant(2)),
+        ]);
         assert!(b.build().is_err());
     }
 
@@ -653,7 +657,9 @@ mod tests {
             .output_table("a")
             .build()
             .unwrap();
-        let Node::Activity(a) = &p.nodes[0] else { panic!() };
+        let Node::Activity(a) = &p.nodes[0] else {
+            panic!()
+        };
         assert_eq!(a.retry.max_attempts, 3);
     }
 }

@@ -15,10 +15,7 @@ pub struct ContainerSchema {
 impl ContainerSchema {
     pub fn new(fields: &[(&str, DataType)]) -> ContainerSchema {
         ContainerSchema {
-            fields: fields
-                .iter()
-                .map(|(n, t)| (Ident::new(*n), *t))
-                .collect(),
+            fields: fields.iter().map(|(n, t)| (Ident::new(*n), *t)).collect(),
         }
     }
 
@@ -39,10 +36,7 @@ impl ContainerSchema {
     }
 
     pub fn field_type(&self, name: &Ident) -> Option<DataType> {
-        self.fields
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, t)| *t)
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, t)| *t)
     }
 
     pub fn has_field(&self, name: &Ident) -> bool {
@@ -72,12 +66,12 @@ impl Container {
 
     /// Set a field, implicit-widening the value to the declared type.
     pub fn set(&mut self, name: &Ident, value: Value) -> FedResult<()> {
-        let dt = self.schema.field_type(name).ok_or_else(|| {
-            FedError::workflow(format!("container has no field {name}"))
-        })?;
-        let coerced = implicit_cast(&value, dt).map_err(|e| {
-            FedError::workflow(format!("field {name}: {e}"))
-        })?;
+        let dt = self
+            .schema
+            .field_type(name)
+            .ok_or_else(|| FedError::workflow(format!("container has no field {name}")))?;
+        let coerced = implicit_cast(&value, dt)
+            .map_err(|e| FedError::workflow(format!("field {name}: {e}")))?;
         self.values.insert(name.clone(), coerced);
         Ok(())
     }
@@ -85,9 +79,7 @@ impl Container {
     /// Read a field; unset fields are NULL.
     pub fn get(&self, name: &Ident) -> FedResult<Value> {
         if !self.schema.has_field(name) {
-            return Err(FedError::workflow(format!(
-                "container has no field {name}"
-            )));
+            return Err(FedError::workflow(format!("container has no field {name}")));
         }
         Ok(self.values.get(name).cloned().unwrap_or(Value::Null))
     }
@@ -168,10 +160,7 @@ mod tests {
     fn values_in_order_follow_schema() {
         let mut c = schema().instantiate();
         c.set(&Ident::new("Name"), Value::str("Acme")).unwrap();
-        assert_eq!(
-            c.values_in_order(),
-            vec![Value::Null, Value::str("Acme")]
-        );
+        assert_eq!(c.values_in_order(), vec![Value::Null, Value::str("Acme")]);
     }
 
     #[test]

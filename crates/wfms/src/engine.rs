@@ -6,12 +6,11 @@
 //! behaviour behind the paper's observation that the WfMS runs parallel
 //! activities more efficiently than the UDTF approach. Two navigators are
 //! provided with identical semantics and identical virtual-time accounting:
-//! a sequential one and a multi-threaded one (crossbeam-scoped worker
-//! threads per fork level).
+//! a sequential one and a multi-threaded one (scoped worker threads per
+//! fork level).
 
 use std::collections::HashMap;
 
-use crossbeam::thread as cb_thread;
 use fedwf_sim::{Component, CostModel, Meter};
 use fedwf_types::{
     cast_value, implicit_cast, FedError, FedResult, Ident, ResultExt, Row, Table, Value,
@@ -174,12 +173,12 @@ impl Engine {
             }
             for level in levels {
                 let results: Vec<FedResult<(Ident, NodeState, Meter, AuditTrail)>> =
-                    cb_thread::scope(|scope| {
+                    std::thread::scope(|scope| {
                         let handles: Vec<_> = level
                             .iter()
                             .map(|name| {
                                 let states = &states;
-                                scope.spawn(move |_| {
+                                scope.spawn(move || {
                                     self.exec_node(
                                         process, name, states, input, executor, started_us,
                                         threaded,
@@ -191,8 +190,7 @@ impl Engine {
                             .into_iter()
                             .map(|h| h.join().expect("navigator worker panicked"))
                             .collect()
-                    })
-                    .expect("crossbeam scope failed");
+                    });
                 for r in results {
                     let (name, state, node_meter, node_audit) =
                         r.map_err(|e| self.fail(&mut audit, process, meter, e))?;
@@ -308,10 +306,8 @@ impl Engine {
                             "Evaluate transition condition",
                             self.cost.wf_condition_eval,
                         );
-                        let from_node =
-                            process.node(&conn.from).expect("validated connector");
-                        let view =
-                            first_row_container(&from_node.output_schema(), table);
+                        let from_node = process.node(&conn.from).expect("validated connector");
+                        let view = first_row_container(&from_node.output_schema(), table);
                         if !conn.condition.evaluate(&view)? {
                             runnable = false;
                         }
@@ -329,7 +325,12 @@ impl Engine {
                 AuditEvent::ActivitySkipped,
             );
             let end_us = node_meter.now_us();
-            return Ok((name.clone(), NodeState::Skipped { end_us }, node_meter, audit));
+            return Ok((
+                name.clone(),
+                NodeState::Skipped { end_us },
+                node_meter,
+                audit,
+            ));
         }
 
         node_meter.charge(
@@ -345,10 +346,23 @@ impl Engine {
 
         let table = match node {
             Node::Activity(a) => self.exec_activity(
-                a, process, states, input, executor, &mut node_meter, &mut audit,
+                a,
+                process,
+                states,
+                input,
+                executor,
+                &mut node_meter,
+                &mut audit,
             )?,
             Node::Loop(l) => self.exec_loop(
-                l, process, states, input, executor, &mut node_meter, &mut audit, threaded,
+                l,
+                process,
+                states,
+                input,
+                executor,
+                &mut node_meter,
+                &mut audit,
+                threaded,
             )?,
         };
 
@@ -469,9 +483,9 @@ impl Engine {
                         "Add helper requires non-null integer operands",
                     ));
                 };
-                let sum = a.checked_add(b).ok_or_else(|| {
-                    FedError::workflow("Add helper overflowed")
-                })?;
+                let sum = a
+                    .checked_add(b)
+                    .ok_or_else(|| FedError::workflow("Add helper overflowed"))?;
                 single(cast_value(&Value::BigInt(sum), fedwf_types::DataType::Int)?)
             }
             HelperOp::Join {
@@ -572,16 +586,10 @@ impl Engine {
             // Built-in counter increment.
             if let Some((var, step)) = &l.counter {
                 let current = vars.get(var)?.as_i64().ok_or_else(|| {
-                    FedError::workflow(format!(
-                        "loop {}: counter {var} is not an integer",
-                        l.name
-                    ))
+                    FedError::workflow(format!("loop {}: counter {var} is not an integer", l.name))
                 })?;
                 let next = Value::BigInt(current + step);
-                let declared = l
-                    .vars
-                    .field_type(var)
-                    .expect("validated counter variable");
+                let declared = l.vars.field_type(var).expect("validated counter variable");
                 vars.set(var, fedwf_types::cast_value(&next, declared)?)
                     .context(format!("incrementing loop counter in {}", l.name))?;
             }
@@ -643,10 +651,7 @@ fn first_row_container(schema: &ContainerSchema, table: &Table) -> Container {
     c
 }
 
-fn done_table<'a>(
-    states: &'a HashMap<Ident, NodeState>,
-    name: &Ident,
-) -> FedResult<&'a Table> {
+fn done_table<'a>(states: &'a HashMap<Ident, NodeState>, name: &Ident) -> FedResult<&'a Table> {
     match states.get(name) {
         Some(NodeState::Done { table, .. }) => Ok(table),
         _ => Err(FedError::workflow(format!(
@@ -666,14 +671,11 @@ fn resolve_source(
         DataSource::ProcessInput(f) => input.get(f),
         DataSource::ActivityOutput { activity, field } => match states.get(activity) {
             Some(NodeState::Done { table, .. }) => {
-                let idx = table
-                    .schema()
-                    .index_of(field)
-                    .ok_or_else(|| {
-                        FedError::workflow(format!(
-                            "process {process}: node {activity} output has no column {field}"
-                        ))
-                    })?;
+                let idx = table.schema().index_of(field).ok_or_else(|| {
+                    FedError::workflow(format!(
+                        "process {process}: node {activity} output has no column {field}"
+                    ))
+                })?;
                 match table.rows().first() {
                     Some(row) => Ok(row.values()[idx].clone()),
                     None => Err(FedError::workflow(format!(
@@ -729,7 +731,10 @@ mod tests {
         });
         ex.register("GetQuality", |args| {
             let n = args[0].as_i64().unwrap();
-            Ok(Table::scalar("Qual", Value::Int(if n == 1234 { 93 } else { 10 })))
+            Ok(Table::scalar(
+                "Qual",
+                Value::Int(if n == 1234 { 93 } else { 10 }),
+            ))
         });
         ex.register("GetReliability", |_| {
             Ok(Table::scalar("Relia", Value::Int(87)))
@@ -789,10 +794,9 @@ mod tests {
         let (instance, _) = run_process(&p, false);
         assert_eq!(instance.output.value(0, "Qual"), Some(&Value::Int(93)));
         assert_eq!(
-            instance.audit.count_events(|e| matches!(
-                e,
-                AuditEvent::ActivityCompleted { .. }
-            )),
+            instance
+                .audit
+                .count_events(|e| matches!(e, AuditEvent::ActivityCompleted { .. })),
             2
         );
     }
@@ -866,11 +870,7 @@ mod tests {
             .program("A", "GetReliability", vec![], &[("Relia", DataType::Int)])
             .constant("B", 7)
             .connector_if("A", "B", Condition::cmp("Relia", CondOp::Lt, 0))
-            .output_row(&[(
-                "x",
-                DataType::Int,
-                DataSource::output("B", "value"),
-            )])
+            .output_row(&[("x", DataType::Int, DataSource::output("B", "value"))])
             .build()
             .unwrap();
         let engine = Engine::new(CostModel::zero());
@@ -990,8 +990,14 @@ mod tests {
         // Output has one accumulated row per iteration... with both columns
         // of the body output.
         assert_eq!(instance.output.row_count(), 3);
-        assert_eq!(instance.output.value(0, "Name"), Some(&Value::str("comp-1")));
-        assert_eq!(instance.output.value(2, "Name"), Some(&Value::str("comp-3")));
+        assert_eq!(
+            instance.output.value(0, "Name"),
+            Some(&Value::str("comp-1"))
+        );
+        assert_eq!(
+            instance.output.value(2, "Name"),
+            Some(&Value::str("comp-3"))
+        );
         assert_eq!(
             instance
                 .audit
@@ -1071,7 +1077,10 @@ mod tests {
             let engine = Engine::new(CostModel::default());
             let mut meter = Meter::new();
             let input = p.input.instantiate();
-            engine.run(&p, &input, &ex, &mut meter).unwrap().elapsed_us()
+            engine
+                .run(&p, &input, &ex, &mut meter)
+                .unwrap()
+                .elapsed_us()
         };
         let t1 = elapsed_for(1);
         let t2 = elapsed_for(2);

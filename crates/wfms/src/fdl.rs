@@ -95,10 +95,7 @@ fn export_into(model: &ProcessModel, out: &mut String, depth: usize) {
                     let projections: Vec<String> = project
                         .iter()
                         .map(|(from_left, src, name)| {
-                            format!(
-                                "{}.{src} AS {name}",
-                                if *from_left { left } else { right }
-                            )
+                            format!("{}.{src} AS {name}", if *from_left { left } else { right })
                         })
                         .collect();
                     out.push_str(&format!(
@@ -109,7 +106,11 @@ fn export_into(model: &ProcessModel, out: &mut String, depth: usize) {
                 }
             },
             Node::Loop(l) => {
-                out.push_str(&format!("{i0}LOOP {} VARS {}\n", l.name, schema_list(&l.vars)));
+                out.push_str(&format!(
+                    "{i0}LOOP {} VARS {}\n",
+                    l.name,
+                    schema_list(&l.vars)
+                ));
                 for b in &l.init {
                     out.push_str(&format!(
                         "{i1}INIT {} = {}\n",
@@ -313,9 +314,9 @@ fn parse_process(lines: &mut Lines) -> FedResult<ProcessModel> {
             }
             "CAST" => {
                 let (id, rhs) = split_eq(n, rest)?;
-                let (source_text, type_text) = rhs.rsplit_once(" AS ").ok_or_else(|| {
-                    err_at(n, "expected CAST <id> = <source> AS <TYPE>")
-                })?;
+                let (source_text, type_text) = rhs
+                    .rsplit_once(" AS ")
+                    .ok_or_else(|| err_at(n, "expected CAST <id> = <source> AS <TYPE>"))?;
                 let to = parse_type(n, type_text.trim())?;
                 nodes.push(Node::Activity(Activity {
                     name: Ident::new(id),
@@ -330,9 +331,9 @@ fn parse_process(lines: &mut Lines) -> FedResult<ProcessModel> {
             }
             "ADD" => {
                 let (id, rhs) = split_eq(n, rest)?;
-                let (l, r) = rhs.split_once(" + ").ok_or_else(|| {
-                    err_at(n, "expected ADD <id> = <source> + <source>")
-                })?;
+                let (l, r) = rhs
+                    .split_once(" + ")
+                    .ok_or_else(|| err_at(n, "expected ADD <id> = <source> + <source>"))?;
                 nodes.push(Node::Activity(Activity {
                     name: Ident::new(id),
                     kind: ActivityKind::Helper(HelperOp::Add {
@@ -351,9 +352,9 @@ fn parse_process(lines: &mut Lines) -> FedResult<ProcessModel> {
                     Some((spec, cond)) => (spec, parse_condition(n, cond.trim())?),
                     None => (rest, Condition::True),
                 };
-                let (from, to) = spec.split_once("->").ok_or_else(|| {
-                    err_at(n, "expected CONNECT <from> -> <to>")
-                })?;
+                let (from, to) = spec
+                    .split_once("->")
+                    .ok_or_else(|| err_at(n, "expected CONNECT <from> -> <to>"))?;
                 connectors.push(ControlConnector {
                     from: Ident::new(from.trim()),
                     to: Ident::new(to.trim()),
@@ -368,10 +369,9 @@ fn parse_process(lines: &mut Lines) -> FedResult<ProcessModel> {
                         let mut fields = Vec::new();
                         for part in split_top_level_commas(spec) {
                             let (decl, source_text) = split_eq(n, &part)?;
-                            let (fname, ftype) =
-                                decl.rsplit_once(' ').ok_or_else(|| {
-                                    err_at(n, "expected <name> <TYPE> = <source>")
-                                })?;
+                            let (fname, ftype) = decl
+                                .rsplit_once(' ')
+                                .ok_or_else(|| err_at(n, "expected <name> <TYPE> = <source>"))?;
                             fields.push((
                                 Ident::new(fname.trim()),
                                 parse_type(n, ftype.trim())?,
@@ -397,9 +397,9 @@ fn parse_process(lines: &mut Lines) -> FedResult<ProcessModel> {
 }
 
 fn parse_program(lines: &mut Lines, n: usize, rest: &str) -> FedResult<Node> {
-    let (id, function) = rest.split_once(" CALLS ").ok_or_else(|| {
-        err_at(n, "expected PROGRAM <id> CALLS <function>")
-    })?;
+    let (id, function) = rest
+        .split_once(" CALLS ")
+        .ok_or_else(|| err_at(n, "expected PROGRAM <id> CALLS <function>"))?;
     let mut inputs = Vec::new();
     let mut output = None;
     let mut retry = RetryPolicy::default();
@@ -445,19 +445,19 @@ fn parse_program(lines: &mut Lines, n: usize, rest: &str) -> FedResult<Node> {
 fn parse_join(n: usize, rest: &str, existing: &[Node]) -> FedResult<Node> {
     // JOIN <id> = <left>.<on> WITH <right>.<on> PROJECT a.b AS c, ...
     let (id, rhs) = split_eq(n, rest)?;
-    let (pair, projection) = rhs.split_once(" PROJECT ").ok_or_else(|| {
-        err_at(n, "expected JOIN ... PROJECT ...")
-    })?;
-    let (l, r) = pair.split_once(" WITH ").ok_or_else(|| {
-        err_at(n, "expected <left>.<col> WITH <right>.<col>")
-    })?;
+    let (pair, projection) = rhs
+        .split_once(" PROJECT ")
+        .ok_or_else(|| err_at(n, "expected JOIN ... PROJECT ..."))?;
+    let (l, r) = pair
+        .split_once(" WITH ")
+        .ok_or_else(|| err_at(n, "expected <left>.<col> WITH <right>.<col>"))?;
     let (left, left_on) = split_dotted(n, l.trim())?;
     let (right, right_on) = split_dotted(n, r.trim())?;
     let mut project = Vec::new();
     for part in split_top_level_commas(projection) {
-        let (src, out_name) = part.split_once(" AS ").ok_or_else(|| {
-            err_at(n, "expected <node>.<col> AS <name> in PROJECT")
-        })?;
+        let (src, out_name) = part
+            .split_once(" AS ")
+            .ok_or_else(|| err_at(n, "expected <node>.<col> AS <name> in PROJECT"))?;
         let (node, col) = split_dotted(n, src.trim())?;
         let from_left = if node == left {
             true
@@ -505,9 +505,9 @@ fn parse_join(n: usize, rest: &str, existing: &[Node]) -> FedResult<Node> {
 }
 
 fn parse_loop(lines: &mut Lines, n: usize, rest: &str) -> FedResult<Node> {
-    let (id, vars_text) = rest.split_once(" VARS ").ok_or_else(|| {
-        err_at(n, "expected LOOP <id> VARS <fields>")
-    })?;
+    let (id, vars_text) = rest
+        .split_once(" VARS ")
+        .ok_or_else(|| err_at(n, "expected LOOP <id> VARS <fields>"))?;
     let vars = parse_schema_list(n, vars_text)?;
     let mut init = Vec::new();
     let mut counter = None;
@@ -529,9 +529,9 @@ fn parse_loop(lines: &mut Lines, n: usize, rest: &str) -> FedResult<Node> {
                 });
             }
             "COUNTER" => {
-                let (var, step_text) = rest.split_once(" STEP ").ok_or_else(|| {
-                    err_at(ln, "expected COUNTER <var> STEP <n>")
-                })?;
+                let (var, step_text) = rest
+                    .split_once(" STEP ")
+                    .ok_or_else(|| err_at(ln, "expected COUNTER <var> STEP <n>"))?;
                 let step: i64 = step_text
                     .trim()
                     .parse()
@@ -842,8 +842,18 @@ mod tests {
             .constant("c", "hello'world")
             .cast("w", DataSource::input("x"), DataType::BigInt)
             .add("a", DataSource::input("x"), DataSource::constant(1))
-            .program("p", "F", vec![], &[("u", DataType::Int), ("v", DataType::Int)])
-            .program("q", "G", vec![], &[("u", DataType::Int), ("w2", DataType::Varchar)])
+            .program(
+                "p",
+                "F",
+                vec![],
+                &[("u", DataType::Int), ("v", DataType::Int)],
+            )
+            .program(
+                "q",
+                "G",
+                vec![],
+                &[("u", DataType::Int), ("w2", DataType::Varchar)],
+            )
             .join(
                 "j",
                 "p",
@@ -927,7 +937,11 @@ mod tests {
             .constant("c", 9)
             .output_row(&[
                 ("a", DataType::Int, DataSource::output("c", "value")),
-                ("b", DataType::Varchar, DataSource::Constant(Value::str("s, with comma"))),
+                (
+                    "b",
+                    DataType::Varchar,
+                    DataSource::Constant(Value::str("s, with comma")),
+                ),
                 ("d", DataType::Int, DataSource::input("x")),
             ])
             .build()

@@ -20,7 +20,7 @@
 //! * **do-until loops over sub-workflows** — the cyclic-dependency case the
 //!   UDTF architecture cannot express;
 //! * **audit trail** and per-activity retry policies;
-//! * a real **multi-threaded navigator** (crossbeam-based) that executes
+//! * a real **multi-threaded navigator** (scoped std threads) that executes
 //!   unordered activities on worker threads, with results and virtual-time
 //!   accounting identical to the sequential navigator (property-tested).
 //!

@@ -227,10 +227,8 @@ impl ProcessModel {
                 .map(|n| n.output_schema())
                 .unwrap_or_else(ContainerSchema::empty),
             OutputSource::Row(fields) => {
-                let spec: Vec<(&str, DataType)> = fields
-                    .iter()
-                    .map(|(n, t, _)| (n.as_str(), *t))
-                    .collect();
+                let spec: Vec<(&str, DataType)> =
+                    fields.iter().map(|(n, t, _)| (n.as_str(), *t)).collect();
                 ContainerSchema::new(&spec)
             }
         }
@@ -260,10 +258,7 @@ impl ProcessModel {
     /// declaration order, so the result is deterministic.
     pub fn topo_order(&self) -> FedResult<Vec<&Ident>> {
         let names: Vec<&Ident> = self.nodes.iter().map(|n| n.name()).collect();
-        let mut in_deg: Vec<usize> = names
-            .iter()
-            .map(|n| self.predecessors(n).len())
-            .collect();
+        let mut in_deg: Vec<usize> = names.iter().map(|n| self.predecessors(n).len()).collect();
         let mut order = Vec::with_capacity(names.len());
         let mut done = vec![false; names.len()];
         loop {
@@ -347,8 +342,7 @@ mod tests {
     fn topo_order_respects_edges() {
         let p = diamond();
         let order = p.topo_order().unwrap();
-        let pos =
-            |n: &str| order.iter().position(|x| **x == Ident::new(n)).unwrap();
+        let pos = |n: &str| order.iter().position(|x| **x == Ident::new(n)).unwrap();
         assert!(pos("a") < pos("b"));
         assert!(pos("a") < pos("c"));
         assert!(pos("b") < pos("d"));

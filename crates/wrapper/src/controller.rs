@@ -46,7 +46,8 @@ impl Controller {
             "Controller run",
             self.cost.controller_dispatch,
         );
-        self.registry.call_metered(function, args, &self.cost, meter)
+        self.registry
+            .call_metered(function, args, &self.cost, meter)
     }
 
     /// The bridge charge paid once per WfMS-architecture call: the

@@ -5,9 +5,9 @@ use std::sync::Arc;
 
 use fedwf_fdbs::{ChargeItem, ChargeSpec, Udtf};
 use fedwf_sim::{Component, CostModel, Meter};
+use fedwf_types::sync::{Mutex, RwLock};
 use fedwf_types::{FedError, FedResult, Ident, Table, Value};
 use fedwf_wfms::{Container, Engine, ProcessInstance, ProcessModel};
-use parking_lot::Mutex;
 
 use crate::controller::Controller;
 use crate::executor::AppSystemExecutor;
@@ -19,10 +19,12 @@ pub struct WfmsWrapper {
     engine: Engine,
     executor: AppSystemExecutor,
     controller: Controller,
-    processes: Mutex<BTreeMap<Ident, Arc<ProcessModel>>>,
+    /// Read-mostly: every invocation reads, only deployment writes.
+    processes: RwLock<BTreeMap<Ident, Arc<ProcessModel>>>,
     /// Templates already loaded by the engine (first instantiation pays the
     /// load cost). Cleared by [`WfmsWrapper::clear_template_cache`].
-    loaded_templates: Mutex<HashSet<String>>,
+    /// Read-mostly: the steady-state path only checks membership.
+    loaded_templates: RwLock<HashSet<String>>,
     /// Run activities on real worker threads.
     threaded: bool,
     /// The wrapper-internal result cache — one of the paper's future-work
@@ -30,7 +32,8 @@ pub struct WfmsWrapper {
     /// federated-function invocations are answered from memory instead of
     /// re-running the workflow. Off by default; read-only UDTF semantics
     /// make it sound (no write path can invalidate results mid-query).
-    result_cache: Option<Mutex<BTreeMap<(Ident, String), Table>>>,
+    /// Read-mostly: warm traffic takes the shared read side only.
+    result_cache: Option<RwLock<BTreeMap<(Ident, String), Table>>>,
     /// A bounded history of completed process instances (most recent last)
     /// — the audit database a production WfMS maintains, queryable through
     /// [`WfmsWrapper::audit_history_table`].
@@ -58,8 +61,8 @@ impl WfmsWrapper {
             engine: Engine::new(cost),
             executor: AppSystemExecutor::new(controller.registry().clone()),
             controller,
-            processes: Mutex::new(BTreeMap::new()),
-            loaded_templates: Mutex::new(HashSet::new()),
+            processes: RwLock::new(BTreeMap::new()),
+            loaded_templates: RwLock::new(HashSet::new()),
             threaded: false,
             result_cache: None,
             history: Mutex::new(Vec::new()),
@@ -75,7 +78,7 @@ impl WfmsWrapper {
     /// Enable the wrapper-internal result cache.
     pub fn with_result_cache(mut self, enabled: bool) -> WfmsWrapper {
         self.result_cache = if enabled {
-            Some(Mutex::new(BTreeMap::new()))
+            Some(RwLock::new(BTreeMap::new()))
         } else {
             None
         };
@@ -85,7 +88,7 @@ impl WfmsWrapper {
     /// Drop all cached federated-function results.
     pub fn clear_result_cache(&self) {
         if let Some(cache) = &self.result_cache {
-            cache.lock().clear();
+            cache.write().clear();
         }
     }
 
@@ -100,7 +103,7 @@ impl WfmsWrapper {
     /// Deploy (register) a workflow process template.
     pub fn deploy_process(&self, model: ProcessModel) -> FedResult<()> {
         let name = Ident::new(model.name.clone());
-        let mut processes = self.processes.lock();
+        let mut processes = self.processes.write();
         if processes.contains_key(&name) {
             return Err(FedError::wrapper(format!(
                 "workflow process {name} already deployed"
@@ -112,7 +115,7 @@ impl WfmsWrapper {
 
     pub fn process(&self, name: &str) -> FedResult<Arc<ProcessModel>> {
         self.processes
-            .lock()
+            .read()
             .get(&Ident::new(name))
             .cloned()
             .ok_or_else(|| FedError::wrapper(format!("no workflow process {name} deployed")))
@@ -120,7 +123,7 @@ impl WfmsWrapper {
 
     pub fn process_names(&self) -> Vec<String> {
         self.processes
-            .lock()
+            .read()
             .values()
             .map(|p| p.name.clone())
             .collect()
@@ -129,7 +132,7 @@ impl WfmsWrapper {
     /// Drop all cached template loads — the next instantiation of each
     /// process pays the template-load cost again (cold-cache tier).
     pub fn clear_template_cache(&self) {
-        self.loaded_templates.lock().clear();
+        self.loaded_templates.write().clear();
     }
 
     /// Invoke a deployed process on behalf of the FDBS: the full
@@ -159,13 +162,13 @@ impl WfmsWrapper {
             (cache, key)
         });
         if let Some((cache, key)) = &cache_key {
-            if let Some(hit) = cache.lock().get(key) {
+            if let Some(hit) = cache.read().get(key) {
                 return Ok(hit.clone());
             }
         }
         let output = self.invoke_process_instance(name, args, meter)?.output;
         if let Some((cache, key)) = cache_key {
-            cache.lock().insert(key, output.clone());
+            cache.write().insert(key, output.clone());
         }
         Ok(output)
     }
@@ -188,7 +191,10 @@ impl WfmsWrapper {
             "Start workflow and Java environment",
             cost.wf_java_env_start,
         );
-        if self.loaded_templates.lock().insert(process.name.clone()) {
+        // Steady state only checks membership under the shared read side;
+        // the write lock is taken once per template, on first load.
+        let template_cold = !self.loaded_templates.read().contains(&process.name);
+        if template_cold && self.loaded_templates.write().insert(process.name.clone()) {
             meter.charge(
                 Component::WfEngine,
                 format!("Load workflow template {}", process.name),
@@ -206,12 +212,12 @@ impl WfmsWrapper {
         meter.charge(Component::Rmi, "RMI return", cost.wf_rmi_return);
 
         // Record the instance in the audit history.
-        let completed = instance.audit.count_events(|e| {
-            matches!(e, fedwf_wfms::AuditEvent::ActivityCompleted { .. })
-        });
-        let failed = instance.audit.count_events(|e| {
-            matches!(e, fedwf_wfms::AuditEvent::ActivityFailed { .. })
-        });
+        let completed = instance
+            .audit
+            .count_events(|e| matches!(e, fedwf_wfms::AuditEvent::ActivityCompleted { .. }));
+        let failed = instance
+            .audit
+            .count_events(|e| matches!(e, fedwf_wfms::AuditEvent::ActivityFailed { .. }));
         let mut history = self.history.lock();
         if history.len() == HISTORY_CAPACITY {
             history.remove(0);
@@ -382,7 +388,10 @@ mod tests {
             .unwrap();
         assert_eq!(t.value(0, "Qual"), Some(&Value::Int(93)));
         // Charges include the RMI hop and the controller bridge.
-        assert!(meter.charges().iter().any(|c| c.component == Component::Rmi));
+        assert!(meter
+            .charges()
+            .iter()
+            .any(|c| c.component == Component::Rmi));
         assert!(meter
             .charges()
             .iter()
@@ -427,7 +436,10 @@ mod tests {
         assert_eq!(t.value(0, "Qual"), Some(&Value::Int(93)));
         // The connecting UDTF's start charge is present.
         assert!(meter.charges().iter().any(|c| c.step == "Start UDTF"));
-        assert!(meter.charges().iter().any(|c| c.step == "Process activities"));
+        assert!(meter
+            .charges()
+            .iter()
+            .any(|c| c.step == "Process activities"));
     }
 
     #[test]
@@ -516,7 +528,7 @@ mod tests {
         let mut m3 = Meter::new();
         w.invoke_process("GetSuppQual", &[Value::str("No Such Supplier KG")], &mut m3)
             .unwrap_err(); // unknown supplier fails in the app system
-        // Clearing the cache forces re-execution.
+                           // Clearing the cache forces re-execution.
         w.clear_result_cache();
         let mut m4 = Meter::new();
         w.invoke_process("GetSuppQual", &args, &mut m4).unwrap();
@@ -527,8 +539,7 @@ mod tests {
     fn threaded_wrapper_matches_sequential() {
         let scenario = build_scenario(DataGenConfig::tiny()).unwrap();
         let make = |threaded: bool| {
-            let controller =
-                Controller::new(scenario.registry.clone(), CostModel::default());
+            let controller = Controller::new(scenario.registry.clone(), CostModel::default());
             let w = WfmsWrapper::new(controller).with_threads(threaded);
             let p = ProcessBuilder::new("QualRelia")
                 .input(&[("SupplierNo", DataType::Int)])

@@ -28,8 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Simple UDTF: the statement the application embeds.
     {
         let server = IntegrationServer::with_architecture(ArchitectureKind::SimpleUdtf)?;
-        let arch =
-            SimpleUdtfArchitecture::new(server.fdbs().clone(), server.controller().clone());
+        let arch = SimpleUdtfArchitecture::new(server.fdbs().clone(), server.controller().clone());
         println!(
             "-- simple UDTF architecture (embedded in the application):\n{}\n",
             arch.generate_application_select(&spec)?
@@ -37,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("== Warm-call cost on every architecture ==\n");
-    println!("{:<32} {:>14} {:>10}", "architecture", "elapsed (us)", "decision");
+    println!(
+        "{:<32} {:>14} {:>10}",
+        "architecture", "elapsed (us)", "decision"
+    );
     for kind in ArchitectureKind::ALL {
         let server = IntegrationServer::with_architecture(kind)?;
         server.boot();

@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .program(
             "GetQuality",
             "GetQuality",
-            vec![DataBinding::new("SupplierNo", DataSource::input("SupplierNo"))],
+            vec![DataBinding::new(
+                "SupplierNo",
+                DataSource::input("SupplierNo"),
+            )],
             &[("Qual", DataType::Int)],
         )
         .program(
@@ -43,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .program(
             "FindDiscounts",
             "GetCompSupp4Discount",
-            vec![DataBinding::new("Discount", DataSource::Constant(Value::Int(10)))],
+            vec![DataBinding::new(
+                "Discount",
+                DataSource::Constant(Value::Int(10)),
+            )],
             &[("CompNo", DataType::Int), ("SupplierNo", DataType::Int)],
         )
         .program(

@@ -23,9 +23,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let comp_name = Value::str(scenario.well_known_component_name());
 
     let qual = registry.call("GetQuality", std::slice::from_ref(&supplier_no))?;
-    println!("stock-keeping   GetQuality({supplier_no})      -> {:?}", qual.value(0, "Qual").unwrap());
+    println!(
+        "stock-keeping   GetQuality({supplier_no})      -> {:?}",
+        qual.value(0, "Qual").unwrap()
+    );
     let relia = registry.call("GetReliability", std::slice::from_ref(&supplier_no))?;
-    println!("purchasing      GetReliability({supplier_no})  -> {:?}", relia.value(0, "Relia").unwrap());
+    println!(
+        "purchasing      GetReliability({supplier_no})  -> {:?}",
+        relia.value(0, "Relia").unwrap()
+    );
     let grade = registry.call(
         "GetGrade",
         &[
@@ -33,9 +39,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             relia.value(0, "Relia").unwrap().clone(),
         ],
     )?;
-    println!("purchasing      GetGrade(..)              -> {:?}", grade.value(0, "Grade").unwrap());
+    println!(
+        "purchasing      GetGrade(..)              -> {:?}",
+        grade.value(0, "Grade").unwrap()
+    );
     let comp_no = registry.call("GetCompNo", std::slice::from_ref(&comp_name))?;
-    println!("product data    GetCompNo({comp_name}) -> {:?}", comp_no.value(0, "No").unwrap());
+    println!(
+        "product data    GetCompNo({comp_name}) -> {:?}",
+        comp_no.value(0, "No").unwrap()
+    );
     let decision = registry.call(
         "DecidePurchase",
         &[
@@ -43,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             comp_no.value(0, "No").unwrap().clone(),
         ],
     )?;
-    println!("purchasing      DecidePurchase(..)        -> {:?}\n", decision.value(0, "Answer").unwrap());
+    println!(
+        "purchasing      DecidePurchase(..)        -> {:?}\n",
+        decision.value(0, "Answer").unwrap()
+    );
 
     // ---- the same process as one federated function ----------------------
     println!("== Federated function BuySuppComp on the WfMS architecture ==\n");

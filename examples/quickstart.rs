@@ -33,6 +33,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}\n", outcome.table);
 
     // 4. Every call carries its full virtual-time accounting.
-    println!("{}", outcome.breakdown_by_step("Time portions (WfMS approach)"));
+    println!(
+        "{}",
+        outcome.breakdown_by_step("Time portions (WfMS approach)")
+    );
     Ok(())
 }

@@ -88,7 +88,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     println!("ok");
                 } else {
                     println!("{table}");
-                    println!("({} row(s), {} virtual us)", table.row_count(), meter.now_us());
+                    println!(
+                        "({} row(s), {} virtual us)",
+                        table.row_count(),
+                        meter.now_us()
+                    );
                 }
                 last_meter = Some(meter);
             }
@@ -131,16 +135,14 @@ fn handle_command(
         }
         "\\cost" => match last_meter {
             Some(meter) => {
-                let b = Breakdown::by_step(
-                    "last statement",
-                    meter.charges(),
-                    meter.now_us(),
-                );
+                let b = Breakdown::by_step("last statement", meter.charges(), meter.now_us());
                 println!("{b}");
             }
             None => println!("no statement executed yet"),
         },
-        other => eprintln!("unknown command {other} (try \\functions, \\processes, \\fdl, \\cost, \\quit)"),
+        other => eprintln!(
+            "unknown command {other} (try \\functions, \\processes, \\fdl, \\cost, \\quit)"
+        ),
     }
     Ok(true)
 }

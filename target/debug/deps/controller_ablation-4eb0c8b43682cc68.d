@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/controller_ablation-4eb0c8b43682cc68.d: crates/bench/benches/controller_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontroller_ablation-4eb0c8b43682cc68.rmeta: crates/bench/benches/controller_ablation.rs Cargo.toml
+
+crates/bench/benches/controller_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-bf050c98055c7106.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-bf050c98055c7106: tests/end_to_end.rs
+
+tests/end_to_end.rs:

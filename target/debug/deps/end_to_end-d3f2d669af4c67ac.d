@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-d3f2d669af4c67ac.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-d3f2d669af4c67ac: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_coverage-10110b7b99836479.d: tests/engine_coverage.rs
+
+/root/repo/target/debug/deps/engine_coverage-10110b7b99836479: tests/engine_coverage.rs
+
+tests/engine_coverage.rs:

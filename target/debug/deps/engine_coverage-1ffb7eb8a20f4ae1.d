@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_coverage-1ffb7eb8a20f4ae1.d: tests/engine_coverage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_coverage-1ffb7eb8a20f4ae1.rmeta: tests/engine_coverage.rs Cargo.toml
+
+tests/engine_coverage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_coverage-e9aa24b5e6daacd2.d: tests/engine_coverage.rs
+
+/root/repo/target/debug/deps/engine_coverage-e9aa24b5e6daacd2: tests/engine_coverage.rs
+
+tests/engine_coverage.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fedwf-10e2bc931e7566c4.d: src/lib.rs src/../README.md
+
+/root/repo/target/debug/deps/fedwf-10e2bc931e7566c4: src/lib.rs src/../README.md
+
+src/lib.rs:
+src/../README.md:

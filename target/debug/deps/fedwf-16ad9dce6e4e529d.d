@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fedwf-16ad9dce6e4e529d.d: src/lib.rs src/../README.md
+
+/root/repo/target/debug/deps/libfedwf-16ad9dce6e4e529d.rlib: src/lib.rs src/../README.md
+
+/root/repo/target/debug/deps/libfedwf-16ad9dce6e4e529d.rmeta: src/lib.rs src/../README.md
+
+src/lib.rs:
+src/../README.md:

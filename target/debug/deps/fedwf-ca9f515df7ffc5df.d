@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fedwf-ca9f515df7ffc5df.d: src/lib.rs src/../README.md Cargo.toml
+
+/root/repo/target/debug/deps/libfedwf-ca9f515df7ffc5df.rmeta: src/lib.rs src/../README.md Cargo.toml
+
+src/lib.rs:
+src/../README.md:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fedwf-d2a8d97767671e54.d: src/lib.rs src/../README.md Cargo.toml
+
+/root/repo/target/debug/deps/libfedwf-d2a8d97767671e54.rmeta: src/lib.rs src/../README.md Cargo.toml
+
+src/lib.rs:
+src/../README.md:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

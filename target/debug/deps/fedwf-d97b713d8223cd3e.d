@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fedwf-d97b713d8223cd3e.d: src/lib.rs src/../README.md
+
+/root/repo/target/debug/deps/fedwf-d97b713d8223cd3e: src/lib.rs src/../README.md
+
+src/lib.rs:
+src/../README.md:

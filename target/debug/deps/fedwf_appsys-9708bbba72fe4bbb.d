@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fedwf_appsys-9708bbba72fe4bbb.d: crates/appsys/src/lib.rs crates/appsys/src/datagen.rs crates/appsys/src/function.rs crates/appsys/src/scenario.rs crates/appsys/src/system.rs
+
+/root/repo/target/debug/deps/fedwf_appsys-9708bbba72fe4bbb: crates/appsys/src/lib.rs crates/appsys/src/datagen.rs crates/appsys/src/function.rs crates/appsys/src/scenario.rs crates/appsys/src/system.rs
+
+crates/appsys/src/lib.rs:
+crates/appsys/src/datagen.rs:
+crates/appsys/src/function.rs:
+crates/appsys/src/scenario.rs:
+crates/appsys/src/system.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fedwf_appsys-adce0a4b9d4a71eb.d: crates/appsys/src/lib.rs crates/appsys/src/datagen.rs crates/appsys/src/function.rs crates/appsys/src/scenario.rs crates/appsys/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedwf_appsys-adce0a4b9d4a71eb.rmeta: crates/appsys/src/lib.rs crates/appsys/src/datagen.rs crates/appsys/src/function.rs crates/appsys/src/scenario.rs crates/appsys/src/system.rs Cargo.toml
+
+crates/appsys/src/lib.rs:
+crates/appsys/src/datagen.rs:
+crates/appsys/src/function.rs:
+crates/appsys/src/scenario.rs:
+crates/appsys/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fedwf_appsys-b407db7219bbf07e.d: crates/appsys/src/lib.rs crates/appsys/src/datagen.rs crates/appsys/src/function.rs crates/appsys/src/scenario.rs crates/appsys/src/system.rs
+
+/root/repo/target/debug/deps/libfedwf_appsys-b407db7219bbf07e.rlib: crates/appsys/src/lib.rs crates/appsys/src/datagen.rs crates/appsys/src/function.rs crates/appsys/src/scenario.rs crates/appsys/src/system.rs
+
+/root/repo/target/debug/deps/libfedwf_appsys-b407db7219bbf07e.rmeta: crates/appsys/src/lib.rs crates/appsys/src/datagen.rs crates/appsys/src/function.rs crates/appsys/src/scenario.rs crates/appsys/src/system.rs
+
+crates/appsys/src/lib.rs:
+crates/appsys/src/datagen.rs:
+crates/appsys/src/function.rs:
+crates/appsys/src/scenario.rs:
+crates/appsys/src/system.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fedwf_bench-86de723ecce9fab7.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/micro.rs crates/bench/src/throughput.rs
+
+/root/repo/target/debug/deps/fedwf_bench-86de723ecce9fab7: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/micro.rs crates/bench/src/throughput.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/throughput.rs:

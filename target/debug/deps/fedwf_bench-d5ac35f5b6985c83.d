@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fedwf_bench-d5ac35f5b6985c83.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/micro.rs crates/bench/src/throughput.rs
+
+/root/repo/target/debug/deps/libfedwf_bench-d5ac35f5b6985c83.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/micro.rs crates/bench/src/throughput.rs
+
+/root/repo/target/debug/deps/libfedwf_bench-d5ac35f5b6985c83.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/micro.rs crates/bench/src/throughput.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/throughput.rs:

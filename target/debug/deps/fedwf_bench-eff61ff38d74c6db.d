@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fedwf_bench-eff61ff38d74c6db.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/micro.rs crates/bench/src/throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedwf_bench-eff61ff38d74c6db.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/micro.rs crates/bench/src/throughput.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

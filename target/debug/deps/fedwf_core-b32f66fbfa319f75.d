@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/fedwf_core-b32f66fbfa319f75.d: crates/core/src/lib.rs crates/core/src/arch/mod.rs crates/core/src/arch/java_udtf.rs crates/core/src/arch/simple_udtf.rs crates/core/src/arch/sql_udtf.rs crates/core/src/arch/wfms.rs crates/core/src/classify.rs crates/core/src/front.rs crates/core/src/mapping.rs crates/core/src/paper_functions.rs crates/core/src/server.rs
+
+/root/repo/target/debug/deps/libfedwf_core-b32f66fbfa319f75.rlib: crates/core/src/lib.rs crates/core/src/arch/mod.rs crates/core/src/arch/java_udtf.rs crates/core/src/arch/simple_udtf.rs crates/core/src/arch/sql_udtf.rs crates/core/src/arch/wfms.rs crates/core/src/classify.rs crates/core/src/front.rs crates/core/src/mapping.rs crates/core/src/paper_functions.rs crates/core/src/server.rs
+
+/root/repo/target/debug/deps/libfedwf_core-b32f66fbfa319f75.rmeta: crates/core/src/lib.rs crates/core/src/arch/mod.rs crates/core/src/arch/java_udtf.rs crates/core/src/arch/simple_udtf.rs crates/core/src/arch/sql_udtf.rs crates/core/src/arch/wfms.rs crates/core/src/classify.rs crates/core/src/front.rs crates/core/src/mapping.rs crates/core/src/paper_functions.rs crates/core/src/server.rs
+
+crates/core/src/lib.rs:
+crates/core/src/arch/mod.rs:
+crates/core/src/arch/java_udtf.rs:
+crates/core/src/arch/simple_udtf.rs:
+crates/core/src/arch/sql_udtf.rs:
+crates/core/src/arch/wfms.rs:
+crates/core/src/classify.rs:
+crates/core/src/front.rs:
+crates/core/src/mapping.rs:
+crates/core/src/paper_functions.rs:
+crates/core/src/server.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/fedwf_core-d6ad02ce5c87b75c.d: crates/core/src/lib.rs crates/core/src/arch/mod.rs crates/core/src/arch/java_udtf.rs crates/core/src/arch/simple_udtf.rs crates/core/src/arch/sql_udtf.rs crates/core/src/arch/wfms.rs crates/core/src/classify.rs crates/core/src/front.rs crates/core/src/mapping.rs crates/core/src/paper_functions.rs crates/core/src/server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedwf_core-d6ad02ce5c87b75c.rmeta: crates/core/src/lib.rs crates/core/src/arch/mod.rs crates/core/src/arch/java_udtf.rs crates/core/src/arch/simple_udtf.rs crates/core/src/arch/sql_udtf.rs crates/core/src/arch/wfms.rs crates/core/src/classify.rs crates/core/src/front.rs crates/core/src/mapping.rs crates/core/src/paper_functions.rs crates/core/src/server.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/arch/mod.rs:
+crates/core/src/arch/java_udtf.rs:
+crates/core/src/arch/simple_udtf.rs:
+crates/core/src/arch/sql_udtf.rs:
+crates/core/src/arch/wfms.rs:
+crates/core/src/classify.rs:
+crates/core/src/front.rs:
+crates/core/src/mapping.rs:
+crates/core/src/paper_functions.rs:
+crates/core/src/server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

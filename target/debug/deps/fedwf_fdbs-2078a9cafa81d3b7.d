@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fedwf_fdbs-2078a9cafa81d3b7.d: crates/fdbs/src/lib.rs crates/fdbs/src/catalog.rs crates/fdbs/src/engine.rs crates/fdbs/src/exec.rs crates/fdbs/src/expr.rs crates/fdbs/src/plan.rs crates/fdbs/src/sqlmed.rs crates/fdbs/src/udtf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedwf_fdbs-2078a9cafa81d3b7.rmeta: crates/fdbs/src/lib.rs crates/fdbs/src/catalog.rs crates/fdbs/src/engine.rs crates/fdbs/src/exec.rs crates/fdbs/src/expr.rs crates/fdbs/src/plan.rs crates/fdbs/src/sqlmed.rs crates/fdbs/src/udtf.rs Cargo.toml
+
+crates/fdbs/src/lib.rs:
+crates/fdbs/src/catalog.rs:
+crates/fdbs/src/engine.rs:
+crates/fdbs/src/exec.rs:
+crates/fdbs/src/expr.rs:
+crates/fdbs/src/plan.rs:
+crates/fdbs/src/sqlmed.rs:
+crates/fdbs/src/udtf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

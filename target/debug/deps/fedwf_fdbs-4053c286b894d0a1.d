@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fedwf_fdbs-4053c286b894d0a1.d: crates/fdbs/src/lib.rs crates/fdbs/src/catalog.rs crates/fdbs/src/engine.rs crates/fdbs/src/exec.rs crates/fdbs/src/expr.rs crates/fdbs/src/plan.rs crates/fdbs/src/sqlmed.rs crates/fdbs/src/udtf.rs
+
+/root/repo/target/debug/deps/fedwf_fdbs-4053c286b894d0a1: crates/fdbs/src/lib.rs crates/fdbs/src/catalog.rs crates/fdbs/src/engine.rs crates/fdbs/src/exec.rs crates/fdbs/src/expr.rs crates/fdbs/src/plan.rs crates/fdbs/src/sqlmed.rs crates/fdbs/src/udtf.rs
+
+crates/fdbs/src/lib.rs:
+crates/fdbs/src/catalog.rs:
+crates/fdbs/src/engine.rs:
+crates/fdbs/src/exec.rs:
+crates/fdbs/src/expr.rs:
+crates/fdbs/src/plan.rs:
+crates/fdbs/src/sqlmed.rs:
+crates/fdbs/src/udtf.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fedwf_fdbs-c235ee0516a103aa.d: crates/fdbs/src/lib.rs crates/fdbs/src/catalog.rs crates/fdbs/src/engine.rs crates/fdbs/src/exec.rs crates/fdbs/src/expr.rs crates/fdbs/src/plan.rs crates/fdbs/src/sqlmed.rs crates/fdbs/src/udtf.rs
+
+/root/repo/target/debug/deps/libfedwf_fdbs-c235ee0516a103aa.rlib: crates/fdbs/src/lib.rs crates/fdbs/src/catalog.rs crates/fdbs/src/engine.rs crates/fdbs/src/exec.rs crates/fdbs/src/expr.rs crates/fdbs/src/plan.rs crates/fdbs/src/sqlmed.rs crates/fdbs/src/udtf.rs
+
+/root/repo/target/debug/deps/libfedwf_fdbs-c235ee0516a103aa.rmeta: crates/fdbs/src/lib.rs crates/fdbs/src/catalog.rs crates/fdbs/src/engine.rs crates/fdbs/src/exec.rs crates/fdbs/src/expr.rs crates/fdbs/src/plan.rs crates/fdbs/src/sqlmed.rs crates/fdbs/src/udtf.rs
+
+crates/fdbs/src/lib.rs:
+crates/fdbs/src/catalog.rs:
+crates/fdbs/src/engine.rs:
+crates/fdbs/src/exec.rs:
+crates/fdbs/src/expr.rs:
+crates/fdbs/src/plan.rs:
+crates/fdbs/src/sqlmed.rs:
+crates/fdbs/src/udtf.rs:

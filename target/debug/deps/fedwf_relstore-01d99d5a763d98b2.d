@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fedwf_relstore-01d99d5a763d98b2.d: crates/relstore/src/lib.rs crates/relstore/src/database.rs crates/relstore/src/index.rs crates/relstore/src/predicate.rs crates/relstore/src/table.rs
+
+/root/repo/target/debug/deps/libfedwf_relstore-01d99d5a763d98b2.rlib: crates/relstore/src/lib.rs crates/relstore/src/database.rs crates/relstore/src/index.rs crates/relstore/src/predicate.rs crates/relstore/src/table.rs
+
+/root/repo/target/debug/deps/libfedwf_relstore-01d99d5a763d98b2.rmeta: crates/relstore/src/lib.rs crates/relstore/src/database.rs crates/relstore/src/index.rs crates/relstore/src/predicate.rs crates/relstore/src/table.rs
+
+crates/relstore/src/lib.rs:
+crates/relstore/src/database.rs:
+crates/relstore/src/index.rs:
+crates/relstore/src/predicate.rs:
+crates/relstore/src/table.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fedwf_relstore-614b43500511cfcf.d: crates/relstore/src/lib.rs crates/relstore/src/database.rs crates/relstore/src/index.rs crates/relstore/src/predicate.rs crates/relstore/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedwf_relstore-614b43500511cfcf.rmeta: crates/relstore/src/lib.rs crates/relstore/src/database.rs crates/relstore/src/index.rs crates/relstore/src/predicate.rs crates/relstore/src/table.rs Cargo.toml
+
+crates/relstore/src/lib.rs:
+crates/relstore/src/database.rs:
+crates/relstore/src/index.rs:
+crates/relstore/src/predicate.rs:
+crates/relstore/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fedwf_relstore-79a5ba73d7d13f00.d: crates/relstore/src/lib.rs crates/relstore/src/database.rs crates/relstore/src/index.rs crates/relstore/src/predicate.rs crates/relstore/src/table.rs
+
+/root/repo/target/debug/deps/fedwf_relstore-79a5ba73d7d13f00: crates/relstore/src/lib.rs crates/relstore/src/database.rs crates/relstore/src/index.rs crates/relstore/src/predicate.rs crates/relstore/src/table.rs
+
+crates/relstore/src/lib.rs:
+crates/relstore/src/database.rs:
+crates/relstore/src/index.rs:
+crates/relstore/src/predicate.rs:
+crates/relstore/src/table.rs:

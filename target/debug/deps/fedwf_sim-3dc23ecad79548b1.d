@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fedwf_sim-3dc23ecad79548b1.d: crates/sim/src/lib.rs crates/sim/src/breakdown.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/env.rs crates/sim/src/wall.rs
+
+/root/repo/target/debug/deps/libfedwf_sim-3dc23ecad79548b1.rlib: crates/sim/src/lib.rs crates/sim/src/breakdown.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/env.rs crates/sim/src/wall.rs
+
+/root/repo/target/debug/deps/libfedwf_sim-3dc23ecad79548b1.rmeta: crates/sim/src/lib.rs crates/sim/src/breakdown.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/env.rs crates/sim/src/wall.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/breakdown.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/env.rs:
+crates/sim/src/wall.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fedwf_sim-f62f5d64a58857a3.d: crates/sim/src/lib.rs crates/sim/src/breakdown.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/env.rs crates/sim/src/wall.rs
+
+/root/repo/target/debug/deps/fedwf_sim-f62f5d64a58857a3: crates/sim/src/lib.rs crates/sim/src/breakdown.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/env.rs crates/sim/src/wall.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/breakdown.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/env.rs:
+crates/sim/src/wall.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fedwf_sim-fa3c5124776df310.d: crates/sim/src/lib.rs crates/sim/src/breakdown.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/env.rs crates/sim/src/wall.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedwf_sim-fa3c5124776df310.rmeta: crates/sim/src/lib.rs crates/sim/src/breakdown.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/env.rs crates/sim/src/wall.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/breakdown.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/env.rs:
+crates/sim/src/wall.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

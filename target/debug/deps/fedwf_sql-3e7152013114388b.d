@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fedwf_sql-3e7152013114388b.d: src/bin/fedwf-sql.rs
+
+/root/repo/target/debug/deps/fedwf_sql-3e7152013114388b: src/bin/fedwf-sql.rs
+
+src/bin/fedwf-sql.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fedwf_sql-50f43bd98a30db08.d: crates/sqlparse/src/lib.rs crates/sqlparse/src/ast.rs crates/sqlparse/src/lexer.rs crates/sqlparse/src/parser.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedwf_sql-50f43bd98a30db08.rmeta: crates/sqlparse/src/lib.rs crates/sqlparse/src/ast.rs crates/sqlparse/src/lexer.rs crates/sqlparse/src/parser.rs Cargo.toml
+
+crates/sqlparse/src/lib.rs:
+crates/sqlparse/src/ast.rs:
+crates/sqlparse/src/lexer.rs:
+crates/sqlparse/src/parser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fedwf_sql-52eeb446b00fff3a.d: crates/sqlparse/src/lib.rs crates/sqlparse/src/ast.rs crates/sqlparse/src/lexer.rs crates/sqlparse/src/parser.rs
+
+/root/repo/target/debug/deps/libfedwf_sql-52eeb446b00fff3a.rlib: crates/sqlparse/src/lib.rs crates/sqlparse/src/ast.rs crates/sqlparse/src/lexer.rs crates/sqlparse/src/parser.rs
+
+/root/repo/target/debug/deps/libfedwf_sql-52eeb446b00fff3a.rmeta: crates/sqlparse/src/lib.rs crates/sqlparse/src/ast.rs crates/sqlparse/src/lexer.rs crates/sqlparse/src/parser.rs
+
+crates/sqlparse/src/lib.rs:
+crates/sqlparse/src/ast.rs:
+crates/sqlparse/src/lexer.rs:
+crates/sqlparse/src/parser.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fedwf_sql-59efe6b3e71f86a3.d: src/bin/fedwf-sql.rs
+
+/root/repo/target/debug/deps/fedwf_sql-59efe6b3e71f86a3: src/bin/fedwf-sql.rs
+
+src/bin/fedwf-sql.rs:

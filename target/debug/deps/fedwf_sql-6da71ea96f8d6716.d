@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fedwf_sql-6da71ea96f8d6716.d: crates/sqlparse/src/lib.rs crates/sqlparse/src/ast.rs crates/sqlparse/src/lexer.rs crates/sqlparse/src/parser.rs
+
+/root/repo/target/debug/deps/fedwf_sql-6da71ea96f8d6716: crates/sqlparse/src/lib.rs crates/sqlparse/src/ast.rs crates/sqlparse/src/lexer.rs crates/sqlparse/src/parser.rs
+
+crates/sqlparse/src/lib.rs:
+crates/sqlparse/src/ast.rs:
+crates/sqlparse/src/lexer.rs:
+crates/sqlparse/src/parser.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fedwf_sql-a5bf91f365e5db83.d: src/bin/fedwf-sql.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedwf_sql-a5bf91f365e5db83.rmeta: src/bin/fedwf-sql.rs Cargo.toml
+
+src/bin/fedwf-sql.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fedwf_sql-b5c218355d9d44b6.d: src/bin/fedwf-sql.rs
+
+/root/repo/target/debug/deps/fedwf_sql-b5c218355d9d44b6: src/bin/fedwf-sql.rs
+
+src/bin/fedwf-sql.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/fedwf_types-858b9b1c39772b1c.d: crates/types/src/lib.rs crates/types/src/cast.rs crates/types/src/check.rs crates/types/src/error.rs crates/types/src/ident.rs crates/types/src/rng.rs crates/types/src/row.rs crates/types/src/sync.rs crates/types/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedwf_types-858b9b1c39772b1c.rmeta: crates/types/src/lib.rs crates/types/src/cast.rs crates/types/src/check.rs crates/types/src/error.rs crates/types/src/ident.rs crates/types/src/rng.rs crates/types/src/row.rs crates/types/src/sync.rs crates/types/src/value.rs Cargo.toml
+
+crates/types/src/lib.rs:
+crates/types/src/cast.rs:
+crates/types/src/check.rs:
+crates/types/src/error.rs:
+crates/types/src/ident.rs:
+crates/types/src/rng.rs:
+crates/types/src/row.rs:
+crates/types/src/sync.rs:
+crates/types/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fedwf_types-b4162a2eb18c2473.d: crates/types/src/lib.rs crates/types/src/cast.rs crates/types/src/check.rs crates/types/src/error.rs crates/types/src/ident.rs crates/types/src/rng.rs crates/types/src/row.rs crates/types/src/sync.rs crates/types/src/value.rs
+
+/root/repo/target/debug/deps/libfedwf_types-b4162a2eb18c2473.rlib: crates/types/src/lib.rs crates/types/src/cast.rs crates/types/src/check.rs crates/types/src/error.rs crates/types/src/ident.rs crates/types/src/rng.rs crates/types/src/row.rs crates/types/src/sync.rs crates/types/src/value.rs
+
+/root/repo/target/debug/deps/libfedwf_types-b4162a2eb18c2473.rmeta: crates/types/src/lib.rs crates/types/src/cast.rs crates/types/src/check.rs crates/types/src/error.rs crates/types/src/ident.rs crates/types/src/rng.rs crates/types/src/row.rs crates/types/src/sync.rs crates/types/src/value.rs
+
+crates/types/src/lib.rs:
+crates/types/src/cast.rs:
+crates/types/src/check.rs:
+crates/types/src/error.rs:
+crates/types/src/ident.rs:
+crates/types/src/rng.rs:
+crates/types/src/row.rs:
+crates/types/src/sync.rs:
+crates/types/src/value.rs:

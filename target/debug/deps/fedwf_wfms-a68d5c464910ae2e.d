@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fedwf_wfms-a68d5c464910ae2e.d: crates/wfms/src/lib.rs crates/wfms/src/audit.rs crates/wfms/src/builder.rs crates/wfms/src/condition.rs crates/wfms/src/container.rs crates/wfms/src/engine.rs crates/wfms/src/fdl.rs crates/wfms/src/model.rs
+
+/root/repo/target/debug/deps/libfedwf_wfms-a68d5c464910ae2e.rlib: crates/wfms/src/lib.rs crates/wfms/src/audit.rs crates/wfms/src/builder.rs crates/wfms/src/condition.rs crates/wfms/src/container.rs crates/wfms/src/engine.rs crates/wfms/src/fdl.rs crates/wfms/src/model.rs
+
+/root/repo/target/debug/deps/libfedwf_wfms-a68d5c464910ae2e.rmeta: crates/wfms/src/lib.rs crates/wfms/src/audit.rs crates/wfms/src/builder.rs crates/wfms/src/condition.rs crates/wfms/src/container.rs crates/wfms/src/engine.rs crates/wfms/src/fdl.rs crates/wfms/src/model.rs
+
+crates/wfms/src/lib.rs:
+crates/wfms/src/audit.rs:
+crates/wfms/src/builder.rs:
+crates/wfms/src/condition.rs:
+crates/wfms/src/container.rs:
+crates/wfms/src/engine.rs:
+crates/wfms/src/fdl.rs:
+crates/wfms/src/model.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fedwf_wfms-f86a91a6c6b8cbc6.d: crates/wfms/src/lib.rs crates/wfms/src/audit.rs crates/wfms/src/builder.rs crates/wfms/src/condition.rs crates/wfms/src/container.rs crates/wfms/src/engine.rs crates/wfms/src/fdl.rs crates/wfms/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedwf_wfms-f86a91a6c6b8cbc6.rmeta: crates/wfms/src/lib.rs crates/wfms/src/audit.rs crates/wfms/src/builder.rs crates/wfms/src/condition.rs crates/wfms/src/container.rs crates/wfms/src/engine.rs crates/wfms/src/fdl.rs crates/wfms/src/model.rs Cargo.toml
+
+crates/wfms/src/lib.rs:
+crates/wfms/src/audit.rs:
+crates/wfms/src/builder.rs:
+crates/wfms/src/condition.rs:
+crates/wfms/src/container.rs:
+crates/wfms/src/engine.rs:
+crates/wfms/src/fdl.rs:
+crates/wfms/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fedwf_wrapper-430475ee5e89db6d.d: crates/wrapper/src/lib.rs crates/wrapper/src/audtf.rs crates/wrapper/src/controller.rs crates/wrapper/src/executor.rs crates/wrapper/src/wfms_wrapper.rs
+
+/root/repo/target/debug/deps/libfedwf_wrapper-430475ee5e89db6d.rlib: crates/wrapper/src/lib.rs crates/wrapper/src/audtf.rs crates/wrapper/src/controller.rs crates/wrapper/src/executor.rs crates/wrapper/src/wfms_wrapper.rs
+
+/root/repo/target/debug/deps/libfedwf_wrapper-430475ee5e89db6d.rmeta: crates/wrapper/src/lib.rs crates/wrapper/src/audtf.rs crates/wrapper/src/controller.rs crates/wrapper/src/executor.rs crates/wrapper/src/wfms_wrapper.rs
+
+crates/wrapper/src/lib.rs:
+crates/wrapper/src/audtf.rs:
+crates/wrapper/src/controller.rs:
+crates/wrapper/src/executor.rs:
+crates/wrapper/src/wfms_wrapper.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fedwf_wrapper-4307091e9ec48524.d: crates/wrapper/src/lib.rs crates/wrapper/src/audtf.rs crates/wrapper/src/controller.rs crates/wrapper/src/executor.rs crates/wrapper/src/wfms_wrapper.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedwf_wrapper-4307091e9ec48524.rmeta: crates/wrapper/src/lib.rs crates/wrapper/src/audtf.rs crates/wrapper/src/controller.rs crates/wrapper/src/executor.rs crates/wrapper/src/wfms_wrapper.rs Cargo.toml
+
+crates/wrapper/src/lib.rs:
+crates/wrapper/src/audtf.rs:
+crates/wrapper/src/controller.rs:
+crates/wrapper/src/executor.rs:
+crates/wrapper/src/wfms_wrapper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

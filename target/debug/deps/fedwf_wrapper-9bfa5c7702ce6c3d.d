@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fedwf_wrapper-9bfa5c7702ce6c3d.d: crates/wrapper/src/lib.rs crates/wrapper/src/audtf.rs crates/wrapper/src/controller.rs crates/wrapper/src/executor.rs crates/wrapper/src/wfms_wrapper.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfedwf_wrapper-9bfa5c7702ce6c3d.rmeta: crates/wrapper/src/lib.rs crates/wrapper/src/audtf.rs crates/wrapper/src/controller.rs crates/wrapper/src/executor.rs crates/wrapper/src/wfms_wrapper.rs Cargo.toml
+
+crates/wrapper/src/lib.rs:
+crates/wrapper/src/audtf.rs:
+crates/wrapper/src/controller.rs:
+crates/wrapper/src/executor.rs:
+crates/wrapper/src/wfms_wrapper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fedwf_wrapper-dd38f0ee45730ad3.d: crates/wrapper/src/lib.rs crates/wrapper/src/audtf.rs crates/wrapper/src/controller.rs crates/wrapper/src/executor.rs crates/wrapper/src/wfms_wrapper.rs
+
+/root/repo/target/debug/deps/fedwf_wrapper-dd38f0ee45730ad3: crates/wrapper/src/lib.rs crates/wrapper/src/audtf.rs crates/wrapper/src/controller.rs crates/wrapper/src/executor.rs crates/wrapper/src/wfms_wrapper.rs
+
+crates/wrapper/src/lib.rs:
+crates/wrapper/src/audtf.rs:
+crates/wrapper/src/controller.rs:
+crates/wrapper/src/executor.rs:
+crates/wrapper/src/wfms_wrapper.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_elapsed-8285d022a918c4af.d: crates/bench/benches/fig5_elapsed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_elapsed-8285d022a918c4af.rmeta: crates/bench/benches/fig5_elapsed.rs Cargo.toml
+
+crates/bench/benches/fig5_elapsed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_breakdown-a4fa8acca1473f50.d: crates/bench/benches/fig6_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_breakdown-a4fa8acca1473f50.rmeta: crates/bench/benches/fig6_breakdown.rs Cargo.toml
+
+crates/bench/benches/fig6_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loop_scaling-57330f65ac5b1334.d: crates/bench/benches/loop_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloop_scaling-57330f65ac5b1334.rmeta: crates/bench/benches/loop_scaling.rs Cargo.toml
+
+crates/bench/benches/loop_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model-d19502098399795e.d: crates/relstore/tests/model.rs
+
+/root/repo/target/debug/deps/model-d19502098399795e: crates/relstore/tests/model.rs
+
+crates/relstore/tests/model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model-ff11a31561dd5a9e.d: crates/relstore/tests/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel-ff11a31561dd5a9e.rmeta: crates/relstore/tests/model.rs Cargo.toml
+
+crates/relstore/tests/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_vs_sequential-899ed739fbaec78c.d: crates/bench/benches/parallel_vs_sequential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_vs_sequential-899ed739fbaec78c.rmeta: crates/bench/benches/parallel_vs_sequential.rs Cargo.toml
+
+crates/bench/benches/parallel_vs_sequential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_based-a8c452ca6059900f.d: tests/property_based.rs
+
+/root/repo/target/debug/deps/property_based-a8c452ca6059900f: tests/property_based.rs
+
+tests/property_based.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_based-bd72539138d7d29a.d: tests/property_based.rs
+
+/root/repo/target/debug/deps/property_based-bd72539138d7d29a: tests/property_based.rs
+
+tests/property_based.rs:

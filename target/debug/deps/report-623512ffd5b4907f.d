@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/report-623512ffd5b4907f.d: crates/bench/src/bin/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreport-623512ffd5b4907f.rmeta: crates/bench/src/bin/report.rs Cargo.toml
+
+crates/bench/src/bin/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-79731c18dd0840f5.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-79731c18dd0840f5: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serving_layer-45f79c27f64da5a6.d: tests/serving_layer.rs
+
+/root/repo/target/debug/deps/serving_layer-45f79c27f64da5a6: tests/serving_layer.rs
+
+tests/serving_layer.rs:

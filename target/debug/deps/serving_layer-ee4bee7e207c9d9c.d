@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serving_layer-ee4bee7e207c9d9c.d: tests/serving_layer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserving_layer-ee4bee7e207c9d9c.rmeta: tests/serving_layer.rs Cargo.toml
+
+tests/serving_layer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sql_conformance-3899ee350a4cdd7a.d: tests/sql_conformance.rs
+
+/root/repo/target/debug/deps/sql_conformance-3899ee350a4cdd7a: tests/sql_conformance.rs
+
+tests/sql_conformance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sql_conformance-3ef9195e85f5e857.d: tests/sql_conformance.rs
+
+/root/repo/target/debug/deps/sql_conformance-3ef9195e85f5e857: tests/sql_conformance.rs
+
+tests/sql_conformance.rs:

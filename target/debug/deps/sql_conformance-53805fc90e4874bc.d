@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sql_conformance-53805fc90e4874bc.d: tests/sql_conformance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsql_conformance-53805fc90e4874bc.rmeta: tests/sql_conformance.rs Cargo.toml
+
+tests/sql_conformance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/threaded_equivalence-a0a453a475bbb4e0.d: tests/threaded_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthreaded_equivalence-a0a453a475bbb4e0.rmeta: tests/threaded_equivalence.rs Cargo.toml
+
+tests/threaded_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/threaded_equivalence-c48b56297b18b3ea.d: tests/threaded_equivalence.rs
+
+/root/repo/target/debug/deps/threaded_equivalence-c48b56297b18b3ea: tests/threaded_equivalence.rs
+
+tests/threaded_equivalence.rs:

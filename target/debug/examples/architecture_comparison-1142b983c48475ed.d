@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/architecture_comparison-1142b983c48475ed.d: examples/architecture_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libarchitecture_comparison-1142b983c48475ed.rmeta: examples/architecture_comparison.rs Cargo.toml
+
+examples/architecture_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

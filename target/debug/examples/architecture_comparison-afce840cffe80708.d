@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/architecture_comparison-afce840cffe80708.d: examples/architecture_comparison.rs
+
+/root/repo/target/debug/examples/architecture_comparison-afce840cffe80708: examples/architecture_comparison.rs
+
+examples/architecture_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/architecture_comparison-c203297566565722.d: examples/architecture_comparison.rs
+
+/root/repo/target/debug/examples/architecture_comparison-c203297566565722: examples/architecture_comparison.rs
+
+examples/architecture_comparison.rs:

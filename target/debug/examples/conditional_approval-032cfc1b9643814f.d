@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/conditional_approval-032cfc1b9643814f.d: examples/conditional_approval.rs
+
+/root/repo/target/debug/examples/conditional_approval-032cfc1b9643814f: examples/conditional_approval.rs
+
+examples/conditional_approval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/conditional_approval-4c0e697af6c588ac.d: examples/conditional_approval.rs
+
+/root/repo/target/debug/examples/conditional_approval-4c0e697af6c588ac: examples/conditional_approval.rs
+
+examples/conditional_approval.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/conditional_approval-e21abee2c4b1d12c.d: examples/conditional_approval.rs Cargo.toml
+
+/root/repo/target/debug/examples/libconditional_approval-e21abee2c4b1d12c.rmeta: examples/conditional_approval.rs Cargo.toml
+
+examples/conditional_approval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/federation_query-0db733fb8e9a8b5b.d: examples/federation_query.rs
+
+/root/repo/target/debug/examples/federation_query-0db733fb8e9a8b5b: examples/federation_query.rs
+
+examples/federation_query.rs:

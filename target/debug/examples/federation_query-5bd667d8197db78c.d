@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/federation_query-5bd667d8197db78c.d: examples/federation_query.rs
+
+/root/repo/target/debug/examples/federation_query-5bd667d8197db78c: examples/federation_query.rs
+
+examples/federation_query.rs:

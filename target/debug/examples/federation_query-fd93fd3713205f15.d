@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/federation_query-fd93fd3713205f15.d: examples/federation_query.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfederation_query-fd93fd3713205f15.rmeta: examples/federation_query.rs Cargo.toml
+
+examples/federation_query.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

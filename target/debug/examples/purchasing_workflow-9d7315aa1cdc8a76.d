@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/purchasing_workflow-9d7315aa1cdc8a76.d: examples/purchasing_workflow.rs
+
+/root/repo/target/debug/examples/purchasing_workflow-9d7315aa1cdc8a76: examples/purchasing_workflow.rs
+
+examples/purchasing_workflow.rs:

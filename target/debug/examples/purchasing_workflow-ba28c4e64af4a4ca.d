@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/purchasing_workflow-ba28c4e64af4a4ca.d: examples/purchasing_workflow.rs
+
+/root/repo/target/debug/examples/purchasing_workflow-ba28c4e64af4a4ca: examples/purchasing_workflow.rs
+
+examples/purchasing_workflow.rs:

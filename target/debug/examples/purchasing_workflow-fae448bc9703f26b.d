@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/purchasing_workflow-fae448bc9703f26b.d: examples/purchasing_workflow.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpurchasing_workflow-fae448bc9703f26b.rmeta: examples/purchasing_workflow.rs Cargo.toml
+
+examples/purchasing_workflow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

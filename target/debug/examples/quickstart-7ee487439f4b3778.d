@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7ee487439f4b3778.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7ee487439f4b3778: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b9d67300f35f78bb.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b9d67300f35f78bb: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engines-b39a52cee3dd2e79.d: crates/bench/benches/engines.rs
+
+/root/repo/target/release/deps/engines-b39a52cee3dd2e79: crates/bench/benches/engines.rs
+
+crates/bench/benches/engines.rs:

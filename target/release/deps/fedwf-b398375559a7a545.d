@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/fedwf-b398375559a7a545.d: src/lib.rs src/../README.md
+
+/root/repo/target/release/deps/libfedwf-b398375559a7a545.rlib: src/lib.rs src/../README.md
+
+/root/repo/target/release/deps/libfedwf-b398375559a7a545.rmeta: src/lib.rs src/../README.md
+
+src/lib.rs:
+src/../README.md:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fedwf_appsys-0d8121974eec293f.d: crates/appsys/src/lib.rs crates/appsys/src/datagen.rs crates/appsys/src/function.rs crates/appsys/src/scenario.rs crates/appsys/src/system.rs
+
+/root/repo/target/release/deps/libfedwf_appsys-0d8121974eec293f.rlib: crates/appsys/src/lib.rs crates/appsys/src/datagen.rs crates/appsys/src/function.rs crates/appsys/src/scenario.rs crates/appsys/src/system.rs
+
+/root/repo/target/release/deps/libfedwf_appsys-0d8121974eec293f.rmeta: crates/appsys/src/lib.rs crates/appsys/src/datagen.rs crates/appsys/src/function.rs crates/appsys/src/scenario.rs crates/appsys/src/system.rs
+
+crates/appsys/src/lib.rs:
+crates/appsys/src/datagen.rs:
+crates/appsys/src/function.rs:
+crates/appsys/src/scenario.rs:
+crates/appsys/src/system.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fedwf_bench-9d945e2d17aaf575.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/micro.rs crates/bench/src/throughput.rs
+
+/root/repo/target/release/deps/libfedwf_bench-9d945e2d17aaf575.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/micro.rs crates/bench/src/throughput.rs
+
+/root/repo/target/release/deps/libfedwf_bench-9d945e2d17aaf575.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/micro.rs crates/bench/src/throughput.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/throughput.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/fedwf_fdbs-1ed7129e1431ff8e.d: crates/fdbs/src/lib.rs crates/fdbs/src/catalog.rs crates/fdbs/src/engine.rs crates/fdbs/src/exec.rs crates/fdbs/src/expr.rs crates/fdbs/src/plan.rs crates/fdbs/src/sqlmed.rs crates/fdbs/src/udtf.rs
+
+/root/repo/target/release/deps/libfedwf_fdbs-1ed7129e1431ff8e.rlib: crates/fdbs/src/lib.rs crates/fdbs/src/catalog.rs crates/fdbs/src/engine.rs crates/fdbs/src/exec.rs crates/fdbs/src/expr.rs crates/fdbs/src/plan.rs crates/fdbs/src/sqlmed.rs crates/fdbs/src/udtf.rs
+
+/root/repo/target/release/deps/libfedwf_fdbs-1ed7129e1431ff8e.rmeta: crates/fdbs/src/lib.rs crates/fdbs/src/catalog.rs crates/fdbs/src/engine.rs crates/fdbs/src/exec.rs crates/fdbs/src/expr.rs crates/fdbs/src/plan.rs crates/fdbs/src/sqlmed.rs crates/fdbs/src/udtf.rs
+
+crates/fdbs/src/lib.rs:
+crates/fdbs/src/catalog.rs:
+crates/fdbs/src/engine.rs:
+crates/fdbs/src/exec.rs:
+crates/fdbs/src/expr.rs:
+crates/fdbs/src/plan.rs:
+crates/fdbs/src/sqlmed.rs:
+crates/fdbs/src/udtf.rs:

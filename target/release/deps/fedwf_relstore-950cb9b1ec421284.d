@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fedwf_relstore-950cb9b1ec421284.d: crates/relstore/src/lib.rs crates/relstore/src/database.rs crates/relstore/src/index.rs crates/relstore/src/predicate.rs crates/relstore/src/table.rs
+
+/root/repo/target/release/deps/libfedwf_relstore-950cb9b1ec421284.rlib: crates/relstore/src/lib.rs crates/relstore/src/database.rs crates/relstore/src/index.rs crates/relstore/src/predicate.rs crates/relstore/src/table.rs
+
+/root/repo/target/release/deps/libfedwf_relstore-950cb9b1ec421284.rmeta: crates/relstore/src/lib.rs crates/relstore/src/database.rs crates/relstore/src/index.rs crates/relstore/src/predicate.rs crates/relstore/src/table.rs
+
+crates/relstore/src/lib.rs:
+crates/relstore/src/database.rs:
+crates/relstore/src/index.rs:
+crates/relstore/src/predicate.rs:
+crates/relstore/src/table.rs:

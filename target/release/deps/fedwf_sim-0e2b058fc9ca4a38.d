@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fedwf_sim-0e2b058fc9ca4a38.d: crates/sim/src/lib.rs crates/sim/src/breakdown.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/env.rs crates/sim/src/wall.rs
+
+/root/repo/target/release/deps/libfedwf_sim-0e2b058fc9ca4a38.rlib: crates/sim/src/lib.rs crates/sim/src/breakdown.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/env.rs crates/sim/src/wall.rs
+
+/root/repo/target/release/deps/libfedwf_sim-0e2b058fc9ca4a38.rmeta: crates/sim/src/lib.rs crates/sim/src/breakdown.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/env.rs crates/sim/src/wall.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/breakdown.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/env.rs:
+crates/sim/src/wall.rs:

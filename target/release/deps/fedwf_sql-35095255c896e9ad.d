@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fedwf_sql-35095255c896e9ad.d: crates/sqlparse/src/lib.rs crates/sqlparse/src/ast.rs crates/sqlparse/src/lexer.rs crates/sqlparse/src/parser.rs
+
+/root/repo/target/release/deps/libfedwf_sql-35095255c896e9ad.rlib: crates/sqlparse/src/lib.rs crates/sqlparse/src/ast.rs crates/sqlparse/src/lexer.rs crates/sqlparse/src/parser.rs
+
+/root/repo/target/release/deps/libfedwf_sql-35095255c896e9ad.rmeta: crates/sqlparse/src/lib.rs crates/sqlparse/src/ast.rs crates/sqlparse/src/lexer.rs crates/sqlparse/src/parser.rs
+
+crates/sqlparse/src/lib.rs:
+crates/sqlparse/src/ast.rs:
+crates/sqlparse/src/lexer.rs:
+crates/sqlparse/src/parser.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fedwf_sql-8627001534cfc688.d: src/bin/fedwf-sql.rs
+
+/root/repo/target/release/deps/fedwf_sql-8627001534cfc688: src/bin/fedwf-sql.rs
+
+src/bin/fedwf-sql.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/fedwf_wfms-07e421c2c2d6fdc0.d: crates/wfms/src/lib.rs crates/wfms/src/audit.rs crates/wfms/src/builder.rs crates/wfms/src/condition.rs crates/wfms/src/container.rs crates/wfms/src/engine.rs crates/wfms/src/fdl.rs crates/wfms/src/model.rs
+
+/root/repo/target/release/deps/libfedwf_wfms-07e421c2c2d6fdc0.rlib: crates/wfms/src/lib.rs crates/wfms/src/audit.rs crates/wfms/src/builder.rs crates/wfms/src/condition.rs crates/wfms/src/container.rs crates/wfms/src/engine.rs crates/wfms/src/fdl.rs crates/wfms/src/model.rs
+
+/root/repo/target/release/deps/libfedwf_wfms-07e421c2c2d6fdc0.rmeta: crates/wfms/src/lib.rs crates/wfms/src/audit.rs crates/wfms/src/builder.rs crates/wfms/src/condition.rs crates/wfms/src/container.rs crates/wfms/src/engine.rs crates/wfms/src/fdl.rs crates/wfms/src/model.rs
+
+crates/wfms/src/lib.rs:
+crates/wfms/src/audit.rs:
+crates/wfms/src/builder.rs:
+crates/wfms/src/condition.rs:
+crates/wfms/src/container.rs:
+crates/wfms/src/engine.rs:
+crates/wfms/src/fdl.rs:
+crates/wfms/src/model.rs:

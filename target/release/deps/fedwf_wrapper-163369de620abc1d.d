@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fedwf_wrapper-163369de620abc1d.d: crates/wrapper/src/lib.rs crates/wrapper/src/audtf.rs crates/wrapper/src/controller.rs crates/wrapper/src/executor.rs crates/wrapper/src/wfms_wrapper.rs
+
+/root/repo/target/release/deps/libfedwf_wrapper-163369de620abc1d.rlib: crates/wrapper/src/lib.rs crates/wrapper/src/audtf.rs crates/wrapper/src/controller.rs crates/wrapper/src/executor.rs crates/wrapper/src/wfms_wrapper.rs
+
+/root/repo/target/release/deps/libfedwf_wrapper-163369de620abc1d.rmeta: crates/wrapper/src/lib.rs crates/wrapper/src/audtf.rs crates/wrapper/src/controller.rs crates/wrapper/src/executor.rs crates/wrapper/src/wfms_wrapper.rs
+
+crates/wrapper/src/lib.rs:
+crates/wrapper/src/audtf.rs:
+crates/wrapper/src/controller.rs:
+crates/wrapper/src/executor.rs:
+crates/wrapper/src/wfms_wrapper.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/report-b83f6c75f1b6d7c3.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/release/deps/report-b83f6c75f1b6d7c3: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

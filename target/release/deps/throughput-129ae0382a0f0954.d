@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/throughput-129ae0382a0f0954.d: crates/bench/benches/throughput.rs
+
+/root/repo/target/release/deps/throughput-129ae0382a0f0954: crates/bench/benches/throughput.rs
+
+crates/bench/benches/throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-4428e2384bd2f01e.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-4428e2384bd2f01e: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -15,7 +15,8 @@ fn server(kind: ArchitectureKind) -> IntegrationServer {
 fn the_full_paper_workload_deploys_and_runs_on_the_wfms() {
     let s = server(ArchitectureKind::Wfms);
     for (spec, _) in paper_functions::fig5_workload() {
-        s.deploy(&spec).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        s.deploy(&spec)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
         let args = fedwf_bench_args(&s, spec.name.normalized());
         let outcome = s
             .call(spec.name.as_str(), &args)

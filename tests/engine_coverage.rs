@@ -139,7 +139,9 @@ fn xor_split_with_conditions_takes_exactly_one_branch() {
         for threaded in [false, true] {
             let mut meter = Meter::new();
             let instance = if threaded {
-                engine.run_threaded(&process, &input, &ex, &mut meter).unwrap()
+                engine
+                    .run_threaded(&process, &input, &ex, &mut meter)
+                    .unwrap()
             } else {
                 engine.run(&process, &input, &ex, &mut meter).unwrap()
             };
@@ -209,8 +211,8 @@ fn every_paper_process_round_trips_through_fdl() {
     for (spec, _) in paper_functions::fig5_workload() {
         let process = arch.compile_process(&spec).unwrap();
         let text = export_fdl(&process);
-        let reparsed = parse_fdl(&text)
-            .unwrap_or_else(|e| panic!("{}: {e}\nFDL:\n{text}", spec.name));
+        let reparsed =
+            parse_fdl(&text).unwrap_or_else(|e| panic!("{}: {e}\nFDL:\n{text}", spec.name));
         assert_eq!(process, reparsed, "round-trip failed for {}", spec.name);
     }
 }
@@ -263,10 +265,7 @@ fn aggregates_over_federated_function_results() {
              FROM TABLE (GetSubCompDiscounts(C, D)) AS T \
              GROUP BY T.SupplierNo",
             &[
-                (
-                    "C",
-                    Value::Int(server.scenario().well_known_component_no()),
-                ),
+                ("C", Value::Int(server.scenario().well_known_component_no())),
                 ("D", Value::Int(5)),
             ],
         )
@@ -276,10 +275,7 @@ fn aggregates_over_federated_function_results() {
         .query(
             "SELECT T.SupplierNo FROM TABLE (GetSubCompDiscounts(C, D)) AS T",
             &[
-                (
-                    "C",
-                    Value::Int(server.scenario().well_known_component_no()),
-                ),
+                ("C", Value::Int(server.scenario().well_known_component_no())),
                 ("D", Value::Int(5)),
             ],
         )
@@ -298,11 +294,8 @@ fn aggregates_over_federated_function_results() {
 fn is_null_and_concat_through_the_full_stack() {
     let f = Fdbs::new(CostModel::zero());
     let mut m = Meter::new();
-    f.execute(
-        "CREATE TABLE People (First VARCHAR, Last VARCHAR)",
-        &mut m,
-    )
-    .unwrap();
+    f.execute("CREATE TABLE People (First VARCHAR, Last VARCHAR)", &mut m)
+        .unwrap();
     f.execute(
         "INSERT INTO People VALUES ('Klaudia', 'Hergula'), (NULL, 'Haerder')",
         &mut m,

@@ -1,121 +1,152 @@
-//! Property-based tests over core invariants, spanning crates.
+//! Property-based tests over core invariants, spanning crates — run by the
+//! in-tree deterministic harness (`fedwf::types::check`), which reports the
+//! reproducing seed on failure.
 
-use proptest::prelude::*;
+use std::sync::Arc;
 
 use fedwf::relstore::{CmpOp, Database, IndexKind, Predicate};
 use fedwf::sim::{Breakdown, Component, Meter};
 use fedwf::sql::{parse_expression, parse_statement, Expr, Statement};
+use fedwf::types::check;
+use fedwf::types::rng::Rng;
 use fedwf::types::{cast_value, DataType, Row, Schema, Value};
-use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
 // Value / cast lattice
 // ---------------------------------------------------------------------------
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<i32>().prop_map(Value::Int),
-        any::<i64>().prop_map(Value::BigInt),
-        (-1.0e12..1.0e12f64).prop_map(Value::Double),
-        "[a-zA-Z0-9 _-]{0,12}".prop_map(Value::Varchar),
-        any::<bool>().prop_map(Value::Boolean),
-    ]
+const NAME_ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+const TEXT_ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 _-";
+
+fn gen_value(rng: &mut Rng) -> Value {
+    match rng.range_usize(0, 6) {
+        0 => Value::Null,
+        1 => Value::Int(rng.next_u64() as i32),
+        2 => Value::BigInt(rng.next_u64() as i64),
+        3 => Value::Double(rng.range_i64(-1_000_000_000_000, 1_000_000_000_000) as f64 / 7.0),
+        4 => Value::Varchar(rng.ascii_string(TEXT_ALPHABET, 12)),
+        _ => Value::Boolean(rng.gen_bool(0.5)),
+    }
 }
 
-proptest! {
-    /// Widening INT -> BIGINT -> roundtrip back is the identity.
-    #[test]
-    fn widen_then_narrow_roundtrips(x in any::<i32>()) {
+#[test]
+fn widen_then_narrow_roundtrips() {
+    check::cases(256, |rng| {
+        let x = rng.next_u64() as i32;
         let widened = cast_value(&Value::Int(x), DataType::BigInt).unwrap();
         let back = cast_value(&widened, DataType::Int).unwrap();
-        prop_assert_eq!(back, Value::Int(x));
-    }
+        assert_eq!(back, Value::Int(x));
+    });
+}
 
-    /// Every value casts to VARCHAR, and the result renders identically.
-    #[test]
-    fn everything_casts_to_varchar(v in arb_value()) {
+#[test]
+fn everything_casts_to_varchar() {
+    check::cases(256, |rng| {
+        let v = gen_value(rng);
         let casted = cast_value(&v, DataType::Varchar).unwrap();
         if v.is_null() {
-            prop_assert!(casted.is_null());
+            assert!(casted.is_null());
         } else {
-            prop_assert_eq!(casted.render(), v.render());
+            assert_eq!(casted.render(), v.render());
         }
-    }
+    });
+}
 
-    /// index_cmp is a total order: antisymmetric and transitive on samples.
-    #[test]
-    fn index_cmp_total_order(a in arb_value(), b in arb_value(), c in arb_value()) {
-        use std::cmp::Ordering;
-        prop_assert_eq!(a.index_cmp(&b), b.index_cmp(&a).reverse());
+#[test]
+fn index_cmp_total_order() {
+    use std::cmp::Ordering;
+    check::cases(512, |rng| {
+        let a = gen_value(rng);
+        let b = gen_value(rng);
+        let c = gen_value(rng);
+        assert_eq!(a.index_cmp(&b), b.index_cmp(&a).reverse());
         if a.index_cmp(&b) != Ordering::Greater && b.index_cmp(&c) != Ordering::Greater {
-            prop_assert_ne!(a.index_cmp(&c), Ordering::Greater);
+            assert_ne!(a.index_cmp(&c), Ordering::Greater);
         }
-    }
+    });
 }
 
 // ---------------------------------------------------------------------------
 // SQL parser round-trip
 // ---------------------------------------------------------------------------
 
-fn arb_literal_expr() -> impl Strategy<Value = Expr> {
-    prop_oneof![
-        any::<i32>().prop_map(Expr::lit),
-        "[a-zA-Z0-9 ]{0,10}".prop_map(|s| Expr::lit(Value::Varchar(s))),
-        Just(Expr::lit(Value::Null)),
-        Just(Expr::Literal(Value::Boolean(true))),
-    ]
+/// A lowercase identifier that is not a SQL keyword.
+fn gen_ident(rng: &mut Rng) -> String {
+    loop {
+        let mut s = String::new();
+        s.push(*rng.pick(b"abcdefghijklmnopqrstuvwxyz") as char);
+        let tail_len = rng.range_usize(0, 8);
+        for _ in 0..tail_len {
+            s.push(*rng.pick(NAME_ALPHABET) as char);
+        }
+        if fedwf::sql::Keyword::parse(&s).is_none() {
+            return s;
+        }
+    }
 }
 
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        arb_literal_expr(),
-        "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| {
-            fedwf::sql::Keyword::parse(s).is_none()
-        }).prop_map(|s| Expr::bare(&s)),
-    ];
-    leaf.prop_recursive(3, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::and(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::eq(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binary(
-                a,
-                fedwf::sql::BinaryOp::Add,
-                b
-            )),
-            inner.clone().prop_map(|e| Expr::IsNull {
-                expr: Box::new(e),
-                negated: false
-            }),
-            inner.prop_map(|e| Expr::Cast {
-                expr: Box::new(e),
-                data_type: DataType::BigInt
-            }),
-        ]
-    })
+fn gen_literal_expr(rng: &mut Rng) -> Expr {
+    match rng.range_usize(0, 4) {
+        0 => Expr::lit(rng.next_u64() as i32),
+        1 => Expr::lit(Value::Varchar(rng.ascii_string(
+            b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ",
+            10,
+        ))),
+        2 => Expr::lit(Value::Null),
+        _ => Expr::Literal(Value::Boolean(true)),
+    }
 }
 
-proptest! {
-    /// pretty-print → reparse is the identity on expressions.
-    #[test]
-    fn expression_round_trip(e in arb_expr()) {
+/// A random expression tree of bounded depth.
+fn gen_expr(rng: &mut Rng, depth: usize) -> Expr {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return if rng.gen_bool(0.5) {
+            gen_literal_expr(rng)
+        } else {
+            Expr::bare(&gen_ident(rng))
+        };
+    }
+    match rng.range_usize(0, 5) {
+        0 => Expr::and(gen_expr(rng, depth - 1), gen_expr(rng, depth - 1)),
+        1 => Expr::eq(gen_expr(rng, depth - 1), gen_expr(rng, depth - 1)),
+        2 => Expr::binary(
+            gen_expr(rng, depth - 1),
+            fedwf::sql::BinaryOp::Add,
+            gen_expr(rng, depth - 1),
+        ),
+        3 => Expr::IsNull {
+            expr: Box::new(gen_expr(rng, depth - 1)),
+            negated: false,
+        },
+        _ => Expr::Cast {
+            expr: Box::new(gen_expr(rng, depth - 1)),
+            data_type: DataType::BigInt,
+        },
+    }
+}
+
+#[test]
+fn expression_round_trip() {
+    check::cases(256, |rng| {
+        let e = gen_expr(rng, 3);
         let printed = e.to_string();
         let reparsed = parse_expression(&printed)
             .unwrap_or_else(|err| panic!("cannot reparse {printed:?}: {err}"));
-        prop_assert_eq!(reparsed, e, "printed: {}", printed);
-    }
+        assert_eq!(reparsed, e, "printed: {printed}");
+    });
+}
 
-    /// pretty-print → reparse is the identity on simple SELECTs.
-    #[test]
-    fn select_round_trip(
-        cols in prop::collection::vec("[a-z][a-z0-9]{0,6}", 1..4),
-        table in "[a-z][a-z0-9]{0,6}",
-        limit in proptest::option::of(0u64..1000),
-    ) {
-        prop_assume!(fedwf::sql::Keyword::parse(&table).is_none());
-        for c in &cols {
-            prop_assume!(fedwf::sql::Keyword::parse(c).is_none());
-        }
+#[test]
+fn select_round_trip() {
+    check::cases(256, |rng| {
+        let n_cols = rng.range_usize(1, 4);
+        let cols: Vec<String> = (0..n_cols).map(|_| gen_ident(rng)).collect();
+        let table = gen_ident(rng);
+        let limit = if rng.gen_bool(0.5) {
+            Some(rng.range_u64(0, 999))
+        } else {
+            None
+        };
         let sql = format!(
             "SELECT {} FROM {}{}",
             cols.join(", "),
@@ -125,26 +156,33 @@ proptest! {
         let stmt = parse_statement(&sql).unwrap();
         let printed = stmt.to_string();
         let reparsed = parse_statement(&printed).unwrap();
-        prop_assert_eq!(stmt, reparsed);
-    }
+        assert_eq!(stmt, reparsed);
+    });
 }
 
 // ---------------------------------------------------------------------------
 // Storage: indexed scans agree with full scans
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn indexed_and_full_scans_agree(
-        keys in prop::collection::hash_set(0i32..500, 0..40),
-        probe in 0i32..500,
-    ) {
+#[test]
+fn indexed_and_full_scans_agree() {
+    check::cases(64, |rng| {
+        let n_keys = rng.range_usize(0, 40);
+        let mut keys = std::collections::HashSet::new();
+        for _ in 0..n_keys {
+            keys.insert(rng.range_i32(0, 499));
+        }
+        let probe = rng.range_i32(0, 499);
+
         let db = Database::new("prop");
         db.create_table(
             "T",
-            Arc::new(Schema::of(&[("k", DataType::Int), ("v", DataType::Varchar)])),
-        ).unwrap();
+            Arc::new(Schema::of(&[
+                ("k", DataType::Int),
+                ("v", DataType::Varchar),
+            ])),
+        )
+        .unwrap();
         let rows: Vec<Row> = keys
             .iter()
             .map(|&k| Row::new(vec![Value::Int(k), Value::str(format!("v{k}"))]))
@@ -154,22 +192,23 @@ proptest! {
         let full = db.scan("T", &Predicate::eq(0, probe)).unwrap();
         db.create_index("T", "pk", "k", IndexKind::Unique).unwrap();
         let indexed = db.scan("T", &Predicate::eq(0, probe)).unwrap();
-        prop_assert_eq!(full.row_count(), indexed.row_count());
+        assert_eq!(full.row_count(), indexed.row_count());
         // Range predicate: count equals the set-based count.
         let expected = keys.iter().filter(|&&k| k < probe).count();
         let got = db.scan("T", &Predicate::cmp(0, CmpOp::Lt, probe)).unwrap();
-        prop_assert_eq!(got.row_count(), expected);
-    }
+        assert_eq!(got.row_count(), expected);
+    });
 }
 
 // ---------------------------------------------------------------------------
 // Virtual clock: fork/join algebra
 // ---------------------------------------------------------------------------
 
-proptest! {
-    /// Join time equals the maximum branch time; booked work is the sum.
-    #[test]
-    fn join_is_max_booked_is_sum(branches in prop::collection::vec(0u64..10_000, 1..6)) {
+#[test]
+fn join_is_max_booked_is_sum() {
+    check::cases(256, |rng| {
+        let n = rng.range_usize(1, 6);
+        let branches: Vec<u64> = (0..n).map(|_| rng.range_u64(0, 9_999)).collect();
         let mut meter = Meter::new();
         meter.charge(Component::WfEngine, "setup", 100);
         let mut children = Vec::new();
@@ -181,21 +220,24 @@ proptest! {
         meter.join(children);
         let max = branches.iter().copied().max().unwrap();
         let sum: u64 = branches.iter().sum();
-        prop_assert_eq!(meter.now_us(), 100 + max);
-        prop_assert_eq!(meter.total_booked_us(), 100 + sum);
-    }
+        assert_eq!(meter.now_us(), 100 + max);
+        assert_eq!(meter.total_booked_us(), 100 + sum);
+    });
+}
 
-    /// Breakdown percentages over sequential charges sum to 100.
-    #[test]
-    fn sequential_breakdown_sums_to_100(costs in prop::collection::vec(1u64..5_000, 1..10)) {
+#[test]
+fn sequential_breakdown_sums_to_100() {
+    check::cases(256, |rng| {
+        let n = rng.range_usize(1, 10);
+        let costs: Vec<u64> = (0..n).map(|_| rng.range_u64(1, 4_999)).collect();
         let mut meter = Meter::new();
         for (i, c) in costs.iter().enumerate() {
             meter.charge(Component::Udtf, format!("step {i}"), *c);
         }
         let b = Breakdown::by_step("t", meter.charges(), meter.now_us());
         let total: f64 = b.lines.iter().map(|l| l.percent).sum();
-        prop_assert!((total - 100.0).abs() < 1e-6, "total = {total}");
-    }
+        assert!((total - 100.0).abs() < 1e-6, "total = {total}");
+    });
 }
 
 // ---------------------------------------------------------------------------

@@ -36,10 +36,7 @@ fn col_i64(t: &Table, col: &str) -> Vec<Option<i64>> {
         .schema()
         .index_of(&fedwf::types::Ident::new(col))
         .unwrap_or_else(|| panic!("no column {col}"));
-    t.rows()
-        .iter()
-        .map(|r| r.values()[idx].as_i64())
-        .collect()
+    t.rows().iter().map(|r| r.values()[idx].as_i64()).collect()
 }
 
 #[test]
@@ -55,11 +52,17 @@ fn where_combinations() {
     let f = engine();
     let cases: &[(&str, usize)] = &[
         ("SELECT * FROM Suppliers WHERE Relia = 95", 2),
-        ("SELECT * FROM Suppliers WHERE Relia >= 80 AND Name IS NOT NULL", 3),
+        (
+            "SELECT * FROM Suppliers WHERE Relia >= 80 AND Name IS NOT NULL",
+            3,
+        ),
         ("SELECT * FROM Suppliers WHERE Relia < 70 OR Relia > 90", 3),
         ("SELECT * FROM Suppliers WHERE NOT Relia = 95", 3),
         ("SELECT * FROM Suppliers WHERE Name IS NULL", 1),
-        ("SELECT * FROM Suppliers WHERE Relia <> 95 AND Relia <> 80", 2),
+        (
+            "SELECT * FROM Suppliers WHERE Relia <> 95 AND Relia <> 80",
+            2,
+        ),
         ("SELECT * FROM Suppliers WHERE SupplierNo = 1 AND 1 = 1", 1),
         ("SELECT * FROM Suppliers WHERE 1 = 2", 0),
     ];
@@ -93,7 +96,10 @@ fn order_by_multiple_keys_and_nulls() {
     assert_eq!(t.value(0, "Name"), Some(&Value::str("Bolt & Sons")));
     assert_eq!(t.value(1, "Name"), Some(&Value::str("Elbe Metall")));
     // NULL name sorts first in ascending name order within its group.
-    assert_eq!(col_i64(&t, "Relia"), vec![Some(95), Some(95), Some(80), Some(70), Some(60)]);
+    assert_eq!(
+        col_i64(&t, "Relia"),
+        vec![Some(95), Some(95), Some(80), Some(70), Some(60)]
+    );
 }
 
 #[test]
@@ -289,7 +295,10 @@ fn aggregate_errors() {
 #[test]
 fn explain_shows_aggregate_stage() {
     let f = engine();
-    let t = run(&f, "EXPLAIN SELECT Relia, COUNT(*) FROM Suppliers GROUP BY Relia");
+    let t = run(
+        &f,
+        "EXPLAIN SELECT Relia, COUNT(*) FROM Suppliers GROUP BY Relia",
+    );
     let text: String = t
         .rows()
         .iter()
