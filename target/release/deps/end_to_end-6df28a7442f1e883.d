@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-6df28a7442f1e883.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-6df28a7442f1e883: tests/end_to_end.rs
+
+tests/end_to_end.rs:

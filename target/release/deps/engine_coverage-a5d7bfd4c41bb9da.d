@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine_coverage-a5d7bfd4c41bb9da.d: tests/engine_coverage.rs
+
+/root/repo/target/release/deps/engine_coverage-a5d7bfd4c41bb9da: tests/engine_coverage.rs
+
+tests/engine_coverage.rs:

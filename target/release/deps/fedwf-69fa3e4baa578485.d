@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/fedwf-69fa3e4baa578485.d: src/lib.rs src/../README.md
+
+/root/repo/target/release/deps/fedwf-69fa3e4baa578485: src/lib.rs src/../README.md
+
+src/lib.rs:
+src/../README.md:

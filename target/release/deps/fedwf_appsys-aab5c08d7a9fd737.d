@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fedwf_appsys-aab5c08d7a9fd737.d: crates/appsys/src/lib.rs crates/appsys/src/datagen.rs crates/appsys/src/function.rs crates/appsys/src/scenario.rs crates/appsys/src/system.rs
+
+/root/repo/target/release/deps/fedwf_appsys-aab5c08d7a9fd737: crates/appsys/src/lib.rs crates/appsys/src/datagen.rs crates/appsys/src/function.rs crates/appsys/src/scenario.rs crates/appsys/src/system.rs
+
+crates/appsys/src/lib.rs:
+crates/appsys/src/datagen.rs:
+crates/appsys/src/function.rs:
+crates/appsys/src/scenario.rs:
+crates/appsys/src/system.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/fedwf_bench-3446ee39f0e9a273.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/micro.rs crates/bench/src/throughput.rs
+
+/root/repo/target/release/deps/fedwf_bench-3446ee39f0e9a273: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/micro.rs crates/bench/src/throughput.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/throughput.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/fedwf_core-43fc78e9efc8cb43.d: crates/core/src/lib.rs crates/core/src/arch/mod.rs crates/core/src/arch/java_udtf.rs crates/core/src/arch/simple_udtf.rs crates/core/src/arch/sql_udtf.rs crates/core/src/arch/wfms.rs crates/core/src/classify.rs crates/core/src/front.rs crates/core/src/mapping.rs crates/core/src/paper_functions.rs crates/core/src/server.rs
+
+/root/repo/target/release/deps/fedwf_core-43fc78e9efc8cb43: crates/core/src/lib.rs crates/core/src/arch/mod.rs crates/core/src/arch/java_udtf.rs crates/core/src/arch/simple_udtf.rs crates/core/src/arch/sql_udtf.rs crates/core/src/arch/wfms.rs crates/core/src/classify.rs crates/core/src/front.rs crates/core/src/mapping.rs crates/core/src/paper_functions.rs crates/core/src/server.rs
+
+crates/core/src/lib.rs:
+crates/core/src/arch/mod.rs:
+crates/core/src/arch/java_udtf.rs:
+crates/core/src/arch/simple_udtf.rs:
+crates/core/src/arch/sql_udtf.rs:
+crates/core/src/arch/wfms.rs:
+crates/core/src/classify.rs:
+crates/core/src/front.rs:
+crates/core/src/mapping.rs:
+crates/core/src/paper_functions.rs:
+crates/core/src/server.rs:

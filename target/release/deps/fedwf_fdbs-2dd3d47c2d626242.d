@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fedwf_fdbs-2dd3d47c2d626242.d: crates/fdbs/src/lib.rs crates/fdbs/src/catalog.rs crates/fdbs/src/engine.rs crates/fdbs/src/exec.rs crates/fdbs/src/expr.rs crates/fdbs/src/plan.rs crates/fdbs/src/sqlmed.rs crates/fdbs/src/udtf.rs
+
+/root/repo/target/release/deps/fedwf_fdbs-2dd3d47c2d626242: crates/fdbs/src/lib.rs crates/fdbs/src/catalog.rs crates/fdbs/src/engine.rs crates/fdbs/src/exec.rs crates/fdbs/src/expr.rs crates/fdbs/src/plan.rs crates/fdbs/src/sqlmed.rs crates/fdbs/src/udtf.rs
+
+crates/fdbs/src/lib.rs:
+crates/fdbs/src/catalog.rs:
+crates/fdbs/src/engine.rs:
+crates/fdbs/src/exec.rs:
+crates/fdbs/src/expr.rs:
+crates/fdbs/src/plan.rs:
+crates/fdbs/src/sqlmed.rs:
+crates/fdbs/src/udtf.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fedwf_relstore-ef662627702ff3c8.d: crates/relstore/src/lib.rs crates/relstore/src/database.rs crates/relstore/src/index.rs crates/relstore/src/predicate.rs crates/relstore/src/table.rs
+
+/root/repo/target/release/deps/fedwf_relstore-ef662627702ff3c8: crates/relstore/src/lib.rs crates/relstore/src/database.rs crates/relstore/src/index.rs crates/relstore/src/predicate.rs crates/relstore/src/table.rs
+
+crates/relstore/src/lib.rs:
+crates/relstore/src/database.rs:
+crates/relstore/src/index.rs:
+crates/relstore/src/predicate.rs:
+crates/relstore/src/table.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fedwf_sim-593b6642a49f33e1.d: crates/sim/src/lib.rs crates/sim/src/breakdown.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/env.rs crates/sim/src/wall.rs
+
+/root/repo/target/release/deps/fedwf_sim-593b6642a49f33e1: crates/sim/src/lib.rs crates/sim/src/breakdown.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/env.rs crates/sim/src/wall.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/breakdown.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/env.rs:
+crates/sim/src/wall.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/fedwf_sql-9e635e1b78f88215.d: crates/sqlparse/src/lib.rs crates/sqlparse/src/ast.rs crates/sqlparse/src/lexer.rs crates/sqlparse/src/parser.rs
+
+/root/repo/target/release/deps/fedwf_sql-9e635e1b78f88215: crates/sqlparse/src/lib.rs crates/sqlparse/src/ast.rs crates/sqlparse/src/lexer.rs crates/sqlparse/src/parser.rs
+
+crates/sqlparse/src/lib.rs:
+crates/sqlparse/src/ast.rs:
+crates/sqlparse/src/lexer.rs:
+crates/sqlparse/src/parser.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fedwf_sql-a5e60f3412928d44.d: src/bin/fedwf-sql.rs
+
+/root/repo/target/release/deps/fedwf_sql-a5e60f3412928d44: src/bin/fedwf-sql.rs
+
+src/bin/fedwf-sql.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/fedwf_types-bdedecff6f113592.d: crates/types/src/lib.rs crates/types/src/cast.rs crates/types/src/check.rs crates/types/src/error.rs crates/types/src/ident.rs crates/types/src/rng.rs crates/types/src/row.rs crates/types/src/sync.rs crates/types/src/value.rs
+
+/root/repo/target/release/deps/fedwf_types-bdedecff6f113592: crates/types/src/lib.rs crates/types/src/cast.rs crates/types/src/check.rs crates/types/src/error.rs crates/types/src/ident.rs crates/types/src/rng.rs crates/types/src/row.rs crates/types/src/sync.rs crates/types/src/value.rs
+
+crates/types/src/lib.rs:
+crates/types/src/cast.rs:
+crates/types/src/check.rs:
+crates/types/src/error.rs:
+crates/types/src/ident.rs:
+crates/types/src/rng.rs:
+crates/types/src/row.rs:
+crates/types/src/sync.rs:
+crates/types/src/value.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fedwf_wfms-1a42d3224c66a9fd.d: crates/wfms/src/lib.rs crates/wfms/src/audit.rs crates/wfms/src/builder.rs crates/wfms/src/condition.rs crates/wfms/src/container.rs crates/wfms/src/engine.rs crates/wfms/src/fdl.rs crates/wfms/src/model.rs
+
+/root/repo/target/release/deps/fedwf_wfms-1a42d3224c66a9fd: crates/wfms/src/lib.rs crates/wfms/src/audit.rs crates/wfms/src/builder.rs crates/wfms/src/condition.rs crates/wfms/src/container.rs crates/wfms/src/engine.rs crates/wfms/src/fdl.rs crates/wfms/src/model.rs
+
+crates/wfms/src/lib.rs:
+crates/wfms/src/audit.rs:
+crates/wfms/src/builder.rs:
+crates/wfms/src/condition.rs:
+crates/wfms/src/container.rs:
+crates/wfms/src/engine.rs:
+crates/wfms/src/fdl.rs:
+crates/wfms/src/model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/model-aa734029a3273b6f.d: crates/relstore/tests/model.rs
+
+/root/repo/target/release/deps/model-aa734029a3273b6f: crates/relstore/tests/model.rs
+
+crates/relstore/tests/model.rs:

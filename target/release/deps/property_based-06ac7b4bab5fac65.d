@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/property_based-06ac7b4bab5fac65.d: tests/property_based.rs
+
+/root/repo/target/release/deps/property_based-06ac7b4bab5fac65: tests/property_based.rs
+
+tests/property_based.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/report-ceeaebe9f7d82cec.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/release/deps/report-ceeaebe9f7d82cec: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serving_layer-e85f545a03019b93.d: tests/serving_layer.rs
+
+/root/repo/target/release/deps/serving_layer-e85f545a03019b93: tests/serving_layer.rs
+
+tests/serving_layer.rs:

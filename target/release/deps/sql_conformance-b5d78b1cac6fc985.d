@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sql_conformance-b5d78b1cac6fc985.d: tests/sql_conformance.rs
+
+/root/repo/target/release/deps/sql_conformance-b5d78b1cac6fc985: tests/sql_conformance.rs
+
+tests/sql_conformance.rs:

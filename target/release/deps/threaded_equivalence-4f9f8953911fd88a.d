@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/threaded_equivalence-4f9f8953911fd88a.d: tests/threaded_equivalence.rs
+
+/root/repo/target/release/deps/threaded_equivalence-4f9f8953911fd88a: tests/threaded_equivalence.rs
+
+tests/threaded_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/architecture_comparison-fbac7ac40a44fc0f.d: examples/architecture_comparison.rs
+
+/root/repo/target/release/examples/architecture_comparison-fbac7ac40a44fc0f: examples/architecture_comparison.rs
+
+examples/architecture_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/conditional_approval-c0865cdd568aabbf.d: examples/conditional_approval.rs
+
+/root/repo/target/release/examples/conditional_approval-c0865cdd568aabbf: examples/conditional_approval.rs
+
+examples/conditional_approval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/federation_query-dfc2fd6d61ef9c7a.d: examples/federation_query.rs
+
+/root/repo/target/release/examples/federation_query-dfc2fd6d61ef9c7a: examples/federation_query.rs
+
+examples/federation_query.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/purchasing_workflow-294e51e60f6756fe.d: examples/purchasing_workflow.rs
+
+/root/repo/target/release/examples/purchasing_workflow-294e51e60f6756fe: examples/purchasing_workflow.rs
+
+examples/purchasing_workflow.rs:
