@@ -304,6 +304,9 @@ pub struct LoopScalingPoint {
 /// Elapsed time of `AllCompNames(n)` on the WfMS architecture for each `n`.
 pub fn loop_scaling(ns: &[usize]) -> Vec<LoopScalingPoint> {
     let server = make_server(ArchitectureKind::Wfms);
+    // The paper's loop cost is per invocation: keep the dependent-UDTF
+    // memo off so repeated identical calls are never collapsed.
+    server.fdbs().set_udtf_memo(false);
     server.deploy(&paper_functions::all_comp_names()).unwrap();
     ns.iter()
         .map(|&n| {
@@ -367,10 +370,14 @@ pub fn controller_ablation() -> AblationResult {
     let spec = paper_functions::get_no_supp_comp();
     let measure = |cost: CostModel| -> (u64, u64) {
         let wf = make_server_with_cost(ArchitectureKind::Wfms, cost.clone());
+        // Ablation compares per-invocation controller shares; the
+        // dependent-UDTF memo would skew them, so it stays off.
+        wf.fdbs().set_udtf_memo(false);
         wf.deploy(&spec).unwrap();
         let args = args_for(&wf, &spec);
         let w = warm_call(&wf, "GetNoSuppComp", &args).unwrap().elapsed_us();
         let ud = make_server_with_cost(ArchitectureKind::SqlUdtf, cost);
+        ud.fdbs().set_udtf_memo(false);
         ud.deploy(&spec).unwrap();
         let args = args_for(&ud, &spec);
         let u = warm_call(&ud, "GetNoSuppComp", &args).unwrap().elapsed_us();

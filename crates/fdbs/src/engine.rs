@@ -1,6 +1,7 @@
 //! The FDBS facade: statement execution, plan cache, SQL UDTF bodies.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use fedwf_sim::{Component, CostModel, Meter};
@@ -9,7 +10,7 @@ use fedwf_types::sync::RwLock;
 use fedwf_types::{implicit_cast, DataType, FedError, FedResult, Ident, Row, Schema, Table, Value};
 
 use crate::catalog::Catalog;
-use crate::exec::{execute_plan, invoke_udtf};
+use crate::exec::{execute_plan, invoke_udtf, ExecMode};
 use crate::plan::{FromStep, Plan, PlanBuilder};
 use crate::udtf::{ChargeItem, ChargeSpec, Udtf, UdtfKind};
 
@@ -18,6 +19,12 @@ pub struct Fdbs {
     catalog: Catalog,
     cost: CostModel,
     plan_cache: RwLock<HashMap<String, Arc<Plan>>>,
+    /// When set, execute plans on the naive cross-product reference path
+    /// instead of the join-aware path (see [`ExecMode`]).
+    naive_exec: AtomicBool,
+    /// Memoize dependent UDTF invocations within one step by argument
+    /// tuple. Off for experiments that need per-prefix-row cost semantics.
+    udtf_memo: AtomicBool,
 }
 
 impl Default for Fdbs {
@@ -32,6 +39,8 @@ impl Fdbs {
             catalog: Catalog::new(),
             cost,
             plan_cache: RwLock::new(HashMap::new()),
+            naive_exec: AtomicBool::new(false),
+            udtf_memo: AtomicBool::new(true),
         }
     }
 
@@ -41,6 +50,32 @@ impl Fdbs {
 
     pub fn cost(&self) -> &CostModel {
         &self.cost
+    }
+
+    /// The strategy [`execute_plan`] uses for this engine.
+    pub fn exec_mode(&self) -> ExecMode {
+        if self.naive_exec.load(Ordering::Relaxed) {
+            ExecMode::Naive
+        } else {
+            ExecMode::JoinAware
+        }
+    }
+
+    /// Switch between the join-aware executor and the naive reference path.
+    pub fn set_exec_mode(&self, mode: ExecMode) {
+        self.naive_exec
+            .store(mode == ExecMode::Naive, Ordering::Relaxed);
+    }
+
+    /// Whether dependent UDTF invocations are memoized per step.
+    pub fn udtf_memo_enabled(&self) -> bool {
+        self.udtf_memo.load(Ordering::Relaxed)
+    }
+
+    /// Enable/disable the dependent-UDTF memo (only effective on the
+    /// join-aware path; the naive path never memoizes).
+    pub fn set_udtf_memo(&self, enabled: bool) {
+        self.udtf_memo.store(enabled, Ordering::Relaxed);
     }
 
     /// The charge sequence of a SQL integration UDTF under the enhanced

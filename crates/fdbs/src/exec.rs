@@ -1,19 +1,59 @@
-//! The plan executor: a materializing pipeline over the lateral chain.
+//! The plan executor: a join-aware pipeline over the lateral chain.
+//!
+//! Two strategies share this module. The default, [`ExecMode::JoinAware`],
+//! composes each step with its prefix via a hash join on the equi-join keys
+//! the binder extracted (`Plan::step_join_keys`), serves single-key local
+//! scans with index point lookups, memoizes dependent UDTF invocations by
+//! argument tuple, and uses hashed GROUP BY/DISTINCT. The retained
+//! [`ExecMode::Naive`] path materializes the cross product and re-evaluates
+//! the join conjuncts per composed row — the reference semantics the
+//! equivalence suite checks the fast path against.
 
-use fedwf_sim::{Component, Meter};
-use fedwf_types::{implicit_cast, FedError, FedResult, ResultExt, Row, Table, Value};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+
+use fedwf_relstore::Predicate;
+use fedwf_sim::{Component, CostModel, Meter};
+use fedwf_types::{
+    implicit_cast, DataType, FedError, FedResult, ResultExt, Row, SchemaRef, Table, Value, ValueKey,
+};
 
 use crate::engine::Fdbs;
-use crate::plan::{self as fedwf_plan, FromStep, Plan};
+use crate::expr::BoundExpr;
+use crate::plan::{self as fedwf_plan, FromStep, JoinKey, Plan};
 use crate::udtf::{Udtf, UdtfKind};
+
+/// Which executor strategy to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Hash joins on extracted equi-join keys, index probes, dependent-UDTF
+    /// memoization, hashed grouping/DISTINCT.
+    JoinAware,
+    /// Cross product + per-row predicate re-evaluation, linear group
+    /// lookup. Kept as the reference path for equivalence testing and the
+    /// E13 scaling comparison.
+    Naive,
+}
 
 /// Execute a bound plan against the engine's catalog, booking executor
 /// costs to `meter`. `params` supplies the plan's parameter slots in order.
+/// Uses the engine's configured [`ExecMode`].
 pub fn execute_plan(
     fdbs: &Fdbs,
     plan: &Plan,
     params: &[Value],
     meter: &mut Meter,
+) -> FedResult<Table> {
+    execute_plan_with_mode(fdbs, plan, params, meter, fdbs.exec_mode())
+}
+
+/// [`execute_plan`] with an explicit strategy.
+pub fn execute_plan_with_mode(
+    fdbs: &Fdbs,
+    plan: &Plan,
+    params: &[Value],
+    meter: &mut Meter,
+    mode: ExecMode,
 ) -> FedResult<Table> {
     if params.len() != plan.params.len() {
         return Err(FedError::execution(format!(
@@ -27,30 +67,32 @@ pub fn execute_plan(
     // The lateral chain starts from a single empty row.
     let mut rows: Vec<Row> = vec![Row::empty()];
     for (i, step) in plan.steps.iter().enumerate() {
-        rows = execute_step(fdbs, step, i, rows, params, meter)
+        let jk = plan.step_join_keys[i].as_ref();
+        rows = execute_step(fdbs, step, i, jk, rows, params, meter, mode)
             .context(format!("evaluating FROM item {} ({step:?})", i + 1))?;
-        if let Some(filter) = &plan.step_filters[i] {
-            let mut kept = Vec::with_capacity(rows.len());
-            for row in rows {
-                meter.charge(Component::Fdbs, "Evaluate predicates", cost.predicate_eval);
-                if filter.eval_predicate(row.values(), params)? {
-                    kept.push(row);
-                }
+        if mode == ExecMode::Naive {
+            // The naive path ignored the join keys during composition, so
+            // their conjuncts apply here as an ordinary residual filter.
+            if let Some(jk) = jk {
+                rows = filter_rows(rows, &jk.residual, params, meter, cost.predicate_eval)?;
             }
-            rows = kept;
+        }
+        if let Some(filter) = &plan.step_filters[i] {
+            rows = filter_rows(rows, filter, params, meter, cost.predicate_eval)?;
         }
     }
 
-    // Grouping/aggregation replaces the scalar projection entirely.
+    // Grouping/aggregation replaces the scalar projection entirely; its
+    // ORDER BY keys index the aggregate *output* layout.
     if let Some(agg) = &plan.aggregate {
-        let mut out = aggregate_rows(fdbs, plan, agg, &rows, params, meter)?;
+        let mut out = aggregate_rows(fdbs, plan, agg, &rows, params, meter, mode)?;
+        if !plan.order_by.is_empty() {
+            let sorted = sort_rows(out.into_rows(), &plan.order_by, params)?;
+            out = table_from_rows(plan.out_schema.clone(), sorted);
+        }
         if let Some(limit) = plan.limit {
             let rows: Vec<Row> = out.into_rows().into_iter().take(limit as usize).collect();
-            let mut limited = Table::new(plan.out_schema.clone());
-            for row in rows {
-                limited.push_unchecked(row);
-            }
-            out = limited;
+            out = table_from_rows(plan.out_schema.clone(), rows);
         }
         return Ok(out);
     }
@@ -58,28 +100,7 @@ pub fn execute_plan(
     // ORDER BY is evaluated on the full (pre-projection) row layout, so it
     // may reference any FROM column, not just projected ones.
     if !plan.order_by.is_empty() {
-        let mut keyed: Vec<(Vec<Value>, Row)> = rows
-            .into_iter()
-            .map(|row| {
-                let keys = plan
-                    .order_by
-                    .iter()
-                    .map(|(e, _)| e.eval(row.values(), params))
-                    .collect::<FedResult<Vec<_>>>()?;
-                Ok((keys, row))
-            })
-            .collect::<FedResult<_>>()?;
-        keyed.sort_by(|(ka, _), (kb, _)| {
-            for ((a, b), (_, asc)) in ka.iter().zip(kb).zip(&plan.order_by) {
-                let ord = a.index_cmp(b);
-                let ord = if *asc { ord } else { ord.reverse() };
-                if ord != std::cmp::Ordering::Equal {
-                    return ord;
-                }
-            }
-            std::cmp::Ordering::Equal
-        });
-        rows = keyed.into_iter().map(|(_, row)| row).collect();
+        rows = sort_rows(rows, &plan.order_by, params)?;
     }
 
     // Projection.
@@ -94,20 +115,35 @@ pub fn execute_plan(
         out.push_unchecked(Row::new(values));
     }
 
-    // DISTINCT.
+    // DISTINCT: hashed on the join-aware path, quadratic scan on the naive
+    // reference path. Both keep first-appearance order and group by
+    // `index_cmp` equality (`group_key` is hash-consistent with it).
     if plan.distinct {
-        let mut seen: Vec<Row> = Vec::new();
         let mut deduped = Table::new(plan.out_schema.clone());
-        for row in out.into_rows() {
-            let dup = seen.iter().any(|r| {
-                r.values()
-                    .iter()
-                    .zip(row.values())
-                    .all(|(a, b)| a.index_cmp(b) == std::cmp::Ordering::Equal)
-            });
-            if !dup {
-                seen.push(row.clone());
-                deduped.push_unchecked(row);
+        match mode {
+            ExecMode::JoinAware => {
+                let mut seen: HashSet<Vec<ValueKey>> = HashSet::new();
+                for row in out.into_rows() {
+                    let key: Vec<ValueKey> = row.values().iter().map(Value::group_key).collect();
+                    if seen.insert(key) {
+                        deduped.push_unchecked(row);
+                    }
+                }
+            }
+            ExecMode::Naive => {
+                let mut seen: Vec<Row> = Vec::new();
+                for row in out.into_rows() {
+                    let dup = seen.iter().any(|r| {
+                        r.values()
+                            .iter()
+                            .zip(row.values())
+                            .all(|(a, b)| a.index_cmp(b) == std::cmp::Ordering::Equal)
+                    });
+                    if !dup {
+                        seen.push(row.clone());
+                        deduped.push_unchecked(row);
+                    }
+                }
             }
         }
         out = deduped;
@@ -116,29 +152,69 @@ pub fn execute_plan(
     // LIMIT.
     if let Some(limit) = plan.limit {
         let rows: Vec<Row> = out.into_rows().into_iter().take(limit as usize).collect();
-        let mut limited = Table::new(plan.out_schema.clone());
-        for row in rows {
-            limited.push_unchecked(row);
-        }
-        out = limited;
+        out = table_from_rows(plan.out_schema.clone(), rows);
     }
 
     Ok(out)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn execute_step(
     fdbs: &Fdbs,
     step: &FromStep,
     position: usize,
+    jk: Option<&JoinKey>,
     prefix: Vec<Row>,
     params: &[Value],
     meter: &mut Meter,
+    mode: ExecMode,
 ) -> FedResult<Vec<Row>> {
     let cost = fdbs.cost();
+    let jk = match mode {
+        ExecMode::JoinAware => jk,
+        ExecMode::Naive => None,
+    };
     match step {
         FromStep::ScanLocal {
-            table, pushdown, ..
+            table,
+            pushdown,
+            schema,
+            ..
         } => {
+            if let Some(jk) = jk {
+                // A single integer-typed join key served by an index turns
+                // the scan into point lookups, one per distinct probe value.
+                // (DOUBLE keys fall back to the hash join: NaN would change
+                // the naive path's error semantics under the storage
+                // layer's silent 3VL comparison.)
+                let indexable = jk.build.len() == 1
+                    && schema.columns()[jk.build[0]].data_type != DataType::Double
+                    && jk.probe[0].data_type() != Some(DataType::Double)
+                    && fdbs
+                        .catalog()
+                        .local()
+                        .index_serves(table.as_str(), &Predicate::eq(jk.build[0], Value::Null))?;
+                if indexable {
+                    return index_probe_join(
+                        fdbs,
+                        table.as_str(),
+                        pushdown,
+                        jk,
+                        prefix,
+                        params,
+                        meter,
+                    );
+                }
+                let scanned = fdbs.catalog().local().scan(table.as_str(), pushdown)?;
+                meter.charge(
+                    Component::Fdbs,
+                    "Scan local table",
+                    cost.predicate_eval * scanned.row_count() as u64,
+                );
+                let out = hash_join(prefix, scanned.rows(), jk, params)?;
+                charge_join(meter, cost, scanned.row_count() + out.len());
+                return Ok(out);
+            }
             let scanned = fdbs.catalog().local().scan(table.as_str(), pushdown)?;
             meter.charge(
                 Component::Fdbs,
@@ -159,6 +235,11 @@ fn execute_step(
                 format!("Subquery to SQL source {}", server.name()),
                 cost.rmi_call + cost.rmi_return,
             );
+            if let Some(jk) = jk {
+                let out = hash_join(prefix, scanned.rows(), jk, params)?;
+                charge_join(meter, cost, scanned.row_count() + out.len());
+                return Ok(out);
+            }
             Ok(cross(prefix, scanned.rows()))
         }
         FromStep::TableFunc {
@@ -176,6 +257,11 @@ fn execute_step(
                     .map(|a| a.eval(&[], params))
                     .collect::<FedResult<_>>()?;
                 let result = invoke_udtf(fdbs, udtf, &arg_values, meter)?;
+                if let Some(jk) = jk {
+                    let out = hash_join(prefix, result.rows(), jk, params)?;
+                    charge_join(meter, cost, result.row_count() + out.len());
+                    return Ok(out);
+                }
                 if position > 0 {
                     meter.charge(
                         Component::Fdbs,
@@ -187,13 +273,36 @@ fn execute_step(
                 }
                 Ok(cross(prefix, result.rows()))
             } else {
+                // Dependent: one invocation per prefix row — memoized by
+                // the evaluated argument tuple on the join-aware path, so
+                // identical calls (and their Meter charges) happen once.
+                let memo_on = mode == ExecMode::JoinAware && fdbs.udtf_memo_enabled();
+                let mut memo: HashMap<Vec<(Option<DataType>, ValueKey)>, Table> = HashMap::new();
                 let mut out = Vec::new();
                 for row in &prefix {
                     let arg_values: Vec<Value> = args
                         .iter()
                         .map(|a| a.eval(row.values(), params))
                         .collect::<FedResult<_>>()?;
-                    let result = invoke_udtf(fdbs, udtf, &arg_values, meter)?;
+                    let fresh;
+                    let result: &Table = if memo_on {
+                        // Structural key (type + exact value): argument
+                        // tuples that could implicit-cast differently never
+                        // share an entry.
+                        let key: Vec<(Option<DataType>, ValueKey)> = arg_values
+                            .iter()
+                            .map(|v| (v.data_type(), v.group_key()))
+                            .collect();
+                        match memo.entry(key) {
+                            Entry::Occupied(e) => e.into_mut(),
+                            Entry::Vacant(e) => {
+                                e.insert(invoke_udtf(fdbs, udtf, &arg_values, meter)?)
+                            }
+                        }
+                    } else {
+                        fresh = invoke_udtf(fdbs, udtf, &arg_values, meter)?;
+                        &fresh
+                    };
                     for rrow in result.rows() {
                         out.push(row.concat(rrow));
                     }
@@ -204,9 +313,176 @@ fn execute_step(
     }
 }
 
+/// Keep the rows satisfying `filter`, booking one predicate evaluation per
+/// input row (the naive composition's per-row cost).
+fn filter_rows(
+    rows: Vec<Row>,
+    filter: &BoundExpr,
+    params: &[Value],
+    meter: &mut Meter,
+    predicate_eval: u64,
+) -> FedResult<Vec<Row>> {
+    let mut kept = Vec::with_capacity(rows.len());
+    for row in rows {
+        meter.charge(Component::Fdbs, "Evaluate predicates", predicate_eval);
+        if filter.eval_predicate(row.values(), params)? {
+            kept.push(row);
+        }
+    }
+    Ok(kept)
+}
+
+/// Book the composition cost of a hash join. The step name matches the
+/// paper's "join with selection" (it is that operation, implemented
+/// better); the per-row cost scales with build + output instead of the
+/// cross product.
+fn charge_join(meter: &mut Meter, cost: &CostModel, rows: usize) {
+    meter.charge(
+        Component::Fdbs,
+        "Join with selection (compose result sets)",
+        cost.join_with_selection_setup + cost.join_with_selection_per_row * rows as u64,
+    );
+}
+
+/// The join key of one value, with the naive path's error semantics:
+/// NULL joins nothing (`None`), NaN is a hard comparison error (the naive
+/// path's `sql_cmp` raises "cannot compare" for it on every pairing).
+fn join_key_checked(v: &Value) -> FedResult<Option<ValueKey>> {
+    match v.join_key() {
+        Some(ValueKey::NaN) => Err(FedError::execution(format!(
+            "cannot compare {v} in a join key"
+        ))),
+        other => Ok(other),
+    }
+}
+
+/// Hash-compose the step's `build_rows` against `prefix` on the extracted
+/// equi-join keys. Output order matches `cross` + filter exactly:
+/// prefix-major, build rows in scan order. Empty inputs short-circuit
+/// before any key is evaluated — the naive path evaluates nothing there
+/// either, so error behavior stays aligned.
+fn hash_join(
+    prefix: Vec<Row>,
+    build_rows: &[Row],
+    jk: &JoinKey,
+    params: &[Value],
+) -> FedResult<Vec<Row>> {
+    if prefix.is_empty() || build_rows.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut table: HashMap<Vec<ValueKey>, Vec<usize>> = HashMap::new();
+    'build: for (i, row) in build_rows.iter().enumerate() {
+        let mut key = Vec::with_capacity(jk.build.len());
+        for &c in &jk.build {
+            match join_key_checked(&row.values()[c])? {
+                Some(k) => key.push(k),
+                None => continue 'build,
+            }
+        }
+        table.entry(key).or_default().push(i);
+    }
+    let mut out = Vec::new();
+    'probe: for left in &prefix {
+        let mut key = Vec::with_capacity(jk.probe.len());
+        for p in &jk.probe {
+            let v = p.eval(left.values(), params)?;
+            match join_key_checked(&v)? {
+                Some(k) => key.push(k),
+                None => continue 'probe,
+            }
+        }
+        if let Some(matches) = table.get(&key) {
+            for &i in matches {
+                out.push(left.concat(&build_rows[i]));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Serve a single-key local-scan join with index point lookups: one
+/// `scan_eq` per *distinct* probe value, cached, instead of one full scan
+/// plus a cross product.
+fn index_probe_join(
+    fdbs: &Fdbs,
+    table: &str,
+    pushdown: &Predicate,
+    jk: &JoinKey,
+    prefix: Vec<Row>,
+    params: &[Value],
+    meter: &mut Meter,
+) -> FedResult<Vec<Row>> {
+    let cost = fdbs.cost();
+    let local = fdbs.catalog().local();
+    let build_col = jk.build[0];
+    let mut cache: HashMap<ValueKey, Vec<Row>> = HashMap::new();
+    let mut out = Vec::new();
+    let mut scanned_total = 0u64;
+    for left in &prefix {
+        let v = jk.probe[0].eval(left.values(), params)?;
+        let Some(key) = join_key_checked(&v)? else {
+            continue;
+        };
+        let matches = match cache.entry(key) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => {
+                let t = local.scan_eq(table, build_col, v, pushdown)?;
+                scanned_total += t.row_count() as u64;
+                e.insert(t.into_rows())
+            }
+        };
+        for r in matches.iter() {
+            out.push(left.concat(r));
+        }
+    }
+    meter.charge(
+        Component::Fdbs,
+        "Scan local table",
+        cost.predicate_eval * scanned_total,
+    );
+    charge_join(meter, cost, out.len());
+    Ok(out)
+}
+
+/// Stable sort by the evaluated key expressions under `index_cmp`.
+fn sort_rows(rows: Vec<Row>, order: &[(BoundExpr, bool)], params: &[Value]) -> FedResult<Vec<Row>> {
+    let mut keyed: Vec<(Vec<Value>, Row)> = rows
+        .into_iter()
+        .map(|row| {
+            let keys = order
+                .iter()
+                .map(|(e, _)| e.eval(row.values(), params))
+                .collect::<FedResult<Vec<_>>>()?;
+            Ok((keys, row))
+        })
+        .collect::<FedResult<_>>()?;
+    keyed.sort_by(|(ka, _), (kb, _)| {
+        for ((a, b), (_, asc)) in ka.iter().zip(kb).zip(order) {
+            let ord = a.index_cmp(b);
+            let ord = if *asc { ord } else { ord.reverse() };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(keyed.into_iter().map(|(_, row)| row).collect())
+}
+
+fn table_from_rows(schema: SchemaRef, rows: Vec<Row>) -> Table {
+    let mut t = Table::new(schema);
+    for row in rows {
+        t.push_unchecked(row);
+    }
+    t
+}
+
 /// Group the input rows by the plan's keys and evaluate the aggregate
 /// columns. Without GROUP BY there is exactly one group — even over zero
-/// rows (`COUNT(*)` of an empty table is 0, `SUM` is NULL).
+/// rows (`COUNT(*)` of an empty table is 0, `SUM` is NULL). Groups appear
+/// in first-appearance order on both paths; the join-aware path finds them
+/// through a hash map, the naive path by linear `index_cmp` search.
+#[allow(clippy::too_many_arguments)]
 fn aggregate_rows(
     fdbs: &Fdbs,
     plan: &Plan,
@@ -214,6 +490,7 @@ fn aggregate_rows(
     rows: &[Row],
     params: &[Value],
     meter: &mut Meter,
+    mode: ExecMode,
 ) -> FedResult<Table> {
     use fedwf_plan::{AggColumn, AggFn};
     let cost = fdbs.cost();
@@ -228,6 +505,7 @@ fn aggregate_rows(
     }
     let agg_count = agg.columns.len();
     let mut groups: Vec<Group> = Vec::new();
+    let mut lookup: HashMap<Vec<ValueKey>, usize> = HashMap::new();
 
     for row in rows {
         meter.charge(Component::Fdbs, "Evaluate predicates", cost.predicate_eval);
@@ -236,22 +514,42 @@ fn aggregate_rows(
             .iter()
             .map(|k| k.eval(row.values(), params))
             .collect::<FedResult<_>>()?;
-        let group = match groups.iter_mut().find(|g| {
-            g.keys
-                .iter()
-                .zip(&keys)
-                .all(|(a, b)| a.index_cmp(b) == std::cmp::Ordering::Equal)
-        }) {
-            Some(g) => g,
-            None => {
-                groups.push(Group {
-                    keys: keys.clone(),
-                    values: vec![Vec::new(); agg_count],
-                    seen: 0,
+        let idx = match mode {
+            ExecMode::JoinAware => {
+                let hkey: Vec<ValueKey> = keys.iter().map(Value::group_key).collect();
+                match lookup.entry(hkey) {
+                    Entry::Occupied(e) => *e.get(),
+                    Entry::Vacant(e) => {
+                        groups.push(Group {
+                            keys: keys.clone(),
+                            values: vec![Vec::new(); agg_count],
+                            seen: 0,
+                        });
+                        *e.insert(groups.len() - 1)
+                    }
+                }
+            }
+            ExecMode::Naive => {
+                let found = groups.iter().position(|g| {
+                    g.keys
+                        .iter()
+                        .zip(&keys)
+                        .all(|(a, b)| a.index_cmp(b) == std::cmp::Ordering::Equal)
                 });
-                groups.last_mut().expect("just pushed")
+                match found {
+                    Some(i) => i,
+                    None => {
+                        groups.push(Group {
+                            keys: keys.clone(),
+                            values: vec![Vec::new(); agg_count],
+                            seen: 0,
+                        });
+                        groups.len() - 1
+                    }
+                }
             }
         };
+        let group = &mut groups[idx];
         group.seen += 1;
         for (i, (col, _)) in agg.columns.iter().enumerate() {
             if let AggColumn::Agg { arg: Some(arg), .. } = col {
@@ -293,14 +591,25 @@ fn aggregate_rows(
                             if collected.is_empty() {
                                 Value::Null
                             } else {
-                                let as_f: f64 = collected.iter().filter_map(Value::as_f64).sum();
                                 match (f, schema_col.data_type) {
-                                    (AggFn::Avg, _) => Value::Double(as_f / collected.len() as f64),
-                                    (_, fedwf_types::DataType::Double) => Value::Double(as_f),
+                                    (AggFn::Avg, _) => {
+                                        let as_f: f64 =
+                                            collected.iter().filter_map(Value::as_f64).sum();
+                                        Value::Double(as_f / collected.len() as f64)
+                                    }
+                                    (_, DataType::Double) => {
+                                        let as_f: f64 =
+                                            collected.iter().filter_map(Value::as_f64).sum();
+                                        Value::Double(as_f)
+                                    }
                                     _ => {
-                                        let as_i: i64 =
-                                            collected.iter().filter_map(Value::as_i64).sum();
-                                        Value::BigInt(as_i)
+                                        let mut acc: i64 = 0;
+                                        for v in collected.iter().filter_map(Value::as_i64) {
+                                            acc = acc.checked_add(v).ok_or_else(|| {
+                                                FedError::execution("SUM overflow")
+                                            })?;
+                                        }
+                                        Value::BigInt(acc)
                                     }
                                 }
                             }
@@ -323,7 +632,7 @@ fn aggregate_rows(
                     }
                 }
             };
-            values.push(coerce_agg(v, schema_col.data_type));
+            values.push(coerce_agg(v, schema_col.data_type)?);
         }
         meter.charge(Component::Fdbs, "Produce result rows", cost.row_output);
         out.push_unchecked(Row::new(values));
@@ -331,16 +640,18 @@ fn aggregate_rows(
     Ok(out)
 }
 
-/// Widen an aggregate result to the declared column type where possible
-/// (keys already match; COUNT/SUM naturally produce BIGINT).
-fn coerce_agg(v: Value, to: fedwf_types::DataType) -> Value {
+/// Widen an aggregate result to the declared column type. A value that
+/// does not fit the declared type is a hard error — pushing it through
+/// unchecked would corrupt the result table's schema invariants.
+fn coerce_agg(v: Value, to: DataType) -> FedResult<Value> {
     if v.is_null() {
-        return v;
+        return Ok(v);
     }
-    match implicit_cast(&v, to) {
-        Ok(coerced) => coerced,
-        Err(_) => v,
-    }
+    implicit_cast(&v, to).map_err(|e| {
+        FedError::execution(format!(
+            "aggregate result {v} does not fit declared column type {to}: {e}"
+        ))
+    })
 }
 
 fn cross(prefix: Vec<Row>, rows: &[Row]) -> Vec<Row> {
@@ -420,4 +731,106 @@ pub fn invoke_udtf(
 
     udtf.charges.book_finish(meter);
     Ok(mapped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{AggColumn, AggFn, AggregatePlan};
+    use fedwf_sim::CostModel;
+    use fedwf_types::{Column, Ident, Schema};
+    use std::sync::Arc;
+
+    #[test]
+    fn coerce_agg_rejects_lossy_results() {
+        assert_eq!(
+            coerce_agg(Value::Int(5), DataType::BigInt).unwrap(),
+            Value::BigInt(5)
+        );
+        assert!(coerce_agg(Value::Double(2.5), DataType::Int).is_err());
+        assert!(coerce_agg(Value::Null, DataType::Int).unwrap().is_null());
+    }
+
+    /// A DOUBLE aggregate flowing into a column declared INT must fail
+    /// loudly, not be pushed unchecked into the mistyped table.
+    #[test]
+    fn double_aggregate_into_int_column_fails_loudly() {
+        let fdbs = Fdbs::new(CostModel::zero());
+        let agg = AggregatePlan {
+            keys: vec![],
+            columns: vec![(
+                AggColumn::Agg {
+                    f: AggFn::Max,
+                    arg: Some(BoundExpr::Literal(Value::Double(2.5))),
+                },
+                Ident::new("m"),
+            )],
+        };
+        let plan = Plan {
+            steps: vec![],
+            step_filters: vec![],
+            step_join_keys: vec![],
+            projection: vec![],
+            aggregate: Some(agg.clone()),
+            distinct: false,
+            order_by: vec![],
+            limit: None,
+            params: vec![],
+            out_schema: Arc::new(Schema::new(vec![Column::new(
+                Ident::new("m"),
+                DataType::Int,
+            )])),
+        };
+        let mut meter = Meter::new();
+        for mode in [ExecMode::JoinAware, ExecMode::Naive] {
+            let err = aggregate_rows(&fdbs, &plan, &agg, &[Row::empty()], &[], &mut meter, mode)
+                .unwrap_err();
+            assert!(
+                err.to_string().contains("does not fit"),
+                "unexpected error: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn integer_sum_overflow_is_an_error() {
+        let fdbs = Fdbs::new(CostModel::zero());
+        let agg = AggregatePlan {
+            keys: vec![],
+            columns: vec![(
+                AggColumn::Agg {
+                    f: AggFn::Sum,
+                    arg: Some(BoundExpr::Column {
+                        index: 0,
+                        data_type: DataType::BigInt,
+                    }),
+                },
+                Ident::new("s"),
+            )],
+        };
+        let plan = Plan {
+            steps: vec![],
+            step_filters: vec![],
+            step_join_keys: vec![],
+            projection: vec![],
+            aggregate: Some(agg.clone()),
+            distinct: false,
+            order_by: vec![],
+            limit: None,
+            params: vec![],
+            out_schema: Arc::new(Schema::new(vec![Column::new(
+                Ident::new("s"),
+                DataType::BigInt,
+            )])),
+        };
+        let rows = vec![
+            Row::new(vec![Value::BigInt(i64::MAX)]),
+            Row::new(vec![Value::BigInt(1)]),
+        ];
+        let mut meter = Meter::new();
+        for mode in [ExecMode::JoinAware, ExecMode::Naive] {
+            let err = aggregate_rows(&fdbs, &plan, &agg, &rows, &[], &mut meter, mode).unwrap_err();
+            assert!(err.to_string().contains("SUM overflow"), "{err}");
+        }
+    }
 }

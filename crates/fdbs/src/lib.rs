@@ -68,7 +68,8 @@ pub mod udtf;
 
 pub use catalog::Catalog;
 pub use engine::Fdbs;
+pub use exec::{execute_plan_with_mode, ExecMode};
 pub use expr::BoundExpr;
-pub use plan::{Plan, PlanBuilder};
+pub use plan::{JoinKey, Plan, PlanBuilder};
 pub use sqlmed::{ForeignServer, RelstoreServer};
 pub use udtf::{ChargeItem, ChargeSpec, Udtf, UdtfKind};

@@ -134,6 +134,22 @@ pub struct AggregatePlan {
     pub columns: Vec<(AggColumn, Ident)>,
 }
 
+/// Equi-join conjuncts extracted at bind time for one lateral step: the
+/// step's result rows join the prefix on `build[i] == probe[i]` for every
+/// `i`. The executor uses them to build a hash table over the step's rows
+/// instead of materializing the cross product.
+#[derive(Debug, Clone)]
+pub struct JoinKey {
+    /// Probe-side expressions, evaluated against the prefix row layout plus
+    /// parameters (they reference no column of the step itself).
+    pub probe: Vec<BoundExpr>,
+    /// Build-side column indexes, local to the step's own schema.
+    pub build: Vec<usize>,
+    /// The original conjuncts ANDed together, in prefix-layout indexes —
+    /// what the naive reference path evaluates per composed row.
+    pub residual: BoundExpr,
+}
+
 /// A bound, optimized, executable plan.
 #[derive(Debug, Clone)]
 pub struct Plan {
@@ -141,10 +157,17 @@ pub struct Plan {
     /// Residual filter applied right after step `i` completes (indexes into
     /// the concatenated prefix row layout).
     pub step_filters: Vec<Option<BoundExpr>>,
+    /// Equi-join keys for step `i`, when its WHERE conjuncts contain
+    /// hashable `prefix-expr = step-column` equalities.
+    pub step_join_keys: Vec<Option<JoinKey>>,
     pub projection: Vec<(BoundExpr, Ident)>,
     /// `GROUP BY`/aggregate stage; when present, `projection` is unused.
     pub aggregate: Option<AggregatePlan>,
     pub distinct: bool,
+    /// Sort keys. In scalar plans the expressions index the concatenated
+    /// prefix layout (sort happens before projection); in aggregate plans
+    /// they are `Column` references into the *output* row layout (sort
+    /// happens after aggregation).
     pub order_by: Vec<(BoundExpr, bool)>,
     pub limit: Option<u64>,
     /// Declared parameter slots, in evaluation order.
@@ -195,6 +218,13 @@ impl Plan {
             let indent = "  ".repeat(self.steps.len() - i);
             if let Some(filter) = &self.step_filters[i] {
                 out.push_str(&format!("{indent}Filter {filter:?}\n"));
+            }
+            if let Some(jk) = &self.step_join_keys[i] {
+                out.push_str(&format!(
+                    "{indent}HashJoin [{} key(s): {:?}]\n",
+                    jk.build.len(),
+                    jk.residual
+                ));
             }
             match step {
                 FromStep::ScanLocal {
@@ -361,9 +391,16 @@ impl<'a> PlanBuilder<'a> {
             return Err(FedError::bind("WHERE clause without FROM clause"));
         }
         let mut step_filters: Vec<Option<BoundExpr>> = vec![None; steps.len()];
+        let mut step_join_keys: Vec<Option<JoinKey>> = vec![None; steps.len()];
         if let Some(selection) = &stmt.selection {
             for conjunct in selection.conjuncts() {
-                self.place_conjunct(conjunct, &scope, &mut steps, &mut step_filters)?;
+                self.place_conjunct(
+                    conjunct,
+                    &scope,
+                    &mut steps,
+                    &mut step_filters,
+                    &mut step_join_keys,
+                )?;
             }
         }
 
@@ -379,7 +416,7 @@ impl<'a> PlanBuilder<'a> {
                 )
             });
         if has_agg {
-            return self.bind_aggregate(stmt, &scope, steps, step_filters);
+            return self.bind_aggregate(stmt, &scope, steps, step_filters, step_join_keys);
         }
 
         // Projection.
@@ -449,6 +486,7 @@ impl<'a> PlanBuilder<'a> {
         Ok(Plan {
             steps,
             step_filters,
+            step_join_keys,
             projection,
             aggregate: None,
             distinct: stmt.distinct,
@@ -466,12 +504,8 @@ impl<'a> PlanBuilder<'a> {
         scope: &Scope,
         steps: Vec<FromStep>,
         step_filters: Vec<Option<BoundExpr>>,
+        step_join_keys: Vec<Option<JoinKey>>,
     ) -> FedResult<Plan> {
-        if !stmt.order_by.is_empty() {
-            return Err(FedError::unsupported(
-                "ORDER BY combined with aggregates is not supported",
-            ));
-        }
         let keys: Vec<BoundExpr> = stmt
             .group_by
             .iter()
@@ -550,13 +584,59 @@ impl<'a> PlanBuilder<'a> {
                 .collect(),
         ));
 
+        // ORDER BY over an aggregate sorts the aggregate *output*: each sort
+        // key must resolve to an output column — by ordinal (`ORDER BY 2`),
+        // by output name/alias, or by repeating a projected expression
+        // (`ORDER BY COUNT(*)`).
+        let mut order_by: Vec<(BoundExpr, bool)> = Vec::new();
+        for o in &stmt.order_by {
+            let pos = match &o.expr {
+                Expr::Literal(v) => {
+                    let ordinal = v.as_i64().ok_or_else(|| {
+                        FedError::bind(format!("ORDER BY position must be an integer, got {v}"))
+                    })?;
+                    if ordinal < 1 || ordinal as usize > columns.len() {
+                        return Err(FedError::bind(format!(
+                            "ORDER BY position {ordinal} is out of range (1..={})",
+                            columns.len()
+                        )));
+                    }
+                    ordinal as usize - 1
+                }
+                expr => stmt
+                    .projection
+                    .iter()
+                    .position(|item| matches!(item, SelectItem::Expr { expr: e, .. } if e == expr))
+                    .or_else(|| match expr {
+                        Expr::Column(q) if q.qualifier.is_none() => {
+                            columns.iter().position(|(_, name)| *name == q.name)
+                        }
+                        _ => None,
+                    })
+                    .ok_or_else(|| {
+                        FedError::bind(format!(
+                            "ORDER BY {expr} must reference an output column of the aggregate \
+                             (by name, ordinal, or by repeating the projected expression)"
+                        ))
+                    })?,
+            };
+            order_by.push((
+                BoundExpr::Column {
+                    index: pos,
+                    data_type: out_schema.columns()[pos].data_type,
+                },
+                o.ascending,
+            ));
+        }
+
         Ok(Plan {
             steps,
             step_filters,
+            step_join_keys,
             projection: vec![],
             aggregate: Some(AggregatePlan { keys, columns }),
             distinct: stmt.distinct,
-            order_by: vec![],
+            order_by,
             limit: stmt.limit,
             params: self.params.clone(),
             out_schema,
@@ -710,7 +790,9 @@ impl<'a> PlanBuilder<'a> {
     }
 
     /// Place a WHERE conjunct: push into a scan's storage predicate when
-    /// it touches exactly one scan step and has a pushable shape; otherwise
+    /// it touches exactly one scan step and has a pushable shape; failing
+    /// that, extract it as a hash-join key when it is an equality between a
+    /// column of the target step and a prefix-only expression; otherwise
     /// attach it as a residual filter at the earliest step where all its
     /// columns exist.
     fn place_conjunct(
@@ -719,6 +801,7 @@ impl<'a> PlanBuilder<'a> {
         scope: &Scope,
         steps: &mut [FromStep],
         step_filters: &mut [Option<BoundExpr>],
+        step_join_keys: &mut [Option<JoinKey>],
     ) -> FedResult<()> {
         let bound = fold(self.bind_expr(conjunct, scope)?);
         let cols = bound.column_indexes();
@@ -749,6 +832,55 @@ impl<'a> PlanBuilder<'a> {
                         return Ok(());
                     }
                     FromStep::TableFunc { .. } => {}
+                }
+            }
+        }
+
+        // Equi-join extraction: `step-column = prefix-expr` (either
+        // orientation) turns the step composition into a hash join. Not for
+        // dependent table functions — their results are already correlated
+        // per prefix row, so the conjunct stays a residual filter.
+        let extractable_step = matches!(
+            steps[target],
+            FromStep::ScanLocal { .. }
+                | FromStep::ScanForeign { .. }
+                | FromStep::TableFunc {
+                    independent: true,
+                    ..
+                }
+        );
+        if extractable_step {
+            if let Some((build, probe)) = split_equi_join(&bound, t_offset, t_len) {
+                // Static type gate: the hash path compares by key equality
+                // and can never raise `sql_cmp`'s "cannot compare" error, so
+                // only extract when bind-time types guarantee comparability.
+                let comparable = match (
+                    steps[target].schema().columns()[build].data_type,
+                    probe.data_type(),
+                ) {
+                    (b, Some(p)) => b == p || (b.is_numeric() && p.is_numeric()),
+                    (_, None) => false,
+                };
+                if comparable {
+                    match &mut step_join_keys[target] {
+                        Some(jk) => {
+                            jk.build.push(build);
+                            jk.probe.push(probe);
+                            jk.residual = BoundExpr::Binary {
+                                left: Box::new(jk.residual.clone()),
+                                op: BinaryOp::And,
+                                right: Box::new(bound),
+                            };
+                        }
+                        slot @ None => {
+                            *slot = Some(JoinKey {
+                                probe: vec![probe],
+                                build: vec![build],
+                                residual: bound,
+                            });
+                        }
+                    }
+                    return Ok(());
                 }
             }
         }
@@ -805,6 +937,33 @@ pub fn fold(expr: BoundExpr) -> BoundExpr {
         }
     }
     rebuilt
+}
+
+/// If `expr` is `target-step-column = prefix-only-expr` (either
+/// orientation), return the build column index (local to the step's schema)
+/// and the probe expression. The probe side may reference literals,
+/// parameters, and columns strictly left of the target step, but none of
+/// the target step's own columns.
+fn split_equi_join(expr: &BoundExpr, t_offset: usize, t_len: usize) -> Option<(usize, BoundExpr)> {
+    let BoundExpr::Binary {
+        left,
+        op: BinaryOp::Eq,
+        right,
+    } = expr
+    else {
+        return None;
+    };
+    let in_step = |i: usize| i >= t_offset && i < t_offset + t_len;
+    let prefix_only = |e: &BoundExpr| e.column_indexes().iter().all(|&c| c < t_offset);
+    match (&**left, &**right) {
+        (BoundExpr::Column { index, .. }, probe) if in_step(*index) && prefix_only(probe) => {
+            Some((index - t_offset, probe.clone()))
+        }
+        (probe, BoundExpr::Column { index, .. }) if in_step(*index) && prefix_only(probe) => {
+            Some((index - t_offset, probe.clone()))
+        }
+        _ => None,
+    }
 }
 
 /// Convert a bound predicate over one table's columns into a storage
@@ -1025,13 +1184,50 @@ mod tests {
     }
 
     #[test]
-    fn cross_item_predicate_stays_residual() {
+    fn cross_item_predicate_becomes_join_key() {
         let cat = catalog();
         let stmt = select(
             "SELECT 1 FROM TABLE (GetQuality(1)) AS GQ, TABLE (GetReliability(1)) AS GR WHERE GQ.Qual = GR.Relia",
         );
         let plan = PlanBuilder::new(&cat).bind(&stmt).unwrap();
         assert!(plan.step_filters[0].is_none());
+        assert!(plan.step_filters[1].is_none(), "extracted as a join key");
+        assert!(plan.step_join_keys[0].is_none());
+        let jk = plan.step_join_keys[1].as_ref().expect("equi-join key");
+        // GR.Relia is column 0 of the GR step; the probe reads GQ.Qual.
+        assert_eq!(jk.build, vec![0]);
+        assert_eq!(
+            jk.probe,
+            vec![BoundExpr::Column {
+                index: 0,
+                data_type: DataType::Int
+            }]
+        );
+    }
+
+    #[test]
+    fn dependent_table_func_keeps_residual_filter() {
+        // GQ is lateral (depends on S), so its conjunct must stay a filter:
+        // its rows are already correlated per prefix row.
+        let cat = catalog();
+        let stmt = select(
+            "SELECT 1 FROM Suppliers AS S, TABLE (GetQuality(S.SupplierNo)) AS GQ WHERE GQ.Qual = S.SupplierNo",
+        );
+        let plan = PlanBuilder::new(&cat).bind(&stmt).unwrap();
+        assert!(plan.step_join_keys[1].is_none());
+        assert!(plan.step_filters[1].is_some());
+    }
+
+    #[test]
+    fn incomparable_equality_stays_residual() {
+        // VARCHAR = INT would error at runtime under sql_cmp; the hash path
+        // cannot reproduce that, so the conjunct must stay a filter.
+        let cat = catalog();
+        let stmt = select(
+            "SELECT 1 FROM TABLE (GetQuality(1)) AS GQ, Suppliers AS S WHERE S.Name = GQ.Qual",
+        );
+        let plan = PlanBuilder::new(&cat).bind(&stmt).unwrap();
+        assert!(plan.step_join_keys[1].is_none());
         assert!(plan.step_filters[1].is_some());
     }
 
@@ -1047,7 +1243,37 @@ mod tests {
             panic!()
         };
         assert_eq!(*pushdown, Predicate::True);
-        assert!(plan.step_filters[0].is_some());
+        // The parameter equality is extracted as a (degenerate, step-0)
+        // join key, which the executor can serve with an index probe.
+        assert!(plan.step_filters[0].is_none());
+        let jk = plan.step_join_keys[0].as_ref().expect("param join key");
+        assert_eq!(jk.build, vec![0]);
+        assert!(matches!(jk.probe[0], BoundExpr::Param { index: 0, .. }));
+    }
+
+    #[test]
+    fn aggregate_order_by_binds_to_output_columns() {
+        let cat = catalog();
+        let stmt = select(
+            "SELECT S.Name, COUNT(*) AS n FROM Suppliers AS S GROUP BY S.Name ORDER BY 2 DESC",
+        );
+        let plan = PlanBuilder::new(&cat).bind(&stmt).unwrap();
+        assert_eq!(plan.order_by.len(), 1);
+        assert!(matches!(
+            plan.order_by[0],
+            (
+                BoundExpr::Column {
+                    index: 1,
+                    data_type: DataType::BigInt
+                },
+                false
+            )
+        ));
+        // Out-of-range ordinal and non-output expressions are bind errors.
+        let stmt = select("SELECT COUNT(*) FROM Suppliers AS S ORDER BY 3");
+        assert!(PlanBuilder::new(&cat).bind(&stmt).is_err());
+        let stmt = select("SELECT COUNT(*) FROM Suppliers AS S ORDER BY S.SupplierNo");
+        assert!(PlanBuilder::new(&cat).bind(&stmt).is_err());
     }
 
     #[test]

@@ -129,6 +129,20 @@ impl Database {
         self.scan(table, &Predicate::True)
     }
 
+    /// Point-lookup scan: `column = key AND residual`. The equality is the
+    /// leading conjunct so `pick_index` binds *it* (equality bindings are
+    /// taken left-first), turning the scan into an index probe when the
+    /// column is indexed.
+    pub fn scan_eq(
+        &self,
+        table: &str,
+        column: usize,
+        key: Value,
+        residual: &Predicate,
+    ) -> FedResult<Table> {
+        self.scan(table, &Predicate::eq(column, key).and(residual.clone()))
+    }
+
     /// Delete rows matching a predicate.
     pub fn delete_where(&self, table: &str, predicate: &Predicate) -> FedResult<usize> {
         let mut tables = self.tables.write();
@@ -262,6 +276,44 @@ mod tests {
         let t = db.scan_all("Components").unwrap();
         let keys: Vec<_> = t.rows().iter().map(|r| r.values()[0].clone()).collect();
         assert_eq!(keys, vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn scan_eq_is_an_index_probe_with_residual() {
+        let db = db();
+        db.insert_all(
+            "Components",
+            vec![
+                Row::new(vec![Value::Int(1), Value::str("bolt")]),
+                Row::new(vec![Value::Int(2), Value::str("nut")]),
+                Row::new(vec![Value::Int(3), Value::str("bolt")]),
+            ],
+        )
+        .unwrap();
+        // The leading equality is what pick_index binds.
+        assert!(db
+            .index_serves("Components", &Predicate::eq(0, Value::Int(2)))
+            .unwrap());
+        let hit = db
+            .scan_eq("Components", 0, Value::Int(2), &Predicate::True)
+            .unwrap();
+        assert_eq!(hit.row_count(), 1);
+        assert_eq!(hit.value(0, "Name"), Some(&Value::str("nut")));
+        // Residual still filters the probed rows.
+        let miss = db
+            .scan_eq(
+                "Components",
+                0,
+                Value::Int(2),
+                &Predicate::eq(1, Value::str("bolt")),
+            )
+            .unwrap();
+        assert_eq!(miss.row_count(), 0);
+        // NULL key matches nothing under SQL three-valued logic.
+        let null = db
+            .scan_eq("Components", 0, Value::Null, &Predicate::True)
+            .unwrap();
+        assert_eq!(null.row_count(), 0);
     }
 
     #[test]

@@ -23,4 +23,4 @@ pub use cast::{cast_value, implicit_cast, CastError};
 pub use error::{ErrorLayer, FedError, FedResult, ResultExt};
 pub use ident::{Ident, QualifiedName};
 pub use row::{Column, Row, Schema, SchemaRef, Table};
-pub use value::{DataType, Value};
+pub use value::{DataType, Value, ValueKey};

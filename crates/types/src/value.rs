@@ -175,16 +175,80 @@ impl Value {
             (Value::Varchar(a), Value::Varchar(b)) => a.cmp(b),
             (a, b) if class(a) == 2 && class(b) == 2 => {
                 // Compare integers exactly when possible; fall back to f64.
+                // NaN sorts after every other numeric so the order stays
+                // total (a tie would violate antisymmetry vs. real numbers).
                 match (a.as_i64(), b.as_i64()) {
                     (Some(x), Some(y)) => x.cmp(&y),
-                    _ => a
-                        .as_f64()
-                        .unwrap()
-                        .partial_cmp(&b.as_f64().unwrap())
-                        .unwrap_or(Ordering::Equal),
+                    _ => {
+                        let (x, y) = (a.as_f64().unwrap(), b.as_f64().unwrap());
+                        match (x.is_nan(), y.is_nan()) {
+                            (true, true) => Ordering::Equal,
+                            (true, false) => Ordering::Greater,
+                            (false, true) => Ordering::Less,
+                            (false, false) => x.partial_cmp(&y).unwrap_or(Ordering::Equal),
+                        }
+                    }
                 }
             }
             (a, b) => class(a).cmp(&class(b)),
+        }
+    }
+
+    /// Hashable grouping key, equality-consistent with [`Value::index_cmp`]:
+    /// two values compare `Equal` under `index_cmp` iff their group keys are
+    /// equal. NULLs group together, `Int(1)`/`BigInt(1)`/`Double(1.0)` land
+    /// in one group, and NaN groups with NaN (matching the totalized
+    /// `index_cmp`).
+    ///
+    /// Caveat: `index_cmp` itself is lossy (hence non-transitive) for
+    /// integers beyond 2^53 compared against `Double`s; the key uses exact
+    /// integer identity there, which is the self-consistent reading.
+    pub fn group_key(&self) -> ValueKey {
+        match self {
+            Value::Null => ValueKey::Null,
+            Value::Boolean(b) => ValueKey::Bool(*b),
+            Value::Int(v) => ValueKey::Int(*v as i64),
+            Value::BigInt(v) => ValueKey::Int(*v),
+            Value::Double(d) => {
+                if d.is_nan() {
+                    ValueKey::NaN
+                } else if d.fract() == 0.0
+                    && *d >= -9_223_372_036_854_775_808.0
+                    && *d < 9_223_372_036_854_775_808.0
+                {
+                    // Integral doubles in i64 range compare Equal to the
+                    // matching integer under index_cmp, so share its key.
+                    ValueKey::Int(*d as i64)
+                } else {
+                    ValueKey::Float(canonical_f64_bits(*d))
+                }
+            }
+            Value::Varchar(s) => ValueKey::Str(s.clone()),
+        }
+    }
+
+    /// Hashable equi-join key, equality-consistent with [`Value::sql_eq`]:
+    /// `a.sql_eq(b) == Some(true)` iff both keys are `Some` and equal.
+    /// `None` for NULL (which joins nothing under 3VL). NaN maps to
+    /// `Some(ValueKey::NaN)` — callers that need `sql_cmp`'s "incomparable"
+    /// error semantics for NaN must check `is_nan` themselves.
+    ///
+    /// All numerics collapse to canonical f64 bits because `sql_cmp`
+    /// compares numerics as f64 (so `BigInt(1) = Double(1.0)` joins).
+    pub fn join_key(&self) -> Option<ValueKey> {
+        match self {
+            Value::Null => None,
+            Value::Boolean(b) => Some(ValueKey::Bool(*b)),
+            Value::Int(v) => Some(ValueKey::Float(canonical_f64_bits(*v as f64))),
+            Value::BigInt(v) => Some(ValueKey::Float(canonical_f64_bits(*v as f64))),
+            Value::Double(d) => {
+                if d.is_nan() {
+                    Some(ValueKey::NaN)
+                } else {
+                    Some(ValueKey::Float(canonical_f64_bits(*d)))
+                }
+            }
+            Value::Varchar(s) => Some(ValueKey::Str(s.clone())),
         }
     }
 
@@ -199,6 +263,34 @@ impl Value {
             Value::Boolean(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
         }
     }
+}
+
+/// `-0.0` and `+0.0` compare equal everywhere, so they must share bits.
+fn canonical_f64_bits(d: f64) -> u64 {
+    if d == 0.0 {
+        0.0f64.to_bits()
+    } else {
+        d.to_bits()
+    }
+}
+
+/// A hashable stand-in for a [`Value`], produced by [`Value::group_key`]
+/// (index_cmp-consistent) or [`Value::join_key`] (sql_eq-consistent).
+/// Used as the key type of grouping, DISTINCT, and hash-join tables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ValueKey {
+    Null,
+    Bool(bool),
+    /// Exact integer identity (group keys for INT/BIGINT and integral
+    /// DOUBLEs).
+    Int(i64),
+    /// Canonicalized f64 bits (join keys for all numerics; group keys for
+    /// non-integral DOUBLEs).
+    Float(u64),
+    /// NaN, kept apart from every `Float` so hashing stays consistent with
+    /// comparison.
+    NaN,
+    Str(String),
 }
 
 impl PartialEq for Value {
@@ -319,6 +411,70 @@ mod tests {
         assert_ne!(Value::Int(1), Value::BigInt(1));
         assert_eq!(Value::Null, Value::Null);
         assert_eq!(Value::Double(f64::NAN), Value::Double(f64::NAN));
+    }
+
+    #[test]
+    fn index_cmp_nan_sorts_last_among_numerics() {
+        let nan = Value::Double(f64::NAN);
+        assert_eq!(nan.index_cmp(&Value::Double(1e300)), Ordering::Greater);
+        assert_eq!(Value::Double(1e300).index_cmp(&nan), Ordering::Less);
+        assert_eq!(nan.index_cmp(&nan), Ordering::Equal);
+        // Still below strings: the class ladder wins over the NaN rule.
+        assert_eq!(nan.index_cmp(&Value::str("a")), Ordering::Less);
+    }
+
+    #[test]
+    fn group_key_matches_index_cmp_equality() {
+        let samples = [
+            Value::Null,
+            Value::Boolean(true),
+            Value::Int(1),
+            Value::BigInt(1),
+            Value::Double(1.0),
+            Value::Double(0.0),
+            Value::Double(-0.0),
+            Value::Double(1.5),
+            Value::Double(f64::NAN),
+            Value::str("1"),
+        ];
+        for a in &samples {
+            for b in &samples {
+                assert_eq!(
+                    a.group_key() == b.group_key(),
+                    a.index_cmp(b) == Ordering::Equal,
+                    "group_key/index_cmp disagree on {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn join_key_matches_sql_eq() {
+        let samples = [
+            Value::Boolean(false),
+            Value::Int(7),
+            Value::BigInt(7),
+            Value::Double(7.0),
+            Value::Double(-0.0),
+            Value::Double(0.0),
+            Value::Double(2.5),
+            Value::str("7"),
+        ];
+        for a in &samples {
+            for b in &samples {
+                assert_eq!(
+                    a.join_key() == b.join_key(),
+                    a.sql_eq(b) == Some(true),
+                    "join_key/sql_eq disagree on {a:?} vs {b:?}"
+                );
+            }
+        }
+        assert_eq!(Value::Null.join_key(), None);
+        assert_eq!(
+            Value::Double(f64::NAN).join_key(),
+            Some(ValueKey::NaN),
+            "NaN key must exist so exec can detect and reject it"
+        );
     }
 
     #[test]

@@ -1,0 +1,353 @@
+//! The join-aware executor must be *observationally equivalent* to the
+//! retained naive (Cartesian-product) reference path: the same row
+//! multiset for every query, and — with dependent-UDTF memoization off —
+//! the same multiset of non-FDBS ("architecture") charges, since the
+//! composition algorithm is an FDBS-internal concern that must never leak
+//! into what the paper measures about the architectures. Part A drives
+//! generated join/filter/DISTINCT/aggregate queries straight into an
+//! [`fedwf::fdbs::Fdbs`]; Part B replays the paper's Fig. 5 workload on
+//! all four integration architectures under both executors.
+
+use std::sync::Arc;
+
+use fedwf::core::{paper_functions, ArchitectureKind, IntegrationConfig, IntegrationServer};
+use fedwf::fdbs::{ChargeItem, ChargeSpec, ExecMode, Fdbs, RelstoreServer, Udtf};
+use fedwf::relstore::Database;
+use fedwf::sim::{Charge, Component, CostModel, Meter};
+use fedwf::types::check;
+use fedwf::types::rng::Rng;
+use fedwf::types::{DataType, Ident, Row, Schema, Table, Value};
+use fedwf_bench::args_for;
+
+// ---------------------------------------------------------------------------
+// Part A: generated queries against one FDBS instance
+// ---------------------------------------------------------------------------
+
+/// A join key in 0..10 (guaranteed collisions), sometimes NULL — NULL keys
+/// must be dropped identically by the residual filter and the hash join.
+fn gen_key(rng: &mut Rng) -> Value {
+    if rng.gen_bool(0.15) {
+        Value::Null
+    } else {
+        Value::Int(rng.range_i32(0, 9))
+    }
+}
+
+fn insert_rows(fdbs: &Fdbs, table: &str, rows: &[String]) {
+    if rows.is_empty() {
+        return;
+    }
+    let mut meter = Meter::new();
+    fdbs.execute(
+        &format!("INSERT INTO {table} VALUES {}", rows.join(", ")),
+        &mut meter,
+    )
+    .unwrap();
+}
+
+fn render_lit(v: &Value) -> String {
+    match v {
+        Value::Null => "NULL".to_string(),
+        other => other.render(),
+    }
+}
+
+/// One randomized federation: local T1(K, V, S), local-or-foreign
+/// T2(K, W) (local sometimes carries a unique index on K, the
+/// index-probe-join path), and a deterministic dependent UDTF with an
+/// architecture charge spec.
+fn gen_federation(rng: &mut Rng) -> Fdbs {
+    let fdbs = Fdbs::new(CostModel::default());
+    let mut meter = Meter::new();
+    fdbs.execute("CREATE TABLE T1 (K INT, V INT, S VARCHAR)", &mut meter)
+        .unwrap();
+
+    let n1 = rng.range_usize(0, 30);
+    let rows: Vec<String> = (0..n1)
+        .map(|_| {
+            format!(
+                "({}, {}, '{}')",
+                render_lit(&gen_key(rng)),
+                rng.range_i32(-50, 50),
+                rng.ascii_string(b"abcdefgh", 4)
+            )
+        })
+        .collect();
+    insert_rows(&fdbs, "T1", &rows);
+
+    let n2 = rng.range_usize(0, 30);
+    let foreign = rng.gen_bool(0.3);
+    let indexed = !foreign && rng.gen_bool(0.4);
+    if foreign {
+        let remote = Database::new("remote");
+        remote
+            .create_table(
+                "T2R",
+                Arc::new(Schema::of(&[("K", DataType::Int), ("W", DataType::Int)])),
+            )
+            .unwrap();
+        for _ in 0..n2 {
+            remote
+                .insert(
+                    "T2R",
+                    Row::new(vec![gen_key(rng), Value::Int(rng.range_i32(-50, 50))]),
+                )
+                .unwrap();
+        }
+        fdbs.catalog()
+            .register_foreign_table(
+                "T2",
+                Arc::new(RelstoreServer::new("erp", Arc::new(remote))),
+                "T2R",
+            )
+            .unwrap();
+    } else {
+        fdbs.execute("CREATE TABLE T2 (K INT, W INT)", &mut meter)
+            .unwrap();
+        if indexed {
+            // A unique index demands distinct keys; cover the
+            // index-probe-join path with keys 0..n2.
+            fdbs.execute("CREATE UNIQUE INDEX t2_k ON T2 (K)", &mut meter)
+                .unwrap();
+            let rows: Vec<String> = (0..n2.min(10))
+                .map(|k| format!("({k}, {})", rng.range_i32(-50, 50)))
+                .collect();
+            insert_rows(&fdbs, "T2", &rows);
+        } else {
+            let rows: Vec<String> = (0..n2)
+                .map(|_| {
+                    format!(
+                        "({}, {})",
+                        render_lit(&gen_key(rng)),
+                        rng.range_i32(-50, 50)
+                    )
+                })
+                .collect();
+            insert_rows(&fdbs, "T2", &rows);
+        }
+    }
+
+    // Deterministic dependent UDTF with an A-UDTF-style charge spec, so a
+    // divergence in invocation counts shows up in the charge multiset.
+    fdbs.register_udtf(
+        Udtf::native(
+            "Dep",
+            vec![(Ident::new("K"), DataType::Int)],
+            Arc::new(Schema::of(&[("M", DataType::Int)])),
+            |args, _m| {
+                let mut t = Table::new(Arc::new(Schema::of(&[("M", DataType::Int)])));
+                if let Some(k) = args[0].as_i64() {
+                    for i in 0..k.rem_euclid(3) {
+                        t.push(Row::new(vec![Value::Int((k * 10 + i) as i32)]))?;
+                    }
+                }
+                Ok(t)
+            },
+        )
+        .with_charges(ChargeSpec {
+            on_start: vec![
+                ChargeItem::new(Component::Udtf, "Start A-UDTF", 7),
+                ChargeItem::new(Component::Rmi, "RMI call", 5),
+            ],
+            on_finish: vec![ChargeItem::new(Component::Udtf, "Finish A-UDTF", 3)],
+        }),
+    )
+    .unwrap();
+    fdbs
+}
+
+fn gen_query(rng: &mut Rng) -> String {
+    match rng.range_usize(0, 6) {
+        0 => "SELECT A.V, B.W FROM T1 AS A, T2 AS B WHERE B.K = A.K".to_string(),
+        1 => format!(
+            "SELECT A.S, B.W FROM T1 AS A, T2 AS B WHERE B.K = A.K AND B.W > {}",
+            rng.range_i32(-50, 50)
+        ),
+        2 => "SELECT DISTINCT A.K FROM T1 AS A".to_string(),
+        3 => "SELECT A.K, COUNT(*) AS c FROM T1 AS A, T2 AS B \
+              WHERE B.K = A.K GROUP BY A.K ORDER BY 2 DESC"
+            .to_string(),
+        4 => "SELECT A.V, D.M FROM T1 AS A, TABLE (Dep(A.K)) AS D".to_string(),
+        _ => {
+            "SELECT COUNT(*) AS n, SUM(A.V) AS s FROM T1 AS A, T2 AS B WHERE B.K = A.K".to_string()
+        }
+    }
+}
+
+/// The row multiset, as sorted rendered rows.
+fn row_multiset(t: &Table) -> Vec<String> {
+    let mut rows: Vec<String> = t
+        .rows()
+        .iter()
+        .map(|r| {
+            r.values()
+                .iter()
+                .map(Value::render)
+                .collect::<Vec<_>>()
+                .join("|")
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+/// The architecture charge multiset: everything except FDBS-internal
+/// composition work, keyed without virtual start times (the two executors
+/// legitimately book different FDBS durations in between).
+fn arch_charges(charges: &[Charge]) -> Vec<(Component, String, u64)> {
+    let mut keys: Vec<_> = charges
+        .iter()
+        .filter(|c| c.component != Component::Fdbs)
+        .map(|c| (c.component, c.step.clone(), c.duration_us))
+        .collect();
+    keys.sort();
+    keys
+}
+
+fn udtf_invocation_charges(charges: &[Charge]) -> usize {
+    charges
+        .iter()
+        .filter(|c| c.component == Component::Udtf)
+        .count()
+}
+
+#[test]
+fn generated_queries_agree_between_executors() {
+    check::cases(48, |rng| {
+        let fdbs = gen_federation(rng);
+        for _ in 0..rng.range_usize(1, 4) {
+            let sql = gen_query(rng);
+
+            fdbs.set_udtf_memo(false);
+            fdbs.set_exec_mode(ExecMode::Naive);
+            let mut naive_meter = Meter::new();
+            let naive = fdbs.execute(&sql, &mut naive_meter).unwrap();
+
+            fdbs.set_exec_mode(ExecMode::JoinAware);
+            let mut aware_meter = Meter::new();
+            let aware = fdbs.execute(&sql, &mut aware_meter).unwrap();
+
+            assert_eq!(
+                row_multiset(&naive),
+                row_multiset(&aware),
+                "row multisets diverge for {sql}"
+            );
+            assert_eq!(
+                arch_charges(naive_meter.charges()),
+                arch_charges(aware_meter.charges()),
+                "architecture charges diverge for {sql}"
+            );
+
+            // Memoization may only *remove* dependent-UDTF invocations —
+            // never change the rows.
+            fdbs.set_udtf_memo(true);
+            let mut memo_meter = Meter::new();
+            let memoed = fdbs.execute(&sql, &mut memo_meter).unwrap();
+            assert_eq!(
+                row_multiset(&naive),
+                row_multiset(&memoed),
+                "memoized row multisets diverge for {sql}"
+            );
+            assert!(
+                udtf_invocation_charges(memo_meter.charges())
+                    <= udtf_invocation_charges(naive_meter.charges()),
+                "memoization increased UDTF charges for {sql}"
+            );
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Part B: the paper's workload on all four architectures
+// ---------------------------------------------------------------------------
+
+#[test]
+fn architectures_agree_between_executors() {
+    for kind in [
+        ArchitectureKind::Wfms,
+        ArchitectureKind::SqlUdtf,
+        ArchitectureKind::JavaUdtf,
+        ArchitectureKind::SimpleUdtf,
+    ] {
+        let make = || {
+            let s = IntegrationServer::new(IntegrationConfig::default().with_architecture(kind))
+                .unwrap();
+            s.boot();
+            s
+        };
+        let naive = make();
+        naive.fdbs().set_exec_mode(ExecMode::Naive);
+        let aware = make();
+        aware.fdbs().set_udtf_memo(false);
+
+        for (spec, _) in paper_functions::fig5_workload() {
+            // The cyclic case is undeployable on the UDTF architectures
+            // (the paper's Section 3 complexity result) — but the two
+            // executors must agree on deployability too.
+            let d = naive.deploy(&spec);
+            assert_eq!(d.is_ok(), aware.deploy(&spec).is_ok(), "{}", spec.name);
+            if d.is_err() {
+                continue;
+            }
+            let args = args_for(&naive, &spec);
+            // First (cold) and repeated (warm) calls must both agree.
+            for tier in ["first call", "repeated call"] {
+                let a = naive.call(spec.name.as_str(), &args).unwrap();
+                let b = aware.call(spec.name.as_str(), &args).unwrap();
+                assert_eq!(
+                    a.table,
+                    b.table,
+                    "{} on {} ({tier}): result tables diverge",
+                    spec.name,
+                    kind.name()
+                );
+                assert_eq!(
+                    arch_charges(a.meter.charges()),
+                    arch_charges(b.meter.charges()),
+                    "{} on {} ({tier}): architecture charges diverge",
+                    spec.name,
+                    kind.name()
+                );
+            }
+        }
+    }
+}
+
+/// With memoization left on (the default), the four architectures must
+/// still produce the same result tables as the naive reference.
+#[test]
+fn memoized_executor_preserves_results_on_all_architectures() {
+    for kind in [
+        ArchitectureKind::Wfms,
+        ArchitectureKind::SqlUdtf,
+        ArchitectureKind::JavaUdtf,
+        ArchitectureKind::SimpleUdtf,
+    ] {
+        let make = || {
+            let s = IntegrationServer::new(IntegrationConfig::default().with_architecture(kind))
+                .unwrap();
+            s.boot();
+            s
+        };
+        let naive = make();
+        naive.fdbs().set_exec_mode(ExecMode::Naive);
+        let memoed = make();
+
+        for (spec, _) in paper_functions::fig5_workload() {
+            if naive.deploy(&spec).is_err() {
+                continue; // undeployable on this architecture (cyclic case)
+            }
+            memoed.deploy(&spec).unwrap();
+            let args = args_for(&naive, &spec);
+            let a = naive.call(spec.name.as_str(), &args).unwrap();
+            let b = memoed.call(spec.name.as_str(), &args).unwrap();
+            assert_eq!(
+                a.table,
+                b.table,
+                "{} on {}: memoized result diverges",
+                spec.name,
+                kind.name()
+            );
+        }
+    }
+}

@@ -281,7 +281,8 @@ fn aggregate_errors() {
         "SELECT Name, COUNT(*) FROM Suppliers GROUP BY Relia",
         // SUM over a non-numeric column.
         "SELECT SUM(Name) FROM Suppliers",
-        // ORDER BY with aggregates is not supported.
+        // ORDER BY on an aggregate must reference an *output* column —
+        // Relia is neither projected nor a grouping key here.
         "SELECT COUNT(*) FROM Suppliers ORDER BY Relia",
         // Wildcard in an aggregate projection.
         "SELECT *, COUNT(*) FROM Suppliers GROUP BY Relia",
@@ -290,6 +291,60 @@ fn aggregate_errors() {
     ] {
         assert!(f.execute(bad, &mut m).is_err(), "{bad} should fail");
     }
+}
+
+#[test]
+fn order_by_over_aggregate_output() {
+    let f = engine();
+    // By ordinal: count DESC, then grouping key ASC among the ties.
+    let t = run(
+        &f,
+        "SELECT Relia, COUNT(*) AS N FROM Suppliers GROUP BY Relia \
+         ORDER BY 2 DESC, 1 ASC",
+    );
+    assert_eq!(
+        col_i64(&t, "Relia"),
+        vec![Some(95), Some(60), Some(70), Some(80)]
+    );
+    assert_eq!(t.value(0, "N"), Some(&Value::BigInt(2)));
+    // By output-column name (the alias).
+    let by_name = run(
+        &f,
+        "SELECT Relia, COUNT(*) AS N FROM Suppliers GROUP BY Relia \
+         ORDER BY N DESC, Relia ASC",
+    );
+    assert_eq!(col_i64(&by_name, "Relia"), col_i64(&t, "Relia"));
+    // By repeating the projected expression verbatim.
+    let by_expr = run(
+        &f,
+        "SELECT Relia, COUNT(*) AS N FROM Suppliers GROUP BY Relia \
+         ORDER BY COUNT(*) DESC, Relia ASC",
+    );
+    assert_eq!(col_i64(&by_expr, "Relia"), col_i64(&t, "Relia"));
+    // Out-of-range ordinal stays an error.
+    let mut m = Meter::new();
+    assert!(f
+        .execute(
+            "SELECT Relia, COUNT(*) FROM Suppliers GROUP BY Relia ORDER BY 3",
+            &mut m
+        )
+        .is_err());
+}
+
+#[test]
+fn integer_sum_overflow_fails_loudly() {
+    let f = engine();
+    let mut m = Meter::new();
+    f.execute_script(
+        "CREATE TABLE Big (X BIGINT);
+         INSERT INTO Big VALUES (9223372036854775806), (9223372036854775806);",
+        &mut m,
+    )
+    .unwrap();
+    let err = f
+        .execute("SELECT SUM(X) AS S FROM Big", &mut m)
+        .unwrap_err();
+    assert!(err.to_string().contains("SUM overflow"), "{err}");
 }
 
 #[test]
@@ -306,6 +361,23 @@ fn explain_shows_aggregate_stage() {
         .collect::<Vec<_>>()
         .join("\n");
     assert!(text.contains("Aggregate [1 key(s);"), "{text}");
+}
+
+#[test]
+fn explain_shows_hash_join_for_equi_join() {
+    let f = engine();
+    let t = run(
+        &f,
+        "EXPLAIN SELECT S.Name, P.Price FROM Suppliers AS S, Parts AS P \
+         WHERE S.SupplierNo = P.SupplierNo",
+    );
+    let text: String = t
+        .rows()
+        .iter()
+        .map(|r| r.values()[0].render())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(text.contains("HashJoin [1 key(s)"), "{text}");
 }
 
 #[test]
