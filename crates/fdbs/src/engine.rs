@@ -1,7 +1,7 @@
 //! The FDBS facade: statement execution, plan cache, SQL UDTF bodies.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::Arc;
 
 use fedwf_sim::{Component, CostModel, Meter};
@@ -14,14 +14,21 @@ use crate::exec::{execute_plan, invoke_udtf, ExecMode};
 use crate::plan::{FromStep, Plan, PlanBuilder};
 use crate::udtf::{ChargeItem, ChargeSpec, Udtf, UdtfKind};
 
+/// Bound host variables for one statement: the typed signature, the values
+/// in slot order, and the derived plan-cache key.
+type BoundHostParams = (Vec<(Ident, DataType)>, Vec<Value>, String);
+
 /// The federated database system engine.
 pub struct Fdbs {
     catalog: Catalog,
     cost: CostModel,
     plan_cache: RwLock<HashMap<String, Arc<Plan>>>,
-    /// When set, execute plans on the naive cross-product reference path
-    /// instead of the join-aware path (see [`ExecMode`]).
-    naive_exec: AtomicBool,
+    /// Which executor strategy [`execute_plan`] uses, encoded as a
+    /// [`ExecMode`] discriminant (0 = streaming, 1 = join-aware, 2 = naive).
+    exec_mode: AtomicU8,
+    /// Prune unreferenced columns out of FROM steps at bind time and push
+    /// the projection into the scans. Off for the unpruned baselines in E14.
+    projection_pruning: AtomicBool,
     /// Memoize dependent UDTF invocations within one step by argument
     /// tuple. Off for experiments that need per-prefix-row cost semantics.
     udtf_memo: AtomicBool,
@@ -39,7 +46,8 @@ impl Fdbs {
             catalog: Catalog::new(),
             cost,
             plan_cache: RwLock::new(HashMap::new()),
-            naive_exec: AtomicBool::new(false),
+            exec_mode: AtomicU8::new(0),
+            projection_pruning: AtomicBool::new(true),
             udtf_memo: AtomicBool::new(true),
         }
     }
@@ -54,17 +62,33 @@ impl Fdbs {
 
     /// The strategy [`execute_plan`] uses for this engine.
     pub fn exec_mode(&self) -> ExecMode {
-        if self.naive_exec.load(Ordering::Relaxed) {
-            ExecMode::Naive
-        } else {
-            ExecMode::JoinAware
+        match self.exec_mode.load(Ordering::Relaxed) {
+            1 => ExecMode::JoinAware,
+            2 => ExecMode::Naive,
+            _ => ExecMode::Streaming,
         }
     }
 
-    /// Switch between the join-aware executor and the naive reference path.
+    /// Switch between the streaming executor (default), the materializing
+    /// join-aware path, and the naive reference path.
     pub fn set_exec_mode(&self, mode: ExecMode) {
-        self.naive_exec
-            .store(mode == ExecMode::Naive, Ordering::Relaxed);
+        let tag = match mode {
+            ExecMode::Streaming => 0,
+            ExecMode::JoinAware => 1,
+            ExecMode::Naive => 2,
+        };
+        self.exec_mode.store(tag, Ordering::Relaxed);
+    }
+
+    /// Whether bind-time projection pruning is applied to new plans.
+    pub fn projection_pruning_enabled(&self) -> bool {
+        self.projection_pruning.load(Ordering::Relaxed)
+    }
+
+    /// Enable/disable bind-time projection pruning. Cached plans are keyed
+    /// on the flag, so toggling never serves a plan bound the other way.
+    pub fn set_projection_pruning(&self, enabled: bool) {
+        self.projection_pruning.store(enabled, Ordering::Relaxed);
     }
 
     /// Whether dependent UDTF invocations are memoized per step.
@@ -123,6 +147,19 @@ impl Fdbs {
         params: &[(&str, Value)],
         meter: &mut Meter,
     ) -> FedResult<Table> {
+        // Warm-statement fast path: a SELECT re-executed with the same text
+        // and host-variable signature is served straight from the plan
+        // cache, skipping lexing and parsing entirely. Only the SELECT path
+        // stores keys based on the raw statement text, so a hit here can
+        // only be a SELECT plan; DDL clears the whole cache, so a hit is
+        // never stale. A NULL host variable falls through to the slow path
+        // (its type cannot participate in the cache key).
+        if let Ok((_, values, cache_key)) = self.host_params_and_key(sql, params) {
+            let cached = self.plan_cache.read().get(&cache_key).cloned();
+            if let Some(plan) = cached {
+                return execute_plan(self, &plan, &values, meter);
+            }
+        }
         let stmt = parse_statement(sql)?;
         match stmt {
             Statement::Select(select) => {
@@ -176,15 +213,15 @@ impl Fdbs {
         invoke_udtf(self, &udtf, args, meter)
     }
 
-    /// Plan (with cache) a SELECT. Returns the plan and parameter values in
-    /// slot order.
-    fn plan_select(
+    /// Bind the host variables and derive the plan-cache key for a SELECT:
+    /// the raw statement text, the host-variable signature, and the
+    /// projection-pruning flag (a plan bound one way must never be served
+    /// to an engine configured the other way).
+    fn host_params_and_key(
         &self,
         cache_key_base: &str,
-        select: &SelectStmt,
         params: &[(&str, Value)],
-        meter: &mut Meter,
-    ) -> FedResult<(Arc<Plan>, Vec<Value>)> {
+    ) -> FedResult<BoundHostParams> {
         let mut param_defs: Vec<(Ident, DataType)> = Vec::with_capacity(params.len());
         let mut values: Vec<Value> = Vec::with_capacity(params.len());
         for (name, value) in params {
@@ -197,22 +234,39 @@ impl Fdbs {
             values.push(value.clone());
         }
         let cache_key = format!(
-            "{cache_key_base}|{}",
+            "{cache_key_base}|{}|p{}",
             param_defs
                 .iter()
                 .map(|(n, t)| format!("{n}:{t}"))
                 .collect::<Vec<_>>()
-                .join(",")
+                .join(","),
+            self.projection_pruning_enabled() as u8
         );
+        Ok((param_defs, values, cache_key))
+    }
+
+    /// Plan (with cache) a SELECT. Returns the plan and parameter values in
+    /// slot order.
+    fn plan_select(
+        &self,
+        cache_key_base: &str,
+        select: &SelectStmt,
+        params: &[(&str, Value)],
+        meter: &mut Meter,
+    ) -> FedResult<(Arc<Plan>, Vec<Value>)> {
+        let (param_defs, values, cache_key) = self.host_params_and_key(cache_key_base, params)?;
         if let Some(plan) = self.plan_cache.read().get(&cache_key) {
             return Ok((plan.clone(), values));
         }
         meter.charge(Component::Fdbs, "Compile statement", self.cost.plan_compile);
-        let plan = Arc::new(
-            PlanBuilder::new(&self.catalog)
-                .with_host_params(param_defs)
-                .bind(select)?,
-        );
+        let plan = PlanBuilder::new(&self.catalog)
+            .with_host_params(param_defs)
+            .bind(select)?;
+        let plan = Arc::new(if self.projection_pruning_enabled() {
+            plan.prune_projections()
+        } else {
+            plan
+        });
         self.plan_cache.write().insert(cache_key, plan.clone());
         Ok((plan, values))
     }
@@ -225,18 +279,25 @@ impl Fdbs {
         args: &[Value],
         meter: &mut Meter,
     ) -> FedResult<Table> {
-        let cache_key = format!("fn:{}", udtf.name.normalized());
+        let cache_key = format!(
+            "fn:{}|p{}",
+            udtf.name.normalized(),
+            self.projection_pruning_enabled() as u8
+        );
         let plan = {
             let cached = self.plan_cache.read().get(&cache_key).cloned();
             match cached {
                 Some(p) => p,
                 None => {
                     meter.charge(Component::Fdbs, "Compile statement", self.cost.plan_compile);
-                    let plan = Arc::new(
-                        PlanBuilder::new(&self.catalog)
-                            .with_function_context(udtf.name.clone(), udtf.params.clone())
-                            .bind(body)?,
-                    );
+                    let plan = PlanBuilder::new(&self.catalog)
+                        .with_function_context(udtf.name.clone(), udtf.params.clone())
+                        .bind(body)?;
+                    let plan = Arc::new(if self.projection_pruning_enabled() {
+                        plan.prune_projections()
+                    } else {
+                        plan
+                    });
                     self.plan_cache.write().insert(cache_key, plan.clone());
                     plan
                 }
@@ -393,10 +454,11 @@ impl Fdbs {
             }
             Statement::DropFunction { name } => {
                 self.catalog.drop_udtf(name)?;
-                // Invalidate the cached body plan, if any.
+                // Invalidate the cached body plans (one per pruning flag).
+                let prefix = format!("fn:{}|", name.normalized());
                 self.plan_cache
                     .write()
-                    .remove(&format!("fn:{}", name.normalized()));
+                    .retain(|k, _| !k.starts_with(&prefix));
                 Ok(done())
             }
         }
@@ -653,6 +715,45 @@ mod tests {
             "repeated call ({second}) must be at least plan_compile cheaper than first ({first})"
         );
         assert_eq!(f.cached_plan_count(), 1);
+    }
+
+    #[test]
+    fn warm_statement_fast_path_is_safe() {
+        let f = fdbs();
+        let mut m = Meter::new();
+        // Warm the cache, then re-execute: the raw-SQL fast path must
+        // return the same result.
+        let sql = "SELECT Name FROM Suppliers WHERE SupplierNo = TargetNo";
+        let params = [("TargetNo", Value::Int(2))];
+        let cold = f.execute_with_params(sql, &params, &mut m).unwrap();
+        let warm = f.execute_with_params(sql, &params, &mut m).unwrap();
+        assert_eq!(cold.rows(), warm.rows());
+        // Different parameter *values* with the same signature still hit.
+        let other = f
+            .execute_with_params(sql, &[("TargetNo", Value::Int(1234))], &mut m)
+            .unwrap();
+        assert_eq!(other.value(0, "Name"), Some(&Value::str("Precision")));
+        // A NULL host variable cannot use the fast path; the slow path
+        // reports the bind error.
+        let err = f
+            .execute_with_params(sql, &[("TargetNo", Value::Null)], &mut m)
+            .unwrap_err();
+        assert!(err.to_string().contains("NULL"), "{err}");
+        // DDL clears the cache, so the warm statement never goes stale.
+        f.execute("DROP TABLE Suppliers", &mut m).unwrap();
+        assert!(f.execute_with_params(sql, &params, &mut m).is_err());
+    }
+
+    #[test]
+    fn pruning_toggle_keys_the_plan_cache() {
+        let f = fdbs();
+        let mut m = Meter::new();
+        f.execute("SELECT Name FROM Suppliers", &mut m).unwrap();
+        assert_eq!(f.cached_plan_count(), 1);
+        f.set_projection_pruning(false);
+        f.execute("SELECT Name FROM Suppliers", &mut m).unwrap();
+        assert_eq!(f.cached_plan_count(), 2, "distinct key per pruning flag");
+        f.set_projection_pruning(true);
     }
 
     #[test]

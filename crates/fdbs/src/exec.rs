@@ -1,39 +1,63 @@
 //! The plan executor: a join-aware pipeline over the lateral chain.
 //!
-//! Two strategies share this module. The default, [`ExecMode::JoinAware`],
-//! composes each step with its prefix via a hash join on the equi-join keys
-//! the binder extracted (`Plan::step_join_keys`), serves single-key local
-//! scans with index point lookups, memoizes dependent UDTF invocations by
-//! argument tuple, and uses hashed GROUP BY/DISTINCT. The retained
-//! [`ExecMode::Naive`] path materializes the cross product and re-evaluates
-//! the join conjuncts per composed row — the reference semantics the
-//! equivalence suite checks the fast path against.
+//! Three strategies share this module. The default, [`ExecMode::Streaming`],
+//! pulls bounded row batches through a chain of non-blocking operators
+//! (chunked local scans, lazy hash-join probes, index point lookups,
+//! residual filters, dependent-UDTF calls) so intermediate results are never
+//! materialized whole; only genuine pipeline breakers — hash-join build
+//! sides, buffered foreign/UDTF result sets, ORDER BY, GROUP BY — buffer
+//! rows, and each such buffer is tallied on the meter's materialization
+//! counters. [`ExecMode::JoinAware`] is the materializing ancestor of the
+//! streaming path: it composes each step with its prefix via a hash join on
+//! the equi-join keys the binder extracted (`Plan::step_join_keys`), serves
+//! single-key local scans with index point lookups, memoizes dependent UDTF
+//! invocations by argument tuple, and uses hashed GROUP BY/DISTINCT — but
+//! materializes every composed intermediate. The retained [`ExecMode::Naive`]
+//! path materializes the cross product and re-evaluates the join conjuncts
+//! per composed row — the reference semantics the equivalence suite checks
+//! the fast paths against.
+//!
+//! All three honor [`Plan::step_projections`]: when the binder pruned a
+//! step, its scan returns only the referenced columns (pushed through
+//! `Database::scan_project` / `ForeignServer::scan_project`) and UDTF result
+//! rows are cut down before composing. `JoinKey::build` keeps the step's
+//! original column numbering, so executors translate build columns into
+//! pruned positions before hashing.
 
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
 
-use fedwf_relstore::Predicate;
+use fedwf_relstore::{Predicate, RowId};
 use fedwf_sim::{Component, CostModel, Meter};
 use fedwf_types::{
-    implicit_cast, DataType, FedError, FedResult, ResultExt, Row, SchemaRef, Table, Value, ValueKey,
+    implicit_cast, DataType, FedError, FedResult, Ident, ResultExt, Row, SchemaRef, Table, Value,
+    ValueKey,
 };
 
 use crate::engine::Fdbs;
 use crate::expr::BoundExpr;
-use crate::plan::{self as fedwf_plan, FromStep, JoinKey, Plan};
+use crate::plan::{AggColumn, AggFn, AggregatePlan, FromStep, JoinKey, Plan};
 use crate::udtf::{Udtf, UdtfKind};
 
 /// Which executor strategy to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecMode {
+    /// Pull-based batches through non-blocking operators; only pipeline
+    /// breakers (build sides, sorts, aggregates) buffer rows. The default.
+    Streaming,
     /// Hash joins on extracted equi-join keys, index probes, dependent-UDTF
-    /// memoization, hashed grouping/DISTINCT.
+    /// memoization, hashed grouping/DISTINCT — materializing every composed
+    /// intermediate. Kept as the PR-2 reference point for E14.
     JoinAware,
     /// Cross product + per-row predicate re-evaluation, linear group
     /// lookup. Kept as the reference path for equivalence testing and the
     /// E13 scaling comparison.
     Naive,
 }
+
+/// Rows per streaming batch. Small enough that a batch of wide rows stays
+/// cache-friendly, large enough to amortize per-batch dispatch.
+const STREAM_BATCH_ROWS: usize = 1024;
 
 /// Execute a bound plan against the engine's catalog, booking executor
 /// costs to `meter`. `params` supplies the plan's parameter slots in order.
@@ -62,14 +86,37 @@ pub fn execute_plan_with_mode(
             params.len()
         )));
     }
+    match mode {
+        ExecMode::Streaming => execute_streaming(fdbs, plan, params, meter),
+        ExecMode::JoinAware | ExecMode::Naive => {
+            execute_materialized(fdbs, plan, params, meter, mode)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Materializing executors (JoinAware + Naive reference)
+// ---------------------------------------------------------------------------
+
+fn execute_materialized(
+    fdbs: &Fdbs,
+    plan: &Plan,
+    params: &[Value],
+    meter: &mut Meter,
+    mode: ExecMode,
+) -> FedResult<Table> {
     let cost = fdbs.cost();
 
     // The lateral chain starts from a single empty row.
     let mut rows: Vec<Row> = vec![Row::empty()];
     for (i, step) in plan.steps.iter().enumerate() {
         let jk = plan.step_join_keys[i].as_ref();
-        rows = execute_step(fdbs, step, i, jk, rows, params, meter, mode)
+        let proj = plan.step_projections.get(i).and_then(|p| p.as_deref());
+        rows = execute_step(fdbs, step, i, jk, proj, rows, params, meter, mode)
             .context(format!("evaluating FROM item {} ({step:?})", i + 1))?;
+        // Every composed intermediate is a materialization point on this
+        // path — that is exactly what the streaming executor avoids.
+        tally_rows(meter, &rows);
         if mode == ExecMode::Naive {
             // The naive path ignored the join keys during composition, so
             // their conjuncts apply here as an ordinary residual filter.
@@ -85,17 +132,39 @@ pub fn execute_plan_with_mode(
     // Grouping/aggregation replaces the scalar projection entirely; its
     // ORDER BY keys index the aggregate *output* layout.
     if let Some(agg) = &plan.aggregate {
-        let mut out = aggregate_rows(fdbs, plan, agg, &rows, params, meter, mode)?;
-        if !plan.order_by.is_empty() {
-            let sorted = sort_rows(out.into_rows(), &plan.order_by, params)?;
-            out = table_from_rows(plan.out_schema.clone(), sorted);
-        }
-        if let Some(limit) = plan.limit {
-            let rows: Vec<Row> = out.into_rows().into_iter().take(limit as usize).collect();
-            out = table_from_rows(plan.out_schema.clone(), rows);
-        }
-        return Ok(out);
+        let out = aggregate_rows(fdbs, plan, agg, &rows, params, meter, mode)?;
+        return finish_aggregate(plan, out, params);
     }
+
+    scalar_tail(fdbs, plan, rows, params, meter, mode)
+}
+
+/// Sort (ORDER BY on the aggregate output layout) and LIMIT an aggregate
+/// result — shared by the materializing and streaming paths.
+fn finish_aggregate(plan: &Plan, mut out: Table, params: &[Value]) -> FedResult<Table> {
+    if !plan.order_by.is_empty() {
+        let sorted = sort_rows(out.into_rows(), &plan.order_by, params)?;
+        out = table_from_rows(plan.out_schema.clone(), sorted);
+    }
+    if let Some(limit) = plan.limit {
+        let rows: Vec<Row> = out.into_rows().into_iter().take(limit as usize).collect();
+        out = table_from_rows(plan.out_schema.clone(), rows);
+    }
+    Ok(out)
+}
+
+/// The scalar (non-aggregate) finishing stages over fully collected rows:
+/// ORDER BY on the pre-projection layout, projection, DISTINCT, LIMIT.
+/// Shared by the materializing paths and the streaming sort sink.
+fn scalar_tail(
+    fdbs: &Fdbs,
+    plan: &Plan,
+    mut rows: Vec<Row>,
+    params: &[Value],
+    meter: &mut Meter,
+    mode: ExecMode,
+) -> FedResult<Table> {
+    let cost = fdbs.cost();
 
     // ORDER BY is evaluated on the full (pre-projection) row layout, so it
     // may reference any FROM column, not just projected ones.
@@ -115,13 +184,13 @@ pub fn execute_plan_with_mode(
         out.push_unchecked(Row::new(values));
     }
 
-    // DISTINCT: hashed on the join-aware path, quadratic scan on the naive
+    // DISTINCT: hashed on the fast paths, quadratic scan on the naive
     // reference path. Both keep first-appearance order and group by
     // `index_cmp` equality (`group_key` is hash-consistent with it).
     if plan.distinct {
         let mut deduped = Table::new(plan.out_schema.clone());
         match mode {
-            ExecMode::JoinAware => {
+            ExecMode::Streaming | ExecMode::JoinAware => {
                 let mut seen: HashSet<Vec<ValueKey>> = HashSet::new();
                 for row in out.into_rows() {
                     let key: Vec<ValueKey> = row.values().iter().map(Value::group_key).collect();
@@ -164,6 +233,7 @@ fn execute_step(
     step: &FromStep,
     position: usize,
     jk: Option<&JoinKey>,
+    proj: Option<&[usize]>,
     prefix: Vec<Row>,
     params: &[Value],
     meter: &mut Meter,
@@ -171,7 +241,7 @@ fn execute_step(
 ) -> FedResult<Vec<Row>> {
     let cost = fdbs.cost();
     let jk = match mode {
-        ExecMode::JoinAware => jk,
+        ExecMode::Streaming | ExecMode::JoinAware => jk,
         ExecMode::Naive => None,
     };
     match step {
@@ -182,45 +252,43 @@ fn execute_step(
             ..
         } => {
             if let Some(jk) = jk {
-                // A single integer-typed join key served by an index turns
-                // the scan into point lookups, one per distinct probe value.
-                // (DOUBLE keys fall back to the hash join: NaN would change
-                // the naive path's error semantics under the storage
-                // layer's silent 3VL comparison.)
-                let indexable = jk.build.len() == 1
-                    && schema.columns()[jk.build[0]].data_type != DataType::Double
-                    && jk.probe[0].data_type() != Some(DataType::Double)
-                    && fdbs
-                        .catalog()
-                        .local()
-                        .index_serves(table.as_str(), &Predicate::eq(jk.build[0], Value::Null))?;
-                if indexable {
+                if step_is_indexable(fdbs, table, schema, jk)? {
                     return index_probe_join(
                         fdbs,
                         table.as_str(),
                         pushdown,
                         jk,
+                        proj,
                         prefix,
                         params,
                         meter,
                     );
                 }
-                let scanned = fdbs.catalog().local().scan(table.as_str(), pushdown)?;
+                let scanned =
+                    fdbs.catalog()
+                        .local()
+                        .scan_project(table.as_str(), pushdown, proj)?;
                 meter.charge(
                     Component::Fdbs,
                     "Scan local table",
                     cost.predicate_eval * scanned.row_count() as u64,
                 );
-                let out = hash_join(prefix, scanned.rows(), jk, params)?;
+                tally_rows(meter, scanned.rows());
+                let build_cols = build_positions(&jk.build, proj)?;
+                let out = hash_join(prefix, scanned.rows(), &build_cols, &jk.probe, params)?;
                 charge_join(meter, cost, scanned.row_count() + out.len());
                 return Ok(out);
             }
-            let scanned = fdbs.catalog().local().scan(table.as_str(), pushdown)?;
+            let scanned = fdbs
+                .catalog()
+                .local()
+                .scan_project(table.as_str(), pushdown, proj)?;
             meter.charge(
                 Component::Fdbs,
                 "Scan local table",
                 cost.predicate_eval * scanned.row_count() as u64,
             );
+            tally_rows(meter, scanned.rows());
             Ok(cross(prefix, scanned.rows()))
         }
         FromStep::ScanForeign {
@@ -229,14 +297,16 @@ fn execute_step(
             pushdown,
             ..
         } => {
-            let scanned = server.scan(remote_name, pushdown)?;
+            let scanned = server.scan_project(remote_name, pushdown, proj)?;
             meter.charge(
                 Component::Fdbs,
                 format!("Subquery to SQL source {}", server.name()),
                 cost.rmi_call + cost.rmi_return,
             );
+            tally_rows(meter, scanned.rows());
             if let Some(jk) = jk {
-                let out = hash_join(prefix, scanned.rows(), jk, params)?;
+                let build_cols = build_positions(&jk.build, proj)?;
+                let out = hash_join(prefix, scanned.rows(), &build_cols, &jk.probe, params)?;
                 charge_join(meter, cost, scanned.row_count() + out.len());
                 return Ok(out);
             }
@@ -257,9 +327,12 @@ fn execute_step(
                     .map(|a| a.eval(&[], params))
                     .collect::<FedResult<_>>()?;
                 let result = invoke_udtf(fdbs, udtf, &arg_values, meter)?;
+                let rrows = pruned_rows(&result, proj);
+                tally_rows(meter, &rrows);
                 if let Some(jk) = jk {
-                    let out = hash_join(prefix, result.rows(), jk, params)?;
-                    charge_join(meter, cost, result.row_count() + out.len());
+                    let build_cols = build_positions(&jk.build, proj)?;
+                    let out = hash_join(prefix, &rrows, &build_cols, &jk.probe, params)?;
+                    charge_join(meter, cost, rrows.len() + out.len());
                     return Ok(out);
                 }
                 if position > 0 {
@@ -268,16 +341,16 @@ fn execute_step(
                         "Join with selection (compose result sets)",
                         cost.join_with_selection_setup
                             + cost.join_with_selection_per_row
-                                * (prefix.len() * result.row_count()) as u64,
+                                * (prefix.len() * rrows.len()) as u64,
                     );
                 }
-                Ok(cross(prefix, result.rows()))
+                Ok(cross(prefix, &rrows))
             } else {
                 // Dependent: one invocation per prefix row — memoized by
-                // the evaluated argument tuple on the join-aware path, so
+                // the evaluated argument tuple on the fast paths, so
                 // identical calls (and their Meter charges) happen once.
-                let memo_on = mode == ExecMode::JoinAware && fdbs.udtf_memo_enabled();
-                let mut memo: HashMap<Vec<(Option<DataType>, ValueKey)>, Table> = HashMap::new();
+                let memo_on = mode != ExecMode::Naive && fdbs.udtf_memo_enabled();
+                let mut memo: HashMap<Vec<(Option<DataType>, ValueKey)>, Vec<Row>> = HashMap::new();
                 let mut out = Vec::new();
                 for row in &prefix {
                     let arg_values: Vec<Value> = args
@@ -285,7 +358,7 @@ fn execute_step(
                         .map(|a| a.eval(row.values(), params))
                         .collect::<FedResult<_>>()?;
                     let fresh;
-                    let result: &Table = if memo_on {
+                    let result: &[Row] = if memo_on {
                         // Structural key (type + exact value): argument
                         // tuples that could implicit-cast differently never
                         // share an entry.
@@ -296,14 +369,19 @@ fn execute_step(
                         match memo.entry(key) {
                             Entry::Occupied(e) => e.into_mut(),
                             Entry::Vacant(e) => {
-                                e.insert(invoke_udtf(fdbs, udtf, &arg_values, meter)?)
+                                let t = invoke_udtf(fdbs, udtf, &arg_values, meter)?;
+                                let rows = pruned_rows(&t, proj);
+                                tally_rows(meter, &rows);
+                                e.insert(rows)
                             }
                         }
                     } else {
-                        fresh = invoke_udtf(fdbs, udtf, &arg_values, meter)?;
+                        let t = invoke_udtf(fdbs, udtf, &arg_values, meter)?;
+                        fresh = pruned_rows(&t, proj);
+                        tally_rows(meter, &fresh);
                         &fresh
                     };
-                    for rrow in result.rows() {
+                    for rrow in result {
                         out.push(row.concat(rrow));
                     }
                 }
@@ -311,6 +389,59 @@ fn execute_step(
             }
         }
     }
+}
+
+/// Whether a joined local scan can be served by index point lookups: a
+/// single integer-typed join key backed by an index. (DOUBLE keys fall back
+/// to the hash join: NaN would change the naive path's error semantics
+/// under the storage layer's silent 3VL comparison.)
+fn step_is_indexable(
+    fdbs: &Fdbs,
+    table: &Ident,
+    schema: &SchemaRef,
+    jk: &JoinKey,
+) -> FedResult<bool> {
+    Ok(jk.build.len() == 1
+        && schema.columns()[jk.build[0]].data_type != DataType::Double
+        && jk.probe[0].data_type() != Some(DataType::Double)
+        && fdbs
+            .catalog()
+            .local()
+            .index_serves(table.as_str(), &Predicate::eq(jk.build[0], Value::Null))?)
+}
+
+/// Translate the original step-local build columns of a join key into
+/// positions within the pruned step projection. The binder always keeps
+/// join build columns in the projection, so a miss is an internal error.
+fn build_positions(build: &[usize], proj: Option<&[usize]>) -> FedResult<Vec<usize>> {
+    match proj {
+        None => Ok(build.to_vec()),
+        Some(p) => build
+            .iter()
+            .map(|b| {
+                p.iter().position(|c| c == b).ok_or_else(|| {
+                    FedError::execution(format!(
+                        "join build column {b} was pruned out of the step projection"
+                    ))
+                })
+            })
+            .collect(),
+    }
+}
+
+/// A step's result rows cut down to the pruned projection (UDTF results are
+/// produced full-width by the function body; scans prune at the source).
+fn pruned_rows(table: &Table, proj: Option<&[usize]>) -> Vec<Row> {
+    match proj {
+        None => table.rows().to_vec(),
+        Some(p) => table.rows().iter().map(|r| r.project(p)).collect(),
+    }
+}
+
+/// Record `rows` as materialized on the meter's observability counters.
+fn tally_rows(meter: &mut Meter, rows: &[Row]) {
+    let bytes: usize = rows.iter().map(Row::approx_bytes).sum();
+    meter.tally_materialized(rows.len() as u64, bytes as u64);
 }
 
 /// Keep the rows satisfying `filter`, booking one predicate evaluation per
@@ -356,41 +487,59 @@ fn join_key_checked(v: &Value) -> FedResult<Option<ValueKey>> {
     }
 }
 
+/// Evaluate the build-side key of one row; `None` means the row joins
+/// nothing (a NULL key under SQL three-valued logic).
+fn build_key(row: &Row, build_cols: &[usize]) -> FedResult<Option<Vec<ValueKey>>> {
+    let mut key = Vec::with_capacity(build_cols.len());
+    for &c in build_cols {
+        match join_key_checked(&row.values()[c])? {
+            Some(k) => key.push(k),
+            None => return Ok(None),
+        }
+    }
+    Ok(Some(key))
+}
+
+/// Evaluate the probe-side key of one prefix row; `None` joins nothing.
+fn probe_key(row: &Row, probe: &[BoundExpr], params: &[Value]) -> FedResult<Option<Vec<ValueKey>>> {
+    let mut key = Vec::with_capacity(probe.len());
+    for p in probe {
+        let v = p.eval(row.values(), params)?;
+        match join_key_checked(&v)? {
+            Some(k) => key.push(k),
+            None => return Ok(None),
+        }
+    }
+    Ok(Some(key))
+}
+
 /// Hash-compose the step's `build_rows` against `prefix` on the extracted
-/// equi-join keys. Output order matches `cross` + filter exactly:
-/// prefix-major, build rows in scan order. Empty inputs short-circuit
-/// before any key is evaluated — the naive path evaluates nothing there
-/// either, so error behavior stays aligned.
+/// equi-join keys. `build_cols` index the build rows' (possibly pruned)
+/// layout. Output order matches `cross` + filter exactly: prefix-major,
+/// build rows in scan order. Empty inputs short-circuit before any key is
+/// evaluated — the naive path evaluates nothing there either, so error
+/// behavior stays aligned.
 fn hash_join(
     prefix: Vec<Row>,
     build_rows: &[Row],
-    jk: &JoinKey,
+    build_cols: &[usize],
+    probe: &[BoundExpr],
     params: &[Value],
 ) -> FedResult<Vec<Row>> {
     if prefix.is_empty() || build_rows.is_empty() {
         return Ok(Vec::new());
     }
     let mut table: HashMap<Vec<ValueKey>, Vec<usize>> = HashMap::new();
-    'build: for (i, row) in build_rows.iter().enumerate() {
-        let mut key = Vec::with_capacity(jk.build.len());
-        for &c in &jk.build {
-            match join_key_checked(&row.values()[c])? {
-                Some(k) => key.push(k),
-                None => continue 'build,
-            }
+    for (i, row) in build_rows.iter().enumerate() {
+        if let Some(key) = build_key(row, build_cols)? {
+            table.entry(key).or_default().push(i);
         }
-        table.entry(key).or_default().push(i);
     }
     let mut out = Vec::new();
-    'probe: for left in &prefix {
-        let mut key = Vec::with_capacity(jk.probe.len());
-        for p in &jk.probe {
-            let v = p.eval(left.values(), params)?;
-            match join_key_checked(&v)? {
-                Some(k) => key.push(k),
-                None => continue 'probe,
-            }
-        }
+    for left in &prefix {
+        let Some(key) = probe_key(left, probe, params)? else {
+            continue;
+        };
         if let Some(matches) = table.get(&key) {
             for &i in matches {
                 out.push(left.concat(&build_rows[i]));
@@ -402,12 +551,16 @@ fn hash_join(
 
 /// Serve a single-key local-scan join with index point lookups: one
 /// `scan_eq` per *distinct* probe value, cached, instead of one full scan
-/// plus a cross product.
+/// plus a cross product. The probe column keeps the table's original
+/// numbering (storage filters before projecting); cached rows come back in
+/// the pruned layout.
+#[allow(clippy::too_many_arguments)]
 fn index_probe_join(
     fdbs: &Fdbs,
     table: &str,
     pushdown: &Predicate,
     jk: &JoinKey,
+    proj: Option<&[usize]>,
     prefix: Vec<Row>,
     params: &[Value],
     meter: &mut Meter,
@@ -426,9 +579,11 @@ fn index_probe_join(
         let matches = match cache.entry(key) {
             Entry::Occupied(e) => e.into_mut(),
             Entry::Vacant(e) => {
-                let t = local.scan_eq(table, build_col, v, pushdown)?;
+                let t = local.scan_eq_project(table, build_col, v, pushdown, proj)?;
                 scanned_total += t.row_count() as u64;
-                e.insert(t.into_rows())
+                let rows = t.into_rows();
+                tally_rows(meter, &rows);
+                e.insert(rows)
             }
         };
         for r in matches.iter() {
@@ -477,81 +632,93 @@ fn table_from_rows(schema: SchemaRef, rows: Vec<Row>) -> Table {
     t
 }
 
-/// Group the input rows by the plan's keys and evaluate the aggregate
-/// columns. Without GROUP BY there is exactly one group — even over zero
-/// rows (`COUNT(*)` of an empty table is 0, `SUM` is NULL). Groups appear
-/// in first-appearance order on both paths; the join-aware path finds them
-/// through a hash map, the naive path by linear `index_cmp` search.
-#[allow(clippy::too_many_arguments)]
-fn aggregate_rows(
-    fdbs: &Fdbs,
-    plan: &Plan,
-    agg: &fedwf_plan::AggregatePlan,
-    rows: &[Row],
-    params: &[Value],
-    meter: &mut Meter,
-    mode: ExecMode,
-) -> FedResult<Table> {
-    use fedwf_plan::{AggColumn, AggFn};
-    let cost = fdbs.cost();
+// ---------------------------------------------------------------------------
+// Incremental aggregation (shared by all modes)
+// ---------------------------------------------------------------------------
 
-    // Collected argument values per group: (key values, per-column data).
-    struct Group {
-        keys: Vec<Value>,
-        /// For each aggregate column: non-null argument values (for
-        /// COUNT(*): the total row count as `seen`).
-        values: Vec<Vec<Value>>,
-        seen: u64,
+/// Collected argument values per group: (key values, per-column data).
+struct Group {
+    keys: Vec<Value>,
+    /// For each aggregate column: non-null argument values (for
+    /// COUNT(*): the total row count as `seen`).
+    values: Vec<Vec<Value>>,
+    seen: u64,
+}
+
+/// Incremental GROUP BY/aggregate state. Rows are pushed one at a time (the
+/// streaming sink feeds it per batch; the materializing paths feed it the
+/// collected row set), and [`Aggregator::finish`] evaluates the aggregate
+/// functions. Without GROUP BY there is exactly one group — even over zero
+/// rows (`COUNT(*)` of an empty table is 0, `SUM` is NULL). Groups appear in
+/// first-appearance order on every path; the fast paths find them through a
+/// hash map, the naive path by linear `index_cmp` search.
+struct Aggregator<'p> {
+    plan: &'p Plan,
+    agg: &'p AggregatePlan,
+    hashed: bool,
+    predicate_eval: u64,
+    row_output: u64,
+    groups: Vec<Group>,
+    lookup: HashMap<Vec<ValueKey>, usize>,
+}
+
+impl<'p> Aggregator<'p> {
+    fn new(plan: &'p Plan, agg: &'p AggregatePlan, cost: &CostModel, hashed: bool) -> Self {
+        Aggregator {
+            plan,
+            agg,
+            hashed,
+            predicate_eval: cost.predicate_eval,
+            row_output: cost.row_output,
+            groups: Vec::new(),
+            lookup: HashMap::new(),
+        }
     }
-    let agg_count = agg.columns.len();
-    let mut groups: Vec<Group> = Vec::new();
-    let mut lookup: HashMap<Vec<ValueKey>, usize> = HashMap::new();
 
-    for row in rows {
-        meter.charge(Component::Fdbs, "Evaluate predicates", cost.predicate_eval);
-        let keys: Vec<Value> = agg
+    fn push(&mut self, row: &Row, params: &[Value], meter: &mut Meter) -> FedResult<()> {
+        let agg_count = self.agg.columns.len();
+        meter.charge(Component::Fdbs, "Evaluate predicates", self.predicate_eval);
+        let keys: Vec<Value> = self
+            .agg
             .keys
             .iter()
             .map(|k| k.eval(row.values(), params))
             .collect::<FedResult<_>>()?;
-        let idx = match mode {
-            ExecMode::JoinAware => {
-                let hkey: Vec<ValueKey> = keys.iter().map(Value::group_key).collect();
-                match lookup.entry(hkey) {
-                    Entry::Occupied(e) => *e.get(),
-                    Entry::Vacant(e) => {
-                        groups.push(Group {
-                            keys: keys.clone(),
-                            values: vec![Vec::new(); agg_count],
-                            seen: 0,
-                        });
-                        *e.insert(groups.len() - 1)
-                    }
+        let idx = if self.hashed {
+            let hkey: Vec<ValueKey> = keys.iter().map(Value::group_key).collect();
+            match self.lookup.entry(hkey) {
+                Entry::Occupied(e) => *e.get(),
+                Entry::Vacant(e) => {
+                    self.groups.push(Group {
+                        keys: keys.clone(),
+                        values: vec![Vec::new(); agg_count],
+                        seen: 0,
+                    });
+                    *e.insert(self.groups.len() - 1)
                 }
             }
-            ExecMode::Naive => {
-                let found = groups.iter().position(|g| {
-                    g.keys
-                        .iter()
-                        .zip(&keys)
-                        .all(|(a, b)| a.index_cmp(b) == std::cmp::Ordering::Equal)
-                });
-                match found {
-                    Some(i) => i,
-                    None => {
-                        groups.push(Group {
-                            keys: keys.clone(),
-                            values: vec![Vec::new(); agg_count],
-                            seen: 0,
-                        });
-                        groups.len() - 1
-                    }
+        } else {
+            let found = self.groups.iter().position(|g| {
+                g.keys
+                    .iter()
+                    .zip(&keys)
+                    .all(|(a, b)| a.index_cmp(b) == std::cmp::Ordering::Equal)
+            });
+            match found {
+                Some(i) => i,
+                None => {
+                    self.groups.push(Group {
+                        keys: keys.clone(),
+                        values: vec![Vec::new(); agg_count],
+                        seen: 0,
+                    });
+                    self.groups.len() - 1
                 }
             }
         };
-        let group = &mut groups[idx];
+        let group = &mut self.groups[idx];
         group.seen += 1;
-        for (i, (col, _)) in agg.columns.iter().enumerate() {
+        for (i, (col, _)) in self.agg.columns.iter().enumerate() {
             if let AggColumn::Agg { arg: Some(arg), .. } = col {
                 let v = arg.eval(row.values(), params)?;
                 if !v.is_null() {
@@ -559,85 +726,112 @@ fn aggregate_rows(
                 }
             }
         }
-    }
-    // Global aggregation over zero rows still yields one (empty) group.
-    if groups.is_empty() && agg.keys.is_empty() {
-        groups.push(Group {
-            keys: vec![],
-            values: vec![Vec::new(); agg_count],
-            seen: 0,
-        });
+        Ok(())
     }
 
-    let mut out = Table::new(plan.out_schema.clone());
-    for group in &groups {
-        let mut values = Vec::with_capacity(agg_count);
-        for (i, ((col, _), schema_col)) in agg
-            .columns
-            .iter()
-            .zip(plan.out_schema.columns())
-            .enumerate()
-        {
-            let v = match col {
-                AggColumn::Key(k) => group.keys[*k].clone(),
-                AggColumn::Agg { f, arg } => {
-                    let collected = &group.values[i];
-                    match f {
-                        AggFn::Count => match arg {
-                            None => Value::BigInt(group.seen as i64),
-                            Some(_) => Value::BigInt(collected.len() as i64),
-                        },
-                        AggFn::Sum | AggFn::Avg => {
-                            if collected.is_empty() {
-                                Value::Null
-                            } else {
-                                match (f, schema_col.data_type) {
-                                    (AggFn::Avg, _) => {
-                                        let as_f: f64 =
-                                            collected.iter().filter_map(Value::as_f64).sum();
-                                        Value::Double(as_f / collected.len() as f64)
-                                    }
-                                    (_, DataType::Double) => {
-                                        let as_f: f64 =
-                                            collected.iter().filter_map(Value::as_f64).sum();
-                                        Value::Double(as_f)
-                                    }
-                                    _ => {
-                                        let mut acc: i64 = 0;
-                                        for v in collected.iter().filter_map(Value::as_i64) {
-                                            acc = acc.checked_add(v).ok_or_else(|| {
-                                                FedError::execution("SUM overflow")
-                                            })?;
+    fn finish(mut self, meter: &mut Meter) -> FedResult<Table> {
+        let agg_count = self.agg.columns.len();
+        // Global aggregation over zero rows still yields one (empty) group.
+        if self.groups.is_empty() && self.agg.keys.is_empty() {
+            self.groups.push(Group {
+                keys: vec![],
+                values: vec![Vec::new(); agg_count],
+                seen: 0,
+            });
+        }
+
+        let mut out = Table::new(self.plan.out_schema.clone());
+        for group in &self.groups {
+            let mut values = Vec::with_capacity(agg_count);
+            for (i, ((col, _), schema_col)) in self
+                .agg
+                .columns
+                .iter()
+                .zip(self.plan.out_schema.columns())
+                .enumerate()
+            {
+                let v = match col {
+                    AggColumn::Key(k) => group.keys[*k].clone(),
+                    AggColumn::Agg { f, arg } => {
+                        let collected = &group.values[i];
+                        match f {
+                            AggFn::Count => match arg {
+                                None => Value::BigInt(group.seen as i64),
+                                Some(_) => Value::BigInt(collected.len() as i64),
+                            },
+                            AggFn::Sum | AggFn::Avg => {
+                                if collected.is_empty() {
+                                    Value::Null
+                                } else {
+                                    match (f, schema_col.data_type) {
+                                        (AggFn::Avg, _) => {
+                                            let as_f: f64 =
+                                                collected.iter().filter_map(Value::as_f64).sum();
+                                            Value::Double(as_f / collected.len() as f64)
                                         }
-                                        Value::BigInt(acc)
+                                        (_, DataType::Double) => {
+                                            let as_f: f64 =
+                                                collected.iter().filter_map(Value::as_f64).sum();
+                                            Value::Double(as_f)
+                                        }
+                                        _ => {
+                                            let mut acc: i64 = 0;
+                                            for v in collected.iter().filter_map(Value::as_i64) {
+                                                acc = acc.checked_add(v).ok_or_else(|| {
+                                                    FedError::execution("SUM overflow")
+                                                })?;
+                                            }
+                                            Value::BigInt(acc)
+                                        }
                                     }
                                 }
                             }
+                            AggFn::Min | AggFn::Max => collected
+                                .iter()
+                                .cloned()
+                                .reduce(|a, b| {
+                                    let keep_a = match f {
+                                        AggFn::Min => {
+                                            a.index_cmp(&b) != std::cmp::Ordering::Greater
+                                        }
+                                        _ => a.index_cmp(&b) != std::cmp::Ordering::Less,
+                                    };
+                                    if keep_a {
+                                        a
+                                    } else {
+                                        b
+                                    }
+                                })
+                                .unwrap_or(Value::Null),
                         }
-                        AggFn::Min | AggFn::Max => collected
-                            .iter()
-                            .cloned()
-                            .reduce(|a, b| {
-                                let keep_a = match f {
-                                    AggFn::Min => a.index_cmp(&b) != std::cmp::Ordering::Greater,
-                                    _ => a.index_cmp(&b) != std::cmp::Ordering::Less,
-                                };
-                                if keep_a {
-                                    a
-                                } else {
-                                    b
-                                }
-                            })
-                            .unwrap_or(Value::Null),
                     }
-                }
-            };
-            values.push(coerce_agg(v, schema_col.data_type)?);
+                };
+                values.push(coerce_agg(v, schema_col.data_type)?);
+            }
+            meter.charge(Component::Fdbs, "Produce result rows", self.row_output);
+            out.push_unchecked(Row::new(values));
         }
-        meter.charge(Component::Fdbs, "Produce result rows", cost.row_output);
-        out.push_unchecked(Row::new(values));
+        Ok(out)
     }
-    Ok(out)
+}
+
+/// Group the input rows by the plan's keys and evaluate the aggregate
+/// columns — the collected-rows entry point over [`Aggregator`].
+#[allow(clippy::too_many_arguments)]
+fn aggregate_rows(
+    fdbs: &Fdbs,
+    plan: &Plan,
+    agg: &AggregatePlan,
+    rows: &[Row],
+    params: &[Value],
+    meter: &mut Meter,
+    mode: ExecMode,
+) -> FedResult<Table> {
+    let mut a = Aggregator::new(plan, agg, fdbs.cost(), mode != ExecMode::Naive);
+    for row in rows {
+        a.push(row, params, meter)?;
+    }
+    a.finish(meter)
 }
 
 /// Widen an aggregate result to the declared column type. A value that
@@ -662,6 +856,597 @@ fn cross(prefix: Vec<Row>, rows: &[Row]) -> Vec<Row> {
         }
     }
     out
+}
+
+// ---------------------------------------------------------------------------
+// Streaming executor
+// ---------------------------------------------------------------------------
+
+/// Where streaming batches come from: a bounded cursor over the leading
+/// local scan when it has no join key, or the single seed row otherwise
+/// (operators then cover every step including the first).
+enum Source<'p> {
+    Rows(Option<Vec<Row>>),
+    Chunked {
+        table: &'p Ident,
+        pushdown: &'p Predicate,
+        projection: Option<&'p [usize]>,
+        next: Option<RowId>,
+        started: bool,
+        matched: u64,
+    },
+}
+
+impl Source<'_> {
+    fn next_batch(&mut self, fdbs: &Fdbs) -> FedResult<Option<Vec<Row>>> {
+        match self {
+            Source::Rows(batch) => Ok(batch.take()),
+            Source::Chunked {
+                table,
+                pushdown,
+                projection,
+                next,
+                started,
+                matched,
+            } => {
+                if *started && next.is_none() {
+                    return Ok(None);
+                }
+                let start = next.unwrap_or(0);
+                let (rows, cont) = fdbs.catalog().local().scan_chunk(
+                    table.as_str(),
+                    pushdown,
+                    *projection,
+                    start,
+                    STREAM_BATCH_ROWS,
+                )?;
+                *started = true;
+                *next = cont;
+                *matched += rows.len() as u64;
+                Ok(Some(rows))
+            }
+        }
+    }
+
+    /// Book the deferred scan charge — one record for the whole scan, same
+    /// total as the materializing paths book for their single full scan.
+    fn finish(&self, cost: &CostModel, meter: &mut Meter) {
+        if let Source::Chunked { matched, .. } = self {
+            meter.charge(
+                Component::Fdbs,
+                "Scan local table",
+                cost.predicate_eval * matched,
+            );
+        }
+    }
+}
+
+/// One non-blocking streaming operator. Pipeline-breaking state (hash-join
+/// build sides, buffered foreign/UDTF results, probe caches) is built at
+/// prepare time or on demand and tallied as materialized; batches flowing
+/// through are not. Charges whose amounts depend on totals (join
+/// composition, index-probe scans) are deferred to [`Op::finish`] so they
+/// match the materializing paths' single-record formulas.
+enum Op<'p> {
+    HashJoin {
+        build_rows: Vec<Row>,
+        /// Build columns translated into the (possibly pruned) build layout.
+        build_cols: Vec<usize>,
+        probe: &'p [BoundExpr],
+        /// Lazily built on the first non-empty probe batch, mirroring the
+        /// materializing hash join's empty-input short-circuit: build keys
+        /// are never evaluated when no probe row arrives.
+        table: Option<HashMap<Vec<ValueKey>, Vec<usize>>>,
+        out_count: usize,
+    },
+    IndexProbe {
+        table: &'p Ident,
+        pushdown: &'p Predicate,
+        projection: Option<&'p [usize]>,
+        build_col: usize,
+        probe: &'p BoundExpr,
+        cache: HashMap<ValueKey, Vec<Row>>,
+        scanned_total: u64,
+        out_count: usize,
+    },
+    Cross {
+        right: Vec<Row>,
+        /// Book a join-with-selection at finish (independent UDTF composed
+        /// at position > 0).
+        charge_select: bool,
+        prefix_rows: usize,
+    },
+    DependentUdtf {
+        udtf: &'p Udtf,
+        args: &'p [BoundExpr],
+        projection: Option<&'p [usize]>,
+        memo_on: bool,
+        memo: HashMap<Vec<(Option<DataType>, ValueKey)>, Vec<Row>>,
+    },
+    Filter {
+        filter: &'p BoundExpr,
+    },
+}
+
+impl Op<'_> {
+    fn push(
+        &mut self,
+        fdbs: &Fdbs,
+        batch: Vec<Row>,
+        params: &[Value],
+        meter: &mut Meter,
+    ) -> FedResult<Vec<Row>> {
+        match self {
+            Op::HashJoin {
+                build_rows,
+                build_cols,
+                probe,
+                table,
+                out_count,
+            } => {
+                if batch.is_empty() || build_rows.is_empty() {
+                    return Ok(Vec::new());
+                }
+                if table.is_none() {
+                    let mut t: HashMap<Vec<ValueKey>, Vec<usize>> = HashMap::new();
+                    for (i, row) in build_rows.iter().enumerate() {
+                        if let Some(key) = build_key(row, build_cols)? {
+                            t.entry(key).or_default().push(i);
+                        }
+                    }
+                    *table = Some(t);
+                }
+                let t = table.as_ref().expect("hash table built above");
+                let mut out = Vec::new();
+                for left in &batch {
+                    let Some(key) = probe_key(left, probe, params)? else {
+                        continue;
+                    };
+                    if let Some(matches) = t.get(&key) {
+                        for &i in matches {
+                            out.push(left.concat(&build_rows[i]));
+                        }
+                    }
+                }
+                *out_count += out.len();
+                Ok(out)
+            }
+            Op::IndexProbe {
+                table,
+                pushdown,
+                projection,
+                build_col,
+                probe,
+                cache,
+                scanned_total,
+                out_count,
+            } => {
+                let local = fdbs.catalog().local();
+                let mut out = Vec::new();
+                for left in &batch {
+                    let v = probe.eval(left.values(), params)?;
+                    let Some(key) = join_key_checked(&v)? else {
+                        continue;
+                    };
+                    let matches = match cache.entry(key) {
+                        Entry::Occupied(e) => e.into_mut(),
+                        Entry::Vacant(e) => {
+                            let t = local.scan_eq_project(
+                                table.as_str(),
+                                *build_col,
+                                v,
+                                pushdown,
+                                *projection,
+                            )?;
+                            *scanned_total += t.row_count() as u64;
+                            let rows = t.into_rows();
+                            tally_rows(meter, &rows);
+                            e.insert(rows)
+                        }
+                    };
+                    for r in matches.iter() {
+                        out.push(left.concat(r));
+                    }
+                }
+                *out_count += out.len();
+                Ok(out)
+            }
+            Op::Cross {
+                right, prefix_rows, ..
+            } => {
+                *prefix_rows += batch.len();
+                Ok(cross(batch, right))
+            }
+            Op::DependentUdtf {
+                udtf,
+                args,
+                projection,
+                memo_on,
+                memo,
+            } => {
+                let mut out = Vec::new();
+                for row in &batch {
+                    let arg_values: Vec<Value> = args
+                        .iter()
+                        .map(|a| a.eval(row.values(), params))
+                        .collect::<FedResult<_>>()?;
+                    let fresh;
+                    let result: &[Row] = if *memo_on {
+                        let key: Vec<(Option<DataType>, ValueKey)> = arg_values
+                            .iter()
+                            .map(|v| (v.data_type(), v.group_key()))
+                            .collect();
+                        match memo.entry(key) {
+                            Entry::Occupied(e) => e.into_mut(),
+                            Entry::Vacant(e) => {
+                                let t = invoke_udtf(fdbs, udtf, &arg_values, meter)?;
+                                let rows = pruned_rows(&t, *projection);
+                                tally_rows(meter, &rows);
+                                e.insert(rows)
+                            }
+                        }
+                    } else {
+                        let t = invoke_udtf(fdbs, udtf, &arg_values, meter)?;
+                        fresh = pruned_rows(&t, *projection);
+                        tally_rows(meter, &fresh);
+                        &fresh
+                    };
+                    for rrow in result {
+                        out.push(row.concat(rrow));
+                    }
+                }
+                Ok(out)
+            }
+            Op::Filter { filter } => {
+                let predicate_eval = fdbs.cost().predicate_eval;
+                filter_rows(batch, filter, params, meter, predicate_eval)
+            }
+        }
+    }
+
+    /// Book the deferred composition charges so totals match the
+    /// materializing paths exactly.
+    fn finish(&self, cost: &CostModel, meter: &mut Meter) {
+        match self {
+            Op::HashJoin {
+                build_rows,
+                out_count,
+                ..
+            } => charge_join(meter, cost, build_rows.len() + out_count),
+            Op::IndexProbe {
+                scanned_total,
+                out_count,
+                ..
+            } => {
+                meter.charge(
+                    Component::Fdbs,
+                    "Scan local table",
+                    cost.predicate_eval * scanned_total,
+                );
+                charge_join(meter, cost, *out_count);
+            }
+            Op::Cross {
+                right,
+                charge_select,
+                prefix_rows,
+            } => {
+                if *charge_select {
+                    meter.charge(
+                        Component::Fdbs,
+                        "Join with selection (compose result sets)",
+                        cost.join_with_selection_setup
+                            + cost.join_with_selection_per_row
+                                * (*prefix_rows * right.len()) as u64,
+                    );
+                }
+            }
+            Op::DependentUdtf { .. } | Op::Filter { .. } => {}
+        }
+    }
+}
+
+/// Where streaming batches end up: an incremental aggregation, a sort
+/// buffer (pipeline breaker), or the streaming projection with inline
+/// DISTINCT and LIMIT early-exit.
+enum Sink<'p> {
+    Aggregate(Aggregator<'p>),
+    Sort(Vec<Row>),
+    Project {
+        out: Table,
+        seen: Option<HashSet<Vec<ValueKey>>>,
+    },
+}
+
+fn execute_streaming(
+    fdbs: &Fdbs,
+    plan: &Plan,
+    params: &[Value],
+    meter: &mut Meter,
+) -> FedResult<Table> {
+    let cost = fdbs.cost();
+
+    // Source: stream the leading local scan in bounded chunks when nothing
+    // joins it back to the (empty) seed row; otherwise start from the seed
+    // and let the operators cover every step.
+    let chunk_step0 = matches!(plan.steps.first(), Some(FromStep::ScanLocal { .. }))
+        && plan.step_join_keys.first().is_some_and(|jk| jk.is_none());
+    let (mut source, start) = if chunk_step0 {
+        let Some(FromStep::ScanLocal {
+            table, pushdown, ..
+        }) = plan.steps.first()
+        else {
+            unreachable!("checked above");
+        };
+        let projection = plan.step_projections.first().and_then(|p| p.as_deref());
+        (
+            Source::Chunked {
+                table,
+                pushdown,
+                projection,
+                next: None,
+                started: false,
+                matched: 0,
+            },
+            1,
+        )
+    } else {
+        (Source::Rows(Some(vec![Row::empty()])), 0)
+    };
+
+    // Prepare the operator chain. Build sides, foreign result sets, and
+    // independent UDTF results are produced (and their charges booked)
+    // eagerly, exactly as the materializing paths do even over an empty
+    // prefix.
+    let mut ops: Vec<Op<'_>> = Vec::new();
+    if chunk_step0 {
+        if let Some(filter) = &plan.step_filters[0] {
+            ops.push(Op::Filter { filter });
+        }
+    }
+    for (i, step) in plan.steps.iter().enumerate().skip(start) {
+        let jk = plan.step_join_keys[i].as_ref();
+        let proj = plan.step_projections.get(i).and_then(|p| p.as_deref());
+        let op = prepare_step_op(fdbs, step, i, jk, proj, params, meter)
+            .context(format!("evaluating FROM item {} ({step:?})", i + 1))?;
+        ops.push(op);
+        if let Some(filter) = &plan.step_filters[i] {
+            ops.push(Op::Filter { filter });
+        }
+    }
+
+    let mut sink = if let Some(agg) = &plan.aggregate {
+        Sink::Aggregate(Aggregator::new(plan, agg, cost, true))
+    } else if !plan.order_by.is_empty() {
+        Sink::Sort(Vec::new())
+    } else {
+        Sink::Project {
+            out: Table::new(plan.out_schema.clone()),
+            seen: plan.distinct.then(HashSet::new),
+        }
+    };
+
+    // Pull batches until the source runs dry or LIMIT is satisfied. When
+    // LIMIT stops the pull early, upstream work (and its Fdbs-side charges)
+    // that the materializing paths would still perform simply never happens.
+    while let Some(mut batch) = source.next_batch(fdbs)? {
+        for (i, op) in ops.iter_mut().enumerate() {
+            batch = op
+                .push(fdbs, batch, params, meter)
+                .context(format!("evaluating streaming operator {}", i + 1))?;
+        }
+        if sink_push(&mut sink, plan, batch, params, meter, cost)? {
+            break;
+        }
+    }
+
+    source.finish(cost, meter);
+    for op in &ops {
+        op.finish(cost, meter);
+    }
+
+    match sink {
+        Sink::Aggregate(agg) => finish_aggregate(plan, agg.finish(meter)?, params),
+        Sink::Sort(rows) => scalar_tail(fdbs, plan, rows, params, meter, ExecMode::Streaming),
+        Sink::Project { out, .. } => {
+            if let Some(limit) = plan.limit {
+                if out.row_count() as u64 > limit {
+                    let rows: Vec<Row> = out.into_rows().into_iter().take(limit as usize).collect();
+                    return Ok(table_from_rows(plan.out_schema.clone(), rows));
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Build the streaming operator for one lateral step, performing the
+/// eager (pipeline-breaking) work up front.
+fn prepare_step_op<'p>(
+    fdbs: &Fdbs,
+    step: &'p FromStep,
+    position: usize,
+    jk: Option<&'p JoinKey>,
+    proj: Option<&'p [usize]>,
+    params: &[Value],
+    meter: &mut Meter,
+) -> FedResult<Op<'p>> {
+    let cost = fdbs.cost();
+    match step {
+        FromStep::ScanLocal {
+            table,
+            pushdown,
+            schema,
+            ..
+        } => {
+            if let Some(jk) = jk {
+                if step_is_indexable(fdbs, table, schema, jk)? {
+                    return Ok(Op::IndexProbe {
+                        table,
+                        pushdown,
+                        projection: proj,
+                        build_col: jk.build[0],
+                        probe: &jk.probe[0],
+                        cache: HashMap::new(),
+                        scanned_total: 0,
+                        out_count: 0,
+                    });
+                }
+                let scanned =
+                    fdbs.catalog()
+                        .local()
+                        .scan_project(table.as_str(), pushdown, proj)?;
+                meter.charge(
+                    Component::Fdbs,
+                    "Scan local table",
+                    cost.predicate_eval * scanned.row_count() as u64,
+                );
+                let build_cols = build_positions(&jk.build, proj)?;
+                let rows = scanned.into_rows();
+                tally_rows(meter, &rows);
+                return Ok(Op::HashJoin {
+                    build_rows: rows,
+                    build_cols,
+                    probe: &jk.probe,
+                    table: None,
+                    out_count: 0,
+                });
+            }
+            let scanned = fdbs
+                .catalog()
+                .local()
+                .scan_project(table.as_str(), pushdown, proj)?;
+            meter.charge(
+                Component::Fdbs,
+                "Scan local table",
+                cost.predicate_eval * scanned.row_count() as u64,
+            );
+            let rows = scanned.into_rows();
+            tally_rows(meter, &rows);
+            Ok(Op::Cross {
+                right: rows,
+                charge_select: false,
+                prefix_rows: 0,
+            })
+        }
+        FromStep::ScanForeign {
+            server,
+            remote_name,
+            pushdown,
+            ..
+        } => {
+            let scanned = server.scan_project(remote_name, pushdown, proj)?;
+            meter.charge(
+                Component::Fdbs,
+                format!("Subquery to SQL source {}", server.name()),
+                cost.rmi_call + cost.rmi_return,
+            );
+            let rows = scanned.into_rows();
+            tally_rows(meter, &rows);
+            match jk {
+                Some(jk) => Ok(Op::HashJoin {
+                    build_cols: build_positions(&jk.build, proj)?,
+                    build_rows: rows,
+                    probe: &jk.probe,
+                    table: None,
+                    out_count: 0,
+                }),
+                None => Ok(Op::Cross {
+                    right: rows,
+                    charge_select: false,
+                    prefix_rows: 0,
+                }),
+            }
+        }
+        FromStep::TableFunc {
+            udtf,
+            args,
+            independent,
+            ..
+        } => {
+            if *independent {
+                let arg_values: Vec<Value> = args
+                    .iter()
+                    .map(|a| a.eval(&[], params))
+                    .collect::<FedResult<_>>()?;
+                let result = invoke_udtf(fdbs, udtf, &arg_values, meter)?;
+                let rows = pruned_rows(&result, proj);
+                tally_rows(meter, &rows);
+                match jk {
+                    Some(jk) => Ok(Op::HashJoin {
+                        build_cols: build_positions(&jk.build, proj)?,
+                        build_rows: rows,
+                        probe: &jk.probe,
+                        table: None,
+                        out_count: 0,
+                    }),
+                    None => Ok(Op::Cross {
+                        right: rows,
+                        charge_select: position > 0,
+                        prefix_rows: 0,
+                    }),
+                }
+            } else {
+                Ok(Op::DependentUdtf {
+                    udtf,
+                    args,
+                    projection: proj,
+                    memo_on: fdbs.udtf_memo_enabled(),
+                    memo: HashMap::new(),
+                })
+            }
+        }
+    }
+}
+
+/// Feed one batch to the sink. Returns `true` when the sink is satisfied
+/// (LIMIT reached) and pulling should stop.
+fn sink_push(
+    sink: &mut Sink<'_>,
+    plan: &Plan,
+    batch: Vec<Row>,
+    params: &[Value],
+    meter: &mut Meter,
+    cost: &CostModel,
+) -> FedResult<bool> {
+    match sink {
+        Sink::Aggregate(agg) => {
+            for row in &batch {
+                agg.push(row, params, meter)?;
+            }
+            Ok(false)
+        }
+        Sink::Sort(rows) => {
+            // ORDER BY is a pipeline breaker: the buffer is a
+            // materialization point.
+            tally_rows(meter, &batch);
+            rows.extend(batch);
+            Ok(false)
+        }
+        Sink::Project { out, seen } => {
+            if plan.limit.is_some_and(|l| out.row_count() as u64 >= l) {
+                return Ok(true);
+            }
+            for row in &batch {
+                let values: Vec<Value> = plan
+                    .projection
+                    .iter()
+                    .map(|(e, _)| e.eval(row.values(), params))
+                    .collect::<FedResult<_>>()?;
+                meter.charge(Component::Fdbs, "Produce result rows", cost.row_output);
+                let keep = match seen {
+                    Some(s) => s.insert(values.iter().map(Value::group_key).collect()),
+                    None => true,
+                };
+                if keep {
+                    out.push_unchecked(Row::new(values));
+                    if plan.limit.is_some_and(|l| out.row_count() as u64 >= l) {
+                        return Ok(true);
+                    }
+                }
+            }
+            Ok(false)
+        }
+    }
 }
 
 /// Invoke a UDTF: book its architecture charges, bind arguments, run the
@@ -751,6 +1536,13 @@ mod tests {
         assert!(coerce_agg(Value::Null, DataType::Int).unwrap().is_null());
     }
 
+    #[test]
+    fn build_positions_translates_into_pruned_layout() {
+        assert_eq!(build_positions(&[3], None).unwrap(), vec![3]);
+        assert_eq!(build_positions(&[3], Some(&[1, 3, 5])).unwrap(), vec![1]);
+        assert!(build_positions(&[2], Some(&[1, 3, 5])).is_err());
+    }
+
     /// A DOUBLE aggregate flowing into a column declared INT must fail
     /// loudly, not be pushed unchecked into the mistyped table.
     #[test]
@@ -768,6 +1560,7 @@ mod tests {
         };
         let plan = Plan {
             steps: vec![],
+            step_projections: vec![],
             step_filters: vec![],
             step_join_keys: vec![],
             projection: vec![],
@@ -810,6 +1603,7 @@ mod tests {
         };
         let plan = Plan {
             steps: vec![],
+            step_projections: vec![],
             step_filters: vec![],
             step_join_keys: vec![],
             projection: vec![],

@@ -118,6 +118,38 @@ impl BoundExpr {
         out
     }
 
+    /// Rebuild the expression with every column index rewritten through
+    /// `f` — how the projection-pruning pass relocates references from the
+    /// full concatenated row layout into the pruned one.
+    pub fn map_columns(&self, f: &impl Fn(usize) -> usize) -> BoundExpr {
+        match self {
+            BoundExpr::Column { index, data_type } => BoundExpr::Column {
+                index: f(*index),
+                data_type: *data_type,
+            },
+            BoundExpr::Param { .. } | BoundExpr::Literal(_) => self.clone(),
+            BoundExpr::Binary { left, op, right } => BoundExpr::Binary {
+                left: Box::new(left.map_columns(f)),
+                op: *op,
+                right: Box::new(right.map_columns(f)),
+            },
+            BoundExpr::Not(e) => BoundExpr::Not(Box::new(e.map_columns(f))),
+            BoundExpr::Neg(e) => BoundExpr::Neg(Box::new(e.map_columns(f))),
+            BoundExpr::Cast { input, to } => BoundExpr::Cast {
+                input: Box::new(input.map_columns(f)),
+                to: *to,
+            },
+            BoundExpr::Scalar { f: sf, args } => BoundExpr::Scalar {
+                f: *sf,
+                args: args.iter().map(|a| a.map_columns(f)).collect(),
+            },
+            BoundExpr::IsNull { input, negated } => BoundExpr::IsNull {
+                input: Box::new(input.map_columns(f)),
+                negated: *negated,
+            },
+        }
+    }
+
     fn walk<'a>(&'a self, f: &mut impl FnMut(&'a BoundExpr)) {
         f(self);
         match self {
@@ -200,13 +232,15 @@ fn eval_scalar(f: ScalarFn, args: &[Value]) -> FedResult<Value> {
             arg(0)?
                 .as_str()
                 .ok_or_else(|| FedError::execution("UPPER expects VARCHAR"))?
-                .to_uppercase(),
+                .to_uppercase()
+                .into(),
         )),
         ScalarFn::Lower => Ok(Value::Varchar(
             arg(0)?
                 .as_str()
                 .ok_or_else(|| FedError::execution("LOWER expects VARCHAR"))?
-                .to_lowercase(),
+                .to_lowercase()
+                .into(),
         )),
         ScalarFn::Length => Ok(Value::Int(
             arg(0)?
@@ -298,7 +332,7 @@ fn eval_binary(
             let (Some(a), Some(b)) = (l.as_str(), r.as_str()) else {
                 return Err(FedError::execution("|| expects VARCHAR operands"));
             };
-            Ok(Value::Varchar(format!("{a}{b}")))
+            Ok(Value::Varchar(format!("{a}{b}").into()))
         }
         Add | Sub | Mul | Div => eval_arith(op, &l, &r),
         And | Or => unreachable!("handled above"),

@@ -160,6 +160,16 @@ pub struct Plan {
     /// Equi-join keys for step `i`, when its WHERE conjuncts contain
     /// hashable `prefix-expr = step-column` equalities.
     pub step_join_keys: Vec<Option<JoinKey>>,
+    /// Projection pushed into step `i` by [`Plan::prune_projections`]:
+    /// the step-local column indexes (sorted) the rest of the plan actually
+    /// reads. `None` means the step's full schema is needed. When any step
+    /// is pruned, every bound expression of the plan (filters, probe/residual
+    /// expressions, projections, aggregate inputs, scalar sort keys, lateral
+    /// function arguments) is rewritten into the pruned concatenated layout;
+    /// only [`JoinKey::build`] and the storage pushdown predicates keep the
+    /// original table-local numbering, because storage and index probes
+    /// evaluate them *before* projecting.
+    pub step_projections: Vec<Option<Vec<usize>>>,
     pub projection: Vec<(BoundExpr, Ident)>,
     /// `GROUP BY`/aggregate stage; when present, `projection` is unused.
     pub aggregate: Option<AggregatePlan>,
@@ -176,6 +186,142 @@ pub struct Plan {
 }
 
 impl Plan {
+    /// Push projections into the FROM steps: compute, per step, the set of
+    /// columns the rest of the plan actually reads — output projection,
+    /// aggregate keys and arguments, scalar ORDER BY inputs (sorting happens
+    /// on the pre-projection layout), residual filters, join probe and
+    /// residual expressions, hash-join build columns, and lateral function
+    /// arguments — and rewrite every bound expression into the pruned
+    /// concatenated layout. Scans then clone only the surviving columns.
+    pub fn prune_projections(mut self) -> Plan {
+        let widths: Vec<usize> = self.steps.iter().map(|s| s.schema().len()).collect();
+        let offsets: Vec<usize> = widths
+            .iter()
+            .scan(0usize, |acc, w| {
+                let o = *acc;
+                *acc += w;
+                Some(o)
+            })
+            .collect();
+        let total: usize = widths.iter().sum();
+
+        fn mark(needed: &mut [bool], e: &BoundExpr) {
+            for c in e.column_indexes() {
+                needed[c] = true;
+            }
+        }
+        let mut needed = vec![false; total];
+        for (e, _) in &self.projection {
+            mark(&mut needed, e);
+        }
+        if let Some(agg) = &self.aggregate {
+            for k in &agg.keys {
+                mark(&mut needed, k);
+            }
+            for (col, _) in &agg.columns {
+                if let AggColumn::Agg { arg: Some(a), .. } = col {
+                    mark(&mut needed, a);
+                }
+            }
+            // Aggregate ORDER BY indexes the *output* layout — not pruned.
+        } else {
+            for (e, _) in &self.order_by {
+                mark(&mut needed, e);
+            }
+        }
+        for f in self.step_filters.iter().flatten() {
+            mark(&mut needed, f);
+        }
+        for (i, jk) in self.step_join_keys.iter().enumerate() {
+            if let Some(jk) = jk {
+                for p in &jk.probe {
+                    mark(&mut needed, p);
+                }
+                mark(&mut needed, &jk.residual);
+                for &b in &jk.build {
+                    needed[offsets[i] + b] = true;
+                }
+            }
+        }
+        for step in &self.steps {
+            if let FromStep::TableFunc { args, .. } = step {
+                for a in args {
+                    mark(&mut needed, a);
+                }
+            }
+        }
+
+        let mut step_projections: Vec<Option<Vec<usize>>> = Vec::with_capacity(self.steps.len());
+        let mut any_pruned = false;
+        for i in 0..self.steps.len() {
+            let local: Vec<usize> = (0..widths[i]).filter(|&c| needed[offsets[i] + c]).collect();
+            if local.len() == widths[i] {
+                step_projections.push(None);
+            } else {
+                any_pruned = true;
+                step_projections.push(Some(local));
+            }
+        }
+        if !any_pruned {
+            self.step_projections = step_projections;
+            return self;
+        }
+
+        // New position of every surviving global column index.
+        let mut remap = vec![usize::MAX; total];
+        let mut next = 0usize;
+        for i in 0..self.steps.len() {
+            for c in 0..widths[i] {
+                let keep = match &step_projections[i] {
+                    None => true,
+                    Some(proj) => proj.contains(&c),
+                };
+                if keep {
+                    remap[offsets[i] + c] = next;
+                    next += 1;
+                }
+            }
+        }
+        let remap_fn = |c: usize| remap[c];
+
+        for (e, _) in self.projection.iter_mut() {
+            *e = e.map_columns(&remap_fn);
+        }
+        if let Some(agg) = self.aggregate.as_mut() {
+            for k in agg.keys.iter_mut() {
+                *k = k.map_columns(&remap_fn);
+            }
+            for (col, _) in agg.columns.iter_mut() {
+                if let AggColumn::Agg { arg: Some(a), .. } = col {
+                    *a = a.map_columns(&remap_fn);
+                }
+            }
+        } else {
+            for (e, _) in self.order_by.iter_mut() {
+                *e = e.map_columns(&remap_fn);
+            }
+        }
+        for f in self.step_filters.iter_mut().flatten() {
+            *f = f.map_columns(&remap_fn);
+        }
+        for jk in self.step_join_keys.iter_mut().flatten() {
+            for p in jk.probe.iter_mut() {
+                *p = p.map_columns(&remap_fn);
+            }
+            jk.residual = jk.residual.map_columns(&remap_fn);
+        }
+        for step in self.steps.iter_mut() {
+            if let FromStep::TableFunc { args, .. } = step {
+                for a in args.iter_mut() {
+                    *a = a.map_columns(&remap_fn);
+                }
+            }
+        }
+
+        self.step_projections = step_projections;
+        self
+    }
+
     /// Render the plan as an indented text tree — the `EXPLAIN` output.
     pub fn explain(&self) -> String {
         let mut out = String::new();
@@ -226,6 +372,21 @@ impl Plan {
                     jk.residual
                 ));
             }
+            // Pruned column list for the step, by name in the step's schema.
+            let project_note = match self.step_projections.get(i).and_then(|p| p.as_ref()) {
+                Some(proj) if proj.is_empty() => " [project: -]".to_string(),
+                Some(proj) => {
+                    let schema = step.schema();
+                    format!(
+                        " [project: {}]",
+                        proj.iter()
+                            .map(|&c| schema.columns()[c].name.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                }
+                None => String::new(),
+            };
             match step {
                 FromStep::ScanLocal {
                     table,
@@ -237,6 +398,7 @@ impl Plan {
                     if *pushdown != Predicate::True {
                         out.push_str(&format!(" [pushdown: {pushdown:?}]"));
                     }
+                    out.push_str(&project_note);
                     out.push('\n');
                 }
                 FromStep::ScanForeign {
@@ -253,6 +415,7 @@ impl Plan {
                     if *pushdown != Predicate::True {
                         out.push_str(&format!(" [pushdown: {pushdown:?}]"));
                     }
+                    out.push_str(&project_note);
                     out.push('\n');
                 }
                 FromStep::TableFunc {
@@ -262,7 +425,7 @@ impl Plan {
                     args,
                 } => {
                     out.push_str(&format!(
-                        "{indent}TableFunction {}({} arg{}) AS {alias}{}\n",
+                        "{indent}TableFunction {}({} arg{}) AS {alias}{}{project_note}\n",
                         udtf.name,
                         args.len(),
                         if args.len() == 1 { "" } else { "s" },
@@ -484,6 +647,7 @@ impl<'a> PlanBuilder<'a> {
         ));
 
         Ok(Plan {
+            step_projections: vec![None; steps.len()],
             steps,
             step_filters,
             step_join_keys,
@@ -630,6 +794,7 @@ impl<'a> PlanBuilder<'a> {
         }
 
         Ok(Plan {
+            step_projections: vec![None; steps.len()],
             steps,
             step_filters,
             step_join_keys,

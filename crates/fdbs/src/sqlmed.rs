@@ -28,6 +28,32 @@ pub trait ForeignServer: Send + Sync {
     /// remotely. The FDBS keeps residual predicates it could not push.
     fn scan(&self, table: &str, predicate: &Predicate) -> FedResult<Table>;
 
+    /// Pushed-down subquery with a projection: return only the columns named
+    /// by `projection` (indexes into the remote table's full layout, which
+    /// the `predicate` also uses). The default implementation scans the full
+    /// rows and prunes on the FDBS side — a wrapper that can push the
+    /// projection across the wire (like [`RelstoreServer`]) should override
+    /// it so the pruned columns never travel.
+    fn scan_project(
+        &self,
+        table: &str,
+        predicate: &Predicate,
+        projection: Option<&[usize]>,
+    ) -> FedResult<Table> {
+        let full = self.scan(table, predicate)?;
+        match projection {
+            None => Ok(full),
+            Some(proj) => {
+                let schema = Arc::new(full.schema().project(proj));
+                let mut out = Table::new(schema);
+                for row in full.rows() {
+                    out.push_unchecked(row.project(proj));
+                }
+                Ok(out)
+            }
+        }
+    }
+
     /// Remote cardinality estimate (row count) for optimizer use.
     fn estimate_rows(&self, table: &str) -> FedResult<usize>;
 }
@@ -64,6 +90,17 @@ impl ForeignServer for RelstoreServer {
         self.db.scan(table, predicate)
     }
 
+    fn scan_project(
+        &self,
+        table: &str,
+        predicate: &Predicate,
+        projection: Option<&[usize]>,
+    ) -> FedResult<Table> {
+        // Push the projection all the way into the remote storage engine:
+        // the pruned columns are never cloned out of the heap table.
+        self.db.scan_project(table, predicate, projection)
+    }
+
     fn estimate_rows(&self, table: &str) -> FedResult<usize> {
         Ok(self.db.table_stats(table)?.row_count)
     }
@@ -97,6 +134,45 @@ mod tests {
         let t = s.scan("Parts", &Predicate::eq(0, 2)).unwrap();
         assert_eq!(t.row_count(), 1);
         assert_eq!(t.value(0, "Name"), Some(&Value::str("nut")));
+    }
+
+    #[test]
+    fn pushdown_scan_with_projection() {
+        let s = server();
+        // Predicate numbers the full layout; only Name comes back.
+        let t = s
+            .scan_project("Parts", &Predicate::eq(0, 2), Some(&[1]))
+            .unwrap();
+        assert_eq!(t.schema().len(), 1);
+        assert_eq!(t.value(0, "Name"), Some(&Value::str("nut")));
+    }
+
+    #[test]
+    fn default_scan_project_prunes_wrapper_side() {
+        // A wrapper that only implements `scan` still honors projections
+        // through the default FDBS-side pruning.
+        struct Plain(RelstoreServer);
+        impl ForeignServer for Plain {
+            fn name(&self) -> &str {
+                self.0.name()
+            }
+            fn table_schema(&self, table: &str) -> FedResult<SchemaRef> {
+                self.0.table_schema(table)
+            }
+            fn scan(&self, table: &str, predicate: &Predicate) -> FedResult<Table> {
+                self.0.scan(table, predicate)
+            }
+            fn estimate_rows(&self, table: &str) -> FedResult<usize> {
+                self.0.estimate_rows(table)
+            }
+        }
+        let s = Plain(server());
+        let t = s
+            .scan_project("Parts", &Predicate::True, Some(&[1]))
+            .unwrap();
+        assert_eq!(t.schema().len(), 1);
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.value(0, "Name"), Some(&Value::str("bolt")));
     }
 
     #[test]

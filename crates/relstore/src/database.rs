@@ -120,8 +120,35 @@ impl Database {
 
     /// Scan a table with a predicate.
     pub fn scan(&self, table: &str, predicate: &Predicate) -> FedResult<Table> {
+        self.scan_project(table, predicate, None)
+    }
+
+    /// Projection-pruned scan: the predicate keeps the table's full column
+    /// numbering; only the requested columns are returned.
+    pub fn scan_project(
+        &self,
+        table: &str,
+        predicate: &Predicate,
+        projection: Option<&[usize]>,
+    ) -> FedResult<Table> {
         let tables = self.tables.read();
-        Self::resolve(&tables, table, &self.name)?.scan(predicate)
+        Self::resolve(&tables, table, &self.name)?.scan_project(predicate, projection)
+    }
+
+    /// One bounded chunk of a scan, resuming at `start_slot` — see
+    /// [`StoredTable::scan_chunk`]. The read lock is taken per chunk, so a
+    /// streaming consumer never pins the table across pulls.
+    pub fn scan_chunk(
+        &self,
+        table: &str,
+        predicate: &Predicate,
+        projection: Option<&[usize]>,
+        start_slot: RowId,
+        max_rows: usize,
+    ) -> FedResult<(Vec<Row>, Option<RowId>)> {
+        let tables = self.tables.read();
+        Self::resolve(&tables, table, &self.name)?
+            .scan_chunk(predicate, projection, start_slot, max_rows)
     }
 
     /// Full-table scan.
@@ -140,7 +167,24 @@ impl Database {
         key: Value,
         residual: &Predicate,
     ) -> FedResult<Table> {
-        self.scan(table, &Predicate::eq(column, key).and(residual.clone()))
+        self.scan_eq_project(table, column, key, residual, None)
+    }
+
+    /// [`Database::scan_eq`] with a projection applied after the probe; the
+    /// probe column and residual keep the table's full column numbering.
+    pub fn scan_eq_project(
+        &self,
+        table: &str,
+        column: usize,
+        key: Value,
+        residual: &Predicate,
+        projection: Option<&[usize]>,
+    ) -> FedResult<Table> {
+        self.scan_project(
+            table,
+            &Predicate::eq(column, key).and(residual.clone()),
+            projection,
+        )
     }
 
     /// Delete rows matching a predicate.

@@ -194,14 +194,31 @@ impl StoredTable {
     /// Scan rows matching the predicate, using an index when one covers an
     /// equality conjunct. Returns a materialized [`Table`].
     pub fn scan(&self, predicate: &Predicate) -> FedResult<Table> {
+        self.scan_project(predicate, None)
+    }
+
+    /// [`StoredTable::scan`] restricted to the given column indexes: the
+    /// predicate is evaluated against the table's full layout *before*
+    /// projecting, so pushed-down filters keep their original column
+    /// numbering, and only the requested columns are cloned into the result.
+    pub fn scan_project(
+        &self,
+        predicate: &Predicate,
+        projection: Option<&[usize]>,
+    ) -> FedResult<Table> {
         predicate.validate(&self.schema)?;
-        let mut out = Table::new(self.schema.clone());
+        let out_schema = self.projected_schema(projection)?;
+        let mut out = Table::new(out_schema);
+        let emit = |row: &Row| match projection {
+            Some(proj) => row.project(proj),
+            None => row.clone(),
+        };
         match self.pick_index(predicate) {
             Some((index, key)) => {
                 for row_id in index.lookup(key) {
                     if let Some(row) = self.get(row_id) {
                         if predicate.selects(row)? {
-                            out.push_unchecked(row.clone());
+                            out.push_unchecked(emit(row));
                         }
                     }
                 }
@@ -209,12 +226,78 @@ impl StoredTable {
             None => {
                 for row in self.slots.iter().flatten() {
                     if predicate.selects(row)? {
-                        out.push_unchecked(row.clone());
+                        out.push_unchecked(emit(row));
                     }
                 }
             }
         }
         Ok(out)
+    }
+
+    /// Scan one bounded chunk of matching rows, resuming at `start_slot`.
+    /// Returns the (projected) rows plus the slot to resume from, or `None`
+    /// when the table is exhausted — the pull-based cursor behind the
+    /// streaming executor. An index-served predicate is answered entirely in
+    /// the first chunk (index result sets are already small and bounded).
+    pub fn scan_chunk(
+        &self,
+        predicate: &Predicate,
+        projection: Option<&[usize]>,
+        start_slot: RowId,
+        max_rows: usize,
+    ) -> FedResult<(Vec<Row>, Option<RowId>)> {
+        predicate.validate(&self.schema)?;
+        self.projected_schema(projection)?;
+        let emit = |row: &Row| match projection {
+            Some(proj) => row.project(proj),
+            None => row.clone(),
+        };
+        if let Some((index, key)) = self.pick_index(predicate) {
+            if start_slot > 0 {
+                return Ok((vec![], None));
+            }
+            let mut rows = vec![];
+            for row_id in index.lookup(key) {
+                if let Some(row) = self.get(row_id) {
+                    if predicate.selects(row)? {
+                        rows.push(emit(row));
+                    }
+                }
+            }
+            return Ok((rows, None));
+        }
+        let mut rows = Vec::new();
+        let mut slot = start_slot as usize;
+        while slot < self.slots.len() && rows.len() < max_rows {
+            if let Some(row) = &self.slots[slot] {
+                if predicate.selects(row)? {
+                    rows.push(emit(row));
+                }
+            }
+            slot += 1;
+        }
+        let next = if slot < self.slots.len() {
+            Some(slot as RowId)
+        } else {
+            None
+        };
+        Ok((rows, next))
+    }
+
+    fn projected_schema(&self, projection: Option<&[usize]>) -> FedResult<SchemaRef> {
+        match projection {
+            None => Ok(self.schema.clone()),
+            Some(proj) => {
+                if let Some(&bad) = proj.iter().find(|&&i| i >= self.schema.len()) {
+                    return Err(FedError::storage(format!(
+                        "projection column {bad} out of range for table {} (width {})",
+                        self.name,
+                        self.schema.len()
+                    )));
+                }
+                Ok(std::sync::Arc::new(self.schema.project(proj)))
+            }
+        }
     }
 
     /// How many rows the predicate selects (without materializing).
@@ -372,6 +455,47 @@ mod tests {
             .create_index("x", "Missing", IndexKind::NonUnique)
             .is_err());
         assert!(t.create_index("pk", "Name", IndexKind::NonUnique).is_err());
+    }
+
+    #[test]
+    fn scan_project_prunes_columns_but_filters_on_full_layout() {
+        let t = suppliers();
+        // Predicate on Reliability (col 2), projection keeps only Name.
+        let p = Predicate::cmp(2, crate::predicate::CmpOp::GtEq, 80);
+        let got = t.scan_project(&p, Some(&[1])).unwrap();
+        assert_eq!(got.schema().len(), 1);
+        assert_eq!(got.row_count(), 2);
+        assert_eq!(got.value(0, "Name"), Some(&Value::str("Acme")));
+        // Out-of-range projection fails loudly.
+        assert!(t.scan_project(&Predicate::True, Some(&[7])).is_err());
+    }
+
+    #[test]
+    fn scan_chunk_resumes_and_matches_full_scan() {
+        let t = suppliers();
+        let mut rows = vec![];
+        let mut cursor = Some(0);
+        let mut chunks = 0;
+        while let Some(start) = cursor {
+            let (chunk, next) = t
+                .scan_chunk(&Predicate::True, Some(&[0]), start, 2)
+                .unwrap();
+            rows.extend(chunk);
+            cursor = next;
+            chunks += 1;
+        }
+        assert_eq!(chunks, 2, "3 rows at 2 per chunk takes two pulls");
+        let full = t.scan_project(&Predicate::True, Some(&[0])).unwrap();
+        assert_eq!(rows, full.rows().to_vec());
+    }
+
+    #[test]
+    fn scan_chunk_serves_indexed_predicate_in_one_pull() {
+        let t = suppliers();
+        let p = Predicate::eq(0, 2);
+        let (rows, next) = t.scan_chunk(&p, None, 0, 1).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(next, None);
     }
 
     #[test]

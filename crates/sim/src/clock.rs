@@ -30,6 +30,8 @@ pub struct Meter {
     now_us: u64,
     origin_us: u64,
     charges: Vec<Charge>,
+    rows_materialized: u64,
+    bytes_materialized: u64,
 }
 
 impl Meter {
@@ -59,6 +61,29 @@ impl Meter {
         self.now_us += duration_us;
     }
 
+    /// Record that an executor buffered `rows` rows (`bytes` approximate
+    /// bytes) in a pipeline-breaking materialization: a scanned or build
+    /// table pulled into memory, a per-step intermediate, a sort buffer.
+    /// Streaming executors that pass bounded batches downstream do *not*
+    /// tally those batches, which is what makes the counter a measure of
+    /// memory movement rather than of rows processed.
+    pub fn tally_materialized(&mut self, rows: u64, bytes: u64) {
+        self.rows_materialized += rows;
+        self.bytes_materialized += bytes;
+    }
+
+    /// Total rows buffered at pipeline breakers on this branch (including
+    /// joined children).
+    pub fn rows_materialized(&self) -> u64 {
+        self.rows_materialized
+    }
+
+    /// Approximate bytes buffered at pipeline breakers on this branch
+    /// (including joined children).
+    pub fn bytes_materialized(&self) -> u64 {
+        self.bytes_materialized
+    }
+
     /// A meter whose branch begins at an arbitrary virtual time — used by
     /// schedulers that compute a node's start as the max over its
     /// predecessors' completion times.
@@ -66,7 +91,7 @@ impl Meter {
         Meter {
             now_us: start_us,
             origin_us: start_us,
-            charges: vec![],
+            ..Meter::default()
         }
     }
 
@@ -75,16 +100,19 @@ impl Meter {
         Meter {
             now_us: self.now_us,
             origin_us: self.now_us,
-            charges: vec![],
+            ..Meter::default()
         }
     }
 
     /// Join child meters back: the parent's clock advances to the latest
-    /// child and all child charges are appended to the parent log.
+    /// child, all child charges are appended to the parent log, and
+    /// materialization counters are summed in.
     pub fn join(&mut self, children: Vec<Meter>) {
         for child in children {
             self.now_us = self.now_us.max(child.now_us);
             self.charges.extend(child.charges);
+            self.rows_materialized += child.rows_materialized;
+            self.bytes_materialized += child.bytes_materialized;
         }
     }
 
@@ -161,6 +189,27 @@ impl MeterHandle {
 
     pub fn total_booked_us(&self) -> u64 {
         self.inner.lock().expect("meter poisoned").total_booked_us()
+    }
+
+    pub fn tally_materialized(&self, rows: u64, bytes: u64) {
+        self.inner
+            .lock()
+            .expect("meter poisoned")
+            .tally_materialized(rows, bytes);
+    }
+
+    pub fn rows_materialized(&self) -> u64 {
+        self.inner
+            .lock()
+            .expect("meter poisoned")
+            .rows_materialized()
+    }
+
+    pub fn bytes_materialized(&self) -> u64 {
+        self.inner
+            .lock()
+            .expect("meter poisoned")
+            .bytes_materialized()
     }
 
     /// Extract the meter, leaving a fresh one behind.
@@ -242,6 +291,18 @@ mod tests {
         h2.charge(Component::Controller, "dispatch", 4);
         assert_eq!(h.now_us(), 7);
         assert_eq!(h.charges().len(), 2);
+    }
+
+    #[test]
+    fn join_merges_materialization_counters() {
+        let mut m = Meter::new();
+        m.tally_materialized(10, 800);
+        let mut a = m.fork();
+        assert_eq!(a.rows_materialized(), 0, "fork starts with fresh counters");
+        a.tally_materialized(5, 100);
+        m.join(vec![a]);
+        assert_eq!(m.rows_materialized(), 15);
+        assert_eq!(m.bytes_materialized(), 900);
     }
 
     #[test]

@@ -550,7 +550,7 @@ impl Parser {
             }
             Some(TokenKind::String(s)) => {
                 self.bump();
-                Ok(Expr::Literal(Value::Varchar(s)))
+                Ok(Expr::Literal(Value::Varchar(s.into())))
             }
             Some(TokenKind::Keyword(Keyword::Null)) => {
                 self.bump();

@@ -87,7 +87,7 @@ pub fn cast_value(v: &Value, to: DataType) -> Result<Value, CastError> {
         }
 
         // To string.
-        (_, DataType::Varchar) => Ok(Value::Varchar(v.render())),
+        (_, DataType::Varchar) => Ok(Value::Varchar(v.render().into())),
 
         // From string.
         (Value::Varchar(s), DataType::Int) => s

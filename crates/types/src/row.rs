@@ -80,6 +80,14 @@ impl Schema {
         Schema { columns }
     }
 
+    /// The schema restricted to the given column indexes, in their given
+    /// order (projection-pruned scan output).
+    pub fn project(&self, indexes: &[usize]) -> Schema {
+        Schema {
+            columns: indexes.iter().map(|&i| self.columns[i].clone()).collect(),
+        }
+    }
+
     /// Check that a row conforms to this schema: arity, types (after
     /// implicit widening is *not* applied — storage is strict), nullability.
     pub fn check_row(&self, row: &Row) -> FedResult<()> {
@@ -118,18 +126,33 @@ impl Schema {
 pub type SchemaRef = Arc<Schema>;
 
 /// A single row of values.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+///
+/// Values live behind an `Arc<[Value]>`, so cloning a row — handing it from
+/// a stored table to a scan result, a hash-join build side, or a streaming
+/// batch — is a refcount bump, not a deep copy. Rows are immutable once
+/// built; mutation goes through [`Row::into_values`] and back.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Row {
-    values: Vec<Value>,
+    values: Arc<[Value]>,
+}
+
+impl Default for Row {
+    fn default() -> Row {
+        Row::empty()
+    }
 }
 
 impl Row {
     pub fn new(values: Vec<Value>) -> Row {
-        Row { values }
+        Row {
+            values: values.into(),
+        }
     }
 
     pub fn empty() -> Row {
-        Row { values: vec![] }
+        Row {
+            values: Arc::from([]),
+        }
     }
 
     pub fn values(&self) -> &[Value] {
@@ -137,7 +160,13 @@ impl Row {
     }
 
     pub fn into_values(self) -> Vec<Value> {
-        self.values
+        self.values.to_vec()
+    }
+
+    /// Approximate in-memory footprint of the row's values, for the
+    /// executor's `bytes_materialized` accounting.
+    pub fn approx_bytes(&self) -> usize {
+        self.values.iter().map(Value::approx_bytes).sum()
     }
 
     pub fn len(&self) -> usize {
@@ -154,9 +183,12 @@ impl Row {
 
     /// Concatenate two rows (join output).
     pub fn concat(&self, other: &Row) -> Row {
-        let mut values = self.values.clone();
-        values.extend(other.values.iter().cloned());
-        Row { values }
+        let mut values = Vec::with_capacity(self.values.len() + other.values.len());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Row {
+            values: values.into(),
+        }
     }
 
     /// Project the row onto the given column indexes.
@@ -169,7 +201,9 @@ impl Row {
 
 impl From<Vec<Value>> for Row {
     fn from(values: Vec<Value>) -> Row {
-        Row { values }
+        Row {
+            values: values.into(),
+        }
     }
 }
 

@@ -2,6 +2,7 @@
 
 use std::cmp::Ordering;
 use std::fmt;
+use std::sync::Arc;
 
 /// SQL data types supported across the federation.
 ///
@@ -71,13 +72,19 @@ impl fmt::Display for DataType {
 }
 
 /// A single SQL value. `Null` is typeless, as in SQL.
+///
+/// String payloads are `Arc<str>`, so cloning a value — and therefore
+/// sharing a row between a stored table, a hash-join build side, and a
+/// result set — bumps a refcount instead of copying bytes. The same shared
+/// payload backs [`ValueKey::Str`], so hashing a string column for a
+/// join/DISTINCT/GROUP BY key allocates nothing per row.
 #[derive(Debug, Clone)]
 pub enum Value {
     Null,
     Int(i32),
     BigInt(i64),
     Double(f64),
-    Varchar(String),
+    Varchar(Arc<str>),
     Boolean(bool),
 }
 
@@ -99,8 +106,20 @@ impl Value {
     }
 
     /// Convenience constructor for string values.
-    pub fn str(s: impl Into<String>) -> Value {
+    pub fn str(s: impl Into<Arc<str>>) -> Value {
         Value::Varchar(s.into())
+    }
+
+    /// Approximate in-memory footprint, used by the executor's
+    /// `bytes_materialized` accounting: the enum slot plus the length of
+    /// any string payload (counted once per logical row that buffers it,
+    /// even though the bytes themselves are shared).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Value>()
+            + match self {
+                Value::Varchar(s) => s.len(),
+                _ => 0,
+            }
     }
 
     /// Numeric view as f64, if the value is numeric.
@@ -124,7 +143,7 @@ impl Value {
 
     pub fn as_str(&self) -> Option<&str> {
         match self {
-            Value::Varchar(s) => Some(s),
+            Value::Varchar(s) => Some(&**s),
             _ => None,
         }
     }
@@ -259,7 +278,7 @@ impl Value {
             Value::Int(v) => v.to_string(),
             Value::BigInt(v) => v.to_string(),
             Value::Double(v) => format!("{v}"),
-            Value::Varchar(s) => s.clone(),
+            Value::Varchar(s) => s.to_string(),
             Value::Boolean(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
         }
     }
@@ -290,7 +309,9 @@ pub enum ValueKey {
     /// NaN, kept apart from every `Float` so hashing stays consistent with
     /// comparison.
     NaN,
-    Str(String),
+    /// Shares the value's `Arc<str>` payload — building a key from a string
+    /// column bumps a refcount instead of copying the bytes.
+    Str(Arc<str>),
 }
 
 impl PartialEq for Value {
@@ -335,12 +356,12 @@ impl From<f64> for Value {
 }
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Varchar(v.to_string())
+        Value::Varchar(v.into())
     }
 }
 impl From<String> for Value {
     fn from(v: String) -> Self {
-        Value::Varchar(v)
+        Value::Varchar(v.into())
     }
 }
 impl From<bool> for Value {

@@ -662,7 +662,7 @@ fn parse_literal(n: usize, text: &str) -> FedResult<Value> {
         return Ok(Value::Boolean(false));
     }
     if t.starts_with('\'') && t.ends_with('\'') && t.len() >= 2 {
-        return Ok(Value::Varchar(t[1..t.len() - 1].replace("''", "'")));
+        return Ok(Value::Varchar(t[1..t.len() - 1].replace("''", "'").into()));
     }
     if let Ok(v) = t.parse::<i32>() {
         return Ok(Value::Int(v));

@@ -218,33 +218,44 @@ fn generated_queries_agree_between_executors() {
         for _ in 0..rng.range_usize(1, 4) {
             let sql = gen_query(rng);
 
+            // Reference: the naive cross-product path with pruning off.
             fdbs.set_udtf_memo(false);
+            fdbs.set_projection_pruning(false);
             fdbs.set_exec_mode(ExecMode::Naive);
             let mut naive_meter = Meter::new();
             let naive = fdbs.execute(&sql, &mut naive_meter).unwrap();
+            let naive_rows = row_multiset(&naive);
+            let naive_arch = arch_charges(naive_meter.charges());
 
-            fdbs.set_exec_mode(ExecMode::JoinAware);
-            let mut aware_meter = Meter::new();
-            let aware = fdbs.execute(&sql, &mut aware_meter).unwrap();
-
-            assert_eq!(
-                row_multiset(&naive),
-                row_multiset(&aware),
-                "row multisets diverge for {sql}"
-            );
-            assert_eq!(
-                arch_charges(naive_meter.charges()),
-                arch_charges(aware_meter.charges()),
-                "architecture charges diverge for {sql}"
-            );
+            // Every (executor, pruning) combination must reproduce the
+            // reference row multiset and architecture charge multiset.
+            for mode in [ExecMode::Naive, ExecMode::JoinAware, ExecMode::Streaming] {
+                for pruning in [false, true] {
+                    fdbs.set_exec_mode(mode);
+                    fdbs.set_projection_pruning(pruning);
+                    let mut meter = Meter::new();
+                    let got = fdbs.execute(&sql, &mut meter).unwrap();
+                    assert_eq!(
+                        naive_rows,
+                        row_multiset(&got),
+                        "row multisets diverge for {sql} ({mode:?}, pruning={pruning})"
+                    );
+                    assert_eq!(
+                        naive_arch,
+                        arch_charges(meter.charges()),
+                        "architecture charges diverge for {sql} ({mode:?}, pruning={pruning})"
+                    );
+                }
+            }
 
             // Memoization may only *remove* dependent-UDTF invocations —
-            // never change the rows.
+            // never change the rows. (Streaming + pruning stay on: the
+            // default configuration.)
             fdbs.set_udtf_memo(true);
             let mut memo_meter = Meter::new();
             let memoed = fdbs.execute(&sql, &mut memo_meter).unwrap();
             assert_eq!(
-                row_multiset(&naive),
+                naive_rows,
                 row_multiset(&memoed),
                 "memoized row multisets diverge for {sql}"
             );
@@ -255,6 +266,67 @@ fn generated_queries_agree_between_executors() {
             );
         }
     });
+}
+
+/// ORDER BY may reference a column the SELECT list never mentions; the
+/// pruner must keep it in the step projection for the sort, on both the
+/// streaming and materializing paths.
+#[test]
+fn order_by_on_non_projected_column_survives_pruning() {
+    let fdbs = Fdbs::new(CostModel::zero());
+    let mut meter = Meter::new();
+    fdbs.execute_script(
+        "CREATE TABLE T (K INT, V INT, S VARCHAR); \
+         INSERT INTO T VALUES (3, 30, 'c'), (1, 10, 'a'), (2, 20, 'b');",
+        &mut meter,
+    )
+    .unwrap();
+    for mode in [ExecMode::Streaming, ExecMode::JoinAware, ExecMode::Naive] {
+        fdbs.set_exec_mode(mode);
+        let t = fdbs
+            .execute("SELECT S FROM T ORDER BY V DESC", &mut meter)
+            .unwrap();
+        let got: Vec<String> = t.rows().iter().map(|r| r.values()[0].render()).collect();
+        assert_eq!(got, ["c", "b", "a"], "{mode:?}");
+    }
+}
+
+/// An index-probe join whose probed table contributes only non-key columns
+/// to the output: `scan_eq` keeps the table's original key numbering while
+/// the returned rows arrive in the pruned layout.
+#[test]
+fn index_probe_join_with_pruned_projection() {
+    let fdbs = Fdbs::new(CostModel::zero());
+    let mut meter = Meter::new();
+    fdbs.execute_script(
+        "CREATE TABLE L (K INT, V INT); \
+         CREATE TABLE R (A VARCHAR, K INT, W INT); \
+         CREATE UNIQUE INDEX r_k ON R (K); \
+         INSERT INTO L VALUES (1, 10), (2, 20), (2, 21), (9, 90); \
+         INSERT INTO R VALUES ('x', 1, 100), ('y', 2, 200), ('z', 3, 300);",
+        &mut meter,
+    )
+    .unwrap();
+    // Only R.W is referenced downstream, so the pruned projection drops
+    // both R.A and the key column R.K (the probe happens in storage).
+    let sql = "SELECT L.V, B.W FROM L, R AS B WHERE B.K = L.K ORDER BY L.V";
+    let mut expect: Option<Vec<String>> = None;
+    for mode in [ExecMode::Naive, ExecMode::JoinAware, ExecMode::Streaming] {
+        for pruning in [false, true] {
+            fdbs.set_exec_mode(mode);
+            fdbs.set_projection_pruning(pruning);
+            let t = fdbs.execute(sql, &mut meter).unwrap();
+            let rows = row_multiset(&t);
+            match &expect {
+                None => {
+                    assert_eq!(rows, ["10|100", "20|200", "21|200"].map(String::from));
+                    expect = Some(rows);
+                }
+                Some(e) => assert_eq!(e, &rows, "({mode:?}, pruning={pruning})"),
+            }
+        }
+    }
+    fdbs.set_projection_pruning(true);
 }
 
 // ---------------------------------------------------------------------------

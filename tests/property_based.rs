@@ -24,7 +24,7 @@ fn gen_value(rng: &mut Rng) -> Value {
         1 => Value::Int(rng.next_u64() as i32),
         2 => Value::BigInt(rng.next_u64() as i64),
         3 => Value::Double(rng.range_i64(-1_000_000_000_000, 1_000_000_000_000) as f64 / 7.0),
-        4 => Value::Varchar(rng.ascii_string(TEXT_ALPHABET, 12)),
+        4 => Value::Varchar(rng.ascii_string(TEXT_ALPHABET, 12).into()),
         _ => Value::Boolean(rng.gen_bool(0.5)),
     }
 }
@@ -88,10 +88,13 @@ fn gen_ident(rng: &mut Rng) -> String {
 fn gen_literal_expr(rng: &mut Rng) -> Expr {
     match rng.range_usize(0, 4) {
         0 => Expr::lit(rng.next_u64() as i32),
-        1 => Expr::lit(Value::Varchar(rng.ascii_string(
-            b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ",
-            10,
-        ))),
+        1 => Expr::lit(Value::Varchar(
+            rng.ascii_string(
+                b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ",
+                10,
+            )
+            .into(),
+        )),
         2 => Expr::lit(Value::Null),
         _ => Expr::Literal(Value::Boolean(true)),
     }
