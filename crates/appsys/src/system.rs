@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use fedwf_relstore::Database;
-use fedwf_sim::{Component, CostModel, Meter};
+use fedwf_sim::{Component, CostModel, Meter, SpanNameCache};
 use fedwf_types::sync::RwLock;
 use fedwf_types::{FedError, FedResult, Ident, Table, Value};
 
@@ -30,6 +30,8 @@ pub struct ApplicationSystem {
     functions: RwLock<BTreeMap<Ident, LocalFunction>>,
     revoked: RwLock<BTreeMap<Ident, ()>>,
     faults: RwLock<BTreeMap<Ident, u32>>,
+    /// Interned `local {name}` span names.
+    local_spans: SpanNameCache<String>,
 }
 
 impl ApplicationSystem {
@@ -39,6 +41,7 @@ impl ApplicationSystem {
             db: Database::new(name.clone()),
             name,
             functions: RwLock::new(BTreeMap::new()),
+            local_spans: SpanNameCache::new(),
             revoked: RwLock::new(BTreeMap::new()),
             faults: RwLock::new(BTreeMap::new()),
         }
@@ -144,13 +147,30 @@ impl ApplicationSystem {
         model: &CostModel,
         meter: &mut Meter,
     ) -> FedResult<Table> {
-        let result = self.call(name, args)?;
-        meter.charge(
-            Component::LocalFunction,
-            "Process local function",
-            model.local_function_cost(result.row_count()),
-        );
-        Ok(result)
+        if meter.tracing() {
+            meter.span_start(
+                Component::LocalFunction,
+                self.local_spans
+                    .get(name, str::to_owned, || format!("local {name}")),
+            );
+        }
+        let result = self.call(name, args);
+        match result {
+            Ok(result) => {
+                meter.charge(
+                    Component::LocalFunction,
+                    "Process local function",
+                    model.local_function_cost(result.row_count()),
+                );
+                meter.span_counter("rows", result.row_count() as u64);
+                meter.span_end();
+                Ok(result)
+            }
+            Err(e) => {
+                meter.span_end();
+                Err(e)
+            }
+        }
     }
 }
 

@@ -1,0 +1,40 @@
+//! E15 — trace-span overhead harness.
+//!
+//! ```text
+//! cargo bench -p fedwf-bench --bench trace_overhead            # full run
+//! cargo bench -p fedwf-bench --bench trace_overhead -- --quick # CI-sized run
+//! ```
+//!
+//! Runs the Fig. 5 workload warm on every architecture, once with tracing
+//! off and once with tracing on, and reports the wall-clock overhead. The
+//! virtual clock must agree call by call — tracing books nothing into the
+//! meter — so the `virt ok` column is a correctness gate, not a statistic.
+
+use fedwf_bench::trace_overhead::{all, TraceOverheadRow};
+
+fn main() {
+    let quick =
+        std::env::args().any(|a| a == "--quick") || std::env::var_os("FEDWF_BENCH_QUICK").is_some();
+    let repeats = if quick { 20 } else { 300 };
+
+    println!("trace-span overhead (Fig. 5 workload, warm calls, wall clock)");
+    println!(
+        "repeats per side: {repeats}{}\n",
+        if quick { "  [--quick]" } else { "" }
+    );
+    println!("{}", TraceOverheadRow::render_header());
+    let rows = all(repeats);
+    for row in &rows {
+        println!("{}", row.render_row());
+        assert!(
+            row.virtual_identical,
+            "{}: tracing changed the virtual clock",
+            row.architecture.name()
+        );
+    }
+    let worst = rows
+        .iter()
+        .map(|r| r.overhead_pct)
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!("\nworst-case wall overhead with tracing on: {worst:.1}%");
+}

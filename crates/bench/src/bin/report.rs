@@ -232,6 +232,32 @@ fn main() {
         );
     }
 
+    if want("e15") {
+        use fedwf_bench::trace_overhead::{self, TraceOverheadRow};
+        use fedwf_core::{paper_functions, Request};
+        section("E15 — trace-span overhead and end-to-end observability");
+        println!("{}", TraceOverheadRow::render_header());
+        for row in trace_overhead::all(20) {
+            println!("{}", row.render_row());
+        }
+        let server = exp::make_server(ArchitectureKind::Wfms);
+        let spec = paper_functions::get_no_supp_comp();
+        server.deploy(&spec).expect("deploy GetNoSuppComp");
+        let args = exp::args_for(&server, &spec);
+        server.call(spec.name.as_str(), &args).expect("warm-up");
+        let outcome = server
+            .execute(
+                &Request::function(spec.name.as_str())
+                    .params(args.as_slice())
+                    .traced(true),
+            )
+            .expect("traced call");
+        println!("\nspan tree of one warm GetNoSuppComp call (WfMS architecture):");
+        println!("{}", outcome.trace.as_ref().expect("traced").render());
+        println!("server metrics after the run:");
+        println!("{}", server.metrics().render_text());
+    }
+
     if want("e8") {
         section("E8 — the architecture spectrum on BuySuppComp");
         println!(

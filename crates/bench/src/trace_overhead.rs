@@ -1,0 +1,179 @@
+//! E15 — wall-clock overhead of span tracing (and proof it is free when
+//! off).
+//!
+//! The trace subsystem promises two things: *disabled* tracing adds no
+//! virtual-time charges at all (the meter is bit-identical) and next to no
+//! wall cost; *enabled* tracing stays cheap enough to leave on in
+//! production-style runs. This module measures both against the Fig. 5
+//! workload — every federated function of the paper's evaluation, called
+//! warm through the unified [`Request`] API — and cross-checks that the
+//! virtual clock agrees call by call between the traced and untraced runs.
+
+use std::time::Duration;
+
+use fedwf_core::paper_functions;
+use fedwf_core::{ArchitectureKind, IntegrationServer, Request};
+use fedwf_sim::WallClock;
+use fedwf_types::Value;
+
+use crate::experiments::{args_for, make_server};
+
+/// One architecture's traced-vs-untraced comparison.
+#[derive(Debug, Clone)]
+pub struct TraceOverheadRow {
+    pub architecture: ArchitectureKind,
+    /// Total calls per side (workload size × repeats).
+    pub calls: usize,
+    pub untraced_wall: Duration,
+    pub traced_wall: Duration,
+    /// Wall overhead of tracing, in percent of the untraced run.
+    pub overhead_pct: f64,
+    /// Whether every call's virtual elapsed time matched between the two
+    /// runs (must be true: tracing never touches the meter).
+    pub virtual_identical: bool,
+    /// Spans in the trace of the workload's last call.
+    pub spans_last_call: usize,
+}
+
+impl TraceOverheadRow {
+    pub fn render_header() -> String {
+        format!(
+            "{:<28} {:>6} {:>12} {:>12} {:>9} {:>9} {:>6}",
+            "architecture", "calls", "off (us)", "on (us)", "overhead", "virt ok", "spans"
+        )
+    }
+
+    pub fn render_row(&self) -> String {
+        format!(
+            "{:<28} {:>6} {:>12} {:>12} {:>8.1}% {:>9} {:>6}",
+            self.architecture.name(),
+            self.calls,
+            self.untraced_wall.as_micros(),
+            self.traced_wall.as_micros(),
+            self.overhead_pct,
+            self.virtual_identical,
+            self.spans_last_call
+        )
+    }
+}
+
+/// The deployable subset of the Fig. 5 workload for one architecture, with
+/// resolved arguments, on a booted and warmed server.
+fn workload(kind: ArchitectureKind) -> (IntegrationServer, Vec<(String, Vec<Value>)>) {
+    let server = make_server(kind);
+    let mut calls = Vec::new();
+    for (spec, _) in paper_functions::fig5_workload() {
+        if !server.architecture().supports(&spec) {
+            continue;
+        }
+        server.deploy(&spec).expect("supported spec deploys");
+        let args = args_for(&server, &spec);
+        calls.push((spec.name.as_str().to_string(), args));
+    }
+    // Warm everything: boots, plan cache, template cache.
+    for (name, args) in &calls {
+        server.call(name, args).expect("warm-up call");
+    }
+    (server, calls)
+}
+
+/// Run the workload `repeats` times untraced and `repeats` times traced,
+/// comparing wall time and asserting virtual-time equality per call.
+///
+/// Both sides are measured over several alternating rounds and the
+/// *minimum* round time is reported — the standard defence against
+/// scheduler and frequency noise when the measured windows are a few
+/// milliseconds wide.
+pub fn run_trace_overhead(kind: ArchitectureKind, repeats: usize) -> TraceOverheadRow {
+    const ROUNDS: usize = 5;
+    let (server, calls) = workload(kind);
+
+    let run_side = |traced: bool, virtual_out: &mut Vec<u64>| -> Duration {
+        let record_virtual = virtual_out.is_empty();
+        let clock = WallClock::start();
+        for _ in 0..repeats {
+            for (name, args) in &calls {
+                let outcome = server
+                    .execute(
+                        &Request::function(name.clone())
+                            .params(args.as_slice())
+                            .traced(traced),
+                    )
+                    .expect("workload call");
+                if record_virtual {
+                    virtual_out.push(outcome.elapsed_us());
+                }
+            }
+        }
+        clock.elapsed()
+    };
+
+    let mut untraced_virtual = Vec::new();
+    let mut traced_virtual = Vec::new();
+    let mut untraced_wall = Duration::MAX;
+    let mut traced_wall = Duration::MAX;
+    for _ in 0..ROUNDS {
+        untraced_wall = untraced_wall.min(run_side(false, &mut untraced_virtual));
+        traced_wall = traced_wall.min(run_side(true, &mut traced_virtual));
+    }
+
+    let spans_last_call = {
+        let (name, args) = calls.last().expect("non-empty workload");
+        server
+            .execute(
+                &Request::function(name.clone())
+                    .params(args.as_slice())
+                    .traced(true),
+            )
+            .expect("span-count call")
+            .trace
+            .map(|t| t.flatten().len())
+            .unwrap_or(0)
+    };
+
+    let overhead_pct = if untraced_wall.as_nanos() > 0 {
+        (traced_wall.as_secs_f64() / untraced_wall.as_secs_f64() - 1.0) * 100.0
+    } else {
+        0.0
+    };
+    TraceOverheadRow {
+        architecture: kind,
+        calls: calls.len() * repeats,
+        untraced_wall,
+        traced_wall,
+        overhead_pct,
+        virtual_identical: untraced_virtual == traced_virtual,
+        spans_last_call,
+    }
+}
+
+/// The standard E15 sweep: all four architectures.
+pub fn all(repeats: usize) -> Vec<TraceOverheadRow> {
+    [
+        ArchitectureKind::Wfms,
+        ArchitectureKind::SqlUdtf,
+        ArchitectureKind::JavaUdtf,
+        ArchitectureKind::SimpleUdtf,
+    ]
+    .into_iter()
+    .map(|kind| run_trace_overhead(kind, repeats))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracing_never_changes_virtual_time() {
+        let row = run_trace_overhead(ArchitectureKind::Wfms, 2);
+        assert!(row.virtual_identical, "{row:?}");
+        assert!(row.spans_last_call > 1, "{row:?}");
+    }
+
+    #[test]
+    fn udtf_architecture_also_matches() {
+        let row = run_trace_overhead(ArchitectureKind::SqlUdtf, 1);
+        assert!(row.virtual_identical, "{row:?}");
+    }
+}

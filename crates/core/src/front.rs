@@ -43,15 +43,16 @@
 //! # Ok::<(), fedwf_types::FedError>(())
 //! ```
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use fedwf_sim::MetricsRegistry;
 use fedwf_types::sync::Mutex;
 use fedwf_types::{FedError, FedResult, Value};
 
+use crate::request::{Outcome, Request};
 use crate::server::{CallOutcome, IntegrationServer};
 
 /// Configuration of a [`ServerFront`].
@@ -96,6 +97,13 @@ impl FrontConfig {
 
 /// Counters a front keeps about its own behaviour. Snapshot via
 /// [`ServerFront::stats`].
+///
+/// Since the metrics redesign this is a *view*: the live counters are
+/// `front.accepted` / `front.completed` / `front.shed` /
+/// `front.expired_in_queue` in the front's [`MetricsRegistry`]
+/// ([`ServerFront::metrics`]); `stats()` materializes them into this
+/// struct. The public fields remain the stable surface; the accessor
+/// methods exist only for code written against earlier drafts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrontStats {
     /// Calls admitted into the queue.
@@ -110,21 +118,34 @@ pub struct FrontStats {
     pub expired_in_queue: u64,
 }
 
-#[derive(Default)]
-struct StatCells {
-    accepted: AtomicU64,
-    completed: AtomicU64,
-    shed: AtomicU64,
-    expired_in_queue: AtomicU64,
+impl FrontStats {
+    #[deprecated(note = "read the `accepted` field or `ServerFront::metrics`")]
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    #[deprecated(note = "read the `completed` field or `ServerFront::metrics`")]
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    #[deprecated(note = "read the `shed` field or `ServerFront::metrics`")]
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    #[deprecated(note = "read the `expired_in_queue` field or `ServerFront::metrics`")]
+    pub fn expired_in_queue(&self) -> u64 {
+        self.expired_in_queue
+    }
 }
 
-/// One queued call. The reply channel has capacity 1 so a worker's send
+/// One queued request. The reply channel has capacity 1 so a worker's send
 /// never blocks, even when the client has already timed out and gone away.
 struct Job {
-    name: String,
-    args: Vec<Value>,
+    request: Request,
     deadline: Instant,
-    reply: SyncSender<FedResult<CallOutcome>>,
+    reply: SyncSender<FedResult<Outcome>>,
 }
 
 /// A concurrent serving layer over one [`IntegrationServer`]: bounded
@@ -135,7 +156,7 @@ pub struct ServerFront {
     queue: SyncSender<Job>,
     workers: Vec<JoinHandle<()>>,
     default_deadline: Duration,
-    stats: Arc<StatCells>,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl ServerFront {
@@ -145,15 +166,15 @@ impl ServerFront {
         let workers = config.workers.max(1);
         let (queue, rx) = sync_channel::<Job>(config.queue_depth.max(1));
         let rx = Arc::new(Mutex::new(rx));
-        let stats = Arc::new(StatCells::default());
+        let metrics = Arc::new(MetricsRegistry::new());
         let handles = (0..workers)
             .map(|i| {
                 let server = Arc::clone(&server);
                 let rx = Arc::clone(&rx);
-                let stats = Arc::clone(&stats);
+                let metrics = Arc::clone(&metrics);
                 std::thread::Builder::new()
                     .name(format!("fedwf-front-{i}"))
-                    .spawn(move || worker_loop(&server, &rx, &stats))
+                    .spawn(move || worker_loop(&server, &rx, &metrics))
                     .expect("spawn front worker")
             })
             .collect();
@@ -161,16 +182,52 @@ impl ServerFront {
             queue,
             workers: handles,
             default_deadline: config.default_deadline,
-            stats,
+            metrics,
         }
+    }
+
+    /// Execute one [`Request`] through the front: admission control, the
+    /// request's own deadline (or the configured default), worker-pool
+    /// execution, full [`Outcome`].
+    ///
+    /// Errors: [`FedError::overloaded`] if shed at admission,
+    /// [`FedError::timeout`] if the deadline expires first, otherwise
+    /// whatever the execution itself produced.
+    pub fn execute(&self, request: Request) -> FedResult<Outcome> {
+        let deadline = request.deadline_opt().unwrap_or(self.default_deadline);
+        let label = request.label().to_string();
+        let expires = Instant::now() + deadline;
+        let (reply_tx, reply_rx) = sync_channel(1);
+        let job = Job {
+            request,
+            deadline: expires,
+            reply: reply_tx,
+        };
+        match self.queue.try_send(job) {
+            Ok(()) => {
+                self.metrics.counter("front.accepted").inc();
+                self.metrics.gauge("front.queue_depth").inc();
+            }
+            Err(TrySendError::Full(_)) => {
+                self.metrics.counter("front.shed").inc();
+                return Err(FedError::overloaded(format!(
+                    "admission queue full, call to {label} shed"
+                )));
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                return Err(FedError::overloaded(format!(
+                    "serving front is shut down, call to {label} rejected"
+                )));
+            }
+        }
+        self.await_reply(reply_rx, expires, &label)
     }
 
     /// Call a deployed federated function through the front with the
     /// configured default deadline.
     ///
-    /// Errors: [`FedError::overloaded`] if shed at admission,
-    /// [`FedError::timeout`] if the deadline expires first, otherwise
-    /// whatever the execution itself produced.
+    /// Thin wrapper over [`ServerFront::execute`] kept for the positional
+    /// surface.
     pub fn call(&self, name: &str, args: &[Value]) -> FedResult<CallOutcome> {
         self.call_with_deadline(name, args, self.default_deadline)
     }
@@ -183,39 +240,19 @@ impl ServerFront {
         args: &[Value],
         deadline: Duration,
     ) -> FedResult<CallOutcome> {
-        let expires = Instant::now() + deadline;
-        let (reply_tx, reply_rx) = sync_channel(1);
-        let job = Job {
-            name: name.to_string(),
-            args: args.to_vec(),
-            deadline: expires,
-            reply: reply_tx,
-        };
-        match self.queue.try_send(job) {
-            Ok(()) => {
-                self.stats.accepted.fetch_add(1, Ordering::Relaxed);
-            }
-            Err(TrySendError::Full(_)) => {
-                self.stats.shed.fetch_add(1, Ordering::Relaxed);
-                return Err(FedError::overloaded(format!(
-                    "admission queue full, call to {name} shed"
-                )));
-            }
-            Err(TrySendError::Disconnected(_)) => {
-                return Err(FedError::overloaded(format!(
-                    "serving front is shut down, call to {name} rejected"
-                )));
-            }
-        }
-        self.await_reply(reply_rx, expires, name)
+        let outcome = self.execute(Request::function(name).params(args).deadline(deadline))?;
+        Ok(CallOutcome {
+            table: outcome.table,
+            meter: outcome.meter,
+        })
     }
 
     fn await_reply(
         &self,
-        reply_rx: Receiver<FedResult<CallOutcome>>,
+        reply_rx: Receiver<FedResult<Outcome>>,
         expires: Instant,
         name: &str,
-    ) -> FedResult<CallOutcome> {
+    ) -> FedResult<Outcome> {
         let remaining = expires.saturating_duration_since(Instant::now());
         match reply_rx.recv_timeout(remaining) {
             Ok(result) => result,
@@ -229,13 +266,21 @@ impl ServerFront {
         }
     }
 
-    /// A consistent-enough snapshot of the front's counters.
+    /// The front's live metrics: `front.accepted`, `front.completed`,
+    /// `front.shed`, `front.expired_in_queue` counters and the
+    /// `front.queue_depth` gauge.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// A consistent-enough snapshot of the front's counters, materialized
+    /// from [`ServerFront::metrics`].
     pub fn stats(&self) -> FrontStats {
         FrontStats {
-            accepted: self.stats.accepted.load(Ordering::Relaxed),
-            completed: self.stats.completed.load(Ordering::Relaxed),
-            shed: self.stats.shed.load(Ordering::Relaxed),
-            expired_in_queue: self.stats.expired_in_queue.load(Ordering::Relaxed),
+            accepted: self.metrics.counter("front.accepted").get(),
+            completed: self.metrics.counter("front.completed").get(),
+            shed: self.metrics.counter("front.shed").get(),
+            expired_in_queue: self.metrics.counter("front.expired_in_queue").get(),
         }
     }
 
@@ -268,7 +313,11 @@ impl std::fmt::Debug for ServerFront {
     }
 }
 
-fn worker_loop(server: &IntegrationServer, rx: &Arc<Mutex<Receiver<Job>>>, stats: &StatCells) {
+fn worker_loop(
+    server: &IntegrationServer,
+    rx: &Arc<Mutex<Receiver<Job>>>,
+    metrics: &MetricsRegistry,
+) {
     loop {
         // Hold the receiver lock only for the dequeue itself, never while
         // executing — otherwise the pool would serialize.
@@ -276,14 +325,15 @@ fn worker_loop(server: &IntegrationServer, rx: &Arc<Mutex<Receiver<Job>>>, stats
             Ok(job) => job,
             Err(_) => return, // front dropped, queue drained
         };
+        metrics.gauge("front.queue_depth").dec();
         if Instant::now() >= job.deadline {
             // Expired while queued: drop the reply sender; the client's
             // recv sees a disconnect and reports a timeout.
-            stats.expired_in_queue.fetch_add(1, Ordering::Relaxed);
+            metrics.counter("front.expired_in_queue").inc();
             continue;
         }
-        let result = server.call(&job.name, &job.args);
-        stats.completed.fetch_add(1, Ordering::Relaxed);
+        let result = server.execute(&job.request);
+        metrics.counter("front.completed").inc();
         // The client may have timed out and dropped its receiver; a failed
         // send is fine.
         let _ = job.reply.send(result);

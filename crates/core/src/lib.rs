@@ -11,7 +11,7 @@
 //!   federated function calls, how their parameters are wired (federated
 //!   parameters, upstream outputs, constants, loop counters), and how the
 //!   result is assembled;
-//! * [`classify`] — Section 3's heterogeneity taxonomy: trivial / simple /
+//! * [`mod@classify`] — Section 3's heterogeneity taxonomy: trivial / simple /
 //!   independent / dependent (linear, 1:n, n:1) / cyclic / general, derived
 //!   structurally from a spec;
 //! * [`arch`] — the architecture spectrum of Section 2, each compiling a
@@ -65,6 +65,7 @@ pub mod classify;
 pub mod front;
 pub mod mapping;
 pub mod paper_functions;
+pub mod request;
 pub mod server;
 
 pub use arch::{
@@ -74,4 +75,5 @@ pub use arch::{
 pub use classify::{classify, ComplexityCase};
 pub use front::{FrontConfig, FrontStats, ServerFront};
 pub use mapping::{ArgSource, CyclicSpec, FedOutput, LocalCall, MappingSpec};
+pub use request::{Outcome, Request, Target};
 pub use server::{CallOutcome, IntegrationConfig, IntegrationServer};

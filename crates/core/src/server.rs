@@ -7,9 +7,9 @@ use std::sync::Arc;
 use fedwf_appsys::{build_scenario, DataGenConfig, Scenario};
 use fedwf_fdbs::Fdbs;
 use fedwf_sim::env::Process;
-use fedwf_sim::{Breakdown, CostModel, EnvState, Meter};
+use fedwf_sim::{Breakdown, Component, CostModel, EnvState, Meter, MetricsRegistry};
 use fedwf_types::sync::{Mutex, RwLock};
-use fedwf_types::{FedError, FedResult, Ident, Table, Value};
+use fedwf_types::{FedError, FedResult, Ident, Params, Table, Value};
 use fedwf_wrapper::{Controller, WfmsWrapper};
 
 use crate::arch::{
@@ -17,6 +17,7 @@ use crate::arch::{
     SqlUdtfArchitecture, WfmsArchitecture,
 };
 use crate::mapping::MappingSpec;
+use crate::request::{Outcome, Request, Target};
 
 /// Configuration of one integration-server instance ("one prototype").
 #[derive(Debug, Clone)]
@@ -108,6 +109,10 @@ pub struct IntegrationServer {
     /// call can observe a half-cleared environment (e.g. plan cache
     /// already cold while the template cache is still warm).
     phase: RwLock<()>,
+    /// Operational metrics of this server instance (requests, errors,
+    /// elapsed-time histogram). Per-instance so that parallel servers in
+    /// one process do not pollute each other's counters.
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl IntegrationServer {
@@ -132,6 +137,7 @@ impl IntegrationServer {
             env: Mutex::new(EnvState::cold()),
             all_booted: AtomicBool::new(false),
             phase: RwLock::new(()),
+            metrics: Arc::new(MetricsRegistry::new()),
         })
     }
 
@@ -218,28 +224,101 @@ impl IntegrationServer {
             .collect()
     }
 
+    /// This server's operational metrics (request counters, error counter,
+    /// elapsed-time histogram). Expose via
+    /// [`fedwf_sim::MetricsRegistry::render_text`].
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Execute one [`Request`] — the unified entry point behind both the
+    /// federated-function surface and the SQL surface.
+    ///
+    /// Thread-safe and read-mostly: concurrent requests share the phase
+    /// read guard and the deployed-catalog read lock; once the environment
+    /// is booted, no exclusive lock is taken anywhere on this path.
+    ///
+    /// With `traced(true)` the returned [`Outcome::trace`] holds the span
+    /// tree of the whole execution; tracing never adds virtual-time
+    /// charges, so the meter is identical either way.
+    pub fn execute(&self, request: &Request) -> FedResult<Outcome> {
+        let _phase = self.phase.read();
+        let before = self.metrics.snapshot();
+        let mut meter = Meter::new();
+        if request.trace_requested() {
+            meter.set_tracing(true);
+            meter.span_start(
+                Component::Controller,
+                format!("request {}", request.label()),
+            );
+        }
+        let result = self.execute_target(request, &mut meter);
+        let table = match result {
+            Ok(table) => table,
+            Err(e) => {
+                self.metrics.counter("server.errors").inc();
+                return Err(e);
+            }
+        };
+        meter.span_end();
+        let trace = meter.finish_trace();
+        self.metrics
+            .histogram("server.elapsed_us")
+            .record(meter.now_us());
+        Ok(Outcome {
+            table,
+            meter,
+            trace,
+            metrics_delta: self.metrics.snapshot().delta_since(&before),
+        })
+    }
+
+    fn execute_target(&self, request: &Request, meter: &mut Meter) -> FedResult<Table> {
+        match request.target() {
+            Target::Function(name) => {
+                self.metrics.counter("server.calls").inc();
+                let function = self.deployed_function(name)?;
+                let args = resolve_args(&function, request.params_ref())?;
+                self.charge_boots(meter);
+                function.call(&args, meter)
+            }
+            Target::Sql(sql) => {
+                self.metrics.counter("server.queries").inc();
+                if !request.params_ref().positional().is_empty() {
+                    return Err(FedError::catalog(
+                        "SQL requests take named parameters only (use Request::bind)".to_string(),
+                    ));
+                }
+                let pairs = request.params_ref().named_pairs();
+                self.charge_boots(meter);
+                self.fdbs.execute_with_params(sql, &pairs, meter)
+            }
+        }
+    }
+
     /// Call a deployed federated function, booking boots for whatever is
     /// not yet running (cold-start tier) and returning the full accounting.
     ///
-    /// Thread-safe and read-mostly: concurrent calls share the phase read
-    /// guard and the deployed-catalog read lock; once the environment is
-    /// booted, no exclusive lock is taken anywhere on this path.
+    /// Thin wrapper over [`IntegrationServer::execute`] kept for the
+    /// positional-args surface.
     pub fn call(&self, name: &str, args: &[Value]) -> FedResult<CallOutcome> {
-        let _phase = self.phase.read();
-        let function = self.deployed_function(name)?;
-        let mut meter = Meter::new();
-        self.charge_boots(&mut meter);
-        let table = function.call(args, &mut meter)?;
-        Ok(CallOutcome { table, meter })
+        let outcome = self.execute(&Request::function(name).params(args))?;
+        Ok(CallOutcome {
+            table: outcome.table,
+            meter: outcome.meter,
+        })
     }
 
     /// Run an arbitrary SQL statement against the FDBS (with boot charges).
+    ///
+    /// Thin wrapper over [`IntegrationServer::execute`] kept for the
+    /// named-params surface.
     pub fn query(&self, sql: &str, params: &[(&str, Value)]) -> FedResult<CallOutcome> {
-        let _phase = self.phase.read();
-        let mut meter = Meter::new();
-        self.charge_boots(&mut meter);
-        let table = self.fdbs.execute_with_params(sql, params, &mut meter)?;
-        Ok(CallOutcome { table, meter })
+        let outcome = self.execute(&Request::sql(sql).params(params))?;
+        Ok(CallOutcome {
+            table: outcome.table,
+            meter: outcome.meter,
+        })
     }
 
     /// Charge boot costs for every not-yet-running process. Steady state
@@ -291,6 +370,51 @@ impl IntegrationServer {
     pub fn is_booted(&self) -> bool {
         self.env.lock().is_booted(&Process::Fdbs)
     }
+}
+
+/// Resolve a [`Params`] set against a deployed function's declared
+/// parameter list: purely positional args pass straight through (arity is
+/// checked by the call itself); named args are matched case-insensitively
+/// against the declared names, with remaining positions filled from the
+/// positional list in order.
+fn resolve_args(function: &DeployedFunction, params: &Params) -> FedResult<Vec<Value>> {
+    if params.named().is_empty() {
+        return Ok(params.positional().to_vec());
+    }
+    let mut positional = params.positional().iter();
+    let mut used = 0usize;
+    let mut args = Vec::with_capacity(function.params.len());
+    for (name, _) in &function.params {
+        let named = params
+            .named()
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name.as_str()))
+            .map(|(_, v)| v);
+        if let Some(v) = named {
+            used += 1;
+            args.push(v.clone());
+        } else if let Some(v) = positional.next() {
+            args.push(v.clone());
+        } else {
+            return Err(FedError::catalog(format!(
+                "missing argument {name} for federated function {}",
+                function.name
+            )));
+        }
+    }
+    if used != params.named().len() {
+        return Err(FedError::catalog(format!(
+            "named argument(s) not declared by federated function {}",
+            function.name
+        )));
+    }
+    if positional.next().is_some() {
+        return Err(FedError::catalog(format!(
+            "too many arguments for federated function {}",
+            function.name
+        )));
+    }
+    Ok(args)
 }
 
 impl std::fmt::Debug for IntegrationServer {

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::Arc;
 
-use fedwf_sim::{Component, CostModel, Meter};
+use fedwf_sim::{Component, CostModel, Meter, SpanNameCache};
 use fedwf_sql::{parse_statement, parse_statements, Expr, SelectStmt, Statement};
 use fedwf_types::sync::RwLock;
 use fedwf_types::{implicit_cast, DataType, FedError, FedResult, Ident, Row, Schema, Table, Value};
@@ -32,6 +32,9 @@ pub struct Fdbs {
     /// Memoize dependent UDTF invocations within one step by argument
     /// tuple. Off for experiments that need per-prefix-row cost semantics.
     udtf_memo: AtomicBool,
+    /// Interned `udtf {name}` / `fdbs.fn {name}` span names.
+    udtf_spans: SpanNameCache<Ident>,
+    fn_spans: SpanNameCache<Ident>,
 }
 
 impl Default for Fdbs {
@@ -49,7 +52,16 @@ impl Fdbs {
             exec_mode: AtomicU8::new(0),
             projection_pruning: AtomicBool::new(true),
             udtf_memo: AtomicBool::new(true),
+            udtf_spans: SpanNameCache::new(),
+            fn_spans: SpanNameCache::new(),
         }
+    }
+
+    /// The interned `udtf {name}` span name for a function (pub(crate):
+    /// the executor opens this span on every traced invocation).
+    pub(crate) fn udtf_span_name(&self, udtf: &Udtf) -> fedwf_sim::SpanName {
+        self.udtf_spans
+            .get(&udtf.name, Ident::clone, || format!("udtf {}", udtf.name))
     }
 
     pub fn catalog(&self) -> &Catalog {
@@ -147,6 +159,24 @@ impl Fdbs {
         params: &[(&str, Value)],
         meter: &mut Meter,
     ) -> FedResult<Table> {
+        if !meter.tracing() {
+            return self.execute_with_params_inner(sql, params, meter);
+        }
+        meter.span_start(Component::Fdbs, "fdbs.execute");
+        let result = self.execute_with_params_inner(sql, params, meter);
+        if let Ok(table) = &result {
+            meter.span_counter("rows_out", table.row_count() as u64);
+        }
+        meter.span_end();
+        result
+    }
+
+    fn execute_with_params_inner(
+        &self,
+        sql: &str,
+        params: &[(&str, Value)],
+        meter: &mut Meter,
+    ) -> FedResult<Table> {
         // Warm-statement fast path: a SELECT re-executed with the same text
         // and host-variable signature is served straight from the plan
         // cache, skipping lexing and parsing entirely. Only the SELECT path
@@ -181,8 +211,58 @@ impl Fdbs {
                     "EXPLAIN supports SELECT statements only, got {other}"
                 ))),
             },
+            Statement::ExplainAnalyze(inner) => match *inner {
+                Statement::Select(select) => self.explain_analyze(&select, params, meter),
+                other => Err(FedError::plan(format!(
+                    "EXPLAIN ANALYZE supports SELECT statements only, got {other}"
+                ))),
+            },
             other => self.execute_statement(&other, meter),
         }
+    }
+
+    /// `EXPLAIN ANALYZE SELECT ...`: execute the statement on a traced
+    /// child meter and render the static plan followed by the recorded
+    /// span tree — per-operator actual rows, batches, bytes and virtual
+    /// time. The child's charges join back into the caller's meter, so
+    /// the statement costs exactly what the underlying SELECT costs.
+    fn explain_analyze(
+        &self,
+        select: &SelectStmt,
+        params: &[(&str, Value)],
+        meter: &mut Meter,
+    ) -> FedResult<Table> {
+        let (plan, values) = self.plan_select(&select.to_string(), select, params, meter)?;
+        let mut child = meter.fork();
+        child.set_tracing(true);
+        child.set_wall_sampling(true);
+        child.span_start(Component::Fdbs, "fdbs.execute");
+        let result = execute_plan(self, &plan, &values, &mut child);
+        if let Ok(table) = &result {
+            child.span_counter("rows_out", table.row_count() as u64);
+        }
+        child.span_end();
+        let trace = child.finish_trace();
+        let elapsed = child.elapsed_us();
+        let rows_mat = child.rows_materialized();
+        let bytes_mat = child.bytes_materialized();
+        meter.join(vec![child]);
+        result?;
+
+        let schema = Arc::new(Schema::of(&[("plan", DataType::Varchar)]));
+        let mut t = Table::new(schema);
+        for line in plan.explain().lines() {
+            t.push_unchecked(Row::new(vec![Value::str(line)]));
+        }
+        t.push_unchecked(Row::new(vec![Value::str(format!(
+            "Actuals: elapsed={elapsed}us materialized={rows_mat} rows / {bytes_mat} bytes"
+        ))]));
+        if let Some(root) = trace {
+            for line in root.render().lines() {
+                t.push_unchecked(Row::new(vec![Value::str(format!("  {line}"))]));
+            }
+        }
+        Ok(t)
     }
 
     /// Execute a semicolon-separated script (setup convenience); returns
@@ -197,7 +277,7 @@ impl Fdbs {
                     let (plan, values) = self.plan_select(&key, select, &[], meter)?;
                     execute_plan(self, &plan, &values, meter)?
                 }
-                explain @ Statement::Explain(_) => {
+                explain @ (Statement::Explain(_) | Statement::ExplainAnalyze(_)) => {
                     self.execute_with_params(&explain.to_string(), &[], meter)?
                 }
                 other => self.execute_statement(other, meter)?,
@@ -279,6 +359,25 @@ impl Fdbs {
         args: &[Value],
         meter: &mut Meter,
     ) -> FedResult<Table> {
+        if !meter.tracing() {
+            return self.execute_function_body_inner(udtf, body, args, meter);
+        }
+        let span = self.fn_spans.get(&udtf.name, Ident::clone, || {
+            format!("fdbs.fn {}", udtf.name)
+        });
+        meter.span_start(Component::Fdbs, span);
+        let result = self.execute_function_body_inner(udtf, body, args, meter);
+        meter.span_end();
+        result
+    }
+
+    fn execute_function_body_inner(
+        &self,
+        udtf: &Udtf,
+        body: &SelectStmt,
+        args: &[Value],
+        meter: &mut Meter,
+    ) -> FedResult<Table> {
         let cache_key = format!(
             "fn:{}|p{}",
             udtf.name.normalized(),
@@ -321,9 +420,9 @@ impl Fdbs {
             self.plan_cache.write().clear();
         }
         match stmt {
-            Statement::Select(_) | Statement::Explain(_) => Err(FedError::plan(
-                "SELECT/EXPLAIN must go through the query path",
-            )),
+            Statement::Select(_) | Statement::Explain(_) | Statement::ExplainAnalyze(_) => Err(
+                FedError::plan("SELECT/EXPLAIN must go through the query path"),
+            ),
             Statement::CreateTable { name, columns } => {
                 let schema = Arc::new(Schema::new(
                     columns
@@ -860,6 +959,40 @@ mod tests {
         assert!(joined.contains("[lateral]"), "{joined}");
         // EXPLAIN of DML is rejected.
         assert!(f.execute("EXPLAIN DELETE FROM Suppliers", &mut m).is_err());
+    }
+
+    #[test]
+    fn explain_analyze_executes_and_reports_actuals() {
+        let f = fdbs();
+        let mut m = Meter::new();
+        let t = f
+            .execute(
+                "EXPLAIN ANALYZE SELECT S.Name, GQ.Qual FROM Suppliers AS S, TABLE (GetQuality(S.SupplierNo)) AS GQ",
+                &mut m,
+            )
+            .unwrap();
+        let joined: String = t
+            .rows()
+            .iter()
+            .map(|r| r.values()[0].render())
+            .collect::<Vec<_>>()
+            .join("\n");
+        // Static plan shape, then the recorded actuals.
+        assert!(joined.contains("ScanLocal Suppliers"), "{joined}");
+        assert!(joined.contains("Actuals: elapsed="), "{joined}");
+        assert!(joined.contains("scan Suppliers"), "{joined}");
+        assert!(joined.contains("dependent-udtf GetQuality"), "{joined}");
+        assert!(joined.contains("udtf GetQuality"), "{joined}");
+        assert!(joined.contains("rows=3"), "{joined}");
+        // The statement really executed: the UDTF results were buffered.
+        assert!(m.rows_materialized() > 0);
+        // The caller's meter is not left tracing.
+        assert!(!m.tracing());
+        assert!(m.finish_trace().is_none());
+        // EXPLAIN ANALYZE of DML is rejected.
+        assert!(f
+            .execute("EXPLAIN ANALYZE DELETE FROM Suppliers", &mut m)
+            .is_err());
     }
 
     #[test]

@@ -26,9 +26,10 @@
 
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
 
 use fedwf_relstore::{Predicate, RowId};
-use fedwf_sim::{Component, CostModel, Meter};
+use fedwf_sim::{Component, CostModel, Meter, SpanName, TraceNode};
 use fedwf_types::{
     implicit_cast, DataType, FedError, FedResult, Ident, ResultExt, Row, SchemaRef, Table, Value,
     ValueKey,
@@ -1157,6 +1158,88 @@ enum Sink<'p> {
     },
 }
 
+/// Per-operator actuals accumulated while tracing: active virtual time,
+/// wall time, and the batches/rows/bytes the operator emitted. Rendered
+/// as one leaf span per operator after the pipeline drains. The leaf's
+/// `start..end` window is the pipeline start plus the *accumulated active*
+/// virtual time (operators interleave batch-by-batch, so per-operator
+/// wall-clock windows would overlap meaninglessly); its booked vector is
+/// left empty — the charges themselves are already attributed to the
+/// enclosing `fdbs.execute` span, so actuals never double-count.
+struct StreamProbe {
+    name: SpanName,
+    virt_us: u64,
+    wall_ns: u64,
+    batches: u64,
+    rows: u64,
+    bytes: u64,
+}
+
+impl StreamProbe {
+    fn new(name: impl Into<SpanName>) -> StreamProbe {
+        StreamProbe {
+            name: name.into(),
+            virt_us: 0,
+            wall_ns: 0,
+            batches: 0,
+            rows: 0,
+            bytes: 0,
+        }
+    }
+
+    fn record(&mut self, virt_us: u64, wall_ns: u64, out: &[Row]) {
+        let bytes = out.iter().map(Row::approx_bytes).sum::<usize>() as u64;
+        self.record_counts(virt_us, wall_ns, out.len() as u64, bytes);
+    }
+
+    fn record_counts(&mut self, virt_us: u64, wall_ns: u64, rows: u64, bytes: u64) {
+        self.virt_us += virt_us;
+        self.wall_ns += wall_ns;
+        self.batches += 1;
+        self.rows += rows;
+        self.bytes += bytes;
+    }
+
+    fn into_leaf(self, start_us: u64) -> TraceNode {
+        let mut node = TraceNode::leaf(Component::Fdbs, self.name, start_us);
+        node.end_us = start_us + self.virt_us;
+        node.wall_ns = self.wall_ns;
+        node.add_counter("batches", self.batches);
+        node.add_counter("rows", self.rows);
+        node.add_counter("bytes", self.bytes);
+        node
+    }
+}
+
+/// Probes for the whole pipeline: source, one per operator, sink.
+struct StreamProbes {
+    start_us: u64,
+    source: StreamProbe,
+    ops: Vec<StreamProbe>,
+    sink: StreamProbe,
+}
+
+fn op_probe_name(op: &Op<'_>) -> SpanName {
+    match op {
+        Op::HashJoin { .. } => SpanName::Static("hash-join"),
+        Op::IndexProbe { table, .. } => SpanName::from(format!("index-probe {table}")),
+        Op::Cross { .. } => SpanName::Static("cross"),
+        Op::DependentUdtf { udtf, .. } => SpanName::from(format!("dependent-udtf {}", udtf.name)),
+        Op::Filter { .. } => SpanName::Static("filter"),
+    }
+}
+
+/// Start one probe measurement: a wall-clock mark (only when the trace has
+/// wall sampling on — neither the untraced path nor an ordinary virtual
+/// trace ever reads the OS clock here) and the current virtual time.
+fn probe_mark(wall: bool, meter: &Meter) -> (Option<Instant>, u64) {
+    (wall.then(Instant::now), meter.now_us())
+}
+
+fn elapsed_ns(mark: Option<Instant>) -> u64 {
+    mark.map_or(0, |t| t.elapsed().as_nanos() as u64)
+}
+
 fn execute_streaming(
     fdbs: &Fdbs,
     plan: &Plan,
@@ -1225,23 +1308,88 @@ fn execute_streaming(
         }
     };
 
+    let mut probes = meter.tracing().then(|| StreamProbes {
+        start_us: meter.now_us(),
+        source: StreamProbe::new(match &source {
+            Source::Chunked { table, .. } => SpanName::from(format!("scan {table}")),
+            Source::Rows(_) => SpanName::Static("seed"),
+        }),
+        ops: ops
+            .iter()
+            .map(|op| StreamProbe::new(op_probe_name(op)))
+            .collect(),
+        sink: StreamProbe::new(
+            match &sink {
+                Sink::Aggregate(_) => "aggregate",
+                Sink::Sort(_) => "sort",
+                Sink::Project { .. } => "project",
+            }
+            .to_string(),
+        ),
+    });
+    let tracing = probes.is_some();
+    let wall = tracing && meter.wall_sampling();
+
     // Pull batches until the source runs dry or LIMIT is satisfied. When
     // LIMIT stops the pull early, upstream work (and its Fdbs-side charges)
     // that the materializing paths would still perform simply never happens.
-    while let Some(mut batch) = source.next_batch(fdbs)? {
+    loop {
+        let (w0, v0) = probe_mark(wall, meter);
+        let Some(mut batch) = source.next_batch(fdbs)? else {
+            break;
+        };
+        if let Some(p) = probes.as_mut() {
+            p.source.record(meter.now_us() - v0, elapsed_ns(w0), &batch);
+        }
         for (i, op) in ops.iter_mut().enumerate() {
+            let (w0, v0) = probe_mark(wall, meter);
             batch = op
                 .push(fdbs, batch, params, meter)
                 .context(format!("evaluating streaming operator {}", i + 1))?;
+            if let Some(p) = probes.as_mut() {
+                p.ops[i].record(meter.now_us() - v0, elapsed_ns(w0), &batch);
+            }
         }
-        if sink_push(&mut sink, plan, batch, params, meter, cost)? {
+        let (w0, v0) = probe_mark(wall, meter);
+        let in_counts = tracing.then(|| {
+            (
+                batch.len() as u64,
+                batch.iter().map(Row::approx_bytes).sum::<usize>() as u64,
+            )
+        });
+        let done = sink_push(&mut sink, plan, batch, params, meter, cost)?;
+        if let Some(p) = probes.as_mut() {
+            let (rows, bytes) = in_counts.expect("tracing implies counts");
+            p.sink
+                .record_counts(meter.now_us() - v0, elapsed_ns(w0), rows, bytes);
+        }
+        if done {
             break;
         }
     }
 
+    let v0 = meter.now_us();
     source.finish(cost, meter);
-    for op in &ops {
+    if let Some(p) = probes.as_mut() {
+        p.source.virt_us += meter.now_us() - v0;
+    }
+    for (i, op) in ops.iter().enumerate() {
+        let v0 = meter.now_us();
         op.finish(cost, meter);
+        if let Some(p) = probes.as_mut() {
+            p.ops[i].virt_us += meter.now_us() - v0;
+        }
+    }
+
+    // Emit one leaf span per pipeline stage, source to sink, under the
+    // enclosing `fdbs.execute` span.
+    if let Some(p) = probes.take() {
+        let start = p.start_us;
+        meter.span_leaf(p.source.into_leaf(start));
+        for op_probe in p.ops {
+            meter.span_leaf(op_probe.into_leaf(start));
+        }
+        meter.span_leaf(p.sink.into_leaf(start));
     }
 
     match sink {
@@ -1453,6 +1601,24 @@ fn sink_push(
 /// body (recursing into the engine for SQL-bodied functions), and map the
 /// result to the declared return schema.
 pub fn invoke_udtf(
+    fdbs: &Fdbs,
+    udtf: &Udtf,
+    args: &[Value],
+    meter: &mut Meter,
+) -> FedResult<Table> {
+    if !meter.tracing() {
+        return invoke_udtf_inner(fdbs, udtf, args, meter);
+    }
+    meter.span_start(Component::Udtf, fdbs.udtf_span_name(udtf));
+    let result = invoke_udtf_inner(fdbs, udtf, args, meter);
+    if let Ok(table) = &result {
+        meter.span_counter("rows", table.row_count() as u64);
+    }
+    meter.span_end();
+    result
+}
+
+fn invoke_udtf_inner(
     fdbs: &Fdbs,
     udtf: &Udtf,
     args: &[Value],

@@ -3,6 +3,7 @@
 use std::sync::{Arc, Mutex};
 
 use crate::cost::Component;
+use crate::trace::{SpanName, TraceBuf, TraceNode};
 
 /// A single booked cost: which component was exercised, a human-readable
 /// step label (these become the rows of Fig. 6's breakdown tables), the
@@ -32,6 +33,10 @@ pub struct Meter {
     charges: Vec<Charge>,
     rows_materialized: u64,
     bytes_materialized: u64,
+    /// Span recorder, present only while tracing is enabled. Kept boxed so
+    /// the untraced meter stays one pointer wider than before and every
+    /// span operation is a single `None` check when tracing is off.
+    trace: Option<Box<TraceBuf>>,
 }
 
 impl Meter {
@@ -59,6 +64,81 @@ impl Meter {
             duration_us,
         });
         self.now_us += duration_us;
+        if let Some(trace) = self.trace.as_mut() {
+            trace.record_booked(component, duration_us);
+        }
+    }
+
+    /// Enable or disable span recording on this branch. Enabling starts a
+    /// fresh span buffer; disabling discards any spans recorded so far.
+    /// Tracing never books charges, so the virtual clock is bit-identical
+    /// with tracing on or off.
+    pub fn set_tracing(&mut self, enabled: bool) {
+        if enabled {
+            if self.trace.is_none() {
+                self.trace = Some(Box::new(TraceBuf::new()));
+            }
+        } else {
+            self.trace = None;
+        }
+    }
+
+    /// Whether spans are being recorded on this branch.
+    pub fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Sample the wall clock at span open/close (off by default — see the
+    /// [trace module docs](crate::trace)). No-op unless tracing is on.
+    pub fn set_wall_sampling(&mut self, on: bool) {
+        if let Some(trace) = self.trace.as_mut() {
+            trace.set_wall(on);
+        }
+    }
+
+    /// Whether per-span wall sampling is on for this branch.
+    pub fn wall_sampling(&self) -> bool {
+        self.trace.as_ref().is_some_and(|t| t.wall())
+    }
+
+    /// Open a span. No-op unless tracing is enabled.
+    pub fn span_start(&mut self, component: Component, name: impl Into<SpanName>) {
+        let now_us = self.now_us;
+        if let Some(trace) = self.trace.as_mut() {
+            trace.span_start(component, name.into(), now_us);
+        }
+    }
+
+    /// Close the innermost open span. No-op unless tracing is enabled.
+    pub fn span_end(&mut self) {
+        let now_us = self.now_us;
+        if let Some(trace) = self.trace.as_mut() {
+            trace.span_end(now_us);
+        }
+    }
+
+    /// Add `value` to counter `name` on the innermost open span. No-op
+    /// unless tracing is enabled.
+    pub fn span_counter(&mut self, name: &'static str, value: u64) {
+        if let Some(trace) = self.trace.as_mut() {
+            trace.add_counter(name, value);
+        }
+    }
+
+    /// Attach an externally built span (typically a leaf assembled by a
+    /// streaming executor) under the innermost open span. No-op unless
+    /// tracing is enabled.
+    pub fn span_leaf(&mut self, node: TraceNode) {
+        if let Some(trace) = self.trace.as_mut() {
+            trace.attach(node);
+        }
+    }
+
+    /// Stop tracing and return the recorded span tree, if any. Open spans
+    /// are closed at the current virtual time.
+    pub fn finish_trace(&mut self) -> Option<TraceNode> {
+        let now_us = self.now_us;
+        self.trace.take().map(|trace| trace.finish(now_us))
     }
 
     /// Record that an executor buffered `rows` rows (`bytes` approximate
@@ -95,11 +175,14 @@ impl Meter {
         }
     }
 
-    /// Fork a child meter starting at this branch's current time.
+    /// Fork a child meter starting at this branch's current time. Children
+    /// of a tracing parent trace too, into their own buffer; `join` folds
+    /// the child spans back under the parent's innermost open span.
     pub fn fork(&self) -> Meter {
         Meter {
             now_us: self.now_us,
             origin_us: self.now_us,
+            trace: self.trace.as_ref().map(|t| Box::new(t.new_like())),
             ..Meter::default()
         }
     }
@@ -113,6 +196,12 @@ impl Meter {
             self.charges.extend(child.charges);
             self.rows_materialized += child.rows_materialized;
             self.bytes_materialized += child.bytes_materialized;
+            if let Some(child_trace) = child.trace {
+                let child_now = child.now_us;
+                if let Some(trace) = self.trace.as_mut() {
+                    trace.absorb(*child_trace, child_now);
+                }
+            }
         }
     }
 
@@ -216,6 +305,54 @@ impl MeterHandle {
     pub fn take(&self) -> Meter {
         std::mem::take(&mut *self.inner.lock().expect("meter poisoned"))
     }
+
+    pub fn set_tracing(&self, enabled: bool) {
+        self.inner
+            .lock()
+            .expect("meter poisoned")
+            .set_tracing(enabled);
+    }
+
+    pub fn tracing(&self) -> bool {
+        self.inner.lock().expect("meter poisoned").tracing()
+    }
+
+    pub fn set_wall_sampling(&self, on: bool) {
+        self.inner
+            .lock()
+            .expect("meter poisoned")
+            .set_wall_sampling(on);
+    }
+
+    pub fn wall_sampling(&self) -> bool {
+        self.inner.lock().expect("meter poisoned").wall_sampling()
+    }
+
+    pub fn span_start(&self, component: Component, name: impl Into<SpanName>) {
+        self.inner
+            .lock()
+            .expect("meter poisoned")
+            .span_start(component, name);
+    }
+
+    pub fn span_end(&self) {
+        self.inner.lock().expect("meter poisoned").span_end();
+    }
+
+    pub fn span_counter(&self, name: &'static str, value: u64) {
+        self.inner
+            .lock()
+            .expect("meter poisoned")
+            .span_counter(name, value);
+    }
+
+    pub fn span_leaf(&self, node: TraceNode) {
+        self.inner.lock().expect("meter poisoned").span_leaf(node);
+    }
+
+    pub fn finish_trace(&self) -> Option<TraceNode> {
+        self.inner.lock().expect("meter poisoned").finish_trace()
+    }
 }
 
 #[cfg(test)]
@@ -312,5 +449,74 @@ mod tests {
         let m = h.take();
         assert_eq!(m.now_us(), 9);
         assert_eq!(h.now_us(), 0);
+    }
+
+    #[test]
+    fn tracing_books_charges_into_open_spans_without_touching_the_clock() {
+        let mut traced = Meter::new();
+        traced.set_tracing(true);
+        traced.span_start(Component::Fdbs, "query");
+        traced.charge(Component::Fdbs, "Compile execution plan", 25_000);
+        traced.span_start(Component::Udtf, "udtf F");
+        traced.charge(Component::Udtf, "Prepare A-UDTF", 1_000);
+        traced.span_end();
+        traced.span_end();
+
+        let mut plain = Meter::new();
+        plain.charge(Component::Fdbs, "Compile execution plan", 25_000);
+        plain.charge(Component::Udtf, "Prepare A-UDTF", 1_000);
+
+        assert_eq!(traced.now_us(), plain.now_us());
+        assert_eq!(traced.charges(), plain.charges());
+
+        let root = traced.finish_trace().expect("trace recorded");
+        assert_eq!(root.name, "query");
+        assert_eq!(root.self_booked_us(), 25_000);
+        assert_eq!(root.children[0].self_booked_us(), 1_000);
+        assert_eq!(root.elapsed_us(), 26_000);
+    }
+
+    #[test]
+    fn untraced_meter_records_no_spans() {
+        let mut m = Meter::new();
+        m.span_start(Component::Fdbs, "query");
+        m.charge(Component::Fdbs, "x", 10);
+        m.span_end();
+        assert!(m.finish_trace().is_none());
+        assert_eq!(m.now_us(), 10);
+    }
+
+    #[test]
+    fn fork_inherits_tracing_and_join_reparents_child_spans() {
+        let mut m = Meter::new();
+        m.set_tracing(true);
+        m.span_start(Component::WfEngine, "process");
+        let mut a = m.fork();
+        assert!(a.tracing(), "fork of a tracing meter traces");
+        a.span_start(Component::Activity, "activity A");
+        a.charge(Component::Activity, "Process activities", 40);
+        a.span_end();
+        let mut b = m.fork();
+        b.span_start(Component::Activity, "activity B");
+        b.charge(Component::Activity, "Process activities", 70);
+        b.span_end();
+        m.join(vec![a, b]);
+        m.span_end();
+
+        let root = m.finish_trace().expect("trace recorded");
+        assert_eq!(root.name, "process");
+        let names: Vec<&str> = root.children.iter().map(|c| c.name.as_ref()).collect();
+        assert_eq!(names, ["activity A", "activity B"]);
+        assert_eq!(root.elapsed_us(), 70);
+    }
+
+    #[test]
+    fn fork_of_untraced_meter_stays_untraced() {
+        let m = Meter::new();
+        let mut child = m.fork();
+        assert!(!child.tracing());
+        child.span_start(Component::Activity, "a");
+        child.span_end();
+        assert!(child.finish_trace().is_none());
     }
 }

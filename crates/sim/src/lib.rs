@@ -30,15 +30,28 @@
 //!
 //! All engines in the workspace charge their work through this crate, so a
 //! single run yields both a result table and an auditable time breakdown.
+//!
+//! Two observability layers sit on top of the clock:
+//!
+//! * [`trace`] records a hierarchical span tree (one span per layer
+//!   boundary crossed) when a meter has tracing enabled — zero-cost when
+//!   disabled, and never a source of charges;
+//! * [`metrics`] is a process-wide-style registry of counters, gauges and
+//!   log-linear histograms with a lock-free hot path, for the serving
+//!   layer's operational counters.
 
 pub mod breakdown;
 pub mod clock;
 pub mod cost;
 pub mod env;
+pub mod metrics;
+pub mod trace;
 pub mod wall;
 
 pub use breakdown::{Breakdown, BreakdownLine};
 pub use clock::{Charge, Meter, MeterHandle};
 pub use cost::{Component, CostModel};
 pub use env::EnvState;
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
+pub use trace::{BookedSet, SpanName, SpanNameCache, TraceNode};
 pub use wall::{LatencyHistogram, WallClock};

@@ -491,6 +491,9 @@ pub enum Statement {
     },
     /// `EXPLAIN <select>` — show the plan instead of executing it.
     Explain(Box<Statement>),
+    /// `EXPLAIN ANALYZE <select>` — execute the statement and show the
+    /// plan annotated with per-operator actuals.
+    ExplainAnalyze(Box<Statement>),
 }
 
 impl fmt::Display for Statement {
@@ -579,6 +582,7 @@ impl fmt::Display for Statement {
             Statement::DropTable { name } => write!(f, "DROP TABLE {name}"),
             Statement::DropFunction { name } => write!(f, "DROP FUNCTION {name}"),
             Statement::Explain(inner) => write!(f, "EXPLAIN {inner}"),
+            Statement::ExplainAnalyze(inner) => write!(f, "EXPLAIN ANALYZE {inner}"),
         }
     }
 }

@@ -43,6 +43,7 @@ pub enum Keyword {
     Index,
     On,
     Explain,
+    Analyze,
     Group,
 }
 
@@ -85,6 +86,7 @@ impl Keyword {
             "INDEX" => Keyword::Index,
             "ON" => Keyword::On,
             "EXPLAIN" => Keyword::Explain,
+            "ANALYZE" => Keyword::Analyze,
             "GROUP" => Keyword::Group,
             _ => return None,
         })

@@ -135,8 +135,13 @@ impl Parser {
             Some(TokenKind::Keyword(Keyword::Drop)) => self.parse_drop(),
             Some(TokenKind::Keyword(Keyword::Explain)) => {
                 self.bump();
+                let analyze = self.eat_keyword(Keyword::Analyze);
                 let inner = self.parse_statement_inner()?;
-                Ok(Statement::Explain(Box::new(inner)))
+                Ok(if analyze {
+                    Statement::ExplainAnalyze(Box::new(inner))
+                } else {
+                    Statement::Explain(Box::new(inner))
+                })
             }
             _ => Err(self.error_here("a statement")),
         }
@@ -902,6 +907,18 @@ mod tests {
         };
         assert!(matches!(**inner, Statement::Select(_)));
         assert_eq!(parse_statement(&stmt.to_string()).unwrap(), stmt);
+    }
+
+    #[test]
+    fn explain_analyze_parses_and_round_trips() {
+        let stmt = parse_statement("EXPLAIN ANALYZE SELECT a FROM t WHERE a = 1").unwrap();
+        let Statement::ExplainAnalyze(inner) = &stmt else {
+            panic!()
+        };
+        assert!(matches!(**inner, Statement::Select(_)));
+        assert_eq!(parse_statement(&stmt.to_string()).unwrap(), stmt);
+        // `ANALYZE` alone is not a statement.
+        assert!(parse_statement("ANALYZE SELECT a FROM t").is_err());
     }
 
     #[test]

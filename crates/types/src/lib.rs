@@ -14,6 +14,7 @@ pub mod cast;
 pub mod check;
 pub mod error;
 pub mod ident;
+pub mod params;
 pub mod rng;
 pub mod row;
 pub mod sync;
@@ -22,5 +23,6 @@ pub mod value;
 pub use cast::{cast_value, implicit_cast, CastError};
 pub use error::{ErrorLayer, FedError, FedResult, ResultExt};
 pub use ident::{Ident, QualifiedName};
+pub use params::Params;
 pub use row::{Column, Row, Schema, SchemaRef, Table};
 pub use value::{DataType, Value, ValueKey};

@@ -1,0 +1,163 @@
+//! Call parameters for the unified `Request` API.
+//!
+//! Historically every call surface took its own shape of arguments:
+//! deployed functions took positional `&[Value]` slices, the SQL surface
+//! took named `&[(&str, Value)]` binding slices, and the serving front
+//! cloned whatever it was handed. [`Params`] is the one bag both surfaces
+//! draw from — positional arguments feed function calls, named bindings
+//! feed SQL placeholders — with typed setters and `From` impls so call
+//! sites stay as terse as the slices they replace.
+
+use crate::value::Value;
+
+/// Named + positional call parameters.
+///
+/// ```
+/// use fedwf_types::{Params, Value};
+///
+/// let p = Params::new()
+///     .arg(7)                  // positional, for function targets
+///     .bind("Process", "p1");  // named, for SQL placeholders
+/// assert_eq!(p.positional(), &[Value::Int(7)]);
+/// assert_eq!(p.named_value("Process"), Some(&Value::Varchar("p1".into())));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Params {
+    positional: Vec<Value>,
+    named: Vec<(String, Value)>,
+}
+
+impl Params {
+    /// An empty parameter bag.
+    pub fn new() -> Params {
+        Params::default()
+    }
+
+    /// Append a positional argument.
+    pub fn arg(mut self, value: impl Into<Value>) -> Params {
+        self.positional.push(value.into());
+        self
+    }
+
+    /// Append (or replace) a named binding.
+    pub fn bind(mut self, name: impl Into<String>, value: impl Into<Value>) -> Params {
+        let name = name.into();
+        let value = value.into();
+        match self.named.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, v)) => *v = value,
+            None => self.named.push((name, value)),
+        }
+        self
+    }
+
+    /// Positional arguments, in insertion order.
+    pub fn positional(&self) -> &[Value] {
+        &self.positional
+    }
+
+    /// Named bindings, in insertion order.
+    pub fn named(&self) -> &[(String, Value)] {
+        &self.named
+    }
+
+    /// Look up a named binding.
+    pub fn named_value(&self, name: &str) -> Option<&Value> {
+        self.named.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// The named bindings as the `(&str, Value)` pairs legacy SQL
+    /// signatures expect.
+    pub fn named_pairs(&self) -> Vec<(&str, Value)> {
+        self.named
+            .iter()
+            .map(|(n, v)| (n.as_str(), v.clone()))
+            .collect()
+    }
+
+    /// True when neither positional nor named parameters are present.
+    pub fn is_empty(&self) -> bool {
+        self.positional.is_empty() && self.named.is_empty()
+    }
+
+    /// Number of positional arguments.
+    pub fn arity(&self) -> usize {
+        self.positional.len()
+    }
+}
+
+impl From<Vec<Value>> for Params {
+    fn from(positional: Vec<Value>) -> Params {
+        Params {
+            positional,
+            named: Vec::new(),
+        }
+    }
+}
+
+impl From<&[Value]> for Params {
+    fn from(positional: &[Value]) -> Params {
+        Params::from(positional.to_vec())
+    }
+}
+
+impl<const N: usize> From<[Value; N]> for Params {
+    fn from(positional: [Value; N]) -> Params {
+        Params::from(positional.to_vec())
+    }
+}
+
+impl From<&[(&str, Value)]> for Params {
+    fn from(named: &[(&str, Value)]) -> Params {
+        Params {
+            positional: Vec::new(),
+            named: named
+                .iter()
+                .map(|(n, v)| (n.to_string(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+impl<const N: usize> From<[(&str, Value); N]> for Params {
+    fn from(named: [(&str, Value); N]) -> Params {
+        Params::from(named.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_collects_both_kinds() {
+        let p = Params::new().arg(1).arg("x").bind("k", 2.5).bind("b", true);
+        assert_eq!(p.arity(), 2);
+        assert_eq!(p.positional()[1], Value::Varchar("x".into()));
+        assert_eq!(p.named_value("k"), Some(&Value::Double(2.5)));
+        assert_eq!(p.named_value("b"), Some(&Value::Boolean(true)));
+        assert_eq!(p.named_value("missing"), None);
+        assert!(!p.is_empty());
+        assert!(Params::new().is_empty());
+    }
+
+    #[test]
+    fn bind_replaces_existing_name() {
+        let p = Params::new().bind("k", 1).bind("k", 2);
+        assert_eq!(p.named().len(), 1);
+        assert_eq!(p.named_value("k"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn from_impls_cover_legacy_shapes() {
+        let from_vec: Params = vec![Value::Int(1)].into();
+        assert_eq!(from_vec.positional(), &[Value::Int(1)]);
+
+        let slice: &[Value] = &[Value::Int(2)];
+        let from_slice: Params = slice.into();
+        assert_eq!(from_slice.arity(), 1);
+
+        let from_named: Params = [("a", Value::Int(3))].into();
+        assert_eq!(from_named.named_value("a"), Some(&Value::Int(3)));
+        assert_eq!(from_named.named_pairs(), vec![("a", Value::Int(3))]);
+    }
+}

@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use fedwf_sim::{Component, CostModel, Meter};
+use fedwf_sim::{Component, CostModel, Meter, SpanNameCache};
 use fedwf_types::{
     cast_value, implicit_cast, FedError, FedResult, Ident, ResultExt, Row, Table, Value,
 };
@@ -96,11 +96,21 @@ impl NodeState {
 /// The workflow engine.
 pub struct Engine {
     cost: CostModel,
+    /// Interned span names (`wfms.process P`, `activity A`, `local F`) —
+    /// formatted once per deployment, not once per traced span.
+    process_spans: SpanNameCache<String>,
+    activity_spans: SpanNameCache<Ident>,
+    local_spans: SpanNameCache<String>,
 }
 
 impl Engine {
     pub fn new(cost: CostModel) -> Engine {
-        Engine { cost }
+        Engine {
+            cost,
+            process_spans: SpanNameCache::new(),
+            activity_spans: SpanNameCache::new(),
+            local_spans: SpanNameCache::new(),
+        }
     }
 
     pub fn cost(&self) -> &CostModel {
@@ -138,6 +148,28 @@ impl Engine {
         meter: &mut Meter,
         threaded: bool,
     ) -> FedResult<ProcessInstance> {
+        if !meter.tracing() {
+            return self.run_inner_body(process, input, executor, meter, threaded);
+        }
+        let span = self
+            .process_spans
+            .get(process.name.as_str(), str::to_owned, || {
+                format!("wfms.process {}", process.name)
+            });
+        meter.span_start(Component::WfEngine, span);
+        let result = self.run_inner_body(process, input, executor, meter, threaded);
+        meter.span_end();
+        result
+    }
+
+    fn run_inner_body(
+        &self,
+        process: &ProcessModel,
+        input: &Container,
+        executor: &dyn ProgramExecutor,
+        meter: &mut Meter,
+        threaded: bool,
+    ) -> FedResult<ProcessInstance> {
         if input.schema() != &process.input {
             return Err(FedError::workflow(format!(
                 "process {} input container does not match the declared schema",
@@ -151,6 +183,7 @@ impl Engine {
         let order = process.topo_order()?;
         let mut states: HashMap<Ident, NodeState> = HashMap::new();
         let mut node_meters: Vec<Meter> = Vec::new();
+        let tracing = meter.tracing().then(|| meter.wall_sampling());
 
         if threaded {
             // Group nodes into fork levels: a node's level is one past the
@@ -181,7 +214,7 @@ impl Engine {
                                 scope.spawn(move || {
                                     self.exec_node(
                                         process, name, states, input, executor, started_us,
-                                        threaded,
+                                        threaded, tracing,
                                     )
                                 })
                             })
@@ -202,7 +235,7 @@ impl Engine {
         } else {
             for name in &order {
                 let r = self.exec_node(
-                    process, name, &states, input, executor, started_us, threaded,
+                    process, name, &states, input, executor, started_us, threaded, tracing,
                 );
                 let (name, state, node_meter, node_audit) =
                     r.map_err(|e| self.fail(&mut audit, process, meter, e))?;
@@ -281,6 +314,7 @@ impl Engine {
         executor: &dyn ProgramExecutor,
         base_us: u64,
         threaded: bool,
+        tracing: Option<bool>,
     ) -> FedResult<(Ident, NodeState, Meter, AuditTrail)> {
         let node = process.node(name).expect("topo order lists known nodes");
         let mut audit = AuditTrail::new();
@@ -293,6 +327,18 @@ impl Engine {
             .max()
             .unwrap_or(base_us);
         let mut node_meter = Meter::starting_at(start_us);
+        if let Some(wall) = tracing {
+            // Node meters are fresh (not forks), so tracing is opted into
+            // explicitly; the node span is reparented under the process
+            // span when the navigator joins the branch meters.
+            node_meter.set_tracing(true);
+            node_meter.set_wall_sampling(wall);
+            node_meter.span_start(
+                Component::Activity,
+                self.activity_spans
+                    .get(name, Ident::clone, || format!("activity {name}")),
+            );
+        }
 
         // Start condition: every incoming connector must have a completed
         // source and a true transition condition (dead-path elimination).
@@ -325,6 +371,7 @@ impl Engine {
                 AuditEvent::ActivitySkipped,
             );
             let end_us = node_meter.now_us();
+            node_meter.span_end();
             return Ok((
                 name.clone(),
                 NodeState::Skipped { end_us },
@@ -374,6 +421,8 @@ impl Engine {
             },
         );
         let end_us = node_meter.now_us();
+        node_meter.span_counter("rows", table.row_count() as u64);
+        node_meter.span_end();
         Ok((
             name.clone(),
             NodeState::Done { table, end_us },
@@ -414,6 +463,14 @@ impl Engine {
                         "Process activities",
                         self.cost.wf_activity_container,
                     );
+                    if meter.tracing() {
+                        meter.span_start(
+                            Component::LocalFunction,
+                            self.local_spans.get(function.as_str(), str::to_owned, || {
+                                format!("local {function}")
+                            }),
+                        );
+                    }
                     match executor.execute(function, &args) {
                         Ok(table) => {
                             check_output_schema(&activity.output, &table, &activity.name)?;
@@ -422,9 +479,12 @@ impl Engine {
                                 "Process activities",
                                 self.cost.local_function_cost(table.row_count()),
                             );
+                            meter.span_counter("rows", table.row_count() as u64);
+                            meter.span_end();
                             return Ok(table);
                         }
                         Err(e) => {
+                            meter.span_end();
                             audit.record(
                                 meter.now_us(),
                                 activity.name.to_string(),

@@ -41,24 +41,30 @@ impl Controller {
         args: &[Value],
         meter: &mut Meter,
     ) -> FedResult<Table> {
+        meter.span_start(Component::Controller, "controller.dispatch");
         meter.charge(
             Component::Controller,
             "Controller run",
             self.cost.controller_dispatch,
         );
-        self.registry
-            .call_metered(function, args, &self.cost, meter)
+        let result = self
+            .registry
+            .call_metered(function, args, &self.cost, meter);
+        meter.span_end();
+        result
     }
 
     /// The bridge charge paid once per WfMS-architecture call: the
     /// controller mediates between the UDTF process and the (kept-alive)
     /// workflow engine.
     pub fn bridge_to_wfms(&self, meter: &mut Meter) {
+        meter.span_start(Component::Controller, "controller.bridge");
         meter.charge(
             Component::Controller,
             "Controller bridge to WfMS",
             self.cost.wf_controller_bridge,
         );
+        meter.span_end();
     }
 }
 

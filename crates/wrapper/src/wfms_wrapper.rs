@@ -181,6 +181,21 @@ impl WfmsWrapper {
         args: &[Value],
         meter: &mut Meter,
     ) -> FedResult<ProcessInstance> {
+        if !meter.tracing() {
+            return self.invoke_process_instance_inner(name, args, meter);
+        }
+        meter.span_start(Component::Rmi, format!("wrapper {name}"));
+        let result = self.invoke_process_instance_inner(name, args, meter);
+        meter.span_end();
+        result
+    }
+
+    fn invoke_process_instance_inner(
+        &self,
+        name: &str,
+        args: &[Value],
+        meter: &mut Meter,
+    ) -> FedResult<ProcessInstance> {
         let process = self.process(name)?;
         let cost = self.cost().clone();
 

@@ -1,7 +1,7 @@
 //! End-to-end integration tests spanning all crates: SQL in at the top,
 //! local functions executing inside application systems at the bottom.
 
-use fedwf::core::{paper_functions, ArchitectureKind, IntegrationServer};
+use fedwf::core::{paper_functions, ArchitectureKind, IntegrationServer, Request};
 use fedwf::sim::Component;
 use fedwf::types::Value;
 
@@ -19,7 +19,7 @@ fn the_full_paper_workload_deploys_and_runs_on_the_wfms() {
             .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
         let args = fedwf_bench_args(&s, spec.name.normalized());
         let outcome = s
-            .call(spec.name.as_str(), &args)
+            .execute(&Request::function(spec.name.as_str()).params(args))
             .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
         assert!(!outcome.table.is_empty(), "{} returned no rows", spec.name);
     }

@@ -1,12 +1,17 @@
 //! Concurrency tests for the serving layer: the read-mostly
 //! `IntegrationServer`, the atomicity of cache-clear transitions, and the
 //! `ServerFront` admission/deadline behaviour under load.
+//!
+//! All calls go through the unified [`Request`] → [`Outcome`] API (the
+//! `call`-style shims stay covered by the crate-level unit tests).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use fedwf::core::{paper_functions, ArchitectureKind, FrontConfig, IntegrationServer, ServerFront};
+use fedwf::core::{
+    paper_functions, ArchitectureKind, FrontConfig, IntegrationServer, Request, ServerFront,
+};
 use fedwf::sim::Component;
 use fedwf::types::Value;
 
@@ -33,7 +38,8 @@ fn qual_args(s: &IntegrationServer) -> Vec<Value> {
 fn cache_clear_is_atomic_with_respect_to_inflight_calls() {
     let s = warm_wfms_server();
     let args = qual_args(&s);
-    s.call("GetSuppQual", &args).unwrap(); // fully warm once
+    let warm = Request::function("GetSuppQual").params(args.clone());
+    s.execute(&warm).unwrap(); // fully warm once
 
     let stop = Arc::new(AtomicBool::new(false));
     let mut callers = Vec::new();
@@ -42,9 +48,10 @@ fn cache_clear_is_atomic_with_respect_to_inflight_calls() {
         let args = args.clone();
         let stop = Arc::clone(&stop);
         callers.push(std::thread::spawn(move || {
+            let request = Request::function("GetSuppQual").params(args);
             let mut inconsistencies = Vec::new();
             while !stop.load(Ordering::Relaxed) {
-                let outcome = s.call("GetSuppQual", &args).expect("call during clear");
+                let outcome = s.execute(&request).expect("call during clear");
                 assert_eq!(outcome.table.value(0, "Qual"), Some(&Value::Int(93)));
                 let compiled = outcome
                     .meter
@@ -89,7 +96,11 @@ fn concurrent_first_calls_boot_each_process_once() {
         let s = Arc::clone(&s);
         let args = args.clone();
         handles.push(std::thread::spawn(move || {
-            let outcome = s.call("GetSuppQual", &args).unwrap();
+            // Bind by declared parameter name (case-insensitively) instead
+            // of by position — same resolved call either way.
+            let outcome = s
+                .execute(&Request::function("GetSuppQual").bind("suppliername", args[0].clone()))
+                .unwrap();
             outcome
                 .meter
                 .charges()
@@ -134,7 +145,7 @@ fn sixteen_client_soak_degrades_gracefully() {
         clients.push(std::thread::spawn(move || {
             let (mut ok, mut degraded) = (0u32, 0u32);
             for _ in 0..10 {
-                match front.call("GetSuppQual", &args) {
+                match front.execute(Request::function("GetSuppQual").params(args.clone())) {
                     Ok(outcome) => {
                         assert_eq!(outcome.table.value(0, "Qual"), Some(&Value::Int(93)));
                         ok += 1;
@@ -172,7 +183,9 @@ fn front_recovers_after_shedding_burst() {
     for _ in 0..12 {
         let front = Arc::clone(&front);
         let args = args.clone();
-        clients.push(std::thread::spawn(move || front.call("GetSuppQual", &args)));
+        clients.push(std::thread::spawn(move || {
+            front.execute(Request::function("GetSuppQual").params(args))
+        }));
     }
     for c in clients {
         let result = c.join().unwrap();
@@ -181,7 +194,7 @@ fn front_recovers_after_shedding_burst() {
         }
     }
     let outcome = front
-        .call("GetSuppQual", &args)
+        .execute(Request::function("GetSuppQual").params(args))
         .expect("front must recover");
     assert_eq!(outcome.table.value(0, "Qual"), Some(&Value::Int(93)));
 }
