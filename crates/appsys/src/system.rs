@@ -147,7 +147,11 @@ impl ApplicationSystem {
         model: &CostModel,
         meter: &mut Meter,
     ) -> FedResult<Table> {
-        if meter.tracing() {
+        // Coarse trace detail skips the per-call span: the charge below
+        // still books into the enclosing span, only the child node (and its
+        // two span-stack operations) are elided.
+        let span = meter.fine_tracing();
+        if span {
             meter.span_start(
                 Component::LocalFunction,
                 self.local_spans
@@ -162,12 +166,16 @@ impl ApplicationSystem {
                     "Process local function",
                     model.local_function_cost(result.row_count()),
                 );
-                meter.span_counter("rows", result.row_count() as u64);
-                meter.span_end();
+                if span {
+                    meter.span_counter("rows", result.row_count() as u64);
+                    meter.span_end();
+                }
                 Ok(result)
             }
             Err(e) => {
-                meter.span_end();
+                if span {
+                    meter.span_end();
+                }
                 Err(e)
             }
         }

@@ -1,0 +1,46 @@
+//! E16 — durability cost and recovery latency.
+//!
+//! ```text
+//! cargo bench -p fedwf-bench --bench durability            # full run
+//! cargo bench -p fedwf-bench --bench durability -- --quick # CI-sized run
+//! ```
+//!
+//! Measures the WAL's write amplification on single-row inserts, the
+//! snapshot-read tax on chunked scans over post-update version chains, and
+//! recovery wall time as a function of WAL length (with and without a
+//! checkpoint). The snapshot-read bar — within 10% of the live scan — is
+//! asserted here in the full run and reported (not asserted) in `--quick`,
+//! where the windows are too short to be stable in CI.
+
+use fedwf_bench::durability::run_e16;
+
+fn main() {
+    let quick =
+        std::env::args().any(|a| a == "--quick") || std::env::var_os("FEDWF_BENCH_QUICK").is_some();
+
+    println!(
+        "durability cost (E16){}\n",
+        if quick { "  [--quick]" } else { "" }
+    );
+    let e16 = run_e16(quick);
+    println!("{}", e16.insert.render());
+    println!("{}", e16.scan.render());
+    for row in &e16.recovery {
+        println!("{}", row.render());
+    }
+
+    let overhead = e16.scan.snapshot_overhead_pct();
+    println!("\nsnapshot-read overhead vs live scan: {overhead:.1}%");
+    if !quick {
+        assert!(
+            overhead <= 10.0,
+            "snapshot reads must stay within 10% of the live scan ({overhead:.1}%)"
+        );
+    }
+    for row in &e16.recovery {
+        assert!(
+            row.recovery_after_checkpoint <= row.recovery,
+            "checkpoint must not lengthen recovery: {row:?}"
+        );
+    }
+}

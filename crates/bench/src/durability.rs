@@ -1,0 +1,313 @@
+//! E16 — what durability costs and what recovery buys.
+//!
+//! Three questions, each answered against the same synthetic table:
+//!
+//! 1. **Write amplification** — insert throughput with the WAL on versus a
+//!    plain in-memory database, on both a memory sink (isolates the commit
+//!    protocol: encode the redo records, CRC-frame them, append, bump the
+//!    epoch) and a file sink (adds the `fdatasync` per commit that makes
+//!    the statement actually durable — expect orders of magnitude, that is
+//!    the price of the D in ACID).
+//! 2. **Read-path tax** — scan throughput through an epoch-pinned snapshot
+//!    read versus the live view. The MVCC version chains sit on the scan's
+//!    hot path, so this bounds what every reader pays for writers never
+//!    blocking them. The acceptance bar is snapshot reads within 10% of
+//!    the in-memory scan.
+//! 3. **Recovery latency** — `Database::open_with` wall time as a function
+//!    of WAL length, measured on logs of growing statement counts. Replay
+//!    is linear in the log, so the interesting number is the per-statement
+//!    slope (and that a checkpoint resets it).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use fedwf_relstore::{Database, Durability, MemorySink, MemorySnapshots, Predicate};
+use fedwf_sim::WallClock;
+use fedwf_types::{DataType, Row, Schema, Value};
+
+const TABLE: &str = "Events";
+
+fn schema() -> Arc<Schema> {
+    Arc::new(Schema::of(&[
+        ("id", DataType::Int),
+        ("payload", DataType::Varchar),
+    ]))
+}
+
+fn row(i: i32) -> Row {
+    Row::new(vec![Value::Int(i), Value::str("payload-payload-payload")])
+}
+
+fn mem_db() -> Database {
+    let db = Database::new("e16");
+    db.create_table(TABLE, schema()).unwrap();
+    db
+}
+
+fn wal_db() -> Database {
+    let db = Database::open_with(
+        "e16",
+        Durability::in_memory(MemorySink::new(), MemorySnapshots::new()),
+    )
+    .unwrap();
+    db.create_table(TABLE, schema()).unwrap();
+    db
+}
+
+fn file_db(dir: &std::path::Path) -> Database {
+    let db = Database::open(dir).unwrap();
+    if db.scan_all(TABLE).is_err() {
+        db.create_table(TABLE, schema()).unwrap();
+    }
+    db
+}
+
+/// Best-of-`rounds` wall time of `f`, the standard defence against
+/// scheduler noise on short windows.
+fn best_of(rounds: usize, mut f: impl FnMut() -> Duration) -> Duration {
+    (0..rounds).map(|_| f()).min().expect("rounds > 0")
+}
+
+/// One insert-throughput side: `rows` single-row statements into a fresh
+/// database built by `make`.
+fn insert_side(rows: i32, make: &dyn Fn() -> Database) -> Duration {
+    let db = make();
+    let clock = WallClock::start();
+    for i in 0..rows {
+        db.insert(TABLE, row(i)).unwrap();
+    }
+    clock.elapsed()
+}
+
+/// Insert throughput: in-memory vs memory-sink WAL vs file-sink WAL.
+#[derive(Debug, Clone)]
+pub struct InsertThroughputRow {
+    pub rows: i32,
+    pub in_memory: Duration,
+    pub wal_memory: Duration,
+    pub wal_file: Duration,
+}
+
+impl InsertThroughputRow {
+    /// Multiplier of the WAL-on file run over the in-memory run.
+    pub fn file_slowdown(&self) -> f64 {
+        self.wal_file.as_secs_f64() / self.in_memory.as_secs_f64().max(1e-9)
+    }
+
+    pub fn render(&self) -> String {
+        let per = |d: Duration| d.as_nanos() as f64 / self.rows as f64 / 1000.0;
+        format!(
+            "insert x{:<6} mem {:>7.2} us/row   wal(mem) {:>7.2} us/row   wal(file) {:>7.2} us/row   ({:.2}x)",
+            self.rows,
+            per(self.in_memory),
+            per(self.wal_memory),
+            per(self.wal_file),
+            self.file_slowdown()
+        )
+    }
+}
+
+pub fn insert_throughput(rows: i32, rounds: usize) -> InsertThroughputRow {
+    let dir = scratch_dir("insert");
+    let in_memory = best_of(rounds, || insert_side(rows, &mem_db));
+    let wal_memory = best_of(rounds, || insert_side(rows, &wal_db));
+    let wal_file = best_of(rounds, || {
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        insert_side(rows, &|| file_db(&dir))
+    });
+    std::fs::remove_dir_all(&dir).ok();
+    InsertThroughputRow {
+        rows,
+        in_memory,
+        wal_memory,
+        wal_file,
+    }
+}
+
+/// Scan throughput: live view vs epoch-pinned snapshot read over version
+/// chains left behind by an update pass.
+#[derive(Debug, Clone)]
+pub struct ScanThroughputRow {
+    pub rows: i32,
+    pub scans: usize,
+    pub live: Duration,
+    pub snapshot: Duration,
+}
+
+impl ScanThroughputRow {
+    /// Snapshot-read cost relative to the live scan, in percent overhead.
+    pub fn snapshot_overhead_pct(&self) -> f64 {
+        (self.snapshot.as_secs_f64() / self.live.as_secs_f64().max(1e-9) - 1.0) * 100.0
+    }
+
+    pub fn render(&self) -> String {
+        format!(
+            "scan   x{:<6} live {:>8} us   snapshot {:>8} us   overhead {:>5.1}%",
+            self.scans,
+            self.live.as_micros(),
+            self.snapshot.as_micros(),
+            self.snapshot_overhead_pct()
+        )
+    }
+}
+
+pub fn scan_throughput(rows: i32, scans: usize, rounds: usize) -> ScanThroughputRow {
+    let db = mem_db();
+    db.insert_all(TABLE, (0..rows).map(row).collect()).unwrap();
+    // Pin the pristine epoch, then overwrite every row so the snapshot
+    // read has to walk past a newer version on every slot.
+    let epoch = db.snapshot_epoch();
+    db.update_where(TABLE, &Predicate::True, "payload", Value::str("v2"))
+        .unwrap();
+    let live_epoch = db.snapshot_epoch();
+
+    let run = |at| {
+        let clock = WallClock::start();
+        for _ in 0..scans {
+            let mut cursor = Some(0);
+            let mut n = 0usize;
+            while let Some(start) = cursor {
+                let (batch, next) = db
+                    .scan_chunk(TABLE, &Predicate::True, None, start, 256, at)
+                    .unwrap();
+                n += batch.len();
+                cursor = next;
+            }
+            assert_eq!(n, rows as usize);
+        }
+        clock.elapsed()
+    };
+    let live = best_of(rounds, || run(live_epoch));
+    let snapshot = best_of(rounds, || run(epoch));
+    ScanThroughputRow {
+        rows,
+        scans,
+        live,
+        snapshot,
+    }
+}
+
+/// Recovery time for a WAL holding `statements` single-row inserts.
+#[derive(Debug, Clone)]
+pub struct RecoveryRow {
+    pub statements: i32,
+    pub log_bytes: usize,
+    pub recovery: Duration,
+    /// Same log after a checkpoint: recovery replays (almost) nothing.
+    pub recovery_after_checkpoint: Duration,
+}
+
+impl RecoveryRow {
+    pub fn render(&self) -> String {
+        format!(
+            "recover x{:<6} log {:>8} B   replay {:>7} us   after checkpoint {:>6} us",
+            self.statements,
+            self.log_bytes,
+            self.recovery.as_micros(),
+            self.recovery_after_checkpoint.as_micros()
+        )
+    }
+}
+
+pub fn recovery_time(statements: i32, rounds: usize) -> RecoveryRow {
+    let log = MemorySink::new();
+    let snaps = MemorySnapshots::new();
+    let durability = || Durability::in_memory(Arc::clone(&log), Arc::clone(&snaps));
+    {
+        let db = Database::open_with("e16", durability()).unwrap();
+        db.create_table(TABLE, schema()).unwrap();
+        for i in 0..statements {
+            db.insert(TABLE, row(i)).unwrap();
+        }
+    }
+    let log_bytes = log.len();
+    let recovery = best_of(rounds, || {
+        let clock = WallClock::start();
+        let db = Database::open_with("e16", durability()).unwrap();
+        assert_eq!(db.scan_all(TABLE).unwrap().row_count(), statements as usize);
+        clock.elapsed()
+    });
+    // Checkpoint once; recovery now loads the snapshot and replays an
+    // empty tail.
+    Database::open_with("e16", durability())
+        .unwrap()
+        .checkpoint()
+        .unwrap();
+    let recovery_after_checkpoint = best_of(rounds, || {
+        let clock = WallClock::start();
+        let db = Database::open_with("e16", durability()).unwrap();
+        assert_eq!(db.scan_all(TABLE).unwrap().row_count(), statements as usize);
+        clock.elapsed()
+    });
+    RecoveryRow {
+        statements,
+        log_bytes,
+        recovery,
+        recovery_after_checkpoint,
+    }
+}
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("fedwf-e16-{tag}-{}", std::process::id()))
+}
+
+/// The full E16 sweep at a given scale.
+pub struct E16 {
+    pub insert: InsertThroughputRow,
+    pub scan: ScanThroughputRow,
+    pub recovery: Vec<RecoveryRow>,
+}
+
+pub fn run_e16(quick: bool) -> E16 {
+    let (rows, scans, rounds) = if quick {
+        (2_000, 40, 3)
+    } else {
+        (20_000, 200, 5)
+    };
+    let recovery_sizes: &[i32] = if quick {
+        &[500, 2_000]
+    } else {
+        &[1_000, 10_000, 50_000]
+    };
+    E16 {
+        insert: insert_throughput(rows, rounds),
+        scan: scan_throughput(rows, scans, rounds),
+        recovery: recovery_sizes
+            .iter()
+            .map(|&n| recovery_time(n, rounds))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_scan_close_to_live_scan() {
+        // Correctness-shaped smoke test at a tiny scale: the snapshot read
+        // returns the pinned version and the harness plumbing works. The
+        // 10% throughput bar is checked by the bench binary where the
+        // windows are long enough to mean something.
+        let row = scan_throughput(500, 10, 3);
+        assert!(row.live.as_nanos() > 0 && row.snapshot.as_nanos() > 0);
+    }
+
+    #[test]
+    fn recovery_scales_with_log_and_checkpoint_resets_it() {
+        let small = recovery_time(50, 2);
+        let big = recovery_time(1_000, 2);
+        assert!(big.log_bytes > small.log_bytes);
+        assert!(
+            big.recovery_after_checkpoint < big.recovery,
+            "checkpoint must shorten replay: {big:?}"
+        );
+    }
+
+    #[test]
+    fn wal_insert_path_works_end_to_end() {
+        let row = insert_throughput(200, 2);
+        assert!(row.wal_memory >= Duration::ZERO && row.wal_file.as_nanos() > 0);
+    }
+}

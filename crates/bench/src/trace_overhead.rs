@@ -13,46 +13,67 @@ use std::time::Duration;
 
 use fedwf_core::paper_functions;
 use fedwf_core::{ArchitectureKind, IntegrationServer, Request};
-use fedwf_sim::WallClock;
+use fedwf_sim::{TraceDetail, WallClock};
 use fedwf_types::Value;
 
 use crate::experiments::{args_for, make_server};
 
-/// One architecture's traced-vs-untraced comparison.
+/// One architecture's traced-vs-untraced comparison, at both trace detail
+/// levels.
 #[derive(Debug, Clone)]
 pub struct TraceOverheadRow {
     pub architecture: ArchitectureKind,
     /// Total calls per side (workload size × repeats).
     pub calls: usize,
     pub untraced_wall: Duration,
+    /// Traced at [`TraceDetail::Full`] — every span.
     pub traced_wall: Duration,
-    /// Wall overhead of tracing, in percent of the untraced run.
+    /// Traced at [`TraceDetail::Coarse`] — per-activity and per-local-
+    /// function spans elided.
+    pub coarse_wall: Duration,
+    /// Wall overhead of full-detail tracing, in percent of the untraced run.
     pub overhead_pct: f64,
-    /// Whether every call's virtual elapsed time matched between the two
+    /// Wall overhead of coarse-detail tracing, in percent of the untraced
+    /// run.
+    pub coarse_overhead_pct: f64,
+    /// Whether every call's virtual elapsed time matched across all three
     /// runs (must be true: tracing never touches the meter).
     pub virtual_identical: bool,
-    /// Spans in the trace of the workload's last call.
+    /// Spans in the full-detail trace of the workload's last call.
     pub spans_last_call: usize,
+    /// Spans in the coarse-detail trace of the same call.
+    pub spans_coarse: usize,
 }
 
 impl TraceOverheadRow {
     pub fn render_header() -> String {
         format!(
-            "{:<28} {:>6} {:>12} {:>12} {:>9} {:>9} {:>6}",
-            "architecture", "calls", "off (us)", "on (us)", "overhead", "virt ok", "spans"
+            "{:<28} {:>6} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8} {:>11}",
+            "architecture",
+            "calls",
+            "off (us)",
+            "full (us)",
+            "coarse",
+            "full ov",
+            "coarse",
+            "virt ok",
+            "spans f/c"
         )
     }
 
     pub fn render_row(&self) -> String {
         format!(
-            "{:<28} {:>6} {:>12} {:>12} {:>8.1}% {:>9} {:>6}",
+            "{:<28} {:>6} {:>10} {:>10} {:>10} {:>7.1}% {:>7.1}% {:>8} {:>7}/{:<3}",
             self.architecture.name(),
             self.calls,
             self.untraced_wall.as_micros(),
             self.traced_wall.as_micros(),
+            self.coarse_wall.as_micros(),
             self.overhead_pct,
+            self.coarse_overhead_pct,
             self.virtual_identical,
-            self.spans_last_call
+            self.spans_last_call,
+            self.spans_coarse
         )
     }
 }
@@ -88,18 +109,18 @@ pub fn run_trace_overhead(kind: ArchitectureKind, repeats: usize) -> TraceOverhe
     const ROUNDS: usize = 5;
     let (server, calls) = workload(kind);
 
-    let run_side = |traced: bool, virtual_out: &mut Vec<u64>| -> Duration {
+    let run_side = |detail: Option<TraceDetail>, virtual_out: &mut Vec<u64>| -> Duration {
         let record_virtual = virtual_out.is_empty();
         let clock = WallClock::start();
         for _ in 0..repeats {
             for (name, args) in &calls {
-                let outcome = server
-                    .execute(
-                        &Request::function(name.clone())
-                            .params(args.as_slice())
-                            .traced(traced),
-                    )
-                    .expect("workload call");
+                let mut request = Request::function(name.clone())
+                    .params(args.as_slice())
+                    .traced(detail.is_some());
+                if let Some(detail) = detail {
+                    request = request.trace_detail(detail);
+                }
+                let outcome = server.execute(&request).expect("workload call");
                 if record_virtual {
                     virtual_out.push(outcome.elapsed_us());
                 }
@@ -110,40 +131,51 @@ pub fn run_trace_overhead(kind: ArchitectureKind, repeats: usize) -> TraceOverhe
 
     let mut untraced_virtual = Vec::new();
     let mut traced_virtual = Vec::new();
+    let mut coarse_virtual = Vec::new();
     let mut untraced_wall = Duration::MAX;
     let mut traced_wall = Duration::MAX;
+    let mut coarse_wall = Duration::MAX;
     for _ in 0..ROUNDS {
-        untraced_wall = untraced_wall.min(run_side(false, &mut untraced_virtual));
-        traced_wall = traced_wall.min(run_side(true, &mut traced_virtual));
+        untraced_wall = untraced_wall.min(run_side(None, &mut untraced_virtual));
+        traced_wall = traced_wall.min(run_side(Some(TraceDetail::Full), &mut traced_virtual));
+        coarse_wall = coarse_wall.min(run_side(Some(TraceDetail::Coarse), &mut coarse_virtual));
     }
 
-    let spans_last_call = {
+    let span_count = |detail: TraceDetail| {
         let (name, args) = calls.last().expect("non-empty workload");
         server
             .execute(
                 &Request::function(name.clone())
                     .params(args.as_slice())
-                    .traced(true),
+                    .traced(true)
+                    .trace_detail(detail),
             )
             .expect("span-count call")
             .trace
             .map(|t| t.flatten().len())
             .unwrap_or(0)
     };
+    let spans_last_call = span_count(TraceDetail::Full);
+    let spans_coarse = span_count(TraceDetail::Coarse);
 
-    let overhead_pct = if untraced_wall.as_nanos() > 0 {
-        (traced_wall.as_secs_f64() / untraced_wall.as_secs_f64() - 1.0) * 100.0
-    } else {
-        0.0
+    let pct = |traced: Duration| {
+        if untraced_wall.as_nanos() > 0 {
+            (traced.as_secs_f64() / untraced_wall.as_secs_f64() - 1.0) * 100.0
+        } else {
+            0.0
+        }
     };
     TraceOverheadRow {
         architecture: kind,
         calls: calls.len() * repeats,
         untraced_wall,
         traced_wall,
-        overhead_pct,
-        virtual_identical: untraced_virtual == traced_virtual,
+        coarse_wall,
+        overhead_pct: pct(traced_wall),
+        coarse_overhead_pct: pct(coarse_wall),
+        virtual_identical: untraced_virtual == traced_virtual && untraced_virtual == coarse_virtual,
         spans_last_call,
+        spans_coarse,
     }
 }
 
@@ -169,6 +201,10 @@ mod tests {
         let row = run_trace_overhead(ArchitectureKind::Wfms, 2);
         assert!(row.virtual_identical, "{row:?}");
         assert!(row.spans_last_call > 1, "{row:?}");
+        assert!(
+            row.spans_coarse < row.spans_last_call,
+            "coarse detail must elide spans: {row:?}"
+        );
     }
 
     #[test]

@@ -31,7 +31,7 @@
 
 use std::time::Duration;
 
-use fedwf_sim::{Breakdown, Meter, MetricsSnapshot, TraceNode};
+use fedwf_sim::{Breakdown, Meter, MetricsSnapshot, TraceDetail, TraceNode};
 use fedwf_types::{Params, Table, Value};
 
 /// What a [`Request`] executes.
@@ -55,6 +55,7 @@ pub struct Request {
     params: Params,
     deadline: Option<Duration>,
     trace: bool,
+    trace_detail: TraceDetail,
 }
 
 impl Request {
@@ -65,6 +66,7 @@ impl Request {
             params: Params::new(),
             deadline: None,
             trace: false,
+            trace_detail: TraceDetail::Full,
         }
     }
 
@@ -75,6 +77,7 @@ impl Request {
             params: Params::new(),
             deadline: None,
             trace: false,
+            trace_detail: TraceDetail::Full,
         }
     }
 
@@ -112,6 +115,17 @@ impl Request {
         self
     }
 
+    /// How deep the span tree goes when tracing is on. Defaults to
+    /// [`TraceDetail::Full`]; [`TraceDetail::Coarse`] keeps the
+    /// request/engine/process levels but skips per-activity and
+    /// per-local-function spans, cutting most of tracing's wall overhead
+    /// (component breakdowns stay exact — skipped spans' charges land in
+    /// the nearest recorded ancestor).
+    pub fn trace_detail(mut self, detail: TraceDetail) -> Self {
+        self.trace_detail = detail;
+        self
+    }
+
     pub fn target(&self) -> &Target {
         &self.target
     }
@@ -126,6 +140,10 @@ impl Request {
 
     pub fn trace_requested(&self) -> bool {
         self.trace
+    }
+
+    pub fn trace_detail_opt(&self) -> TraceDetail {
+        self.trace_detail
     }
 
     /// A short label for logs and error messages.

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use fedwf_appsys::{build_scenario, DataGenConfig, Scenario};
 use fedwf_fdbs::Fdbs;
 use fedwf_sim::env::Process;
-use fedwf_sim::{Breakdown, Component, CostModel, EnvState, Meter, MetricsRegistry};
+use fedwf_sim::{Breakdown, Component, CostModel, EnvState, Meter, MetricsRegistry, SpanNameCache};
 use fedwf_types::sync::{Mutex, RwLock};
 use fedwf_types::{FedError, FedResult, Ident, Params, Table, Value};
 use fedwf_wrapper::{Controller, WfmsWrapper};
@@ -113,6 +113,9 @@ pub struct IntegrationServer {
     /// elapsed-time histogram). Per-instance so that parallel servers in
     /// one process do not pollute each other's counters.
     metrics: Arc<MetricsRegistry>,
+    /// Interned `request {label}` span names, so a traced hot path does
+    /// not re-format (and re-allocate) the root span name on every call.
+    request_spans: SpanNameCache<String>,
 }
 
 impl IntegrationServer {
@@ -138,6 +141,7 @@ impl IntegrationServer {
             all_booted: AtomicBool::new(false),
             phase: RwLock::new(()),
             metrics: Arc::new(MetricsRegistry::new()),
+            request_spans: SpanNameCache::new(),
         })
     }
 
@@ -247,9 +251,12 @@ impl IntegrationServer {
         let mut meter = Meter::new();
         if request.trace_requested() {
             meter.set_tracing(true);
+            meter.set_trace_detail(request.trace_detail_opt());
             meter.span_start(
                 Component::Controller,
-                format!("request {}", request.label()),
+                self.request_spans.get(request.label(), str::to_owned, || {
+                    format!("request {}", request.label())
+                }),
             );
         }
         let result = self.execute_target(request, &mut meter);
@@ -690,6 +697,46 @@ mod tests {
             .unwrap()
             .table;
         assert_eq!(t.row_count(), 81);
+    }
+
+    #[test]
+    fn coarse_tracing_elides_leaf_spans_but_keeps_breakdowns_exact() {
+        use crate::Request;
+        use fedwf_sim::TraceDetail;
+        let s = server(ArchitectureKind::Wfms);
+        s.deploy(&paper_functions::buy_supp_comp()).unwrap();
+        s.boot();
+        let args = buy_args(&s);
+        s.call("BuySuppComp", &args).unwrap(); // warm
+        let run = |detail| {
+            s.execute(
+                &Request::function("BuySuppComp")
+                    .params(args.as_slice())
+                    .traced(true)
+                    .trace_detail(detail),
+            )
+            .unwrap()
+        };
+        let full = run(TraceDetail::Full);
+        let coarse = run(TraceDetail::Coarse);
+        // Same execution either way.
+        assert_eq!(full.elapsed_us(), coarse.elapsed_us());
+        let full_tree = full.trace.as_ref().unwrap();
+        let coarse_tree = coarse.trace.as_ref().unwrap();
+        // Coarse keeps the request/process levels but drops the
+        // per-activity and per-local-function leaves.
+        assert!(coarse_tree.find("wfms.process BuySuppComp").is_some());
+        assert!(!full_tree.find_all("activity ").is_empty());
+        assert!(coarse_tree.find_all("activity ").is_empty());
+        assert!(coarse_tree.find_all("local ").is_empty());
+        assert!(coarse_tree.flatten().len() < full_tree.flatten().len());
+        // Skipped spans' charges land in an ancestor: the tree-derived
+        // component totals still agree with the charge log exactly.
+        for outcome in [&full, &coarse] {
+            let from_tree = outcome.trace_breakdown("t").unwrap();
+            let from_log = outcome.breakdown_by_component("t");
+            assert_eq!(from_tree.lines, from_log.lines);
+        }
     }
 
     #[test]

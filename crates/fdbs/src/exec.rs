@@ -31,8 +31,8 @@ use std::time::Instant;
 use fedwf_relstore::{Predicate, RowId};
 use fedwf_sim::{Component, CostModel, Meter, SpanName, TraceNode};
 use fedwf_types::{
-    implicit_cast, DataType, FedError, FedResult, Ident, ResultExt, Row, SchemaRef, Table, Value,
-    ValueKey,
+    implicit_cast, DataType, FedError, FedResult, Ident, ResultExt, Row, SchemaRef, Table, TxnId,
+    Value, ValueKey,
 };
 
 use crate::engine::Fdbs;
@@ -875,6 +875,9 @@ enum Source<'p> {
         next: Option<RowId>,
         started: bool,
         matched: u64,
+        /// Snapshot epoch pinned at the first pull: every later chunk reads
+        /// the same committed state even while writers commit in between.
+        epoch: Option<TxnId>,
     },
 }
 
@@ -889,17 +892,21 @@ impl Source<'_> {
                 next,
                 started,
                 matched,
+                epoch,
             } => {
                 if *started && next.is_none() {
                     return Ok(None);
                 }
+                let local = fdbs.catalog().local();
+                let pinned = *epoch.get_or_insert_with(|| local.snapshot_epoch());
                 let start = next.unwrap_or(0);
-                let (rows, cont) = fdbs.catalog().local().scan_chunk(
+                let (rows, cont) = local.scan_chunk(
                     table.as_str(),
                     pushdown,
                     *projection,
                     start,
                     STREAM_BATCH_ROWS,
+                    pinned,
                 )?;
                 *started = true;
                 *next = cont;
@@ -1269,6 +1276,7 @@ fn execute_streaming(
                 next: None,
                 started: false,
                 matched: 0,
+                epoch: None,
             },
             1,
         )

@@ -1,36 +1,186 @@
-//! A named collection of stored tables with statement-level atomic updates.
+//! A named collection of stored tables with statement-level atomic updates,
+//! snapshot reads, and (optionally) durability through a write-ahead log.
+//!
+//! Concurrency model: many readers or one writer per database. Writers
+//! still serialize behind the write lock, but reads no longer need it for
+//! consistency — every committed statement advances the *commit epoch*, and
+//! a reader that pins an epoch (see [`Database::snapshot_epoch`] /
+//! [`Database::scan_chunk`]) sees exactly the state after that statement,
+//! via the MVCC version chains in [`StoredTable`], no matter how many
+//! statements commit while the scan is in flight.
+//!
+//! Durability: a database created with [`Database::open`] (or
+//! [`Database::open_with`]) logs every committed statement to a write-ahead
+//! log before publishing it, and [`Database::checkpoint`] folds the log
+//! into a snapshot. Reopening replays snapshot + log, discarding any
+//! statement whose commit marker never made it out — see [`crate::wal`]
+//! for the frame format and the recovery invariant.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use fedwf_types::sync::RwLock;
-use fedwf_types::{FedError, FedResult, Ident, Row, SchemaRef, Table, Value};
+use fedwf_types::{
+    FedError, FedResult, Ident, Row, SchemaRef, Table, TxnId, Value, TXN_EPOCH_ZERO,
+};
 
 use crate::index::IndexKind;
 use crate::predicate::Predicate;
-use crate::table::{RowId, StoredTable, TableStats};
+use crate::table::{ChangeKind, RowId, StoredTable, TableStats, UndoLog};
+use crate::wal::{self, ByteReader, Durability, WalRecord};
 
-/// An embedded database: a set of tables guarded by a reader-writer lock.
-///
-/// Concurrency model: many readers or one writer per database — adequate for
-/// the integration server where each application system serializes its local
-/// function calls, and deliberately simpler than a full transaction manager
-/// (the paper's UDTF path is read-only anyway).
+/// Magic prefix of a checkpoint snapshot (versioned).
+const SNAPSHOT_MAGIC: &[u8; 8] = b"FWSNAP1\0";
+
+/// An embedded database: a set of tables guarded by a reader-writer lock,
+/// with MVCC snapshot reads and optional WAL-backed durability.
 #[derive(Debug, Default)]
 pub struct Database {
     name: String,
     tables: RwLock<BTreeMap<Ident, StoredTable>>,
+    /// Id of the last committed statement; also the newest pinnable epoch.
+    commit_epoch: AtomicU64,
+    durability: Option<Durability>,
 }
 
 impl Database {
+    /// A purely in-memory database (no WAL, no checkpoints) — the default
+    /// for the simulated application systems and SQL sources.
     pub fn new(name: impl Into<String>) -> Database {
         Database {
             name: name.into(),
             tables: RwLock::new(BTreeMap::new()),
+            commit_epoch: AtomicU64::new(TXN_EPOCH_ZERO),
+            durability: None,
         }
+    }
+
+    /// Open (or create) a durable database stored in `dir`: recovery
+    /// replays `dir/wal.log` over the last checkpoint in
+    /// `dir/snapshot.bin`, discarding any statement without an intact
+    /// commit marker, then truncates the discarded tail.
+    pub fn open(dir: impl AsRef<std::path::Path>) -> FedResult<Database> {
+        let dir = dir.as_ref();
+        let name = dir
+            .file_name()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "database".to_string());
+        Self::open_with(name, Durability::at_path(dir)?)
+    }
+
+    /// Open a durable database over explicit persistence — the test
+    /// harness passes `Arc`-shared in-memory sinks here and "crashes" by
+    /// dropping the database while keeping the sinks.
+    pub fn open_with(name: impl Into<String>, durability: Durability) -> FedResult<Database> {
+        let mut db = Database {
+            name: name.into(),
+            tables: RwLock::new(BTreeMap::new()),
+            commit_epoch: AtomicU64::new(TXN_EPOCH_ZERO),
+            durability: Some(durability),
+        };
+        db.recover()?;
+        Ok(db)
     }
 
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Whether statements are WAL-logged.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// The newest consistent epoch a reader can pin: the id of the last
+    /// committed statement. Pass it to [`Database::scan_chunk`] to keep a
+    /// multi-pull streaming scan on one snapshot.
+    pub fn snapshot_epoch(&self) -> TxnId {
+        self.commit_epoch.load(Ordering::Acquire)
+    }
+
+    /// Run one committed write statement: allocate its transaction id,
+    /// apply `f`, then WAL-log the changes and advance the commit epoch —
+    /// or undo everything `f` logged if it (or the WAL append) failed.
+    fn mutate<R>(
+        &self,
+        table: &str,
+        f: impl FnOnce(&mut StoredTable, TxnId, &mut UndoLog) -> FedResult<R>,
+    ) -> FedResult<R> {
+        let mut tables = self.tables.write();
+        let t = Self::resolve_mut(&mut tables, table, &self.name)?;
+        let txn = self.commit_epoch.load(Ordering::Acquire) + 1;
+        let mut undo = UndoLog::new();
+        match f(t, txn, &mut undo) {
+            Ok(r) => {
+                if let Some(d) = &self.durability {
+                    let records = Self::redo_records(t, &undo);
+                    if let Err(e) = d.wal.append_statement(txn, &records) {
+                        t.abort(&mut undo);
+                        return Err(e.with_context(format!("logging statement against {table}")));
+                    }
+                }
+                self.commit_epoch.store(txn, Ordering::Release);
+                Ok(r)
+            }
+            Err(e) => {
+                t.abort(&mut undo);
+                Err(e)
+            }
+        }
+    }
+
+    /// WAL redo records for a successful statement, derived from its undo
+    /// log (the single source of truth for what changed, in order).
+    fn redo_records(t: &StoredTable, undo: &UndoLog) -> Vec<WalRecord> {
+        let table = t.name().as_str().to_string();
+        t.changes(undo)
+            .into_iter()
+            .map(|c| match c {
+                ChangeKind::Insert { slot } => WalRecord::Insert {
+                    table: table.clone(),
+                    row: t
+                        .get(slot)
+                        .expect("freshly inserted row is live")
+                        .values()
+                        .to_vec(),
+                },
+                ChangeKind::Update {
+                    slot,
+                    column,
+                    value,
+                } => WalRecord::Update {
+                    table: table.clone(),
+                    slot,
+                    column: column as u32,
+                    value,
+                },
+                ChangeKind::Delete { slot } => WalRecord::Delete {
+                    table: table.clone(),
+                    slot,
+                },
+            })
+            .collect()
+    }
+
+    /// Log a single-record DDL statement and advance the commit epoch.
+    /// The caller has already validated; `undo_on_log_failure` reverts the
+    /// in-memory change if the log write fails.
+    fn commit_ddl(
+        &self,
+        tables: &mut BTreeMap<Ident, StoredTable>,
+        record: WalRecord,
+        undo_on_log_failure: impl FnOnce(&mut BTreeMap<Ident, StoredTable>),
+    ) -> FedResult<()> {
+        let txn = self.commit_epoch.load(Ordering::Acquire) + 1;
+        if let Some(d) = &self.durability {
+            if let Err(e) = d.wal.append_statement(txn, &[record]) {
+                undo_on_log_failure(tables);
+                return Err(e.with_context("logging DDL statement"));
+            }
+        }
+        self.commit_epoch.store(txn, Ordering::Release);
+        Ok(())
     }
 
     /// Create an empty table.
@@ -43,20 +193,33 @@ impl Database {
                 self.name
             )));
         }
-        tables.insert(name.clone(), StoredTable::new(name, schema));
-        Ok(())
+        tables.insert(name.clone(), StoredTable::new(name.clone(), schema.clone()));
+        self.commit_ddl(
+            &mut tables,
+            WalRecord::CreateTable {
+                table: name.as_str().to_string(),
+                schema: (*schema).clone(),
+            },
+            |tables| {
+                tables.remove(&name);
+            },
+        )
     }
 
     /// Drop a table.
     pub fn drop_table(&self, name: &str) -> FedResult<()> {
         let name = Ident::new(name);
-        if self.tables.write().remove(&name).is_none() {
+        let mut tables = self.tables.write();
+        let Some(dropped) = tables.remove(&name) else {
             return Err(FedError::catalog(format!(
                 "table {name} does not exist in database {}",
                 self.name
             )));
-        }
-        Ok(())
+        };
+        let table = dropped.name().as_str().to_string();
+        self.commit_ddl(&mut tables, WalRecord::DropTable { table }, |tables| {
+            tables.insert(name.clone(), dropped);
+        })
     }
 
     pub fn table_names(&self) -> Vec<String> {
@@ -91,31 +254,41 @@ impl Database {
         kind: IndexKind,
     ) -> FedResult<()> {
         let mut tables = self.tables.write();
-        Self::resolve_mut(&mut tables, table, &self.name)?.create_index(index_name, column, kind)
+        let t = Self::resolve_mut(&mut tables, table, &self.name)?;
+        t.create_index(index_name, column, kind)?;
+        let record = WalRecord::CreateIndex {
+            table: t.name().as_str().to_string(),
+            index: index_name.to_string(),
+            column: column.to_string(),
+            unique: wal::index_kind_unique(kind),
+        };
+        let table_ident = Ident::new(table);
+        let index_name = index_name.to_string();
+        self.commit_ddl(&mut tables, record, move |tables| {
+            if let Some(t) = tables.get_mut(&table_ident) {
+                t.drop_index(&index_name);
+            }
+        })
     }
 
     /// Insert one row.
     pub fn insert(&self, table: &str, row: Row) -> FedResult<RowId> {
-        let mut tables = self.tables.write();
-        Self::resolve_mut(&mut tables, table, &self.name)?.insert(row)
+        self.mutate(table, |t, txn, undo| t.insert(row, txn, undo))
     }
 
-    /// Insert many rows atomically: either all land or none do.
+    /// Insert many rows atomically: either all land or none do. Rollback is
+    /// undo-based — a failure restores rows, row-id allocation and index
+    /// entries exactly, without ever cloning the table.
     pub fn insert_all(&self, table: &str, rows: Vec<Row>) -> FedResult<usize> {
-        let mut tables = self.tables.write();
-        let t = Self::resolve_mut(&mut tables, table, &self.name)?;
-        let backup = t.clone();
-        let mut n = 0;
-        for row in rows {
-            match t.insert(row) {
-                Ok(_) => n += 1,
-                Err(e) => {
-                    *t = backup;
-                    return Err(e.with_context(format!("bulk insert into {table}")));
-                }
+        self.mutate(table, |t, txn, undo| {
+            let mut n = 0;
+            for row in rows {
+                t.insert(row, txn, undo)
+                    .map_err(|e| e.with_context(format!("bulk insert into {table}")))?;
+                n += 1;
             }
-        }
-        Ok(n)
+            Ok(n)
+        })
     }
 
     /// Scan a table with a predicate.
@@ -135,9 +308,25 @@ impl Database {
         Self::resolve(&tables, table, &self.name)?.scan_project(predicate, projection)
     }
 
-    /// One bounded chunk of a scan, resuming at `start_slot` — see
-    /// [`StoredTable::scan_chunk`]. The read lock is taken per chunk, so a
-    /// streaming consumer never pins the table across pulls.
+    /// Snapshot scan: rows as of the pinned `epoch` (from
+    /// [`Database::snapshot_epoch`]), regardless of statements committed
+    /// since.
+    pub fn scan_project_at(
+        &self,
+        table: &str,
+        predicate: &Predicate,
+        projection: Option<&[usize]>,
+        epoch: TxnId,
+    ) -> FedResult<Table> {
+        let tables = self.tables.read();
+        Self::resolve(&tables, table, &self.name)?.scan_project_at(predicate, projection, epoch)
+    }
+
+    /// One bounded chunk of a snapshot scan, resuming at `start_slot` — see
+    /// [`StoredTable::scan_chunk_at`]. The read lock is taken per chunk, so
+    /// a streaming consumer never pins the table across pulls; the caller
+    /// pins `epoch` once (at cursor open) and every chunk reads that same
+    /// snapshot, even when writers commit between pulls.
     pub fn scan_chunk(
         &self,
         table: &str,
@@ -145,10 +334,11 @@ impl Database {
         projection: Option<&[usize]>,
         start_slot: RowId,
         max_rows: usize,
+        epoch: TxnId,
     ) -> FedResult<(Vec<Row>, Option<RowId>)> {
         let tables = self.tables.read();
         Self::resolve(&tables, table, &self.name)?
-            .scan_chunk(predicate, projection, start_slot, max_rows)
+            .scan_chunk_at(predicate, projection, start_slot, max_rows, epoch)
     }
 
     /// Full-table scan.
@@ -187,13 +377,17 @@ impl Database {
         )
     }
 
-    /// Delete rows matching a predicate.
+    /// Delete rows matching a predicate. Statement-atomic like the other
+    /// mutations: an error mid-statement undoes the partial delete.
     pub fn delete_where(&self, table: &str, predicate: &Predicate) -> FedResult<usize> {
-        let mut tables = self.tables.write();
-        Self::resolve_mut(&mut tables, table, &self.name)?.delete_where(predicate)
+        self.mutate(table, |t, txn, undo| {
+            t.delete_where(predicate, txn, undo)
+                .map_err(|e| e.with_context(format!("deleting from table {table}")))
+        })
     }
 
-    /// Statement-atomic update: on error the table is left untouched.
+    /// Statement-atomic update: on error the table is left untouched (rows
+    /// *and* index entries), via undo over the version chains.
     pub fn update_where(
         &self,
         table: &str,
@@ -201,22 +395,169 @@ impl Database {
         column: &str,
         value: Value,
     ) -> FedResult<usize> {
-        let mut tables = self.tables.write();
-        let t = Self::resolve_mut(&mut tables, table, &self.name)?;
-        let backup = t.clone();
-        match t.update_where(predicate, column, value) {
-            Ok(n) => Ok(n),
-            Err(e) => {
-                *t = backup;
-                Err(e.with_context(format!("updating table {table}")))
-            }
-        }
+        self.mutate(table, |t, txn, undo| {
+            t.update_where(predicate, column, value, txn, undo)
+                .map_err(|e| e.with_context(format!("updating table {table}")))
+        })
     }
 
     /// Whether a predicate on a table would use an index.
     pub fn index_serves(&self, table: &str, predicate: &Predicate) -> FedResult<bool> {
         let tables = self.tables.read();
         Ok(Self::resolve(&tables, table, &self.name)?.index_serves(predicate))
+    }
+
+    // -- durability --------------------------------------------------------
+
+    /// Write a snapshot of the current committed state, truncate the WAL,
+    /// and prune dead row versions. After a checkpoint, recovery starts
+    /// from the snapshot instead of replaying history; epoch-pinned cursors
+    /// opened before the checkpoint must not be resumed across it (their
+    /// versions may have been pruned).
+    pub fn checkpoint(&self) -> FedResult<()> {
+        let Some(d) = &self.durability else {
+            return Err(FedError::recovery(format!(
+                "database {} is in-memory only: nothing to checkpoint",
+                self.name
+            )));
+        };
+        let mut tables = self.tables.write();
+        let epoch = self.commit_epoch.load(Ordering::Acquire);
+        let bytes = encode_snapshot(epoch, &tables);
+        d.snapshots.store(&bytes)?;
+        // Crash window here is safe: the WAL still holds statements with
+        // ids <= epoch, and recovery skips them against the snapshot epoch.
+        d.wal.truncate()?;
+        for t in tables.values_mut() {
+            t.prune_versions();
+        }
+        Ok(())
+    }
+
+    /// Rebuild state from snapshot + WAL; called once from `open_with`.
+    fn recover(&mut self) -> FedResult<()> {
+        let d = self
+            .durability
+            .as_ref()
+            .expect("recover requires durability");
+        let mut epoch = TXN_EPOCH_ZERO;
+        let mut tables = BTreeMap::new();
+        if let Some(bytes) = d.snapshots.load()? {
+            let (snap_epoch, snap_tables) = decode_snapshot(&bytes)?;
+            epoch = snap_epoch;
+            tables = snap_tables;
+        }
+        let replay = d.wal.replay()?;
+        for (txn, records) in &replay.statements {
+            // A crash between checkpoint-snapshot and WAL truncation leaves
+            // already-snapshotted statements in the log; skip them.
+            if *txn <= epoch {
+                continue;
+            }
+            for rec in records {
+                Self::apply_record(&mut tables, rec, *txn).map_err(|e| {
+                    e.with_context(format!(
+                        "replaying WAL statement {txn} into database {}",
+                        self.name
+                    ))
+                })?;
+            }
+            epoch = *txn;
+        }
+        if replay.discarded_tail {
+            // Cut the torn/uncommitted tail so future appends start at a
+            // clean frame boundary.
+            d.wal.truncate_to(replay.committed_len)?;
+        }
+        self.tables = RwLock::new(tables);
+        self.commit_epoch = AtomicU64::new(epoch);
+        Ok(())
+    }
+
+    /// Apply one redo record during recovery. Replay of committed history
+    /// is conflict-free by construction; any failure here means a corrupt
+    /// or inconsistent log and surfaces as a recovery error.
+    fn apply_record(
+        tables: &mut BTreeMap<Ident, StoredTable>,
+        rec: &WalRecord,
+        txn: TxnId,
+    ) -> FedResult<()> {
+        let mut undo = UndoLog::new();
+        let resolve = |tables: &mut BTreeMap<Ident, StoredTable>,
+                       name: &str|
+         -> FedResult<*mut StoredTable> {
+            match tables.get_mut(&Ident::new(name)) {
+                Some(t) => Ok(t as *mut StoredTable),
+                None => Err(FedError::recovery(format!(
+                    "WAL references unknown table {name}"
+                ))),
+            }
+        };
+        match rec {
+            WalRecord::CreateTable { table, schema } => {
+                let ident = Ident::new(table);
+                if tables.contains_key(&ident) {
+                    return Err(FedError::recovery(format!(
+                        "WAL creates table {table} twice"
+                    )));
+                }
+                tables.insert(
+                    ident.clone(),
+                    StoredTable::new(ident, Arc::new(schema.clone())),
+                );
+            }
+            WalRecord::DropTable { table } => {
+                if tables.remove(&Ident::new(table)).is_none() {
+                    return Err(FedError::recovery(format!(
+                        "WAL drops unknown table {table}"
+                    )));
+                }
+            }
+            WalRecord::CreateIndex {
+                table,
+                index,
+                column,
+                unique,
+            } => {
+                let t = resolve(tables, table)?;
+                // SAFETY: the pointer came from `tables` above and nothing
+                // else touches the map before this use.
+                unsafe { &mut *t }.create_index(
+                    index.clone(),
+                    column,
+                    wal::index_kind_from_unique(*unique),
+                )?;
+            }
+            WalRecord::Insert { table, row } => {
+                let t = resolve(tables, table)?;
+                unsafe { &mut *t }.insert(Row::new(row.clone()), txn, &mut undo)?;
+            }
+            WalRecord::Update {
+                table,
+                slot,
+                column,
+                value,
+            } => {
+                let t = resolve(tables, table)?;
+                unsafe { &mut *t }.update_slot(
+                    *slot as usize,
+                    *column as usize,
+                    value,
+                    txn,
+                    &mut undo,
+                )?;
+            }
+            WalRecord::Delete { table, slot } => {
+                let t = resolve(tables, table)?;
+                unsafe { &mut *t }.delete_slot(*slot as usize, txn, &mut undo)?;
+            }
+            WalRecord::Commit { .. } => {
+                return Err(FedError::recovery(
+                    "commit marker leaked into a replayed statement body",
+                ));
+            }
+        }
+        Ok(())
     }
 
     fn resolve<'a>(
@@ -240,9 +581,91 @@ impl Database {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Checkpoint snapshot codec.
+// ---------------------------------------------------------------------------
+
+/// Serialize the committed state: `[magic][crc32 of body][body]` where the
+/// body is the commit epoch plus every table's schema, index definitions,
+/// slot count and live rows (at their original slots, so recovered inserts
+/// keep allocating the same row ids).
+fn encode_snapshot(epoch: TxnId, tables: &BTreeMap<Ident, StoredTable>) -> Vec<u8> {
+    let mut body = Vec::with_capacity(1024);
+    wal::put_u64(&mut body, epoch);
+    wal::put_u32(&mut body, tables.len() as u32);
+    for t in tables.values() {
+        wal::put_str(&mut body, t.name().as_str());
+        wal::put_schema(&mut body, t.schema());
+        let indexes = t.index_defs();
+        wal::put_u32(&mut body, indexes.len() as u32);
+        for (name, column, kind) in indexes {
+            wal::put_str(&mut body, &name);
+            wal::put_u32(&mut body, column as u32);
+            body.push(wal::index_kind_unique(kind) as u8);
+        }
+        wal::put_u64(&mut body, t.slot_count());
+        let live: Vec<_> = t.iter().collect();
+        wal::put_u64(&mut body, live.len() as u64);
+        for (slot, row) in live {
+            wal::put_u64(&mut body, slot);
+            wal::put_u32(&mut body, row.len() as u32);
+            for v in row.values() {
+                wal::put_value(&mut body, v);
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(body.len() + 12);
+    out.extend_from_slice(SNAPSHOT_MAGIC);
+    wal::put_u32(&mut out, wal::crc32(&body));
+    out.extend_from_slice(&body);
+    out
+}
+
+fn decode_snapshot(bytes: &[u8]) -> FedResult<(TxnId, BTreeMap<Ident, StoredTable>)> {
+    let rest = bytes
+        .strip_prefix(SNAPSHOT_MAGIC.as_slice())
+        .ok_or_else(|| FedError::recovery("snapshot file has the wrong magic"))?;
+    let mut r = ByteReader::new(rest);
+    let crc = r.take_u32()?;
+    if wal::crc32(&rest[4..]) != crc {
+        return Err(FedError::recovery("snapshot file fails its checksum"));
+    }
+    let epoch = r.take_u64()?;
+    let n_tables = r.take_u32()?;
+    let mut tables = BTreeMap::new();
+    for _ in 0..n_tables {
+        let name = Ident::new(r.take_str()?);
+        let schema: SchemaRef = Arc::new(r.take_schema()?);
+        let n_indexes = r.take_u32()?;
+        let mut indexes = Vec::with_capacity(n_indexes as usize);
+        for _ in 0..n_indexes {
+            let iname = r.take_str()?;
+            let column = r.take_u32()? as usize;
+            let kind = wal::index_kind_from_unique(r.take_u8()? != 0);
+            indexes.push((iname, column, kind));
+        }
+        let slot_count = r.take_u64()?;
+        let n_live = r.take_u64()?;
+        let mut rows = Vec::with_capacity(n_live as usize);
+        for _ in 0..n_live {
+            let slot = r.take_u64()?;
+            let width = r.take_u32()? as usize;
+            let mut values = Vec::with_capacity(width);
+            for _ in 0..width {
+                values.push(r.take_value()?);
+            }
+            rows.push((slot, Row::new(values)));
+        }
+        let table = StoredTable::from_snapshot(name.clone(), schema, slot_count, rows, indexes)?;
+        tables.insert(name, table);
+    }
+    Ok((epoch, tables))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wal::{MemorySink, MemorySnapshots};
     use fedwf_types::{DataType, Schema};
     use std::sync::Arc;
 
@@ -259,6 +682,10 @@ mod tests {
         db.create_index("Components", "pk", "CompNo", IndexKind::Unique)
             .unwrap();
         db
+    }
+
+    fn durable_db(log: &Arc<MemorySink>, snaps: &Arc<MemorySnapshots>) -> Database {
+        Database::open_with("stock", Durability::in_memory(log.clone(), snaps.clone())).unwrap()
     }
 
     #[test]
@@ -299,6 +726,8 @@ mod tests {
         ];
         assert!(db.insert_all("Components", rows).is_err());
         assert_eq!(db.scan_all("Components").unwrap().row_count(), 0);
+        // A failed statement does not advance the commit epoch.
+        assert_eq!(db.snapshot_epoch(), 2, "create table + create index");
     }
 
     #[test]
@@ -320,6 +749,55 @@ mod tests {
         let t = db.scan_all("Components").unwrap();
         let keys: Vec<_> = t.rows().iter().map(|r| r.values()[0].clone()).collect();
         assert_eq!(keys, vec![Value::Int(1), Value::Int(2)]);
+        // The unique index is restored too: the aborted key finds nothing,
+        // the original keys still probe to their rows.
+        assert!(db
+            .index_serves("Components", &Predicate::eq(0, Value::Int(1)))
+            .unwrap());
+        assert_eq!(
+            db.scan_eq("Components", 0, Value::Int(7), &Predicate::True)
+                .unwrap()
+                .row_count(),
+            0
+        );
+        for k in [1, 2] {
+            assert_eq!(
+                db.scan_eq("Components", 0, Value::Int(k), &Predicate::True)
+                    .unwrap()
+                    .row_count(),
+                1
+            );
+        }
+    }
+
+    #[test]
+    fn delete_is_statement_atomic() {
+        let db = db();
+        db.insert_all(
+            "Components",
+            vec![
+                Row::new(vec![Value::Int(1), Value::str("a")]),
+                Row::new(vec![Value::Int(2), Value::str("b")]),
+                Row::new(vec![Value::Int(3), Value::str("c")]),
+            ],
+        )
+        .unwrap();
+        // The OR short-circuits on row 1 (which gets deleted) and then
+        // errors on row 2 when the right arm references a column that does
+        // not exist — a mid-statement failure after a partial delete.
+        let bad = Predicate::eq(0, Value::Int(1)).or(Predicate::eq(5, Value::Int(0)));
+        let err = db.delete_where("Components", &bad).unwrap_err();
+        assert!(err.to_string().contains("delet"));
+        // Nothing was deleted, and the pk index still probes every row.
+        assert_eq!(db.scan_all("Components").unwrap().row_count(), 3);
+        for k in [1, 2, 3] {
+            assert_eq!(
+                db.scan_eq("Components", 0, Value::Int(k), &Predicate::True)
+                    .unwrap()
+                    .row_count(),
+                1
+            );
+        }
     }
 
     #[test]
@@ -375,5 +853,137 @@ mod tests {
         let stats = db.table_stats("Components").unwrap();
         assert_eq!(stats.row_count, 1);
         assert_eq!(stats.index_count, 1);
+    }
+
+    #[test]
+    fn pinned_scan_chunk_ignores_later_commits() {
+        let db = db();
+        for i in 0..10 {
+            db.insert(
+                "Components",
+                Row::new(vec![Value::Int(i), Value::str("old")]),
+            )
+            .unwrap();
+        }
+        let epoch = db.snapshot_epoch();
+        // Pull the first chunk, then bulk-update, then pull the rest.
+        let (first, next) = db
+            .scan_chunk("Components", &Predicate::True, None, 0, 4, epoch)
+            .unwrap();
+        db.update_where("Components", &Predicate::True, "Name", Value::str("new"))
+            .unwrap();
+        let mut rows = first;
+        let mut cursor = next;
+        while let Some(start) = cursor {
+            let (chunk, n) = db
+                .scan_chunk("Components", &Predicate::True, None, start, 4, epoch)
+                .unwrap();
+            rows.extend(chunk);
+            cursor = n;
+        }
+        assert_eq!(rows.len(), 10);
+        assert!(
+            rows.iter().all(|r| r.values()[1] == Value::str("old")),
+            "a pinned cursor must never see a mix of versions"
+        );
+        // A fresh scan at the new epoch sees only the update.
+        let now = db.scan_all("Components").unwrap();
+        assert!(now
+            .rows()
+            .iter()
+            .all(|r| r.values()[1] == Value::str("new")));
+    }
+
+    #[test]
+    fn durable_database_survives_reopen() {
+        let log = MemorySink::new();
+        let snaps = MemorySnapshots::new();
+        {
+            let db = durable_db(&log, &snaps);
+            db.create_table(
+                "T",
+                Arc::new(Schema::of(&[
+                    ("a", DataType::Int),
+                    ("b", DataType::Varchar),
+                ])),
+            )
+            .unwrap();
+            db.create_index("T", "pk", "a", IndexKind::Unique).unwrap();
+            db.insert_all(
+                "T",
+                vec![
+                    Row::new(vec![Value::Int(1), Value::str("x")]),
+                    Row::new(vec![Value::Int(2), Value::str("y")]),
+                ],
+            )
+            .unwrap();
+            db.update_where("T", &Predicate::eq(0, 2), "b", Value::str("z"))
+                .unwrap();
+            db.delete_where("T", &Predicate::eq(0, 1)).unwrap();
+        } // drop = crash
+        let db = durable_db(&log, &snaps);
+        let t = db.scan_all("T").unwrap();
+        assert_eq!(t.row_count(), 1);
+        assert_eq!(t.value(0, "b"), Some(&Value::str("z")));
+        assert!(db
+            .index_serves("T", &Predicate::eq(0, Value::Int(2)))
+            .unwrap());
+        // Row ids allocated pre-crash stay stable: a new insert takes the
+        // next slot, not a recycled one.
+        let id = db
+            .insert("T", Row::new(vec![Value::Int(3), Value::str("w")]))
+            .unwrap();
+        assert_eq!(id, 2);
+    }
+
+    #[test]
+    fn checkpoint_truncates_log_and_still_recovers() {
+        let log = MemorySink::new();
+        let snaps = MemorySnapshots::new();
+        {
+            let db = durable_db(&log, &snaps);
+            db.create_table("T", Arc::new(Schema::of(&[("a", DataType::Int)])))
+                .unwrap();
+            for i in 0..5 {
+                db.insert("T", Row::new(vec![Value::Int(i)])).unwrap();
+            }
+            db.checkpoint().unwrap();
+            assert!(log.is_empty(), "checkpoint empties the WAL");
+            // Post-checkpoint statements land in the fresh log.
+            db.insert("T", Row::new(vec![Value::Int(99)])).unwrap();
+        }
+        let db = durable_db(&log, &snaps);
+        assert_eq!(db.scan_all("T").unwrap().row_count(), 6);
+        assert_eq!(db.scan("T", &Predicate::eq(0, 99)).unwrap().row_count(), 1);
+    }
+
+    #[test]
+    fn torn_tail_loses_only_the_uncommitted_statement() {
+        let log = MemorySink::new();
+        let snaps = MemorySnapshots::new();
+        {
+            let db = durable_db(&log, &snaps);
+            db.create_table("T", Arc::new(Schema::of(&[("a", DataType::Int)])))
+                .unwrap();
+            db.insert("T", Row::new(vec![Value::Int(1)])).unwrap();
+            db.insert("T", Row::new(vec![Value::Int(2)])).unwrap();
+        }
+        log.tear_tail(6); // rip into the last statement's commit marker
+        let db = durable_db(&log, &snaps);
+        let t = db.scan_all("T").unwrap();
+        assert_eq!(t.row_count(), 1, "torn statement is discarded");
+        assert_eq!(t.value(0, "a"), Some(&Value::Int(1)));
+        // The torn tail was truncated: committing again works and survives.
+        db.insert("T", Row::new(vec![Value::Int(3)])).unwrap();
+        drop(db);
+        let db = durable_db(&log, &snaps);
+        assert_eq!(db.scan_all("T").unwrap().row_count(), 2);
+    }
+
+    #[test]
+    fn in_memory_database_rejects_checkpoint() {
+        let db = db();
+        assert!(!db.is_durable());
+        assert!(db.checkpoint().is_err());
     }
 }

@@ -11,15 +11,22 @@
 //!
 //! The engine offers typed heap tables with slot-stable row ids, unique and
 //! secondary B-tree indexes kept consistent through inserts / updates /
-//! deletes, predicate scans with index selection, and per-table statistics
-//! for the FDBS optimizer.
+//! deletes, predicate scans with index selection, per-table statistics for
+//! the FDBS optimizer, MVCC row-version chains for lock-free snapshot
+//! reads, and optional durability through a CRC-framed write-ahead log
+//! plus checkpoint snapshots (see [`wal`]).
 
 pub mod database;
 pub mod index;
 pub mod predicate;
 pub mod table;
+pub mod wal;
 
 pub use database::Database;
 pub use index::{Index, IndexKind};
 pub use predicate::{CmpOp, Predicate};
-pub use table::{RowId, StoredTable, TableStats};
+pub use table::{RowId, StoredTable, TableStats, UndoLog};
+pub use wal::{
+    crc32, Durability, FileSink, FileSnapshots, LogSink, MemorySink, MemorySnapshots, Replay,
+    SnapshotStore, Wal, WalRecord,
+};

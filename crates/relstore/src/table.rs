@@ -1,6 +1,23 @@
-//! Heap tables with slot-stable row ids and index maintenance.
+//! Heap tables with slot-stable row ids, index maintenance, and MVCC row
+//! versions.
+//!
+//! Every slot holds a *version chain* (oldest first). A mutation by
+//! statement `txn` closes the live version (`end = txn`) and/or pushes a new
+//! one (`begin = txn, end = ∞`); nothing is overwritten in place, so a
+//! reader pinned to epoch `e` reconstructs the exact post-statement-`e`
+//! state with [`fedwf_types::txn::version_visible`]. Most chains hold a
+//! single version — the copy-on-write cost is paid only by rows that were
+//! actually updated since the last checkpoint pruned dead versions.
+//!
+//! Statement atomicity is undo-based: each mutation appends an [`UndoLog`]
+//! entry, and [`StoredTable::abort`] replays the log backwards, restoring
+//! rows *and index entries* bit-identically — no more whole-table backup
+//! clones at the database layer.
 
-use fedwf_types::{FedError, FedResult, Ident, Row, SchemaRef, Table, Value};
+use fedwf_types::txn::version_visible;
+use fedwf_types::{
+    FedError, FedResult, Ident, Row, SchemaRef, Table, TxnId, Value, TXN_EPOCH_ZERO, TXN_INFINITY,
+};
 
 use crate::index::{Index, IndexKind};
 use crate::predicate::Predicate;
@@ -15,14 +32,99 @@ pub struct TableStats {
     pub index_count: usize,
 }
 
-/// A heap table: schema, row slots (tombstoned on delete) and its indexes.
+/// One version of a row: visible to epochs in `[begin, end)`.
+#[derive(Debug, Clone)]
+struct Version {
+    begin: TxnId,
+    end: TxnId,
+    row: Row,
+}
+
+impl Version {
+    fn live(begin: TxnId, row: Row) -> Version {
+        Version {
+            begin,
+            end: TXN_INFINITY,
+            row,
+        }
+    }
+
+    fn is_live(&self) -> bool {
+        self.end == TXN_INFINITY
+    }
+}
+
+/// One reversible step of a statement. Entries are appended as the
+/// statement mutates the table and popped (in reverse) by
+/// [`StoredTable::abort`].
+#[derive(Debug)]
+enum UndoEntry {
+    /// `insert` pushed a brand-new slot with one live version.
+    Insert { slot: usize },
+    /// `update_slot` closed the prior version and pushed a new one; the
+    /// updated column's index entries moved `old_key -> new_key`.
+    Update {
+        slot: usize,
+        column: usize,
+        old_key: Value,
+        new_key: Value,
+    },
+    /// `delete_slot` closed the live version and dropped its index entries.
+    Delete { slot: usize },
+}
+
+/// The undo side of one statement. Also the source the database derives its
+/// WAL redo records from: the entries list exactly what changed, in order.
+#[derive(Debug, Default)]
+pub struct UndoLog {
+    entries: Vec<UndoEntry>,
+}
+
+impl UndoLog {
+    pub fn new() -> UndoLog {
+        UndoLog::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// What one statement changed, for WAL redo derivation — a read-only
+/// projection of the undo log.
+#[derive(Debug, Clone)]
+pub(crate) enum ChangeKind {
+    Insert {
+        slot: RowId,
+    },
+    Update {
+        slot: RowId,
+        column: usize,
+        value: Value,
+    },
+    Delete {
+        slot: RowId,
+    },
+}
+
+/// A heap table: schema, versioned row slots and the indexes over the
+/// *live* versions (historic versions are found via sequential visibility
+/// scans; see [`StoredTable::scan_chunk_at`]).
 #[derive(Debug, Clone)]
 pub struct StoredTable {
     name: Ident,
     schema: SchemaRef,
-    slots: Vec<Option<Row>>,
+    slots: Vec<Vec<Version>>,
     live_rows: usize,
     indexes: Vec<Index>,
+    /// Transaction id of the latest mutation. Index probes are valid for a
+    /// pinned epoch only when `epoch >= last_mutation` (the indexes track
+    /// live versions, which then coincide with the epoch's visible set).
+    last_mutation: TxnId,
 }
 
 impl StoredTable {
@@ -33,6 +135,7 @@ impl StoredTable {
             slots: vec![],
             live_rows: 0,
             indexes: vec![],
+            last_mutation: TXN_EPOCH_ZERO,
         }
     }
 
@@ -51,6 +154,18 @@ impl StoredTable {
         }
     }
 
+    fn live_row(chain: &[Version]) -> Option<&Row> {
+        chain.last().filter(|v| v.is_live()).map(|v| &v.row)
+    }
+
+    fn row_at(chain: &[Version], epoch: TxnId) -> Option<&Row> {
+        chain
+            .iter()
+            .rev()
+            .find(|v| version_visible(v.begin, v.end, epoch))
+            .map(|v| &v.row)
+    }
+
     /// Create an index over an existing column, back-filling current rows.
     pub fn create_index(
         &mut self,
@@ -67,7 +182,15 @@ impl StoredTable {
                     self.name
                 ))
             })?;
-        let index_name = index_name.into();
+        self.build_index(index_name.into(), column, kind)
+    }
+
+    pub(crate) fn build_index(
+        &mut self,
+        index_name: String,
+        column: usize,
+        kind: IndexKind,
+    ) -> FedResult<()> {
         if self.indexes.iter().any(|i| i.name == index_name) {
             return Err(FedError::storage(format!(
                 "index {index_name} already exists on table {}",
@@ -75,8 +198,8 @@ impl StoredTable {
             )));
         }
         let mut index = Index::new(index_name, column, kind);
-        for (slot, row) in self.slots.iter().enumerate() {
-            if let Some(row) = row {
+        for (slot, chain) in self.slots.iter().enumerate() {
+            if let Some(row) = Self::live_row(chain) {
                 index.insert(&row.values()[column], slot as RowId)?;
             }
         }
@@ -84,9 +207,15 @@ impl StoredTable {
         Ok(())
     }
 
-    /// Insert a row; returns its row id. All indexes are maintained; a
-    /// unique violation rolls the insert back.
-    pub fn insert(&mut self, row: Row) -> FedResult<RowId> {
+    /// Remove an index again (undo of a failed `CREATE INDEX` statement).
+    pub(crate) fn drop_index(&mut self, index_name: &str) {
+        self.indexes.retain(|i| i.name != index_name);
+    }
+
+    /// Insert a row as statement `txn`; returns its row id. All indexes are
+    /// maintained; a unique violation rolls the insert back before
+    /// returning (nothing is appended to `undo` for a failed insert).
+    pub fn insert(&mut self, row: Row, txn: TxnId, undo: &mut UndoLog) -> FedResult<RowId> {
         self.schema.check_row(&row)?;
         let row_id = self.slots.len() as RowId;
         for (i, index) in self.indexes.iter_mut().enumerate() {
@@ -98,46 +227,150 @@ impl StoredTable {
                 return Err(e);
             }
         }
-        self.slots.push(Some(row));
+        self.slots.push(vec![Version::live(txn, row)]);
         self.live_rows += 1;
+        self.last_mutation = txn;
+        undo.entries.push(UndoEntry::Insert {
+            slot: row_id as usize,
+        });
         Ok(row_id)
     }
 
-    /// Fetch a row by id.
+    /// Fetch the live row by id.
     pub fn get(&self, row_id: RowId) -> Option<&Row> {
-        self.slots.get(row_id as usize)?.as_ref()
+        Self::live_row(self.slots.get(row_id as usize)?)
     }
 
-    /// Delete rows matching the predicate; returns how many were removed.
-    pub fn delete_where(&mut self, predicate: &Predicate) -> FedResult<usize> {
+    /// Fetch the row by id as of snapshot `epoch`.
+    pub fn get_at(&self, row_id: RowId, epoch: TxnId) -> Option<&Row> {
+        Self::row_at(self.slots.get(row_id as usize)?, epoch)
+    }
+
+    /// Close the live version of `slot` as deleted by `txn`.
+    pub(crate) fn delete_slot(
+        &mut self,
+        slot: usize,
+        txn: TxnId,
+        undo: &mut UndoLog,
+    ) -> FedResult<()> {
+        let chain = self.slots.get_mut(slot).ok_or_else(|| {
+            FedError::storage(format!("slot {slot} out of range in table {}", self.name))
+        })?;
+        let Some(live) = chain.last_mut().filter(|v| v.is_live()) else {
+            return Err(FedError::storage(format!(
+                "slot {slot} of table {} has no live row to delete",
+                self.name
+            )));
+        };
+        live.end = txn;
+        let row = live.row.clone();
+        for index in &mut self.indexes {
+            index.remove(&row.values()[index.column], slot as RowId);
+        }
+        self.live_rows -= 1;
+        self.last_mutation = txn;
+        undo.entries.push(UndoEntry::Delete { slot });
+        Ok(())
+    }
+
+    /// Delete rows matching the predicate as statement `txn`; returns how
+    /// many were removed.
+    pub fn delete_where(
+        &mut self,
+        predicate: &Predicate,
+        txn: TxnId,
+        undo: &mut UndoLog,
+    ) -> FedResult<usize> {
         predicate.validate(&self.schema)?;
+        let mark = undo.len();
         let mut deleted = 0;
         for slot in 0..self.slots.len() {
-            let matches = match &self.slots[slot] {
-                Some(row) => predicate.selects(row)?,
+            let matches = match Self::live_row(&self.slots[slot]) {
+                Some(row) => match predicate.selects(row) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        self.abort_to(undo, mark);
+                        return Err(e);
+                    }
+                },
                 None => false,
             };
             if matches {
-                let row = self.slots[slot].take().expect("checked above");
-                for index in &mut self.indexes {
-                    index.remove(&row.values()[index.column], slot as RowId);
-                }
-                self.live_rows -= 1;
+                self.delete_slot(slot, txn, undo)?;
                 deleted += 1;
             }
         }
         Ok(deleted)
     }
 
-    /// Update `column := value` on rows matching the predicate; returns the
-    /// number of updated rows. Unique violations abort mid-way with the
-    /// already-updated rows kept (statement-level atomicity is the
-    /// [`crate::database::Database`]'s job via its copy-on-write update).
+    /// Update one slot's `column` to `value` as statement `txn`, moving
+    /// index entries on that column. A unique violation restores the
+    /// touched index entries before returning, leaving the slot untouched.
+    pub(crate) fn update_slot(
+        &mut self,
+        slot: usize,
+        column: usize,
+        value: &Value,
+        txn: TxnId,
+        undo: &mut UndoLog,
+    ) -> FedResult<()> {
+        let chain = self.slots.get(slot).ok_or_else(|| {
+            FedError::storage(format!("slot {slot} out of range in table {}", self.name))
+        })?;
+        let Some(old_row) = Self::live_row(chain) else {
+            return Err(FedError::storage(format!(
+                "slot {slot} of table {} has no live row to update",
+                self.name
+            )));
+        };
+        let old_key = old_row.values()[column].clone();
+        let mut new_values = old_row.clone().into_values();
+        new_values[column] = value.clone();
+        let row_id = slot as RowId;
+        // Move index entries on the updated column; on a unique violation
+        // restore every entry this row already moved.
+        let affected: Vec<usize> = (0..self.indexes.len())
+            .filter(|&i| self.indexes[i].column == column)
+            .collect();
+        for (n, &i) in affected.iter().enumerate() {
+            self.indexes[i].remove(&old_key, row_id);
+            if let Err(e) = self.indexes[i].insert(value, row_id) {
+                self.indexes[i]
+                    .insert(&old_key, row_id)
+                    .expect("restoring a previously held key cannot violate uniqueness");
+                for &earlier in &affected[..n] {
+                    self.indexes[earlier].remove(value, row_id);
+                    self.indexes[earlier]
+                        .insert(&old_key, row_id)
+                        .expect("restoring a previously held key cannot violate uniqueness");
+                }
+                return Err(e);
+            }
+        }
+        let chain = &mut self.slots[slot];
+        chain.last_mut().expect("live row checked above").end = txn;
+        chain.push(Version::live(txn, Row::new(new_values)));
+        self.last_mutation = txn;
+        undo.entries.push(UndoEntry::Update {
+            slot,
+            column,
+            old_key,
+            new_key: value.clone(),
+        });
+        Ok(())
+    }
+
+    /// Update `column := value` on rows matching the predicate as statement
+    /// `txn`; returns the number of updated rows. The statement is atomic
+    /// at this level: an error mid-way undoes the rows already updated —
+    /// rows *and* index entries come back bit-identical.
     pub fn update_where(
         &mut self,
         predicate: &Predicate,
         column_name: &str,
         value: Value,
+        txn: TxnId,
+        undo: &mut UndoLog,
     ) -> FedResult<usize> {
         predicate.validate(&self.schema)?;
         let column = self
@@ -164,35 +397,121 @@ impl StoredTable {
                 col_meta.name
             )));
         }
+        let mark = undo.len();
         let mut updated = 0;
         for slot in 0..self.slots.len() {
-            let matches = match &self.slots[slot] {
-                Some(row) => predicate.selects(row)?,
-                None => false,
+            let matches = match Self::live_row(&self.slots[slot]) {
+                Some(row) => predicate.selects(row),
+                None => Ok(false),
             };
-            if !matches {
-                continue;
-            }
-            let row_id = slot as RowId;
-            let old = self.slots[slot].as_ref().expect("matched row exists");
-            let old_key = old.values()[column].clone();
-            // Maintain indexes on the updated column.
-            for index in &mut self.indexes {
-                if index.column == column {
-                    index.remove(&old_key, row_id);
-                    index.insert(&value, row_id)?;
+            let step = matches.and_then(|m| {
+                if m {
+                    self.update_slot(slot, column, &value, txn, undo)
+                        .map(|()| 1)
+                } else {
+                    Ok(0)
+                }
+            });
+            match step {
+                Ok(n) => updated += n,
+                Err(e) => {
+                    self.abort_to(undo, mark);
+                    return Err(e);
                 }
             }
-            let mut values = self.slots[slot].take().expect("matched").into_values();
-            values[column] = value.clone();
-            self.slots[slot] = Some(Row::new(values));
-            updated += 1;
         }
         Ok(updated)
     }
 
-    /// Scan rows matching the predicate, using an index when one covers an
-    /// equality conjunct. Returns a materialized [`Table`].
+    /// Undo everything the current statement logged: pop entries in reverse
+    /// until the log is back to length `mark`, restoring versions, slot
+    /// count and index entries exactly.
+    pub(crate) fn abort_to(&mut self, undo: &mut UndoLog, mark: usize) {
+        while undo.entries.len() > mark {
+            match undo.entries.pop().expect("len checked") {
+                UndoEntry::Insert { slot } => {
+                    let version = self.slots[slot].pop().expect("undone insert has a version");
+                    for index in &mut self.indexes {
+                        index.remove(&version.row.values()[index.column], slot as RowId);
+                    }
+                    // Inserts only ever append, and undo runs in reverse, so
+                    // the slot is the last one — popping it restores the
+                    // next insert's row id too.
+                    if self.slots[slot].is_empty() && slot + 1 == self.slots.len() {
+                        self.slots.pop();
+                    }
+                    self.live_rows -= 1;
+                }
+                UndoEntry::Update {
+                    slot,
+                    column,
+                    old_key,
+                    new_key,
+                } => {
+                    self.slots[slot].pop().expect("undone update has a version");
+                    self.slots[slot]
+                        .last_mut()
+                        .expect("undone update has a prior version")
+                        .end = TXN_INFINITY;
+                    for index in &mut self.indexes {
+                        if index.column == column {
+                            index.remove(&new_key, slot as RowId);
+                            index
+                                .insert(&old_key, slot as RowId)
+                                .expect("undo restores a previously valid key");
+                        }
+                    }
+                }
+                UndoEntry::Delete { slot } => {
+                    let version = self.slots[slot]
+                        .last_mut()
+                        .expect("undone delete has a version");
+                    version.end = TXN_INFINITY;
+                    let row = version.row.clone();
+                    for index in &mut self.indexes {
+                        index
+                            .insert(&row.values()[index.column], slot as RowId)
+                            .expect("undo restores a previously valid key");
+                    }
+                    self.live_rows += 1;
+                }
+            }
+        }
+    }
+
+    /// Undo the whole statement the log describes.
+    pub fn abort(&mut self, undo: &mut UndoLog) {
+        self.abort_to(undo, 0);
+    }
+
+    /// The changes a successful statement made, in order — the database
+    /// derives WAL redo records from these.
+    pub(crate) fn changes(&self, undo: &UndoLog) -> Vec<ChangeKind> {
+        undo.entries
+            .iter()
+            .map(|e| match e {
+                UndoEntry::Insert { slot } => ChangeKind::Insert {
+                    slot: *slot as RowId,
+                },
+                UndoEntry::Update {
+                    slot,
+                    column,
+                    new_key,
+                    ..
+                } => ChangeKind::Update {
+                    slot: *slot as RowId,
+                    column: *column,
+                    value: new_key.clone(),
+                },
+                UndoEntry::Delete { slot } => ChangeKind::Delete {
+                    slot: *slot as RowId,
+                },
+            })
+            .collect()
+    }
+
+    /// Scan live rows matching the predicate, using an index when one
+    /// covers an equality conjunct. Returns a materialized [`Table`].
     pub fn scan(&self, predicate: &Predicate) -> FedResult<Table> {
         self.scan_project(predicate, None)
     }
@@ -206,6 +525,19 @@ impl StoredTable {
         predicate: &Predicate,
         projection: Option<&[usize]>,
     ) -> FedResult<Table> {
+        self.scan_project_at(predicate, projection, TXN_INFINITY)
+    }
+
+    /// Snapshot scan: rows visible at `epoch` (pass [`TXN_INFINITY`] for
+    /// the live view). The index fast path applies only when the indexes —
+    /// which track live versions — are known to coincide with the epoch's
+    /// visible set; otherwise the scan walks version chains sequentially.
+    pub fn scan_project_at(
+        &self,
+        predicate: &Predicate,
+        projection: Option<&[usize]>,
+        epoch: TxnId,
+    ) -> FedResult<Table> {
         predicate.validate(&self.schema)?;
         let out_schema = self.projected_schema(projection)?;
         let mut out = Table::new(out_schema);
@@ -213,7 +545,7 @@ impl StoredTable {
             Some(proj) => row.project(proj),
             None => row.clone(),
         };
-        match self.pick_index(predicate) {
+        match self.pick_index_at(predicate, epoch) {
             Some((index, key)) => {
                 for row_id in index.lookup(key) {
                     if let Some(row) = self.get(row_id) {
@@ -224,9 +556,11 @@ impl StoredTable {
                 }
             }
             None => {
-                for row in self.slots.iter().flatten() {
-                    if predicate.selects(row)? {
-                        out.push_unchecked(emit(row));
+                for chain in &self.slots {
+                    if let Some(row) = self.version_at(chain, epoch) {
+                        if predicate.selects(row)? {
+                            out.push_unchecked(emit(row));
+                        }
                     }
                 }
             }
@@ -234,11 +568,20 @@ impl StoredTable {
         Ok(out)
     }
 
-    /// Scan one bounded chunk of matching rows, resuming at `start_slot`.
-    /// Returns the (projected) rows plus the slot to resume from, or `None`
-    /// when the table is exhausted — the pull-based cursor behind the
-    /// streaming executor. An index-served predicate is answered entirely in
-    /// the first chunk (index result sets are already small and bounded).
+    /// Row of `chain` visible at `epoch`; the live row when `epoch` is
+    /// [`TXN_INFINITY`] (a live uncommitted version has `begin <= epoch`
+    /// trivially, which is correct because the writer holding the lock is
+    /// the only one who can observe it).
+    fn version_at<'a>(&self, chain: &'a [Version], epoch: TxnId) -> Option<&'a Row> {
+        if epoch == TXN_INFINITY {
+            Self::live_row(chain)
+        } else {
+            Self::row_at(chain, epoch)
+        }
+    }
+
+    /// Scan one bounded chunk of matching live rows, resuming at
+    /// `start_slot` — see [`StoredTable::scan_chunk_at`].
     pub fn scan_chunk(
         &self,
         predicate: &Predicate,
@@ -246,13 +589,32 @@ impl StoredTable {
         start_slot: RowId,
         max_rows: usize,
     ) -> FedResult<(Vec<Row>, Option<RowId>)> {
+        self.scan_chunk_at(predicate, projection, start_slot, max_rows, TXN_INFINITY)
+    }
+
+    /// Scan one bounded chunk of rows visible at `epoch`, resuming at
+    /// `start_slot`. Returns the (projected) rows plus the slot to resume
+    /// from, or `None` when the table is exhausted — the pull-based cursor
+    /// behind the streaming executor. Because the epoch is pinned by the
+    /// caller, a multi-chunk scan sees one consistent snapshot even when
+    /// statements commit between pulls. An index-served predicate is
+    /// answered entirely in the first chunk (index result sets are already
+    /// small and bounded).
+    pub fn scan_chunk_at(
+        &self,
+        predicate: &Predicate,
+        projection: Option<&[usize]>,
+        start_slot: RowId,
+        max_rows: usize,
+        epoch: TxnId,
+    ) -> FedResult<(Vec<Row>, Option<RowId>)> {
         predicate.validate(&self.schema)?;
         self.projected_schema(projection)?;
         let emit = |row: &Row| match projection {
             Some(proj) => row.project(proj),
             None => row.clone(),
         };
-        if let Some((index, key)) = self.pick_index(predicate) {
+        if let Some((index, key)) = self.pick_index_at(predicate, epoch) {
             if start_slot > 0 {
                 return Ok((vec![], None));
             }
@@ -269,7 +631,7 @@ impl StoredTable {
         let mut rows = Vec::new();
         let mut slot = start_slot as usize;
         while slot < self.slots.len() && rows.len() < max_rows {
-            if let Some(row) = &self.slots[slot] {
+            if let Some(row) = self.version_at(&self.slots[slot], epoch) {
                 if predicate.selects(row)? {
                     rows.push(emit(row));
                 }
@@ -300,13 +662,15 @@ impl StoredTable {
         }
     }
 
-    /// How many rows the predicate selects (without materializing).
+    /// How many live rows the predicate selects (without materializing).
     pub fn count_where(&self, predicate: &Predicate) -> FedResult<usize> {
         predicate.validate(&self.schema)?;
         let mut n = 0;
-        for row in self.slots.iter().flatten() {
-            if predicate.selects(row)? {
-                n += 1;
+        for chain in &self.slots {
+            if let Some(row) = Self::live_row(chain) {
+                if predicate.selects(row)? {
+                    n += 1;
+                }
             }
         }
         Ok(n)
@@ -314,10 +678,20 @@ impl StoredTable {
 
     /// Whether a scan of `predicate` would be served by an index.
     pub fn index_serves(&self, predicate: &Predicate) -> bool {
-        self.pick_index(predicate).is_some()
+        self.pick_index_at(predicate, TXN_INFINITY).is_some()
     }
 
-    fn pick_index<'a>(&'a self, predicate: &'a Predicate) -> Option<(&'a Index, &'a Value)> {
+    /// Index usable for this predicate at this epoch: the indexes cover
+    /// live versions only, so a pinned epoch must be no older than the last
+    /// mutation for the probe to be complete.
+    fn pick_index_at<'a>(
+        &'a self,
+        predicate: &'a Predicate,
+        epoch: TxnId,
+    ) -> Option<(&'a Index, &'a Value)> {
+        if epoch < self.last_mutation {
+            return None;
+        }
         let (column, key) = predicate.equality_binding()?;
         let index = self.indexes.iter().find(|i| i.column == column)?;
         Some((index, key))
@@ -328,7 +702,78 @@ impl StoredTable {
         self.slots
             .iter()
             .enumerate()
-            .filter_map(|(slot, row)| row.as_ref().map(|r| (slot as RowId, r)))
+            .filter_map(|(slot, chain)| Self::live_row(chain).map(|r| (slot as RowId, r)))
+    }
+
+    // -- checkpoint / recovery support -------------------------------------
+
+    /// Total slot count including tombstoned slots — snapshots must record
+    /// it so recovered inserts keep allocating the same row ids.
+    pub(crate) fn slot_count(&self) -> u64 {
+        self.slots.len() as u64
+    }
+
+    /// Index definitions, for snapshot encoding.
+    pub(crate) fn index_defs(&self) -> Vec<(String, usize, IndexKind)> {
+        self.indexes
+            .iter()
+            .map(|i| (i.name.clone(), i.column, i.kind))
+            .collect()
+    }
+
+    /// Rebuild a table from checkpoint state: live rows at their original
+    /// slots (version chains collapse to a single epoch-zero version) and
+    /// back-filled indexes.
+    pub(crate) fn from_snapshot(
+        name: Ident,
+        schema: SchemaRef,
+        slot_count: u64,
+        rows: Vec<(RowId, Row)>,
+        indexes: Vec<(String, usize, IndexKind)>,
+    ) -> FedResult<StoredTable> {
+        let mut slots: Vec<Vec<Version>> = vec![Vec::new(); slot_count as usize];
+        let mut live_rows = 0;
+        for (slot, row) in rows {
+            let chain = slots.get_mut(slot as usize).ok_or_else(|| {
+                FedError::recovery(format!(
+                    "snapshot row slot {slot} out of range for table {name} ({slot_count} slots)"
+                ))
+            })?;
+            if !chain.is_empty() {
+                return Err(FedError::recovery(format!(
+                    "snapshot holds two rows for slot {slot} of table {name}"
+                )));
+            }
+            schema.check_row(&row)?;
+            chain.push(Version::live(TXN_EPOCH_ZERO, row));
+            live_rows += 1;
+        }
+        let mut t = StoredTable {
+            name,
+            schema,
+            slots,
+            live_rows,
+            indexes: vec![],
+            last_mutation: TXN_EPOCH_ZERO,
+        };
+        for (index_name, column, kind) in indexes {
+            t.build_index(index_name, column, kind)?;
+        }
+        Ok(t)
+    }
+
+    /// Drop versions no reader can need anymore: every chain collapses to
+    /// its live version (or empties, for deleted rows). Called under the
+    /// database write lock at checkpoint time; epoch-pinned cursors opened
+    /// *before* the checkpoint must not be resumed across it.
+    pub(crate) fn prune_versions(&mut self) {
+        for chain in &mut self.slots {
+            if chain.len() > 1 || chain.last().is_some_and(|v| !v.is_live()) {
+                let live = chain.pop().filter(Version::is_live);
+                chain.clear();
+                chain.extend(live);
+            }
+        }
     }
 }
 
@@ -337,6 +782,11 @@ mod tests {
     use super::*;
     use fedwf_types::{DataType, Schema};
     use std::sync::Arc;
+
+    /// Insert committing immediately, for tests that don't exercise undo.
+    fn ins(t: &mut StoredTable, txn: TxnId, row: Row) -> FedResult<RowId> {
+        t.insert(row, txn, &mut UndoLog::new())
+    }
 
     fn suppliers() -> StoredTable {
         let schema = Arc::new(Schema::of(&[
@@ -349,12 +799,15 @@ mod tests {
             .unwrap();
         t.create_index("by_name", "Name", IndexKind::NonUnique)
             .unwrap();
-        for (no, name, rel) in [(1, "Acme", 80), (2, "Bolt", 95), (3, "Cog", 70)] {
-            t.insert(Row::new(vec![
-                Value::Int(no),
-                Value::str(name),
-                Value::Int(rel),
-            ]))
+        for (txn, (no, name, rel)) in [(1, "Acme", 80), (2, "Bolt", 95), (3, "Cog", 70)]
+            .into_iter()
+            .enumerate()
+        {
+            ins(
+                &mut t,
+                txn as TxnId + 1,
+                Row::new(vec![Value::Int(no), Value::str(name), Value::Int(rel)]),
+            )
             .unwrap();
         }
         t
@@ -372,13 +825,12 @@ mod tests {
     #[test]
     fn unique_index_enforced_with_rollback() {
         let mut t = suppliers();
-        let err = t
-            .insert(Row::new(vec![
-                Value::Int(1),
-                Value::str("Dup"),
-                Value::Int(1),
-            ]))
-            .unwrap_err();
+        let err = ins(
+            &mut t,
+            4,
+            Row::new(vec![Value::Int(1), Value::str("Dup"), Value::Int(1)]),
+        )
+        .unwrap_err();
         assert!(err.to_string().contains("unique"));
         // The failed insert must not leave residue in the name index.
         let found = t.scan(&Predicate::eq(1, "Dup")).unwrap();
@@ -408,7 +860,9 @@ mod tests {
     #[test]
     fn delete_maintains_indexes_and_count() {
         let mut t = suppliers();
-        let n = t.delete_where(&Predicate::eq(1, "Bolt")).unwrap();
+        let n = t
+            .delete_where(&Predicate::eq(1, "Bolt"), 4, &mut UndoLog::new())
+            .unwrap();
         assert_eq!(n, 1);
         assert_eq!(t.stats().row_count, 2);
         assert_eq!(t.scan(&Predicate::eq(0, 2)).unwrap().row_count(), 0);
@@ -420,7 +874,13 @@ mod tests {
     fn update_moves_index_entries() {
         let mut t = suppliers();
         let n = t
-            .update_where(&Predicate::eq(0, 3), "Name", Value::str("Cogs Inc"))
+            .update_where(
+                &Predicate::eq(0, 3),
+                "Name",
+                Value::str("Cogs Inc"),
+                4,
+                &mut UndoLog::new(),
+            )
             .unwrap();
         assert_eq!(n, 1);
         assert_eq!(t.scan(&Predicate::eq(1, "Cog")).unwrap().row_count(), 0);
@@ -434,8 +894,41 @@ mod tests {
     fn update_type_mismatch_rejected() {
         let mut t = suppliers();
         assert!(t
-            .update_where(&Predicate::True, "Reliability", Value::str("high"))
+            .update_where(
+                &Predicate::True,
+                "Reliability",
+                Value::str("high"),
+                4,
+                &mut UndoLog::new()
+            )
             .is_err());
+    }
+
+    #[test]
+    fn failed_multi_row_update_restores_rows_and_indexes() {
+        let mut t = suppliers();
+        // Setting every Name to "Bolt" dies on the unique pk? No — Name is
+        // non-unique. Provoke the failure on the unique pk instead.
+        let err = t
+            .update_where(
+                &Predicate::True,
+                "SupplierNo",
+                Value::Int(7),
+                4,
+                &mut UndoLog::new(),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("unique"));
+        // Rows are back exactly.
+        let all = t.scan(&Predicate::True).unwrap();
+        let keys: Vec<_> = all.rows().iter().map(|r| r.values()[0].clone()).collect();
+        assert_eq!(keys, vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+        // The index is back exactly too: probing the aborted key finds
+        // nothing, probing the original keys finds each row.
+        assert_eq!(t.scan(&Predicate::eq(0, 7)).unwrap().row_count(), 0);
+        for k in 1..=3 {
+            assert_eq!(t.scan(&Predicate::eq(0, k)).unwrap().row_count(), 1);
+        }
     }
 
     #[test]
@@ -502,9 +995,103 @@ mod tests {
     fn backfilled_index_sees_existing_rows() {
         let schema = Arc::new(Schema::of(&[("a", DataType::Int)]));
         let mut t = StoredTable::new("T", schema);
-        t.insert(Row::new(vec![Value::Int(9)])).unwrap();
+        ins(&mut t, 1, Row::new(vec![Value::Int(9)])).unwrap();
         t.create_index("late", "a", IndexKind::Unique).unwrap();
         assert!(t.index_serves(&Predicate::eq(0, 9)));
         assert_eq!(t.scan(&Predicate::eq(0, 9)).unwrap().row_count(), 1);
+    }
+
+    #[test]
+    fn pinned_epoch_sees_pre_update_state() {
+        let mut t = suppliers();
+        let epoch = 3; // after the three inserts
+        t.update_where(
+            &Predicate::True,
+            "Reliability",
+            Value::Int(0),
+            4,
+            &mut UndoLog::new(),
+        )
+        .unwrap();
+        // Live view: all zero.
+        let live = t.scan(&Predicate::eq(2, 0)).unwrap();
+        assert_eq!(live.row_count(), 3);
+        // Pinned epoch 3: the old reliabilities, via the version chains.
+        let old = t
+            .scan_project_at(&Predicate::eq(2, 0), None, epoch)
+            .unwrap();
+        assert_eq!(old.row_count(), 0);
+        let acme = t
+            .scan_project_at(&Predicate::eq(0, 1), None, epoch)
+            .unwrap();
+        assert_eq!(acme.value(0, "Reliability"), Some(&Value::Int(80)));
+    }
+
+    #[test]
+    fn pinned_epoch_resurrects_deleted_rows() {
+        let mut t = suppliers();
+        t.delete_where(&Predicate::True, 4, &mut UndoLog::new())
+            .unwrap();
+        assert_eq!(t.scan(&Predicate::True).unwrap().row_count(), 0);
+        let before = t.scan_project_at(&Predicate::True, None, 3).unwrap();
+        assert_eq!(before.row_count(), 3);
+        // And an epoch before any insert sees nothing.
+        let empty = t.scan_project_at(&Predicate::True, None, 0).unwrap();
+        assert_eq!(empty.row_count(), 0);
+    }
+
+    #[test]
+    fn abort_restores_inserts_and_row_ids() {
+        let mut t = suppliers();
+        let mut undo = UndoLog::new();
+        ins(
+            &mut t,
+            4,
+            Row::new(vec![Value::Int(9), Value::str("X"), Value::Int(1)]),
+        )
+        .ok();
+        let before = t.slot_count();
+        t.insert(
+            Row::new(vec![Value::Int(10), Value::str("Y"), Value::Int(1)]),
+            5,
+            &mut undo,
+        )
+        .unwrap();
+        t.abort(&mut undo);
+        assert_eq!(t.slot_count(), before, "aborted insert frees its slot");
+        assert_eq!(t.scan(&Predicate::eq(0, 10)).unwrap().row_count(), 0);
+        // The freed row id is reused by the next insert.
+        let id = ins(
+            &mut t,
+            6,
+            Row::new(vec![Value::Int(11), Value::str("Z"), Value::Int(1)]),
+        )
+        .unwrap();
+        assert_eq!(id, before);
+    }
+
+    #[test]
+    fn prune_collapses_chains_but_keeps_live_state() {
+        let mut t = suppliers();
+        t.update_where(
+            &Predicate::True,
+            "Reliability",
+            Value::Int(1),
+            4,
+            &mut UndoLog::new(),
+        )
+        .unwrap();
+        t.delete_where(&Predicate::eq(0, 2), 5, &mut UndoLog::new())
+            .unwrap();
+        t.prune_versions();
+        assert_eq!(t.scan(&Predicate::True).unwrap().row_count(), 2);
+        assert_eq!(t.stats().row_count, 2);
+        // Historic epochs are gone after pruning.
+        assert_eq!(
+            t.scan_project_at(&Predicate::True, None, 3)
+                .unwrap()
+                .row_count(),
+            0
+        );
     }
 }

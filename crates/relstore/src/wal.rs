@@ -1,0 +1,848 @@
+//! Write-ahead logging and snapshot persistence for [`crate::Database`].
+//!
+//! The log is a flat sequence of *frames*, each `[len: u32 LE][crc32: u32
+//! LE][payload]` with the CRC taken over the payload. One committed
+//! statement is a run of redo records followed by a `Commit` record
+//! carrying the statement's transaction id; the whole run is appended with
+//! a single [`LogSink::append`] call. Replay tolerates a torn tail: it
+//! stops at the first short or checksum-failing frame and discards any
+//! buffered records that never reached their commit marker, so a crash
+//! mid-append can only lose the statement that was being written.
+//!
+//! Persistence is pluggable behind [`LogSink`] / [`SnapshotStore`] so tests
+//! (and the 1-core CI) can run against shared in-memory buffers and
+//! "crash" by dropping the `Database` while keeping the sink.
+
+use std::fmt::Debug;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
+
+use fedwf_types::sync::Mutex;
+use fedwf_types::{Column, DataType, FedError, FedResult, Schema, TxnId, Value};
+
+use crate::index::IndexKind;
+use crate::table::RowId;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3 polynomial) — table-driven, no external crates.
+// ---------------------------------------------------------------------------
+
+fn crc32_table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        table
+    })
+}
+
+/// CRC-32 checksum of `bytes` (IEEE polynomial, as used by zip/png).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Byte codec shared by WAL records and checkpoint snapshots.
+// ---------------------------------------------------------------------------
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+pub(crate) fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Int(i) => {
+            out.push(1);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::BigInt(i) => {
+            out.push(2);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Double(d) => {
+            out.push(3);
+            out.extend_from_slice(&d.to_bits().to_le_bytes());
+        }
+        Value::Varchar(s) => {
+            out.push(4);
+            put_str(out, s);
+        }
+        Value::Boolean(b) => {
+            out.push(5);
+            out.push(*b as u8);
+        }
+    }
+}
+
+fn data_type_tag(dt: DataType) -> u8 {
+    match dt {
+        DataType::Int => 0,
+        DataType::BigInt => 1,
+        DataType::Double => 2,
+        DataType::Varchar => 3,
+        DataType::Boolean => 4,
+    }
+}
+
+fn data_type_from_tag(tag: u8) -> FedResult<DataType> {
+    Ok(match tag {
+        0 => DataType::Int,
+        1 => DataType::BigInt,
+        2 => DataType::Double,
+        3 => DataType::Varchar,
+        4 => DataType::Boolean,
+        other => return Err(FedError::recovery(format!("unknown data-type tag {other}"))),
+    })
+}
+
+pub(crate) fn put_schema(out: &mut Vec<u8>, schema: &Schema) {
+    put_u32(out, schema.len() as u32);
+    for c in schema.columns() {
+        put_str(out, c.name.as_str());
+        out.push(data_type_tag(c.data_type));
+        out.push(c.nullable as u8);
+    }
+}
+
+/// A bounds-checked little-endian reader over a byte slice.
+pub(crate) struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { bytes, pos: 0 }
+    }
+
+    pub(crate) fn is_exhausted(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn take(&mut self, n: usize) -> FedResult<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let s = &self.bytes[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(FedError::recovery(format!(
+                "truncated record: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.bytes.len() - self.pos
+            ))),
+        }
+    }
+
+    pub(crate) fn take_u8(&mut self) -> FedResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn take_u32(&mut self) -> FedResult<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    pub(crate) fn take_u64(&mut self) -> FedResult<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    pub(crate) fn take_str(&mut self) -> FedResult<String> {
+        let len = self.take_u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| FedError::recovery("string payload is not valid UTF-8"))
+    }
+
+    pub(crate) fn take_value(&mut self) -> FedResult<Value> {
+        Ok(match self.take_u8()? {
+            0 => Value::Null,
+            1 => Value::Int(i32::from_le_bytes(self.take(4)?.try_into().expect("4"))),
+            2 => Value::BigInt(i64::from_le_bytes(self.take(8)?.try_into().expect("8"))),
+            3 => Value::Double(f64::from_bits(self.take_u64()?)),
+            4 => Value::str(self.take_str()?),
+            5 => Value::Boolean(self.take_u8()? != 0),
+            other => return Err(FedError::recovery(format!("unknown value tag {other}"))),
+        })
+    }
+
+    pub(crate) fn take_schema(&mut self) -> FedResult<Schema> {
+        let n = self.take_u32()? as usize;
+        let mut columns = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = self.take_str()?;
+            let dt = data_type_from_tag(self.take_u8()?)?;
+            let nullable = self.take_u8()? != 0;
+            let mut c = Column::new(name, dt);
+            if !nullable {
+                c = c.not_null();
+            }
+            columns.push(c);
+        }
+        Ok(Schema::new(columns))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Redo records.
+// ---------------------------------------------------------------------------
+
+/// One physical redo record. A statement is a run of these followed by a
+/// [`WalRecord::Commit`] marker; replay applies a statement only once its
+/// marker has been read intact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    CreateTable {
+        table: String,
+        schema: Schema,
+    },
+    DropTable {
+        table: String,
+    },
+    CreateIndex {
+        table: String,
+        index: String,
+        column: String,
+        unique: bool,
+    },
+    /// Row inserted; replay re-inserts it, which reallocates the same slot
+    /// because aborted statements fully undo their slot allocations.
+    Insert {
+        table: String,
+        row: Vec<Value>,
+    },
+    /// Single-column update of the row in `slot`.
+    Update {
+        table: String,
+        slot: RowId,
+        column: u32,
+        value: Value,
+    },
+    Delete {
+        table: String,
+        slot: RowId,
+    },
+    /// Commit marker: everything since the previous marker belongs to `txn`.
+    Commit {
+        txn: TxnId,
+    },
+}
+
+const TAG_CREATE_TABLE: u8 = 1;
+const TAG_DROP_TABLE: u8 = 2;
+const TAG_CREATE_INDEX: u8 = 3;
+const TAG_INSERT: u8 = 4;
+const TAG_UPDATE: u8 = 5;
+const TAG_DELETE: u8 = 6;
+const TAG_COMMIT: u8 = 7;
+
+impl WalRecord {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            WalRecord::CreateTable { table, schema } => {
+                out.push(TAG_CREATE_TABLE);
+                put_str(out, table);
+                put_schema(out, schema);
+            }
+            WalRecord::DropTable { table } => {
+                out.push(TAG_DROP_TABLE);
+                put_str(out, table);
+            }
+            WalRecord::CreateIndex {
+                table,
+                index,
+                column,
+                unique,
+            } => {
+                out.push(TAG_CREATE_INDEX);
+                put_str(out, table);
+                put_str(out, index);
+                put_str(out, column);
+                out.push(*unique as u8);
+            }
+            WalRecord::Insert { table, row } => {
+                out.push(TAG_INSERT);
+                put_str(out, table);
+                put_u32(out, row.len() as u32);
+                for v in row {
+                    put_value(out, v);
+                }
+            }
+            WalRecord::Update {
+                table,
+                slot,
+                column,
+                value,
+            } => {
+                out.push(TAG_UPDATE);
+                put_str(out, table);
+                put_u64(out, *slot);
+                put_u32(out, *column);
+                put_value(out, value);
+            }
+            WalRecord::Delete { table, slot } => {
+                out.push(TAG_DELETE);
+                put_str(out, table);
+                put_u64(out, *slot);
+            }
+            WalRecord::Commit { txn } => {
+                out.push(TAG_COMMIT);
+                put_u64(out, *txn);
+            }
+        }
+    }
+
+    fn decode(payload: &[u8]) -> FedResult<WalRecord> {
+        let mut r = ByteReader::new(payload);
+        let rec = match r.take_u8()? {
+            TAG_CREATE_TABLE => WalRecord::CreateTable {
+                table: r.take_str()?,
+                schema: r.take_schema()?,
+            },
+            TAG_DROP_TABLE => WalRecord::DropTable {
+                table: r.take_str()?,
+            },
+            TAG_CREATE_INDEX => WalRecord::CreateIndex {
+                table: r.take_str()?,
+                index: r.take_str()?,
+                column: r.take_str()?,
+                unique: r.take_u8()? != 0,
+            },
+            TAG_INSERT => {
+                let table = r.take_str()?;
+                let n = r.take_u32()? as usize;
+                let mut row = Vec::with_capacity(n);
+                for _ in 0..n {
+                    row.push(r.take_value()?);
+                }
+                WalRecord::Insert { table, row }
+            }
+            TAG_UPDATE => WalRecord::Update {
+                table: r.take_str()?,
+                slot: r.take_u64()?,
+                column: r.take_u32()?,
+                value: r.take_value()?,
+            },
+            TAG_DELETE => WalRecord::Delete {
+                table: r.take_str()?,
+                slot: r.take_u64()?,
+            },
+            TAG_COMMIT => WalRecord::Commit { txn: r.take_u64()? },
+            other => {
+                return Err(FedError::recovery(format!(
+                    "unknown WAL record tag {other}"
+                )))
+            }
+        };
+        if !r.is_exhausted() {
+            return Err(FedError::recovery("trailing bytes after WAL record"));
+        }
+        Ok(rec)
+    }
+}
+
+/// Convert an [`IndexKind`] to the `unique` flag a `CreateIndex` record carries.
+pub(crate) fn index_kind_unique(kind: IndexKind) -> bool {
+    kind == IndexKind::Unique
+}
+
+pub(crate) fn index_kind_from_unique(unique: bool) -> IndexKind {
+    if unique {
+        IndexKind::Unique
+    } else {
+        IndexKind::NonUnique
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pluggable persistence.
+// ---------------------------------------------------------------------------
+
+/// Append-only destination of WAL frames. `append` must be atomic with
+/// respect to other appends (the database serializes writers, so in
+/// practice only truncation races matter) and durable once it returns.
+pub trait LogSink: Send + Sync + Debug {
+    fn append(&self, bytes: &[u8]) -> FedResult<()>;
+    /// The full current contents of the log.
+    fn read_all(&self) -> FedResult<Vec<u8>>;
+    /// Cut the log down to its first `len` bytes (drop a torn tail, or
+    /// everything after a checkpoint with `len == 0`).
+    fn truncate_to(&self, len: u64) -> FedResult<()>;
+}
+
+/// Durable storage slot for checkpoint snapshots: at most one snapshot,
+/// replaced atomically.
+pub trait SnapshotStore: Send + Sync + Debug {
+    fn load(&self) -> FedResult<Option<Vec<u8>>>;
+    fn store(&self, bytes: &[u8]) -> FedResult<()>;
+}
+
+fn io_err(what: &str, path: &Path, e: std::io::Error) -> FedError {
+    FedError::storage(format!("{what} {}: {e}", path.display()))
+}
+
+/// File-backed log sink: appends with `O_APPEND` semantics and fsyncs each
+/// append, so a committed statement survives process death.
+#[derive(Debug)]
+pub struct FileSink {
+    path: PathBuf,
+    file: Mutex<File>,
+}
+
+impl FileSink {
+    pub fn open(path: impl Into<PathBuf>) -> FedResult<FileSink> {
+        let path = path.into();
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(&path)
+            .map_err(|e| io_err("opening WAL file", &path, e))?;
+        Ok(FileSink {
+            path,
+            file: Mutex::new(file),
+        })
+    }
+}
+
+impl LogSink for FileSink {
+    fn append(&self, bytes: &[u8]) -> FedResult<()> {
+        let mut file = self.file.lock();
+        file.write_all(bytes)
+            .and_then(|()| file.sync_data())
+            .map_err(|e| io_err("appending to WAL file", &self.path, e))
+    }
+
+    fn read_all(&self) -> FedResult<Vec<u8>> {
+        let _guard = self.file.lock();
+        std::fs::read(&self.path).map_err(|e| io_err("reading WAL file", &self.path, e))
+    }
+
+    fn truncate_to(&self, len: u64) -> FedResult<()> {
+        let file = self.file.lock();
+        file.set_len(len)
+            .and_then(|()| file.sync_data())
+            .map_err(|e| io_err("truncating WAL file", &self.path, e))
+    }
+}
+
+/// In-memory log sink. Shared via `Arc`, it survives the `Database` that
+/// writes it — tests "crash" by dropping the database and reopening with
+/// the same sink, optionally tearing bytes off the tail first.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    buf: Mutex<Vec<u8>>,
+}
+
+impl MemorySink {
+    pub fn new() -> Arc<MemorySink> {
+        Arc::new(MemorySink::default())
+    }
+
+    /// Current log length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Simulate a torn write: drop the last `n` bytes (saturating).
+    pub fn tear_tail(&self, n: usize) {
+        let mut buf = self.buf.lock();
+        let keep = buf.len().saturating_sub(n);
+        buf.truncate(keep);
+    }
+
+    /// Simulate media corruption: flip one byte at `offset` if it exists.
+    pub fn corrupt_byte(&self, offset: usize) {
+        let mut buf = self.buf.lock();
+        if let Some(b) = buf.get_mut(offset) {
+            *b ^= 0xFF;
+        }
+    }
+}
+
+impl LogSink for MemorySink {
+    fn append(&self, bytes: &[u8]) -> FedResult<()> {
+        self.buf.lock().extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn read_all(&self) -> FedResult<Vec<u8>> {
+        Ok(self.buf.lock().clone())
+    }
+
+    fn truncate_to(&self, len: u64) -> FedResult<()> {
+        let mut buf = self.buf.lock();
+        let keep = (len as usize).min(buf.len());
+        buf.truncate(keep);
+        Ok(())
+    }
+}
+
+/// File-backed snapshot store: writes to a sibling temp file, fsyncs, then
+/// renames over the snapshot — readers see the old or the new snapshot,
+/// never a half-written one.
+#[derive(Debug)]
+pub struct FileSnapshots {
+    path: PathBuf,
+}
+
+impl FileSnapshots {
+    pub fn new(path: impl Into<PathBuf>) -> FileSnapshots {
+        FileSnapshots { path: path.into() }
+    }
+}
+
+impl SnapshotStore for FileSnapshots {
+    fn load(&self) -> FedResult<Option<Vec<u8>>> {
+        match std::fs::read(&self.path) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(io_err("reading snapshot file", &self.path, e)),
+        }
+    }
+
+    fn store(&self, bytes: &[u8]) -> FedResult<()> {
+        let tmp = self.path.with_extension("tmp");
+        let mut f =
+            File::create(&tmp).map_err(|e| io_err("creating snapshot temp file", &tmp, e))?;
+        f.write_all(bytes)
+            .and_then(|()| f.sync_all())
+            .map_err(|e| io_err("writing snapshot temp file", &tmp, e))?;
+        drop(f);
+        std::fs::rename(&tmp, &self.path)
+            .map_err(|e| io_err("installing snapshot file", &self.path, e))
+    }
+}
+
+/// In-memory snapshot store, `Arc`-shared like [`MemorySink`].
+#[derive(Debug, Default)]
+pub struct MemorySnapshots {
+    snap: Mutex<Option<Vec<u8>>>,
+}
+
+impl MemorySnapshots {
+    pub fn new() -> Arc<MemorySnapshots> {
+        Arc::new(MemorySnapshots::default())
+    }
+}
+
+impl SnapshotStore for MemorySnapshots {
+    fn load(&self) -> FedResult<Option<Vec<u8>>> {
+        Ok(self.snap.lock().clone())
+    }
+
+    fn store(&self, bytes: &[u8]) -> FedResult<()> {
+        *self.snap.lock() = Some(bytes.to_vec());
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The log itself.
+// ---------------------------------------------------------------------------
+
+/// What a replay recovered from the log.
+#[derive(Debug)]
+pub struct Replay {
+    /// Committed statements in commit order.
+    pub statements: Vec<(TxnId, Vec<WalRecord>)>,
+    /// Byte length of the log prefix covering those statements. Anything
+    /// past it is a torn or uncommitted tail the caller should truncate
+    /// before appending again.
+    pub committed_len: u64,
+    /// Whether bytes past `committed_len` were present and discarded.
+    pub discarded_tail: bool,
+}
+
+/// The write-ahead log: framing and commit-marker discipline over a
+/// [`LogSink`].
+#[derive(Debug)]
+pub struct Wal {
+    sink: Arc<dyn LogSink>,
+}
+
+impl Wal {
+    pub fn new(sink: Arc<dyn LogSink>) -> Wal {
+        Wal { sink }
+    }
+
+    fn frame(out: &mut Vec<u8>, record: &WalRecord) {
+        let mut payload = Vec::with_capacity(32);
+        record.encode(&mut payload);
+        put_u32(out, payload.len() as u32);
+        put_u32(out, crc32(&payload));
+        out.extend_from_slice(&payload);
+    }
+
+    /// Append one committed statement: its redo records plus the trailing
+    /// commit marker, in a single sink append.
+    pub fn append_statement(&self, txn: TxnId, records: &[WalRecord]) -> FedResult<()> {
+        let mut out = Vec::with_capacity(64 * (records.len() + 1));
+        for r in records {
+            Self::frame(&mut out, r);
+        }
+        Self::frame(&mut out, &WalRecord::Commit { txn });
+        self.sink.append(&out)
+    }
+
+    /// Read the log back, yielding only statements whose commit marker is
+    /// intact. A short or checksum-failing frame ends the replay (torn
+    /// tail); records after the last commit marker are discarded.
+    pub fn replay(&self) -> FedResult<Replay> {
+        let bytes = self.sink.read_all()?;
+        let mut statements = Vec::new();
+        let mut pending: Vec<WalRecord> = Vec::new();
+        let mut pos = 0usize;
+        let mut committed_len = 0u64;
+        while let Some(frame_end) = frame_bounds(&bytes, pos) {
+            let payload = &bytes[pos + 8..frame_end];
+            let Ok(record) = WalRecord::decode(payload) else {
+                break;
+            };
+            pos = frame_end;
+            if let WalRecord::Commit { txn } = record {
+                statements.push((txn, std::mem::take(&mut pending)));
+                committed_len = pos as u64;
+            } else {
+                pending.push(record);
+            }
+        }
+        let discarded_tail = (bytes.len() as u64) > committed_len;
+        Ok(Replay {
+            statements,
+            committed_len,
+            discarded_tail,
+        })
+    }
+
+    /// Drop the torn/uncommitted tail a [`Wal::replay`] reported, so the
+    /// next append continues from a clean frame boundary.
+    pub fn truncate_to(&self, len: u64) -> FedResult<()> {
+        self.sink.truncate_to(len)
+    }
+
+    /// Empty the log entirely (after a checkpoint made it redundant).
+    pub fn truncate(&self) -> FedResult<()> {
+        self.sink.truncate_to(0)
+    }
+}
+
+/// If a whole, checksum-valid frame starts at `pos`, return its end offset.
+fn frame_bounds(bytes: &[u8], pos: usize) -> Option<usize> {
+    let header = bytes.get(pos..pos + 8)?;
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    let end = pos.checked_add(8)?.checked_add(len)?;
+    let payload = bytes.get(pos + 8..end)?;
+    (crc32(payload) == crc).then_some(end)
+}
+
+// ---------------------------------------------------------------------------
+// Durability bundle.
+// ---------------------------------------------------------------------------
+
+/// The persistence pair a durable [`crate::Database`] writes through: a WAL
+/// for redo and a snapshot slot for checkpoints.
+#[derive(Debug)]
+pub struct Durability {
+    pub wal: Wal,
+    pub snapshots: Arc<dyn SnapshotStore>,
+}
+
+impl Durability {
+    /// File-backed durability inside `dir` (created if missing):
+    /// `dir/wal.log` and `dir/snapshot.bin`.
+    pub fn at_path(dir: impl AsRef<Path>) -> FedResult<Durability> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(|e| io_err("creating database dir", dir, e))?;
+        Ok(Durability {
+            wal: Wal::new(Arc::new(FileSink::open(dir.join("wal.log"))?)),
+            snapshots: Arc::new(FileSnapshots::new(dir.join("snapshot.bin"))),
+        })
+    }
+
+    /// In-memory durability over the given shared sinks — the test harness
+    /// keeps the `Arc`s, drops the database, and reopens to simulate a
+    /// crash.
+    pub fn in_memory(log: Arc<MemorySink>, snapshots: Arc<MemorySnapshots>) -> Durability {
+        Durability {
+            wal: Wal::new(log),
+            snapshots,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::CreateTable {
+                table: "T".into(),
+                schema: Schema::of(&[("a", DataType::Int), ("b", DataType::Varchar)]),
+            },
+            WalRecord::Insert {
+                table: "T".into(),
+                row: vec![Value::Int(1), Value::str("x")],
+            },
+            WalRecord::Update {
+                table: "T".into(),
+                slot: 0,
+                column: 1,
+                value: Value::str("y"),
+            },
+            WalRecord::Delete {
+                table: "T".into(),
+                slot: 0,
+            },
+            WalRecord::CreateIndex {
+                table: "T".into(),
+                index: "pk".into(),
+                column: "a".into(),
+                unique: true,
+            },
+            WalRecord::DropTable { table: "T".into() },
+        ]
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic test vector: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        for rec in sample_records() {
+            let mut payload = vec![];
+            rec.encode(&mut payload);
+            assert_eq!(WalRecord::decode(&payload).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn value_roundtrip_covers_all_types() {
+        for v in [
+            Value::Null,
+            Value::Int(-7),
+            Value::BigInt(1 << 40),
+            Value::Double(3.25),
+            Value::str("héllo"),
+            Value::Boolean(true),
+        ] {
+            let mut out = vec![];
+            put_value(&mut out, &v);
+            let got = ByteReader::new(&out).take_value().unwrap();
+            assert_eq!(format!("{got:?}"), format!("{v:?}"));
+        }
+    }
+
+    #[test]
+    fn replay_returns_only_committed_statements() {
+        let sink = MemorySink::new();
+        let wal = Wal::new(sink.clone());
+        wal.append_statement(1, &sample_records()[..2]).unwrap();
+        // An uncommitted run: records appended raw, no commit marker.
+        let mut torn = vec![];
+        Wal::frame(&mut torn, &sample_records()[3]);
+        sink.append(&torn).unwrap();
+        let replay = wal.replay().unwrap();
+        assert_eq!(replay.statements.len(), 1);
+        assert_eq!(replay.statements[0].0, 1);
+        assert_eq!(replay.statements[0].1.len(), 2);
+        assert!(replay.discarded_tail);
+        assert!(replay.committed_len < sink.len() as u64);
+    }
+
+    #[test]
+    fn replay_tolerates_torn_final_frame() {
+        let sink = MemorySink::new();
+        let wal = Wal::new(sink.clone());
+        wal.append_statement(1, &sample_records()[..1]).unwrap();
+        wal.append_statement(2, &sample_records()[1..3]).unwrap();
+        sink.tear_tail(5); // rip into statement 2's commit marker
+        let replay = wal.replay().unwrap();
+        assert_eq!(replay.statements.len(), 1, "statement 2 lost its marker");
+        assert!(replay.discarded_tail);
+    }
+
+    #[test]
+    fn replay_stops_at_corrupt_frame() {
+        let sink = MemorySink::new();
+        let wal = Wal::new(sink.clone());
+        wal.append_statement(1, &sample_records()[..1]).unwrap();
+        let stmt1_len = sink.len();
+        wal.append_statement(2, &sample_records()[..1]).unwrap();
+        sink.corrupt_byte(stmt1_len + 10);
+        let replay = wal.replay().unwrap();
+        assert_eq!(replay.statements.len(), 1);
+        assert_eq!(replay.committed_len, stmt1_len as u64);
+    }
+
+    #[test]
+    fn truncating_the_reported_tail_makes_the_log_clean() {
+        let sink = MemorySink::new();
+        let wal = Wal::new(sink.clone());
+        wal.append_statement(1, &sample_records()[..2]).unwrap();
+        wal.append_statement(2, &sample_records()[..1]).unwrap();
+        sink.tear_tail(3);
+        let replay = wal.replay().unwrap();
+        wal.truncate_to(replay.committed_len).unwrap();
+        // Appending after the truncation yields a fully clean log again.
+        wal.append_statement(2, &sample_records()[..1]).unwrap();
+        let replay = wal.replay().unwrap();
+        assert_eq!(replay.statements.len(), 2);
+        assert!(!replay.discarded_tail);
+    }
+
+    #[test]
+    fn file_sink_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("fedwf-wal-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let d = Durability::at_path(&dir).unwrap();
+        d.wal.append_statement(1, &sample_records()[..2]).unwrap();
+        d.snapshots.store(b"snapshot-bytes").unwrap();
+        let replay = d.wal.replay().unwrap();
+        assert_eq!(replay.statements.len(), 1);
+        assert_eq!(d.snapshots.load().unwrap().unwrap(), b"snapshot-bytes");
+        d.wal.truncate().unwrap();
+        assert_eq!(d.wal.replay().unwrap().statements.len(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

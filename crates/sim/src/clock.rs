@@ -3,7 +3,7 @@
 use std::sync::{Arc, Mutex};
 
 use crate::cost::Component;
-use crate::trace::{SpanName, TraceBuf, TraceNode};
+use crate::trace::{SpanName, TraceBuf, TraceDetail, TraceNode};
 
 /// A single booked cost: which component was exercised, a human-readable
 /// step label (these become the rows of Fig. 6's breakdown tables), the
@@ -101,6 +101,31 @@ impl Meter {
         self.trace.as_ref().is_some_and(|t| t.wall())
     }
 
+    /// Limit (or restore) how deep the recorded span hierarchy goes — see
+    /// [`TraceDetail`]. No-op unless tracing is on; forks inherit it.
+    pub fn set_trace_detail(&mut self, detail: TraceDetail) {
+        if let Some(trace) = self.trace.as_mut() {
+            trace.set_detail(detail);
+        }
+    }
+
+    /// The current trace detail ([`TraceDetail::Full`] when untraced).
+    pub fn trace_detail(&self) -> TraceDetail {
+        self.trace
+            .as_ref()
+            .map_or(TraceDetail::Full, |t| t.detail())
+    }
+
+    /// True when tracing is on at [`TraceDetail::Full`] — the gate for the
+    /// innermost per-activity / per-local-function spans, which coarse
+    /// tracing skips.
+    #[inline]
+    pub fn fine_tracing(&self) -> bool {
+        self.trace
+            .as_ref()
+            .is_some_and(|t| t.detail() == TraceDetail::Full)
+    }
+
     /// Open a span. No-op unless tracing is enabled.
     pub fn span_start(&mut self, component: Component, name: impl Into<SpanName>) {
         let now_us = self.now_us;
@@ -190,18 +215,35 @@ impl Meter {
     /// Join child meters back: the parent's clock advances to the latest
     /// child, all child charges are appended to the parent log, and
     /// materialization counters are summed in.
+    ///
+    /// Tracing: a traced child's spans are reparented under the parent's
+    /// innermost open span. A child with tracing *off* joining a traced
+    /// parent books its charges into that open span instead — its work
+    /// happened inside the parent span, and recording it here keeps the
+    /// trace-derived component breakdown equal to the charge log without
+    /// forcing every branch meter to allocate a span buffer (coarse-detail
+    /// navigation runs its per-activity branches untraced for exactly this
+    /// reason).
     pub fn join(&mut self, children: Vec<Meter>) {
         for child in children {
             self.now_us = self.now_us.max(child.now_us);
+            match child.trace {
+                Some(child_trace) => {
+                    if let Some(trace) = self.trace.as_mut() {
+                        trace.absorb(*child_trace, child.now_us);
+                    }
+                }
+                None => {
+                    if let Some(trace) = self.trace.as_mut() {
+                        for c in &child.charges {
+                            trace.record_booked(c.component, c.duration_us);
+                        }
+                    }
+                }
+            }
             self.charges.extend(child.charges);
             self.rows_materialized += child.rows_materialized;
             self.bytes_materialized += child.bytes_materialized;
-            if let Some(child_trace) = child.trace {
-                let child_now = child.now_us;
-                if let Some(trace) = self.trace.as_mut() {
-                    trace.absorb(*child_trace, child_now);
-                }
-            }
         }
     }
 
@@ -326,6 +368,21 @@ impl MeterHandle {
 
     pub fn wall_sampling(&self) -> bool {
         self.inner.lock().expect("meter poisoned").wall_sampling()
+    }
+
+    pub fn set_trace_detail(&self, detail: TraceDetail) {
+        self.inner
+            .lock()
+            .expect("meter poisoned")
+            .set_trace_detail(detail);
+    }
+
+    pub fn trace_detail(&self) -> TraceDetail {
+        self.inner.lock().expect("meter poisoned").trace_detail()
+    }
+
+    pub fn fine_tracing(&self) -> bool {
+        self.inner.lock().expect("meter poisoned").fine_tracing()
     }
 
     pub fn span_start(&self, component: Component, name: impl Into<SpanName>) {

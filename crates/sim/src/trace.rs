@@ -41,6 +41,28 @@ use std::time::Instant;
 use crate::breakdown::{Breakdown, BreakdownLine};
 use crate::cost::Component;
 
+/// How much of the span hierarchy to record when tracing is on.
+///
+/// [`Full`](TraceDetail::Full) (the default) records every span the
+/// instrumentation emits, down to per-activity and per-local-function
+/// children — the shape `EXPLAIN ANALYZE` and the golden-trace tests rely
+/// on. [`Coarse`](TraceDetail::Coarse) skips those innermost per-call
+/// spans: the WfMS path of the Fig. 5 workload opens ~40 of them per
+/// request, and opening/closing them is most of tracing's wall cost, so
+/// always-on production tracing can keep the request/engine/process level
+/// at a fraction of the overhead. Charges booked where a skipped span
+/// would have been still land in the nearest recorded ancestor, so
+/// component breakdowns stay exact at either detail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceDetail {
+    /// Record request/engine/process spans but skip per-activity and
+    /// per-local-function children.
+    Coarse,
+    /// Record every span (default).
+    #[default]
+    Full,
+}
+
 /// A span name: either a static string (hot-path spans like
 /// `fdbs.execute` never allocate) or a shared formatted string (dynamic
 /// names like `activity GetQuality`, interned once in a [`SpanNameCache`]
@@ -387,6 +409,8 @@ pub(crate) struct TraceBuf {
     /// ANALYZE` (and anything else that wants real time per span) switches
     /// it on via `Meter::set_wall_sampling`.
     wall: bool,
+    /// How deep the recorded hierarchy goes; see [`TraceDetail`].
+    detail: TraceDetail,
 }
 
 impl TraceBuf {
@@ -396,12 +420,14 @@ impl TraceBuf {
             roots: Vec::new(),
             orphan_booked: BookedSet::default(),
             wall: false,
+            detail: TraceDetail::Full,
         }
     }
 
     pub(crate) fn new_like(&self) -> TraceBuf {
         let mut buf = TraceBuf::new();
         buf.wall = self.wall;
+        buf.detail = self.detail;
         buf
     }
 
@@ -411,6 +437,14 @@ impl TraceBuf {
 
     pub(crate) fn wall(&self) -> bool {
         self.wall
+    }
+
+    pub(crate) fn set_detail(&mut self, detail: TraceDetail) {
+        self.detail = detail;
+    }
+
+    pub(crate) fn detail(&self) -> TraceDetail {
+        self.detail
     }
 
     pub(crate) fn span_start(&mut self, component: Component, name: SpanName, now_us: u64) {
@@ -458,14 +492,17 @@ impl TraceBuf {
     }
 
     /// Merge a joined child meter's trace: its roots become children of the
-    /// innermost open span (or roots), its orphans merge into ours.
+    /// innermost open span (or roots), and charges the child booked outside
+    /// any span land in our innermost open span (a coarse-detail branch
+    /// records no spans of its own but its work still happened inside the
+    /// parent span) — or in our orphan bucket when none is open.
     pub(crate) fn absorb(&mut self, mut child: TraceBuf, child_now_us: u64) {
         child.close_all(child_now_us);
         for root in child.roots {
             self.attach(root);
         }
         for (c, us) in child.orphan_booked.iter() {
-            self.orphan_booked.add(c, us);
+            self.record_booked(c, us);
         }
     }
 

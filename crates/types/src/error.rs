@@ -43,6 +43,9 @@ pub enum ErrorLayer {
     Overload,
     /// A per-call deadline expired before a result was produced.
     Timeout,
+    /// Crash recovery: a write-ahead-log or checkpoint file could not be
+    /// read, decoded, or replayed (beyond the tolerated torn tail).
+    Recovery,
 }
 
 impl fmt::Display for ErrorLayer {
@@ -61,6 +64,7 @@ impl fmt::Display for ErrorLayer {
             ErrorLayer::Unsupported => "unsupported",
             ErrorLayer::Overload => "overload",
             ErrorLayer::Timeout => "timeout",
+            ErrorLayer::Recovery => "recovery",
         };
         f.write_str(s)
     }
@@ -122,6 +126,9 @@ impl FedError {
     }
     pub fn timeout(msg: impl Into<String>) -> FedError {
         FedError::new(ErrorLayer::Timeout, msg)
+    }
+    pub fn recovery(msg: impl Into<String>) -> FedError {
+        FedError::new(ErrorLayer::Recovery, msg)
     }
 
     /// Attach a context frame, e.g. "while executing activity GetQuality".

@@ -18,6 +18,7 @@ pub mod params;
 pub mod rng;
 pub mod row;
 pub mod sync;
+pub mod txn;
 pub mod value;
 
 pub use cast::{cast_value, implicit_cast, CastError};
@@ -25,4 +26,5 @@ pub use error::{ErrorLayer, FedError, FedResult, ResultExt};
 pub use ident::{Ident, QualifiedName};
 pub use params::Params;
 pub use row::{Column, Row, Schema, SchemaRef, Table};
+pub use txn::{TxnId, TXN_EPOCH_ZERO, TXN_INFINITY};
 pub use value::{DataType, Value, ValueKey};

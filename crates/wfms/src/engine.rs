@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use fedwf_sim::{Component, CostModel, Meter, SpanNameCache};
+use fedwf_sim::{Component, CostModel, Meter, SpanNameCache, TraceDetail};
 use fedwf_types::{
     cast_value, implicit_cast, FedError, FedResult, Ident, ResultExt, Row, Table, Value,
 };
@@ -183,7 +183,9 @@ impl Engine {
         let order = process.topo_order()?;
         let mut states: HashMap<Ident, NodeState> = HashMap::new();
         let mut node_meters: Vec<Meter> = Vec::new();
-        let tracing = meter.tracing().then(|| meter.wall_sampling());
+        let tracing = meter
+            .tracing()
+            .then(|| (meter.wall_sampling(), meter.trace_detail()));
 
         if threaded {
             // Group nodes into fork levels: a node's level is one past the
@@ -314,7 +316,7 @@ impl Engine {
         executor: &dyn ProgramExecutor,
         base_us: u64,
         threaded: bool,
-        tracing: Option<bool>,
+        tracing: Option<(bool, TraceDetail)>,
     ) -> FedResult<(Ident, NodeState, Meter, AuditTrail)> {
         let node = process.node(name).expect("topo order lists known nodes");
         let mut audit = AuditTrail::new();
@@ -327,10 +329,13 @@ impl Engine {
             .max()
             .unwrap_or(base_us);
         let mut node_meter = Meter::starting_at(start_us);
-        if let Some(wall) = tracing {
+        if let Some((wall, TraceDetail::Full)) = tracing {
             // Node meters are fresh (not forks), so tracing is opted into
             // explicitly; the node span is reparented under the process
-            // span when the navigator joins the branch meters.
+            // span when the navigator joins the branch meters. At coarse
+            // detail the branch runs *untraced* — no span buffer, no
+            // activity span — and `Meter::join` books its charges into the
+            // process span instead.
             node_meter.set_tracing(true);
             node_meter.set_wall_sampling(wall);
             node_meter.span_start(
@@ -463,7 +468,8 @@ impl Engine {
                         "Process activities",
                         self.cost.wf_activity_container,
                     );
-                    if meter.tracing() {
+                    let span = meter.fine_tracing();
+                    if span {
                         meter.span_start(
                             Component::LocalFunction,
                             self.local_spans.get(function.as_str(), str::to_owned, || {
@@ -479,12 +485,16 @@ impl Engine {
                                 "Process activities",
                                 self.cost.local_function_cost(table.row_count()),
                             );
-                            meter.span_counter("rows", table.row_count() as u64);
-                            meter.span_end();
+                            if span {
+                                meter.span_counter("rows", table.row_count() as u64);
+                                meter.span_end();
+                            }
                             return Ok(table);
                         }
                         Err(e) => {
-                            meter.span_end();
+                            if span {
+                                meter.span_end();
+                            }
                             audit.record(
                                 meter.now_us(),
                                 activity.name.to_string(),
