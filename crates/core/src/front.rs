@@ -461,4 +461,79 @@ mod tests {
         }
         drop(front); // must not hang
     }
+
+    /// Concurrent front workers committing INSERTs into a group-commit
+    /// local store share the log writer: the batch counters must show
+    /// coalescing (fewer batches than commits), and every acked insert
+    /// must survive a reopen of the store.
+    #[test]
+    fn concurrent_workers_share_group_commit_batches() {
+        use crate::server::LocalStoreConfig;
+        use fedwf_types::CommitMode;
+
+        const WRITERS: usize = 8;
+        const PER_WRITER: usize = 10;
+        let dir = std::env::temp_dir().join(format!(
+            "fedwf-front-gc-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let config = IntegrationConfig::default()
+                .with_architecture(ArchitectureKind::Wfms)
+                .with_data(DataGenConfig::tiny())
+                .with_local_store(LocalStoreConfig::at(&dir).with_commit_mode(
+                    // A generous linger so every worker in flight lands in
+                    // the same sync, even on a slow CI box.
+                    CommitMode::Group {
+                        max_wait_us: 3_000,
+                        max_batch: 128,
+                    },
+                ));
+            let server = Arc::new(IntegrationServer::new(config).unwrap());
+            server.boot();
+            let front = Arc::new(ServerFront::start(
+                Arc::clone(&server),
+                FrontConfig::default()
+                    .with_workers(WRITERS)
+                    .with_queue_depth(256),
+            ));
+            front
+                .execute(Request::sql("CREATE TABLE GC (k INT NOT NULL, w INT)"))
+                .unwrap();
+            let clients: Vec<_> = (0..WRITERS)
+                .map(|w| {
+                    let front = Arc::clone(&front);
+                    std::thread::spawn(move || {
+                        for i in 0..PER_WRITER {
+                            let k = w * 100 + i;
+                            front
+                                .execute(Request::sql(format!("INSERT INTO GC VALUES ({k}, {w})")))
+                                .expect("insert");
+                        }
+                    })
+                })
+                .collect();
+            for c in clients {
+                c.join().unwrap();
+            }
+            let local = server.fdbs().catalog().local();
+            assert_eq!(
+                local.scan_all("GC").unwrap().row_count(),
+                WRITERS * PER_WRITER
+            );
+            let stats = local.commit_stats().expect("group mode runs a log writer");
+            assert_eq!(stats.commits, (WRITERS * PER_WRITER) as u64 + 1); // + DDL
+            assert!(
+                stats.batches < stats.commits,
+                "no coalescing happened: {stats:?}"
+            );
+            assert!(stats.max_batch >= 2, "{stats:?}");
+        } // drop server: clean committer shutdown
+          // Everything acked is durable: a sync-mode reopen sees all rows.
+        let db = fedwf_relstore::Database::open(&dir).unwrap();
+        assert_eq!(db.scan_all("GC").unwrap().row_count(), WRITERS * PER_WRITER);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

@@ -76,4 +76,4 @@ pub use classify::{classify, ComplexityCase};
 pub use front::{FrontConfig, FrontStats, ServerFront};
 pub use mapping::{ArgSource, CyclicSpec, FedOutput, LocalCall, MappingSpec};
 pub use request::{Outcome, Request, Target};
-pub use server::{CallOutcome, IntegrationConfig, IntegrationServer};
+pub use server::{CallOutcome, IntegrationConfig, IntegrationServer, LocalStoreConfig};

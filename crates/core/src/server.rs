@@ -9,7 +9,7 @@ use fedwf_fdbs::Fdbs;
 use fedwf_sim::env::Process;
 use fedwf_sim::{Breakdown, Component, CostModel, EnvState, Meter, MetricsRegistry, SpanNameCache};
 use fedwf_types::sync::{Mutex, RwLock};
-use fedwf_types::{FedError, FedResult, Ident, Params, Table, Value};
+use fedwf_types::{CommitMode, FedError, FedResult, Ident, Params, Table, Value};
 use fedwf_wrapper::{Controller, WfmsWrapper};
 
 use crate::arch::{
@@ -18,6 +18,30 @@ use crate::arch::{
 };
 use crate::mapping::MappingSpec;
 use crate::request::{Outcome, Request, Target};
+
+/// Durable local storage for the FDBS's own tables: a directory holding
+/// `wal.log` + `snapshot.bin`, and the [`CommitMode`] commits are
+/// acknowledged under. Absent, the local store is purely in-memory (the
+/// default for simulations).
+#[derive(Debug, Clone)]
+pub struct LocalStoreConfig {
+    pub dir: std::path::PathBuf,
+    pub commit_mode: CommitMode,
+}
+
+impl LocalStoreConfig {
+    pub fn at(dir: impl Into<std::path::PathBuf>) -> LocalStoreConfig {
+        LocalStoreConfig {
+            dir: dir.into(),
+            commit_mode: CommitMode::Sync,
+        }
+    }
+
+    pub fn with_commit_mode(mut self, mode: CommitMode) -> LocalStoreConfig {
+        self.commit_mode = mode;
+        self
+    }
+}
 
 /// Configuration of one integration-server instance ("one prototype").
 #[derive(Debug, Clone)]
@@ -30,6 +54,10 @@ pub struct IntegrationConfig {
     /// Enable the wrapper-internal federated-function result cache (the
     /// paper's future-work "query optimization options").
     pub result_cache: bool,
+    /// WAL-backed persistence for the FDBS local store. With
+    /// [`CommitMode::Group`], concurrent [`crate::ServerFront`] workers
+    /// committing INSERTs share one `fdatasync` per log-writer batch.
+    pub local_store: Option<LocalStoreConfig>,
 }
 
 impl Default for IntegrationConfig {
@@ -40,6 +68,7 @@ impl Default for IntegrationConfig {
             architecture: ArchitectureKind::Wfms,
             threaded_wfms: false,
             result_cache: false,
+            local_store: None,
         }
     }
 }
@@ -57,6 +86,11 @@ impl IntegrationConfig {
 
     pub fn with_data(mut self, data: DataGenConfig) -> Self {
         self.data = data;
+        self
+    }
+
+    pub fn with_local_store(mut self, local_store: LocalStoreConfig) -> Self {
+        self.local_store = Some(local_store);
         self
     }
 }
@@ -127,7 +161,15 @@ impl IntegrationServer {
                 .with_threads(config.threaded_wfms)
                 .with_result_cache(config.result_cache),
         );
-        let fdbs = Arc::new(Fdbs::new(config.cost.clone()));
+        let fdbs = match &config.local_store {
+            Some(spec) => {
+                let durability = fedwf_relstore::Durability::at_path(&spec.dir)?
+                    .with_commit_mode(spec.commit_mode);
+                let local = fedwf_relstore::Database::open_with("fdbs", durability)?;
+                Arc::new(Fdbs::with_local(config.cost.clone(), local))
+            }
+            None => Arc::new(Fdbs::new(config.cost.clone())),
+        };
         // The workflow audit database is queryable through SQL.
         fdbs.register_udtf(wrapper.audit_udtf())?;
         Ok(IntegrationServer {

@@ -54,8 +54,15 @@ impl Default for Catalog {
 
 impl Catalog {
     pub fn new() -> Catalog {
+        Catalog::with_local(Database::new("fdbs"))
+    }
+
+    /// A catalog over an explicit local store — the integration server
+    /// passes a durable (WAL-backed) [`Database`] here when configured
+    /// with a data directory.
+    pub fn with_local(local: Database) -> Catalog {
         Catalog {
-            local: Database::new("fdbs"),
+            local,
             foreign_tables: RwLock::new(BTreeMap::new()),
             udtfs: RwLock::new(BTreeMap::new()),
         }

@@ -45,8 +45,15 @@ impl Default for Fdbs {
 
 impl Fdbs {
     pub fn new(cost: CostModel) -> Fdbs {
+        Fdbs::with_local(cost, fedwf_relstore::Database::new("fdbs"))
+    }
+
+    /// An engine whose local store is supplied by the caller — durable
+    /// (WAL-backed, possibly group-commit) when the integration server is
+    /// configured with one.
+    pub fn with_local(cost: CostModel, local: fedwf_relstore::Database) -> Fdbs {
         Fdbs {
-            catalog: Catalog::new(),
+            catalog: Catalog::with_local(local),
             cost,
             plan_cache: RwLock::new(HashMap::new()),
             exec_mode: AtomicU8::new(0),

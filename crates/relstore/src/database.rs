@@ -28,20 +28,38 @@ use fedwf_types::{
 use crate::index::IndexKind;
 use crate::predicate::Predicate;
 use crate::table::{ChangeKind, RowId, StoredTable, TableStats, UndoLog};
-use crate::wal::{self, ByteReader, Durability, WalRecord};
+use crate::wal::{self, ByteReader, CommitStats, Durability, GroupCommitter, Wal, WalRecord};
+use fedwf_types::CommitMode;
 
 /// Magic prefix of a checkpoint snapshot (versioned).
 const SNAPSHOT_MAGIC: &[u8; 8] = b"FWSNAP1\0";
 
 /// An embedded database: a set of tables guarded by a reader-writer lock,
 /// with MVCC snapshot reads and optional WAL-backed durability.
+///
+/// Commit publication is two-phase when a log-writer thread is in play
+/// ([`CommitMode::Group`] / [`CommitMode::Async`]): a writer applies its
+/// statement and enqueues the encoded log record *while holding* the table
+/// write lock (so txn order == log order), releases the lock, and blocks on
+/// its durability ack; only then does the log writer advance `commit_epoch`
+/// — the MVCC visibility horizon — so a reader can never observe a
+/// statement that a crash could still take away. [`CommitMode::Sync`] keeps
+/// the original inline append+fsync under the lock.
 #[derive(Debug, Default)]
 pub struct Database {
     name: String,
     tables: RwLock<BTreeMap<Ident, StoredTable>>,
-    /// Id of the last committed statement; also the newest pinnable epoch.
-    commit_epoch: AtomicU64,
+    /// Id of the last *published* (visible) statement; also the newest
+    /// pinnable epoch. Shared with the log writer, which advances it after
+    /// durability in group mode.
+    commit_epoch: Arc<AtomicU64>,
+    /// Id of the last *allocated* statement. Runs ahead of `commit_epoch`
+    /// while commits are in flight through the log writer. Allocation only
+    /// happens under the table write lock.
+    next_txn: AtomicU64,
     durability: Option<Durability>,
+    /// The log-writer engine; present iff `durability.mode.uses_log_writer()`.
+    committer: Option<GroupCommitter>,
 }
 
 impl Database {
@@ -51,8 +69,10 @@ impl Database {
         Database {
             name: name.into(),
             tables: RwLock::new(BTreeMap::new()),
-            commit_epoch: AtomicU64::new(TXN_EPOCH_ZERO),
+            commit_epoch: Arc::new(AtomicU64::new(TXN_EPOCH_ZERO)),
+            next_txn: AtomicU64::new(TXN_EPOCH_ZERO),
             durability: None,
+            committer: None,
         }
     }
 
@@ -73,13 +93,24 @@ impl Database {
     /// harness passes `Arc`-shared in-memory sinks here and "crashes" by
     /// dropping the database while keeping the sinks.
     pub fn open_with(name: impl Into<String>, durability: Durability) -> FedResult<Database> {
+        let mode = durability.mode;
         let mut db = Database {
             name: name.into(),
             tables: RwLock::new(BTreeMap::new()),
-            commit_epoch: AtomicU64::new(TXN_EPOCH_ZERO),
+            commit_epoch: Arc::new(AtomicU64::new(TXN_EPOCH_ZERO)),
+            next_txn: AtomicU64::new(TXN_EPOCH_ZERO),
             durability: Some(durability),
+            committer: None,
         };
         db.recover()?;
+        if mode.uses_log_writer() {
+            let sink = db.durability.as_ref().expect("just set").wal.sink();
+            db.committer = Some(GroupCommitter::start(
+                sink,
+                mode,
+                Arc::clone(&db.commit_epoch),
+            ));
+        }
         Ok(db)
     }
 
@@ -92,6 +123,30 @@ impl Database {
         self.durability.is_some()
     }
 
+    /// How commits are acknowledged ([`CommitMode::Sync`] for in-memory
+    /// databases, which have nothing to sync).
+    pub fn commit_mode(&self) -> CommitMode {
+        self.durability
+            .as_ref()
+            .map_or(CommitMode::Sync, |d| d.mode)
+    }
+
+    /// Log-writer counters, when a log writer is running (group/async
+    /// modes). `syncs < commits` is group commit working.
+    pub fn commit_stats(&self) -> Option<CommitStats> {
+        self.committer.as_ref().map(|c| c.stats())
+    }
+
+    /// Durability barrier: returns once every commit accepted so far is on
+    /// disk. A no-op in sync mode (commits are already durable when they
+    /// return); in async mode this is the one way to bound the loss window.
+    pub fn flush_commits(&self) -> FedResult<()> {
+        match &self.committer {
+            Some(c) => c.flush(),
+            None => Ok(()),
+        }
+    }
+
     /// The newest consistent epoch a reader can pin: the id of the last
     /// committed statement. Pass it to [`Database::scan_chunk`] to keep a
     /// multi-pull streaming scan on one snapshot.
@@ -102,29 +157,92 @@ impl Database {
     /// Run one committed write statement: allocate its transaction id,
     /// apply `f`, then WAL-log the changes and advance the commit epoch —
     /// or undo everything `f` logged if it (or the WAL append) failed.
+    ///
+    /// With a log writer (group/async modes) the durable part is pipelined:
+    /// the encoded statement is *enqueued* under the write lock (preserving
+    /// txn order in the log), the lock is released, and the writer blocks
+    /// on its durability ack — so concurrent committers share one
+    /// `fdatasync` instead of serializing one each under the lock.
     fn mutate<R>(
         &self,
         table: &str,
         f: impl FnOnce(&mut StoredTable, TxnId, &mut UndoLog) -> FedResult<R>,
     ) -> FedResult<R> {
+        // Back-pressure from a slow disk is taken *before* the table lock:
+        // a full log-writer queue parks producers without blocking readers.
+        if let Some(c) = &self.committer {
+            c.wait_for_space();
+        }
         let mut tables = self.tables.write();
         let t = Self::resolve_mut(&mut tables, table, &self.name)?;
-        let txn = self.commit_epoch.load(Ordering::Acquire) + 1;
+        // Allocation happens only under the write lock, so restoring it on
+        // failure below cannot clobber a concurrent allocation.
+        let txn = self.next_txn.load(Ordering::Relaxed) + 1;
+        self.next_txn.store(txn, Ordering::Relaxed);
         let mut undo = UndoLog::new();
         match f(t, txn, &mut undo) {
             Ok(r) => {
-                if let Some(d) = &self.durability {
-                    let records = Self::redo_records(t, &undo);
-                    if let Err(e) = d.wal.append_statement(txn, &records) {
-                        t.abort(&mut undo);
-                        return Err(e.with_context(format!("logging statement against {table}")));
+                let ticket = match (&self.committer, &self.durability) {
+                    (Some(c), _) => {
+                        let records = Self::redo_records(t, &undo);
+                        let bytes = Wal::encode_statement(txn, &records);
+                        match c.submit(txn, bytes) {
+                            Ok(ticket) => {
+                                if ticket.is_none() {
+                                    // Async mode acks at enqueue: publish
+                                    // visibility now (documented loss
+                                    // window until the next cadence sync).
+                                    self.commit_epoch.store(txn, Ordering::Release);
+                                }
+                                ticket
+                            }
+                            Err(e) => {
+                                // Rejected at the door (dead/stopping log
+                                // writer): nothing was logged, undo fully.
+                                t.abort(&mut undo);
+                                self.next_txn.store(txn - 1, Ordering::Relaxed);
+                                return Err(
+                                    e.with_context(format!("logging statement against {table}"))
+                                );
+                            }
+                        }
                     }
+                    (None, Some(d)) => {
+                        // Sync mode: inline append+fsync under the lock,
+                        // exactly the single-writer fast path.
+                        let records = Self::redo_records(t, &undo);
+                        if let Err(e) = d.wal.append_statement(txn, &records) {
+                            t.abort(&mut undo);
+                            self.next_txn.store(txn - 1, Ordering::Relaxed);
+                            return Err(
+                                e.with_context(format!("logging statement against {table}"))
+                            );
+                        }
+                        self.commit_epoch.store(txn, Ordering::Release);
+                        None
+                    }
+                    (None, None) => {
+                        self.commit_epoch.store(txn, Ordering::Release);
+                        None
+                    }
+                };
+                // Phase two: wait for the durability ack with the lock
+                // released, so the log writer can coalesce us with every
+                // other writer currently in this window.
+                drop(tables);
+                if let Some(ticket) = ticket {
+                    // On failure the statement is applied in memory but its
+                    // epoch is never published: the versions stay invisible
+                    // forever (undo is impossible once the lock is gone).
+                    ticket.wait().map_err(|e| {
+                        e.with_context(format!("logging statement against {table}"))
+                    })?;
                 }
-                self.commit_epoch.store(txn, Ordering::Release);
                 Ok(r)
             }
             Err(e) => {
                 t.abort(&mut undo);
+                self.next_txn.store(txn - 1, Ordering::Relaxed);
                 Err(e)
             }
         }
@@ -166,21 +284,48 @@ impl Database {
     /// Log a single-record DDL statement and advance the commit epoch.
     /// The caller has already validated; `undo_on_log_failure` reverts the
     /// in-memory change if the log write fails.
+    ///
+    /// Unlike DML, DDL waits for its durability ack *while holding* the
+    /// table write lock: the tables map is not versioned, so a created
+    /// table would otherwise be observable before it is durable. DDL is
+    /// rare enough that pinning readers for one sync is the right trade.
     fn commit_ddl(
         &self,
         tables: &mut BTreeMap<Ident, StoredTable>,
         record: WalRecord,
         undo_on_log_failure: impl FnOnce(&mut BTreeMap<Ident, StoredTable>),
     ) -> FedResult<()> {
-        let txn = self.commit_epoch.load(Ordering::Acquire) + 1;
-        if let Some(d) = &self.durability {
-            if let Err(e) = d.wal.append_statement(txn, &[record]) {
+        let txn = self.next_txn.load(Ordering::Relaxed) + 1;
+        self.next_txn.store(txn, Ordering::Relaxed);
+        let result = match (&self.committer, &self.durability) {
+            (Some(c), _) => {
+                let bytes = Wal::encode_statement(txn, &[record]);
+                c.submit(txn, bytes).and_then(|ticket| match ticket {
+                    // Group mode: block for the ack here, under the lock.
+                    Some(t) => t.wait(),
+                    // Async mode: acked at enqueue; publish below.
+                    None => {
+                        self.commit_epoch.store(txn, Ordering::Release);
+                        Ok(())
+                    }
+                })
+            }
+            (None, Some(d)) => d.wal.append_statement(txn, &[record]).map(|()| {
+                self.commit_epoch.store(txn, Ordering::Release);
+            }),
+            (None, None) => {
+                self.commit_epoch.store(txn, Ordering::Release);
+                Ok(())
+            }
+        };
+        match result {
+            Ok(()) => Ok(()),
+            Err(e) => {
                 undo_on_log_failure(tables);
-                return Err(e.with_context("logging DDL statement"));
+                self.next_txn.store(txn - 1, Ordering::Relaxed);
+                Err(e.with_context("logging DDL statement"))
             }
         }
-        self.commit_epoch.store(txn, Ordering::Release);
-        Ok(())
     }
 
     /// Create an empty table.
@@ -298,6 +443,11 @@ impl Database {
 
     /// Projection-pruned scan: the predicate keeps the table's full column
     /// numbering; only the requested columns are returned.
+    ///
+    /// Reads at the *published* commit epoch, not at "latest applied": with
+    /// a log writer, statements sit applied-but-unacked between enqueue and
+    /// fsync, and a reader must never observe one of those (visibility
+    /// would run ahead of durability). In sync mode the two coincide.
     pub fn scan_project(
         &self,
         table: &str,
@@ -305,7 +455,8 @@ impl Database {
         projection: Option<&[usize]>,
     ) -> FedResult<Table> {
         let tables = self.tables.read();
-        Self::resolve(&tables, table, &self.name)?.scan_project(predicate, projection)
+        let epoch = self.commit_epoch.load(Ordering::Acquire);
+        Self::resolve(&tables, table, &self.name)?.scan_project_at(predicate, projection, epoch)
     }
 
     /// Snapshot scan: rows as of the pinned `epoch` (from
@@ -341,7 +492,8 @@ impl Database {
             .scan_chunk_at(predicate, projection, start_slot, max_rows, epoch)
     }
 
-    /// Full-table scan.
+    /// Full-table scan (at the published commit epoch, like
+    /// [`Database::scan_project`]).
     pub fn scan_all(&self, table: &str) -> FedResult<Table> {
         self.scan(table, &Predicate::True)
     }
@@ -422,6 +574,17 @@ impl Database {
             )));
         };
         let mut tables = self.tables.write();
+        // Drain the log writer *while holding the write lock*: every
+        // statement ever submitted was applied (and enqueued) under this
+        // lock, so after the flush the WAL holds nothing newer than what
+        // the snapshot below will capture — the truncate cannot eat a
+        // commit that is pending or mid-batch, and the epoch we record
+        // covers every statement left in (and removed from) the log.
+        if let Some(c) = &self.committer {
+            c.flush()
+                .map_err(|e| e.with_context("draining log writer before checkpoint"))?;
+            debug_assert_eq!(c.pending(), 0, "flush drained all queued statements");
+        }
         let epoch = self.commit_epoch.load(Ordering::Acquire);
         let bytes = encode_snapshot(epoch, &tables);
         d.snapshots.store(&bytes)?;
@@ -470,7 +633,8 @@ impl Database {
             d.wal.truncate_to(replay.committed_len)?;
         }
         self.tables = RwLock::new(tables);
-        self.commit_epoch = AtomicU64::new(epoch);
+        self.commit_epoch = Arc::new(AtomicU64::new(epoch));
+        self.next_txn = AtomicU64::new(epoch);
         Ok(())
     }
 
@@ -985,5 +1149,149 @@ mod tests {
         let db = db();
         assert!(!db.is_durable());
         assert!(db.checkpoint().is_err());
+    }
+
+    /// A sink that makes every append slow, so concurrent commits pile up
+    /// in the log-writer queue and batches actually form.
+    #[derive(Debug)]
+    struct SlowSink {
+        inner: Arc<MemorySink>,
+        delay: std::time::Duration,
+    }
+
+    impl crate::wal::LogSink for SlowSink {
+        fn append(&self, bytes: &[u8]) -> FedResult<()> {
+            std::thread::sleep(self.delay);
+            self.inner.append(bytes)
+        }
+        fn read_all(&self) -> FedResult<Vec<u8>> {
+            self.inner.read_all()
+        }
+        fn truncate_to(&self, len: u64) -> FedResult<()> {
+            self.inner.truncate_to(len)
+        }
+    }
+
+    fn group_db(log: &Arc<MemorySink>, snaps: &Arc<MemorySnapshots>) -> Database {
+        Database::open_with(
+            "stock",
+            Durability::in_memory(log.clone(), snaps.clone()).with_commit_mode(CommitMode::group()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn group_mode_concurrent_writers_all_commit_and_recover() {
+        let log = MemorySink::new();
+        let snaps = MemorySnapshots::new();
+        {
+            let db = Arc::new(group_db(&log, &snaps));
+            db.create_table("T", Arc::new(Schema::of(&[("a", DataType::Int)])))
+                .unwrap();
+            let threads: Vec<_> = (0..4)
+                .map(|w| {
+                    let db = Arc::clone(&db);
+                    std::thread::spawn(move || {
+                        for i in 0..10 {
+                            db.insert("T", Row::new(vec![Value::Int(w * 100 + i)]))
+                                .unwrap();
+                        }
+                    })
+                })
+                .collect();
+            for t in threads {
+                t.join().unwrap();
+            }
+            // Every acked insert is visible: the epoch covers all 41
+            // statements (1 DDL + 40 inserts) and the scan sees all rows.
+            assert_eq!(db.snapshot_epoch(), 41);
+            assert_eq!(db.scan_all("T").unwrap().row_count(), 40);
+            let stats = db.commit_stats().expect("group mode has a log writer");
+            assert_eq!(stats.commits, 41);
+            assert!(stats.syncs <= stats.commits);
+        } // drop = clean shutdown (drains the queue)
+        let db = durable_db(&log, &snaps);
+        assert_eq!(db.scan_all("T").unwrap().row_count(), 40);
+    }
+
+    #[test]
+    fn checkpoint_is_safe_against_concurrently_committing_writers() {
+        // Writers push commits through a *slow* log writer while the main
+        // thread checkpoints repeatedly. The flush-under-lock ordering must
+        // guarantee a checkpoint never truncates a pending commit and never
+        // snapshots state it then loses — whatever interleaving happens,
+        // reopening recovers every acked insert.
+        let inner = MemorySink::new();
+        let snaps = MemorySnapshots::new();
+        let slow: Arc<dyn crate::wal::LogSink> = Arc::new(SlowSink {
+            inner: Arc::clone(&inner),
+            delay: std::time::Duration::from_micros(300),
+        });
+        let durability = Durability {
+            wal: Wal::new(slow),
+            snapshots: snaps.clone() as Arc<dyn crate::wal::SnapshotStore>,
+            mode: CommitMode::Group {
+                max_wait_us: 100,
+                max_batch: 8,
+            },
+        };
+        let db = Arc::new(Database::open_with("stock", durability).unwrap());
+        db.create_table("T", Arc::new(Schema::of(&[("a", DataType::Int)])))
+            .unwrap();
+        let writers: Vec<_> = (0..3)
+            .map(|w| {
+                let db = Arc::clone(&db);
+                std::thread::spawn(move || {
+                    for i in 0..12 {
+                        db.insert("T", Row::new(vec![Value::Int(w * 100 + i)]))
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..5 {
+            db.checkpoint().unwrap();
+        }
+        for t in writers {
+            t.join().unwrap();
+        }
+        db.checkpoint().unwrap();
+        assert_eq!(db.scan_all("T").unwrap().row_count(), 36);
+        drop(db);
+        // The WAL was truncated by the final checkpoint; the snapshot alone
+        // must carry the full state.
+        let db = durable_db(&inner, &snaps);
+        assert_eq!(db.scan_all("T").unwrap().row_count(), 36);
+    }
+
+    #[test]
+    fn async_mode_acks_fast_and_flush_bounds_the_loss_window() {
+        let log = MemorySink::new();
+        let snaps = MemorySnapshots::new();
+        let db = Database::open_with(
+            "stock",
+            Durability::in_memory(log.clone(), snaps.clone()).with_commit_mode(CommitMode::Async {
+                flush_interval_us: 60_000_000, // cadence parked; flush drives syncs
+            }),
+        )
+        .unwrap();
+        db.create_table("T", Arc::new(Schema::of(&[("a", DataType::Int)])))
+            .unwrap();
+        for i in 0..5 {
+            db.insert("T", Row::new(vec![Value::Int(i)])).unwrap();
+        }
+        // Acked and visible immediately...
+        assert_eq!(db.scan_all("T").unwrap().row_count(), 5);
+        // ...and flush_commits() is the durability barrier.
+        db.flush_commits().unwrap();
+        assert_eq!(
+            db.commit_mode(),
+            CommitMode::Async {
+                flush_interval_us: 60_000_000
+            }
+        );
+        drop(db);
+        let db = durable_db(&log, &snaps);
+        assert_eq!(db.scan_all("T").unwrap().row_count(), 5);
     }
 }

@@ -13,14 +13,18 @@
 //! (and the 1-core CI) can run against shared in-memory buffers and
 //! "crash" by dropping the `Database` while keeping the sink.
 
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Debug;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use fedwf_types::sync::Mutex;
-use fedwf_types::{Column, DataType, FedError, FedResult, Schema, TxnId, Value};
+use fedwf_types::sync::{Condvar, Mutex};
+use fedwf_types::{Column, CommitMode, DataType, FedError, FedResult, Schema, TxnId, Value};
 
 use crate::index::IndexKind;
 use crate::table::RowId;
@@ -394,6 +398,17 @@ pub(crate) fn index_kind_from_unique(unique: bool) -> IndexKind {
 /// practice only truncation races matter) and durable once it returns.
 pub trait LogSink: Send + Sync + Debug {
     fn append(&self, bytes: &[u8]) -> FedResult<()>;
+    /// Buffered append: the bytes are written in order but need not be
+    /// durable until the next [`LogSink::sync`]. The async commit mode's
+    /// flusher writes through this; the default forwards to the durable
+    /// [`LogSink::append`], which is always correct, just never faster.
+    fn append_nosync(&self, bytes: &[u8]) -> FedResult<()> {
+        self.append(bytes)
+    }
+    /// Make every buffered append durable. Default: nothing buffered.
+    fn sync(&self) -> FedResult<()> {
+        Ok(())
+    }
     /// The full current contents of the log.
     fn read_all(&self) -> FedResult<Vec<u8>>;
     /// Cut the log down to its first `len` bytes (drop a torn tail, or
@@ -412,8 +427,25 @@ fn io_err(what: &str, path: &Path, e: std::io::Error) -> FedError {
     FedError::storage(format!("{what} {}: {e}", path.display()))
 }
 
+/// Fsync the parent directory of `path`, making a just-created or
+/// just-renamed directory entry durable. Creating or renaming a file writes
+/// the *entry* into the directory, and that entry is itself buffered: until
+/// the directory is synced, a crash can resurface the old name (or no name
+/// at all) even though the file's own contents were fsynced.
+fn sync_parent_dir(path: &Path) -> FedResult<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    File::open(parent)
+        .and_then(|d| d.sync_all())
+        .map_err(|e| io_err("fsyncing parent directory of", path, e))
+}
+
 /// File-backed log sink: appends with `O_APPEND` semantics and fsyncs each
-/// append, so a committed statement survives process death.
+/// append, so a committed statement survives process death. The parent
+/// directory is fsynced once at open so the log file's *directory entry*
+/// is as durable as its contents.
 #[derive(Debug)]
 pub struct FileSink {
     path: PathBuf,
@@ -423,12 +455,16 @@ pub struct FileSink {
 impl FileSink {
     pub fn open(path: impl Into<PathBuf>) -> FedResult<FileSink> {
         let path = path.into();
+        let existed = path.exists();
         let file = OpenOptions::new()
             .create(true)
             .append(true)
             .read(true)
             .open(&path)
             .map_err(|e| io_err("opening WAL file", &path, e))?;
+        if !existed {
+            sync_parent_dir(&path)?;
+        }
         Ok(FileSink {
             path,
             file: Mutex::new(file),
@@ -444,6 +480,18 @@ impl LogSink for FileSink {
             .map_err(|e| io_err("appending to WAL file", &self.path, e))
     }
 
+    fn append_nosync(&self, bytes: &[u8]) -> FedResult<()> {
+        let mut file = self.file.lock();
+        file.write_all(bytes)
+            .map_err(|e| io_err("appending to WAL file", &self.path, e))
+    }
+
+    fn sync(&self) -> FedResult<()> {
+        let file = self.file.lock();
+        file.sync_data()
+            .map_err(|e| io_err("syncing WAL file", &self.path, e))
+    }
+
     fn read_all(&self) -> FedResult<Vec<u8>> {
         let _guard = self.file.lock();
         std::fs::read(&self.path).map_err(|e| io_err("reading WAL file", &self.path, e))
@@ -451,8 +499,11 @@ impl LogSink for FileSink {
 
     fn truncate_to(&self, len: u64) -> FedResult<()> {
         let file = self.file.lock();
+        // `sync_all`, not `sync_data`: a length change is metadata, and
+        // `fdatasync` is allowed to skip metadata that doesn't affect
+        // reading back already-written data — which a *shrunk* length does.
         file.set_len(len)
-            .and_then(|()| file.sync_data())
+            .and_then(|()| file.sync_all())
             .map_err(|e| io_err("truncating WAL file", &self.path, e))
     }
 }
@@ -513,39 +564,172 @@ impl LogSink for MemorySink {
     }
 }
 
+/// The filesystem operations the snapshot-install protocol is written
+/// against. Factoring them out lets the *same* protocol run over the real
+/// OS ([`OsFs`]) and over a simulated filesystem ([`SimFs`]) whose `crash()`
+/// drops directory entries that were never `sync_dir`ed — which is exactly
+/// how a real kernel loses a rename on power failure.
+pub trait SnapshotFs: Send + Sync + Debug {
+    /// Write `bytes` to `path` (replacing it) and fsync the *file data*.
+    fn write_file_synced(&self, path: &Path, bytes: &[u8]) -> FedResult<()>;
+    /// Atomically rename `from` over `to`. The new directory entry is NOT
+    /// durable until [`SnapshotFs::sync_dir`].
+    fn rename(&self, from: &Path, to: &Path) -> FedResult<()>;
+    /// Fsync the directory containing `path`, making its entries durable.
+    fn sync_dir(&self, path: &Path) -> FedResult<()>;
+    /// Read `path` fully; `Ok(None)` if it does not exist.
+    fn read(&self, path: &Path) -> FedResult<Option<Vec<u8>>>;
+}
+
+/// The real filesystem.
+#[derive(Debug, Default)]
+pub struct OsFs;
+
+impl SnapshotFs for OsFs {
+    fn write_file_synced(&self, path: &Path, bytes: &[u8]) -> FedResult<()> {
+        let mut f =
+            File::create(path).map_err(|e| io_err("creating snapshot temp file", path, e))?;
+        f.write_all(bytes)
+            .and_then(|()| f.sync_all())
+            .map_err(|e| io_err("writing snapshot temp file", path, e))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> FedResult<()> {
+        std::fs::rename(from, to).map_err(|e| io_err("installing snapshot file", to, e))
+    }
+
+    fn sync_dir(&self, path: &Path) -> FedResult<()> {
+        sync_parent_dir(path)
+    }
+
+    fn read(&self, path: &Path) -> FedResult<Option<Vec<u8>>> {
+        match std::fs::read(path) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(io_err("reading snapshot file", path, e)),
+        }
+    }
+}
+
+/// A simulated filesystem with the durability semantics that matter for the
+/// snapshot-install protocol: file *contents* written through
+/// `write_file_synced` are durable, but directory *entries* created by
+/// `rename` live in a pending set until `sync_dir` — and [`SimFs::crash`]
+/// rolls every pending entry back to what the directory durably held.
+///
+/// Setting `ignore_sync_dir` models the buggy protocol (rename without the
+/// directory fsync): `sync_dir` becomes a no-op, so the test that crashes
+/// after `store()` sees the *old* snapshot reappear — the regression the
+/// real [`FileSnapshots`] had.
+#[derive(Debug, Default)]
+pub struct SimFs {
+    /// Directory entries a crash preserves.
+    durable: Mutex<BTreeMap<PathBuf, Vec<u8>>>,
+    /// Entries renamed into place but not yet covered by a `sync_dir`,
+    /// mapped to what the durable directory held before (`None` = nothing).
+    pending: Mutex<BTreeMap<PathBuf, Option<Vec<u8>>>>,
+    /// Staged temp files (contents durable, but irrelevant after rename).
+    staged: Mutex<BTreeMap<PathBuf, Vec<u8>>>,
+    /// Model the broken protocol: drop `sync_dir` calls on the floor.
+    pub ignore_sync_dir: std::sync::atomic::AtomicBool,
+}
+
+impl SimFs {
+    pub fn new() -> Arc<SimFs> {
+        Arc::new(SimFs::default())
+    }
+
+    /// Simulate power failure: un-synced directory entries revert to what
+    /// the directory durably held before the rename.
+    pub fn crash(&self) {
+        let mut durable = self.durable.lock();
+        for (path, before) in std::mem::take(&mut *self.pending.lock()) {
+            match before {
+                Some(old) => {
+                    durable.insert(path, old);
+                }
+                None => {
+                    durable.remove(&path);
+                }
+            }
+        }
+        self.staged.lock().clear();
+    }
+}
+
+impl SnapshotFs for SimFs {
+    fn write_file_synced(&self, path: &Path, bytes: &[u8]) -> FedResult<()> {
+        self.staged
+            .lock()
+            .insert(path.to_path_buf(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> FedResult<()> {
+        let bytes = self.staged.lock().remove(from).ok_or_else(|| {
+            FedError::storage(format!("rename source missing: {}", from.display()))
+        })?;
+        let mut durable = self.durable.lock();
+        let mut pending = self.pending.lock();
+        // Remember what a crash should roll back to: only the oldest
+        // durable value matters if several renames pile up un-synced.
+        pending
+            .entry(to.to_path_buf())
+            .or_insert_with(|| durable.get(to).cloned());
+        durable.insert(to.to_path_buf(), bytes);
+        Ok(())
+    }
+
+    fn sync_dir(&self, _path: &Path) -> FedResult<()> {
+        if !self.ignore_sync_dir.load(Ordering::Relaxed) {
+            self.pending.lock().clear();
+        }
+        Ok(())
+    }
+
+    fn read(&self, path: &Path) -> FedResult<Option<Vec<u8>>> {
+        Ok(self.durable.lock().get(path).cloned())
+    }
+}
+
 /// File-backed snapshot store: writes to a sibling temp file, fsyncs, then
-/// renames over the snapshot — readers see the old or the new snapshot,
-/// never a half-written one.
+/// renames over the snapshot and fsyncs the parent directory — readers see
+/// the old or the new snapshot, never a half-written one, and the *new* one
+/// is what a crash after `store()` returns leaves behind. (Without the
+/// directory fsync the rename itself could be lost, silently resurrecting
+/// the previous snapshot plus an already-truncated WAL.)
 #[derive(Debug)]
 pub struct FileSnapshots {
     path: PathBuf,
+    fs: Arc<dyn SnapshotFs>,
 }
 
 impl FileSnapshots {
     pub fn new(path: impl Into<PathBuf>) -> FileSnapshots {
-        FileSnapshots { path: path.into() }
+        FileSnapshots::over(path, Arc::new(OsFs))
+    }
+
+    /// The same install protocol over a pluggable filesystem — tests use
+    /// [`SimFs`] to prove the protocol survives a crash that drops
+    /// un-fsynced directory entries.
+    pub fn over(path: impl Into<PathBuf>, fs: Arc<dyn SnapshotFs>) -> FileSnapshots {
+        FileSnapshots {
+            path: path.into(),
+            fs,
+        }
     }
 }
 
 impl SnapshotStore for FileSnapshots {
     fn load(&self) -> FedResult<Option<Vec<u8>>> {
-        match std::fs::read(&self.path) {
-            Ok(bytes) => Ok(Some(bytes)),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
-            Err(e) => Err(io_err("reading snapshot file", &self.path, e)),
-        }
+        self.fs.read(&self.path)
     }
 
     fn store(&self, bytes: &[u8]) -> FedResult<()> {
         let tmp = self.path.with_extension("tmp");
-        let mut f =
-            File::create(&tmp).map_err(|e| io_err("creating snapshot temp file", &tmp, e))?;
-        f.write_all(bytes)
-            .and_then(|()| f.sync_all())
-            .map_err(|e| io_err("writing snapshot temp file", &tmp, e))?;
-        drop(f);
-        std::fs::rename(&tmp, &self.path)
-            .map_err(|e| io_err("installing snapshot file", &self.path, e))
+        self.fs.write_file_synced(&tmp, bytes)?;
+        self.fs.rename(&tmp, &self.path)?;
+        self.fs.sync_dir(&self.path)
     }
 }
 
@@ -609,15 +793,29 @@ impl Wal {
         out.extend_from_slice(&payload);
     }
 
-    /// Append one committed statement: its redo records plus the trailing
-    /// commit marker, in a single sink append.
-    pub fn append_statement(&self, txn: TxnId, records: &[WalRecord]) -> FedResult<()> {
+    /// Frame one committed statement — its redo records plus the trailing
+    /// commit marker — into the byte run a single sink append would write.
+    /// The group committer encodes on the submitting thread and hands the
+    /// bytes to the log writer, which concatenates whole batches.
+    pub fn encode_statement(txn: TxnId, records: &[WalRecord]) -> Vec<u8> {
         let mut out = Vec::with_capacity(64 * (records.len() + 1));
         for r in records {
             Self::frame(&mut out, r);
         }
         Self::frame(&mut out, &WalRecord::Commit { txn });
-        self.sink.append(&out)
+        out
+    }
+
+    /// Append one committed statement: its redo records plus the trailing
+    /// commit marker, in a single sink append.
+    pub fn append_statement(&self, txn: TxnId, records: &[WalRecord]) -> FedResult<()> {
+        self.sink.append(&Self::encode_statement(txn, records))
+    }
+
+    /// The sink this log writes through (the group committer appends
+    /// coalesced batches to it directly).
+    pub fn sink(&self) -> Arc<dyn LogSink> {
+        Arc::clone(&self.sink)
     }
 
     /// Read the log back, yielding only statements whose commit marker is
@@ -673,26 +871,483 @@ fn frame_bounds(bytes: &[u8], pos: usize) -> Option<usize> {
 }
 
 // ---------------------------------------------------------------------------
+// Group commit: the log-writer thread.
+// ---------------------------------------------------------------------------
+
+/// Counters the log writer keeps; `syncs < commits` is the whole point.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommitStats {
+    /// Statements made durable (or acked, in async mode).
+    pub commits: u64,
+    /// Batches the log writer drained.
+    pub batches: u64,
+    /// `fdatasync` calls issued.
+    pub syncs: u64,
+    /// Largest number of statements coalesced into one batch.
+    pub max_batch: u64,
+}
+
+#[derive(Debug, Default)]
+struct StatsCells {
+    commits: AtomicU64,
+    batches: AtomicU64,
+    syncs: AtomicU64,
+    max_batch: AtomicU64,
+}
+
+impl StatsCells {
+    fn snapshot(&self) -> CommitStats {
+        CommitStats {
+            commits: self.commits.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            syncs: self.syncs.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+        }
+    }
+
+    fn record_batch(&self, statements: u64) {
+        self.commits.fetch_add(statements, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.max_batch.fetch_max(statements, Ordering::Relaxed);
+    }
+}
+
+/// One-shot completion cell a committing thread blocks on after releasing
+/// the table lock: the log writer completes it once the statement's batch
+/// is durable (or failed).
+#[derive(Debug, Default)]
+struct WaitCell {
+    done: Mutex<Option<FedResult<()>>>,
+    cv: Condvar,
+}
+
+impl WaitCell {
+    fn complete(&self, result: FedResult<()>) {
+        *self.done.lock() = Some(result);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> FedResult<()> {
+        let mut done = self.done.lock();
+        loop {
+            if let Some(result) = done.take() {
+                return result;
+            }
+            done = self.cv.wait(done);
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Payload {
+    /// An encoded statement (redo frames + commit marker) for `txn`.
+    Statement { txn: TxnId, bytes: Vec<u8> },
+    /// Durability barrier: complete once everything queued before it is
+    /// synced. Contributes no bytes.
+    Flush,
+}
+
+#[derive(Debug)]
+struct Submission {
+    payload: Payload,
+    waiter: Option<Arc<WaitCell>>,
+}
+
+#[derive(Debug, Default)]
+struct CommitterState {
+    queue: VecDeque<Submission>,
+    shutdown: bool,
+    /// Set when a sink append/sync failed: the log writer refuses further
+    /// work so no later statement can be acked past a hole in the log.
+    dead: Option<FedError>,
+}
+
+#[derive(Debug)]
+struct CommitterShared {
+    state: Mutex<CommitterState>,
+    /// Signaled when the queue gains work or shutdown is requested.
+    work: Condvar,
+    /// Signaled when the queue drains below capacity (back-pressure).
+    space: Condvar,
+}
+
+/// Soft bound on queued submissions; writers block in
+/// [`GroupCommitter::wait_for_space`] *before* taking the table lock, so a
+/// slow disk throttles producers without ever stalling readers.
+const QUEUE_CAPACITY: usize = 256;
+
+/// The group-commit engine: a dedicated log-writer thread drains a bounded
+/// queue of encoded commit records, coalescing every waiter present at
+/// wakeup into **one** contiguous sink append + **one** `fdatasync`, then
+/// releases them all.
+///
+/// Commit protocol (two-phase publish): the writer applies its statement to
+/// the in-memory tables and enqueues here *while still holding* the table
+/// write lock — so queue order, txn order and log order all agree — then
+/// releases the lock and blocks on its [`CommitTicket`]. Only after the batch
+/// is durable does the log writer advance `commit_epoch` (in enqueue
+/// order), so MVCC snapshot visibility never runs ahead of durability.
+///
+/// If the sink fails, the committer goes *dead*: the failing batch and all
+/// later submissions are completed with a [`FedError::shutdown`]-layer
+/// error, and the epoch is never advanced past the failure — the applied
+/// but unpublished in-memory versions stay invisible forever, which is the
+/// only sound option once the table lock has been released (no undo).
+#[derive(Debug)]
+pub struct GroupCommitter {
+    shared: Arc<CommitterShared>,
+    stats: Arc<StatsCells>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+    mode: CommitMode,
+}
+
+impl GroupCommitter {
+    /// Spawn the log-writer thread. `commit_epoch` is the database's
+    /// visibility epoch, advanced only after durability (group mode).
+    pub fn start(
+        sink: Arc<dyn LogSink>,
+        mode: CommitMode,
+        commit_epoch: Arc<AtomicU64>,
+    ) -> GroupCommitter {
+        let shared = Arc::new(CommitterShared {
+            state: Mutex::new(CommitterState::default()),
+            work: Condvar::new(),
+            space: Condvar::new(),
+        });
+        let stats = Arc::new(StatsCells::default());
+        let worker = LogWriter {
+            shared: Arc::clone(&shared),
+            stats: Arc::clone(&stats),
+            sink,
+            mode,
+            commit_epoch,
+        };
+        let handle = std::thread::Builder::new()
+            .name("fedwf-log-writer".into())
+            .spawn(move || worker.run())
+            .expect("spawning log-writer thread");
+        GroupCommitter {
+            shared,
+            stats,
+            handle: Mutex::new(Some(handle)),
+            mode,
+        }
+    }
+
+    pub fn mode(&self) -> CommitMode {
+        self.mode
+    }
+
+    /// Block until the queue has room (or the committer is dead/stopping —
+    /// then the subsequent submit reports the real error). Called *before*
+    /// the table write lock so back-pressure never blocks readers; the
+    /// bound is soft because several writers may pass the gate together.
+    pub fn wait_for_space(&self) {
+        let mut state = self.shared.state.lock();
+        while state.queue.len() >= QUEUE_CAPACITY && state.dead.is_none() && !state.shutdown {
+            state = self.shared.space.wait(state);
+        }
+    }
+
+    fn dead_error(e: &FedError) -> FedError {
+        FedError::shutdown(format!("log writer is dead: {}", e.message))
+    }
+
+    /// Enqueue an encoded statement. Returns the cell to block on for
+    /// durability, or `None` in async mode (acked at enqueue). Call with
+    /// the table write lock held; wait on the cell *after* releasing it.
+    pub fn submit(&self, txn: TxnId, bytes: Vec<u8>) -> FedResult<Option<CommitTicket>> {
+        let mut state = self.shared.state.lock();
+        if let Some(e) = &state.dead {
+            return Err(Self::dead_error(e));
+        }
+        if state.shutdown {
+            return Err(FedError::shutdown("log writer is shutting down"));
+        }
+        let waiter = if matches!(self.mode, CommitMode::Async { .. }) {
+            None
+        } else {
+            Some(Arc::new(WaitCell::default()))
+        };
+        state.queue.push_back(Submission {
+            payload: Payload::Statement { txn, bytes },
+            waiter: waiter.clone(),
+        });
+        drop(state);
+        self.shared.work.notify_all();
+        Ok(waiter.map(|cell| CommitTicket { cell }))
+    }
+
+    /// Durability barrier: returns once everything submitted before the
+    /// call is on disk (forces a sync even in async mode).
+    pub fn flush(&self) -> FedResult<()> {
+        let cell = Arc::new(WaitCell::default());
+        {
+            let mut state = self.shared.state.lock();
+            if let Some(e) = &state.dead {
+                return Err(Self::dead_error(e));
+            }
+            if state.shutdown {
+                return Err(FedError::shutdown("log writer is shutting down"));
+            }
+            state.queue.push_back(Submission {
+                payload: Payload::Flush,
+                waiter: Some(Arc::clone(&cell)),
+            });
+        }
+        self.shared.work.notify_all();
+        cell.wait()
+    }
+
+    /// Statements currently queued (not yet drained by the log writer).
+    pub fn pending(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .queue
+            .iter()
+            .filter(|s| matches!(s.payload, Payload::Statement { .. }))
+            .count()
+    }
+
+    pub fn stats(&self) -> CommitStats {
+        self.stats.snapshot()
+    }
+}
+
+impl Drop for GroupCommitter {
+    /// Clean shutdown drains the queue: every already-submitted statement
+    /// is synced (and its waiter released) before the thread exits — a
+    /// dropped database loses nothing it ever acked, and in async mode
+    /// nothing it ever accepted.
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock();
+            state.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        self.shared.space.notify_all();
+        if let Some(handle) = self.handle.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Handle a group-mode committer returns from submit: block on it after
+/// releasing the table lock; `Ok` means the statement is on disk.
+#[derive(Debug)]
+pub struct CommitTicket {
+    cell: Arc<WaitCell>,
+}
+
+impl CommitTicket {
+    pub fn wait(&self) -> FedResult<()> {
+        self.cell.wait()
+    }
+}
+
+/// The log-writer thread body.
+struct LogWriter {
+    shared: Arc<CommitterShared>,
+    stats: Arc<StatsCells>,
+    sink: Arc<dyn LogSink>,
+    mode: CommitMode,
+    commit_epoch: Arc<AtomicU64>,
+}
+
+impl LogWriter {
+    fn run(self) {
+        let mut unsynced = false;
+        loop {
+            let batch = match self.next_batch(&mut unsynced) {
+                Some(batch) => batch,
+                None => {
+                    // Shutdown with an empty queue: leave nothing buffered.
+                    if unsynced {
+                        let _ = self.sink.sync();
+                    }
+                    return;
+                }
+            };
+            self.process(batch, &mut unsynced);
+        }
+    }
+
+    /// Wait for work, then drain a batch. Group mode lingers up to
+    /// `max_wait_us` for stragglers once it has at least one submission and
+    /// caps the batch at `max_batch`; async mode syncs on its cadence while
+    /// idle. Returns `None` on shutdown with an empty queue.
+    fn next_batch(&self, unsynced: &mut bool) -> Option<Vec<Submission>> {
+        let mut state = self.shared.state.lock();
+        // Phase 1: wait for at least one submission (or shutdown).
+        loop {
+            if !state.queue.is_empty() {
+                break;
+            }
+            if state.shutdown {
+                return None;
+            }
+            match self.mode {
+                CommitMode::Async { flush_interval_us } => {
+                    let (g, timed_out) = self
+                        .shared
+                        .work
+                        .wait_timeout(state, Duration::from_micros(flush_interval_us.max(1)));
+                    state = g;
+                    if timed_out && *unsynced {
+                        drop(state);
+                        if self.sink.sync().is_ok() {
+                            *unsynced = false;
+                            self.stats.syncs.fetch_add(1, Ordering::Relaxed);
+                        }
+                        state = self.shared.state.lock();
+                    }
+                }
+                _ => state = self.shared.work.wait(state),
+            }
+        }
+        // Phase 2 (group): linger briefly so concurrent writers that are a
+        // hair behind still make this sync.
+        let max_batch = if let CommitMode::Group {
+            max_wait_us,
+            max_batch,
+        } = self.mode
+        {
+            if max_wait_us > 0 {
+                let deadline = Instant::now() + Duration::from_micros(max_wait_us);
+                while state.queue.len() < max_batch && !state.shutdown {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (g, timed_out) = self.shared.work.wait_timeout(state, deadline - now);
+                    state = g;
+                    if timed_out {
+                        break;
+                    }
+                }
+            }
+            max_batch.max(1)
+        } else {
+            usize::MAX
+        };
+        let take = state.queue.len().min(max_batch);
+        let batch: Vec<Submission> = state.queue.drain(..take).collect();
+        drop(state);
+        self.shared.space.notify_all();
+        Some(batch)
+    }
+
+    fn process(&self, batch: Vec<Submission>, unsynced: &mut bool) {
+        // A dead committer fails everything immediately.
+        let dead = self.shared.state.lock().dead.clone();
+        if let Some(e) = dead {
+            let err = GroupCommitter::dead_error(&e);
+            for sub in &batch {
+                if let Some(w) = &sub.waiter {
+                    w.complete(Err(err.clone()));
+                }
+            }
+            return;
+        }
+
+        let mut bytes = Vec::new();
+        let mut statements = 0u64;
+        let mut last_txn = None;
+        let mut has_flush = false;
+        for sub in &batch {
+            match &sub.payload {
+                Payload::Statement { txn, bytes: b } => {
+                    bytes.extend_from_slice(b);
+                    statements += 1;
+                    last_txn = Some(*txn);
+                }
+                Payload::Flush => has_flush = true,
+            }
+        }
+
+        let result = self.write_batch(&bytes, has_flush, unsynced);
+        match result {
+            Ok(()) => {
+                if statements > 0 {
+                    self.stats.record_batch(statements);
+                    // Publish visibility only now that the bytes are as
+                    // durable as the mode promises, in enqueue order.
+                    if let Some(txn) = last_txn {
+                        if !matches!(self.mode, CommitMode::Async { .. }) {
+                            self.commit_epoch.fetch_max(txn, Ordering::Release);
+                        }
+                    }
+                }
+                for sub in &batch {
+                    if let Some(w) = &sub.waiter {
+                        w.complete(Ok(()));
+                    }
+                }
+            }
+            Err(e) => {
+                {
+                    let mut state = self.shared.state.lock();
+                    state.dead = Some(e.clone());
+                }
+                // Wake producers parked on back-pressure so they observe
+                // the death instead of hanging.
+                self.shared.space.notify_all();
+                let err = GroupCommitter::dead_error(&e);
+                for sub in &batch {
+                    if let Some(w) = &sub.waiter {
+                        w.complete(Err(err.clone()));
+                    }
+                }
+            }
+        }
+    }
+
+    /// One contiguous append for the whole batch, plus the mode's sync:
+    /// immediate for group mode, cadence-driven (or flush-forced) for async.
+    fn write_batch(&self, bytes: &[u8], has_flush: bool, unsynced: &mut bool) -> FedResult<()> {
+        if !bytes.is_empty() {
+            self.sink.append_nosync(bytes)?;
+            *unsynced = true;
+        }
+        let sync_now = match self.mode {
+            CommitMode::Async { .. } => has_flush,
+            _ => true,
+        };
+        if sync_now && *unsynced {
+            self.sink.sync()?;
+            *unsynced = false;
+            self.stats.syncs.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Durability bundle.
 // ---------------------------------------------------------------------------
 
 /// The persistence pair a durable [`crate::Database`] writes through: a WAL
-/// for redo and a snapshot slot for checkpoints.
+/// for redo and a snapshot slot for checkpoints, plus the [`CommitMode`]
+/// governing how commits are acknowledged.
 #[derive(Debug)]
 pub struct Durability {
     pub wal: Wal,
     pub snapshots: Arc<dyn SnapshotStore>,
+    pub mode: CommitMode,
 }
 
 impl Durability {
     /// File-backed durability inside `dir` (created if missing):
-    /// `dir/wal.log` and `dir/snapshot.bin`.
+    /// `dir/wal.log` and `dir/snapshot.bin`. Commit mode defaults to
+    /// [`CommitMode::Sync`]; chain [`Durability::with_commit_mode`].
     pub fn at_path(dir: impl AsRef<Path>) -> FedResult<Durability> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir).map_err(|e| io_err("creating database dir", dir, e))?;
         Ok(Durability {
             wal: Wal::new(Arc::new(FileSink::open(dir.join("wal.log"))?)),
             snapshots: Arc::new(FileSnapshots::new(dir.join("snapshot.bin"))),
+            mode: CommitMode::Sync,
         })
     }
 
@@ -703,7 +1358,14 @@ impl Durability {
         Durability {
             wal: Wal::new(log),
             snapshots,
+            mode: CommitMode::Sync,
         }
+    }
+
+    /// Select how commits are acknowledged (see [`CommitMode`]).
+    pub fn with_commit_mode(mut self, mode: CommitMode) -> Durability {
+        self.mode = mode;
+        self
     }
 }
 
@@ -829,6 +1491,158 @@ mod tests {
         let replay = wal.replay().unwrap();
         assert_eq!(replay.statements.len(), 2);
         assert!(!replay.discarded_tail);
+    }
+
+    /// A sink that can be switched into a failing state, for dead-committer
+    /// tests.
+    #[derive(Debug, Default)]
+    struct FlakySink {
+        inner: MemorySink,
+        broken: std::sync::atomic::AtomicBool,
+    }
+
+    impl LogSink for FlakySink {
+        fn append(&self, bytes: &[u8]) -> FedResult<()> {
+            self.append_nosync(bytes)
+        }
+        fn append_nosync(&self, bytes: &[u8]) -> FedResult<()> {
+            if self.broken.load(Ordering::Relaxed) {
+                return Err(FedError::storage("disk on fire"));
+            }
+            self.inner.append(bytes)
+        }
+        fn read_all(&self) -> FedResult<Vec<u8>> {
+            self.inner.read_all()
+        }
+        fn truncate_to(&self, len: u64) -> FedResult<()> {
+            self.inner.truncate_to(len)
+        }
+    }
+
+    #[test]
+    fn sim_fs_snapshot_protocol_survives_crash() {
+        let fs = SimFs::new();
+        let store = FileSnapshots::over("/db/snapshot.bin", Arc::clone(&fs) as Arc<dyn SnapshotFs>);
+        store.store(b"v1").unwrap();
+        fs.crash();
+        assert_eq!(store.load().unwrap().unwrap(), b"v1");
+        store.store(b"v2").unwrap();
+        fs.crash();
+        assert_eq!(store.load().unwrap().unwrap(), b"v2");
+    }
+
+    #[test]
+    fn missing_dir_fsync_resurrects_old_snapshot() {
+        // The regression FileSnapshots::store had: rename without fsyncing
+        // the directory. The protocol *without* the final sync_dir loses
+        // the rename on crash and the previous snapshot reappears.
+        let fs = SimFs::new();
+        let store = FileSnapshots::over("/db/snapshot.bin", Arc::clone(&fs) as Arc<dyn SnapshotFs>);
+        store.store(b"v1").unwrap();
+        fs.ignore_sync_dir.store(true, Ordering::Relaxed);
+        store.store(b"v2").unwrap();
+        fs.crash();
+        assert_eq!(
+            store.load().unwrap().unwrap(),
+            b"v1",
+            "un-fsynced rename must roll back — this is the hole the fix closes"
+        );
+    }
+
+    #[test]
+    fn group_committer_publishes_epoch_after_durability_in_order() {
+        let sink = MemorySink::new();
+        let epoch = Arc::new(AtomicU64::new(0));
+        let gc = GroupCommitter::start(
+            sink.clone() as Arc<dyn LogSink>,
+            CommitMode::group(),
+            Arc::clone(&epoch),
+        );
+        let mut tickets = vec![];
+        for txn in 1..=8u64 {
+            let bytes = Wal::encode_statement(txn, &sample_records()[..1]);
+            tickets.push(gc.submit(txn, bytes).unwrap().expect("group mode waits"));
+        }
+        for t in &tickets {
+            t.wait().unwrap();
+        }
+        assert_eq!(epoch.load(Ordering::Acquire), 8);
+        let wal = Wal::new(sink as Arc<dyn LogSink>);
+        let replay = wal.replay().unwrap();
+        let txns: Vec<TxnId> = replay.statements.iter().map(|(t, _)| *t).collect();
+        assert_eq!(txns, (1..=8).collect::<Vec<_>>(), "log order == txn order");
+        let stats = gc.stats();
+        assert_eq!(stats.commits, 8);
+        assert!(stats.syncs >= 1 && stats.syncs <= stats.commits);
+    }
+
+    #[test]
+    fn dead_committer_fails_current_and_later_commits() {
+        let sink = Arc::new(FlakySink::default());
+        let epoch = Arc::new(AtomicU64::new(0));
+        let gc = GroupCommitter::start(
+            Arc::clone(&sink) as Arc<dyn LogSink>,
+            CommitMode::group(),
+            Arc::clone(&epoch),
+        );
+        sink.broken.store(true, Ordering::Relaxed);
+        let t = gc
+            .submit(1, Wal::encode_statement(1, &sample_records()[..1]))
+            .unwrap()
+            .unwrap();
+        let err = t.wait().unwrap_err();
+        assert!(err.is_shutdown(), "commit on a dying sink: {err}");
+        assert_eq!(epoch.load(Ordering::Acquire), 0, "no visibility published");
+        // Later submissions are rejected at the door.
+        let err = gc
+            .submit(2, Wal::encode_statement(2, &sample_records()[..1]))
+            .unwrap_err();
+        assert!(err.is_shutdown());
+        assert!(gc.flush().unwrap_err().is_shutdown());
+    }
+
+    #[test]
+    fn async_committer_acks_immediately_and_flush_forces_durability() {
+        let sink = MemorySink::new();
+        let epoch = Arc::new(AtomicU64::new(0));
+        let gc = GroupCommitter::start(
+            sink.clone() as Arc<dyn LogSink>,
+            CommitMode::Async {
+                flush_interval_us: 60_000_000, // park the cadence; flush drives it
+            },
+            Arc::clone(&epoch),
+        );
+        for txn in 1..=4u64 {
+            let ticket = gc
+                .submit(txn, Wal::encode_statement(txn, &sample_records()[..1]))
+                .unwrap();
+            assert!(ticket.is_none(), "async mode acks at enqueue");
+        }
+        gc.flush().unwrap();
+        let wal = Wal::new(sink as Arc<dyn LogSink>);
+        assert_eq!(wal.replay().unwrap().statements.len(), 4);
+    }
+
+    #[test]
+    fn dropping_the_committer_drains_the_queue() {
+        let sink = MemorySink::new();
+        let epoch = Arc::new(AtomicU64::new(0));
+        let gc = GroupCommitter::start(
+            sink.clone() as Arc<dyn LogSink>,
+            CommitMode::asynchronous(),
+            Arc::clone(&epoch),
+        );
+        for txn in 1..=3u64 {
+            gc.submit(txn, Wal::encode_statement(txn, &sample_records()[..1]))
+                .unwrap();
+        }
+        drop(gc);
+        let wal = Wal::new(sink as Arc<dyn LogSink>);
+        assert_eq!(
+            wal.replay().unwrap().statements.len(),
+            3,
+            "clean shutdown loses nothing it accepted"
+        );
     }
 
     #[test]

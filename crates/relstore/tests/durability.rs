@@ -14,16 +14,33 @@
 
 use std::sync::Arc;
 
-use fedwf_relstore::{Database, Durability, IndexKind, MemorySink, MemorySnapshots, Predicate};
+use fedwf_relstore::{
+    Database, Durability, IndexKind, LogSink, MemorySink, MemorySnapshots, Predicate, Wal,
+    WalRecord,
+};
 use fedwf_types::rng::Rng;
-use fedwf_types::{check, DataType, Row, Schema, Value};
+use fedwf_types::{check, CommitMode, DataType, Row, Schema, Value};
 
 const KEY_SPACE: i32 = 12;
+
+/// Commit mode the whole suite runs under: `FEDWF_COMMIT_MODE=sync` (the
+/// default) or `group`. CI runs the suite once per mode — every recovery
+/// invariant here must hold regardless of how commits are acknowledged.
+/// (`async` is excluded: its documented loss window breaks the "every
+/// committed statement survives" half of the invariant by design.)
+fn env_commit_mode() -> CommitMode {
+    match std::env::var("FEDWF_COMMIT_MODE").as_deref() {
+        Ok("group") => CommitMode::group(),
+        Ok("sync") | Err(_) => CommitMode::Sync,
+        Ok(other) => panic!("FEDWF_COMMIT_MODE must be sync or group, got {other:?}"),
+    }
+}
 
 fn open(log: &Arc<MemorySink>, snaps: &Arc<MemorySnapshots>) -> Database {
     Database::open_with(
         "crash",
-        Durability::in_memory(Arc::clone(log), Arc::clone(snaps)),
+        Durability::in_memory(Arc::clone(log), Arc::clone(snaps))
+            .with_commit_mode(env_commit_mode()),
     )
     .expect("recovery")
 }
@@ -337,6 +354,120 @@ fn pinned_readers_never_see_mixed_versions() {
     // Final state: every row carries the last round's value.
     let t = db.scan_all("T").unwrap();
     assert!(t.rows().iter().all(|r| r.values()[1] == Value::Int(ROUNDS)));
+}
+
+/// Multi-writer schedules under group commit: N threads commit
+/// concurrently through the log-writer thread, the process "crashes" with
+/// a torn WAL tail (ripping into whatever batch was last being written),
+/// and recovery must yield a *prefix of the durability-ack order* — which
+/// equals log order, because statements are enqueued under the table lock.
+/// Never a superset: no row (or index entry) appears that wasn't in the
+/// surviving prefix, and the slot allocation of the prefix is intact.
+#[test]
+fn concurrent_group_commits_recover_to_an_ack_order_prefix() {
+    const WRITERS: i32 = 8;
+    const PER_WRITER: i32 = 6;
+    check::cases(10, |rng| {
+        let log = MemorySink::new();
+        let snaps = MemorySnapshots::new();
+        let ddl_len;
+        {
+            let db = Arc::new(
+                Database::open_with(
+                    "crash",
+                    Durability::in_memory(Arc::clone(&log), Arc::clone(&snaps)).with_commit_mode(
+                        CommitMode::Group {
+                            max_wait_us: 100,
+                            max_batch: 16,
+                        },
+                    ),
+                )
+                .unwrap(),
+            );
+            db.create_table(
+                "T",
+                Arc::new(Schema::of(&[("k", DataType::Int), ("v", DataType::Int)])),
+            )
+            .unwrap();
+            db.create_index("T", "pk", "k", IndexKind::Unique).unwrap();
+            ddl_len = log.len();
+            let threads: Vec<_> = (0..WRITERS)
+                .map(|w| {
+                    let db = Arc::clone(&db);
+                    std::thread::spawn(move || {
+                        for i in 0..PER_WRITER {
+                            // Distinct keys per writer: every statement commits.
+                            db.insert("T", Row::new(vec![Value::Int(w * 100 + i), Value::Int(i)]))
+                                .unwrap();
+                        }
+                    })
+                })
+                .collect();
+            for t in threads {
+                t.join().unwrap();
+            }
+            // Acked implies visible: the epoch has caught up with every ack.
+            assert_eq!(
+                db.scan_all("T").unwrap().row_count(),
+                (WRITERS * PER_WRITER) as usize
+            );
+            let stats = db.commit_stats().unwrap();
+            assert_eq!(stats.commits, (WRITERS * PER_WRITER) as u64 + 2);
+            assert!(stats.syncs <= stats.commits);
+        } // clean drop: the queue drains, everything acked is on "disk"
+          // The ack order IS the log order; read it back before tearing.
+        let full_order: Vec<(i32, i32)> = Wal::new(Arc::clone(&log) as Arc<dyn LogSink>)
+            .replay()
+            .unwrap()
+            .statements
+            .iter()
+            .flat_map(|(_, records)| records.iter())
+            .filter_map(|r| match r {
+                WalRecord::Insert { row, .. } => match (&row[0], &row[1]) {
+                    (Value::Int(k), Value::Int(v)) => Some((*k, *v)),
+                    _ => None,
+                },
+                _ => None,
+            })
+            .collect();
+        assert_eq!(full_order.len(), (WRITERS * PER_WRITER) as usize);
+        // Crash mid-batch: tear anywhere inside the DML region.
+        let torn = rng.range_usize(0, log.len() - ddl_len);
+        log.tear_tail(torn);
+        let db = open(&log, &snaps);
+        let recovered: Vec<(i32, i32)> = db
+            .scan_all("T")
+            .unwrap()
+            .rows()
+            .iter()
+            .map(|r| match (&r.values()[0], &r.values()[1]) {
+                (Value::Int(k), Value::Int(v)) => (*k, *v),
+                other => panic!("unexpected row {other:?}"),
+            })
+            .collect();
+        // Exactly a prefix: same rows, same order (slot order == log
+        // order), nothing extra (never a superset of acked commits).
+        assert_eq!(
+            recovered.as_slice(),
+            &full_order[..recovered.len()],
+            "recovered state must be a prefix of durability-ack order"
+        );
+        // The epoch restarts at DDL + surviving statements.
+        assert_eq!(db.snapshot_epoch(), 2 + recovered.len() as u64);
+        // Index probes agree with the prefix: recovered keys hit exactly
+        // once, lost keys miss.
+        let recovered_keys: Vec<i32> = recovered.iter().map(|(k, _)| *k).collect();
+        for w in 0..WRITERS {
+            for i in 0..PER_WRITER {
+                let k = w * 100 + i;
+                let hits = db
+                    .scan_eq("T", 0, Value::Int(k), &Predicate::True)
+                    .unwrap()
+                    .row_count();
+                assert_eq!(hits, recovered_keys.contains(&k) as usize, "probe for {k}");
+            }
+        }
+    });
 }
 
 /// Durable databases work on real files too: statements survive a process

@@ -46,6 +46,10 @@ pub enum ErrorLayer {
     /// Crash recovery: a write-ahead-log or checkpoint file could not be
     /// read, decoded, or replayed (beyond the tolerated torn tail).
     Recovery,
+    /// A commit was rejected because the log-writer (group-commit queue)
+    /// has shut down or died on a sink failure; the statement was *not*
+    /// made durable.
+    Shutdown,
 }
 
 impl fmt::Display for ErrorLayer {
@@ -65,6 +69,7 @@ impl fmt::Display for ErrorLayer {
             ErrorLayer::Overload => "overload",
             ErrorLayer::Timeout => "timeout",
             ErrorLayer::Recovery => "recovery",
+            ErrorLayer::Shutdown => "shutdown",
         };
         f.write_str(s)
     }
@@ -130,6 +135,9 @@ impl FedError {
     pub fn recovery(msg: impl Into<String>) -> FedError {
         FedError::new(ErrorLayer::Recovery, msg)
     }
+    pub fn shutdown(msg: impl Into<String>) -> FedError {
+        FedError::new(ErrorLayer::Shutdown, msg)
+    }
 
     /// Attach a context frame, e.g. "while executing activity GetQuality".
     pub fn with_context(mut self, frame: impl Into<String>) -> FedError {
@@ -152,6 +160,12 @@ impl FedError {
     /// True when a per-call deadline expired.
     pub fn is_timeout(&self) -> bool {
         self.layer == ErrorLayer::Timeout
+    }
+
+    /// True when a commit was rejected by a shut-down (or dead) log-writer
+    /// queue; the statement is guaranteed *not* durable.
+    pub fn is_shutdown(&self) -> bool {
+        self.layer == ErrorLayer::Shutdown
     }
 }
 

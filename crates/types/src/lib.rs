@@ -26,5 +26,5 @@ pub use error::{ErrorLayer, FedError, FedResult, ResultExt};
 pub use ident::{Ident, QualifiedName};
 pub use params::Params;
 pub use row::{Column, Row, Schema, SchemaRef, Table};
-pub use txn::{TxnId, TXN_EPOCH_ZERO, TXN_INFINITY};
+pub use txn::{CommitMode, TxnId, TXN_EPOCH_ZERO, TXN_INFINITY};
 pub use value::{DataType, Value, ValueKey};

@@ -6,6 +6,7 @@
 
 use std::fmt;
 use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Duration;
 
 /// A mutual-exclusion lock whose `lock()` never returns a `Result`.
 #[derive(Default)]
@@ -93,6 +94,55 @@ impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
     }
 }
 
+/// A condition variable paired with [`Mutex`]: the guards our wrapper
+/// returns are plain `std::sync` guards, so waiting works directly; like
+/// the lock wrappers, poisoning is treated as recoverable.
+#[derive(Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    pub fn new() -> Condvar {
+        Condvar::default()
+    }
+
+    /// Atomically release the guard and block until notified.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.inner
+            .wait(guard)
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// [`Condvar::wait`] with a timeout; returns the guard and whether the
+    /// wait timed out.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let (guard, result) = self
+            .inner
+            .wait_timeout(guard, timeout)
+            .unwrap_or_else(|poison| poison.into_inner());
+        (guard, result.timed_out())
+    }
+
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +166,29 @@ mod tests {
         }
         l.write().push(3);
         assert_eq!(*l.read(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn condvar_handoff() {
+        let shared = Arc::new((Mutex::new(false), Condvar::new()));
+        let other = Arc::clone(&shared);
+        let t = std::thread::spawn(move || {
+            let (lock, cv) = &*other;
+            let mut ready = lock.lock();
+            while !*ready {
+                ready = cv.wait(ready);
+            }
+        });
+        {
+            let (lock, cv) = &*shared;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        t.join().unwrap();
+        // A timed wait on a never-notified condvar reports the timeout.
+        let (lock, cv) = &*shared;
+        let (_guard, timed_out) = cv.wait_timeout(lock.lock(), Duration::from_millis(1));
+        assert!(timed_out);
     }
 
     #[test]
