@@ -31,6 +31,7 @@ fn main() {
     println!("{}", e16.insert.render());
     println!("{}", e16.scan.render());
     println!("{}", e16.contended.render());
+    println!("{}", e16.solo.render());
     for row in &e16.recovery {
         println!("{}", row.render());
     }
@@ -43,6 +44,8 @@ fn main() {
          (sync -> group speedup {:.1}x)",
         e16.contended.group_speedup_over_sync()
     );
+    let solo_ratio = e16.solo.group_vs_sync();
+    println!("single-writer group commit vs sync: {solo_ratio:.2}x");
     if !quick {
         assert!(
             overhead <= 15.0,
@@ -52,6 +55,20 @@ fn main() {
             ratio <= 10.0,
             "group commit must amortise the fsync to within 10x of the \
              memory-sink protocol cost ({ratio:.1}x)"
+        );
+        // The adaptive linger: a lone writer must no longer pay the 200 µs
+        // straggler wait per commit, so Group stays within a small factor
+        // of Sync (handoff + shared fsync, no wait)…
+        assert!(
+            solo_ratio <= 5.0,
+            "single-writer group commit must approach sync once the linger \
+             disarms ({solo_ratio:.2}x)"
+        );
+        // …while concurrent writers still get coalesced syncs.
+        assert!(
+            e16.contended.group_stats.max_batch > 1,
+            "adaptive linger must not cost the contended run its batching: {:?}",
+            e16.contended.group_stats
         );
     }
     for row in &e16.recovery {

@@ -405,6 +405,67 @@ pub fn contended_commit(writers: usize, per_writer: i32, rounds: usize) -> Conte
     }
 }
 
+/// Single-writer commit latency: Sync vs Group over the same file sink.
+/// The group linger exists for *concurrent* writers; this row checks what
+/// a lone writer pays for it. With the fixed 200 µs linger it dominated
+/// every commit; the adaptive linger disarms after two solo drains, so
+/// Group should sit within a small factor of Sync (handoff to the
+/// log-writer thread plus the shared fsync, no wait).
+#[derive(Debug, Clone)]
+pub struct SoloCommitRow {
+    pub commits: i32,
+    /// File sink, `CommitMode::Sync`: the committing thread fsyncs itself.
+    pub file_sync: Duration,
+    /// File sink, `CommitMode::group()`: handoff + adaptive linger.
+    pub file_group: Duration,
+}
+
+impl SoloCommitRow {
+    /// Lone-writer Group latency relative to Sync — the adaptive-linger
+    /// acceptance ratio.
+    pub fn group_vs_sync(&self) -> f64 {
+        self.file_group.as_secs_f64() / self.file_sync.as_secs_f64().max(1e-9)
+    }
+
+    pub fn render(&self) -> String {
+        let per = |d: Duration| d.as_nanos() as f64 / self.commits as f64 / 1000.0;
+        format!(
+            "solo   x{:<6} sync {:>8.2} us/row   group {:>7.2} us/row   ({:.2}x of sync)",
+            self.commits,
+            per(self.file_sync),
+            per(self.file_group),
+            self.group_vs_sync()
+        )
+    }
+}
+
+pub fn solo_commit(commits: i32, rounds: usize) -> SoloCommitRow {
+    let dir = scratch_dir("solo");
+    let side = |mode: CommitMode| {
+        best_of(rounds, || {
+            std::fs::remove_dir_all(&dir).ok();
+            std::fs::create_dir_all(&dir).unwrap();
+            insert_side(commits, &|| {
+                let db = Database::open_with(
+                    "e16",
+                    Durability::at_path(&dir).unwrap().with_commit_mode(mode),
+                )
+                .unwrap();
+                db.create_table(TABLE, schema()).unwrap();
+                db
+            })
+        })
+    };
+    let file_sync = side(CommitMode::Sync);
+    let file_group = side(CommitMode::group());
+    std::fs::remove_dir_all(&dir).ok();
+    SoloCommitRow {
+        commits,
+        file_sync,
+        file_group,
+    }
+}
+
 fn scratch_dir(tag: &str) -> std::path::PathBuf {
     std::env::temp_dir().join(format!("fedwf-e16-{tag}-{}", std::process::id()))
 }
@@ -414,6 +475,7 @@ pub struct E16 {
     pub insert: InsertThroughputRow,
     pub scan: ScanThroughputRow,
     pub contended: ContendedCommitRow,
+    pub solo: SoloCommitRow,
     pub recovery: Vec<RecoveryRow>,
 }
 
@@ -424,6 +486,7 @@ pub fn run_e16(quick: bool) -> E16 {
         (20_000, 200, 5)
     };
     let (writers, per_writer, commit_rounds) = if quick { (8, 25, 2) } else { (8, 200, 3) };
+    let solo_commits = if quick { 50 } else { 400 };
     let recovery_sizes: &[i32] = if quick {
         &[500, 2_000]
     } else {
@@ -433,6 +496,7 @@ pub fn run_e16(quick: bool) -> E16 {
         insert: insert_throughput(rows, rounds),
         scan: scan_throughput(rows, scans, rounds),
         contended: contended_commit(writers, per_writer, commit_rounds),
+        solo: solo_commit(solo_commits, commit_rounds),
         recovery: recovery_sizes
             .iter()
             .map(|&n| recovery_time(n, rounds))
@@ -469,6 +533,14 @@ mod tests {
     fn wal_insert_path_works_end_to_end() {
         let row = insert_throughput(200, 2);
         assert!(row.wal_memory >= Duration::ZERO && row.wal_file.as_nanos() > 0);
+    }
+
+    #[test]
+    fn solo_commit_harness_measures_both_modes() {
+        // Latency bars live in the bench binary (full run); here the
+        // harness just has to land every row under both commit modes.
+        let row = solo_commit(20, 1);
+        assert!(row.file_sync.as_nanos() > 0 && row.file_group.as_nanos() > 0);
     }
 
     #[test]

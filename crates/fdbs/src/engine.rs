@@ -32,6 +32,10 @@ pub struct Fdbs {
     /// Memoize dependent UDTF invocations within one step by argument
     /// tuple. Off for experiments that need per-prefix-row cost semantics.
     udtf_memo: AtomicBool,
+    /// Run [`ExecMode::Streaming`] over typed column batches (the default).
+    /// Off gives the row-at-a-time streaming executor — kept callable as
+    /// the E17 comparison baseline.
+    vectorized: AtomicBool,
     /// Interned `udtf {name}` / `fdbs.fn {name}` span names.
     udtf_spans: SpanNameCache<Ident>,
     fn_spans: SpanNameCache<Ident>,
@@ -59,6 +63,7 @@ impl Fdbs {
             exec_mode: AtomicU8::new(0),
             projection_pruning: AtomicBool::new(true),
             udtf_memo: AtomicBool::new(true),
+            vectorized: AtomicBool::new(true),
             udtf_spans: SpanNameCache::new(),
             fn_spans: SpanNameCache::new(),
         }
@@ -119,6 +124,18 @@ impl Fdbs {
     /// join-aware path; the naive path never memoizes).
     pub fn set_udtf_memo(&self, enabled: bool) {
         self.udtf_memo.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether the streaming executor runs vectorized (columnar batches).
+    pub fn vectorized_enabled(&self) -> bool {
+        self.vectorized.load(Ordering::Relaxed)
+    }
+
+    /// Toggle vectorized streaming execution. Plans are identical either
+    /// way (vectorization is an executor property), so the plan cache
+    /// needs no re-keying.
+    pub fn set_vectorized(&self, enabled: bool) {
+        self.vectorized.store(enabled, Ordering::Relaxed);
     }
 
     /// The charge sequence of a SQL integration UDTF under the enhanced

@@ -58,7 +58,7 @@ pub enum ExecMode {
 
 /// Rows per streaming batch. Small enough that a batch of wide rows stays
 /// cache-friendly, large enough to amortize per-batch dispatch.
-const STREAM_BATCH_ROWS: usize = 1024;
+pub(crate) const STREAM_BATCH_ROWS: usize = 1024;
 
 /// Execute a bound plan against the engine's catalog, booking executor
 /// costs to `meter`. `params` supplies the plan's parameter slots in order.
@@ -88,6 +88,9 @@ pub fn execute_plan_with_mode(
         )));
     }
     match mode {
+        ExecMode::Streaming if fdbs.vectorized_enabled() => {
+            crate::vexec::execute_streaming_vectorized(fdbs, plan, params, meter)
+        }
         ExecMode::Streaming => execute_streaming(fdbs, plan, params, meter),
         ExecMode::JoinAware | ExecMode::Naive => {
             execute_materialized(fdbs, plan, params, meter, mode)
@@ -142,7 +145,7 @@ fn execute_materialized(
 
 /// Sort (ORDER BY on the aggregate output layout) and LIMIT an aggregate
 /// result — shared by the materializing and streaming paths.
-fn finish_aggregate(plan: &Plan, mut out: Table, params: &[Value]) -> FedResult<Table> {
+pub(crate) fn finish_aggregate(plan: &Plan, mut out: Table, params: &[Value]) -> FedResult<Table> {
     if !plan.order_by.is_empty() {
         let sorted = sort_rows(out.into_rows(), &plan.order_by, params)?;
         out = table_from_rows(plan.out_schema.clone(), sorted);
@@ -157,7 +160,7 @@ fn finish_aggregate(plan: &Plan, mut out: Table, params: &[Value]) -> FedResult<
 /// The scalar (non-aggregate) finishing stages over fully collected rows:
 /// ORDER BY on the pre-projection layout, projection, DISTINCT, LIMIT.
 /// Shared by the materializing paths and the streaming sort sink.
-fn scalar_tail(
+pub(crate) fn scalar_tail(
     fdbs: &Fdbs,
     plan: &Plan,
     mut rows: Vec<Row>,
@@ -396,7 +399,7 @@ fn execute_step(
 /// single integer-typed join key backed by an index. (DOUBLE keys fall back
 /// to the hash join: NaN would change the naive path's error semantics
 /// under the storage layer's silent 3VL comparison.)
-fn step_is_indexable(
+pub(crate) fn step_is_indexable(
     fdbs: &Fdbs,
     table: &Ident,
     schema: &SchemaRef,
@@ -414,7 +417,7 @@ fn step_is_indexable(
 /// Translate the original step-local build columns of a join key into
 /// positions within the pruned step projection. The binder always keeps
 /// join build columns in the projection, so a miss is an internal error.
-fn build_positions(build: &[usize], proj: Option<&[usize]>) -> FedResult<Vec<usize>> {
+pub(crate) fn build_positions(build: &[usize], proj: Option<&[usize]>) -> FedResult<Vec<usize>> {
     match proj {
         None => Ok(build.to_vec()),
         Some(p) => build
@@ -432,7 +435,7 @@ fn build_positions(build: &[usize], proj: Option<&[usize]>) -> FedResult<Vec<usi
 
 /// A step's result rows cut down to the pruned projection (UDTF results are
 /// produced full-width by the function body; scans prune at the source).
-fn pruned_rows(table: &Table, proj: Option<&[usize]>) -> Vec<Row> {
+pub(crate) fn pruned_rows(table: &Table, proj: Option<&[usize]>) -> Vec<Row> {
     match proj {
         None => table.rows().to_vec(),
         Some(p) => table.rows().iter().map(|r| r.project(p)).collect(),
@@ -440,14 +443,14 @@ fn pruned_rows(table: &Table, proj: Option<&[usize]>) -> Vec<Row> {
 }
 
 /// Record `rows` as materialized on the meter's observability counters.
-fn tally_rows(meter: &mut Meter, rows: &[Row]) {
+pub(crate) fn tally_rows(meter: &mut Meter, rows: &[Row]) {
     let bytes: usize = rows.iter().map(Row::approx_bytes).sum();
     meter.tally_materialized(rows.len() as u64, bytes as u64);
 }
 
 /// Keep the rows satisfying `filter`, booking one predicate evaluation per
 /// input row (the naive composition's per-row cost).
-fn filter_rows(
+pub(crate) fn filter_rows(
     rows: Vec<Row>,
     filter: &BoundExpr,
     params: &[Value],
@@ -468,7 +471,7 @@ fn filter_rows(
 /// paper's "join with selection" (it is that operation, implemented
 /// better); the per-row cost scales with build + output instead of the
 /// cross product.
-fn charge_join(meter: &mut Meter, cost: &CostModel, rows: usize) {
+pub(crate) fn charge_join(meter: &mut Meter, cost: &CostModel, rows: usize) {
     meter.charge(
         Component::Fdbs,
         "Join with selection (compose result sets)",
@@ -479,7 +482,7 @@ fn charge_join(meter: &mut Meter, cost: &CostModel, rows: usize) {
 /// The join key of one value, with the naive path's error semantics:
 /// NULL joins nothing (`None`), NaN is a hard comparison error (the naive
 /// path's `sql_cmp` raises "cannot compare" for it on every pairing).
-fn join_key_checked(v: &Value) -> FedResult<Option<ValueKey>> {
+pub(crate) fn join_key_checked(v: &Value) -> FedResult<Option<ValueKey>> {
     match v.join_key() {
         Some(ValueKey::NaN) => Err(FedError::execution(format!(
             "cannot compare {v} in a join key"
@@ -490,7 +493,7 @@ fn join_key_checked(v: &Value) -> FedResult<Option<ValueKey>> {
 
 /// Evaluate the build-side key of one row; `None` means the row joins
 /// nothing (a NULL key under SQL three-valued logic).
-fn build_key(row: &Row, build_cols: &[usize]) -> FedResult<Option<Vec<ValueKey>>> {
+pub(crate) fn build_key(row: &Row, build_cols: &[usize]) -> FedResult<Option<Vec<ValueKey>>> {
     let mut key = Vec::with_capacity(build_cols.len());
     for &c in build_cols {
         match join_key_checked(&row.values()[c])? {
@@ -625,7 +628,7 @@ fn sort_rows(rows: Vec<Row>, order: &[(BoundExpr, bool)], params: &[Value]) -> F
     Ok(keyed.into_iter().map(|(_, row)| row).collect())
 }
 
-fn table_from_rows(schema: SchemaRef, rows: Vec<Row>) -> Table {
+pub(crate) fn table_from_rows(schema: SchemaRef, rows: Vec<Row>) -> Table {
     let mut t = Table::new(schema);
     for row in rows {
         t.push_unchecked(row);
@@ -638,7 +641,7 @@ fn table_from_rows(schema: SchemaRef, rows: Vec<Row>) -> Table {
 // ---------------------------------------------------------------------------
 
 /// Collected argument values per group: (key values, per-column data).
-struct Group {
+pub(crate) struct Group {
     keys: Vec<Value>,
     /// For each aggregate column: non-null argument values (for
     /// COUNT(*): the total row count as `seen`).
@@ -653,7 +656,7 @@ struct Group {
 /// rows (`COUNT(*)` of an empty table is 0, `SUM` is NULL). Groups appear in
 /// first-appearance order on every path; the fast paths find them through a
 /// hash map, the naive path by linear `index_cmp` search.
-struct Aggregator<'p> {
+pub(crate) struct Aggregator<'p> {
     plan: &'p Plan,
     agg: &'p AggregatePlan,
     hashed: bool,
@@ -664,7 +667,12 @@ struct Aggregator<'p> {
 }
 
 impl<'p> Aggregator<'p> {
-    fn new(plan: &'p Plan, agg: &'p AggregatePlan, cost: &CostModel, hashed: bool) -> Self {
+    pub(crate) fn new(
+        plan: &'p Plan,
+        agg: &'p AggregatePlan,
+        cost: &CostModel,
+        hashed: bool,
+    ) -> Self {
         Aggregator {
             plan,
             agg,
@@ -676,7 +684,7 @@ impl<'p> Aggregator<'p> {
         }
     }
 
-    fn push(&mut self, row: &Row, params: &[Value], meter: &mut Meter) -> FedResult<()> {
+    pub(crate) fn push(&mut self, row: &Row, params: &[Value], meter: &mut Meter) -> FedResult<()> {
         let agg_count = self.agg.columns.len();
         meter.charge(Component::Fdbs, "Evaluate predicates", self.predicate_eval);
         let keys: Vec<Value> = self
@@ -730,7 +738,71 @@ impl<'p> Aggregator<'p> {
         Ok(())
     }
 
-    fn finish(mut self, meter: &mut Meter) -> FedResult<Table> {
+    pub(crate) fn agg_plan(&self) -> &'p AggregatePlan {
+        self.agg
+    }
+
+    /// Book the per-row grouping charge for a whole batch at once — one
+    /// record whose amount equals what [`Aggregator::push`] books across
+    /// the same rows, so virtual-time totals are identical.
+    pub(crate) fn charge_batch(&self, meter: &mut Meter, rows: u64) {
+        meter.charge(
+            Component::Fdbs,
+            "Evaluate predicates",
+            self.predicate_eval * rows,
+        );
+    }
+
+    /// Push one row whose key and argument expressions were already
+    /// evaluated (the vectorized sink's entry). Grouping, first-appearance
+    /// order, and null-skipping match [`Aggregator::push`] exactly; the
+    /// caller books the charge via [`Aggregator::charge_batch`].
+    pub(crate) fn push_evaled(&mut self, keys: Vec<Value>, args: Vec<Option<Value>>) {
+        let agg_count = self.agg.columns.len();
+        let idx = if self.hashed {
+            let hkey: Vec<ValueKey> = keys.iter().map(Value::group_key).collect();
+            match self.lookup.entry(hkey) {
+                Entry::Occupied(e) => *e.get(),
+                Entry::Vacant(e) => {
+                    self.groups.push(Group {
+                        keys: keys.clone(),
+                        values: vec![Vec::new(); agg_count],
+                        seen: 0,
+                    });
+                    *e.insert(self.groups.len() - 1)
+                }
+            }
+        } else {
+            let found = self.groups.iter().position(|g| {
+                g.keys
+                    .iter()
+                    .zip(&keys)
+                    .all(|(a, b)| a.index_cmp(b) == std::cmp::Ordering::Equal)
+            });
+            match found {
+                Some(i) => i,
+                None => {
+                    self.groups.push(Group {
+                        keys: keys.clone(),
+                        values: vec![Vec::new(); agg_count],
+                        seen: 0,
+                    });
+                    self.groups.len() - 1
+                }
+            }
+        };
+        let group = &mut self.groups[idx];
+        group.seen += 1;
+        for (i, v) in args.into_iter().enumerate() {
+            if let Some(v) = v {
+                if !v.is_null() {
+                    group.values[i].push(v);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn finish(mut self, meter: &mut Meter) -> FedResult<Table> {
         let agg_count = self.agg.columns.len();
         // Global aggregation over zero rows still yields one (empty) group.
         if self.groups.is_empty() && self.agg.keys.is_empty() {
@@ -849,7 +921,7 @@ fn coerce_agg(v: Value, to: DataType) -> FedResult<Value> {
     })
 }
 
-fn cross(prefix: Vec<Row>, rows: &[Row]) -> Vec<Row> {
+pub(crate) fn cross(prefix: Vec<Row>, rows: &[Row]) -> Vec<Row> {
     let mut out = Vec::with_capacity(prefix.len() * rows.len());
     for left in &prefix {
         for right in rows {
@@ -935,7 +1007,7 @@ impl Source<'_> {
 /// through are not. Charges whose amounts depend on totals (join
 /// composition, index-probe scans) are deferred to [`Op::finish`] so they
 /// match the materializing paths' single-record formulas.
-enum Op<'p> {
+pub(crate) enum Op<'p> {
     HashJoin {
         build_rows: Vec<Row>,
         /// Build columns translated into the (possibly pruned) build layout.
@@ -977,7 +1049,7 @@ enum Op<'p> {
 }
 
 impl Op<'_> {
-    fn push(
+    pub(crate) fn push(
         &mut self,
         fdbs: &Fdbs,
         batch: Vec<Row>,
@@ -1114,7 +1186,7 @@ impl Op<'_> {
 
     /// Book the deferred composition charges so totals match the
     /// materializing paths exactly.
-    fn finish(&self, cost: &CostModel, meter: &mut Meter) {
+    pub(crate) fn finish(&self, cost: &CostModel, meter: &mut Meter) {
         match self {
             Op::HashJoin {
                 build_rows,
@@ -1156,7 +1228,7 @@ impl Op<'_> {
 /// Where streaming batches end up: an incremental aggregation, a sort
 /// buffer (pipeline breaker), or the streaming projection with inline
 /// DISTINCT and LIMIT early-exit.
-enum Sink<'p> {
+pub(crate) enum Sink<'p> {
     Aggregate(Aggregator<'p>),
     Sort(Vec<Row>),
     Project {
@@ -1173,9 +1245,9 @@ enum Sink<'p> {
 /// wall-clock windows would overlap meaninglessly); its booked vector is
 /// left empty — the charges themselves are already attributed to the
 /// enclosing `fdbs.execute` span, so actuals never double-count.
-struct StreamProbe {
+pub(crate) struct StreamProbe {
     name: SpanName,
-    virt_us: u64,
+    pub(crate) virt_us: u64,
     wall_ns: u64,
     batches: u64,
     rows: u64,
@@ -1183,7 +1255,7 @@ struct StreamProbe {
 }
 
 impl StreamProbe {
-    fn new(name: impl Into<SpanName>) -> StreamProbe {
+    pub(crate) fn new(name: impl Into<SpanName>) -> StreamProbe {
         StreamProbe {
             name: name.into(),
             virt_us: 0,
@@ -1199,7 +1271,7 @@ impl StreamProbe {
         self.record_counts(virt_us, wall_ns, out.len() as u64, bytes);
     }
 
-    fn record_counts(&mut self, virt_us: u64, wall_ns: u64, rows: u64, bytes: u64) {
+    pub(crate) fn record_counts(&mut self, virt_us: u64, wall_ns: u64, rows: u64, bytes: u64) {
         self.virt_us += virt_us;
         self.wall_ns += wall_ns;
         self.batches += 1;
@@ -1207,7 +1279,7 @@ impl StreamProbe {
         self.bytes += bytes;
     }
 
-    fn into_leaf(self, start_us: u64) -> TraceNode {
+    pub(crate) fn into_leaf(self, start_us: u64) -> TraceNode {
         let mut node = TraceNode::leaf(Component::Fdbs, self.name, start_us);
         node.end_us = start_us + self.virt_us;
         node.wall_ns = self.wall_ns;
@@ -1219,14 +1291,14 @@ impl StreamProbe {
 }
 
 /// Probes for the whole pipeline: source, one per operator, sink.
-struct StreamProbes {
-    start_us: u64,
-    source: StreamProbe,
-    ops: Vec<StreamProbe>,
-    sink: StreamProbe,
+pub(crate) struct StreamProbes {
+    pub(crate) start_us: u64,
+    pub(crate) source: StreamProbe,
+    pub(crate) ops: Vec<StreamProbe>,
+    pub(crate) sink: StreamProbe,
 }
 
-fn op_probe_name(op: &Op<'_>) -> SpanName {
+pub(crate) fn op_probe_name(op: &Op<'_>) -> SpanName {
     match op {
         Op::HashJoin { .. } => SpanName::Static("hash-join"),
         Op::IndexProbe { table, .. } => SpanName::from(format!("index-probe {table}")),
@@ -1239,11 +1311,11 @@ fn op_probe_name(op: &Op<'_>) -> SpanName {
 /// Start one probe measurement: a wall-clock mark (only when the trace has
 /// wall sampling on — neither the untraced path nor an ordinary virtual
 /// trace ever reads the OS clock here) and the current virtual time.
-fn probe_mark(wall: bool, meter: &Meter) -> (Option<Instant>, u64) {
+pub(crate) fn probe_mark(wall: bool, meter: &Meter) -> (Option<Instant>, u64) {
     (wall.then(Instant::now), meter.now_us())
 }
 
-fn elapsed_ns(mark: Option<Instant>) -> u64 {
+pub(crate) fn elapsed_ns(mark: Option<Instant>) -> u64 {
     mark.map_or(0, |t| t.elapsed().as_nanos() as u64)
 }
 
@@ -1417,7 +1489,7 @@ fn execute_streaming(
 
 /// Build the streaming operator for one lateral step, performing the
 /// eager (pipeline-breaking) work up front.
-fn prepare_step_op<'p>(
+pub(crate) fn prepare_step_op<'p>(
     fdbs: &Fdbs,
     step: &'p FromStep,
     position: usize,
@@ -1556,7 +1628,7 @@ fn prepare_step_op<'p>(
 
 /// Feed one batch to the sink. Returns `true` when the sink is satisfied
 /// (LIMIT reached) and pulling should stop.
-fn sink_push(
+pub(crate) fn sink_push(
     sink: &mut Sink<'_>,
     plan: &Plan,
     batch: Vec<Row>,

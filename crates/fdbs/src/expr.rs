@@ -182,22 +182,8 @@ impl BoundExpr {
                 let v = input.eval(row, params)?;
                 Ok(cast_value(&v, *to)?)
             }
-            BoundExpr::Not(e) => match e.eval(row, params)? {
-                Value::Null => Ok(Value::Null),
-                Value::Boolean(b) => Ok(Value::Boolean(!b)),
-                other => Err(FedError::execution(format!(
-                    "NOT applied to non-boolean {other}"
-                ))),
-            },
-            BoundExpr::Neg(e) => match e.eval(row, params)? {
-                Value::Null => Ok(Value::Null),
-                Value::Int(v) => Ok(Value::Int(-v)),
-                Value::BigInt(v) => Ok(Value::BigInt(-v)),
-                Value::Double(v) => Ok(Value::Double(-v)),
-                other => Err(FedError::execution(format!(
-                    "unary minus applied to {other}"
-                ))),
-            },
+            BoundExpr::Not(e) => apply_not(&e.eval(row, params)?),
+            BoundExpr::Neg(e) => apply_neg(&e.eval(row, params)?),
             BoundExpr::IsNull { input, negated } => {
                 let v = input.eval(row, params)?;
                 Ok(Value::Boolean(v.is_null() != *negated))
@@ -219,7 +205,32 @@ impl BoundExpr {
     }
 }
 
-fn eval_scalar(f: ScalarFn, args: &[Value]) -> FedResult<Value> {
+/// `NOT v` on an evaluated operand — shared by the row evaluator and the
+/// vectorized kernels.
+pub(crate) fn apply_not(v: &Value) -> FedResult<Value> {
+    match v {
+        Value::Null => Ok(Value::Null),
+        Value::Boolean(b) => Ok(Value::Boolean(!b)),
+        other => Err(FedError::execution(format!(
+            "NOT applied to non-boolean {other}"
+        ))),
+    }
+}
+
+/// Unary minus on an evaluated operand.
+pub(crate) fn apply_neg(v: &Value) -> FedResult<Value> {
+    match v {
+        Value::Null => Ok(Value::Null),
+        Value::Int(v) => Ok(Value::Int(-v)),
+        Value::BigInt(v) => Ok(Value::BigInt(-v)),
+        Value::Double(v) => Ok(Value::Double(-v)),
+        other => Err(FedError::execution(format!(
+            "unary minus applied to {other}"
+        ))),
+    }
+}
+
+pub(crate) fn eval_scalar(f: ScalarFn, args: &[Value]) -> FedResult<Value> {
     let arg = |i: usize| -> FedResult<&Value> {
         args.get(i)
             .ok_or_else(|| FedError::execution("missing scalar function argument"))
@@ -309,13 +320,20 @@ fn eval_binary(
 
     let l = left.eval(row, params)?;
     let r = right.eval(row, params)?;
+    apply_binary_nonlogical(op, &l, &r)
+}
+
+/// A non-AND/OR binary operator applied to two evaluated operands —
+/// shared by the row evaluator and the vectorized kernels.
+pub(crate) fn apply_binary_nonlogical(op: BinaryOp, l: &Value, r: &Value) -> FedResult<Value> {
+    use BinaryOp::*;
     if l.is_null() || r.is_null() {
         return Ok(Value::Null);
     }
     match op {
         Eq | NotEq | Lt | LtEq | Gt | GtEq => {
             let ord = l
-                .sql_cmp(&r)
+                .sql_cmp(r)
                 .ok_or_else(|| FedError::execution(format!("cannot compare {l} with {r}")))?;
             let b = match op {
                 Eq => ord == std::cmp::Ordering::Equal,
@@ -334,9 +352,42 @@ fn eval_binary(
             };
             Ok(Value::Varchar(format!("{a}{b}").into()))
         }
-        Add | Sub | Mul | Div => eval_arith(op, &l, &r),
-        And | Or => unreachable!("handled above"),
+        Add | Sub | Mul | Div => eval_arith(op, l, r),
+        And | Or => unreachable!("logical ops are handled by the caller"),
     }
+}
+
+/// AND/OR on two *already evaluated* operands (eager Kleene). The row
+/// evaluator stays lazy-right; the vectorized kernels evaluate both sides
+/// and combine here. Anywhere the results could diverge — a right operand
+/// whose evaluation errors, or a non-boolean right operand the lazy path
+/// would never inspect — the eager path reports an error and the caller
+/// falls back to row-at-a-time evaluation, so observable semantics are
+/// identical.
+pub(crate) fn apply_logical(op: BinaryOp, l: &Value, r: &Value) -> FedResult<Value> {
+    let as_bool = |v: &Value| -> FedResult<Option<bool>> {
+        match v {
+            Value::Null => Ok(None),
+            Value::Boolean(b) => Ok(Some(*b)),
+            other => Err(FedError::execution(format!(
+                "{op:?} applied to non-boolean {other}"
+            ))),
+        }
+    };
+    let lb = as_bool(l)?;
+    match (op, lb) {
+        (BinaryOp::And, Some(false)) => return Ok(Value::Boolean(false)),
+        (BinaryOp::Or, Some(true)) => return Ok(Value::Boolean(true)),
+        _ => {}
+    }
+    let rb = as_bool(r)?;
+    Ok(match (op, lb, rb) {
+        (BinaryOp::And, Some(true), Some(true)) => Value::Boolean(true),
+        (BinaryOp::And, _, Some(false)) => Value::Boolean(false),
+        (BinaryOp::Or, Some(false), Some(false)) => Value::Boolean(false),
+        (BinaryOp::Or, _, Some(true)) => Value::Boolean(true),
+        _ => Value::Null,
+    })
 }
 
 fn eval_arith(op: BinaryOp, l: &Value, r: &Value) -> FedResult<Value> {

@@ -65,6 +65,8 @@ pub mod expr;
 pub mod plan;
 pub mod sqlmed;
 pub mod udtf;
+pub(crate) mod vexec;
+pub(crate) mod vexpr;
 
 pub use catalog::Catalog;
 pub use engine::Fdbs;

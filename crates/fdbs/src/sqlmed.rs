@@ -14,7 +14,7 @@
 use std::sync::Arc;
 
 use fedwf_relstore::{Database, Predicate};
-use fedwf_types::{FedResult, SchemaRef, Table};
+use fedwf_types::{ColumnBatch, FedResult, SchemaRef, Table};
 
 /// A remote SQL source reachable through a wrapper.
 pub trait ForeignServer: Send + Sync {
@@ -52,6 +52,23 @@ pub trait ForeignServer: Send + Sync {
                 Ok(out)
             }
         }
+    }
+
+    /// Columnar pushed-down subquery: the result set crosses the wrapper
+    /// boundary as one typed [`ColumnBatch`], so transfer cost is measured
+    /// in column-vector bytes rather than boxed rows. The default adapts
+    /// the row-producing [`ForeignServer::scan_project`]; a wrapper whose
+    /// remote side is column-native (like [`RelstoreServer`]) should
+    /// override it so no intermediate rows exist at all.
+    fn scan_project_columnar(
+        &self,
+        table: &str,
+        predicate: &Predicate,
+        projection: Option<&[usize]>,
+    ) -> FedResult<ColumnBatch> {
+        Ok(ColumnBatch::from_table(
+            &self.scan_project(table, predicate, projection)?,
+        ))
     }
 
     /// Remote cardinality estimate (row count) for optimizer use.
@@ -99,6 +116,17 @@ impl ForeignServer for RelstoreServer {
         // Push the projection all the way into the remote storage engine:
         // the pruned columns are never cloned out of the heap table.
         self.db.scan_project(table, predicate, projection)
+    }
+
+    fn scan_project_columnar(
+        &self,
+        table: &str,
+        predicate: &Predicate,
+        projection: Option<&[usize]>,
+    ) -> FedResult<ColumnBatch> {
+        // Column-native end to end: storage appends matching values
+        // straight into typed vectors; no row is built on either side.
+        self.db.scan_project_columnar(table, predicate, projection)
     }
 
     fn estimate_rows(&self, table: &str) -> FedResult<usize> {
@@ -173,6 +201,39 @@ mod tests {
         assert_eq!(t.schema().len(), 1);
         assert_eq!(t.row_count(), 2);
         assert_eq!(t.value(0, "Name"), Some(&Value::str("bolt")));
+    }
+
+    #[test]
+    fn columnar_boundary_matches_row_boundary() {
+        let s = server();
+        let rows = s
+            .scan_project("Parts", &Predicate::True, Some(&[1]))
+            .unwrap();
+        let cols = s
+            .scan_project_columnar("Parts", &Predicate::True, Some(&[1]))
+            .unwrap();
+        assert_eq!(cols.to_rows(), rows.rows().to_vec());
+        // The default (row-adapting) implementation agrees too.
+        struct Plain(RelstoreServer);
+        impl ForeignServer for Plain {
+            fn name(&self) -> &str {
+                self.0.name()
+            }
+            fn table_schema(&self, table: &str) -> FedResult<SchemaRef> {
+                self.0.table_schema(table)
+            }
+            fn scan(&self, table: &str, predicate: &Predicate) -> FedResult<Table> {
+                self.0.scan(table, predicate)
+            }
+            fn estimate_rows(&self, table: &str) -> FedResult<usize> {
+                self.0.estimate_rows(table)
+            }
+        }
+        let p = Plain(server());
+        let cols = p
+            .scan_project_columnar("Parts", &Predicate::True, Some(&[1]))
+            .unwrap();
+        assert_eq!(cols.to_rows(), rows.rows().to_vec());
     }
 
     #[test]

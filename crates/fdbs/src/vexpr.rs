@@ -1,0 +1,448 @@
+//! Vectorized expression evaluation over [`ColumnBatch`]es.
+//!
+//! [`eval_vcol`] evaluates a [`BoundExpr`] for every row of a batch at
+//! once, returning either a constant (no per-row work at all) or one typed
+//! column vector. Numeric comparisons run as tight loops over the raw
+//! `i32`/`i64`/`f64` slices; everything else goes through the same
+//! per-operand helpers the row evaluator uses (`apply_binary_nonlogical`,
+//! `apply_logical`, `apply_not`, …), so scalar semantics are shared by
+//! construction.
+//!
+//! Error discipline: the vectorized kernels are *eager* — they evaluate
+//! both sides of AND/OR and whole columns where the row evaluator would
+//! short-circuit. Wherever that could observably diverge (an error the
+//! lazy path never hits), the kernel reports an error and the caller
+//! re-runs the batch through the row-at-a-time reference path, whose
+//! outcome — success or failure — is authoritative. A vectorized error is
+//! therefore never surfaced to the user; it only ever demotes a batch.
+
+use std::sync::Arc;
+
+use fedwf_types::{
+    cast_value, ColumnBatch, ColumnBuilder, ColumnData, ColumnVec, FedError, FedResult, Value,
+};
+
+use crate::expr::{
+    apply_binary_nonlogical, apply_logical, apply_neg, apply_not, eval_scalar, BinaryOp, BoundExpr,
+};
+
+/// A vectorized evaluation result: one value for every row of the batch.
+/// Constants stay constants so `lit > lit` or a parameter comparison costs
+/// nothing per row.
+pub(crate) enum VCol {
+    Const(Value),
+    Col(Arc<ColumnVec>),
+}
+
+impl VCol {
+    /// The value at row `i` (constants ignore `i`).
+    pub(crate) fn value_at(&self, i: usize) -> Value {
+        match self {
+            VCol::Const(v) => v.clone(),
+            VCol::Col(c) => c.value_at(i),
+        }
+    }
+}
+
+/// A numeric view for the comparison fast path: `get(i)` yields the row's
+/// value as `f64` (`None` for NULL), matching `sql_cmp`'s numeric rule
+/// exactly — it compares any two numerics through `as_f64`.
+enum NumView<'a> {
+    Const(Option<f64>),
+    Int(&'a ColumnVec, &'a [i32]),
+    Big(&'a ColumnVec, &'a [i64]),
+    Dbl(&'a ColumnVec, &'a [f64]),
+}
+
+impl<'a> NumView<'a> {
+    fn of(v: &'a VCol) -> Option<NumView<'a>> {
+        match v {
+            VCol::Const(Value::Null) => Some(NumView::Const(None)),
+            VCol::Const(c @ (Value::Int(_) | Value::BigInt(_) | Value::Double(_))) => {
+                Some(NumView::Const(Some(c.as_f64().expect("numeric constant"))))
+            }
+            VCol::Const(_) => None,
+            VCol::Col(c) => match &c.data {
+                ColumnData::Int(xs) => Some(NumView::Int(c, xs)),
+                ColumnData::BigInt(xs) => Some(NumView::Big(c, xs)),
+                ColumnData::Double(xs) => Some(NumView::Dbl(c, xs)),
+                _ => None,
+            },
+        }
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> Option<f64> {
+        match self {
+            NumView::Const(v) => *v,
+            NumView::Int(c, xs) => c.is_valid(i).then(|| xs[i] as f64),
+            NumView::Big(c, xs) => c.is_valid(i).then(|| xs[i] as f64),
+            NumView::Dbl(c, xs) => c.is_valid(i).then(|| xs[i]),
+        }
+    }
+}
+
+#[inline]
+fn cmp_holds(op: BinaryOp, ord: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering::*;
+    match op {
+        BinaryOp::Eq => ord == Equal,
+        BinaryOp::NotEq => ord != Equal,
+        BinaryOp::Lt => ord == Less,
+        BinaryOp::LtEq => ord != Greater,
+        BinaryOp::Gt => ord == Greater,
+        BinaryOp::GtEq => ord != Less,
+        _ => unreachable!("cmp_holds is only called for comparisons"),
+    }
+}
+
+/// Numeric comparison kernel. `None` when either side has no numeric view
+/// (the generic per-row loop handles it); `Some(Err)` when a NaN makes the
+/// comparison undefined — the caller falls back to the row path, which
+/// raises the same "cannot compare" error at the same first row.
+fn cmp_kernel(op: BinaryOp, l: &VCol, r: &VCol, len: usize) -> Option<FedResult<VCol>> {
+    let lv = NumView::of(l)?;
+    let rv = NumView::of(r)?;
+    let mut b = ColumnBuilder::with_capacity(Some(fedwf_types::DataType::Boolean), len);
+    for i in 0..len {
+        match (lv.get(i), rv.get(i)) {
+            (Some(x), Some(y)) => match x.partial_cmp(&y) {
+                Some(ord) => b.push_bool(cmp_holds(op, ord)),
+                None => {
+                    return Some(Err(FedError::execution(format!(
+                        "cannot compare {x} with {y}"
+                    ))))
+                }
+            },
+            _ => b.push_null(),
+        }
+    }
+    Some(Ok(VCol::Col(Arc::new(b.finish()))))
+}
+
+/// Apply a fallible scalar function over one evaluated operand column.
+fn map_unary(
+    len: usize,
+    v: &VCol,
+    dt: Option<fedwf_types::DataType>,
+    f: impl Fn(&Value) -> FedResult<Value>,
+) -> FedResult<VCol> {
+    if let VCol::Const(c) = v {
+        return f(c).map(VCol::Const);
+    }
+    let mut b = ColumnBuilder::with_capacity(dt, len);
+    for i in 0..len {
+        b.push(&f(&v.value_at(i))?);
+    }
+    Ok(VCol::Col(Arc::new(b.finish())))
+}
+
+/// Apply a fallible scalar function over two evaluated operand columns.
+fn map_binary(
+    len: usize,
+    l: &VCol,
+    r: &VCol,
+    dt: Option<fedwf_types::DataType>,
+    f: impl Fn(&Value, &Value) -> FedResult<Value>,
+) -> FedResult<VCol> {
+    if let (VCol::Const(a), VCol::Const(b)) = (l, r) {
+        return f(a, b).map(VCol::Const);
+    }
+    let mut b = ColumnBuilder::with_capacity(dt, len);
+    for i in 0..len {
+        b.push(&f(&l.value_at(i), &r.value_at(i))?);
+    }
+    Ok(VCol::Col(Arc::new(b.finish())))
+}
+
+/// Evaluate `e` over every row of `batch`.
+pub(crate) fn eval_vcol(e: &BoundExpr, batch: &ColumnBatch, params: &[Value]) -> FedResult<VCol> {
+    let len = batch.len();
+    match e {
+        BoundExpr::Column { index, .. } => {
+            batch.column(*index).cloned().map(VCol::Col).ok_or_else(|| {
+                FedError::execution(format!("column index {index} out of row bounds"))
+            })
+        }
+        BoundExpr::Param { index, .. } => {
+            params.get(*index).cloned().map(VCol::Const).ok_or_else(|| {
+                FedError::execution(format!("parameter index {index} out of bounds"))
+            })
+        }
+        BoundExpr::Literal(v) => Ok(VCol::Const(v.clone())),
+        BoundExpr::Cast { input, to } => {
+            let v = eval_vcol(input, batch, params)?;
+            map_unary(len, &v, Some(*to), |x| Ok(cast_value(x, *to)?))
+        }
+        BoundExpr::Not(inner) => {
+            let v = eval_vcol(inner, batch, params)?;
+            map_unary(len, &v, e.data_type(), apply_not)
+        }
+        BoundExpr::Neg(inner) => {
+            let v = eval_vcol(inner, batch, params)?;
+            map_unary(len, &v, e.data_type(), apply_neg)
+        }
+        BoundExpr::IsNull { input, negated } => {
+            let v = eval_vcol(input, batch, params)?;
+            let negated = *negated;
+            map_unary(len, &v, Some(fedwf_types::DataType::Boolean), |x| {
+                Ok(Value::Boolean(x.is_null() != negated))
+            })
+        }
+        BoundExpr::Scalar { f, args } => {
+            let cols: Vec<VCol> = args
+                .iter()
+                .map(|a| eval_vcol(a, batch, params))
+                .collect::<FedResult<_>>()?;
+            if cols.iter().all(|c| matches!(c, VCol::Const(_))) {
+                let vals: Vec<Value> = cols.iter().map(|c| c.value_at(0)).collect();
+                return eval_scalar(*f, &vals).map(VCol::Const);
+            }
+            let mut b = ColumnBuilder::with_capacity(e.data_type(), len);
+            let mut vals = Vec::with_capacity(cols.len());
+            for i in 0..len {
+                vals.clear();
+                vals.extend(cols.iter().map(|c| c.value_at(i)));
+                b.push(&eval_scalar(*f, &vals)?);
+            }
+            Ok(VCol::Col(Arc::new(b.finish())))
+        }
+        BoundExpr::Binary { left, op, right } => {
+            let l = eval_vcol(left, batch, params)?;
+            let r = eval_vcol(right, batch, params)?;
+            match op {
+                BinaryOp::And | BinaryOp::Or => {
+                    map_binary(len, &l, &r, Some(fedwf_types::DataType::Boolean), |a, b| {
+                        apply_logical(*op, a, b)
+                    })
+                }
+                BinaryOp::Eq
+                | BinaryOp::NotEq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq => match cmp_kernel(*op, &l, &r, len) {
+                    Some(res) => res,
+                    None => map_binary(len, &l, &r, e.data_type(), |a, b| {
+                        apply_binary_nonlogical(*op, a, b)
+                    }),
+                },
+                _ => map_binary(len, &l, &r, e.data_type(), |a, b| {
+                    apply_binary_nonlogical(*op, a, b)
+                }),
+            }
+        }
+    }
+}
+
+/// Evaluate a predicate over the batch into a selection vector: the row
+/// indexes where it is definitely TRUE (3VL — NULL and FALSE both drop).
+pub(crate) fn eval_filter_mask(
+    e: &BoundExpr,
+    batch: &ColumnBatch,
+    params: &[Value],
+) -> FedResult<Vec<u32>> {
+    // Fused fast path for the common shape `col <cmp> expr` over numerics:
+    // build the selection vector straight from the comparison, skipping
+    // the intermediate Boolean column entirely. NULL on either side drops
+    // the row (3VL), NaN falls back through the error path.
+    if let BoundExpr::Binary { left, op, right } = e {
+        if matches!(
+            op,
+            BinaryOp::Eq
+                | BinaryOp::NotEq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq
+        ) {
+            let l = eval_vcol(left, batch, params)?;
+            let r = eval_vcol(right, batch, params)?;
+            if let (Some(lv), Some(rv)) = (NumView::of(&l), NumView::of(&r)) {
+                let len = batch.len();
+                // Hottest shape of all: fully-valid INT column against a
+                // non-NaN numeric constant. Walk the raw `i32` slice with
+                // no per-row validity reads or Option boxing; `i32 → f64`
+                // is exact, so this is still `sql_cmp`'s numeric rule.
+                if let (NumView::Int(c, xs), NumView::Const(Some(y))) = (&lv, &rv) {
+                    if !y.is_nan() && c.all_valid(len) {
+                        let mut sel = Vec::with_capacity(len);
+                        for (i, &x) in xs.iter().enumerate().take(len) {
+                            let ord = (x as f64).partial_cmp(y).expect("neither side is NaN");
+                            if cmp_holds(*op, ord) {
+                                sel.push(i as u32);
+                            }
+                        }
+                        return Ok(sel);
+                    }
+                }
+                let mut sel = Vec::with_capacity(len);
+                for i in 0..batch.len() {
+                    if let (Some(x), Some(y)) = (lv.get(i), rv.get(i)) {
+                        match x.partial_cmp(&y) {
+                            Some(ord) => {
+                                if cmp_holds(*op, ord) {
+                                    sel.push(i as u32);
+                                }
+                            }
+                            None => {
+                                return Err(FedError::execution(format!(
+                                    "cannot compare {x} with {y}"
+                                )))
+                            }
+                        }
+                    }
+                }
+                return Ok(sel);
+            }
+        }
+    }
+    let v = eval_vcol(e, batch, params)?;
+    let len = batch.len();
+    match v {
+        VCol::Const(Value::Boolean(true)) => Ok((0..len as u32).collect()),
+        VCol::Const(Value::Boolean(false) | Value::Null) => Ok(Vec::new()),
+        VCol::Const(other) => Err(FedError::execution(format!(
+            "predicate evaluated to non-boolean {other}"
+        ))),
+        VCol::Col(c) => {
+            let mut sel = Vec::new();
+            match &c.data {
+                ColumnData::Boolean(bits) => {
+                    for (i, keep) in bits.iter().enumerate().take(len) {
+                        if *keep && c.is_valid(i) {
+                            sel.push(i as u32);
+                        }
+                    }
+                }
+                _ => {
+                    for i in 0..len {
+                        if matches!(c.value_at(i), Value::Boolean(true)) {
+                            sel.push(i as u32);
+                        }
+                    }
+                }
+            }
+            Ok(sel)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedwf_types::{DataType, Row};
+
+    fn col(i: usize, dt: DataType) -> BoundExpr {
+        BoundExpr::Column {
+            index: i,
+            data_type: dt,
+        }
+    }
+
+    fn lit(v: impl Into<Value>) -> BoundExpr {
+        BoundExpr::Literal(v.into())
+    }
+
+    fn bin(l: BoundExpr, op: BinaryOp, r: BoundExpr) -> BoundExpr {
+        BoundExpr::Binary {
+            left: Box::new(l),
+            op,
+            right: Box::new(r),
+        }
+    }
+
+    fn batch() -> ColumnBatch {
+        let rows = vec![
+            Row::new(vec![Value::Int(1), Value::Double(1.5), Value::str("a")]),
+            Row::new(vec![Value::Int(5), Value::Null, Value::str("")]),
+            Row::new(vec![Value::Null, Value::Double(-2.0), Value::Null]),
+            Row::new(vec![Value::Int(9), Value::Double(9.0), Value::str("zz")]),
+        ];
+        ColumnBatch::from_rows(&[DataType::Int, DataType::Double, DataType::Varchar], &rows)
+    }
+
+    /// Every expression must agree with the row evaluator value-for-value.
+    fn assert_matches_row_eval(e: &BoundExpr) {
+        let b = batch();
+        let v = eval_vcol(e, &b, &[]).unwrap();
+        for (i, row) in b.to_rows().iter().enumerate() {
+            assert_eq!(
+                v.value_at(i),
+                e.eval(row.values(), &[]).unwrap(),
+                "row {i} of {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn kernels_match_row_eval() {
+        let exprs = [
+            bin(col(0, DataType::Int), BinaryOp::Gt, lit(2)),
+            bin(
+                col(0, DataType::Int),
+                BinaryOp::LtEq,
+                col(1, DataType::Double),
+            ),
+            bin(col(1, DataType::Double), BinaryOp::Eq, lit(1.5)),
+            bin(col(2, DataType::Varchar), BinaryOp::Eq, lit("a")),
+            bin(
+                bin(col(0, DataType::Int), BinaryOp::Gt, lit(0)),
+                BinaryOp::And,
+                bin(col(1, DataType::Double), BinaryOp::Lt, lit(5.0)),
+            ),
+            bin(col(0, DataType::Int), BinaryOp::Add, lit(10)),
+            BoundExpr::Not(Box::new(bin(col(0, DataType::Int), BinaryOp::Gt, lit(2)))),
+            BoundExpr::Neg(Box::new(col(1, DataType::Double))),
+            BoundExpr::IsNull {
+                input: Box::new(col(2, DataType::Varchar)),
+                negated: false,
+            },
+            BoundExpr::Cast {
+                input: Box::new(col(0, DataType::Int)),
+                to: DataType::BigInt,
+            },
+            BoundExpr::Scalar {
+                f: crate::expr::ScalarFn::Upper,
+                args: vec![col(2, DataType::Varchar)],
+            },
+            bin(col(2, DataType::Varchar), BinaryOp::Concat, lit("!")),
+            lit(42),
+        ];
+        for e in &exprs {
+            assert_matches_row_eval(e);
+        }
+    }
+
+    #[test]
+    fn filter_mask_is_three_valued() {
+        let b = batch();
+        // col0 > 2: row0 false, row1 true, row2 NULL (drops), row3 true.
+        let e = bin(col(0, DataType::Int), BinaryOp::Gt, lit(2));
+        assert_eq!(eval_filter_mask(&e, &b, &[]).unwrap(), vec![1, 3]);
+        // Constant predicates collapse to all-or-nothing.
+        assert_eq!(
+            eval_filter_mask(&lit(true), &b, &[]).unwrap(),
+            vec![0, 1, 2, 3]
+        );
+        assert!(eval_filter_mask(&lit(Value::Null), &b, &[])
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn nan_comparison_reports_error_for_fallback() {
+        let b = batch();
+        let e = bin(col(1, DataType::Double), BinaryOp::Lt, lit(f64::NAN));
+        assert!(eval_vcol(&e, &b, &[]).is_err());
+    }
+
+    #[test]
+    fn type_error_reports_for_fallback() {
+        let b = batch();
+        // Varchar vs Int comparison errors on the generic path, like the
+        // row evaluator does.
+        let e = bin(col(2, DataType::Varchar), BinaryOp::Gt, lit(1));
+        assert!(eval_vcol(&e, &b, &[]).is_err());
+    }
+}

@@ -22,7 +22,7 @@ use std::sync::Arc;
 
 use fedwf_types::sync::RwLock;
 use fedwf_types::{
-    FedError, FedResult, Ident, Row, SchemaRef, Table, TxnId, Value, TXN_EPOCH_ZERO,
+    ColumnBatch, FedError, FedResult, Ident, Row, SchemaRef, Table, TxnId, Value, TXN_EPOCH_ZERO,
 };
 
 use crate::index::IndexKind;
@@ -490,6 +490,55 @@ impl Database {
         let tables = self.tables.read();
         Self::resolve(&tables, table, &self.name)?
             .scan_chunk_at(predicate, projection, start_slot, max_rows, epoch)
+    }
+
+    /// [`Database::scan_project`] in columnar form: the matching rows come
+    /// back as one typed [`ColumnBatch`] built directly from the version
+    /// chains. Reads at the published commit epoch.
+    pub fn scan_project_columnar(
+        &self,
+        table: &str,
+        predicate: &Predicate,
+        projection: Option<&[usize]>,
+    ) -> FedResult<ColumnBatch> {
+        let tables = self.tables.read();
+        let epoch = self.commit_epoch.load(Ordering::Acquire);
+        Self::resolve(&tables, table, &self.name)?
+            .scan_project_columnar_at(predicate, projection, epoch)
+    }
+
+    /// [`Database::scan_chunk`] in columnar form — the cursor behind the
+    /// vectorized streaming executor. The caller pins `epoch` once; every
+    /// chunk reads that same snapshot.
+    pub fn scan_chunk_columnar(
+        &self,
+        table: &str,
+        predicate: &Predicate,
+        projection: Option<&[usize]>,
+        start_slot: RowId,
+        max_rows: usize,
+        epoch: TxnId,
+    ) -> FedResult<(ColumnBatch, Option<RowId>)> {
+        let tables = self.tables.read();
+        Self::resolve(&tables, table, &self.name)?
+            .scan_chunk_columnar_at(predicate, projection, start_slot, max_rows, epoch)
+    }
+
+    /// [`Database::scan_eq_project`] in columnar form: `column = key AND
+    /// residual`, index-served when possible, projected columns as a batch.
+    pub fn scan_eq_project_columnar(
+        &self,
+        table: &str,
+        column: usize,
+        key: Value,
+        residual: &Predicate,
+        projection: Option<&[usize]>,
+    ) -> FedResult<ColumnBatch> {
+        self.scan_project_columnar(
+            table,
+            &Predicate::eq(column, key).and(residual.clone()),
+            projection,
+        )
     }
 
     /// Full-table scan (at the published commit epoch, like

@@ -1021,6 +1021,8 @@ impl GroupCommitter {
             sink,
             mode,
             commit_epoch,
+            linger_on: true,
+            solo_drains: 0,
         };
         let handle = std::thread::Builder::new()
             .name("fedwf-log-writer".into())
@@ -1153,10 +1155,39 @@ struct LogWriter {
     sink: Arc<dyn LogSink>,
     mode: CommitMode,
     commit_epoch: Arc<AtomicU64>,
+    /// Adaptive group-commit linger: whether the Phase-2 straggler wait is
+    /// currently armed. Starts on; disarmed after `SOLO_DRAIN_DISARM`
+    /// consecutive single-submission drains (a lone writer gains nothing
+    /// from waiting, so the fixed linger would just tax its latency);
+    /// re-armed the moment a drain catches ≥2 submissions, i.e. the
+    /// arrival rate shows concurrent writers again.
+    linger_on: bool,
+    /// Consecutive drains that found exactly one submission.
+    solo_drains: u32,
+}
+
+/// Single-submission drains tolerated before the group linger disarms.
+const SOLO_DRAIN_DISARM: u32 = 2;
+
+/// Adapt the group-commit linger to the observed arrival rate, given how
+/// many submissions the drain just took. Back-to-back solo drains mean a
+/// single writer is paying the full wait for nothing — turn the linger
+/// off; any multi-submission drain means batching is earning its keep
+/// again — turn it back on.
+fn adapt_linger(linger_on: &mut bool, solo_drains: &mut u32, take: usize) {
+    if take >= 2 {
+        *solo_drains = 0;
+        *linger_on = true;
+    } else if take == 1 {
+        *solo_drains = solo_drains.saturating_add(1);
+        if *solo_drains >= SOLO_DRAIN_DISARM {
+            *linger_on = false;
+        }
+    }
 }
 
 impl LogWriter {
-    fn run(self) {
+    fn run(mut self) {
         let mut unsynced = false;
         loop {
             let batch = match self.next_batch(&mut unsynced) {
@@ -1175,9 +1206,11 @@ impl LogWriter {
 
     /// Wait for work, then drain a batch. Group mode lingers up to
     /// `max_wait_us` for stragglers once it has at least one submission and
-    /// caps the batch at `max_batch`; async mode syncs on its cadence while
-    /// idle. Returns `None` on shutdown with an empty queue.
-    fn next_batch(&self, unsynced: &mut bool) -> Option<Vec<Submission>> {
+    /// caps the batch at `max_batch` — unless recent drains show a lone
+    /// writer, in which case the linger is skipped until concurrency
+    /// returns; async mode syncs on its cadence while idle. Returns `None`
+    /// on shutdown with an empty queue.
+    fn next_batch(&mut self, unsynced: &mut bool) -> Option<Vec<Submission>> {
         let mut state = self.shared.state.lock();
         // Phase 1: wait for at least one submission (or shutdown).
         loop {
@@ -1213,7 +1246,7 @@ impl LogWriter {
             max_batch,
         } = self.mode
         {
-            if max_wait_us > 0 {
+            if max_wait_us > 0 && self.linger_on {
                 let deadline = Instant::now() + Duration::from_micros(max_wait_us);
                 while state.queue.len() < max_batch && !state.shutdown {
                     let now = Instant::now();
@@ -1235,6 +1268,7 @@ impl LogWriter {
         let batch: Vec<Submission> = state.queue.drain(..take).collect();
         drop(state);
         self.shared.space.notify_all();
+        adapt_linger(&mut self.linger_on, &mut self.solo_drains, take);
         Some(batch)
     }
 
@@ -1574,6 +1608,60 @@ mod tests {
         let stats = gc.stats();
         assert_eq!(stats.commits, 8);
         assert!(stats.syncs >= 1 && stats.syncs <= stats.commits);
+    }
+
+    #[test]
+    fn linger_adapts_to_arrival_rate() {
+        let (mut on, mut solo) = (true, 0u32);
+        // Two consecutive solo drains disarm the straggler wait…
+        adapt_linger(&mut on, &mut solo, 1);
+        assert!(on, "one solo drain is not yet a pattern");
+        adapt_linger(&mut on, &mut solo, 1);
+        assert!(!on, "a lone writer must stop paying the linger");
+        adapt_linger(&mut on, &mut solo, 1);
+        assert!(!on);
+        // …and the first drain that catches a group re-arms it.
+        adapt_linger(&mut on, &mut solo, 2);
+        assert!(on, "concurrent arrivals re-arm the linger");
+        // Flush-only drains (take == 0 cannot happen; empty batches are
+        // guarded by Phase 1) leave the state alone.
+        adapt_linger(&mut on, &mut solo, 0);
+        assert!(on);
+    }
+
+    #[test]
+    fn lone_writer_group_commit_sheds_the_linger() {
+        let sink = MemorySink::new();
+        let epoch = Arc::new(AtomicU64::new(0));
+        let gc = GroupCommitter::start(
+            sink.clone() as Arc<dyn LogSink>,
+            CommitMode::Group {
+                max_wait_us: 200,
+                max_batch: 128,
+            },
+            Arc::clone(&epoch),
+        );
+        // A lone writer commits strictly back to back: every drain takes
+        // exactly one submission, so after two drains the 200 µs linger
+        // must disarm and later commits complete at handoff speed.
+        let mut latencies = vec![];
+        for txn in 1..=40u64 {
+            let start = Instant::now();
+            gc.submit(txn, Wal::encode_statement(txn, &sample_records()[..1]))
+                .unwrap()
+                .expect("group mode waits")
+                .wait()
+                .unwrap();
+            latencies.push(start.elapsed());
+        }
+        latencies.sort();
+        let median = latencies[latencies.len() / 2];
+        assert!(
+            median < Duration::from_micros(150),
+            "single-writer group commit still pays the full 200 µs linger: median {median:?}"
+        );
+        assert_eq!(gc.stats().commits, 40);
+        assert_eq!(epoch.load(Ordering::Acquire), 40);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! including the explicit `INT -> BIGINT` widening cast that the *simple
 //! case* mapping of Section 3 demonstrates with `BIGINT(GN.Number)`.
 
+pub mod batch;
 pub mod cast;
 pub mod check;
 pub mod error;
@@ -21,6 +22,7 @@ pub mod sync;
 pub mod txn;
 pub mod value;
 
+pub use batch::{ColumnBatch, ColumnBuilder, ColumnData, ColumnVec};
 pub use cast::{cast_value, implicit_cast, CastError};
 pub use error::{ErrorLayer, FedError, FedResult, ResultExt};
 pub use ident::{Ident, QualifiedName};

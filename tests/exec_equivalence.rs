@@ -25,8 +25,10 @@ use fedwf_bench::args_for;
 
 /// A join key in 0..10 (guaranteed collisions), sometimes NULL — NULL keys
 /// must be dropped identically by the residual filter and the hash join.
-fn gen_key(rng: &mut Rng) -> Value {
-    if rng.gen_bool(0.15) {
+/// `null_p` is the NULL probability; NULL-heavy federations push it up so
+/// the validity bitmaps in the columnar path carry real weight.
+fn gen_key(rng: &mut Rng, null_p: f64) -> Value {
+    if rng.gen_bool(null_p) {
         Value::Null
     } else {
         Value::Int(rng.range_i32(0, 9))
@@ -55,22 +57,33 @@ fn render_lit(v: &Value) -> String {
 /// One randomized federation: local T1(K, V, S), local-or-foreign
 /// T2(K, W) (local sometimes carries a unique index on K, the
 /// index-probe-join path), and a deterministic dependent UDTF with an
-/// architecture charge spec.
+/// architecture charge spec. A quarter of the federations are NULL-heavy
+/// (60% NULL keys, NULLable V) and mix empty strings into S, so the
+/// columnar validity bitmaps and varchar offset pairs get exercised on
+/// degenerate shapes, not just the happy path.
 fn gen_federation(rng: &mut Rng) -> Fdbs {
     let fdbs = Fdbs::new(CostModel::default());
     let mut meter = Meter::new();
     fdbs.execute("CREATE TABLE T1 (K INT, V INT, S VARCHAR)", &mut meter)
         .unwrap();
 
+    let null_p = if rng.gen_bool(0.25) { 0.6 } else { 0.15 };
     let n1 = rng.range_usize(0, 30);
     let rows: Vec<String> = (0..n1)
         .map(|_| {
-            format!(
-                "({}, {}, '{}')",
-                render_lit(&gen_key(rng)),
-                rng.range_i32(-50, 50),
+            let v = if rng.gen_bool(null_p / 4.0) {
+                "NULL".to_string()
+            } else {
+                rng.range_i32(-50, 50).to_string()
+            };
+            // Empty strings are the varchar-offset edge case: two equal
+            // adjacent offsets, zero bytes appended.
+            let s = if rng.gen_bool(0.2) {
+                String::new()
+            } else {
                 rng.ascii_string(b"abcdefgh", 4)
-            )
+            };
+            format!("({}, {v}, '{s}')", render_lit(&gen_key(rng, null_p)))
         })
         .collect();
     insert_rows(&fdbs, "T1", &rows);
@@ -90,7 +103,10 @@ fn gen_federation(rng: &mut Rng) -> Fdbs {
             remote
                 .insert(
                     "T2R",
-                    Row::new(vec![gen_key(rng), Value::Int(rng.range_i32(-50, 50))]),
+                    Row::new(vec![
+                        gen_key(rng, null_p),
+                        Value::Int(rng.range_i32(-50, 50)),
+                    ]),
                 )
                 .unwrap();
         }
@@ -118,7 +134,7 @@ fn gen_federation(rng: &mut Rng) -> Fdbs {
                 .map(|_| {
                     format!(
                         "({}, {})",
-                        render_lit(&gen_key(rng)),
+                        render_lit(&gen_key(rng, null_p)),
                         rng.range_i32(-50, 50)
                     )
                 })
@@ -157,7 +173,7 @@ fn gen_federation(rng: &mut Rng) -> Fdbs {
 }
 
 fn gen_query(rng: &mut Rng) -> String {
-    match rng.range_usize(0, 6) {
+    match rng.range_usize(0, 8) {
         0 => "SELECT A.V, B.W FROM T1 AS A, T2 AS B WHERE B.K = A.K".to_string(),
         1 => format!(
             "SELECT A.S, B.W FROM T1 AS A, T2 AS B WHERE B.K = A.K AND B.W > {}",
@@ -168,9 +184,19 @@ fn gen_query(rng: &mut Rng) -> String {
               WHERE B.K = A.K GROUP BY A.K ORDER BY 2 DESC"
             .to_string(),
         4 => "SELECT A.V, D.M FROM T1 AS A, TABLE (Dep(A.K)) AS D".to_string(),
-        _ => {
+        5 => {
             "SELECT COUNT(*) AS n, SUM(A.V) AS s FROM T1 AS A, T2 AS B WHERE B.K = A.K".to_string()
         }
+        // Single-table LIMIT: every executor scans T1 in slot order, so
+        // the first-N prefix (and its early exit) must agree everywhere.
+        6 => format!(
+            "SELECT A.K, A.S FROM T1 AS A WHERE A.V > {} LIMIT {}",
+            rng.range_i32(-50, 50),
+            rng.range_usize(1, 8)
+        ),
+        // Empty-string equality: the varchar kernel must treat a
+        // zero-length offset pair exactly like the row comparator does.
+        _ => "SELECT A.K, A.V FROM T1 AS A WHERE A.S = ''".to_string(),
     }
 }
 
@@ -227,26 +253,37 @@ fn generated_queries_agree_between_executors() {
             let naive_rows = row_multiset(&naive);
             let naive_arch = arch_charges(naive_meter.charges());
 
-            // Every (executor, pruning) combination must reproduce the
-            // reference row multiset and architecture charge multiset.
-            for mode in [ExecMode::Naive, ExecMode::JoinAware, ExecMode::Streaming] {
+            // Every (executor, vectorization, pruning) combination must
+            // reproduce the reference row multiset and architecture charge
+            // multiset. Streaming runs twice: over row batches (the
+            // retained reference pipeline) and over column batches.
+            for (mode, vectorized) in [
+                (ExecMode::Naive, true),
+                (ExecMode::JoinAware, true),
+                (ExecMode::Streaming, false),
+                (ExecMode::Streaming, true),
+            ] {
                 for pruning in [false, true] {
                     fdbs.set_exec_mode(mode);
+                    fdbs.set_vectorized(vectorized);
                     fdbs.set_projection_pruning(pruning);
                     let mut meter = Meter::new();
                     let got = fdbs.execute(&sql, &mut meter).unwrap();
                     assert_eq!(
                         naive_rows,
                         row_multiset(&got),
-                        "row multisets diverge for {sql} ({mode:?}, pruning={pruning})"
+                        "row multisets diverge for {sql} \
+                         ({mode:?}, vectorized={vectorized}, pruning={pruning})"
                     );
                     assert_eq!(
                         naive_arch,
                         arch_charges(meter.charges()),
-                        "architecture charges diverge for {sql} ({mode:?}, pruning={pruning})"
+                        "architecture charges diverge for {sql} \
+                         ({mode:?}, vectorized={vectorized}, pruning={pruning})"
                     );
                 }
             }
+            fdbs.set_vectorized(true);
 
             // Memoization may only *remove* dependent-UDTF invocations —
             // never change the rows. (Streaming + pruning stay on: the
@@ -311,9 +348,15 @@ fn index_probe_join_with_pruned_projection() {
     // both R.A and the key column R.K (the probe happens in storage).
     let sql = "SELECT L.V, B.W FROM L, R AS B WHERE B.K = L.K ORDER BY L.V";
     let mut expect: Option<Vec<String>> = None;
-    for mode in [ExecMode::Naive, ExecMode::JoinAware, ExecMode::Streaming] {
+    for (mode, vectorized) in [
+        (ExecMode::Naive, true),
+        (ExecMode::JoinAware, true),
+        (ExecMode::Streaming, false),
+        (ExecMode::Streaming, true),
+    ] {
         for pruning in [false, true] {
             fdbs.set_exec_mode(mode);
+            fdbs.set_vectorized(vectorized);
             fdbs.set_projection_pruning(pruning);
             let t = fdbs.execute(sql, &mut meter).unwrap();
             let rows = row_multiset(&t);
@@ -322,11 +365,81 @@ fn index_probe_join_with_pruned_projection() {
                     assert_eq!(rows, ["10|100", "20|200", "21|200"].map(String::from));
                     expect = Some(rows);
                 }
-                Some(e) => assert_eq!(e, &rows, "({mode:?}, pruning={pruning})"),
+                Some(e) => assert_eq!(
+                    e, &rows,
+                    "({mode:?}, vectorized={vectorized}, pruning={pruning})"
+                ),
             }
         }
     }
+    fdbs.set_vectorized(true);
     fdbs.set_projection_pruning(true);
+}
+
+/// Column batches hold 1024 rows, so a 2,600-row table spans three of
+/// them. The VARCHAR column cycles empty strings, real strings, and NULLs
+/// (the offset-pair edge cases), V carries a NULL stripe, and the LIMITs
+/// land mid-batch — one inside the first batch's successor, one deep in
+/// the third. The vectorized executor must match row-batch streaming
+/// *row-for-row in order* (the parity contract), and both must match the
+/// materializing executors as multisets.
+#[test]
+fn batch_boundary_limit_and_varchar_edges() {
+    let fdbs = Fdbs::new(CostModel::zero());
+    let mut meter = Meter::new();
+    fdbs.execute("CREATE TABLE T (K INT, V INT, S VARCHAR)", &mut meter)
+        .unwrap();
+    let rows: Vec<String> = (0..2_600)
+        .map(|i: i32| {
+            let s = match i % 3 {
+                0 => "''".to_string(),
+                1 => format!("'s{i}'"),
+                _ => "NULL".to_string(),
+            };
+            let v = if i % 7 == 0 {
+                "NULL".to_string()
+            } else {
+                (i % 100).to_string()
+            };
+            format!("({i}, {v}, {s})")
+        })
+        .collect();
+    for chunk in rows.chunks(500) {
+        insert_rows(&fdbs, "T", chunk);
+    }
+
+    let queries = [
+        // LIMIT crosses the first 1024-row batch boundary mid-batch.
+        "SELECT T.K, T.S FROM T LIMIT 1500",
+        // Filter + LIMIT: the early exit lands in the third batch.
+        "SELECT T.K FROM T WHERE T.V > 10 LIMIT 2200",
+        // Zero-length offset pairs must compare equal to ''.
+        "SELECT T.K FROM T WHERE T.S = ''",
+        // NULL stripes across batches: validity bits drive the count.
+        "SELECT COUNT(*) AS n FROM T WHERE T.V > 50",
+        "SELECT T.V, COUNT(*) AS c FROM T GROUP BY T.V ORDER BY 1",
+    ];
+    for sql in queries {
+        fdbs.set_exec_mode(ExecMode::Streaming);
+        fdbs.set_vectorized(false);
+        let reference = fdbs.execute(sql, &mut meter).unwrap();
+        fdbs.set_vectorized(true);
+        let vectorized = fdbs.execute(sql, &mut meter).unwrap();
+        assert_eq!(
+            reference, vectorized,
+            "ordered results diverge between row-batch and columnar \
+             streaming for {sql}"
+        );
+        for mode in [ExecMode::Naive, ExecMode::JoinAware] {
+            fdbs.set_exec_mode(mode);
+            let got = fdbs.execute(sql, &mut meter).unwrap();
+            assert_eq!(
+                row_multiset(&reference),
+                row_multiset(&got),
+                "row multisets diverge for {sql} ({mode:?})"
+            );
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------

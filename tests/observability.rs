@@ -300,6 +300,69 @@ fn disabled_tracing_is_virtually_invisible() {
     }
 }
 
+/// The materialization counters must fire exactly where the executor
+/// materializes. A pipeline breaker (ORDER BY) books the same buffered
+/// row count on the row-batch and columnar streaming paths — with the
+/// columnar leg booking typed column-vector bytes (validity words
+/// included), nonzero and no larger than the boxed-row footprint — while
+/// a pure scan→filter→project pipeline books zero on both: that is the
+/// streaming guarantee. A counter silently stuck at zero on the breaker
+/// query means a batch path lost its tally call.
+#[test]
+fn materialization_counters_fire_at_pipeline_breakers() {
+    use fedwf::fdbs::{ExecMode, Fdbs};
+    use fedwf::sim::{CostModel, Meter};
+
+    let fdbs = Fdbs::new(CostModel::zero());
+    let mut meter = Meter::new();
+    fdbs.execute("CREATE TABLE T (K INT, V INT, S VARCHAR)", &mut meter)
+        .unwrap();
+    let rows: Vec<String> = (0..200)
+        .map(|i| format!("({i}, {}, 's{i}')", i % 7))
+        .collect();
+    fdbs.execute(
+        &format!("INSERT INTO T VALUES {}", rows.join(", ")),
+        &mut meter,
+    )
+    .unwrap();
+    fdbs.set_exec_mode(ExecMode::Streaming);
+
+    let run = |vectorized: bool, sql: &str| {
+        fdbs.set_vectorized(vectorized);
+        let mut m = Meter::new();
+        fdbs.execute(sql, &mut m).unwrap();
+        (m.rows_materialized(), m.bytes_materialized())
+    };
+
+    let breaker = "SELECT T.K, T.S FROM T WHERE T.V > 1 ORDER BY T.K";
+    let (row_rows, row_bytes) = run(false, breaker);
+    let (col_rows, col_bytes) = run(true, breaker);
+    assert!(
+        row_rows > 0 && col_rows > 0,
+        "sort buffer booked no rows (row leg {row_rows}, columnar leg {col_rows})"
+    );
+    assert_eq!(
+        row_rows, col_rows,
+        "the two streaming paths buffered different row counts at the sort"
+    );
+    assert!(
+        col_bytes > 0 && col_bytes <= row_bytes,
+        "columnar sort buffer must book nonzero column-vector bytes within \
+         the boxed-row footprint (cols {col_bytes}, rows {row_bytes})"
+    );
+
+    let streaming = "SELECT T.K, T.S FROM T WHERE T.V > 1";
+    for vectorized in [false, true] {
+        let (r, b) = run(vectorized, streaming);
+        assert_eq!(
+            (r, b),
+            (0, 0),
+            "breaker-free pipeline materialized something (vectorized={vectorized})"
+        );
+    }
+    fdbs.set_vectorized(true);
+}
+
 /// The request metrics delta: each execution shows up in the server's
 /// registry exactly once.
 #[test]
