@@ -1,7 +1,7 @@
 //! E6 — controller ablation: the same calls under the default and the
 //! controller-free cost models.
 
-use fedwf_bench::experiments::{args_for, make_server_with_cost};
+use fedwf_bench::experiments::{args_for, call_fn, make_server_with_cost};
 use fedwf_bench::micro::Criterion;
 use fedwf_bench::{criterion_group, criterion_main};
 use fedwf_core::{paper_functions, ArchitectureKind};
@@ -25,9 +25,13 @@ fn bench_ablation(c: &mut Criterion) {
             let server = make_server_with_cost(kind, cost.clone());
             server.deploy(&spec).expect("deploy");
             let args = args_for(&server, &spec);
-            server.call("GetNoSuppComp", &args).expect("warm-up");
+            call_fn(&server, "GetNoSuppComp", &args).expect("warm-up");
             group.bench_function(format!("{label}/{arch_label}"), |b| {
-                b.iter(|| server.call("GetNoSuppComp", &args).expect("call").table)
+                b.iter(|| {
+                    call_fn(&server, "GetNoSuppComp", &args)
+                        .expect("call")
+                        .table
+                })
             });
         }
     }

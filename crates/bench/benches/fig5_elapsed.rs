@@ -4,7 +4,7 @@
 //! bench measures the *real* cost of our engines executing the same calls
 //! (plan-cache hits, lateral execution, workflow navigation).
 
-use fedwf_bench::experiments::{args_for, make_server};
+use fedwf_bench::experiments::{args_for, call_fn, make_server};
 use fedwf_bench::micro::{BenchmarkId, Criterion};
 use fedwf_bench::{criterion_group, criterion_main};
 use fedwf_core::{paper_functions, ArchitectureKind};
@@ -21,7 +21,7 @@ fn bench_fig5(c: &mut Criterion) {
             server.deploy(&spec).expect("deploy");
             let args = args_for(&server, &spec);
             // Warm every cache before sampling.
-            server.call(spec.name.as_str(), &args).expect("warm-up");
+            call_fn(&server, spec.name.as_str(), &args).expect("warm-up");
             let label = match kind {
                 ArchitectureKind::Wfms => "wfms",
                 _ => "udtf",
@@ -31,8 +31,7 @@ fn bench_fig5(c: &mut Criterion) {
                 &spec,
                 |b, spec| {
                     b.iter(|| {
-                        server
-                            .call(spec.name.as_str(), &args)
+                        call_fn(&server, spec.name.as_str(), &args)
                             .expect("federated call")
                             .table
                     })

@@ -1,7 +1,7 @@
 //! Fig. 6 — cost of executing + accounting GetNoSuppComp on both
 //! architectures, including the breakdown aggregation itself.
 
-use fedwf_bench::experiments::{args_for, make_server};
+use fedwf_bench::experiments::{args_for, call_fn, make_server};
 use fedwf_bench::micro::Criterion;
 use fedwf_bench::{criterion_group, criterion_main};
 use fedwf_core::{paper_functions, ArchitectureKind};
@@ -18,10 +18,10 @@ fn bench_fig6(c: &mut Criterion) {
         let server = make_server(kind);
         server.deploy(&spec).expect("deploy");
         let args = args_for(&server, &spec);
-        server.call("GetNoSuppComp", &args).expect("warm-up");
+        call_fn(&server, "GetNoSuppComp", &args).expect("warm-up");
         group.bench_function(format!("call_and_breakdown/{label}"), |b| {
             b.iter(|| {
-                let outcome = server.call("GetNoSuppComp", &args).expect("call");
+                let outcome = call_fn(&server, "GetNoSuppComp", &args).expect("call");
                 outcome.breakdown_by_step("bench")
             })
         });

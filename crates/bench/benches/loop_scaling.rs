@@ -1,6 +1,6 @@
 //! E5 — AllCompNames do-until loop: wall-clock scaling with iterations.
 
-use fedwf_bench::experiments::make_server;
+use fedwf_bench::experiments::{call_fn, make_server};
 use fedwf_bench::micro::{BenchmarkId, Criterion, Throughput};
 use fedwf_bench::{criterion_group, criterion_main};
 use fedwf_core::{paper_functions, ArchitectureKind};
@@ -14,14 +14,12 @@ fn bench_loop(c: &mut Criterion) {
         .deploy(&paper_functions::all_comp_names())
         .expect("deploy");
     // Warm.
-    server
-        .call("AllCompNames", &[Value::Int(1)])
-        .expect("warm-up");
+    call_fn(&server, "AllCompNames", &[Value::Int(1)]).expect("warm-up");
     for n in [1usize, 4, 16, 64] {
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             let args = [Value::Int(n as i32)];
-            b.iter(|| server.call("AllCompNames", &args).expect("call").table)
+            b.iter(|| call_fn(&server, "AllCompNames", &args).expect("call").table)
         });
     }
     group.finish();

@@ -2,7 +2,7 @@
 //! navigator (the threaded WfMS pays thread overhead for genuinely
 //! parallel local calls).
 
-use fedwf_bench::experiments::make_server;
+use fedwf_bench::experiments::{call_fn, make_server};
 use fedwf_bench::micro::Criterion;
 use fedwf_bench::{criterion_group, criterion_main};
 use fedwf_core::{paper_functions, ArchitectureKind, IntegrationConfig, IntegrationServer};
@@ -25,18 +25,21 @@ fn bench_contrast(c: &mut Criterion) {
         let s = server.scenario();
         let parallel_args = [Value::Int(s.well_known_supplier_no())];
         let sequential_args = [Value::str(s.well_known_supplier_name())];
-        server.call("GetSuppQualRelia", &parallel_args).unwrap();
-        server.call("GetSuppQual", &sequential_args).unwrap();
+        call_fn(&server, "GetSuppQualRelia", &parallel_args).unwrap();
+        call_fn(&server, "GetSuppQual", &sequential_args).unwrap();
         group.bench_function(format!("{label}/parallel"), |b| {
             b.iter(|| {
-                server
-                    .call("GetSuppQualRelia", &parallel_args)
+                call_fn(&server, "GetSuppQualRelia", &parallel_args)
                     .unwrap()
                     .table
             })
         });
         group.bench_function(format!("{label}/sequential"), |b| {
-            b.iter(|| server.call("GetSuppQual", &sequential_args).unwrap().table)
+            b.iter(|| {
+                call_fn(&server, "GetSuppQual", &sequential_args)
+                    .unwrap()
+                    .table
+            })
         });
     }
 
@@ -51,9 +54,9 @@ fn bench_contrast(c: &mut Criterion) {
         .deploy(&paper_functions::get_supp_qual_relia())
         .expect("deploy");
     let args = [Value::Int(threaded.scenario().well_known_supplier_no())];
-    threaded.call("GetSuppQualRelia", &args).unwrap();
+    call_fn(&threaded, "GetSuppQualRelia", &args).unwrap();
     group.bench_function("wfms_threaded/parallel", |b| {
-        b.iter(|| threaded.call("GetSuppQualRelia", &args).unwrap().table)
+        b.iter(|| call_fn(&threaded, "GetSuppQualRelia", &args).unwrap().table)
     });
     group.finish();
 }

@@ -1,0 +1,47 @@
+//! E18 — syntactic vs cost-based planner, wall-clock face-off.
+//!
+//! ```text
+//! cargo bench -p fedwf-bench --bench planner            # full ladder
+//! cargo bench -p fedwf-bench --bench planner -- --quick # CI-sized run
+//! ```
+//!
+//! Races the two planner modes on a 3-way join whose FROM order opens
+//! with a cross product, then grades the cost-based estimates via the
+//! `EXPLAIN ANALYZE` median q-error. Even `--quick` keeps n = 2000 on the
+//! headline join — the syntactic leg is the point of the experiment.
+
+use fedwf_bench::planner::{median_q_error, three_way_join, PlannerRow};
+
+fn main() {
+    let quick =
+        std::env::args().any(|a| a == "--quick") || std::env::var_os("FEDWF_BENCH_QUICK").is_some();
+    let sizes: &[usize] = if quick {
+        &[2_000]
+    } else {
+        &[500, 1_000, 2_000, 4_000]
+    };
+
+    println!("syntactic vs cost-based planner (cost model zeroed, wall clock)");
+    println!(
+        "3-way join: Big(n) x Wide(n/2) cross product vs Tiny-first reorder{}\n",
+        if quick { "  [--quick]" } else { "" }
+    );
+
+    println!("{}", PlannerRow::render_header());
+    for &n in sizes {
+        for row in fedwf_bench::planner::all(n) {
+            println!("{}", row.render_row());
+        }
+    }
+
+    let headline = three_way_join(2_000);
+    println!(
+        "\nheadline: n=2000 speedup {:.1}x (syntactic composes {} intermediate rows)",
+        headline.speedup(),
+        2_000usize * 1_000
+    );
+
+    let q = median_q_error(2_000);
+    println!("EXPLAIN ANALYZE median q-error (fresh statistics): {q:.2} (gate: <= 4)");
+    assert!(q <= 4.0, "median q-error {q} above the gate of 4");
+}

@@ -1,7 +1,7 @@
 //! E10 — scalability: wall-clock of warm calls as the enterprise grows.
 
 use fedwf_appsys::DataGenConfig;
-use fedwf_bench::experiments::args_for;
+use fedwf_bench::experiments::{args_for, call_fn};
 use fedwf_bench::micro::{BenchmarkId, Criterion, Throughput};
 use fedwf_bench::{criterion_group, criterion_main};
 use fedwf_core::{paper_functions, ArchitectureKind, IntegrationConfig, IntegrationServer};
@@ -27,12 +27,18 @@ fn bench_scalability(c: &mut Criterion) {
         ] {
             server.deploy(&spec).expect("deploy");
             let args = args_for(&server, &spec);
-            server.call(spec.name.as_str(), &args).expect("warm-up");
+            call_fn(&server, spec.name.as_str(), &args).expect("warm-up");
             group.throughput(Throughput::Elements(components as u64));
             group.bench_with_input(
                 BenchmarkId::new(spec.name.as_str(), components),
                 &spec,
-                |b, spec| b.iter(|| server.call(spec.name.as_str(), &args).expect("call").table),
+                |b, spec| {
+                    b.iter(|| {
+                        call_fn(&server, spec.name.as_str(), &args)
+                            .expect("call")
+                            .table
+                    })
+                },
             );
         }
     }

@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Runs the E14 wide-table workloads through the streaming executor twice
-//! — row batches (the PR-3 path, kept behind `Fdbs::set_vectorized(false)`)
+//! — row batches (the PR-3 path, kept behind `ExecOptions::vectorized(false)`)
 //! and typed column batches — and reports wall clock plus the meter's
 //! materialization counters per leg. Result equality and the columnar
 //! bytes bound are asserted on every run; the ≥2x headline speedup is

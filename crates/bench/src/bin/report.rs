@@ -244,7 +244,7 @@ fn main() {
         let spec = paper_functions::get_no_supp_comp();
         server.deploy(&spec).expect("deploy GetNoSuppComp");
         let args = exp::args_for(&server, &spec);
-        server.call(spec.name.as_str(), &args).expect("warm-up");
+        exp::call_fn(&server, spec.name.as_str(), &args).expect("warm-up");
         let outcome = server
             .execute(
                 &Request::function(spec.name.as_str())

@@ -2,7 +2,7 @@
 
 use fedwf_core::{
     paper_functions, ArchitectureKind, ComplexityCase, IntegrationConfig, IntegrationServer,
-    MappingSpec,
+    MappingSpec, Outcome, Request,
 };
 use fedwf_sim::{Breakdown, CostModel};
 use fedwf_types::{FedResult, Value};
@@ -48,15 +48,17 @@ pub fn args_for(server: &IntegrationServer, spec: &MappingSpec) -> Vec<Value> {
     }
 }
 
+/// Call a deployed federated function through the [`Request`] surface —
+/// the positional-args convenience every bench shares.
+pub fn call_fn(server: &IntegrationServer, name: &str, args: &[Value]) -> FedResult<Outcome> {
+    server.execute(&Request::function(name).params(args))
+}
+
 /// Warm (repeated) call: one throwaway invocation to fill every cache,
 /// then the measured one.
-pub fn warm_call(
-    server: &IntegrationServer,
-    name: &str,
-    args: &[Value],
-) -> FedResult<fedwf_core::CallOutcome> {
-    server.call(name, args)?;
-    server.call(name, args)
+pub fn warm_call(server: &IntegrationServer, name: &str, args: &[Value]) -> FedResult<Outcome> {
+    call_fn(server, name, args)?;
+    call_fn(server, name, args)
 }
 
 // ===========================================================================
@@ -253,13 +255,19 @@ pub fn warmup_tiers(kind: ArchitectureKind) -> Vec<WarmupRow> {
         server.deploy(&spec).unwrap();
         let args = args_for(&server, &spec);
         // Cold: nothing booted, caches empty.
-        let cold_us = server.call(spec.name.as_str(), &args).unwrap().elapsed_us();
+        let cold_us = call_fn(&server, spec.name.as_str(), &args)
+            .unwrap()
+            .elapsed_us();
         // After some other function: processes up, this function's plan and
         // template evicted.
         server.clear_caches();
-        let after_other_us = server.call(spec.name.as_str(), &args).unwrap().elapsed_us();
+        let after_other_us = call_fn(&server, spec.name.as_str(), &args)
+            .unwrap()
+            .elapsed_us();
         // Repeated.
-        let repeated_us = server.call(spec.name.as_str(), &args).unwrap().elapsed_us();
+        let repeated_us = call_fn(&server, spec.name.as_str(), &args)
+            .unwrap()
+            .elapsed_us();
         rows.push(WarmupRow {
             architecture: kind,
             function: spec.name.as_str().to_string(),
@@ -306,7 +314,8 @@ pub fn loop_scaling(ns: &[usize]) -> Vec<LoopScalingPoint> {
     let server = make_server(ArchitectureKind::Wfms);
     // The paper's loop cost is per invocation: keep the dependent-UDTF
     // memo off so repeated identical calls are never collapsed.
-    server.fdbs().set_udtf_memo(false);
+    let f = server.fdbs();
+    f.set_options(f.options().udtf_memo(false));
     server.deploy(&paper_functions::all_comp_names()).unwrap();
     ns.iter()
         .map(|&n| {
@@ -372,12 +381,14 @@ pub fn controller_ablation() -> AblationResult {
         let wf = make_server_with_cost(ArchitectureKind::Wfms, cost.clone());
         // Ablation compares per-invocation controller shares; the
         // dependent-UDTF memo would skew them, so it stays off.
-        wf.fdbs().set_udtf_memo(false);
+        let f = wf.fdbs();
+        f.set_options(f.options().udtf_memo(false));
         wf.deploy(&spec).unwrap();
         let args = args_for(&wf, &spec);
         let w = warm_call(&wf, "GetNoSuppComp", &args).unwrap().elapsed_us();
         let ud = make_server_with_cost(ArchitectureKind::SqlUdtf, cost);
-        ud.fdbs().set_udtf_memo(false);
+        let f = ud.fdbs();
+        f.set_options(f.options().udtf_memo(false));
         ud.deploy(&spec).unwrap();
         let args = args_for(&ud, &spec);
         let u = warm_call(&ud, "GetNoSuppComp", &args).unwrap().elapsed_us();
@@ -510,7 +521,7 @@ pub fn error_handling(attempts: usize) -> Vec<ErrorHandlingResult> {
             let mut successes = 0;
             for _ in 0..attempts {
                 stock.inject_faults("GetQuality", 1);
-                if server.call("RobustQual", &args).is_ok() {
+                if call_fn(&server, "RobustQual", &args).is_ok() {
                     successes += 1;
                 }
             }

@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use fedwf_fdbs::{ExecMode, Fdbs, Udtf};
+use fedwf_fdbs::{ExecMode, Fdbs, PlannerMode, Udtf};
 use fedwf_sim::{CostModel, Meter};
 use fedwf_types::{DataType, Ident, Schema, Table, Value};
 
@@ -57,7 +57,9 @@ impl JoinScalingRow {
 }
 
 fn time_query(fdbs: &Fdbs, sql: &str, mode: ExecMode) -> (u128, Table) {
-    fdbs.set_exec_mode(mode);
+    // E13 compares executor strategies on identical plans, so the planner
+    // is pinned to the syntactic reference (E18 measures the planner).
+    fdbs.set_options(fdbs.options().mode(mode).planner(PlannerMode::Syntactic));
     let mut meter = Meter::new();
     let start = Instant::now();
     let table = fdbs.execute(sql, &mut meter).expect("E13 query failed");
@@ -207,13 +209,13 @@ pub fn dependent_memo(n: usize, distinct_args: usize, work: u64) -> (JoinScaling
 
     let sql = "SELECT COUNT(*) AS c FROM T AS A, TABLE (Heavy(A.K)) AS H";
     // Warm the plan cache (memo on — cheap), then zero the counter.
-    fdbs.set_udtf_memo(true);
+    fdbs.set_options(fdbs.options().udtf_memo(true));
     let _ = time_query(&fdbs, sql, ExecMode::JoinAware);
     invocations.store(0, Ordering::Relaxed);
-    fdbs.set_udtf_memo(false);
+    fdbs.set_options(fdbs.options().udtf_memo(false));
     let (baseline_us, slow) = time_query(&fdbs, sql, ExecMode::JoinAware);
     let off_invocations = invocations.swap(0, Ordering::Relaxed);
-    fdbs.set_udtf_memo(true);
+    fdbs.set_options(fdbs.options().udtf_memo(true));
     let (optimized_us, fast) = time_query(&fdbs, sql, ExecMode::JoinAware);
     let on_invocations = invocations.load(Ordering::Relaxed);
     assert_same(&fast, &slow, "dependent memo");

@@ -20,7 +20,7 @@
 
 use std::time::Instant;
 
-use fedwf_fdbs::{ExecMode, Fdbs};
+use fedwf_fdbs::{ExecMode, ExecOptions, Fdbs, PlannerMode};
 use fedwf_sim::{CostModel, Meter};
 use fedwf_types::Table;
 
@@ -138,8 +138,15 @@ fn run_leg(
     pruning: bool,
     name: &'static str,
 ) -> (ScanProjectLeg, Table) {
-    fdbs.set_exec_mode(mode);
-    fdbs.set_projection_pruning(pruning);
+    // E14 compares executor strategies, so every leg runs the same
+    // syntactic plan — the planner is held fixed here and measured by its
+    // own experiment (E18).
+    fdbs.set_options(
+        ExecOptions::default()
+            .mode(mode)
+            .projection_pruning(pruning)
+            .planner(PlannerMode::Syntactic),
+    );
     // Warm the plan cache so the timed run is parse/bind-free.
     let mut warm = Meter::new();
     fdbs.execute(sql, &mut warm).expect("E14 warmup failed");
@@ -182,8 +189,7 @@ pub fn run_workload(fdbs: &Fdbs, workload: &str, n: usize, sql: &str) -> ScanPro
     let (join_aware, t_aware) = run_leg(fdbs, sql, ExecMode::JoinAware, false, "join-aware");
     let (streaming, t_stream) = run_leg(fdbs, sql, ExecMode::Streaming, true, "streaming+pruned");
     // Restore the default configuration for any later use of the engine.
-    fdbs.set_exec_mode(ExecMode::Streaming);
-    fdbs.set_projection_pruning(true);
+    fdbs.set_options(ExecOptions::default());
 
     assert_eq!(
         row_multiset(&t_naive),

@@ -12,7 +12,7 @@ use std::time::Duration;
 
 use fedwf_core::paper_functions;
 use fedwf_core::{
-    ArchitectureKind, FrontConfig, IntegrationConfig, IntegrationServer, ServerFront,
+    ArchitectureKind, FrontConfig, IntegrationConfig, IntegrationServer, Request, ServerFront,
 };
 use fedwf_sim::{LatencyHistogram, WallClock};
 use fedwf_types::sync::Mutex;
@@ -159,7 +159,7 @@ pub fn run_throughput(cfg: &ThroughputConfig) -> ThroughputSummary {
     );
     // Warm up: boots, plan cache, template cache (and result cache if on).
     front
-        .call("GetSuppQual", &args)
+        .execute(Request::function("GetSuppQual").params(args.as_slice()))
         .expect("warm-up call succeeds");
 
     let merged = Mutex::new(LatencyHistogram::new());
@@ -176,7 +176,7 @@ pub fn run_throughput(cfg: &ThroughputConfig) -> ThroughputSummary {
                 let (mut ok, mut shed, mut timeout, mut failed) = (0, 0, 0, 0);
                 for _ in 0..cfg.calls_per_client {
                     let call_clock = WallClock::start();
-                    match front.call("GetSuppQual", args) {
+                    match front.execute(Request::function("GetSuppQual").params(args.as_slice())) {
                         Ok(_) => {
                             hist.record_us(call_clock.elapsed_us());
                             ok += 1;

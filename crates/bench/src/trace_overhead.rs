@@ -93,7 +93,7 @@ fn workload(kind: ArchitectureKind) -> (IntegrationServer, Vec<(String, Vec<Valu
     }
     // Warm everything: boots, plan cache, template cache.
     for (name, args) in &calls {
-        server.call(name, args).expect("warm-up call");
+        crate::experiments::call_fn(&server, name, args).expect("warm-up call");
     }
     (server, calls)
 }

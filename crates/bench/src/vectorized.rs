@@ -21,7 +21,7 @@
 
 use std::time::Instant;
 
-use fedwf_fdbs::{ExecMode, Fdbs};
+use fedwf_fdbs::{ExecMode, ExecOptions, Fdbs, PlannerMode};
 use fedwf_sim::Meter;
 use fedwf_types::Table;
 
@@ -74,7 +74,7 @@ impl VectorizedRow {
 }
 
 fn run_leg(fdbs: &Fdbs, sql: &str, vectorized: bool, name: &'static str) -> (VectorizedLeg, Table) {
-    fdbs.set_vectorized(vectorized);
+    fdbs.set_options(fdbs.options().vectorized(vectorized));
     // Warm the plan cache so the timed run is parse/bind-free.
     let mut warm = Meter::new();
     fdbs.execute(sql, &mut warm).expect("E17 warmup failed");
@@ -112,11 +112,18 @@ fn row_multiset(t: &Table) -> Vec<String> {
 /// Run both legs of one workload and check the invariants: identical row
 /// multisets and no materialization regression on the columnar leg.
 pub fn run_workload(fdbs: &Fdbs, workload: &str, n: usize, sql: &str) -> VectorizedRow {
-    fdbs.set_exec_mode(ExecMode::Streaming);
-    fdbs.set_projection_pruning(true);
+    // E17 compares row-batch vs columnar execution of the same streaming
+    // plan, so the planner is pinned to the syntactic reference (E18
+    // measures the planner).
+    fdbs.set_options(
+        ExecOptions::default()
+            .mode(ExecMode::Streaming)
+            .projection_pruning(true)
+            .planner(PlannerMode::Syntactic),
+    );
     let (rows_leg, t_rows) = run_leg(fdbs, sql, false, "row-batch streaming");
     let (cols_leg, t_cols) = run_leg(fdbs, sql, true, "columnar streaming");
-    fdbs.set_vectorized(true);
+    fdbs.set_options(ExecOptions::default());
 
     assert_eq!(
         row_multiset(&t_rows),

@@ -12,14 +12,14 @@
 //!    [`FedError::overloaded`] — the request is never executed, so the
 //!    client may safely retry elsewhere. Nothing blocks at admission.
 //! 2. **Per-call deadline.** Every call carries a deadline (the configured
-//!    default, or per-call via [`ServerFront::call_with_deadline`]). The
+//!    default, or per-request via [`Request::deadline`]). The
 //!    submitting client waits at most that long for the reply
 //!    ([`FedError::timeout`] otherwise), and a worker that dequeues an
 //!    already-expired job drops it without executing — queue time counts
 //!    against the deadline, so a backed-up front does not burn CPU on
 //!    answers nobody is waiting for.
 //! 3. **Execution.** Workers call straight into
-//!    [`IntegrationServer::call`], whose hot path is read-mostly: after
+//!    [`IntegrationServer::execute`], whose hot path is read-mostly: after
 //!    warm-up, no exclusive lock is taken anywhere, so workers genuinely
 //!    run in parallel.
 //! 4. **Graceful shutdown.** Dropping the front closes the queue, lets the
@@ -27,7 +27,7 @@
 //!    still waiting get their replies; nothing is lost mid-execution.
 //!
 //! ```
-//! use fedwf_core::{paper_functions, ArchitectureKind, FrontConfig, IntegrationServer, ServerFront};
+//! use fedwf_core::{paper_functions, ArchitectureKind, FrontConfig, IntegrationServer, Request, ServerFront};
 //! use fedwf_types::Value;
 //! use std::sync::Arc;
 //!
@@ -35,9 +35,9 @@
 //! server.boot();
 //! server.deploy(&paper_functions::get_supp_qual())?;
 //! let front = ServerFront::start(server.clone(), FrontConfig::default());
-//! let outcome = front.call(
-//!     "GetSuppQual",
-//!     &[Value::str(server.scenario().well_known_supplier_name())],
+//! let outcome = front.execute(
+//!     Request::function("GetSuppQual")
+//!         .arg(Value::str(server.scenario().well_known_supplier_name())),
 //! )?;
 //! assert_eq!(outcome.table.value(0, "Qual"), Some(&Value::Int(93)));
 //! # Ok::<(), fedwf_types::FedError>(())
@@ -50,10 +50,10 @@ use std::time::{Duration, Instant};
 
 use fedwf_sim::MetricsRegistry;
 use fedwf_types::sync::Mutex;
-use fedwf_types::{FedError, FedResult, Value};
+use fedwf_types::{FedError, FedResult};
 
 use crate::request::{Outcome, Request};
-use crate::server::{CallOutcome, IntegrationServer};
+use crate::server::IntegrationServer;
 
 /// Configuration of a [`ServerFront`].
 #[derive(Debug, Clone)]
@@ -63,8 +63,8 @@ pub struct FrontConfig {
     /// Bound of the admission queue. A call arriving while `queue_depth`
     /// jobs are already waiting is shed with [`FedError::overloaded`].
     pub queue_depth: usize,
-    /// Deadline applied by [`ServerFront::call`]; covers queueing *and*
-    /// execution time.
+    /// Deadline applied to requests that carry none of their own; covers
+    /// queueing *and* execution time.
     pub default_deadline: Duration,
 }
 
@@ -102,8 +102,7 @@ impl FrontConfig {
 /// `front.accepted` / `front.completed` / `front.shed` /
 /// `front.expired_in_queue` in the front's [`MetricsRegistry`]
 /// ([`ServerFront::metrics`]); `stats()` materializes them into this
-/// struct. The public fields remain the stable surface; the accessor
-/// methods exist only for code written against earlier drafts.
+/// struct. The public fields are the stable surface.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrontStats {
     /// Calls admitted into the queue.
@@ -116,28 +115,6 @@ pub struct FrontStats {
     /// Calls dropped by a worker because their deadline had already
     /// expired while they sat in the queue.
     pub expired_in_queue: u64,
-}
-
-impl FrontStats {
-    #[deprecated(note = "read the `accepted` field or `ServerFront::metrics`")]
-    pub fn accepted(&self) -> u64 {
-        self.accepted
-    }
-
-    #[deprecated(note = "read the `completed` field or `ServerFront::metrics`")]
-    pub fn completed(&self) -> u64 {
-        self.completed
-    }
-
-    #[deprecated(note = "read the `shed` field or `ServerFront::metrics`")]
-    pub fn shed(&self) -> u64 {
-        self.shed
-    }
-
-    #[deprecated(note = "read the `expired_in_queue` field or `ServerFront::metrics`")]
-    pub fn expired_in_queue(&self) -> u64 {
-        self.expired_in_queue
-    }
 }
 
 /// One queued request. The reply channel has capacity 1 so a worker's send
@@ -221,30 +198,6 @@ impl ServerFront {
             }
         }
         self.await_reply(reply_rx, expires, &label)
-    }
-
-    /// Call a deployed federated function through the front with the
-    /// configured default deadline.
-    ///
-    /// Thin wrapper over [`ServerFront::execute`] kept for the positional
-    /// surface.
-    pub fn call(&self, name: &str, args: &[Value]) -> FedResult<CallOutcome> {
-        self.call_with_deadline(name, args, self.default_deadline)
-    }
-
-    /// Like [`ServerFront::call`] with an explicit per-call deadline
-    /// covering both queueing and execution.
-    pub fn call_with_deadline(
-        &self,
-        name: &str,
-        args: &[Value],
-        deadline: Duration,
-    ) -> FedResult<CallOutcome> {
-        let outcome = self.execute(Request::function(name).params(args).deadline(deadline))?;
-        Ok(CallOutcome {
-            table: outcome.table,
-            meter: outcome.meter,
-        })
     }
 
     fn await_reply(
@@ -347,6 +300,11 @@ mod tests {
     use crate::paper_functions;
     use crate::server::IntegrationConfig;
     use fedwf_appsys::DataGenConfig;
+    use fedwf_types::Value;
+
+    fn call(front: &ServerFront, name: &str, args: &[Value]) -> FedResult<Outcome> {
+        front.execute(Request::function(name).params(args))
+    }
 
     fn front_server() -> Arc<IntegrationServer> {
         let config = IntegrationConfig::default()
@@ -366,7 +324,7 @@ mod tests {
     fn front_serves_calls() {
         let server = front_server();
         let front = ServerFront::start(server.clone(), FrontConfig::default());
-        let outcome = front.call("GetSuppQual", &qual_args(&server)).unwrap();
+        let outcome = call(&front, "GetSuppQual", &qual_args(&server)).unwrap();
         assert_eq!(outcome.table.value(0, "Qual"), Some(&Value::Int(93)));
         let stats = front.stats();
         assert_eq!(stats.accepted, 1);
@@ -378,7 +336,7 @@ mod tests {
     fn front_propagates_execution_errors() {
         let server = front_server();
         let front = ServerFront::start(server, FrontConfig::default());
-        let err = front.call("NotDeployed", &[]).unwrap_err();
+        let err = call(&front, "NotDeployed", &[]).unwrap_err();
         assert!(err.to_string().contains("not deployed"), "{err}");
     }
 
@@ -396,7 +354,7 @@ mod tests {
             let args = args.clone();
             handles.push(std::thread::spawn(move || {
                 for _ in 0..5 {
-                    let outcome = front.call("GetSuppQual", &args).expect("front call");
+                    let outcome = call(&front, "GetSuppQual", &args).expect("front call");
                     assert_eq!(outcome.table.value(0, "Qual"), Some(&Value::Int(93)));
                 }
             }));
@@ -424,7 +382,9 @@ mod tests {
         for _ in 0..16 {
             let front = Arc::clone(&front);
             let args = args.clone();
-            clients.push(std::thread::spawn(move || front.call("GetSuppQual", &args)));
+            clients.push(std::thread::spawn(move || {
+                call(&front, "GetSuppQual", &args)
+            }));
         }
         let results: Vec<_> = clients.into_iter().map(|c| c.join().unwrap()).collect();
         let ok = results.iter().filter(|r| r.is_ok()).count();
@@ -444,7 +404,11 @@ mod tests {
         let server = front_server();
         let front = ServerFront::start(server.clone(), FrontConfig::default());
         let err = front
-            .call_with_deadline("GetSuppQual", &qual_args(&server), Duration::ZERO)
+            .execute(
+                Request::function("GetSuppQual")
+                    .params(qual_args(&server))
+                    .deadline(Duration::ZERO),
+            )
             .unwrap_err();
         assert!(err.is_timeout(), "{err}");
     }
@@ -457,7 +421,7 @@ mod tests {
             FrontConfig::default().with_workers(2).with_queue_depth(8),
         );
         for _ in 0..4 {
-            front.call("GetSuppQual", &qual_args(&server)).unwrap();
+            call(&front, "GetSuppQual", &qual_args(&server)).unwrap();
         }
         drop(front); // must not hang
     }

@@ -38,7 +38,7 @@
 //! # Example
 //!
 //! ```
-//! use fedwf_core::{ArgSource, ArchitectureKind, IntegrationServer, MappingSpec};
+//! use fedwf_core::{ArgSource, ArchitectureKind, IntegrationServer, MappingSpec, Request};
 //! use fedwf_types::{DataType, Value};
 //!
 //! // Declare a federated function: supplier name -> quality (two local
@@ -52,9 +52,9 @@
 //! let server = IntegrationServer::with_architecture(ArchitectureKind::Wfms)?;
 //! server.boot();
 //! server.deploy(&spec)?;
-//! let outcome = server.call(
-//!     "SuppQual",
-//!     &[Value::str(server.scenario().well_known_supplier_name())],
+//! let outcome = server.execute(
+//!     &Request::function("SuppQual")
+//!         .arg(Value::str(server.scenario().well_known_supplier_name())),
 //! )?;
 //! assert_eq!(outcome.table.value(0, "Qual"), Some(&Value::Int(93)));
 //! # Ok::<(), fedwf_types::FedError>(())
@@ -76,4 +76,4 @@ pub use classify::{classify, ComplexityCase};
 pub use front::{FrontConfig, FrontStats, ServerFront};
 pub use mapping::{ArgSource, CyclicSpec, FedOutput, LocalCall, MappingSpec};
 pub use request::{Outcome, Request, Target};
-pub use server::{CallOutcome, IntegrationConfig, IntegrationServer, LocalStoreConfig};
+pub use server::{IntegrationConfig, IntegrationServer, LocalStoreConfig};

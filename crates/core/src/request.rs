@@ -5,10 +5,6 @@
 //! table, the virtual-time accounting, the span tree when tracing was on,
 //! and the server-metrics delta the request caused.
 //!
-//! The older surface ([`IntegrationServer::call`],
-//! [`IntegrationServer::query`], [`crate::ServerFront::call`]) still works
-//! and now delegates here.
-//!
 //! ```
 //! use fedwf_core::{paper_functions, ArchitectureKind, IntegrationServer, Request};
 //!
@@ -26,11 +22,9 @@
 //! # Ok::<(), fedwf_types::FedError>(())
 //! ```
 //!
-//! [`IntegrationServer::call`]: crate::IntegrationServer::call
-//! [`IntegrationServer::query`]: crate::IntegrationServer::query
-
 use std::time::Duration;
 
+use fedwf_fdbs::ExecOptions;
 use fedwf_sim::{Breakdown, Meter, MetricsSnapshot, TraceDetail, TraceNode};
 use fedwf_types::{Params, Table, Value};
 
@@ -56,6 +50,7 @@ pub struct Request {
     deadline: Option<Duration>,
     trace: bool,
     trace_detail: TraceDetail,
+    exec_options: Option<ExecOptions>,
 }
 
 impl Request {
@@ -67,6 +62,7 @@ impl Request {
             deadline: None,
             trace: false,
             trace_detail: TraceDetail::Full,
+            exec_options: None,
         }
     }
 
@@ -78,6 +74,7 @@ impl Request {
             deadline: None,
             trace: false,
             trace_detail: TraceDetail::Full,
+            exec_options: None,
         }
     }
 
@@ -126,6 +123,17 @@ impl Request {
         self
     }
 
+    /// Engine options ([`ExecOptions`]: executor, vectorization, pruning,
+    /// memoization, planner mode) to apply before this request executes.
+    /// The options *stick*: they stay in effect for later requests until
+    /// another request (or [`fedwf_fdbs::Fdbs::set_options`]) replaces
+    /// them. The FDBS plan cache keys on the full options value, so
+    /// flipping them never serves a stale plan.
+    pub fn exec_options(mut self, options: ExecOptions) -> Self {
+        self.exec_options = Some(options);
+        self
+    }
+
     pub fn target(&self) -> &Target {
         &self.target
     }
@@ -144,6 +152,10 @@ impl Request {
 
     pub fn trace_detail_opt(&self) -> TraceDetail {
         self.trace_detail
+    }
+
+    pub fn exec_options_opt(&self) -> Option<ExecOptions> {
+        self.exec_options
     }
 
     /// A short label for logs and error messages.

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use fedwf_appsys::{build_scenario, DataGenConfig, Scenario};
 use fedwf_fdbs::Fdbs;
 use fedwf_sim::env::Process;
-use fedwf_sim::{Breakdown, Component, CostModel, EnvState, Meter, MetricsRegistry, SpanNameCache};
+use fedwf_sim::{Component, CostModel, EnvState, Meter, MetricsRegistry, SpanNameCache};
 use fedwf_types::sync::{Mutex, RwLock};
 use fedwf_types::{CommitMode, FedError, FedResult, Ident, Params, Table, Value};
 use fedwf_wrapper::{Controller, WfmsWrapper};
@@ -92,31 +92,6 @@ impl IntegrationConfig {
     pub fn with_local_store(mut self, local_store: LocalStoreConfig) -> Self {
         self.local_store = Some(local_store);
         self
-    }
-}
-
-/// The result of one federated-function call: the table plus the complete
-/// virtual-time accounting.
-#[derive(Debug)]
-pub struct CallOutcome {
-    pub table: Table,
-    pub meter: Meter,
-}
-
-impl CallOutcome {
-    /// Elapsed virtual time of the call.
-    pub fn elapsed_us(&self) -> u64 {
-        self.meter.now_us()
-    }
-
-    /// Fig. 6-style step breakdown.
-    pub fn breakdown_by_step(&self, title: &str) -> Breakdown {
-        Breakdown::by_step(title, self.meter.charges(), self.meter.now_us())
-    }
-
-    /// Component breakdown (controller share, RMI share, ...).
-    pub fn breakdown_by_component(&self, title: &str) -> Breakdown {
-        Breakdown::by_component(title, self.meter.charges(), self.meter.now_us())
     }
 }
 
@@ -289,6 +264,12 @@ impl IntegrationServer {
     /// charges, so the meter is identical either way.
     pub fn execute(&self, request: &Request) -> FedResult<Outcome> {
         let _phase = self.phase.read();
+        // Engine options ride along per request and stick for subsequent
+        // requests (the FDBS holds one live ExecOptions value; the plan
+        // cache keys on it, so flipping options never serves stale plans).
+        if let Some(options) = request.exec_options_opt() {
+            self.fdbs.set_options(options);
+        }
         let before = self.metrics.snapshot();
         let mut meter = Meter::new();
         if request.trace_requested() {
@@ -343,31 +324,6 @@ impl IntegrationServer {
                 self.fdbs.execute_with_params(sql, &pairs, meter)
             }
         }
-    }
-
-    /// Call a deployed federated function, booking boots for whatever is
-    /// not yet running (cold-start tier) and returning the full accounting.
-    ///
-    /// Thin wrapper over [`IntegrationServer::execute`] kept for the
-    /// positional-args surface.
-    pub fn call(&self, name: &str, args: &[Value]) -> FedResult<CallOutcome> {
-        let outcome = self.execute(&Request::function(name).params(args))?;
-        Ok(CallOutcome {
-            table: outcome.table,
-            meter: outcome.meter,
-        })
-    }
-
-    /// Run an arbitrary SQL statement against the FDBS (with boot charges).
-    ///
-    /// Thin wrapper over [`IntegrationServer::execute`] kept for the
-    /// named-params surface.
-    pub fn query(&self, sql: &str, params: &[(&str, Value)]) -> FedResult<CallOutcome> {
-        let outcome = self.execute(&Request::sql(sql).params(params))?;
-        Ok(CallOutcome {
-            table: outcome.table,
-            meter: outcome.meter,
-        })
     }
 
     /// Charge boot costs for every not-yet-running process. Steady state
@@ -488,6 +444,14 @@ mod tests {
         IntegrationServer::new(config).unwrap()
     }
 
+    fn call(s: &IntegrationServer, name: &str, args: &[Value]) -> FedResult<Outcome> {
+        s.execute(&Request::function(name).params(args))
+    }
+
+    fn query(s: &IntegrationServer, sql: &str, params: &[(&str, Value)]) -> FedResult<Outcome> {
+        s.execute(&Request::sql(sql).params(params))
+    }
+
     fn buy_args(s: &IntegrationServer) -> Vec<Value> {
         vec![
             Value::Int(s.scenario().well_known_supplier_no()),
@@ -500,9 +464,44 @@ mod tests {
         let s = server(ArchitectureKind::Wfms);
         s.deploy(&paper_functions::buy_supp_comp()).unwrap();
         let args = buy_args(&s);
-        let outcome = s.call("BuySuppComp", &args).unwrap();
+        let outcome = call(&s, "BuySuppComp", &args).unwrap();
         assert_eq!(outcome.table.value(0, "Decision"), Some(&Value::str("YES")));
         assert!(outcome.elapsed_us() > 0);
+    }
+
+    #[test]
+    fn exec_options_ride_the_request_and_stick() {
+        use fedwf_fdbs::{ExecMode, ExecOptions};
+
+        let s = server(ArchitectureKind::Wfms);
+        s.deploy(&paper_functions::buy_supp_comp()).unwrap();
+        let args = buy_args(&s);
+
+        let naive = ExecOptions::default()
+            .mode(ExecMode::Naive)
+            .udtf_memo(false);
+        let outcome = s
+            .execute(
+                &Request::function("BuySuppComp")
+                    .params(args.as_slice())
+                    .exec_options(naive),
+            )
+            .unwrap();
+        assert_eq!(outcome.table.value(0, "Decision"), Some(&Value::str("YES")));
+        // The options stick for subsequent requests until replaced.
+        assert_eq!(s.fdbs().options(), naive);
+
+        let restored = s
+            .execute(
+                &Request::function("BuySuppComp")
+                    .params(args.as_slice())
+                    .exec_options(ExecOptions::default()),
+            )
+            .unwrap();
+        assert_eq!(s.fdbs().options(), ExecOptions::default());
+        // Same virtual execution either way — the plan cache keys on the
+        // options, so flipping them never serves a stale plan.
+        assert_eq!(outcome.table, restored.table);
     }
 
     #[test]
@@ -512,8 +511,8 @@ mod tests {
         for s in [&wf, &sq] {
             s.deploy(&paper_functions::buy_supp_comp()).unwrap();
         }
-        let a = wf.call("BuySuppComp", &buy_args(&wf)).unwrap();
-        let b = sq.call("BuySuppComp", &buy_args(&sq)).unwrap();
+        let a = call(&wf, "BuySuppComp", &buy_args(&wf)).unwrap();
+        let b = call(&sq, "BuySuppComp", &buy_args(&sq)).unwrap();
         assert_eq!(a.table.value(0, "Decision"), b.table.value(0, "Decision"));
     }
 
@@ -522,10 +521,10 @@ mod tests {
         let s = server(ArchitectureKind::Wfms);
         s.deploy(&paper_functions::get_supp_qual()).unwrap();
         let args = vec![Value::str(s.scenario().well_known_supplier_name())];
-        let cold = s.call("GetSuppQual", &args).unwrap().elapsed_us();
+        let cold = call(&s, "GetSuppQual", &args).unwrap().elapsed_us();
         s.clear_caches();
-        let after_other = s.call("GetSuppQual", &args).unwrap().elapsed_us();
-        let repeated = s.call("GetSuppQual", &args).unwrap().elapsed_us();
+        let after_other = call(&s, "GetSuppQual", &args).unwrap().elapsed_us();
+        let repeated = call(&s, "GetSuppQual", &args).unwrap().elapsed_us();
         assert!(cold > after_other, "{cold} > {after_other}");
         assert!(after_other > repeated, "{after_other} > {repeated}");
     }
@@ -534,24 +533,24 @@ mod tests {
     fn boot_charges_tagged_as_boot() {
         let s = server(ArchitectureKind::Wfms);
         s.deploy(&paper_functions::gib_komp_nr()).unwrap();
-        let outcome = s
-            .call(
-                "GibKompNr",
-                &[Value::str(s.scenario().well_known_component_name())],
-            )
-            .unwrap();
+        let outcome = call(
+            &s,
+            "GibKompNr",
+            &[Value::str(s.scenario().well_known_component_name())],
+        )
+        .unwrap();
         assert!(outcome
             .meter
             .charges()
             .iter()
             .any(|c| c.component == Component::Boot));
         // Second call: no boot charges.
-        let outcome2 = s
-            .call(
-                "GibKompNr",
-                &[Value::str(s.scenario().well_known_component_name())],
-            )
-            .unwrap();
+        let outcome2 = call(
+            &s,
+            "GibKompNr",
+            &[Value::str(s.scenario().well_known_component_name())],
+        )
+        .unwrap();
         assert!(!outcome2
             .meter
             .charges()
@@ -563,12 +562,12 @@ mod tests {
     fn udtf_architecture_does_not_boot_the_wfms() {
         let s = server(ArchitectureKind::SqlUdtf);
         s.deploy(&paper_functions::gib_komp_nr()).unwrap();
-        let outcome = s
-            .call(
-                "GibKompNr",
-                &[Value::str(s.scenario().well_known_component_name())],
-            )
-            .unwrap();
+        let outcome = call(
+            &s,
+            "GibKompNr",
+            &[Value::str(s.scenario().well_known_component_name())],
+        )
+        .unwrap();
         assert!(!outcome
             .meter
             .charges()
@@ -580,19 +579,19 @@ mod tests {
     fn query_surface_reaches_fdbs() {
         let s = server(ArchitectureKind::SqlUdtf);
         s.deploy(&paper_functions::get_supp_qual_relia()).unwrap();
-        let outcome = s
-            .query(
-                "SELECT T.Qual FROM TABLE (GetSuppQualRelia(S)) AS T",
-                &[("S", Value::Int(s.scenario().well_known_supplier_no()))],
-            )
-            .unwrap();
+        let outcome = query(
+            &s,
+            "SELECT T.Qual FROM TABLE (GetSuppQualRelia(S)) AS T",
+            &[("S", Value::Int(s.scenario().well_known_supplier_no()))],
+        )
+        .unwrap();
         assert_eq!(outcome.table.value(0, "Qual"), Some(&Value::Int(93)));
     }
 
     #[test]
     fn undeployed_function_errors() {
         let s = server(ArchitectureKind::Wfms);
-        assert!(s.call("Nope", &[]).is_err());
+        assert!(call(&s, "Nope", &[]).is_err());
     }
 
     #[test]
@@ -629,17 +628,17 @@ mod tests {
         let wf = server(ArchitectureKind::Wfms);
         wf.deploy(&spec).unwrap();
         inject(&wf);
-        let outcome = wf.call("RobustQual", &args(&wf)).unwrap();
+        let outcome = call(&wf, "RobustQual", &args(&wf)).unwrap();
         assert_eq!(outcome.table.value(0, "Qual"), Some(&Value::Int(93)));
 
         // UDTF architecture: no retry machinery — the first error is final.
         let sq = server(ArchitectureKind::SqlUdtf);
         sq.deploy(&spec).unwrap();
         inject(&sq);
-        let err = sq.call("RobustQual", &args(&sq)).unwrap_err();
+        let err = call(&sq, "RobustQual", &args(&sq)).unwrap_err();
         assert!(err.to_string().contains("transient fault"));
         // The fault was consumed; the repeat succeeds.
-        assert!(sq.call("RobustQual", &args(&sq)).is_ok());
+        assert!(call(&sq, "RobustQual", &args(&sq)).is_ok());
     }
 
     #[test]
@@ -651,24 +650,24 @@ mod tests {
             .system("pdm")
             .unwrap()
             .revoke("GetCompNo");
-        let err = s
-            .call(
-                "GibKompNr",
-                &[Value::str(s.scenario().well_known_component_name())],
-            )
-            .unwrap_err();
+        let err = call(
+            &s,
+            "GibKompNr",
+            &[Value::str(s.scenario().well_known_component_name())],
+        )
+        .unwrap_err();
         assert!(err.to_string().contains("permission denied"), "{err}");
         s.scenario()
             .registry
             .system("pdm")
             .unwrap()
             .grant("GetCompNo");
-        assert!(s
-            .call(
-                "GibKompNr",
-                &[Value::str(s.scenario().well_known_component_name())],
-            )
-            .is_ok());
+        assert!(call(
+            &s,
+            "GibKompNr",
+            &[Value::str(s.scenario().well_known_component_name())],
+        )
+        .is_ok());
     }
 
     #[test]
@@ -682,8 +681,8 @@ mod tests {
         s.boot();
         s.deploy(&paper_functions::get_supp_qual()).unwrap();
         let args = vec![Value::str(s.scenario().well_known_supplier_name())];
-        let first = s.call("GetSuppQual", &args).unwrap();
-        let second = s.call("GetSuppQual", &args).unwrap();
+        let first = call(&s, "GetSuppQual", &args).unwrap();
+        let second = call(&s, "GetSuppQual", &args).unwrap();
         assert_eq!(first.table, second.table);
         assert!(
             second.elapsed_us() * 2 < first.elapsed_us(),
@@ -698,15 +697,15 @@ mod tests {
         let s = server(ArchitectureKind::Wfms);
         s.deploy(&paper_functions::get_supp_qual()).unwrap();
         let args = vec![Value::str(s.scenario().well_known_supplier_name())];
-        s.call("GetSuppQual", &args).unwrap();
-        s.call("GetSuppQual", &args).unwrap();
-        let t = s
-            .query(
-                "SELECT A.Process, A.ElapsedUs FROM TABLE (WorkflowAudit()) AS A",
-                &[],
-            )
-            .unwrap()
-            .table;
+        call(&s, "GetSuppQual", &args).unwrap();
+        call(&s, "GetSuppQual", &args).unwrap();
+        let t = query(
+            &s,
+            "SELECT A.Process, A.ElapsedUs FROM TABLE (WorkflowAudit()) AS A",
+            &[],
+        )
+        .unwrap()
+        .table;
         assert_eq!(t.row_count(), 2);
         assert!(t.value(0, "ElapsedUs").unwrap().as_i64().unwrap() > 0);
     }
@@ -718,14 +717,14 @@ mod tests {
         s.deploy(&paper_functions::buy_supp_comp()).unwrap();
         let args = buy_args(&s);
         // Warm everything once so the threads race on a steady state.
-        s.call("BuySuppComp", &args).unwrap();
+        call(&s, "BuySuppComp", &args).unwrap();
         let mut handles = Vec::new();
         for _ in 0..8 {
             let s = StdArc::clone(&s);
             let args = args.clone();
             handles.push(std::thread::spawn(move || {
                 for _ in 0..10 {
-                    let outcome = s.call("BuySuppComp", &args).expect("concurrent call");
+                    let outcome = call(&s, "BuySuppComp", &args).expect("concurrent call");
                     assert_eq!(outcome.table.value(0, "Decision"), Some(&Value::str("YES")));
                 }
             }));
@@ -734,10 +733,13 @@ mod tests {
             h.join().expect("worker panicked");
         }
         // 1 warm-up + 80 concurrent instances in the audit history.
-        let t = s
-            .query("SELECT A.Process FROM TABLE (WorkflowAudit()) AS A", &[])
-            .unwrap()
-            .table;
+        let t = query(
+            &s,
+            "SELECT A.Process FROM TABLE (WorkflowAudit()) AS A",
+            &[],
+        )
+        .unwrap()
+        .table;
         assert_eq!(t.row_count(), 81);
     }
 
@@ -749,7 +751,7 @@ mod tests {
         s.deploy(&paper_functions::buy_supp_comp()).unwrap();
         s.boot();
         let args = buy_args(&s);
-        s.call("BuySuppComp", &args).unwrap(); // warm
+        call(&s, "BuySuppComp", &args).unwrap(); // warm
         let run = |detail| {
             s.execute(
                 &Request::function("BuySuppComp")
@@ -790,8 +792,8 @@ mod tests {
             Value::str(s.scenario().well_known_supplier_name()),
             Value::str(s.scenario().well_known_component_name()),
         ];
-        s.call("GetNoSuppComp", &args).unwrap();
-        let outcome = s.call("GetNoSuppComp", &args).unwrap();
+        call(&s, "GetNoSuppComp", &args).unwrap();
+        let outcome = call(&s, "GetNoSuppComp", &args).unwrap();
         let steps = outcome.breakdown_by_step("WfMS approach");
         assert!(steps.lines.iter().any(|l| l.label == "Process activities"));
         let comps = outcome.breakdown_by_component("WfMS approach");

@@ -7,7 +7,10 @@ use fedwf_relstore::Database;
 use fedwf_types::sync::RwLock;
 use fedwf_types::{FedError, FedResult, Ident, SchemaRef};
 
+use fedwf_relstore::Predicate;
+
 use crate::sqlmed::ForeignServer;
+use crate::stats::TableStatistics;
 use crate::udtf::Udtf;
 
 /// Where a table name resolves to.
@@ -41,6 +44,10 @@ pub struct Catalog {
     local: Database,
     foreign_tables: RwLock<BTreeMap<Ident, ForeignTableEntry>>,
     udtfs: RwLock<BTreeMap<Ident, Arc<Udtf>>>,
+    /// ANALYZE output, keyed by the table's catalog name. Local entries
+    /// carry the mutation epoch they were collected at and go stale when
+    /// the table mutates past it; foreign entries stay until re-ANALYZE.
+    stats: RwLock<BTreeMap<Ident, Arc<TableStatistics>>>,
 }
 
 /// A foreign-table registration: the server plus the remote table name.
@@ -65,6 +72,7 @@ impl Catalog {
             local,
             foreign_tables: RwLock::new(BTreeMap::new()),
             udtfs: RwLock::new(BTreeMap::new()),
+            stats: RwLock::new(BTreeMap::new()),
         }
     }
 
@@ -151,6 +159,68 @@ impl Catalog {
         self.udtfs.read().contains_key(name)
     }
 
+    /// ANALYZE one table: collect full statistics and store them. Local
+    /// tables are stamped with their mutation epoch (read *before* the
+    /// scan, so a concurrent mutation makes the entry stale rather than
+    /// silently wrong); foreign statistics carry no epoch.
+    pub fn analyze_table(&self, name: &Ident) -> FedResult<Arc<TableStatistics>> {
+        let (origin, _) = self.resolve_table(name)?;
+        let collected = match origin {
+            TableOrigin::Local => {
+                let epoch = self.local.table_mutation_epoch(name.as_str())?;
+                let table = self.local.scan(name.as_str(), &Predicate::True)?;
+                TableStatistics::from_table(&table).with_epoch(epoch)
+            }
+            TableOrigin::Foreign {
+                server,
+                remote_name,
+            } => server.collect_statistics(&remote_name)?,
+        };
+        let stats = Arc::new(collected);
+        self.stats.write().insert(name.clone(), stats.clone());
+        Ok(stats)
+    }
+
+    /// ANALYZE every table in the catalog (local and foreign). Returns
+    /// the number of tables analyzed.
+    pub fn analyze(&self) -> FedResult<usize> {
+        let mut names: Vec<Ident> = self
+            .local
+            .table_names()
+            .into_iter()
+            .map(Ident::new)
+            .collect();
+        names.extend(self.foreign_tables.read().keys().cloned());
+        for name in &names {
+            self.analyze_table(name)?;
+        }
+        Ok(names.len())
+    }
+
+    /// Fresh statistics for a table, if any. A local entry whose source
+    /// has mutated past the collection epoch is dropped and `None` is
+    /// returned — the optimizer then falls back to live row counts.
+    pub fn statistics(&self, name: &Ident) -> Option<Arc<TableStatistics>> {
+        let entry = self.stats.read().get(name).cloned()?;
+        if let Some(epoch) = entry.epoch {
+            let fresh = self
+                .local
+                .table_mutation_epoch(name.as_str())
+                .map(|current| current <= epoch)
+                .unwrap_or(false);
+            if !fresh {
+                self.stats.write().remove(name);
+                return None;
+            }
+        }
+        Some(entry)
+    }
+
+    /// Drop any stored statistics for one table (DDL invalidation).
+    pub fn invalidate_statistics(&self, name: &Ident) {
+        self.stats.write().remove(name);
+    }
+
     pub fn udtf_names(&self) -> Vec<String> {
         self.udtfs
             .read()
@@ -220,6 +290,43 @@ mod tests {
         let remote = Database::new("remote");
         let server = Arc::new(RelstoreServer::new("erp", Arc::new(remote)));
         assert!(cat.register_foreign_table("X", server, "Missing").is_err());
+    }
+
+    #[test]
+    fn analyze_collects_and_mutations_invalidate() {
+        use fedwf_types::Row;
+        let cat = catalog_with_foreign();
+        cat.local()
+            .create_table(
+                "L",
+                Arc::new(Schema::of(&[("k", DataType::Int), ("v", DataType::Int)])),
+            )
+            .unwrap();
+        for k in 0..10 {
+            cat.local()
+                .insert("L", Row::new(vec![Value::Int(k), Value::Int(k % 3)]))
+                .unwrap();
+        }
+        // The foreign remote table is empty but analyzable.
+        assert_eq!(cat.analyze().unwrap(), 2);
+        let l = cat.statistics(&Ident::new("L")).unwrap();
+        assert_eq!(l.row_count, 10);
+        assert_eq!(l.columns[0].ndv, 10);
+        assert_eq!(l.columns[1].ndv, 3);
+        assert!(l.epoch.is_some());
+        let f = cat.statistics(&Ident::new("RemoteT")).unwrap();
+        assert_eq!(f.row_count, 0);
+        assert!(f.epoch.is_none());
+        // A mutation bumps the table's epoch past the collection stamp.
+        cat.local()
+            .insert("L", Row::new(vec![Value::Int(99), Value::Int(0)]))
+            .unwrap();
+        assert!(cat.statistics(&Ident::new("L")).is_none());
+        // Foreign entries carry no epoch and survive local churn.
+        assert!(cat.statistics(&Ident::new("RemoteT")).is_some());
+        // Explicit invalidation drops the entry.
+        cat.invalidate_statistics(&Ident::new("RemoteT"));
+        assert!(cat.statistics(&Ident::new("RemoteT")).is_none());
     }
 
     #[test]

@@ -1,7 +1,6 @@
 //! The FDBS facade: statement execution, plan cache, SQL UDTF bodies.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::Arc;
 
 use fedwf_sim::{Component, CostModel, Meter, SpanNameCache};
@@ -11,6 +10,7 @@ use fedwf_types::{implicit_cast, DataType, FedError, FedResult, Ident, Row, Sche
 
 use crate::catalog::Catalog;
 use crate::exec::{execute_plan, invoke_udtf, ExecMode};
+use crate::optimizer::{optimize, PlannerMode};
 use crate::plan::{FromStep, Plan, PlanBuilder};
 use crate::udtf::{ChargeItem, ChargeSpec, Udtf, UdtfKind};
 
@@ -18,24 +18,110 @@ use crate::udtf::{ChargeItem, ChargeSpec, Udtf, UdtfKind};
 /// in slot order, and the derived plan-cache key.
 type BoundHostParams = (Vec<(Ident, DataType)>, Vec<Value>, String);
 
+/// The complete execution configuration of an engine, set atomically as one
+/// value. Built with chainable setters from [`ExecOptions::default`]:
+///
+/// ```
+/// use fedwf_fdbs::{ExecOptions, PlannerMode};
+/// let opts = ExecOptions::default()
+///     .vectorized(false)
+///     .planner(PlannerMode::Syntactic);
+/// assert!(opts.projection_pruning);
+/// ```
+///
+/// [`ExecOptions::cache_tag`] is the single configuration component of the
+/// plan-cache key, so a plan bound under one configuration is never served
+/// to an engine configured another way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Which executor strategy [`execute_plan`] uses: streaming (default),
+    /// the materializing join-aware path, or the naive reference path.
+    pub mode: ExecMode,
+    /// Run [`ExecMode::Streaming`] over typed column batches (the default).
+    /// Off gives the row-at-a-time streaming executor — kept callable as
+    /// the E17 comparison baseline.
+    pub vectorized: bool,
+    /// Prune unreferenced columns out of FROM steps at bind time and push
+    /// the projection into the scans. Off for the unpruned baselines in E14.
+    pub projection_pruning: bool,
+    /// Memoize dependent UDTF invocations within one step by argument
+    /// tuple. Off for experiments that need per-prefix-row cost semantics.
+    pub udtf_memo: bool,
+    /// Which planner turns bound statements into physical plans: cost-based
+    /// (default) or the syntactic FROM-order reference.
+    pub planner: PlannerMode,
+}
+
+impl Default for ExecOptions {
+    fn default() -> ExecOptions {
+        ExecOptions {
+            mode: ExecMode::Streaming,
+            vectorized: true,
+            projection_pruning: true,
+            udtf_memo: true,
+            planner: PlannerMode::CostBased,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Use `exec_mode` as the executor strategy.
+    pub fn mode(mut self, mode: ExecMode) -> ExecOptions {
+        self.mode = mode;
+        self
+    }
+
+    /// Toggle columnar-batch streaming execution.
+    pub fn vectorized(mut self, enabled: bool) -> ExecOptions {
+        self.vectorized = enabled;
+        self
+    }
+
+    /// Toggle bind-time projection pruning.
+    pub fn projection_pruning(mut self, enabled: bool) -> ExecOptions {
+        self.projection_pruning = enabled;
+        self
+    }
+
+    /// Toggle the dependent-UDTF memo.
+    pub fn udtf_memo(mut self, enabled: bool) -> ExecOptions {
+        self.udtf_memo = enabled;
+        self
+    }
+
+    /// Use `planner` to turn bound statements into physical plans.
+    pub fn planner(mut self, planner: PlannerMode) -> ExecOptions {
+        self.planner = planner;
+        self
+    }
+
+    /// The plan-cache key component encoding this configuration.
+    pub fn cache_tag(&self) -> String {
+        format!(
+            "m{}v{}p{}u{}q{}",
+            match self.mode {
+                ExecMode::Streaming => 's',
+                ExecMode::JoinAware => 'j',
+                ExecMode::Naive => 'n',
+            },
+            self.vectorized as u8,
+            self.projection_pruning as u8,
+            self.udtf_memo as u8,
+            match self.planner {
+                PlannerMode::Syntactic => 's',
+                PlannerMode::CostBased => 'c',
+            },
+        )
+    }
+}
+
 /// The federated database system engine.
 pub struct Fdbs {
     catalog: Catalog,
     cost: CostModel,
     plan_cache: RwLock<HashMap<String, Arc<Plan>>>,
-    /// Which executor strategy [`execute_plan`] uses, encoded as a
-    /// [`ExecMode`] discriminant (0 = streaming, 1 = join-aware, 2 = naive).
-    exec_mode: AtomicU8,
-    /// Prune unreferenced columns out of FROM steps at bind time and push
-    /// the projection into the scans. Off for the unpruned baselines in E14.
-    projection_pruning: AtomicBool,
-    /// Memoize dependent UDTF invocations within one step by argument
-    /// tuple. Off for experiments that need per-prefix-row cost semantics.
-    udtf_memo: AtomicBool,
-    /// Run [`ExecMode::Streaming`] over typed column batches (the default).
-    /// Off gives the row-at-a-time streaming executor — kept callable as
-    /// the E17 comparison baseline.
-    vectorized: AtomicBool,
+    /// The engine's execution configuration; see [`ExecOptions`].
+    options: RwLock<ExecOptions>,
     /// Interned `udtf {name}` / `fdbs.fn {name}` span names.
     udtf_spans: SpanNameCache<Ident>,
     fn_spans: SpanNameCache<Ident>,
@@ -60,13 +146,17 @@ impl Fdbs {
             catalog: Catalog::with_local(local),
             cost,
             plan_cache: RwLock::new(HashMap::new()),
-            exec_mode: AtomicU8::new(0),
-            projection_pruning: AtomicBool::new(true),
-            udtf_memo: AtomicBool::new(true),
-            vectorized: AtomicBool::new(true),
+            options: RwLock::new(ExecOptions::default()),
             udtf_spans: SpanNameCache::new(),
             fn_spans: SpanNameCache::new(),
         }
+    }
+
+    /// An engine with a non-default execution configuration.
+    pub fn with_options(cost: CostModel, options: ExecOptions) -> Fdbs {
+        let f = Fdbs::new(cost);
+        f.set_options(options);
+        f
     }
 
     /// The interned `udtf {name}` span name for a function (pub(crate):
@@ -84,58 +174,78 @@ impl Fdbs {
         &self.cost
     }
 
-    /// The strategy [`execute_plan`] uses for this engine.
-    pub fn exec_mode(&self) -> ExecMode {
-        match self.exec_mode.load(Ordering::Relaxed) {
-            1 => ExecMode::JoinAware,
-            2 => ExecMode::Naive,
-            _ => ExecMode::Streaming,
-        }
+    /// The engine's current execution configuration.
+    pub fn options(&self) -> ExecOptions {
+        *self.options.read()
     }
 
-    /// Switch between the streaming executor (default), the materializing
-    /// join-aware path, and the naive reference path.
-    pub fn set_exec_mode(&self, mode: ExecMode) {
-        let tag = match mode {
-            ExecMode::Streaming => 0,
-            ExecMode::JoinAware => 1,
-            ExecMode::Naive => 2,
-        };
-        self.exec_mode.store(tag, Ordering::Relaxed);
+    /// Replace the execution configuration wholesale. Cached plans are
+    /// keyed on [`ExecOptions::cache_tag`], so reconfiguring never serves
+    /// a plan bound under a different configuration.
+    pub fn set_options(&self, options: ExecOptions) {
+        *self.options.write() = options;
+    }
+
+    /// The strategy [`execute_plan`] uses for this engine.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.options().mode
     }
 
     /// Whether bind-time projection pruning is applied to new plans.
     pub fn projection_pruning_enabled(&self) -> bool {
-        self.projection_pruning.load(Ordering::Relaxed)
-    }
-
-    /// Enable/disable bind-time projection pruning. Cached plans are keyed
-    /// on the flag, so toggling never serves a plan bound the other way.
-    pub fn set_projection_pruning(&self, enabled: bool) {
-        self.projection_pruning.store(enabled, Ordering::Relaxed);
+        self.options().projection_pruning
     }
 
     /// Whether dependent UDTF invocations are memoized per step.
     pub fn udtf_memo_enabled(&self) -> bool {
-        self.udtf_memo.load(Ordering::Relaxed)
-    }
-
-    /// Enable/disable the dependent-UDTF memo (only effective on the
-    /// join-aware path; the naive path never memoizes).
-    pub fn set_udtf_memo(&self, enabled: bool) {
-        self.udtf_memo.store(enabled, Ordering::Relaxed);
+        self.options().udtf_memo
     }
 
     /// Whether the streaming executor runs vectorized (columnar batches).
     pub fn vectorized_enabled(&self) -> bool {
-        self.vectorized.load(Ordering::Relaxed)
+        self.options().vectorized
     }
 
-    /// Toggle vectorized streaming execution. Plans are identical either
-    /// way (vectorization is an executor property), so the plan cache
-    /// needs no re-keying.
+    /// Which planner compiles statements for this engine.
+    pub fn planner_mode(&self) -> PlannerMode {
+        self.options().planner
+    }
+
+    #[deprecated(note = "use `set_options(options().mode(..))` — one ExecOptions value")]
+    pub fn set_exec_mode(&self, mode: ExecMode) {
+        self.set_options(self.options().mode(mode));
+    }
+
+    #[deprecated(note = "use `set_options(options().projection_pruning(..))`")]
+    pub fn set_projection_pruning(&self, enabled: bool) {
+        self.set_options(self.options().projection_pruning(enabled));
+    }
+
+    #[deprecated(note = "use `set_options(options().udtf_memo(..))`")]
+    pub fn set_udtf_memo(&self, enabled: bool) {
+        self.set_options(self.options().udtf_memo(enabled));
+    }
+
+    #[deprecated(note = "use `set_options(options().vectorized(..))`")]
     pub fn set_vectorized(&self, enabled: bool) {
-        self.vectorized.store(enabled, Ordering::Relaxed);
+        self.set_options(self.options().vectorized(enabled));
+    }
+
+    /// ANALYZE: collect statistics (row count, per-column NDV, min/max,
+    /// null fraction) for every local table and registered foreign table,
+    /// then clear the plan cache so subsequent statements are planned
+    /// against fresh numbers. Returns the number of tables analyzed.
+    pub fn analyze(&self) -> FedResult<usize> {
+        let n = self.catalog.analyze()?;
+        self.clear_plan_cache();
+        Ok(n)
+    }
+
+    /// ANALYZE one table by its catalog name.
+    pub fn analyze_table(&self, name: &str) -> FedResult<()> {
+        self.catalog.analyze_table(&Ident::new(name))?;
+        self.clear_plan_cache();
+        Ok(())
     }
 
     /// The charge sequence of a SQL integration UDTF under the enhanced
@@ -285,6 +395,35 @@ impl Fdbs {
             for line in root.render().lines() {
                 t.push_unchecked(Row::new(vec![Value::str(format!("  {line}"))]));
             }
+            // Estimation quality: every operator that carries both an
+            // `est` and a `rows` counter gets a q-error line
+            // (max(est/act, act/est), both clamped to >= 1), plus the
+            // median across operators.
+            let mut qs: Vec<f64> = Vec::new();
+            root.walk(&mut |node, _| {
+                if let (Some(est), Some(act)) = (node.counter("est"), node.counter("rows")) {
+                    let e = (est as f64).max(1.0);
+                    let a = (act as f64).max(1.0);
+                    let q = (e / a).max(a / e);
+                    qs.push(q);
+                    t.push_unchecked(Row::new(vec![Value::str(format!(
+                        "  q-error {}: est={est} act={act} q={q:.2}",
+                        node.name
+                    ))]));
+                }
+            });
+            if !qs.is_empty() {
+                qs.sort_by(f64::total_cmp);
+                let mid = qs.len() / 2;
+                let median = if qs.len() % 2 == 1 {
+                    qs[mid]
+                } else {
+                    (qs[mid - 1] + qs[mid]) / 2.0
+                };
+                t.push_unchecked(Row::new(vec![Value::str(format!(
+                    "  q-error median: {median:.2}"
+                ))]));
+            }
         }
         Ok(t)
     }
@@ -319,8 +458,8 @@ impl Fdbs {
 
     /// Bind the host variables and derive the plan-cache key for a SELECT:
     /// the raw statement text, the host-variable signature, and the
-    /// projection-pruning flag (a plan bound one way must never be served
-    /// to an engine configured the other way).
+    /// [`ExecOptions::cache_tag`] (a plan bound under one configuration
+    /// must never be served to an engine configured another way).
     fn host_params_and_key(
         &self,
         cache_key_base: &str,
@@ -338,13 +477,13 @@ impl Fdbs {
             values.push(value.clone());
         }
         let cache_key = format!(
-            "{cache_key_base}|{}|p{}",
+            "{cache_key_base}|{}|{}",
             param_defs
                 .iter()
                 .map(|(n, t)| format!("{n}:{t}"))
                 .collect::<Vec<_>>()
                 .join(","),
-            self.projection_pruning_enabled() as u8
+            self.options().cache_tag()
         );
         Ok((param_defs, values, cache_key))
     }
@@ -363,10 +502,12 @@ impl Fdbs {
             return Ok((plan.clone(), values));
         }
         meter.charge(Component::Fdbs, "Compile statement", self.cost.plan_compile);
-        let plan = PlanBuilder::new(&self.catalog)
+        let opts = self.options();
+        let logical = PlanBuilder::new(&self.catalog)
             .with_host_params(param_defs)
-            .bind(select)?;
-        let plan = Arc::new(if self.projection_pruning_enabled() {
+            .bind_logical(select)?;
+        let plan = optimize(&self.catalog, logical, opts.planner)?;
+        let plan = Arc::new(if opts.projection_pruning {
             plan.prune_projections()
         } else {
             plan
@@ -402,21 +543,19 @@ impl Fdbs {
         args: &[Value],
         meter: &mut Meter,
     ) -> FedResult<Table> {
-        let cache_key = format!(
-            "fn:{}|p{}",
-            udtf.name.normalized(),
-            self.projection_pruning_enabled() as u8
-        );
+        let opts = self.options();
+        let cache_key = format!("fn:{}|{}", udtf.name.normalized(), opts.cache_tag());
         let plan = {
             let cached = self.plan_cache.read().get(&cache_key).cloned();
             match cached {
                 Some(p) => p,
                 None => {
                     meter.charge(Component::Fdbs, "Compile statement", self.cost.plan_compile);
-                    let plan = PlanBuilder::new(&self.catalog)
+                    let logical = PlanBuilder::new(&self.catalog)
                         .with_function_context(udtf.name.clone(), udtf.params.clone())
-                        .bind(body)?;
-                    let plan = Arc::new(if self.projection_pruning_enabled() {
+                        .bind_logical(body)?;
+                    let plan = optimize(&self.catalog, logical, opts.planner)?;
+                    let plan = Arc::new(if opts.projection_pruning {
                         plan.prune_projections()
                     } else {
                         plan
@@ -515,6 +654,7 @@ impl Fdbs {
                     returns,
                     kind: UdtfKind::Sql(Box::new(cf.body.clone())),
                     charges: self.iudtf_charge_spec(),
+                    fanout: 1.0,
                 };
                 self.catalog.register_udtf(udtf)?;
                 Ok(done())
@@ -573,6 +713,7 @@ impl Fdbs {
             }
             Statement::DropTable { name } => {
                 self.catalog.local().drop_table(name.as_str())?;
+                self.catalog.invalidate_statistics(name);
                 Ok(done())
             }
             Statement::DropFunction { name } => {
@@ -873,10 +1014,9 @@ mod tests {
         let mut m = Meter::new();
         f.execute("SELECT Name FROM Suppliers", &mut m).unwrap();
         assert_eq!(f.cached_plan_count(), 1);
-        f.set_projection_pruning(false);
+        f.set_options(f.options().projection_pruning(false));
         f.execute("SELECT Name FROM Suppliers", &mut m).unwrap();
-        assert_eq!(f.cached_plan_count(), 2, "distinct key per pruning flag");
-        f.set_projection_pruning(true);
+        assert_eq!(f.cached_plan_count(), 2, "distinct key per options tag");
     }
 
     #[test]

@@ -37,7 +37,7 @@ use fedwf_types::{
 
 use crate::engine::Fdbs;
 use crate::expr::BoundExpr;
-use crate::plan::{AggColumn, AggFn, AggregatePlan, FromStep, JoinKey, Plan};
+use crate::plan::{Access, AggColumn, AggFn, AggregatePlan, FromStep, JoinKey, Plan};
 use crate::udtf::{Udtf, UdtfKind};
 
 /// Which executor strategy to use.
@@ -116,7 +116,8 @@ fn execute_materialized(
     for (i, step) in plan.steps.iter().enumerate() {
         let jk = plan.step_join_keys[i].as_ref();
         let proj = plan.step_projections.get(i).and_then(|p| p.as_deref());
-        rows = execute_step(fdbs, step, i, jk, proj, rows, params, meter, mode)
+        let access = plan.step_access.get(i).copied().unwrap_or_default();
+        rows = execute_step(fdbs, step, i, jk, proj, access, rows, params, meter, mode)
             .context(format!("evaluating FROM item {} ({step:?})", i + 1))?;
         // Every composed intermediate is a materialization point on this
         // path — that is exactly what the streaming executor avoids.
@@ -238,6 +239,7 @@ fn execute_step(
     position: usize,
     jk: Option<&JoinKey>,
     proj: Option<&[usize]>,
+    access: Access,
     prefix: Vec<Row>,
     params: &[Value],
     meter: &mut Meter,
@@ -256,7 +258,7 @@ fn execute_step(
             ..
         } => {
             if let Some(jk) = jk {
-                if step_is_indexable(fdbs, table, schema, jk)? {
+                if use_index_probe(fdbs, table, schema, jk, access)? {
                     return index_probe_join(
                         fdbs,
                         table.as_str(),
@@ -412,6 +414,24 @@ pub(crate) fn step_is_indexable(
             .catalog()
             .local()
             .index_serves(table.as_str(), &Predicate::eq(jk.build[0], Value::Null))?)
+}
+
+/// Apply the planner's access-path choice to one joined local scan.
+/// [`Access::Hash`] forces the hash join; [`Access::IndexProbe`] and
+/// [`Access::Auto`] still re-check indexability at run time (an index may
+/// have been dropped since planning), so a stale choice degrades to the
+/// hash join instead of failing.
+pub(crate) fn use_index_probe(
+    fdbs: &Fdbs,
+    table: &Ident,
+    schema: &SchemaRef,
+    jk: &JoinKey,
+    access: Access,
+) -> FedResult<bool> {
+    match access {
+        Access::Hash => Ok(false),
+        Access::IndexProbe | Access::Auto => step_is_indexable(fdbs, table, schema, jk),
+    }
 }
 
 /// Translate the original step-local build columns of a join key into
@@ -1252,6 +1272,8 @@ pub(crate) struct StreamProbe {
     batches: u64,
     rows: u64,
     bytes: u64,
+    /// Planner-estimated output rows, when the plan carries estimates.
+    est: Option<u64>,
 }
 
 impl StreamProbe {
@@ -1263,7 +1285,15 @@ impl StreamProbe {
             batches: 0,
             rows: 0,
             bytes: 0,
+            est: None,
         }
+    }
+
+    /// Attach the planner's row estimate; `EXPLAIN ANALYZE` reads it back
+    /// as the `est` counter beside the actual `rows`.
+    pub(crate) fn with_est(mut self, est: Option<f64>) -> StreamProbe {
+        self.est = est.map(|e| e.round().max(0.0) as u64);
+        self
     }
 
     fn record(&mut self, virt_us: u64, wall_ns: u64, out: &[Row]) {
@@ -1286,8 +1316,31 @@ impl StreamProbe {
         node.add_counter("batches", self.batches);
         node.add_counter("rows", self.rows);
         node.add_counter("bytes", self.bytes);
+        if let Some(est) = self.est {
+            node.add_counter("est", est);
+        }
         node
     }
+}
+
+/// Planner row estimates for the streaming operator chain, parallel to the
+/// `ops` vector both streaming executors build: each step contributes its
+/// composed (`join_rows`) estimate, its residual filter (when present) the
+/// post-filter `out_rows`. The chunked source covers step 0's scan itself,
+/// so `start` skips it and only its filter op (if any) leads the chain.
+pub(crate) fn op_estimates(plan: &Plan, chunk_step0: bool, start: usize) -> Vec<Option<f64>> {
+    let est = |i: usize| plan.step_estimates.get(i);
+    let mut out = Vec::new();
+    if chunk_step0 && plan.step_filters[0].is_some() {
+        out.push(est(0).map(|e| e.out_rows));
+    }
+    for i in start..plan.steps.len() {
+        out.push(est(i).map(|e| e.join_rows));
+        if plan.step_filters[i].is_some() {
+            out.push(est(i).map(|e| e.out_rows));
+        }
+    }
+    out
 }
 
 /// Probes for the whole pipeline: source, one per operator, sink.
@@ -1369,7 +1422,8 @@ fn execute_streaming(
     for (i, step) in plan.steps.iter().enumerate().skip(start) {
         let jk = plan.step_join_keys[i].as_ref();
         let proj = plan.step_projections.get(i).and_then(|p| p.as_deref());
-        let op = prepare_step_op(fdbs, step, i, jk, proj, params, meter)
+        let access = plan.step_access.get(i).copied().unwrap_or_default();
+        let op = prepare_step_op(fdbs, step, i, jk, proj, access, params, meter)
             .context(format!("evaluating FROM item {} ({step:?})", i + 1))?;
         ops.push(op);
         if let Some(filter) = &plan.step_filters[i] {
@@ -1393,10 +1447,15 @@ fn execute_streaming(
         source: StreamProbe::new(match &source {
             Source::Chunked { table, .. } => SpanName::from(format!("scan {table}")),
             Source::Rows(_) => SpanName::Static("seed"),
+        })
+        .with_est(match &source {
+            Source::Chunked { .. } => plan.step_estimates.first().map(|e| e.scan_rows),
+            Source::Rows(_) => None,
         }),
         ops: ops
             .iter()
-            .map(|op| StreamProbe::new(op_probe_name(op)))
+            .zip(op_estimates(plan, chunk_step0, start))
+            .map(|(op, est)| StreamProbe::new(op_probe_name(op)).with_est(est))
             .collect(),
         sink: StreamProbe::new(
             match &sink {
@@ -1489,12 +1548,14 @@ fn execute_streaming(
 
 /// Build the streaming operator for one lateral step, performing the
 /// eager (pipeline-breaking) work up front.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn prepare_step_op<'p>(
     fdbs: &Fdbs,
     step: &'p FromStep,
     position: usize,
     jk: Option<&'p JoinKey>,
     proj: Option<&'p [usize]>,
+    access: Access,
     params: &[Value],
     meter: &mut Meter,
 ) -> FedResult<Op<'p>> {
@@ -1507,7 +1568,7 @@ pub(crate) fn prepare_step_op<'p>(
             ..
         } => {
             if let Some(jk) = jk {
-                if step_is_indexable(fdbs, table, schema, jk)? {
+                if use_index_probe(fdbs, table, schema, jk, access)? {
                     return Ok(Op::IndexProbe {
                         table,
                         pushdown,
@@ -1807,6 +1868,8 @@ mod tests {
         let plan = Plan {
             steps: vec![],
             step_projections: vec![],
+            step_access: vec![],
+            step_estimates: vec![],
             step_filters: vec![],
             step_join_keys: vec![],
             projection: vec![],
@@ -1850,6 +1913,8 @@ mod tests {
         let plan = Plan {
             steps: vec![],
             step_projections: vec![],
+            step_access: vec![],
+            step_estimates: vec![],
             step_filters: vec![],
             step_join_keys: vec![],
             projection: vec![],

@@ -62,16 +62,20 @@ pub mod catalog;
 pub mod engine;
 pub mod exec;
 pub mod expr;
+pub mod optimizer;
 pub mod plan;
 pub mod sqlmed;
+pub mod stats;
 pub mod udtf;
 pub(crate) mod vexec;
 pub(crate) mod vexpr;
 
 pub use catalog::Catalog;
-pub use engine::Fdbs;
+pub use engine::{ExecOptions, Fdbs};
 pub use exec::{execute_plan_with_mode, ExecMode};
 pub use expr::BoundExpr;
-pub use plan::{JoinKey, Plan, PlanBuilder};
+pub use optimizer::PlannerMode;
+pub use plan::{JoinKey, LogicalPlan, Plan, PlanBuilder};
 pub use sqlmed::{ForeignServer, RelstoreServer};
+pub use stats::{ColumnStats, TableStatistics};
 pub use udtf::{ChargeItem, ChargeSpec, Udtf, UdtfKind};

@@ -35,6 +35,9 @@ pub enum FromStep {
     ScanForeign {
         server: Arc<dyn ForeignServer>,
         remote_name: String,
+        /// The catalog-local registration name — how the optimizer looks up
+        /// ANALYZE statistics for this foreign table.
+        catalog_name: Ident,
         alias: Ident,
         schema: SchemaRef,
         pushdown: Predicate,
@@ -150,6 +153,34 @@ pub struct JoinKey {
     pub residual: BoundExpr,
 }
 
+/// How the executor composes one step with the prefix — chosen by the
+/// cost-based optimizer, honored by every executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Access {
+    /// The executor's own syntactic heuristic: index probe whenever the
+    /// step is indexable, hash join otherwise.
+    #[default]
+    Auto,
+    /// Force the hash path even when an index probe would be available.
+    Hash,
+    /// Prefer the index probe. The executor still double-checks
+    /// indexability at run time and falls back to the hash join when the
+    /// index cannot serve the key.
+    IndexProbe,
+}
+
+/// Optimizer cardinality estimates for one step of the lateral chain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepEstimate {
+    /// Rows the step itself produces after its pushdown (for a table
+    /// function: rows per invocation, from the declared fan-out).
+    pub scan_rows: f64,
+    /// Prefix rows after composing this step (join / cross / lateral).
+    pub join_rows: f64,
+    /// Prefix rows after this step's residual filter.
+    pub out_rows: f64,
+}
+
 /// A bound, optimized, executable plan.
 #[derive(Debug, Clone)]
 pub struct Plan {
@@ -170,6 +201,14 @@ pub struct Plan {
     /// original table-local numbering, because storage and index probes
     /// evaluate them *before* projecting.
     pub step_projections: Vec<Option<Vec<usize>>>,
+    /// Per-step access-path choice. Executors read entries defensively
+    /// (`.get(i)`), so a hand-built plan with an empty vector behaves as
+    /// all-[`Access::Auto`].
+    pub step_access: Vec<Access>,
+    /// Per-step cardinality estimates. May be empty for hand-built plans;
+    /// `EXPLAIN` and the q-error report treat missing entries as "no
+    /// estimate".
+    pub step_estimates: Vec<StepEstimate>,
     pub projection: Vec<(BoundExpr, Ident)>,
     /// `GROUP BY`/aggregate stage; when present, `projection` is unused.
     pub aggregate: Option<AggregatePlan>,
@@ -360,18 +399,38 @@ impl Plan {
                     .join(", ")
             )),
         }
+        // Estimated rows for one step, or nothing when the plan carries no
+        // estimates (hand-built plans). Part of the stable EXPLAIN grammar:
+        // ` est=N` is always the final note on an operator line.
+        let est_note = |i: usize, pick: fn(&StepEstimate) -> f64| -> String {
+            match self.step_estimates.get(i) {
+                Some(e) => format!(" est={:.0}", pick(e)),
+                None => String::new(),
+            }
+        };
         for (i, step) in self.steps.iter().enumerate().rev() {
             let indent = "  ".repeat(self.steps.len() - i);
             if let Some(filter) = &self.step_filters[i] {
-                out.push_str(&format!("{indent}Filter {filter:?}\n"));
+                out.push_str(&format!(
+                    "{indent}Filter {filter:?}{}\n",
+                    est_note(i, |e| e.out_rows)
+                ));
             }
             if let Some(jk) = &self.step_join_keys[i] {
                 out.push_str(&format!(
-                    "{indent}HashJoin [{} key(s): {:?}]\n",
+                    "{indent}HashJoin [{} key(s): {:?}]{}\n",
                     jk.build.len(),
-                    jk.residual
+                    jk.residual,
+                    est_note(i, |e| e.join_rows)
                 ));
             }
+            // Cost-based access-path choice; `Auto` (the syntactic
+            // heuristic) renders nothing, like `Predicate::True` pushdowns.
+            let access_note = match self.step_access.get(i) {
+                Some(Access::Hash) => " [access: hash]",
+                Some(Access::IndexProbe) => " [access: index-probe]",
+                _ => "",
+            };
             // Pruned column list for the step, by name in the step's schema.
             let project_note = match self.step_projections.get(i).and_then(|p| p.as_ref()) {
                 Some(proj) if proj.is_empty() => " [project: -]".to_string(),
@@ -399,6 +458,8 @@ impl Plan {
                         out.push_str(&format!(" [pushdown: {pushdown:?}]"));
                     }
                     out.push_str(&project_note);
+                    out.push_str(access_note);
+                    out.push_str(&est_note(i, |e| e.scan_rows));
                     out.push('\n');
                 }
                 FromStep::ScanForeign {
@@ -416,6 +477,8 @@ impl Plan {
                         out.push_str(&format!(" [pushdown: {pushdown:?}]"));
                     }
                     out.push_str(&project_note);
+                    out.push_str(access_note);
+                    out.push_str(&est_note(i, |e| e.scan_rows));
                     out.push('\n');
                 }
                 FromStep::TableFunc {
@@ -425,7 +488,7 @@ impl Plan {
                     args,
                 } => {
                     out.push_str(&format!(
-                        "{indent}TableFunction {}({} arg{}) AS {alias}{}{project_note}\n",
+                        "{indent}TableFunction {}({} arg{}) AS {alias}{}{project_note}{}\n",
                         udtf.name,
                         args.len(),
                         if args.len() == 1 { "" } else { "s" },
@@ -435,13 +498,36 @@ impl Plan {
                             " [uncorrelated]"
                         } else {
                             " [lateral]"
-                        }
+                        },
+                        est_note(i, |e| e.join_rows)
                     ));
                 }
             }
         }
         out
     }
+}
+
+/// The output of the binder before the optimizer runs: FROM steps in
+/// syntactic order with no pushdowns applied, WHERE conjuncts bound against
+/// the syntactic concatenated layout but not yet placed, and the bound
+/// output stages. [`crate::optimizer::optimize`] turns this into an
+/// executable [`Plan`] — placing conjuncts (pushdown / join-key extraction /
+/// residual filters), optionally reordering steps, estimating cardinalities
+/// and choosing access paths.
+#[derive(Debug, Clone)]
+pub struct LogicalPlan {
+    pub steps: Vec<FromStep>,
+    /// Bound WHERE conjuncts in statement order, over the syntactic
+    /// concatenated layout.
+    pub conjuncts: Vec<BoundExpr>,
+    pub projection: Vec<(BoundExpr, Ident)>,
+    pub aggregate: Option<AggregatePlan>,
+    pub distinct: bool,
+    pub order_by: Vec<(BoundExpr, bool)>,
+    pub limit: Option<u64>,
+    pub params: Vec<(Ident, DataType)>,
+    pub out_schema: SchemaRef,
 }
 
 /// Binder for SELECT statements.
@@ -538,7 +624,22 @@ impl<'a> PlanBuilder<'a> {
         Ok(fold(self.bind_expr(expr, &Scope::new())?))
     }
 
+    /// Bind and optimize with the syntactic planner — today's plans,
+    /// byte-for-byte. Callers that want cost-based planning go through
+    /// [`PlanBuilder::bind_logical`] + [`crate::optimizer::optimize`].
     pub fn bind(&self, stmt: &SelectStmt) -> FedResult<Plan> {
+        let logical = self.bind_logical(stmt)?;
+        crate::optimizer::optimize(
+            self.catalog,
+            logical,
+            crate::optimizer::PlannerMode::Syntactic,
+        )
+    }
+
+    /// Bind a SELECT into a [`LogicalPlan`]: resolve names, bind and fold
+    /// every expression, detect lateral (in)dependence — but place no
+    /// conjunct and choose no access path. That is the optimizer's job.
+    pub fn bind_logical(&self, stmt: &SelectStmt) -> FedResult<LogicalPlan> {
         let mut scope = Scope::new();
         let mut steps = Vec::with_capacity(stmt.from.len());
 
@@ -548,22 +649,13 @@ impl<'a> PlanBuilder<'a> {
             steps.push(step);
         }
 
-        // Classify WHERE conjuncts: push into scans when possible, else
-        // attach as a residual filter at the earliest evaluable step.
         if stmt.selection.is_some() && steps.is_empty() {
             return Err(FedError::bind("WHERE clause without FROM clause"));
         }
-        let mut step_filters: Vec<Option<BoundExpr>> = vec![None; steps.len()];
-        let mut step_join_keys: Vec<Option<JoinKey>> = vec![None; steps.len()];
+        let mut conjuncts: Vec<BoundExpr> = Vec::new();
         if let Some(selection) = &stmt.selection {
             for conjunct in selection.conjuncts() {
-                self.place_conjunct(
-                    conjunct,
-                    &scope,
-                    &mut steps,
-                    &mut step_filters,
-                    &mut step_join_keys,
-                )?;
+                conjuncts.push(fold(self.bind_expr(conjunct, &scope)?));
             }
         }
 
@@ -579,7 +671,7 @@ impl<'a> PlanBuilder<'a> {
                 )
             });
         if has_agg {
-            return self.bind_aggregate(stmt, &scope, steps, step_filters, step_join_keys);
+            return self.bind_aggregate(stmt, &scope, steps, conjuncts);
         }
 
         // Projection.
@@ -646,11 +738,9 @@ impl<'a> PlanBuilder<'a> {
                 .collect(),
         ));
 
-        Ok(Plan {
-            step_projections: vec![None; steps.len()],
+        Ok(LogicalPlan {
             steps,
-            step_filters,
-            step_join_keys,
+            conjuncts,
             projection,
             aggregate: None,
             distinct: stmt.distinct,
@@ -667,9 +757,8 @@ impl<'a> PlanBuilder<'a> {
         stmt: &SelectStmt,
         scope: &Scope,
         steps: Vec<FromStep>,
-        step_filters: Vec<Option<BoundExpr>>,
-        step_join_keys: Vec<Option<JoinKey>>,
-    ) -> FedResult<Plan> {
+        conjuncts: Vec<BoundExpr>,
+    ) -> FedResult<LogicalPlan> {
         let keys: Vec<BoundExpr> = stmt
             .group_by
             .iter()
@@ -793,11 +882,9 @@ impl<'a> PlanBuilder<'a> {
             ));
         }
 
-        Ok(Plan {
-            step_projections: vec![None; steps.len()],
+        Ok(LogicalPlan {
             steps,
-            step_filters,
-            step_join_keys,
+            conjuncts,
             projection: vec![],
             aggregate: Some(AggregatePlan { keys, columns }),
             distinct: stmt.distinct,
@@ -826,6 +913,7 @@ impl<'a> PlanBuilder<'a> {
                     } => FromStep::ScanForeign {
                         server,
                         remote_name,
+                        catalog_name: name.clone(),
                         alias,
                         schema,
                         pushdown: Predicate::True,
@@ -953,113 +1041,120 @@ impl<'a> PlanBuilder<'a> {
                 data_type: self.params[index].1,
             })
     }
+}
 
-    /// Place a WHERE conjunct: push into a scan's storage predicate when
-    /// it touches exactly one scan step and has a pushable shape; failing
-    /// that, extract it as a hash-join key when it is an equality between a
-    /// column of the target step and a prefix-only expression; otherwise
-    /// attach it as a residual filter at the earliest step where all its
-    /// columns exist.
-    fn place_conjunct(
-        &self,
-        conjunct: &Expr,
-        scope: &Scope,
-        steps: &mut [FromStep],
-        step_filters: &mut [Option<BoundExpr>],
-        step_join_keys: &mut [Option<JoinKey>],
-    ) -> FedResult<()> {
-        let bound = fold(self.bind_expr(conjunct, scope)?);
-        let cols = bound.column_indexes();
-        // Earliest step whose prefix covers all referenced columns.
-        let mut target = 0usize;
-        for &c in &cols {
-            let step_of_col = scope
-                .entries
-                .iter()
-                .position(|(_, schema, offset)| c >= *offset && c < offset + schema.len())
-                .expect("bound column belongs to a scope entry");
-            target = target.max(step_of_col);
-        }
-
-        // Try full pushdown into a scan when every column belongs to the
-        // target step itself and the shape converts.
-        let (t_offset, t_len) = {
-            let (_, schema, offset) = &scope.entries[target];
-            (*offset, schema.len())
-        };
-        let local_only = cols.iter().all(|&c| c >= t_offset && c < t_offset + t_len);
-        if local_only {
-            if let Some(pred) = to_storage_predicate(&bound, t_offset) {
-                match &mut steps[target] {
-                    FromStep::ScanLocal { pushdown, .. }
-                    | FromStep::ScanForeign { pushdown, .. } => {
-                        *pushdown = std::mem::replace(pushdown, Predicate::True).and(pred);
-                        return Ok(());
-                    }
-                    FromStep::TableFunc { .. } => {}
-                }
-            }
-        }
-
-        // Equi-join extraction: `step-column = prefix-expr` (either
-        // orientation) turns the step composition into a hash join. Not for
-        // dependent table functions — their results are already correlated
-        // per prefix row, so the conjunct stays a residual filter.
-        let extractable_step = matches!(
-            steps[target],
-            FromStep::ScanLocal { .. }
-                | FromStep::ScanForeign { .. }
-                | FromStep::TableFunc {
-                    independent: true,
-                    ..
-                }
-        );
-        if extractable_step {
-            if let Some((build, probe)) = split_equi_join(&bound, t_offset, t_len) {
-                // Static type gate: the hash path compares by key equality
-                // and can never raise `sql_cmp`'s "cannot compare" error, so
-                // only extract when bind-time types guarantee comparability.
-                let comparable = match (
-                    steps[target].schema().columns()[build].data_type,
-                    probe.data_type(),
-                ) {
-                    (b, Some(p)) => b == p || (b.is_numeric() && p.is_numeric()),
-                    (_, None) => false,
-                };
-                if comparable {
-                    match &mut step_join_keys[target] {
-                        Some(jk) => {
-                            jk.build.push(build);
-                            jk.probe.push(probe);
-                            jk.residual = BoundExpr::Binary {
-                                left: Box::new(jk.residual.clone()),
-                                op: BinaryOp::And,
-                                right: Box::new(bound),
-                            };
-                        }
-                        slot @ None => {
-                            *slot = Some(JoinKey {
-                                probe: vec![probe],
-                                build: vec![build],
-                                residual: bound,
-                            });
-                        }
-                    }
-                    return Ok(());
-                }
-            }
-        }
-
-        step_filters[target] = Some(match step_filters[target].take() {
-            Some(existing) => BoundExpr::Binary {
-                left: Box::new(existing),
-                op: BinaryOp::And,
-                right: Box::new(bound),
-            },
-            None => bound,
-        });
-        Ok(())
+/// Concatenated-layout offset of each step's first column.
+pub(crate) fn step_offsets(steps: &[FromStep]) -> Vec<usize> {
+    let mut offsets = Vec::with_capacity(steps.len());
+    let mut acc = 0usize;
+    for step in steps {
+        offsets.push(acc);
+        acc += step.schema().len();
     }
+    offsets
+}
+
+/// Place one bound WHERE conjunct into an executable plan: push into a
+/// scan's storage predicate when it touches exactly one scan step and has a
+/// pushable shape; failing that, extract it as a hash-join key when it is an
+/// equality between a column of the target step and a prefix-only
+/// expression; otherwise attach it as a residual filter at the earliest step
+/// where all its columns exist. `offsets` is the concatenated layout the
+/// conjunct's column indexes refer to ([`step_offsets`] of `steps`) — the
+/// optimizer calls this after permuting the steps and remapping the
+/// conjunct into the permuted layout.
+pub(crate) fn place_bound_conjunct(
+    bound: BoundExpr,
+    steps: &mut [FromStep],
+    offsets: &[usize],
+    step_filters: &mut [Option<BoundExpr>],
+    step_join_keys: &mut [Option<JoinKey>],
+) {
+    let cols = bound.column_indexes();
+    // Earliest step whose prefix covers all referenced columns.
+    let mut target = 0usize;
+    for &c in &cols {
+        let step_of_col = steps
+            .iter()
+            .enumerate()
+            .position(|(i, step)| c >= offsets[i] && c < offsets[i] + step.schema().len())
+            .expect("bound column belongs to a step");
+        target = target.max(step_of_col);
+    }
+
+    // Try full pushdown into a scan when every column belongs to the
+    // target step itself and the shape converts.
+    let (t_offset, t_len) = (offsets[target], steps[target].schema().len());
+    let local_only = cols.iter().all(|&c| c >= t_offset && c < t_offset + t_len);
+    if local_only {
+        if let Some(pred) = to_storage_predicate(&bound, t_offset) {
+            match &mut steps[target] {
+                FromStep::ScanLocal { pushdown, .. } | FromStep::ScanForeign { pushdown, .. } => {
+                    *pushdown = std::mem::replace(pushdown, Predicate::True).and(pred);
+                    return;
+                }
+                FromStep::TableFunc { .. } => {}
+            }
+        }
+    }
+
+    // Equi-join extraction: `step-column = prefix-expr` (either
+    // orientation) turns the step composition into a hash join. Not for
+    // dependent table functions — their results are already correlated
+    // per prefix row, so the conjunct stays a residual filter.
+    let extractable_step = matches!(
+        steps[target],
+        FromStep::ScanLocal { .. }
+            | FromStep::ScanForeign { .. }
+            | FromStep::TableFunc {
+                independent: true,
+                ..
+            }
+    );
+    if extractable_step {
+        if let Some((build, probe)) = split_equi_join(&bound, t_offset, t_len) {
+            // Static type gate: the hash path compares by key equality
+            // and can never raise `sql_cmp`'s "cannot compare" error, so
+            // only extract when bind-time types guarantee comparability.
+            let comparable = match (
+                steps[target].schema().columns()[build].data_type,
+                probe.data_type(),
+            ) {
+                (b, Some(p)) => b == p || (b.is_numeric() && p.is_numeric()),
+                (_, None) => false,
+            };
+            if comparable {
+                match &mut step_join_keys[target] {
+                    Some(jk) => {
+                        jk.build.push(build);
+                        jk.probe.push(probe);
+                        jk.residual = BoundExpr::Binary {
+                            left: Box::new(jk.residual.clone()),
+                            op: BinaryOp::And,
+                            right: Box::new(bound),
+                        };
+                    }
+                    slot @ None => {
+                        *slot = Some(JoinKey {
+                            probe: vec![probe],
+                            build: vec![build],
+                            residual: bound,
+                        });
+                    }
+                }
+                return;
+            }
+        }
+    }
+
+    step_filters[target] = Some(match step_filters[target].take() {
+        Some(existing) => BoundExpr::Binary {
+            left: Box::new(existing),
+            op: BinaryOp::And,
+            right: Box::new(bound),
+        },
+        None => bound,
+    });
 }
 
 /// Constant folding: collapse literal-only subtrees.

@@ -16,6 +16,8 @@ use std::sync::Arc;
 use fedwf_relstore::{Database, Predicate};
 use fedwf_types::{ColumnBatch, FedResult, SchemaRef, Table};
 
+use crate::stats::TableStatistics;
+
 /// A remote SQL source reachable through a wrapper.
 pub trait ForeignServer: Send + Sync {
     /// Server name (for catalog bookkeeping and error messages).
@@ -73,6 +75,18 @@ pub trait ForeignServer: Send + Sync {
 
     /// Remote cardinality estimate (row count) for optimizer use.
     fn estimate_rows(&self, table: &str) -> FedResult<usize>;
+
+    /// ANALYZE support: collect full optimizer statistics (row count,
+    /// per-column NDV, null fraction, min/max) for a remote table. The
+    /// default ships the whole table across the wrapper once and profiles
+    /// it on the FDBS side; a wrapper whose remote end can compute
+    /// statistics natively should override this. Foreign statistics carry
+    /// no mutation epoch — they stay valid until the next ANALYZE.
+    fn collect_statistics(&self, table: &str) -> FedResult<TableStatistics> {
+        Ok(TableStatistics::from_table(
+            &self.scan(table, &Predicate::True)?,
+        ))
+    }
 }
 
 /// Adapter exposing an embedded relstore database as a foreign SQL source.

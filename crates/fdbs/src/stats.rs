@@ -1,0 +1,331 @@
+//! ANALYZE-style optimizer statistics.
+//!
+//! A statistics pass scans a table once and derives, per column: the
+//! number of distinct non-null values (NDV), the null fraction, and the
+//! min/max. The catalog stores one [`TableStatistics`] per analyzed table
+//! ([`crate::Catalog::analyze`]); for local relstore tables the entry
+//! remembers the mutation epoch it was collected at and is invalidated
+//! when the table mutates past it, for foreign tables (no epoch across
+//! the wrapper boundary) it stays valid until the next ANALYZE.
+//!
+//! The selectivity model is the textbook one (System R lineage):
+//!
+//! * `col = lit` → `(1 - null_fraction) / ndv`
+//! * `col < lit` (numeric) → interpolation of `lit` into `[min, max]`,
+//!   scaled by `(1 - null_fraction)`
+//! * `col IS NULL` → `null_fraction`
+//! * `a AND b` → `s(a) · s(b)` (independence)
+//! * `a OR b` → `s(a) + s(b) - s(a)·s(b)`
+//! * `NOT a` → `1 - s(a)`
+//! * join `R ⋈ S` on `a = b` → `|R|·|S| / max(ndv(a), ndv(b))`
+//!
+//! Without statistics the estimator falls back to live row counts
+//! (relstore [`fedwf_relstore::TableStats`], SQL/MED
+//! [`crate::ForeignServer::estimate_rows`]) and the default selectivities
+//! below.
+
+use std::collections::HashSet;
+
+use fedwf_relstore::{CmpOp, Predicate};
+use fedwf_types::{Table, TxnId, Value, ValueKey};
+
+/// Default selectivity of an equality predicate when no statistics exist.
+pub const DEFAULT_EQ_SELECTIVITY: f64 = 0.1;
+/// Default selectivity of a range predicate when no statistics exist or
+/// the bound cannot be interpolated.
+pub const DEFAULT_RANGE_SELECTIVITY: f64 = 1.0 / 3.0;
+/// Default null fraction when no statistics exist.
+pub const DEFAULT_NULL_FRACTION: f64 = 0.1;
+
+/// Per-column statistics from one collection pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Number of distinct non-null values.
+    pub ndv: usize,
+    /// Number of NULLs.
+    pub null_count: usize,
+    /// Smallest non-null value (by [`Value::index_cmp`]).
+    pub min: Option<Value>,
+    /// Largest non-null value.
+    pub max: Option<Value>,
+}
+
+/// Statistics for one table: row count plus per-column [`ColumnStats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStatistics {
+    pub row_count: usize,
+    pub columns: Vec<ColumnStats>,
+    /// Mutation epoch of the source table at collection time. `Some` for
+    /// local relstore tables (stale once the table mutates past it);
+    /// `None` for foreign tables, which expose no epoch through the
+    /// wrapper — those stay valid until the next ANALYZE.
+    pub epoch: Option<TxnId>,
+}
+
+impl TableStatistics {
+    /// Collect statistics from a materialized table in one pass.
+    pub fn from_table(table: &Table) -> TableStatistics {
+        let width = table.schema().len();
+        let mut distinct: Vec<HashSet<ValueKey>> = (0..width).map(|_| HashSet::new()).collect();
+        let mut nulls = vec![0usize; width];
+        let mut mins: Vec<Option<Value>> = vec![None; width];
+        let mut maxs: Vec<Option<Value>> = vec![None; width];
+        for row in table.rows() {
+            for (c, v) in row.values().iter().enumerate().take(width) {
+                if v.is_null() {
+                    nulls[c] += 1;
+                    continue;
+                }
+                distinct[c].insert(v.group_key());
+                match &mins[c] {
+                    Some(m) if m.index_cmp(v) != std::cmp::Ordering::Greater => {}
+                    _ => mins[c] = Some(v.clone()),
+                }
+                match &maxs[c] {
+                    Some(m) if m.index_cmp(v) != std::cmp::Ordering::Less => {}
+                    _ => maxs[c] = Some(v.clone()),
+                }
+            }
+        }
+        TableStatistics {
+            row_count: table.row_count(),
+            columns: (0..width)
+                .map(|c| ColumnStats {
+                    ndv: distinct[c].len(),
+                    null_count: nulls[c],
+                    min: mins[c].take(),
+                    max: maxs[c].take(),
+                })
+                .collect(),
+            epoch: None,
+        }
+    }
+
+    /// The epoch-stamped variant for local tables.
+    pub fn with_epoch(mut self, epoch: TxnId) -> TableStatistics {
+        self.epoch = Some(epoch);
+        self
+    }
+
+    /// Fraction of NULLs in `column`, [`DEFAULT_NULL_FRACTION`] when the
+    /// column is unknown or the table is empty.
+    pub fn null_fraction(&self, column: usize) -> f64 {
+        match self.columns.get(column) {
+            Some(c) if self.row_count > 0 => c.null_count as f64 / self.row_count as f64,
+            _ => DEFAULT_NULL_FRACTION,
+        }
+    }
+
+    /// NDV of `column`, `None` when the column is unknown or empty.
+    pub fn ndv(&self, column: usize) -> Option<usize> {
+        self.columns.get(column).map(|c| c.ndv).filter(|&n| n > 0)
+    }
+
+    /// Selectivity of `column = <literal>`.
+    pub fn eq_selectivity(&self, column: usize) -> f64 {
+        match self.ndv(column) {
+            Some(ndv) => clamp01((1.0 - self.null_fraction(column)) / ndv as f64),
+            None => DEFAULT_EQ_SELECTIVITY,
+        }
+    }
+
+    /// Selectivity of `column <op> value` via min/max interpolation for
+    /// numeric bounds; [`DEFAULT_RANGE_SELECTIVITY`] otherwise.
+    pub fn cmp_selectivity(&self, column: usize, op: CmpOp, value: &Value) -> f64 {
+        match op {
+            CmpOp::Eq => return self.eq_selectivity(column),
+            CmpOp::NotEq => return clamp01(1.0 - self.eq_selectivity(column)),
+            _ => {}
+        }
+        let Some(col) = self.columns.get(column) else {
+            return DEFAULT_RANGE_SELECTIVITY;
+        };
+        let (Some(min), Some(max), Some(v)) = (
+            col.min.as_ref().and_then(Value::as_f64),
+            col.max.as_ref().and_then(Value::as_f64),
+            value.as_f64(),
+        ) else {
+            return DEFAULT_RANGE_SELECTIVITY;
+        };
+        let notnull = 1.0 - self.null_fraction(column);
+        if max <= min {
+            // Single-point domain: the range either covers it or not.
+            let covers = op.evaluate(min.partial_cmp(&v).unwrap_or(std::cmp::Ordering::Equal));
+            return clamp01(if covers { notnull } else { 0.0 });
+        }
+        let frac_below = clamp01((v - min) / (max - min));
+        let s = match op {
+            CmpOp::Lt | CmpOp::LtEq => frac_below,
+            CmpOp::Gt | CmpOp::GtEq => 1.0 - frac_below,
+            CmpOp::Eq | CmpOp::NotEq => unreachable!("handled above"),
+        };
+        clamp01(s * notnull)
+    }
+
+    /// Selectivity of `column IS [NOT] NULL`.
+    pub fn null_selectivity(&self, column: usize, negated: bool) -> f64 {
+        let nf = self.null_fraction(column);
+        clamp01(if negated { 1.0 - nf } else { nf })
+    }
+}
+
+/// Selectivity of a storage predicate against (optional) statistics.
+pub fn predicate_selectivity(pred: &Predicate, stats: Option<&TableStatistics>) -> f64 {
+    match pred {
+        Predicate::True => 1.0,
+        Predicate::Compare { column, op, value } => match stats {
+            Some(s) => s.cmp_selectivity(*column, *op, value),
+            None => match op {
+                CmpOp::Eq => DEFAULT_EQ_SELECTIVITY,
+                CmpOp::NotEq => 1.0 - DEFAULT_EQ_SELECTIVITY,
+                _ => DEFAULT_RANGE_SELECTIVITY,
+            },
+        },
+        Predicate::IsNull(column) => match stats {
+            Some(s) => s.null_selectivity(*column, false),
+            None => DEFAULT_NULL_FRACTION,
+        },
+        Predicate::IsNotNull(column) => match stats {
+            Some(s) => s.null_selectivity(*column, true),
+            None => 1.0 - DEFAULT_NULL_FRACTION,
+        },
+        Predicate::And(a, b) => predicate_selectivity(a, stats) * predicate_selectivity(b, stats),
+        Predicate::Or(a, b) => {
+            let (sa, sb) = (
+                predicate_selectivity(a, stats),
+                predicate_selectivity(b, stats),
+            );
+            clamp01(sa + sb - sa * sb)
+        }
+        Predicate::Not(p) => clamp01(1.0 - predicate_selectivity(p, stats)),
+    }
+}
+
+/// Equi-join output estimate: `|R|·|S| / max(ndv_left, ndv_right)`.
+/// Missing NDVs fall back to the smaller side's row count (primary-key
+/// flavoured guess).
+pub fn join_cardinality(
+    left_rows: f64,
+    right_rows: f64,
+    ndv_left: Option<usize>,
+    ndv_right: Option<usize>,
+) -> f64 {
+    let ndv = match (ndv_left, ndv_right) {
+        (Some(a), Some(b)) => a.max(b) as f64,
+        (Some(a), None) => (a as f64).max(right_rows),
+        (None, Some(b)) => (b as f64).max(left_rows),
+        (None, None) => left_rows.max(right_rows).max(1.0),
+    };
+    (left_rows * right_rows / ndv.max(1.0)).max(0.0)
+}
+
+pub(crate) fn clamp01(x: f64) -> f64 {
+    if x.is_nan() {
+        0.0
+    } else {
+        x.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use fedwf_types::{DataType, Row, Schema};
+
+    fn sample() -> Table {
+        let schema = Arc::new(Schema::of(&[
+            ("K", DataType::Int),
+            ("V", DataType::Int),
+            ("S", DataType::Varchar),
+        ]));
+        let mut t = Table::new(schema);
+        for k in 0..100 {
+            let v = if k % 10 == 0 {
+                Value::Null
+            } else {
+                Value::Int(k % 5)
+            };
+            t.push_unchecked(Row::new(vec![
+                Value::Int(k),
+                v,
+                Value::str(format!("s{}", k % 7)),
+            ]));
+        }
+        t
+    }
+
+    #[test]
+    fn collection_counts_ndv_nulls_minmax() {
+        let s = TableStatistics::from_table(&sample());
+        assert_eq!(s.row_count, 100);
+        assert_eq!(s.columns[0].ndv, 100);
+        assert_eq!(s.columns[0].null_count, 0);
+        assert_eq!(s.columns[0].min, Some(Value::Int(0)));
+        assert_eq!(s.columns[0].max, Some(Value::Int(99)));
+        assert_eq!(s.columns[1].ndv, 5); // k%5 for k not divisible by 10: 0..=4
+        assert_eq!(s.columns[1].null_count, 10);
+        assert_eq!(s.columns[2].ndv, 7);
+    }
+
+    #[test]
+    fn equality_selectivity_uses_ndv_and_nulls() {
+        let s = TableStatistics::from_table(&sample());
+        // Unique column: 1/100.
+        assert!((s.eq_selectivity(0) - 0.01).abs() < 1e-9);
+        // 5 distinct non-null over 90% non-null rows: 0.9/5.
+        assert!((s.eq_selectivity(1) - 0.18).abs() < 1e-9);
+        // Unknown column falls back to the default.
+        assert_eq!(s.eq_selectivity(9), DEFAULT_EQ_SELECTIVITY);
+    }
+
+    #[test]
+    fn range_selectivity_interpolates() {
+        let s = TableStatistics::from_table(&sample());
+        // K < 25 over [0, 99] ≈ 25/99.
+        let sel = s.cmp_selectivity(0, CmpOp::Lt, &Value::Int(25));
+        assert!((sel - 25.0 / 99.0).abs() < 1e-9);
+        // Out-of-range bounds clamp.
+        assert_eq!(s.cmp_selectivity(0, CmpOp::Lt, &Value::Int(-5)), 0.0);
+        assert_eq!(s.cmp_selectivity(0, CmpOp::Gt, &Value::Int(-5)), 1.0);
+        // Strings fall back to the default.
+        assert_eq!(
+            s.cmp_selectivity(2, CmpOp::Lt, &Value::str("x")),
+            DEFAULT_RANGE_SELECTIVITY
+        );
+    }
+
+    #[test]
+    fn null_selectivity_is_the_null_fraction() {
+        let s = TableStatistics::from_table(&sample());
+        assert!((s.null_selectivity(1, false) - 0.1).abs() < 1e-9);
+        assert!((s.null_selectivity(1, true) - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predicate_selectivity_composes() {
+        let s = TableStatistics::from_table(&sample());
+        let p = Predicate::eq(0, 1).and(Predicate::IsNull(1));
+        let sel = predicate_selectivity(&p, Some(&s));
+        assert!((sel - 0.01 * 0.1).abs() < 1e-9);
+        let q = Predicate::eq(0, 1).or(Predicate::eq(0, 2));
+        let sq = predicate_selectivity(&q, Some(&s));
+        assert!((sq - (0.02 - 0.0001)).abs() < 1e-9);
+        // Without stats, defaults apply.
+        assert_eq!(
+            predicate_selectivity(&Predicate::eq(0, 1), None),
+            DEFAULT_EQ_SELECTIVITY
+        );
+    }
+
+    #[test]
+    fn join_cardinality_divides_by_larger_ndv() {
+        // 1000 x 100 on a key with ndv 100 vs 50 → 1000*100/100.
+        let est = join_cardinality(1000.0, 100.0, Some(100), Some(50));
+        assert!((est - 1000.0).abs() < 1e-9);
+        // Missing ndv falls back to the other side's rows.
+        let est = join_cardinality(1000.0, 100.0, None, None);
+        assert!((est - 100.0).abs() < 1e-9);
+    }
+}

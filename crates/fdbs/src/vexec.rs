@@ -10,7 +10,7 @@
 //! sides, sort buffers, UDTF compositions) and at the client boundary.
 //!
 //! Parity contract with the row-at-a-time streaming path (which stays
-//! callable via [`crate::engine::Fdbs::set_vectorized`]):
+//! callable via [`crate::engine::ExecOptions::vectorized`]):
 //!
 //! * **Results**: identical rows in identical order. Shared scalar kernels
 //!   plus the fallback rule below make this hold bit-for-bit, NaN and NULL
@@ -35,12 +35,13 @@ use fedwf_types::{ColumnBatch, FedResult, Ident, ResultExt, Row, Table, TxnId, V
 
 use crate::engine::Fdbs;
 use crate::exec::{
-    build_key, build_positions, elapsed_ns, finish_aggregate, join_key_checked, op_probe_name,
-    prepare_step_op, probe_mark, scalar_tail, sink_push, step_is_indexable, table_from_rows,
-    tally_rows, Aggregator, ExecMode, Op, Sink, StreamProbe, StreamProbes, STREAM_BATCH_ROWS,
+    build_key, build_positions, elapsed_ns, finish_aggregate, join_key_checked, op_estimates,
+    op_probe_name, prepare_step_op, probe_mark, scalar_tail, sink_push, table_from_rows,
+    tally_rows, use_index_probe, Aggregator, ExecMode, Op, Sink, StreamProbe, StreamProbes,
+    STREAM_BATCH_ROWS,
 };
 use crate::expr::BoundExpr;
-use crate::plan::{AggColumn, FromStep, Plan};
+use crate::plan::{Access, AggColumn, FromStep, Plan};
 use crate::vexpr::{eval_filter_mask, eval_vcol, VCol};
 
 /// A streaming batch: columnar while it can be, rows once an operator
@@ -166,12 +167,14 @@ impl VSource<'_> {
 /// boundary as column batches (tallied in column bytes) and materialize
 /// to rows only because they *are* pipeline-breaker state. Steps with no
 /// columnar advantage delegate to the row path's [`prepare_step_op`].
+#[allow(clippy::too_many_arguments)]
 fn prepare_step_op_vectorized<'p>(
     fdbs: &Fdbs,
     step: &'p FromStep,
     position: usize,
     jk: Option<&'p crate::plan::JoinKey>,
     proj: Option<&'p [usize]>,
+    access: Access,
     params: &[Value],
     meter: &mut Meter,
 ) -> FedResult<Op<'p>> {
@@ -184,8 +187,17 @@ fn prepare_step_op_vectorized<'p>(
             ..
         } => {
             if let Some(jk) = jk {
-                if step_is_indexable(fdbs, table, schema, jk)? {
-                    return prepare_step_op(fdbs, step, position, Some(jk), proj, params, meter);
+                if use_index_probe(fdbs, table, schema, jk, access)? {
+                    return prepare_step_op(
+                        fdbs,
+                        step,
+                        position,
+                        Some(jk),
+                        proj,
+                        access,
+                        params,
+                        meter,
+                    );
                 }
                 let batch =
                     fdbs.catalog()
@@ -253,7 +265,7 @@ fn prepare_step_op_vectorized<'p>(
             }
         }
         FromStep::TableFunc { .. } => {
-            prepare_step_op(fdbs, step, position, jk, proj, params, meter)
+            prepare_step_op(fdbs, step, position, jk, proj, access, params, meter)
         }
     }
 }
@@ -618,7 +630,8 @@ pub(crate) fn execute_streaming_vectorized(
     for (i, step) in plan.steps.iter().enumerate().skip(start) {
         let jk = plan.step_join_keys[i].as_ref();
         let proj = plan.step_projections.get(i).and_then(|p| p.as_deref());
-        let op = prepare_step_op_vectorized(fdbs, step, i, jk, proj, params, meter)
+        let access = plan.step_access.get(i).copied().unwrap_or_default();
+        let op = prepare_step_op_vectorized(fdbs, step, i, jk, proj, access, params, meter)
             .context(format!("evaluating FROM item {} ({step:?})", i + 1))?;
         ops.push(op);
         if let Some(filter) = &plan.step_filters[i] {
@@ -642,10 +655,15 @@ pub(crate) fn execute_streaming_vectorized(
         source: StreamProbe::new(match &source {
             VSource::Chunked { table, .. } => SpanName::from(format!("scan {table}")),
             VSource::Rows(_) => SpanName::Static("seed"),
+        })
+        .with_est(match &source {
+            VSource::Chunked { .. } => plan.step_estimates.first().map(|e| e.scan_rows),
+            VSource::Rows(_) => None,
         }),
         ops: ops
             .iter()
-            .map(|op| StreamProbe::new(op_probe_name(op)))
+            .zip(op_estimates(plan, chunk_step0, start))
+            .map(|(op, est)| StreamProbe::new(op_probe_name(op)).with_est(est))
             .collect(),
         sink: StreamProbe::new(
             match &sink {

@@ -390,6 +390,13 @@ impl Database {
         Ok(Self::resolve(&tables, name, &self.name)?.stats())
     }
 
+    /// Epoch of the latest mutation of `name` — the staleness key for
+    /// derived artifacts such as collected optimizer statistics.
+    pub fn table_mutation_epoch(&self, name: &str) -> FedResult<TxnId> {
+        let tables = self.tables.read();
+        Ok(Self::resolve(&tables, name, &self.name)?.last_mutation_epoch())
+    }
+
     /// Create an index on a table.
     pub fn create_index(
         &self,

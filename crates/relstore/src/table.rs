@@ -211,6 +211,13 @@ impl StoredTable {
         }
     }
 
+    /// Transaction id of the latest mutation. Derived artifacts (optimizer
+    /// statistics, cached probe results) collected at epoch `e` remain
+    /// valid while `last_mutation_epoch() <= e`.
+    pub fn last_mutation_epoch(&self) -> TxnId {
+        self.last_mutation
+    }
+
     fn live_row(chain: &[Version]) -> Option<&Row> {
         chain.last().filter(|v| v.is_live()).map(|v| &v.row)
     }

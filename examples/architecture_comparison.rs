@@ -6,7 +6,7 @@
 //! ```
 
 use fedwf::core::{
-    paper_functions, ArchitectureKind, IntegrationServer, SimpleUdtfArchitecture,
+    paper_functions, ArchitectureKind, IntegrationServer, Request, SimpleUdtfArchitecture,
     SqlUdtfArchitecture,
 };
 use fedwf::sql::Statement;
@@ -48,8 +48,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Value::Int(server.scenario().well_known_supplier_no()),
             Value::str(server.scenario().well_known_component_name()),
         ];
-        server.call("BuySuppComp", &args)?; // warm every cache
-        let outcome = server.call("BuySuppComp", &args)?;
+        let request = Request::function("BuySuppComp").params(&args[..]);
+        server.execute(&request)?; // warm every cache
+        let outcome = server.execute(&request)?;
         println!(
             "{:<32} {:>14} {:>10}",
             kind.name(),

@@ -11,7 +11,7 @@
 //! cargo run --example conditional_approval
 //! ```
 
-use fedwf::core::{paper_functions, ArchitectureKind, IntegrationServer};
+use fedwf::core::{paper_functions, ArchitectureKind, IntegrationServer, Request};
 use fedwf::sim::Meter;
 use fedwf::types::{DataType, Value};
 use fedwf::wfms::{CondOp, Condition, DataBinding, DataSource, ProcessBuilder};
@@ -126,7 +126,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- the do-until loop (cyclic case) ---------------------------------
     server.deploy(&paper_functions::all_comp_names())?;
-    let outcome = server.call("AllCompNames", &[Value::Int(5)])?;
+    let outcome = server.execute(&Request::function("AllCompNames").arg(5))?;
     println!("AllCompNames(5) — the loop the SQL UDTF architecture cannot express:");
     println!("{}", outcome.table);
     Ok(())

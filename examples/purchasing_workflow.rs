@@ -10,7 +10,9 @@
 //! ```
 
 use fedwf::appsys::{build_scenario, DataGenConfig};
-use fedwf::core::{paper_functions, ArchitectureKind, IntegrationServer, WfmsArchitecture};
+use fedwf::core::{
+    paper_functions, ArchitectureKind, IntegrationServer, Request, WfmsArchitecture,
+};
 use fedwf::sim::Meter;
 use fedwf::types::Value;
 
@@ -81,7 +83,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
 
     server.deploy(&spec)?;
-    let outcome = server.call("BuySuppComp", &[supplier_no, comp_name])?;
+    let outcome = server.execute(
+        &Request::function("BuySuppComp")
+            .arg(supplier_no.clone())
+            .arg(comp_name.clone()),
+    )?;
     println!("{}\n", outcome.table);
 
     // The audit trail of the underlying workflow instance.

@@ -5,8 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use fedwf::core::{paper_functions, ArchitectureKind, IntegrationServer};
-use fedwf::types::Value;
+use fedwf::core::{paper_functions, ArchitectureKind, IntegrationServer, Request};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Build the integration server: three simulated application systems
@@ -24,9 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    five manual function calls with copy-and-paste in between.
     let supplier = server.scenario().well_known_supplier_no();
     let component = server.scenario().well_known_component_name();
-    let outcome = server.call(
-        "BuySuppComp",
-        &[Value::Int(supplier), Value::str(component)],
+    let outcome = server.execute(
+        &Request::function("BuySuppComp")
+            .arg(supplier)
+            .arg(component),
     )?;
 
     println!("SELECT BSC.Decision FROM TABLE (BuySuppComp({supplier}, '{component}')) AS BSC\n");

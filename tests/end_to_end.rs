@@ -11,6 +11,15 @@ fn server(kind: ArchitectureKind) -> IntegrationServer {
     s
 }
 
+/// Positional call through the unified [`Request`] surface.
+fn call(
+    s: &IntegrationServer,
+    name: &str,
+    args: &[Value],
+) -> fedwf::types::FedResult<fedwf::core::Outcome> {
+    s.execute(&Request::function(name).params(args))
+}
+
 #[test]
 fn the_full_paper_workload_deploys_and_runs_on_the_wfms() {
     let s = server(ArchitectureKind::Wfms);
@@ -35,7 +44,7 @@ fn the_supported_workload_runs_on_every_architecture() {
             }
             s.deploy(&spec).unwrap();
             let args = fedwf_bench_args(&s, spec.name.normalized());
-            let outcome = s.call(spec.name.as_str(), &args).unwrap();
+            let outcome = call(&s, spec.name.as_str(), &args).unwrap();
             assert!(
                 !outcome.table.is_empty(),
                 "{} on {} returned no rows",
@@ -60,7 +69,7 @@ fn all_architectures_agree_on_every_result() {
             }
             s.deploy(&spec).unwrap();
             let args = fedwf_bench_args(s, spec.name.normalized());
-            let table = s.call(spec.name.as_str(), &args).unwrap().table;
+            let table = call(s, spec.name.as_str(), &args).unwrap().table;
             match &reference {
                 None => reference = Some(table),
                 Some(expected) => {
@@ -92,9 +101,11 @@ fn federated_function_inside_a_bigger_query() {
     s.deploy(&paper_functions::get_supp_qual_relia()).unwrap();
     // Use the federated function and project an arithmetic expression.
     let outcome = s
-        .query(
-            "SELECT Q.Qual + Q.Relia AS Sum FROM TABLE (GetSuppQualRelia(S)) AS Q WHERE Q.Qual > 0",
-            &[("S", Value::Int(s.scenario().well_known_supplier_no()))],
+        .execute(
+            &Request::sql(
+                "SELECT Q.Qual + Q.Relia AS Sum FROM TABLE (GetSuppQualRelia(S)) AS Q WHERE Q.Qual > 0",
+            )
+            .bind("S", s.scenario().well_known_supplier_no()),
         )
         .unwrap();
     assert_eq!(outcome.table.value(0, "Sum"), Some(&Value::Int(93 + 87)));
@@ -104,9 +115,7 @@ fn federated_function_inside_a_bigger_query() {
 fn errors_propagate_with_provenance() {
     let s = server(ArchitectureKind::Wfms);
     s.deploy(&paper_functions::get_supp_qual()).unwrap();
-    let err = s
-        .call("GetSuppQual", &[Value::str("No Such Supplier GmbH")])
-        .unwrap_err();
+    let err = call(&s, "GetSuppQual", &[Value::str("No Such Supplier GmbH")]).unwrap_err();
     let msg = err.to_string();
     assert!(
         msg.contains("GetSupplierNo") || msg.contains("supplier name"),
@@ -119,7 +128,7 @@ fn wfms_architecture_books_workflow_components() {
     let s = server(ArchitectureKind::Wfms);
     s.deploy(&paper_functions::get_supp_qual()).unwrap();
     let args = vec![Value::str(s.scenario().well_known_supplier_name())];
-    let outcome = s.call("GetSuppQual", &args).unwrap();
+    let outcome = call(&s, "GetSuppQual", &args).unwrap();
     let components: Vec<Component> = outcome
         .meter
         .charges()
@@ -147,7 +156,7 @@ fn udtf_architecture_never_touches_the_workflow_engine() {
     let s = server(ArchitectureKind::SqlUdtf);
     s.deploy(&paper_functions::get_supp_qual()).unwrap();
     let args = vec![Value::str(s.scenario().well_known_supplier_name())];
-    let outcome = s.call("GetSuppQual", &args).unwrap();
+    let outcome = call(&s, "GetSuppQual", &args).unwrap();
     assert!(
         !outcome
             .meter
@@ -163,9 +172,9 @@ fn repeated_calls_converge_to_a_fixed_cost() {
     let s = server(ArchitectureKind::Wfms);
     s.deploy(&paper_functions::gib_komp_nr()).unwrap();
     let args = vec![Value::str(s.scenario().well_known_component_name())];
-    s.call("GibKompNr", &args).unwrap();
-    let second = s.call("GibKompNr", &args).unwrap().elapsed_us();
-    let third = s.call("GibKompNr", &args).unwrap().elapsed_us();
+    call(&s, "GibKompNr", &args).unwrap();
+    let second = call(&s, "GibKompNr", &args).unwrap().elapsed_us();
+    let third = call(&s, "GibKompNr", &args).unwrap().elapsed_us();
     assert_eq!(second, third, "warm calls must be deterministic");
 }
 

@@ -260,24 +260,24 @@ fn aggregates_over_federated_function_results() {
         .deploy(&paper_functions::get_sub_comp_discounts())
         .unwrap();
     let outcome = server
-        .query(
-            "SELECT T.SupplierNo, COUNT(*) AS Offers \
-             FROM TABLE (GetSubCompDiscounts(C, D)) AS T \
-             GROUP BY T.SupplierNo",
-            &[
-                ("C", Value::Int(server.scenario().well_known_component_no())),
-                ("D", Value::Int(5)),
-            ],
+        .execute(
+            &fedwf::core::Request::sql(
+                "SELECT T.SupplierNo, COUNT(*) AS Offers \
+                 FROM TABLE (GetSubCompDiscounts(C, D)) AS T \
+                 GROUP BY T.SupplierNo",
+            )
+            .bind("C", server.scenario().well_known_component_no())
+            .bind("D", 5),
         )
         .unwrap();
     // Each group's count is >= 1 and the groups partition the raw rows.
     let raw = server
-        .query(
-            "SELECT T.SupplierNo FROM TABLE (GetSubCompDiscounts(C, D)) AS T",
-            &[
-                ("C", Value::Int(server.scenario().well_known_component_no())),
-                ("D", Value::Int(5)),
-            ],
+        .execute(
+            &fedwf::core::Request::sql(
+                "SELECT T.SupplierNo FROM TABLE (GetSubCompDiscounts(C, D)) AS T",
+            )
+            .bind("C", server.scenario().well_known_component_no())
+            .bind("D", 5),
         )
         .unwrap();
     let total: i64 = outcome

@@ -1,17 +1,23 @@
-//! The join-aware executor must be *observationally equivalent* to the
-//! retained naive (Cartesian-product) reference path: the same row
-//! multiset for every query, and — with dependent-UDTF memoization off —
-//! the same multiset of non-FDBS ("architecture") charges, since the
-//! composition algorithm is an FDBS-internal concern that must never leak
-//! into what the paper measures about the architectures. Part A drives
-//! generated join/filter/DISTINCT/aggregate queries straight into an
-//! [`fedwf::fdbs::Fdbs`]; Part B replays the paper's Fig. 5 workload on
-//! all four integration architectures under both executors.
+//! Every executor *and* every planner must be observationally equivalent
+//! to the naive (Cartesian-product, syntactic-order) reference path: the
+//! same row multiset for every query, and — with dependent-UDTF
+//! memoization off — the same multiset of non-FDBS ("architecture")
+//! charges, since composition strategy and join order are FDBS-internal
+//! concerns that must never leak into what the paper measures about the
+//! architectures. Part A drives generated join/filter/DISTINCT/aggregate
+//! queries (including 3-way joins over skewed-NDV columns) straight into
+//! an [`fedwf::fdbs::Fdbs`], crossing executor × vectorization × pruning
+//! × planner mode; Part B replays the paper's Fig. 5 workload on all four
+//! integration architectures under both executors.
 
 use std::sync::Arc;
 
-use fedwf::core::{paper_functions, ArchitectureKind, IntegrationConfig, IntegrationServer};
-use fedwf::fdbs::{ChargeItem, ChargeSpec, ExecMode, Fdbs, RelstoreServer, Udtf};
+use fedwf::core::{
+    paper_functions, ArchitectureKind, IntegrationConfig, IntegrationServer, Request,
+};
+use fedwf::fdbs::{
+    ChargeItem, ChargeSpec, ExecMode, ExecOptions, Fdbs, PlannerMode, RelstoreServer, Udtf,
+};
 use fedwf::relstore::Database;
 use fedwf::sim::{Charge, Component, CostModel, Meter};
 use fedwf::types::check;
@@ -143,6 +149,26 @@ fn gen_federation(rng: &mut Rng) -> Fdbs {
         }
     }
 
+    // T3 gives the planner a genuine 3-way reorder decision with *skewed*
+    // NDV: most keys collapse onto one hot value, so equality selectivity
+    // estimated from NDV is badly wrong in a way the equivalence contract
+    // must absorb (a bad plan may be slow, never incorrect).
+    fdbs.execute("CREATE TABLE T3 (K INT, Z INT)", &mut meter)
+        .unwrap();
+    let n3 = rng.range_usize(0, 40);
+    let hot = rng.range_i32(0, 9);
+    let rows: Vec<String> = (0..n3)
+        .map(|_| {
+            let k = if rng.gen_bool(0.85) {
+                Value::Int(hot)
+            } else {
+                gen_key(rng, null_p)
+            };
+            format!("({}, {})", render_lit(&k), rng.range_i32(-50, 50))
+        })
+        .collect();
+    insert_rows(&fdbs, "T3", &rows);
+
     // Deterministic dependent UDTF with an A-UDTF-style charge spec, so a
     // divergence in invocation counts shows up in the charge multiset.
     fdbs.register_udtf(
@@ -169,11 +195,17 @@ fn gen_federation(rng: &mut Rng) -> Fdbs {
         }),
     )
     .unwrap();
+
+    // Half the federations carry fresh statistics, half plan on defaults —
+    // the cost-based planner must be equivalent either way.
+    if rng.gen_bool(0.5) {
+        fdbs.analyze().unwrap();
+    }
     fdbs
 }
 
 fn gen_query(rng: &mut Rng) -> String {
-    match rng.range_usize(0, 8) {
+    match rng.range_usize(0, 10) {
         0 => "SELECT A.V, B.W FROM T1 AS A, T2 AS B WHERE B.K = A.K".to_string(),
         1 => format!(
             "SELECT A.S, B.W FROM T1 AS A, T2 AS B WHERE B.K = A.K AND B.W > {}",
@@ -196,7 +228,18 @@ fn gen_query(rng: &mut Rng) -> String {
         ),
         // Empty-string equality: the varchar kernel must treat a
         // zero-length offset pair exactly like the row comparator does.
-        _ => "SELECT A.K, A.V FROM T1 AS A WHERE A.S = ''".to_string(),
+        7 => "SELECT A.K, A.V FROM T1 AS A WHERE A.S = ''".to_string(),
+        // 3-way joins over the skewed-NDV table: real reorder decisions
+        // for the cost-based planner, with conjuncts that bind across
+        // different table pairs depending on the chosen order.
+        8 => "SELECT A.V, B.W, C.Z FROM T1 AS A, T2 AS B, T3 AS C \
+              WHERE B.K = A.K AND C.K = A.K"
+            .to_string(),
+        _ => format!(
+            "SELECT COUNT(*) AS n, SUM(C.Z) AS z FROM T1 AS A, T2 AS B, T3 AS C \
+             WHERE B.K = A.K AND C.K = B.K AND A.V > {}",
+            rng.range_i32(-50, 50)
+        ),
     }
 }
 
@@ -220,6 +263,11 @@ fn row_multiset(t: &Table) -> Vec<String> {
 /// The architecture charge multiset: everything except FDBS-internal
 /// composition work, keyed without virtual start times (the two executors
 /// legitimately book different FDBS durations in between).
+/// Positional call through the unified [`Request`] surface.
+fn call_fn(s: &IntegrationServer, name: &str, args: &[Value]) -> fedwf::core::Outcome {
+    s.execute(&Request::function(name).params(args)).unwrap()
+}
+
 fn arch_charges(charges: &[Charge]) -> Vec<(Component, String, u64)> {
     let mut keys: Vec<_> = charges
         .iter()
@@ -244,19 +292,27 @@ fn generated_queries_agree_between_executors() {
         for _ in 0..rng.range_usize(1, 4) {
             let sql = gen_query(rng);
 
-            // Reference: the naive cross-product path with pruning off.
-            fdbs.set_udtf_memo(false);
-            fdbs.set_projection_pruning(false);
-            fdbs.set_exec_mode(ExecMode::Naive);
+            // Reference: the naive cross-product path in syntactic FROM
+            // order with pruning off.
+            fdbs.set_options(
+                ExecOptions::default()
+                    .mode(ExecMode::Naive)
+                    .udtf_memo(false)
+                    .projection_pruning(false)
+                    .planner(PlannerMode::Syntactic),
+            );
             let mut naive_meter = Meter::new();
             let naive = fdbs.execute(&sql, &mut naive_meter).unwrap();
             let naive_rows = row_multiset(&naive);
             let naive_arch = arch_charges(naive_meter.charges());
 
-            // Every (executor, vectorization, pruning) combination must
-            // reproduce the reference row multiset and architecture charge
-            // multiset. Streaming runs twice: over row batches (the
-            // retained reference pipeline) and over column batches.
+            // Every (executor, vectorization, pruning, planner)
+            // combination must reproduce the reference row multiset and
+            // architecture charge multiset — join reordering may change
+            // FDBS-internal composition work, never the rows and never
+            // the charges the paper attributes to the architectures.
+            // Streaming runs twice: over row batches (the retained
+            // reference pipeline) and over column batches.
             for (mode, vectorized) in [
                 (ExecMode::Naive, true),
                 (ExecMode::JoinAware, true),
@@ -264,31 +320,37 @@ fn generated_queries_agree_between_executors() {
                 (ExecMode::Streaming, true),
             ] {
                 for pruning in [false, true] {
-                    fdbs.set_exec_mode(mode);
-                    fdbs.set_vectorized(vectorized);
-                    fdbs.set_projection_pruning(pruning);
-                    let mut meter = Meter::new();
-                    let got = fdbs.execute(&sql, &mut meter).unwrap();
-                    assert_eq!(
-                        naive_rows,
-                        row_multiset(&got),
-                        "row multisets diverge for {sql} \
-                         ({mode:?}, vectorized={vectorized}, pruning={pruning})"
-                    );
-                    assert_eq!(
-                        naive_arch,
-                        arch_charges(meter.charges()),
-                        "architecture charges diverge for {sql} \
-                         ({mode:?}, vectorized={vectorized}, pruning={pruning})"
-                    );
+                    for planner in [PlannerMode::Syntactic, PlannerMode::CostBased] {
+                        fdbs.set_options(
+                            ExecOptions::default()
+                                .mode(mode)
+                                .vectorized(vectorized)
+                                .projection_pruning(pruning)
+                                .planner(planner)
+                                .udtf_memo(false),
+                        );
+                        let mut meter = Meter::new();
+                        let got = fdbs.execute(&sql, &mut meter).unwrap();
+                        assert_eq!(
+                            naive_rows,
+                            row_multiset(&got),
+                            "row multisets diverge for {sql} ({mode:?}, \
+                             vectorized={vectorized}, pruning={pruning}, {planner})"
+                        );
+                        assert_eq!(
+                            naive_arch,
+                            arch_charges(meter.charges()),
+                            "architecture charges diverge for {sql} ({mode:?}, \
+                             vectorized={vectorized}, pruning={pruning}, {planner})"
+                        );
+                    }
                 }
             }
-            fdbs.set_vectorized(true);
 
             // Memoization may only *remove* dependent-UDTF invocations —
-            // never change the rows. (Streaming + pruning stay on: the
-            // default configuration.)
-            fdbs.set_udtf_memo(true);
+            // never change the rows. (The default configuration:
+            // streaming, vectorized, pruned, cost-based, memo on.)
+            fdbs.set_options(ExecOptions::default());
             let mut memo_meter = Meter::new();
             let memoed = fdbs.execute(&sql, &mut memo_meter).unwrap();
             assert_eq!(
@@ -319,7 +381,7 @@ fn order_by_on_non_projected_column_survives_pruning() {
     )
     .unwrap();
     for mode in [ExecMode::Streaming, ExecMode::JoinAware, ExecMode::Naive] {
-        fdbs.set_exec_mode(mode);
+        fdbs.set_options(fdbs.options().mode(mode));
         let t = fdbs
             .execute("SELECT S FROM T ORDER BY V DESC", &mut meter)
             .unwrap();
@@ -355,9 +417,12 @@ fn index_probe_join_with_pruned_projection() {
         (ExecMode::Streaming, true),
     ] {
         for pruning in [false, true] {
-            fdbs.set_exec_mode(mode);
-            fdbs.set_vectorized(vectorized);
-            fdbs.set_projection_pruning(pruning);
+            fdbs.set_options(
+                ExecOptions::default()
+                    .mode(mode)
+                    .vectorized(vectorized)
+                    .projection_pruning(pruning),
+            );
             let t = fdbs.execute(sql, &mut meter).unwrap();
             let rows = row_multiset(&t);
             match &expect {
@@ -372,8 +437,7 @@ fn index_probe_join_with_pruned_projection() {
             }
         }
     }
-    fdbs.set_vectorized(true);
-    fdbs.set_projection_pruning(true);
+    fdbs.set_options(ExecOptions::default());
 }
 
 /// Column batches hold 1024 rows, so a 2,600-row table spans three of
@@ -420,10 +484,13 @@ fn batch_boundary_limit_and_varchar_edges() {
         "SELECT T.V, COUNT(*) AS c FROM T GROUP BY T.V ORDER BY 1",
     ];
     for sql in queries {
-        fdbs.set_exec_mode(ExecMode::Streaming);
-        fdbs.set_vectorized(false);
+        fdbs.set_options(
+            ExecOptions::default()
+                .mode(ExecMode::Streaming)
+                .vectorized(false),
+        );
         let reference = fdbs.execute(sql, &mut meter).unwrap();
-        fdbs.set_vectorized(true);
+        fdbs.set_options(fdbs.options().vectorized(true));
         let vectorized = fdbs.execute(sql, &mut meter).unwrap();
         assert_eq!(
             reference, vectorized,
@@ -431,7 +498,7 @@ fn batch_boundary_limit_and_varchar_edges() {
              streaming for {sql}"
         );
         for mode in [ExecMode::Naive, ExecMode::JoinAware] {
-            fdbs.set_exec_mode(mode);
+            fdbs.set_options(fdbs.options().mode(mode));
             let got = fdbs.execute(sql, &mut meter).unwrap();
             assert_eq!(
                 row_multiset(&reference),
@@ -461,9 +528,15 @@ fn architectures_agree_between_executors() {
             s
         };
         let naive = make();
-        naive.fdbs().set_exec_mode(ExecMode::Naive);
+        {
+            let f = naive.fdbs();
+            f.set_options(f.options().mode(ExecMode::Naive));
+        }
         let aware = make();
-        aware.fdbs().set_udtf_memo(false);
+        {
+            let f = aware.fdbs();
+            f.set_options(f.options().udtf_memo(false));
+        }
 
         for (spec, _) in paper_functions::fig5_workload() {
             // The cyclic case is undeployable on the UDTF architectures
@@ -477,8 +550,8 @@ fn architectures_agree_between_executors() {
             let args = args_for(&naive, &spec);
             // First (cold) and repeated (warm) calls must both agree.
             for tier in ["first call", "repeated call"] {
-                let a = naive.call(spec.name.as_str(), &args).unwrap();
-                let b = aware.call(spec.name.as_str(), &args).unwrap();
+                let a = call_fn(&naive, spec.name.as_str(), &args);
+                let b = call_fn(&aware, spec.name.as_str(), &args);
                 assert_eq!(
                     a.table,
                     b.table,
@@ -515,7 +588,10 @@ fn memoized_executor_preserves_results_on_all_architectures() {
             s
         };
         let naive = make();
-        naive.fdbs().set_exec_mode(ExecMode::Naive);
+        {
+            let f = naive.fdbs();
+            f.set_options(f.options().mode(ExecMode::Naive));
+        }
         let memoed = make();
 
         for (spec, _) in paper_functions::fig5_workload() {
@@ -524,8 +600,8 @@ fn memoized_executor_preserves_results_on_all_architectures() {
             }
             memoed.deploy(&spec).unwrap();
             let args = args_for(&naive, &spec);
-            let a = naive.call(spec.name.as_str(), &args).unwrap();
-            let b = memoed.call(spec.name.as_str(), &args).unwrap();
+            let a = call_fn(&naive, spec.name.as_str(), &args);
+            let b = call_fn(&memoed, spec.name.as_str(), &args);
             assert_eq!(
                 a.table,
                 b.table,

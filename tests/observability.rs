@@ -23,7 +23,7 @@ fn warm_get_supp_qual(kind: ArchitectureKind) -> (IntegrationServer, Vec<Value>)
         .expect("GetSuppQual deploys everywhere");
     let args = args_for(&server, &spec);
     server
-        .call(spec.name.as_str(), &args)
+        .execute(&Request::function(spec.name.as_str()).params(args.as_slice()))
         .expect("warm-up call");
     (server, args)
 }
@@ -165,8 +165,7 @@ fn golden_span_tree_simple_udtf() {
 /// Satellite cross-check: on the whole Fig. 5 workload, across all four
 /// architectures, the component breakdown derived from the span tree must
 /// agree — line by line, microsecond by microsecond — with the breakdown
-/// grouped from the flat charge log, and with what the legacy
-/// `CallOutcome` shim reports for the same warm call.
+/// grouped from the flat charge log.
 #[test]
 fn trace_breakdown_agrees_with_charge_log_on_fig5_workload() {
     for kind in ArchitectureKind::ALL {
@@ -178,7 +177,9 @@ fn trace_breakdown_agrees_with_charge_log_on_fig5_workload() {
             server.deploy(&spec).expect("supported spec deploys");
             let args = args_for(&server, &spec);
             let name = spec.name.as_str();
-            server.call(name, &args).expect("warm-up");
+            server
+                .execute(&Request::function(name).params(args.as_slice()))
+                .expect("warm-up");
 
             let outcome = server
                 .execute(&Request::function(name).params(args.as_slice()).traced(true))
@@ -191,17 +192,6 @@ fn trace_breakdown_agrees_with_charge_log_on_fig5_workload() {
                 from_charges.lines,
                 from_trace.lines,
                 "{} on {}: trace-derived breakdown diverges from the charge log",
-                name,
-                kind.name()
-            );
-
-            // The deprecated shim sees the identical virtual execution.
-            #[allow(deprecated)]
-            let shim = server.call(name, &args).expect("shim call");
-            assert_eq!(
-                shim.breakdown_by_component(name).lines,
-                from_charges.lines,
-                "{} on {}: CallOutcome disagrees with Outcome",
                 name,
                 kind.name()
             );
@@ -325,10 +315,10 @@ fn materialization_counters_fire_at_pipeline_breakers() {
         &mut meter,
     )
     .unwrap();
-    fdbs.set_exec_mode(ExecMode::Streaming);
+    fdbs.set_options(fdbs.options().mode(ExecMode::Streaming));
 
     let run = |vectorized: bool, sql: &str| {
-        fdbs.set_vectorized(vectorized);
+        fdbs.set_options(fdbs.options().vectorized(vectorized));
         let mut m = Meter::new();
         fdbs.execute(sql, &mut m).unwrap();
         (m.rows_materialized(), m.bytes_materialized())
@@ -360,7 +350,7 @@ fn materialization_counters_fire_at_pipeline_breakers() {
             "breaker-free pipeline materialized something (vectorized={vectorized})"
         );
     }
-    fdbs.set_vectorized(true);
+    fdbs.set_options(fdbs.options().vectorized(true));
 }
 
 /// The request metrics delta: each execution shows up in the server's

@@ -5,9 +5,16 @@
 //! have to agree on `Meter::now_us` *and* on the full multiset of charges
 //! for every federated function of the paper.
 
-use fedwf::core::{paper_functions, ArchitectureKind, IntegrationConfig, IntegrationServer};
+use fedwf::core::{
+    paper_functions, ArchitectureKind, IntegrationConfig, IntegrationServer, Request,
+};
 use fedwf::sim::{Charge, Component};
 use fedwf_bench::args_for;
+
+/// Positional call through the unified [`Request`] surface.
+fn call(s: &IntegrationServer, name: &str, args: &[fedwf::types::Value]) -> fedwf::core::Outcome {
+    s.execute(&Request::function(name).params(args)).unwrap()
+}
 
 fn server(threaded: bool) -> IntegrationServer {
     let config = IntegrationConfig {
@@ -42,8 +49,8 @@ fn threaded_and_sequential_navigation_are_observationally_identical() {
         // Two calls each: the first is the warm-up tier (template loads,
         // plan compiles), the second the repeated tier. Both must agree.
         for tier in ["first call", "repeated call"] {
-            let a = sequential.call(spec.name.as_str(), &args).unwrap();
-            let b = threaded.call(spec.name.as_str(), &args).unwrap();
+            let a = call(&sequential, spec.name.as_str(), &args);
+            let b = call(&threaded, spec.name.as_str(), &args);
             assert_eq!(
                 a.table, b.table,
                 "{} ({tier}): result tables diverge",
@@ -84,8 +91,8 @@ fn threaded_equivalence_holds_with_result_cache() {
     let threaded = make(true);
     let args = args_for(&sequential, &paper_functions::get_supp_qual_relia());
     for _ in 0..3 {
-        let a = sequential.call("GetSuppQualRelia", &args).unwrap();
-        let b = threaded.call("GetSuppQualRelia", &args).unwrap();
+        let a = call(&sequential, "GetSuppQualRelia", &args);
+        let b = call(&threaded, "GetSuppQualRelia", &args);
         assert_eq!(a.table, b.table);
         assert_eq!(a.meter.now_us(), b.meter.now_us());
         assert_eq!(
