@@ -67,6 +67,8 @@ pub mod mapping;
 pub mod paper_functions;
 pub mod request;
 pub mod server;
+pub mod submit;
+pub mod wire;
 
 pub use arch::{
     Architecture, ArchitectureKind, JavaUdtfArchitecture, SimpleUdtfArchitecture,
@@ -77,3 +79,4 @@ pub use front::{FrontConfig, FrontStats, ServerFront};
 pub use mapping::{ArgSource, CyclicSpec, FedOutput, LocalCall, MappingSpec};
 pub use request::{Outcome, Request, Target};
 pub use server::{IntegrationConfig, IntegrationServer, LocalStoreConfig};
+pub use submit::Submit;

@@ -211,26 +211,6 @@ impl Fdbs {
         self.options().planner
     }
 
-    #[deprecated(note = "use `set_options(options().mode(..))` — one ExecOptions value")]
-    pub fn set_exec_mode(&self, mode: ExecMode) {
-        self.set_options(self.options().mode(mode));
-    }
-
-    #[deprecated(note = "use `set_options(options().projection_pruning(..))`")]
-    pub fn set_projection_pruning(&self, enabled: bool) {
-        self.set_options(self.options().projection_pruning(enabled));
-    }
-
-    #[deprecated(note = "use `set_options(options().udtf_memo(..))`")]
-    pub fn set_udtf_memo(&self, enabled: bool) {
-        self.set_options(self.options().udtf_memo(enabled));
-    }
-
-    #[deprecated(note = "use `set_options(options().vectorized(..))`")]
-    pub fn set_vectorized(&self, enabled: bool) {
-        self.set_options(self.options().vectorized(enabled));
-    }
-
     /// ANALYZE: collect statistics (row count, per-column NDV, min/max,
     /// null fraction) for every local table and registered foreign table,
     /// then clear the plan cache so subsequent statements are planned

@@ -15,7 +15,7 @@
 //!    limit cuts off is order-sensitive.
 //! 2. **Conjunct placement.** The same pushdown / equi-join-extraction /
 //!    residual-filter classification the syntactic binder always did
-//!    ([`crate::plan::place_bound_conjunct`]), applied to the chosen order.
+//!    (`plan::place_bound_conjunct`), applied to the chosen order.
 //! 3. **Cardinality estimation.** Selectivities from [`crate::stats`]
 //!    annotate every step with scan/join/output row estimates — in *both*
 //!    modes, so `EXPLAIN` and the `EXPLAIN ANALYZE` q-error report work

@@ -19,7 +19,7 @@ use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -29,38 +29,9 @@ use fedwf_types::{Column, CommitMode, DataType, FedError, FedResult, Schema, Txn
 use crate::index::IndexKind;
 use crate::table::RowId;
 
-// ---------------------------------------------------------------------------
-// CRC-32 (IEEE 802.3 polynomial) — table-driven, no external crates.
-// ---------------------------------------------------------------------------
-
-fn crc32_table() -> &'static [u32; 256] {
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut table = [0u32; 256];
-        for (i, slot) in table.iter_mut().enumerate() {
-            let mut c = i as u32;
-            for _ in 0..8 {
-                c = if c & 1 != 0 {
-                    0xEDB8_8320 ^ (c >> 1)
-                } else {
-                    c >> 1
-                };
-            }
-            *slot = c;
-        }
-        table
-    })
-}
-
-/// CRC-32 checksum of `bytes` (IEEE polynomial, as used by zip/png).
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let table = crc32_table();
-    let mut c = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
-    }
-    c ^ 0xFFFF_FFFF
-}
+// The CRC-32 implementation moved to `fedwf_types::wire` so the network
+// protocol shares the WAL's exact checksum; re-exported here unchanged.
+pub use fedwf_types::wire::crc32;
 
 // ---------------------------------------------------------------------------
 // Byte codec shared by WAL records and checkpoint snapshots.

@@ -189,6 +189,31 @@ impl Meter {
         self.bytes_materialized
     }
 
+    /// Reassemble a meter from its observable parts — the inverse of
+    /// reading `now_us()` / `charges()` / the materialization counters.
+    /// Used by the wire protocol to reconstruct an [`Outcome`]'s meter on
+    /// the client side of a network call: the charge log, clock and
+    /// counters round-trip exactly, so virtual-time accounting is
+    /// transport-independent. The rebuilt meter starts its origin at zero
+    /// and is not tracing (the span tree travels separately).
+    ///
+    /// [`Outcome`]: https://docs.rs/fedwf-core
+    pub fn from_parts(
+        now_us: u64,
+        charges: Vec<Charge>,
+        rows_materialized: u64,
+        bytes_materialized: u64,
+    ) -> Meter {
+        Meter {
+            now_us,
+            origin_us: 0,
+            charges,
+            rows_materialized,
+            bytes_materialized,
+            trace: None,
+        }
+    }
+
     /// A meter whose branch begins at an arbitrary virtual time — used by
     /// schedulers that compute a node's start as the max over its
     /// predecessors' completion times.

@@ -59,6 +59,28 @@ impl Component {
         }
     }
 
+    /// The stable on-wire tag of this component. Like the error-layer
+    /// codes, these travel across process boundaries and must never be
+    /// renumbered — only extended.
+    pub fn wire_tag(self) -> u8 {
+        match self {
+            Component::Udtf => 0,
+            Component::Rmi => 1,
+            Component::Controller => 2,
+            Component::JavaEnv => 3,
+            Component::WfEngine => 4,
+            Component::Activity => 5,
+            Component::LocalFunction => 6,
+            Component::Fdbs => 7,
+            Component::Boot => 8,
+        }
+    }
+
+    /// Inverse of [`Component::wire_tag`].
+    pub fn from_wire_tag(tag: u8) -> Option<Component> {
+        Component::ALL.into_iter().find(|c| c.wire_tag() == tag)
+    }
+
     pub const ALL: [Component; 9] = [
         Component::Udtf,
         Component::Rmi,

@@ -276,6 +276,15 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// Reassemble a snapshot from `(name, value)` readings — the inverse
+    /// of [`MetricsSnapshot::iter`], used by the wire protocol to carry a
+    /// server-side metrics delta back to a network client.
+    pub fn from_entries(entries: impl IntoIterator<Item = (String, i64)>) -> MetricsSnapshot {
+        MetricsSnapshot {
+            values: entries.into_iter().collect(),
+        }
+    }
+
     pub fn get(&self, name: &str) -> Option<i64> {
         self.values.get(name).copied()
     }

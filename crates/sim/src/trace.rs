@@ -35,7 +35,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::hash::Hash;
 use std::ops::Deref;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 use std::time::Instant;
 
 use crate::breakdown::{Breakdown, BreakdownLine};
@@ -68,11 +68,22 @@ pub enum TraceDetail {
 /// names like `activity GetQuality`, interned once in a [`SpanNameCache`]
 /// and then cloned by reference count — formatting a name on every span
 /// open is the single largest cost of tracing after wall sampling).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub enum SpanName {
     Static(&'static str),
     Shared(Arc<str>),
 }
+
+/// Equality is by string content, not representation — a name decoded
+/// from the wire (always `Shared`) compares equal to the `Static` name
+/// the server recorded.
+impl PartialEq for SpanName {
+    fn eq(&self, other: &SpanName) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for SpanName {}
 
 impl Deref for SpanName {
     type Target = str;
@@ -174,8 +185,11 @@ impl<K: Eq + Hash> SpanNameCache<K> {
 pub struct BookedSet([u64; Component::ALL.len()]);
 
 impl BookedSet {
+    /// Add booked virtual time under `component`. Public so externally
+    /// assembled spans (executor leaves, wire-decoded trace trees) can
+    /// reconstruct their booked sets.
     #[inline]
-    pub(crate) fn add(&mut self, component: Component, duration_us: u64) {
+    pub fn add(&mut self, component: Component, duration_us: u64) {
         self.0[component as usize] += duration_us;
     }
 
@@ -200,6 +214,27 @@ impl BookedSet {
             .map(|c| (c, self.0[c as usize]))
             .filter(|&(_, us)| us != 0)
     }
+}
+
+/// Intern a span-counter name into a `&'static str`.
+///
+/// [`TraceNode::counters`] keys are `&'static str` so the hot recording
+/// path never allocates; a wire-decoded trace tree arrives with owned
+/// strings instead. The universe of counter names is the instrumentation's
+/// own (`rows`, `batches`, `bytes`, ...), so each distinct name is leaked
+/// exactly once and then served from this table — decoding a million
+/// traces costs the same handful of leaks as decoding one.
+pub fn intern_counter_name(name: &str) -> &'static str {
+    use std::sync::Mutex;
+    static INTERNED: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    let table = INTERNED.get_or_init(|| Mutex::new(Vec::new()));
+    let mut table = table.lock().expect("counter-name table poisoned");
+    if let Some(found) = table.iter().find(|n| **n == name) {
+        return found;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    table.push(leaked);
+    leaked
 }
 
 /// One span of a trace tree. See the [module docs](self) for the model.

@@ -50,6 +50,69 @@ pub enum ErrorLayer {
     /// has shut down or died on a sink failure; the statement was *not*
     /// made durable.
     Shutdown,
+    /// A transport failure between a network client and the server:
+    /// connect/read/write errors, a connection the server closed mid-call.
+    /// Whether the request executed is *unknown* — retry only idempotent
+    /// work.
+    Network,
+    /// A wire-protocol violation: bad frame checksum, unknown frame kind or
+    /// tag, version mismatch, trailing bytes. One side is speaking a
+    /// different dialect; retrying will not help.
+    Protocol,
+}
+
+impl ErrorLayer {
+    /// Every layer, in stable wire-code order.
+    pub const ALL: [ErrorLayer; 17] = [
+        ErrorLayer::Storage,
+        ErrorLayer::Parse,
+        ErrorLayer::Bind,
+        ErrorLayer::Plan,
+        ErrorLayer::Execution,
+        ErrorLayer::Schema,
+        ErrorLayer::Catalog,
+        ErrorLayer::Workflow,
+        ErrorLayer::AppSystem,
+        ErrorLayer::Wrapper,
+        ErrorLayer::Unsupported,
+        ErrorLayer::Overload,
+        ErrorLayer::Timeout,
+        ErrorLayer::Recovery,
+        ErrorLayer::Shutdown,
+        ErrorLayer::Network,
+        ErrorLayer::Protocol,
+    ];
+
+    /// The stable numeric code of this layer. These codes travel across
+    /// the wire protocol and must never be renumbered — append new layers
+    /// with fresh codes instead. Asserted by the golden-code test below.
+    pub fn code(&self) -> u16 {
+        match self {
+            ErrorLayer::Storage => 1,
+            ErrorLayer::Parse => 2,
+            ErrorLayer::Bind => 3,
+            ErrorLayer::Plan => 4,
+            ErrorLayer::Execution => 5,
+            ErrorLayer::Schema => 6,
+            ErrorLayer::Catalog => 7,
+            ErrorLayer::Workflow => 8,
+            ErrorLayer::AppSystem => 9,
+            ErrorLayer::Wrapper => 10,
+            ErrorLayer::Unsupported => 11,
+            ErrorLayer::Overload => 12,
+            ErrorLayer::Timeout => 13,
+            ErrorLayer::Recovery => 14,
+            ErrorLayer::Shutdown => 15,
+            ErrorLayer::Network => 16,
+            ErrorLayer::Protocol => 17,
+        }
+    }
+
+    /// Inverse of [`ErrorLayer::code`]; `None` for an unassigned code
+    /// (e.g. a frame from a newer peer speaking a superset).
+    pub fn from_code(code: u16) -> Option<ErrorLayer> {
+        ErrorLayer::ALL.into_iter().find(|l| l.code() == code)
+    }
 }
 
 impl fmt::Display for ErrorLayer {
@@ -70,6 +133,8 @@ impl fmt::Display for ErrorLayer {
             ErrorLayer::Timeout => "timeout",
             ErrorLayer::Recovery => "recovery",
             ErrorLayer::Shutdown => "shutdown",
+            ErrorLayer::Network => "network",
+            ErrorLayer::Protocol => "protocol",
         };
         f.write_str(s)
     }
@@ -138,6 +203,19 @@ impl FedError {
     pub fn shutdown(msg: impl Into<String>) -> FedError {
         FedError::new(ErrorLayer::Shutdown, msg)
     }
+    pub fn network(msg: impl Into<String>) -> FedError {
+        FedError::new(ErrorLayer::Network, msg)
+    }
+    pub fn protocol(msg: impl Into<String>) -> FedError {
+        FedError::new(ErrorLayer::Protocol, msg)
+    }
+
+    /// The stable numeric code of this error's layer; see
+    /// [`ErrorLayer::code`]. This is what identifies an error across the
+    /// wire protocol — clients match on codes, never on message strings.
+    pub fn code(&self) -> u16 {
+        self.layer.code()
+    }
 
     /// Attach a context frame, e.g. "while executing activity GetQuality".
     pub fn with_context(mut self, frame: impl Into<String>) -> FedError {
@@ -166,6 +244,17 @@ impl FedError {
     /// queue; the statement is guaranteed *not* durable.
     pub fn is_shutdown(&self) -> bool {
         self.layer == ErrorLayer::Shutdown
+    }
+
+    /// True for a transport failure ([`ErrorLayer::Network`]): whether the
+    /// request executed is unknown.
+    pub fn is_network(&self) -> bool {
+        self.layer == ErrorLayer::Network
+    }
+
+    /// True for a wire-protocol violation ([`ErrorLayer::Protocol`]).
+    pub fn is_protocol(&self) -> bool {
+        self.layer == ErrorLayer::Protocol
     }
 }
 
@@ -225,6 +314,42 @@ mod tests {
     fn unsupported_marker() {
         assert!(FedError::unsupported("cyclic dependency").is_unsupported());
         assert!(!FedError::parse("x").is_unsupported());
+    }
+
+    /// Golden test: the wire codes are a stable contract. A client built
+    /// against today's binary must decode errors from any future server,
+    /// so these numbers may only ever be *extended*, never changed. If
+    /// this test fails you renumbered a layer — don't.
+    #[test]
+    fn error_codes_are_stable() {
+        let golden: [(ErrorLayer, u16); 17] = [
+            (ErrorLayer::Storage, 1),
+            (ErrorLayer::Parse, 2),
+            (ErrorLayer::Bind, 3),
+            (ErrorLayer::Plan, 4),
+            (ErrorLayer::Execution, 5),
+            (ErrorLayer::Schema, 6),
+            (ErrorLayer::Catalog, 7),
+            (ErrorLayer::Workflow, 8),
+            (ErrorLayer::AppSystem, 9),
+            (ErrorLayer::Wrapper, 10),
+            (ErrorLayer::Unsupported, 11),
+            (ErrorLayer::Overload, 12),
+            (ErrorLayer::Timeout, 13),
+            (ErrorLayer::Recovery, 14),
+            (ErrorLayer::Shutdown, 15),
+            (ErrorLayer::Network, 16),
+            (ErrorLayer::Protocol, 17),
+        ];
+        assert_eq!(golden.len(), ErrorLayer::ALL.len(), "cover every layer");
+        for (layer, code) in golden {
+            assert_eq!(layer.code(), code, "{layer} was renumbered");
+            assert_eq!(ErrorLayer::from_code(code), Some(layer));
+        }
+        assert_eq!(ErrorLayer::from_code(0), None);
+        assert_eq!(ErrorLayer::from_code(999), None);
+        assert_eq!(FedError::overloaded("x").code(), 12);
+        assert_eq!(FedError::timeout("x").code(), 13);
     }
 
     #[test]

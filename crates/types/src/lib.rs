@@ -21,6 +21,7 @@ pub mod row;
 pub mod sync;
 pub mod txn;
 pub mod value;
+pub mod wire;
 
 pub use batch::{ColumnBatch, ColumnBuilder, ColumnData, ColumnVec};
 pub use cast::{cast_value, implicit_cast, CastError};
@@ -30,3 +31,4 @@ pub use params::Params;
 pub use row::{Column, Row, Schema, SchemaRef, Table};
 pub use txn::{CommitMode, TxnId, TXN_EPOCH_ZERO, TXN_INFINITY};
 pub use value::{DataType, Value, ValueKey};
+pub use wire::{crc32, WireReader, WireWriter};

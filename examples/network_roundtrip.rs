@@ -1,0 +1,69 @@
+//! Network mode, end to end in one process: start a TCP server around a
+//! booted paper setup, dial it with the pooled client, and run the same
+//! request both in-process and over the wire — the `Submit` trait makes
+//! the two calls literally the same code.
+//!
+//! ```text
+//! cargo run --example network_roundtrip
+//! ```
+
+use std::sync::Arc;
+
+use fedwf::core::{
+    paper_functions, ArchitectureKind, FrontConfig, IntegrationServer, Outcome, Request,
+    ServerFront, Submit,
+};
+use fedwf::net::{NetServer, TcpClient};
+
+/// All client code in this example is written against `impl Submit` —
+/// it cannot tell (and never needs to know) which transport runs it.
+fn ask_quality(submit: &impl Submit, supplier: &str) -> Result<Outcome, fedwf::types::FedError> {
+    submit.submit(Request::function("GetSuppQual").arg(supplier).traced(true))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The usual paper setup: application systems, controller, WfMS,
+    //    FDBS — then a bounded admission front in front of it.
+    let server = Arc::new(IntegrationServer::with_architecture(
+        ArchitectureKind::Wfms,
+    )?);
+    server.boot();
+    server.deploy(&paper_functions::get_supp_qual())?;
+    let front = Arc::new(ServerFront::start(
+        Arc::clone(&server),
+        FrontConfig::default(),
+    ));
+
+    // 2. Put the front on a socket. Port 0 picks a free ephemeral port.
+    let net = NetServer::start("127.0.0.1:0", Arc::clone(&front))?;
+    println!("server listening on {}", net.local_addr());
+
+    // 3. Dial it, and run the same call through both transports. One
+    //    warm-up call first: the very first execution pays compile and
+    //    template-load charges (the paper's cold tier), and we want to
+    //    compare two *warm* calls.
+    let client = TcpClient::connect(net.local_addr())?;
+    let supplier = server.scenario().well_known_supplier_name();
+    ask_quality(&front, supplier)?;
+    let local = ask_quality(&front, supplier)?;
+    let remote = ask_quality(&client, supplier)?;
+
+    println!("\nover the wire:\n{}", remote.table);
+    assert_eq!(local.table, remote.table);
+    assert_eq!(local.meter.charges(), remote.meter.charges());
+    println!(
+        "in-process and network outcomes agree: {} rows, {} virtual µs, {} charges",
+        remote.table.row_count(),
+        remote.elapsed_us(),
+        remote.meter.charges().len(),
+    );
+
+    // 4. The trace tree travelled the wire too.
+    if let Some(breakdown) = remote.trace_breakdown("GetSuppQual over TCP (WfMS approach)") {
+        println!("\n{breakdown}");
+    }
+
+    // 5. Graceful drain: stop accepting, finish in-flight work, join.
+    net.shutdown();
+    Ok(())
+}

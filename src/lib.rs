@@ -3,6 +3,7 @@
 pub use fedwf_appsys as appsys;
 pub use fedwf_core as core;
 pub use fedwf_fdbs as fdbs;
+pub use fedwf_net as net;
 pub use fedwf_relstore as relstore;
 pub use fedwf_sim as sim;
 pub use fedwf_sql as sql;

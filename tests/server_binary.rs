@@ -1,0 +1,96 @@
+//! Smoke test of the `fedwf-server` binary: start it as a real child
+//! process on an ephemeral port, run one request over TCP, ask for a
+//! graceful shutdown, and verify the drain report and a zero exit.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use fedwf::core::{Request, Submit};
+use fedwf::net::TcpClient;
+use fedwf::types::Value;
+
+struct Server {
+    child: Child,
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl Server {
+    fn spawn(extra_args: &[&str]) -> Server {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_fedwf-server"))
+            .arg("--addr")
+            .arg("127.0.0.1:0")
+            .args(extra_args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn fedwf-server");
+        let stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+        Server { child, stdout }
+    }
+
+    fn read_line(&mut self) -> String {
+        let mut line = String::new();
+        self.stdout
+            .read_line(&mut line)
+            .expect("read server stdout");
+        assert!(!line.is_empty(), "server stdout closed unexpectedly");
+        line.trim_end().to_string()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn server_binary_serves_and_drains() {
+    let mut server = Server::spawn(&["--workers", "2"]);
+
+    // Startup report: listening address, scenario hint, readiness.
+    let listening = server.read_line();
+    let addr = listening
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected startup line {listening:?}"))
+        .to_string();
+    let supplier = server
+        .read_line()
+        .strip_prefix("well-known supplier: ")
+        .expect("supplier hint line")
+        .to_string();
+    assert_eq!(server.read_line(), "ready");
+
+    // One real request over the wire, against the live Fig. 5 deployment.
+    let client = TcpClient::connect(addr.as_str()).expect("dial the server");
+    let outcome = client
+        .submit(Request::function("GetSuppQual").arg(supplier))
+        .expect("remote call succeeds");
+    assert_eq!(outcome.table.value(0, "Qual"), Some(&Value::Int(93)));
+    assert!(outcome.elapsed_us() > 0, "virtual accounting travelled");
+
+    // Graceful shutdown via stdin.
+    let mut stdin = server.child.stdin.take().expect("stdin piped");
+    stdin.write_all(b"shutdown\n").expect("request shutdown");
+    drop(stdin);
+
+    // The drain report counts our request, and the process exits 0 —
+    // bounded wait so a hung drain fails the test instead of wedging CI.
+    let report = server.read_line();
+    assert!(
+        report.starts_with("drained: 1 requests over 1 connections"),
+        "unexpected drain report {report:?}"
+    );
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        if let Some(status) = server.child.try_wait().expect("poll child") {
+            break status;
+        }
+        assert!(Instant::now() < deadline, "server did not exit after drain");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(status.success(), "non-zero exit: {status:?}");
+}
